@@ -1,0 +1,140 @@
+//! B1a: per-operation overhead of each mechanism's primitive.
+//!
+//! Measures one uncontended synchronized operation per mechanism, over
+//! the same simulator substrate, so differences reflect mechanism
+//! machinery (guard evaluation, queue scans, token accounting) rather
+//! than harness costs. The paper's qualitative claim — "serializers
+//! provide more mechanism than monitors, at more cost" (§5.2) — becomes
+//! measurable here; the path-expression interpreter's conjunction scan
+//! sits somewhere between.
+//!
+//! Absolute numbers include the deterministic simulator's context-switch
+//! cost (two condvar hand-offs per scheduling point) and one OS-thread
+//! spawn per process per iteration; comparisons across mechanisms are the
+//! meaningful output.
+
+use bloom_monitor::Monitor;
+use bloom_pathexpr::PathResource;
+use bloom_semaphore::Semaphore;
+use bloom_serializer::Serializer;
+use bloom_sim::{Sim, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+const OPS: usize = 200;
+
+fn quiet_sim() -> Sim {
+    Sim::with_config(SimConfig {
+        max_steps: 1_000_000,
+        record_sched_events: false,
+    })
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitive_op");
+    group.sample_size(20);
+
+    group.bench_function("baseline_yield", |b| {
+        b.iter(|| {
+            let mut sim = quiet_sim();
+            sim.spawn("solo", |ctx| {
+                for _ in 0..OPS {
+                    ctx.yield_now();
+                }
+            });
+            sim.run().unwrap();
+        })
+    });
+
+    group.bench_function("semaphore_pv", |b| {
+        b.iter(|| {
+            let mut sim = quiet_sim();
+            let sem = Arc::new(Semaphore::strong("s", 1));
+            sim.spawn("solo", move |ctx| {
+                for _ in 0..OPS {
+                    sem.p(ctx);
+                    sem.v(ctx);
+                }
+            });
+            sim.run().unwrap();
+        })
+    });
+
+    group.bench_function("monitor_enter", |b| {
+        b.iter(|| {
+            let mut sim = quiet_sim();
+            let m = Arc::new(Monitor::hoare("m", 0u64));
+            sim.spawn("solo", move |ctx| {
+                for _ in 0..OPS {
+                    m.enter(ctx, |mc| mc.state(|n| *n += 1));
+                }
+            });
+            sim.run().unwrap();
+        })
+    });
+
+    group.bench_function("serializer_enter_crowd", |b| {
+        b.iter(|| {
+            let mut sim = quiet_sim();
+            let s = Arc::new(Serializer::new("s", 0u64));
+            let q = s.queue("q");
+            let crowd = s.crowd("c");
+            sim.spawn("solo", move |ctx| {
+                for _ in 0..OPS {
+                    s.enter(ctx, |sc| {
+                        sc.enqueue(q, move |v| v.crowd_is_empty(crowd));
+                        sc.state(|n| *n += 1);
+                        sc.join_crowd(crowd, || {});
+                    });
+                }
+            });
+            sim.run().unwrap();
+        })
+    });
+
+    group.bench_function("path_perform", |b| {
+        b.iter(|| {
+            let mut sim = quiet_sim();
+            let r = Arc::new(PathResource::parse("r", "path op end").unwrap());
+            sim.spawn("solo", move |ctx| {
+                for _ in 0..OPS {
+                    r.perform(ctx, "op", || {});
+                }
+            });
+            sim.run().unwrap();
+        })
+    });
+
+    // The Figure-1 path system: three conjunct paths and the nested
+    // synchronization-procedure chain per WRITE.
+    group.bench_function("path_figure1_write", |b| {
+        b.iter(|| {
+            let mut sim = quiet_sim();
+            let r = Arc::new(
+                PathResource::parse(
+                    "rw",
+                    "path writeattempt end \
+                     path { requestread } , requestwrite end \
+                     path { read } , (openwrite ; write) end",
+                )
+                .unwrap(),
+            );
+            sim.spawn("solo", move |ctx| {
+                for _ in 0..OPS / 4 {
+                    r.perform(ctx, "writeattempt", || {
+                        r.perform(ctx, "requestwrite", || {
+                            r.perform(ctx, "openwrite", || {});
+                        });
+                    });
+                    r.perform(ctx, "write", || {});
+                }
+            });
+            sim.run().unwrap();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

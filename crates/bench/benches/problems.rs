@@ -1,0 +1,91 @@
+//! B1b: whole-problem throughput, mechanism vs mechanism.
+//!
+//! One benchmark per canonical problem, identical workload across
+//! mechanisms. The interesting output is the *ordering and ratios*
+//! between mechanisms on the same problem (who pays for what machinery),
+//! not absolute wall-clock numbers (which include the deterministic
+//! simulator's hand-off costs).
+
+use bloom_core::MechanismId;
+use bloom_problems::drivers::{
+    alarm_scenario, buffer_scenario, disk_scenario, fcfs_scenario, oneslot_scenario, rw_scenario,
+};
+use bloom_problems::rw::RwVariant;
+use bloom_problems::{alarm, buffer, disk, fcfs, oneslot, rw};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_problems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oneslot");
+    group.sample_size(15);
+    for mech in oneslot::MECHANISMS {
+        group.bench_with_input(BenchmarkId::from_parameter(mech), &mech, |b, &mech| {
+            b.iter(|| oneslot_scenario(mech, 25, None));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bounded_buffer");
+    group.sample_size(15);
+    for mech in buffer::MECHANISMS {
+        group.bench_with_input(BenchmarkId::from_parameter(mech), &mech, |b, &mech| {
+            b.iter(|| buffer_scenario(mech, 4, 2, 2, 10, None));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fcfs_resource");
+    group.sample_size(15);
+    for mech in fcfs::MECHANISMS {
+        group.bench_with_input(BenchmarkId::from_parameter(mech), &mech, |b, &mech| {
+            b.iter(|| fcfs_scenario(mech, 5, 6, None));
+        });
+    }
+    group.finish();
+
+    for variant in [RwVariant::ReadersPriority, RwVariant::Fcfs] {
+        let mut group = c.benchmark_group(format!("rw_{variant:?}"));
+        group.sample_size(15);
+        for mech in rw::MECHANISMS {
+            group.bench_with_input(BenchmarkId::from_parameter(mech), &mech, |b, &mech| {
+                b.iter(|| rw_scenario(mech, variant, 4, 2, 4, None));
+            });
+        }
+        group.finish();
+    }
+
+    let mut group = c.benchmark_group("disk_scheduler");
+    group.sample_size(15);
+    for mech in disk::MECHANISMS {
+        group.bench_with_input(BenchmarkId::from_parameter(mech), &mech, |b, &mech| {
+            b.iter(|| disk_scenario(mech, 4, 5, 7, None));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("alarm_clock");
+    group.sample_size(15);
+    for mech in alarm::MECHANISMS {
+        group.bench_with_input(BenchmarkId::from_parameter(mech), &mech, |b, &mech| {
+            b.iter(|| alarm_scenario(mech, 6, 5, None));
+        });
+    }
+    group.finish();
+
+    // The evaluation-methodology hot paths themselves.
+    let mut group = c.benchmark_group("methodology");
+    group.sample_size(20);
+    group.bench_function("minimal_cover", |b| {
+        let cat = bloom_core::catalog();
+        let target = bloom_core::full_target(&cat);
+        b.iter(|| bloom_core::minimal_cover(&cat, &target));
+    });
+    group.bench_function("independence_rw_family", |b| {
+        let rp = rw::make(MechanismId::Monitor, RwVariant::ReadersPriority).desc();
+        let wp = rw::make(MechanismId::Monitor, RwVariant::WritersPriority).desc();
+        b.iter(|| bloom_core::independence(&rp, &wp));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_problems);
+criterion_main!(benches);

@@ -1,0 +1,457 @@
+#![forbid(unsafe_code)]
+//! CSP-style synchronous channels over the `bloom-sim` simulator.
+//!
+//! The paper closes (§6) by naming the synchronization models it did *not*
+//! evaluate — "guarded commands \[19\] and the mechanism proposed by Hoare
+//! in 'Communicating Sequential Processes' \[20\] … the techniques presented
+//! in this paper may prove useful in these evaluations." This crate
+//! provides that mechanism so the workspace can run the paper's
+//! methodology on it:
+//!
+//! * [`Channel<T>`] — a synchronous (rendezvous) channel: `send` blocks
+//!   until a receiver takes the value, `recv` blocks until a sender
+//!   offers one. Senders are queued FIFO, so a channel carries *request
+//!   time* information the way CSP process queues do.
+//! * [`select`] — guarded selective receive over several channels of the
+//!   same message type: Dijkstra's guarded commands / CSP alternatives.
+//!   A false guard disables its alternative; among enabled alternatives
+//!   with waiting senders, the **longest-waiting sender** is chosen (the
+//!   same selection discipline used for path expressions, so comparisons
+//!   are apples-to-apples).
+//! * [`Channel::pending_senders`] — queue interrogation, the analogue of
+//!   Hoare's condition `queue` operation, used by guards.
+//!
+//! In the shared-resource problems (`bloom-problems::csp`) resources
+//! become *server processes*: clients rendezvous with the server, the
+//! server's guards encode the exclusion and priority constraints over its
+//! local state, and replies grant access. The §2 modularity structure is
+//! automatic — the resource and its synchronization live in one process,
+//! and clients hold no synchronization code at all.
+
+use bloom_sim::{Ctx, Pid};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A sender parked on a channel with its offered value.
+struct WaitingSender<T> {
+    pid: Pid,
+    ticket: u64,
+    value: T,
+}
+
+/// A receiver parked on one or more channels (via select).
+struct WaitingReceiver<T> {
+    pid: Pid,
+    /// Which alternative of the receiver's select this channel is; the
+    /// delivering sender records it in the cell.
+    alt_index: usize,
+    /// Shared with every channel the receiver registered on; the first
+    /// sender to deliver claims it.
+    cell: Arc<DeliveryCell<T>>,
+}
+
+/// The rendezvous mailbox of a parked (selecting) receiver.
+struct DeliveryCell<T> {
+    slot: Mutex<Option<(usize, T)>>,
+}
+
+impl<T> DeliveryCell<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(DeliveryCell {
+            slot: Mutex::new(None),
+        })
+    }
+
+    fn claimed(&self) -> bool {
+        self.slot.lock().is_some()
+    }
+}
+
+struct ChanState<T> {
+    senders: VecDeque<WaitingSender<T>>,
+    receivers: VecDeque<WaitingReceiver<T>>,
+}
+
+/// A synchronous (rendezvous, unbuffered) channel.
+pub struct Channel<T> {
+    name: String,
+    state: Mutex<ChanState<T>>,
+}
+
+impl<T: Send> Channel<T> {
+    /// Creates a channel; `name` appears in deadlock diagnostics.
+    pub fn new(name: &str) -> Self {
+        Channel {
+            name: name.to_string(),
+            state: Mutex::new(ChanState {
+                senders: VecDeque::new(),
+                receivers: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The channel's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sends `value`, blocking until a receiver takes it (rendezvous).
+    pub fn send(&self, ctx: &Ctx, value: T) {
+        let mut value = Some(value);
+        {
+            let mut st = self.state.lock();
+            // Deliver to the longest-waiting receiver whose select has not
+            // been claimed by another channel yet; stale entries (already
+            // claimed elsewhere) are discarded.
+            while let Some(rcv) = st.receivers.pop_front() {
+                if rcv.cell.claimed() {
+                    continue; // stale registration from a finished select
+                }
+                *rcv.cell.slot.lock() = Some((rcv.alt_index, value.take().expect("value present")));
+                drop(st);
+                ctx.unpark(rcv.pid);
+                return;
+            }
+            // No receiver: queue ourselves with the value and park.
+            st.senders.push_back(WaitingSender {
+                pid: ctx.pid(),
+                ticket: ctx.fresh_ticket(),
+                value: value.take().expect("value present"),
+            });
+        }
+        ctx.park(&format!("{}.send", self.name));
+    }
+
+    /// Receives a value, blocking until a sender offers one.
+    pub fn recv(&self, ctx: &Ctx) -> T {
+        select(ctx, &mut [(self, true)]).1
+    }
+
+    /// Number of senders currently blocked on this channel — queue
+    /// interrogation for guards (the §3 *synchronization state* category).
+    pub fn pending_senders(&self) -> usize {
+        self.state.lock().senders.len()
+    }
+
+    /// Arrival ticket of the longest-waiting sender, if any.
+    fn front_ticket(&self) -> Option<u64> {
+        self.state.lock().senders.front().map(|s| s.ticket)
+    }
+
+    /// Takes the longest-waiting sender's value and wakes the sender.
+    fn take_front(&self, ctx: &Ctx) -> T {
+        let sender = self
+            .state
+            .lock()
+            .senders
+            .pop_front()
+            .expect("take_front called on a channel with a waiting sender");
+        ctx.unpark(sender.pid);
+        sender.value
+    }
+
+    fn register_receiver(&self, rcv: WaitingReceiver<T>) {
+        self.state.lock().receivers.push_back(rcv);
+    }
+
+    fn unregister_receiver(&self, pid: Pid) {
+        self.state.lock().receivers.retain(|r| r.pid != pid);
+    }
+}
+
+impl<T> std::fmt::Debug for Channel<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Channel")
+            .field("name", &self.name)
+            .field("pending_senders", &self.state.lock().senders.len())
+            .finish()
+    }
+}
+
+/// Guarded selective receive (CSP alternatives / guarded commands).
+///
+/// Each alternative is `(channel, guard)`; a false guard disables the
+/// alternative entirely. Among enabled alternatives with waiting senders,
+/// the longest-waiting sender (globally, by arrival ticket) is taken.
+/// If none is ready, the caller blocks until a sender arrives on any
+/// enabled alternative. Returns `(alternative index, value)`.
+///
+/// # Panics
+///
+/// Panics if every guard is false — like Dijkstra's `if … fi` with all
+/// guards false, this aborts rather than blocking forever (a server whose
+/// guards can all be false should include an always-true alternative).
+pub fn select<T: Send>(ctx: &Ctx, alternatives: &mut [(&Channel<T>, bool)]) -> (usize, T) {
+    assert!(
+        alternatives.iter().any(|&(_, guard)| guard),
+        "select with every guard false would block forever"
+    );
+    // Ready alternative with the longest-waiting sender?
+    let ready = alternatives
+        .iter()
+        .enumerate()
+        .filter(|(_, &(chan, guard))| guard && chan.pending_senders() > 0)
+        .min_by_key(|(_, &(chan, _))| chan.front_ticket().expect("pending sender has ticket"));
+    if let Some((index, &(chan, _))) = ready {
+        return (index, chan.take_front(ctx));
+    }
+    // Nothing ready: register on every enabled alternative and park. The
+    // first sender to arrive claims the delivery cell; registrations left
+    // on other channels are lazily discarded (see `Channel::send`) and
+    // eagerly removed below.
+    let cell = DeliveryCell::new();
+    let mut reasons = Vec::new();
+    for (i, &mut (chan, guard)) in alternatives.iter_mut().enumerate() {
+        if guard {
+            chan.register_receiver(WaitingReceiver {
+                pid: ctx.pid(),
+                alt_index: i,
+                cell: Arc::clone(&cell),
+            });
+            reasons.push(chan.name());
+        }
+    }
+    ctx.park(&format!("select[{}]", reasons.join(",")));
+    // The delivering sender recorded which alternative it was. Remove our
+    // remaining registrations (senders also discard them lazily, but eager
+    // cleanup keeps queues short and pid-reuse safe).
+    let (index, value) = cell
+        .slot
+        .lock()
+        .take()
+        .expect("woken receiver must have a delivery");
+    for &mut (chan, guard) in alternatives.iter_mut() {
+        if guard {
+            chan.unregister_receiver(ctx.pid());
+        }
+    }
+    (index, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bloom_sim::{RandomPolicy, Sim};
+
+    #[test]
+    fn rendezvous_transfers_a_value() {
+        let mut sim = Sim::new();
+        let ch = Arc::new(Channel::new("ch"));
+        let tx = Arc::clone(&ch);
+        sim.spawn("sender", move |ctx| tx.send(ctx, 42));
+        let rx = Arc::clone(&ch);
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv(ctx), 42);
+            ctx.emit("got", &[]);
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.trace.count_user("got"), 1);
+    }
+
+    #[test]
+    fn send_blocks_until_receiver_arrives() {
+        let mut sim = Sim::new();
+        let ch = Arc::new(Channel::new("ch"));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (tx, o1) = (Arc::clone(&ch), Arc::clone(&order));
+        sim.spawn("sender", move |ctx| {
+            tx.send(ctx, 1);
+            o1.lock().push("send-returned");
+        });
+        let (rx, o2) = (Arc::clone(&ch), Arc::clone(&order));
+        sim.spawn("receiver", move |ctx| {
+            for _ in 0..3 {
+                ctx.yield_now();
+            }
+            o2.lock().push("receiving");
+            rx.recv(ctx);
+        });
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec!["receiving", "send-returned"]);
+    }
+
+    #[test]
+    fn senders_are_served_fifo() {
+        let mut sim = Sim::new();
+        let ch = Arc::new(Channel::new("ch"));
+        for i in 0..4 {
+            let tx = Arc::clone(&ch);
+            sim.spawn(&format!("s{i}"), move |ctx| tx.send(ctx, i));
+        }
+        let rx = Arc::clone(&ch);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        sim.spawn("receiver", move |ctx| {
+            for _ in 0..5 {
+                ctx.yield_now(); // let all senders queue
+            }
+            for _ in 0..4 {
+                g.lock().push(rx.recv(ctx));
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(*got.lock(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn select_prefers_longest_waiting_across_channels() {
+        let mut sim = Sim::new();
+        let a = Arc::new(Channel::new("a"));
+        let b = Arc::new(Channel::new("b"));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        sim.spawn("sender-b", move |ctx| b1.send(ctx, 20));
+        let a2 = Arc::clone(&a);
+        sim.spawn("sender-a", move |ctx| {
+            ctx.yield_now(); // arrives second
+            a2.send(ctx, 10);
+        });
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = Arc::clone(&got);
+        sim.spawn("server", move |ctx| {
+            for _ in 0..4 {
+                ctx.yield_now();
+            }
+            for _ in 0..2 {
+                let (idx, v) = select(ctx, &mut [(&*a1, true), (&*b, true)]);
+                g.lock().push((idx, v));
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *got.lock(),
+            vec![(1, 20), (0, 10)],
+            "older sender first, then the other"
+        );
+    }
+
+    #[test]
+    fn false_guard_disables_an_alternative() {
+        let mut sim = Sim::new();
+        let a = Arc::new(Channel::new("a"));
+        let b = Arc::new(Channel::new("b"));
+        let (a1, _b1) = (Arc::clone(&a), Arc::clone(&b));
+        sim.spawn("sender-a", move |ctx| a1.send(ctx, 1));
+        let b2 = Arc::clone(&b);
+        sim.spawn("sender-b", move |ctx| b2.send(ctx, 2));
+        let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+        sim.spawn("server", move |ctx| {
+            for _ in 0..3 {
+                ctx.yield_now();
+            }
+            // `a` has the older sender but its guard is false.
+            let (idx, v) = select(ctx, &mut [(&*a3, false), (&*b3, true)]);
+            assert_eq!((idx, v), (1, 2));
+            let (idx, v) = select(ctx, &mut [(&*a3, true), (&*b3, false)]);
+            assert_eq!((idx, v), (0, 1));
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn blocked_select_wakes_on_first_enabled_arrival() {
+        let mut sim = Sim::new();
+        let a = Arc::new(Channel::new("a"));
+        let b = Arc::new(Channel::new("b"));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let got = Arc::new(Mutex::new(None));
+        let g = Arc::clone(&got);
+        sim.spawn("server", move |ctx| {
+            let (idx, v) = select(ctx, &mut [(&*a1, true), (&*b1, true)]);
+            *g.lock() = Some((idx, v));
+        });
+        let b2 = Arc::clone(&b);
+        sim.spawn("late-sender", move |ctx| {
+            ctx.yield_now();
+            b2.send(ctx, 9);
+        });
+        sim.run().unwrap();
+        assert_eq!(*got.lock(), Some((1, 9)));
+    }
+
+    #[test]
+    fn stale_registrations_are_discarded() {
+        // A select parks on {a, b}; a sender on `a` wakes it; later a
+        // sender on `b` must NOT deliver into the dead registration but
+        // wait for a real receiver.
+        let mut sim = Sim::new();
+        let a = Arc::new(Channel::new("a"));
+        let b = Arc::new(Channel::new("b"));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l1 = Arc::clone(&log);
+        sim.spawn("server", move |ctx| {
+            let (idx, _) = select(ctx, &mut [(&*a1, true), (&*b1, true)]);
+            l1.lock().push(format!("first:{idx}"));
+            // Second receive: must get b's value.
+            let (idx, v) = select(ctx, &mut [(&*a1, true), (&*b1, true)]);
+            l1.lock().push(format!("second:{idx}:{v}"));
+        });
+        let a2 = Arc::clone(&a);
+        sim.spawn("sender-a", move |ctx| {
+            ctx.yield_now();
+            a2.send(ctx, 1);
+        });
+        let b2 = Arc::clone(&b);
+        sim.spawn("sender-b", move |ctx| {
+            ctx.yield_now();
+            ctx.yield_now();
+            b2.send(ctx, 2);
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *log.lock(),
+            vec!["first:0".to_string(), "second:1:2".to_string()]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "every guard false")]
+    fn all_false_guards_panic() {
+        let mut sim = Sim::new();
+        let a = Arc::new(Channel::<i64>::new("a"));
+        let a1 = Arc::clone(&a);
+        sim.spawn("server", move |ctx| {
+            let _ = select(ctx, &mut [(&*a1, false)]);
+        });
+        // The panic surfaces through the simulation error.
+        if let Err(e) = sim.run() {
+            panic!("{e}");
+        }
+    }
+
+    #[test]
+    fn unmatched_send_deadlocks_with_channel_name() {
+        let mut sim = Sim::new();
+        let ch = Arc::new(Channel::new("lonely"));
+        let tx = Arc::clone(&ch);
+        sim.spawn("sender", move |ctx| tx.send(ctx, 5));
+        let err = sim.run().expect_err("deadlock");
+        assert!(err.to_string().contains("lonely.send"));
+    }
+
+    #[test]
+    fn ping_pong_under_random_schedules() {
+        for seed in 0..6 {
+            let mut sim = Sim::new();
+            sim.set_policy(RandomPolicy::new(seed));
+            let ping = Arc::new(Channel::new("ping"));
+            let pong = Arc::new(Channel::new("pong"));
+            let (p1, q1) = (Arc::clone(&ping), Arc::clone(&pong));
+            sim.spawn("alice", move |ctx| {
+                for i in 0..10 {
+                    p1.send(ctx, i);
+                    assert_eq!(q1.recv(ctx), i * 2);
+                }
+            });
+            let (p2, q2) = (Arc::clone(&ping), Arc::clone(&pong));
+            sim.spawn("bob", move |ctx| {
+                for _ in 0..10 {
+                    let v = p2.recv(ctx);
+                    q2.send(ctx, v * 2);
+                }
+            });
+            sim.run().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Coverage analysis and minimal test-set selection (paper §1, §4.1).
+//!
+//! The paper's goal is "a set of examples that includes all of these
+//! properties with a minimum of redundancy; it will then be possible to
+//! tell when an evaluation is complete". Treating each problem as the set
+//! of `(constraint kind, info type)` features it exercises, that is a
+//! set-cover problem: this module computes feature coverage, finds an
+//! optimal minimum cover by exhaustive search (the catalog is small), and
+//! provides the greedy approximation for larger catalogs.
+
+use crate::taxonomy::{ConstraintKind, InfoType, ProblemSpec};
+use std::collections::BTreeSet;
+
+/// A `(kind, info)` pair a problem can exercise.
+pub type Feature = (ConstraintKind, InfoType);
+
+/// The features exercised by a set of problems.
+pub fn coverage(problems: &[ProblemSpec]) -> BTreeSet<Feature> {
+    problems.iter().flat_map(|p| p.features()).collect()
+}
+
+/// Features in `target` not exercised by `problems`.
+pub fn gaps(problems: &[ProblemSpec], target: &BTreeSet<Feature>) -> BTreeSet<Feature> {
+    let covered = coverage(problems);
+    target.difference(&covered).copied().collect()
+}
+
+/// Whether `problems` exercise every feature in `target`.
+pub fn is_complete(problems: &[ProblemSpec], target: &BTreeSet<Feature>) -> bool {
+    gaps(problems, target).is_empty()
+}
+
+/// Finds a *minimum* subset of `catalog` covering `target`, by exhaustive
+/// search over subsets (exponential, fine for the 8-problem catalog).
+/// Returns indices into `catalog`, preferring smaller sets, then
+/// lexicographically earlier ones. Returns `None` if even the full catalog
+/// does not cover `target`.
+pub fn minimal_cover(catalog: &[ProblemSpec], target: &BTreeSet<Feature>) -> Option<Vec<usize>> {
+    assert!(
+        catalog.len() <= 20,
+        "exhaustive cover search needs a small catalog"
+    );
+    if !is_complete(catalog, target) {
+        return None;
+    }
+    let feature_sets: Vec<BTreeSet<Feature>> = catalog.iter().map(|p| p.features()).collect();
+    let mut best: Option<Vec<usize>> = None;
+    for mask in 0u32..(1 << catalog.len()) {
+        let chosen: Vec<usize> = (0..catalog.len())
+            .filter(|i| mask & (1 << i) != 0)
+            .collect();
+        if let Some(b) = &best {
+            if chosen.len() >= b.len() {
+                continue;
+            }
+        }
+        let mut covered: BTreeSet<Feature> = BTreeSet::new();
+        for &i in &chosen {
+            covered.extend(feature_sets[i].iter().copied());
+        }
+        if target.is_subset(&covered) {
+            best = Some(chosen);
+        }
+    }
+    best
+}
+
+/// Greedy set-cover: repeatedly picks the problem covering the most
+/// still-uncovered features (ties broken by catalog order). Returns
+/// indices into `catalog`; stops early (returning `None`) if no progress
+/// is possible.
+pub fn greedy_cover(catalog: &[ProblemSpec], target: &BTreeSet<Feature>) -> Option<Vec<usize>> {
+    let feature_sets: Vec<BTreeSet<Feature>> = catalog.iter().map(|p| p.features()).collect();
+    let mut uncovered: BTreeSet<Feature> = target.clone();
+    let mut chosen = Vec::new();
+    while !uncovered.is_empty() {
+        let (best_i, best_gain) = (0..catalog.len())
+            .filter(|i| !chosen.contains(i))
+            .map(|i| (i, feature_sets[i].intersection(&uncovered).count()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))?;
+        if best_gain == 0 {
+            return None;
+        }
+        for f in &feature_sets[best_i] {
+            uncovered.remove(f);
+        }
+        chosen.push(best_i);
+    }
+    chosen.sort_unstable();
+    Some(chosen)
+}
+
+/// The default evaluation target: every feature the full catalog exercises.
+pub fn full_target(catalog: &[ProblemSpec]) -> BTreeSet<Feature> {
+    coverage(catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::{catalog, ProblemId};
+
+    #[test]
+    fn full_catalog_is_complete_for_itself() {
+        let cat = catalog();
+        let target = full_target(&cat);
+        assert!(is_complete(&cat, &target));
+        assert!(gaps(&cat, &target).is_empty());
+    }
+
+    #[test]
+    fn single_problem_leaves_gaps() {
+        let cat = catalog();
+        let target = full_target(&cat);
+        let only_buffer: Vec<ProblemSpec> = cat
+            .iter()
+            .filter(|p| p.id == ProblemId::BoundedBuffer)
+            .cloned()
+            .collect();
+        let g = gaps(&only_buffer, &target);
+        assert!(!g.is_empty());
+        assert!(g.contains(&(ConstraintKind::Priority, InfoType::RequestTime)));
+    }
+
+    #[test]
+    fn minimal_cover_exists_and_is_minimal() {
+        let cat = catalog();
+        let target = full_target(&cat);
+        let cover = minimal_cover(&cat, &target).expect("catalog covers itself");
+        // The cover must actually cover.
+        let chosen: Vec<ProblemSpec> = cover.iter().map(|&i| cat[i].clone()).collect();
+        assert!(is_complete(&chosen, &target));
+        // No single problem can be dropped.
+        for skip in 0..cover.len() {
+            let reduced: Vec<ProblemSpec> = cover
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != skip)
+                .map(|(_, &i)| cat[i].clone())
+                .collect();
+            assert!(!is_complete(&reduced, &target), "cover was not minimal");
+        }
+        // The paper's observation: a handful of problems suffices.
+        assert!(
+            cover.len() <= 5,
+            "expected a small cover, got {}",
+            cover.len()
+        );
+    }
+
+    #[test]
+    fn greedy_cover_is_complete_if_not_necessarily_minimal() {
+        let cat = catalog();
+        let target = full_target(&cat);
+        let exact = minimal_cover(&cat, &target).unwrap();
+        let greedy = greedy_cover(&cat, &target).unwrap();
+        let chosen: Vec<ProblemSpec> = greedy.iter().map(|&i| cat[i].clone()).collect();
+        assert!(is_complete(&chosen, &target));
+        assert!(greedy.len() >= exact.len());
+    }
+
+    #[test]
+    fn uncoverable_target_returns_none() {
+        let cat = catalog();
+        let mut target = full_target(&cat);
+        // Fabricate an impossible feature by removing every problem.
+        let empty: Vec<ProblemSpec> = Vec::new();
+        assert!(minimal_cover(&empty, &target).is_none() || target.is_empty());
+        target.clear();
+        assert_eq!(minimal_cover(&empty, &target), Some(vec![]));
+    }
+
+    #[test]
+    fn greedy_fails_gracefully_on_uncoverable_target() {
+        let cat = catalog();
+        let target = full_target(&cat);
+        let only_buffer: Vec<ProblemSpec> = cat
+            .iter()
+            .filter(|p| p.id == ProblemId::BoundedBuffer)
+            .cloned()
+            .collect();
+        assert!(greedy_cover(&only_buffer, &target).is_none());
+    }
+}

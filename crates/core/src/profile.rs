@@ -1,0 +1,411 @@
+//! Expressive-power profiles of mechanisms (paper §4.1, §5).
+//!
+//! A mechanism is rated, per information type, on how *directly* it lets a
+//! constraint condition use that information. The paper's own findings
+//! (Sections 5.1–5.2) are encoded in [`paper_profiles`]; the evaluation
+//! harness independently *derives* a profile from the solution metadata in
+//! `bloom-problems` and the workspace tests assert the two agree — that is
+//! the reproduction of the paper's qualitative conclusions.
+
+use crate::taxonomy::InfoType;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The mechanisms under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MechanismId {
+    /// Dijkstra semaphores (baseline).
+    Semaphore,
+    /// Hoare monitors.
+    Monitor,
+    /// Atkinson–Hewitt serializers.
+    Serializer,
+    /// Campbell–Habermann path expressions, 1974 version.
+    PathV1,
+    /// Path expressions with the numeric operator (Flon–Habermann).
+    PathV2,
+    /// Path expressions with predicates and state variables (Andler).
+    PathV3,
+    /// CSP-style message passing: server processes, rendezvous channels,
+    /// guarded selective receive (the paper's §6 future work).
+    Csp,
+}
+
+impl MechanismId {
+    /// All mechanisms, in presentation order.
+    pub const ALL: [MechanismId; 7] = [
+        MechanismId::Semaphore,
+        MechanismId::Monitor,
+        MechanismId::Serializer,
+        MechanismId::PathV1,
+        MechanismId::PathV2,
+        MechanismId::PathV3,
+        MechanismId::Csp,
+    ];
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            MechanismId::Semaphore => "semaphore",
+            MechanismId::Monitor => "monitor",
+            MechanismId::Serializer => "serializer",
+            MechanismId::PathV1 => "path-expr v1",
+            MechanismId::PathV2 => "path-expr v2",
+            MechanismId::PathV3 => "path-expr v3",
+            MechanismId::Csp => "csp channels",
+        }
+    }
+}
+
+impl fmt::Display for MechanismId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How directly a mechanism expresses constraints using one info type.
+///
+/// The ordering is from best to worst; "worse" ratings compare greater.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Directness {
+    /// A dedicated construct handles it (monitor queues for request time,
+    /// serializer crowds for sync state, path alphabets for request type).
+    Direct,
+    /// Expressible, but the user maintains the information by hand
+    /// (explicit counts as monitor local data).
+    Indirect,
+    /// Only expressible by escaping the mechanism's intended style — the
+    /// paper's "synchronization procedures" for path expressions.
+    Workaround,
+    /// Not expressible within the mechanism.
+    Inaccessible,
+}
+
+impl Directness {
+    /// Short symbol used in matrix cells.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Directness::Direct => "direct",
+            Directness::Indirect => "indirect",
+            Directness::Workaround => "workaround",
+            Directness::Inaccessible => "—",
+        }
+    }
+}
+
+impl fmt::Display for Directness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// How a mechanism supports the §2 modularity requirements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// The mechanism provides the structure itself.
+    Automatic,
+    /// Achievable, but only by implementor discipline.
+    ByConvention,
+    /// Not supported.
+    No,
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Support::Automatic => "automatic",
+            Support::ByConvention => "by convention",
+            Support::No => "no",
+        })
+    }
+}
+
+/// The §2 modularity assessment of one mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Modularity {
+    /// Requirement 1: synchronization is encapsulated with the resource
+    /// (no synchronization code at points of access).
+    pub encapsulated: Support,
+    /// Requirement 2: the unsynchronized resource and the synchronizer are
+    /// separable abstractions.
+    pub separable: Support,
+}
+
+/// A mechanism's expressive-power and modularity profile.
+#[derive(Debug, Clone)]
+pub struct MechanismProfile {
+    /// Which mechanism.
+    pub mechanism: MechanismId,
+    /// Rating per information type.
+    pub ratings: BTreeMap<InfoType, Directness>,
+    /// Modularity assessment.
+    pub modularity: Modularity,
+    /// Free-form findings attached to the profile.
+    pub notes: Vec<String>,
+}
+
+impl MechanismProfile {
+    /// Rating for one info type (`Inaccessible` if absent).
+    pub fn rating(&self, info: InfoType) -> Directness {
+        self.ratings
+            .get(&info)
+            .copied()
+            .unwrap_or(Directness::Inaccessible)
+    }
+}
+
+fn ratings(pairs: &[(InfoType, Directness)]) -> BTreeMap<InfoType, Directness> {
+    pairs.iter().copied().collect()
+}
+
+/// The paper's §5 findings, encoded.
+///
+/// * Path expressions v1 (§5.1): request type is what paths natively talk
+///   about; request order is accessible given the longest-waiting selection
+///   assumption (sometimes via extra request operations, hence Indirect);
+///   exclusion via automatic mutual exclusion of named operations, but no
+///   direct access to sync state; parameters and local state are only
+///   reachable through synchronization procedures; completed-operation
+///   history is what path position natively encodes (the one-slot buffer
+///   is the paper's example), hence Direct.
+/// * Monitors (§5.2): everything is accessible; conditions/queues make
+///   request type and time direct, priority queues make parameters direct,
+///   but sync state must be kept as explicit counts (Indirect), local
+///   state and history are ordinary monitor data (Direct as monitor local
+///   data, which *is* the mechanism's intended style).
+/// * Serializers (§5.2): like monitors, plus crowds make sync state
+///   direct.
+/// * Semaphores (baseline): everything must be simulated with counters and
+///   split binary semaphores — indirect at best. General request-time and
+///   parameter-dependent policies need hand-built queues of private gate
+///   semaphores (workaround), though pure FCFS rides a strong semaphore's
+///   own queue.
+/// * Path expressions v2: the numeric operator makes counting state
+///   (local state / sync state) expressible in paths; parameters remain a
+///   workaround (predicates arrived only in Andler's later version).
+/// * CSP channels (§6 future work, our extension): resources are server
+///   processes; channels carry request type (one per operation) and time
+///   (FIFO sender queues) directly; guarded selective receive expresses
+///   exclusion/priority over server-local state (Direct for local state
+///   and history-as-control-flow, Indirect for counts the server keeps by
+///   hand); parameters ride in messages but ordering by them needs a
+///   hand-kept pending set (Indirect).
+/// * Path expressions v3 (Andler, per §5.1 "this version comes closest to
+///   satisfying our requirements"): predicates over active/blocked/
+///   completed counts make synchronization state direct — enough to state
+///   readers priority correctly and fix the footnote-3 anomaly — and
+///   state variables make local state expressible (kept by hand:
+///   Indirect). Parameters still require synchronization procedures
+///   ("synchronization procedures are still needed in some examples").
+pub fn paper_profiles() -> Vec<MechanismProfile> {
+    use Directness::*;
+    use InfoType::*;
+    vec![
+        MechanismProfile {
+            mechanism: MechanismId::Semaphore,
+            ratings: ratings(&[
+                (RequestType, Indirect),
+                (RequestTime, Workaround),
+                (RequestParameters, Workaround),
+                (SyncState, Indirect),
+                (LocalState, Indirect),
+                (History, Indirect),
+            ]),
+            modularity: Modularity {
+                encapsulated: Support::No,
+                separable: Support::No,
+            },
+            notes: vec![
+                "the baseline the paper says higher-level mechanisms must improve on".into(),
+            ],
+        },
+        MechanismProfile {
+            mechanism: MechanismId::Monitor,
+            ratings: ratings(&[
+                (RequestType, Direct),
+                (RequestTime, Direct),
+                (RequestParameters, Direct),
+                (SyncState, Indirect),
+                (LocalState, Direct),
+                (History, Direct),
+            ]),
+            modularity: Modularity {
+                encapsulated: Support::ByConvention,
+                separable: Support::ByConvention,
+            },
+            notes: vec![
+                "request type and request time conflict: both need queues; resolved by \
+                 two-stage queuing"
+                    .into(),
+                "explicit signalling forces a total wake order: exclusion cannot be \
+                 implemented without priority"
+                    .into(),
+                "nested monitor calls deadlock unless the shared-resource structure is used".into(),
+            ],
+        },
+        MechanismProfile {
+            mechanism: MechanismId::Serializer,
+            ratings: ratings(&[
+                (RequestType, Direct),
+                (RequestTime, Direct),
+                (RequestParameters, Direct),
+                (SyncState, Direct),
+                (LocalState, Direct),
+                (History, Direct),
+            ]),
+            modularity: Modularity {
+                encapsulated: Support::Automatic,
+                separable: Support::Automatic,
+            },
+            notes: vec![
+                "crowds maintain synchronization state automatically".into(),
+                "automatic signalling separates request time from request type".into(),
+                "the extra mechanism costs efficiency relative to monitors".into(),
+            ],
+        },
+        MechanismProfile {
+            mechanism: MechanismId::PathV1,
+            ratings: ratings(&[
+                (RequestType, Direct),
+                (RequestTime, Indirect),
+                (RequestParameters, Workaround),
+                (SyncState, Workaround),
+                (LocalState, Workaround),
+                (History, Direct),
+            ]),
+            modularity: Modularity {
+                encapsulated: Support::Automatic,
+                separable: Support::No,
+            },
+            notes: vec![
+                "no direct means of expressing priority constraints".into(),
+                "synchronization procedures blur resource and synchronization".into(),
+                "Figure 1's readers-priority solution is not equivalent to Courtois et al. \
+                 (footnote 3)"
+                    .into(),
+            ],
+        },
+        MechanismProfile {
+            mechanism: MechanismId::PathV2,
+            ratings: ratings(&[
+                (RequestType, Direct),
+                (RequestTime, Indirect),
+                (RequestParameters, Workaround),
+                (SyncState, Indirect),
+                (LocalState, Indirect),
+                (History, Direct),
+            ]),
+            modularity: Modularity {
+                encapsulated: Support::Automatic,
+                separable: Support::No,
+            },
+            notes: vec![
+                "the numeric operator improves explicit use of synchronization state and \
+                 history (paper §5.1, citing [10])"
+                    .into(),
+            ],
+        },
+        MechanismProfile {
+            mechanism: MechanismId::PathV3,
+            ratings: ratings(&[
+                (RequestType, Direct),
+                (RequestTime, Indirect),
+                (RequestParameters, Workaround),
+                (SyncState, Direct),
+                (LocalState, Indirect),
+                (History, Direct),
+            ]),
+            modularity: Modularity {
+                encapsulated: Support::Automatic,
+                separable: Support::No,
+            },
+            notes: vec![
+                "predicates state readers priority correctly: the footnote-3 anomaly is fixed"
+                    .into(),
+                "synchronization procedures are still needed in some examples (paper §5.1)".into(),
+            ],
+        },
+        MechanismProfile {
+            mechanism: MechanismId::Csp,
+            ratings: ratings(&[
+                (RequestType, Direct),
+                (RequestTime, Direct),
+                (RequestParameters, Indirect),
+                (SyncState, Indirect),
+                (LocalState, Direct),
+                (History, Direct),
+            ]),
+            modularity: Modularity {
+                encapsulated: Support::Automatic,
+                separable: Support::No,
+            },
+            notes: vec![
+                "§6 future work evaluated with the same methodology: the resource is a \
+                 server process, clients hold no synchronization code"
+                    .into(),
+            ],
+        },
+    ]
+}
+
+/// Looks up the paper profile for one mechanism.
+pub fn paper_profile(mechanism: MechanismId) -> MechanismProfile {
+    paper_profiles()
+        .into_iter()
+        .find(|p| p.mechanism == mechanism)
+        .expect("profiles cover every mechanism")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_cover_all_mechanisms_and_info_types() {
+        let profiles = paper_profiles();
+        assert_eq!(profiles.len(), MechanismId::ALL.len());
+        for p in &profiles {
+            for info in InfoType::ALL {
+                assert!(
+                    p.ratings.contains_key(&info),
+                    "{} profile missing rating for {info}",
+                    p.mechanism
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directness_orders_best_to_worst() {
+        assert!(Directness::Direct < Directness::Indirect);
+        assert!(Directness::Indirect < Directness::Workaround);
+        assert!(Directness::Workaround < Directness::Inaccessible);
+    }
+
+    #[test]
+    fn serializer_dominates_monitor_on_sync_state() {
+        // The paper's headline §5.2 delta: crowds make sync state direct.
+        let m = paper_profile(MechanismId::Monitor);
+        let s = paper_profile(MechanismId::Serializer);
+        assert!(s.rating(InfoType::SyncState) < m.rating(InfoType::SyncState));
+    }
+
+    #[test]
+    fn path_v2_improves_on_v1_where_the_paper_says() {
+        let v1 = paper_profile(MechanismId::PathV1);
+        let v2 = paper_profile(MechanismId::PathV2);
+        assert!(v2.rating(InfoType::SyncState) < v1.rating(InfoType::SyncState));
+        assert!(v2.rating(InfoType::LocalState) < v1.rating(InfoType::LocalState));
+        assert_eq!(v2.rating(InfoType::RequestType), Directness::Direct);
+    }
+
+    #[test]
+    fn paths_have_no_direct_priority_information() {
+        let v1 = paper_profile(MechanismId::PathV1);
+        assert!(v1.rating(InfoType::RequestTime) > Directness::Direct);
+        assert_eq!(
+            v1.rating(InfoType::RequestParameters),
+            Directness::Workaround
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Plain-text table rendering for evaluation reports.
+//!
+//! The harness in `bloom-bench` regenerates the paper's qualitative
+//! findings as matrices; this module renders them as aligned ASCII tables
+//! so `EXPERIMENTS.md` and terminal output stay readable without extra
+//! dependencies.
+
+/// Renders an aligned table. `headers.len()` fixes the column count; every
+/// row must have the same arity.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), headers.len(), "row {i} has wrong arity");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push(' ');
+            line.push_str(cell);
+            line.extend(std::iter::repeat_n(' ', w - cell.chars().count()));
+            line.push_str(" |");
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let mut rule = String::from("|");
+    for w in &widths {
+        rule.push_str(&"-".repeat(w + 2));
+        rule.push('|');
+    }
+    rule.push('\n');
+    out.push_str(&rule);
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Renders a section heading followed by a body.
+pub fn section(title: &str, body: &str) -> String {
+    format!("## {title}\n\n{body}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align_to_widest_cell() {
+        let t = table(
+            &["mech", "rating"],
+            &[
+                vec!["monitor".to_string(), "direct".to_string()],
+                vec!["path-expr v1".to_string(), "workaround".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "ragged table:\n{t}");
+        assert!(lines[1].starts_with("|-"));
+        assert!(t.contains("| path-expr v1 | workaround |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn ragged_rows_are_rejected() {
+        table(&["a", "b"], &[vec!["only-one".to_string()]]);
+    }
+
+    #[test]
+    fn section_formats_heading() {
+        let s = section("Coverage", "body");
+        assert!(s.starts_with("## Coverage\n\nbody"));
+    }
+}

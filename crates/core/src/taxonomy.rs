@@ -1,0 +1,464 @@
+//! Bloom's categorization of synchronization problems (paper §3).
+//!
+//! Synchronization schemes are sets of *constraints*, each either an
+//! exclusion constraint (correctness: keep interfering processes out) or a
+//! priority constraint (efficiency/policy: who gets in first). Constraints
+//! differ in the *information* their conditions reference; the paper
+//! identifies six categories. This module encodes the taxonomy, the
+//! constraint/problem specification types, and the canonical catalog of
+//! test problems (the set used in the paper's footnote 2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The six categories of information a constraint's condition may use (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InfoType {
+    /// Which access operation was requested ("readers have priority over
+    /// writers" distinguishes requests by type).
+    RequestType,
+    /// When the request was made relative to other events (FCFS ordering).
+    RequestTime,
+    /// Arguments passed with the request (the disk scheduler orders by
+    /// requested track; the alarm clock by wake-up time).
+    RequestParameters,
+    /// State that exists only because the resource is shared: who is
+    /// currently inside, how many readers are active, and so on.
+    SyncState,
+    /// State meaningful to the unsynchronized resource itself, such as
+    /// whether a buffer is full.
+    LocalState,
+    /// Whether some operation has *completed* in the past (the one-slot
+    /// buffer admits a remove only after a deposit has happened).
+    History,
+}
+
+impl InfoType {
+    /// All six categories, in the paper's order.
+    pub const ALL: [InfoType; 6] = [
+        InfoType::RequestType,
+        InfoType::RequestTime,
+        InfoType::RequestParameters,
+        InfoType::SyncState,
+        InfoType::LocalState,
+        InfoType::History,
+    ];
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            InfoType::RequestType => "request type",
+            InfoType::RequestTime => "request time",
+            InfoType::RequestParameters => "parameters",
+            InfoType::SyncState => "sync state",
+            InfoType::LocalState => "local state",
+            InfoType::History => "history",
+        }
+    }
+}
+
+impl fmt::Display for InfoType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The two major constraint classes (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConstraintKind {
+    /// "if *condition* then exclude process A" — consistency.
+    Exclusion,
+    /// "if *condition* then A has priority over B" — scheduling policy.
+    Priority,
+}
+
+impl fmt::Display for ConstraintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConstraintKind::Exclusion => "exclusion",
+            ConstraintKind::Priority => "priority",
+        })
+    }
+}
+
+/// One synchronization constraint of a problem specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintSpec {
+    /// Stable identifier, shared across problems that share the constraint
+    /// (e.g. the readers/writers exclusion constraint appears by the same
+    /// name in all three readers/writers variants, which is what the
+    /// independence analysis of §4.2 compares).
+    pub name: String,
+    /// Exclusion or priority.
+    pub kind: ConstraintKind,
+    /// Information categories the constraint's condition references.
+    pub info: BTreeSet<InfoType>,
+    /// Prose statement of the constraint.
+    pub description: String,
+}
+
+impl ConstraintSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, kind: ConstraintKind, info: &[InfoType], description: &str) -> Self {
+        ConstraintSpec {
+            name: name.to_string(),
+            kind,
+            info: info.iter().copied().collect(),
+            description: description.to_string(),
+        }
+    }
+
+    /// The `(kind, info)` pairs this constraint exercises.
+    pub fn features(&self) -> BTreeSet<(ConstraintKind, InfoType)> {
+        self.info.iter().map(|&i| (self.kind, i)).collect()
+    }
+}
+
+/// Identifier of a canonical problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProblemId {
+    /// Producer/consumer over an N-slot buffer (local state).
+    BoundedBuffer,
+    /// First-come-first-served resource allocation (request time).
+    FcfsResource,
+    /// Courtois/Heymans/Parnas readers-priority database (request type +
+    /// sync state).
+    ReadersPriorityDb,
+    /// The writers-priority variant (same exclusion, flipped priority).
+    WritersPriorityDb,
+    /// FCFS readers/writers (same exclusion, request-time priority).
+    FcfsReadersWriters,
+    /// Hoare's disk-head (elevator) scheduler (request parameters).
+    DiskScheduler,
+    /// Hoare's alarm clock (request parameters + time).
+    AlarmClock,
+    /// Campbell/Habermann one-slot buffer (history).
+    OneSlotBuffer,
+}
+
+impl ProblemId {
+    /// All catalog problems, in presentation order.
+    pub const ALL: [ProblemId; 8] = [
+        ProblemId::BoundedBuffer,
+        ProblemId::FcfsResource,
+        ProblemId::ReadersPriorityDb,
+        ProblemId::WritersPriorityDb,
+        ProblemId::FcfsReadersWriters,
+        ProblemId::DiskScheduler,
+        ProblemId::AlarmClock,
+        ProblemId::OneSlotBuffer,
+    ];
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProblemId::BoundedBuffer => "bounded buffer",
+            ProblemId::FcfsResource => "FCFS resource",
+            ProblemId::ReadersPriorityDb => "readers-priority DB",
+            ProblemId::WritersPriorityDb => "writers-priority DB",
+            ProblemId::FcfsReadersWriters => "FCFS readers/writers",
+            ProblemId::DiskScheduler => "disk scheduler",
+            ProblemId::AlarmClock => "alarm clock",
+            ProblemId::OneSlotBuffer => "one-slot buffer",
+        }
+    }
+}
+
+impl fmt::Display for ProblemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A canonical problem: its constraints and what they exercise.
+#[derive(Debug, Clone)]
+pub struct ProblemSpec {
+    /// Which problem this is.
+    pub id: ProblemId,
+    /// The constraints composing its synchronization scheme.
+    pub constraints: Vec<ConstraintSpec>,
+    /// Prose statement of the problem.
+    pub description: String,
+}
+
+impl ProblemSpec {
+    /// Every `(kind, info)` feature exercised by this problem.
+    pub fn features(&self) -> BTreeSet<(ConstraintKind, InfoType)> {
+        self.constraints.iter().flat_map(|c| c.features()).collect()
+    }
+
+    /// Looks up a constraint by name.
+    pub fn constraint(&self, name: &str) -> Option<&ConstraintSpec> {
+        self.constraints.iter().find(|c| c.name == name)
+    }
+}
+
+/// The canonical problem catalog: footnote 2's six test cases plus the two
+/// readers/writers variants §5.1.2 uses for the independence analysis.
+pub fn catalog() -> Vec<ProblemSpec> {
+    use ConstraintKind::{Exclusion, Priority};
+    use InfoType::*;
+    vec![
+        ProblemSpec {
+            id: ProblemId::BoundedBuffer,
+            description: "Producers deposit into and consumers remove from an N-slot buffer; \
+                          deposits block when full, removes when empty."
+                .to_string(),
+            constraints: vec![
+                ConstraintSpec::new(
+                    "buffer-mutex",
+                    Exclusion,
+                    &[SyncState],
+                    "deposit and remove exclude each other while manipulating the buffer",
+                ),
+                ConstraintSpec::new(
+                    "not-full",
+                    Exclusion,
+                    &[LocalState],
+                    "exclude deposit while the buffer is full",
+                ),
+                ConstraintSpec::new(
+                    "not-empty",
+                    Exclusion,
+                    &[LocalState],
+                    "exclude remove while the buffer is empty",
+                ),
+            ],
+        },
+        ProblemSpec {
+            id: ProblemId::FcfsResource,
+            description: "A single resource granted in strict request order.".to_string(),
+            constraints: vec![
+                ConstraintSpec::new(
+                    "resource-mutex",
+                    Exclusion,
+                    &[SyncState],
+                    "one holder at a time",
+                ),
+                ConstraintSpec::new(
+                    "fcfs-order",
+                    Priority,
+                    &[RequestTime],
+                    "requests are served first-come-first-served",
+                ),
+            ],
+        },
+        ProblemSpec {
+            id: ProblemId::ReadersPriorityDb,
+            description: "Readers share, writers exclude; waiting readers beat waiting writers \
+                          (writers may starve) — Courtois et al. problem 1."
+                .to_string(),
+            constraints: vec![
+                ConstraintSpec::new(
+                    "rw-exclusion",
+                    Exclusion,
+                    &[RequestType, SyncState],
+                    "a writer excludes everyone; readers exclude only writers",
+                ),
+                ConstraintSpec::new(
+                    "readers-priority",
+                    Priority,
+                    &[RequestType],
+                    "no reader waits unless a writer has already been granted access",
+                ),
+            ],
+        },
+        ProblemSpec {
+            id: ProblemId::WritersPriorityDb,
+            description: "Same exclusion; a waiting writer beats waiting readers (readers may \
+                          starve) — Courtois et al. problem 2."
+                .to_string(),
+            constraints: vec![
+                ConstraintSpec::new(
+                    "rw-exclusion",
+                    Exclusion,
+                    &[RequestType, SyncState],
+                    "a writer excludes everyone; readers exclude only writers",
+                ),
+                ConstraintSpec::new(
+                    "writers-priority",
+                    Priority,
+                    &[RequestType],
+                    "no writer waits longer than necessary: new readers are held while a \
+                     writer waits",
+                ),
+            ],
+        },
+        ProblemSpec {
+            id: ProblemId::FcfsReadersWriters,
+            description: "Same exclusion; requests (of both types) are honored in arrival \
+                          order — the variant Bloom uses to test constraint independence \
+                          against a different priority information type."
+                .to_string(),
+            constraints: vec![
+                ConstraintSpec::new(
+                    "rw-exclusion",
+                    Exclusion,
+                    &[RequestType, SyncState],
+                    "a writer excludes everyone; readers exclude only writers",
+                ),
+                ConstraintSpec::new(
+                    "fcfs-order",
+                    Priority,
+                    &[RequestTime],
+                    "access is granted in request order (readers may still share)",
+                ),
+            ],
+        },
+        ProblemSpec {
+            id: ProblemId::DiskScheduler,
+            description: "Hoare's disk-head scheduler: pending seeks are served in elevator \
+                          (SCAN) order by requested track."
+                .to_string(),
+            constraints: vec![
+                ConstraintSpec::new(
+                    "head-mutex",
+                    Exclusion,
+                    &[SyncState],
+                    "one seek is serviced at a time",
+                ),
+                ConstraintSpec::new(
+                    "elevator-order",
+                    Priority,
+                    &[RequestParameters],
+                    "among pending requests, continue in the current direction of head \
+                     movement, nearest track first",
+                ),
+            ],
+        },
+        ProblemSpec {
+            id: ProblemId::AlarmClock,
+            description: "Hoare's alarm clock: processes sleep until a requested wake-up time; \
+                          ticks advance the clock."
+                .to_string(),
+            constraints: vec![
+                ConstraintSpec::new(
+                    "alarm-wakeup",
+                    Exclusion,
+                    &[RequestParameters],
+                    "exclude a sleeper from proceeding until the clock reaches its requested \
+                     wake-up time",
+                ),
+                ConstraintSpec::new(
+                    "earliest-first",
+                    Priority,
+                    &[RequestParameters],
+                    "wake the earliest deadline first",
+                ),
+            ],
+        },
+        ProblemSpec {
+            id: ProblemId::OneSlotBuffer,
+            description: "Campbell/Habermann one-slot buffer: deposit and remove strictly \
+                          alternate, starting with deposit."
+                .to_string(),
+            constraints: vec![ConstraintSpec::new(
+                "alternation",
+                Exclusion,
+                &[History],
+                "a remove is admitted only after an unconsumed deposit has completed, and \
+                 vice versa",
+            )],
+        },
+    ]
+}
+
+/// Looks up one problem's spec in the catalog.
+pub fn spec(id: ProblemId) -> ProblemSpec {
+    catalog()
+        .into_iter()
+        .find(|p| p.id == id)
+        .expect("catalog covers every ProblemId")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_every_id() {
+        let cat = catalog();
+        assert_eq!(cat.len(), ProblemId::ALL.len());
+        for id in ProblemId::ALL {
+            assert!(cat.iter().any(|p| p.id == id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn catalog_covers_all_info_types() {
+        let mut covered = BTreeSet::new();
+        for p in catalog() {
+            for c in &p.constraints {
+                covered.extend(c.info.iter().copied());
+            }
+        }
+        for info in InfoType::ALL {
+            assert!(covered.contains(&info), "no problem exercises {info}");
+        }
+    }
+
+    #[test]
+    fn footnote2_mapping_matches_paper() {
+        // "the bounded buffer problem to represent use of local state
+        // information" …
+        assert!(spec(ProblemId::BoundedBuffer)
+            .features()
+            .contains(&(ConstraintKind::Exclusion, InfoType::LocalState)));
+        // "… a first come first serve scheme for request time …"
+        assert!(spec(ProblemId::FcfsResource)
+            .features()
+            .contains(&(ConstraintKind::Priority, InfoType::RequestTime)));
+        // "… a readers_priority database for request type and
+        // synchronization state …"
+        let rp = spec(ProblemId::ReadersPriorityDb).features();
+        assert!(rp.contains(&(ConstraintKind::Exclusion, InfoType::RequestType)));
+        assert!(rp.contains(&(ConstraintKind::Exclusion, InfoType::SyncState)));
+        // "… the disk scheduler problem and alarmclock problem to make use
+        // of parameters passed …"
+        assert!(spec(ProblemId::DiskScheduler)
+            .features()
+            .contains(&(ConstraintKind::Priority, InfoType::RequestParameters)));
+        assert!(spec(ProblemId::AlarmClock)
+            .features()
+            .contains(&(ConstraintKind::Exclusion, InfoType::RequestParameters)));
+        // "… and the one-slot buffer for history information."
+        assert!(spec(ProblemId::OneSlotBuffer)
+            .features()
+            .contains(&(ConstraintKind::Exclusion, InfoType::History)));
+    }
+
+    #[test]
+    fn rw_variants_share_the_exclusion_constraint() {
+        let a = spec(ProblemId::ReadersPriorityDb);
+        let b = spec(ProblemId::WritersPriorityDb);
+        let c = spec(ProblemId::FcfsReadersWriters);
+        assert_eq!(
+            a.constraint("rw-exclusion").unwrap(),
+            b.constraint("rw-exclusion").unwrap()
+        );
+        assert_eq!(
+            a.constraint("rw-exclusion").unwrap(),
+            c.constraint("rw-exclusion").unwrap()
+        );
+        assert_ne!(
+            a.constraint("readers-priority").map(|c| &c.name),
+            b.constraint("writers-priority").map(|c| &c.name)
+        );
+    }
+
+    #[test]
+    fn priority_variants_use_expected_info() {
+        let rp = spec(ProblemId::ReadersPriorityDb);
+        let fc = spec(ProblemId::FcfsReadersWriters);
+        assert!(rp
+            .constraint("readers-priority")
+            .unwrap()
+            .info
+            .contains(&InfoType::RequestType));
+        assert!(fc
+            .constraint("fcfs-order")
+            .unwrap()
+            .info
+            .contains(&InfoType::RequestTime));
+    }
+}

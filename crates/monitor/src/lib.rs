@@ -1,0 +1,851 @@
+#![forbid(unsafe_code)]
+//! Hoare monitors over the `bloom-sim` deterministic simulator.
+//!
+//! This crate reproduces the monitor construct of Hoare's "Monitors: An
+//! Operating System Structuring Concept" (CACM 1974), which is one of the
+//! three mechanisms Bloom's paper evaluates (§5.2). A [`Monitor`] couples:
+//!
+//! * **mutual exclusion** — at most one process executes *inside* the
+//!   monitor at a time (possession);
+//! * **condition variables** ([`Cond`]) — queues a process can `wait` on
+//!   while automatically releasing possession, and `signal` to resume a
+//!   waiter;
+//! * an **urgent queue** — under Hoare semantics a signaller steps aside
+//!   for the signalled process and is resumed *before* any process waiting
+//!   to enter;
+//! * **priority (conditional) wait** — `wait_priority(cond, p)` wakes
+//!   lowest-`p` first (Hoare's disk-head scheduler uses this to order
+//!   requests by track number — *request parameter* information in Bloom's
+//!   taxonomy);
+//! * **queue interrogation** — `Cond::is_empty`/`len`/`min_priority` expose
+//!   whether anyone waits (Bloom's *synchronization state* information).
+//!
+//! Two signalling disciplines are provided, selected at construction:
+//!
+//! * [`Signaling::Hoare`] — signal-and-wait: possession passes directly to
+//!   the signalled process, so the condition it was signalled about is
+//!   *guaranteed* to hold when it resumes. The signaller parks on the
+//!   urgent queue.
+//! * [`Signaling::SignalAndContinue`] — Mesa semantics: the signaller keeps
+//!   possession; the signalled process re-contends for entry and must
+//!   re-check its condition in a loop (a barger may have invalidated it).
+//!
+//! Bloom's §5.2 findings reproduced by this crate's tests and the
+//! `bloom-problems` solutions:
+//!
+//! * monitor queues handle *request type* (one queue per type) and
+//!   *request time* (FIFO within a queue) but the two **conflict** when a
+//!   problem needs both, forcing the two-stage queuing idiom;
+//! * the explicit signal forces the implementor to decide a total wake
+//!   order, so exclusion constraints cannot be written without priority
+//!   constraints;
+//! * nested monitor calls deadlock (Lister's problem), while the
+//!   shared-resource structuring of §2 avoids it.
+//!
+//! # Example: a one-slot buffer
+//!
+//! ```
+//! use bloom_monitor::{Cond, Monitor};
+//! use bloom_sim::Sim;
+//! use std::sync::Arc;
+//!
+//! struct Slot { full: bool, value: i64 }
+//!
+//! let mut sim = Sim::new();
+//! let m = Arc::new(Monitor::hoare("slot", Slot { full: false, value: 0 }));
+//! let not_full = Arc::new(Cond::new("not_full"));
+//! let not_empty = Arc::new(Cond::new("not_empty"));
+//!
+//! let (m2, nf, ne) = (Arc::clone(&m), Arc::clone(&not_full), Arc::clone(&not_empty));
+//! sim.spawn("producer", move |ctx| {
+//!     m2.enter(ctx, |mc| {
+//!         while mc.state(|s| s.full) {
+//!             mc.wait(&nf);
+//!         }
+//!         mc.state(|s| { s.full = true; s.value = 42; });
+//!         mc.signal(&ne);
+//!     });
+//! });
+//! let (m3, nf, ne) = (Arc::clone(&m), Arc::clone(&not_full), Arc::clone(&not_empty));
+//! sim.spawn("consumer", move |ctx| {
+//!     let got = m3.enter(ctx, |mc| {
+//!         while !mc.state(|s| s.full) {
+//!             mc.wait(&ne);
+//!         }
+//!         mc.state(|s| { s.full = false; s.value })
+//!     });
+//!     assert_eq!(got, 42);
+//!     m3.enter(ctx, |mc| mc.signal(&nf));
+//! });
+//! sim.run().unwrap();
+//! ```
+
+use bloom_sim::{Ctx, WaitQueue};
+use parking_lot::Mutex;
+
+/// Signal discipline of a [`Monitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signaling {
+    /// Hoare's signal-and-wait: possession is handed to the signalled
+    /// process immediately; the signaller parks on the urgent queue and is
+    /// resumed with priority over new entrants. The signalled process may
+    /// assume its condition holds.
+    Hoare,
+    /// Mesa-style signal-and-continue: the signaller keeps possession; the
+    /// signalled process is moved to the entry competition and must
+    /// re-check its condition on resumption.
+    SignalAndContinue,
+    /// Howard's signal-and-exit (SR): the signal takes effect when the
+    /// signaller *leaves* the monitor, handing possession directly to the
+    /// signalled process — the signaller never re-enters, so no urgent
+    /// queue is needed and, like Hoare semantics, the signalled condition
+    /// is guaranteed to hold on resumption.
+    SignalAndExit,
+}
+
+/// A condition variable.
+///
+/// Conditions are free-standing objects used *with* a monitor's
+/// [`MonitorCtx`]; creating one per logical predicate ("not full",
+/// "not empty") matches Hoare's usage. The interrogation methods implement
+/// Hoare's `queue`/`minrank` operations.
+#[derive(Debug)]
+pub struct Cond {
+    queue: WaitQueue,
+}
+
+impl Cond {
+    /// Creates a condition with a diagnostic name.
+    pub fn new(name: &str) -> Self {
+        Cond {
+            queue: WaitQueue::new(name),
+        }
+    }
+
+    /// Number of processes waiting on this condition.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no process waits on this condition (Hoare's `¬queue`).
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Priority of the frontmost waiter (Hoare's `minrank`), if any.
+    pub fn min_priority(&self) -> Option<i64> {
+        self.queue.min_priority()
+    }
+
+    /// The condition's diagnostic name.
+    pub fn name(&self) -> &str {
+        self.queue.name()
+    }
+}
+
+/// A monitor protecting state `S`.
+///
+/// All access to `S` happens inside [`Monitor::enter`], via
+/// [`MonitorCtx::state`]; possession (the implicit monitor lock) is held
+/// for the duration of the `enter` body except while waiting on a
+/// condition.
+#[derive(Debug)]
+pub struct Monitor<S> {
+    name: String,
+    signaling: Signaling,
+    /// Whether some process currently has possession.
+    busy: Mutex<bool>,
+    entry: WaitQueue,
+    urgent: WaitQueue,
+    /// Signal-and-exit only: the process the next release hands off to.
+    pending_handoff: Mutex<Option<bloom_sim::Pid>>,
+    state: Mutex<S>,
+}
+
+impl<S: Send> Monitor<S> {
+    /// Creates a monitor with the given signal discipline.
+    pub fn new(name: &str, signaling: Signaling, initial: S) -> Self {
+        Monitor {
+            name: name.to_string(),
+            signaling,
+            busy: Mutex::new(false),
+            entry: WaitQueue::new(&format!("{name}.entry")),
+            urgent: WaitQueue::new(&format!("{name}.urgent")),
+            pending_handoff: Mutex::new(None),
+            state: Mutex::new(initial),
+        }
+    }
+
+    /// Creates a monitor with Hoare signal-and-wait semantics.
+    pub fn hoare(name: &str, initial: S) -> Self {
+        Monitor::new(name, Signaling::Hoare, initial)
+    }
+
+    /// Creates a monitor with Mesa signal-and-continue semantics.
+    pub fn mesa(name: &str, initial: S) -> Self {
+        Monitor::new(name, Signaling::SignalAndContinue, initial)
+    }
+
+    /// Creates a monitor with Howard signal-and-exit semantics.
+    pub fn signal_and_exit(name: &str, initial: S) -> Self {
+        Monitor::new(name, Signaling::SignalAndExit, initial)
+    }
+
+    /// The monitor's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configured signal discipline.
+    pub fn signaling(&self) -> Signaling {
+        self.signaling
+    }
+
+    /// Runs `body` with possession of the monitor.
+    ///
+    /// Entry blocks while another process has possession. The body receives
+    /// a [`MonitorCtx`] through which it accesses the protected state and
+    /// the condition operations.
+    pub fn enter<R>(&self, ctx: &Ctx, body: impl FnOnce(&MonitorCtx<'_, S>) -> R) -> R {
+        self.acquire(ctx);
+        let mc = MonitorCtx { monitor: self, ctx };
+        let r = body(&mc);
+        self.release(ctx);
+        r
+    }
+
+    fn acquire(&self, ctx: &Ctx) {
+        let got = {
+            let mut busy = self.busy.lock();
+            if *busy {
+                false
+            } else {
+                *busy = true;
+                true
+            }
+        };
+        if !got {
+            // Possession is handed to us directly when we are woken; the
+            // busy flag stays true across the hand-off.
+            self.entry.wait(ctx);
+        }
+    }
+
+    fn release(&self, ctx: &Ctx) {
+        // Signal-and-exit: a deferred signal takes effect now, handing
+        // possession straight to the signalled process.
+        if let Some(pid) = self.pending_handoff.lock().take() {
+            ctx.unpark(pid);
+            return; // hand-off: busy stays true
+        }
+        // Hoare: the urgent queue (paused signallers) beats the entry queue.
+        if self.urgent.wake_one(ctx).is_some() {
+            return; // hand-off: busy stays true
+        }
+        if self.entry.wake_one(ctx).is_some() {
+            return; // hand-off: busy stays true
+        }
+        *self.busy.lock() = false;
+    }
+}
+
+/// Capability to use a monitor from inside [`Monitor::enter`].
+#[derive(Debug)]
+pub struct MonitorCtx<'a, S> {
+    monitor: &'a Monitor<S>,
+    ctx: &'a Ctx,
+}
+
+impl<S: Send> MonitorCtx<'_, S> {
+    /// Accesses the protected state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on re-entrant use (calling `state` inside another `state`
+    /// closure, or waiting inside one), which would otherwise deadlock.
+    pub fn state<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        let mut guard = self
+            .monitor
+            .state
+            .try_lock()
+            .expect("monitor state re-entered: do not nest state()/wait() calls");
+        f(&mut guard)
+    }
+
+    /// The simulator context of the process inside the monitor.
+    pub fn ctx(&self) -> &Ctx {
+        self.ctx
+    }
+
+    /// Waits on `cond`, releasing possession until signalled.
+    pub fn wait(&self, cond: &Cond) {
+        self.wait_priority(cond, 0);
+    }
+
+    /// Hoare's conditional wait: waiters are signalled in increasing
+    /// `priority` order (FIFO among equals).
+    pub fn wait_priority(&self, cond: &Cond, priority: i64) {
+        // Enqueue, release possession, park: atomic under the cooperative
+        // invariant.
+        cond.queue.enqueue_current(self.ctx, priority);
+        self.monitor.release(self.ctx);
+        self.ctx.park(cond.queue.name());
+        if self.monitor.signaling == Signaling::SignalAndContinue {
+            // Mesa: we were only made runnable; re-contend for possession.
+            self.monitor.acquire(self.ctx);
+        }
+        // Hoare: possession was handed to us by the signaller.
+    }
+
+    /// Signals `cond`: resumes its frontmost waiter, if any.
+    ///
+    /// Under Hoare semantics possession passes to the signalled process and
+    /// the signaller parks on the urgent queue; under Mesa semantics the
+    /// signalled process simply becomes runnable and will re-enter later.
+    /// Signalling an empty condition is a no-op in both disciplines.
+    pub fn signal(&self, cond: &Cond) {
+        match self.monitor.signaling {
+            Signaling::Hoare => {
+                if cond.queue.is_empty() {
+                    return;
+                }
+                // Step aside for the signalled process: enqueue ourselves
+                // urgent, wake it (hand-off), park.
+                self.monitor.urgent.enqueue_current(self.ctx, 0);
+                cond.queue
+                    .wake_one(self.ctx)
+                    .expect("non-empty condition must yield a waiter");
+                self.ctx.park(self.monitor.urgent.name());
+                // Resumed: possession handed back to us.
+            }
+            Signaling::SignalAndContinue => {
+                cond.queue.wake_one(self.ctx);
+            }
+            Signaling::SignalAndExit => {
+                if cond.queue.is_empty() {
+                    return;
+                }
+                // Defer the hand-off to the moment we leave the monitor:
+                // take the waiter off the condition but leave it parked.
+                let pid = cond.queue.take_front().expect("non-empty condition");
+                let mut pending = self.monitor.pending_handoff.lock();
+                assert!(
+                    pending.is_none(),
+                    "signal-and-exit permits one effective signal per monitor entry"
+                );
+                *pending = Some(pid);
+            }
+        }
+    }
+
+    /// Wakes every waiter on `cond` (broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`Signaling::Hoare`]: broadcast is meaningless when
+    /// possession is handed to exactly one signalled process.
+    pub fn signal_all(&self, cond: &Cond) {
+        assert!(
+            self.monitor.signaling == Signaling::SignalAndContinue,
+            "signal_all requires signal-and-continue semantics"
+        );
+        cond.queue.wake_all(self.ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bloom_sim::{RandomPolicy, Sim};
+    use std::sync::Arc;
+
+    #[test]
+    fn enter_bodies_are_mutually_exclusive() {
+        for signaling in [Signaling::Hoare, Signaling::SignalAndContinue] {
+            let mut sim = Sim::new();
+            let m = Arc::new(Monitor::new("m", signaling, (0u32, 0u32)));
+            for i in 0..5 {
+                let m = Arc::clone(&m);
+                sim.spawn(&format!("w{i}"), move |ctx| {
+                    for _ in 0..3 {
+                        m.enter(ctx, |mc| {
+                            mc.state(|s| {
+                                s.0 += 1;
+                                s.1 = s.1.max(s.0);
+                            });
+                            // Possession is held across scheduling points.
+                            mc.ctx().yield_now();
+                            mc.state(|s| s.0 -= 1);
+                        });
+                        ctx.yield_now();
+                    }
+                });
+            }
+            // Occupancy may only ever be 1: the yield inside the body would
+            // expose any exclusion failure.
+            let m2 = Arc::clone(&m);
+            sim.run().unwrap();
+            assert_eq!(m2.state.lock().1, 1, "{signaling:?}: exclusion violated");
+        }
+    }
+
+    /// Hoare signal hands possession straight to the signalled process: it
+    /// runs before the signaller's post-signal code.
+    #[test]
+    fn hoare_signal_passes_possession_immediately() {
+        let mut sim = Sim::new();
+        let m = Arc::new(Monitor::hoare("m", false));
+        let c = Arc::new(Cond::new("c"));
+        let order = Arc::new(Mutex::new(Vec::new()));
+
+        let (m1, c1, o1) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&order));
+        sim.spawn("waiter", move |ctx| {
+            m1.enter(ctx, |mc| {
+                if !mc.state(|s| *s) {
+                    mc.wait(&c1);
+                }
+                // Hoare guarantee: no re-check loop needed.
+                assert!(mc.state(|s| *s), "condition must hold at wake (Hoare)");
+                o1.lock().push("waiter-resumed");
+            });
+        });
+        let (m2, c2, o2) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&order));
+        sim.spawn("signaller", move |ctx| {
+            ctx.yield_now(); // let the waiter park
+            m2.enter(ctx, |mc| {
+                mc.state(|s| *s = true);
+                o2.lock().push("pre-signal");
+                mc.signal(&c2);
+                o2.lock().push("post-signal");
+            });
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *order.lock(),
+            vec!["pre-signal", "waiter-resumed", "post-signal"],
+            "signalled process runs before the signaller continues"
+        );
+    }
+
+    /// Mesa signal-and-continue: the signaller finishes its body first.
+    #[test]
+    fn mesa_signaller_continues_before_waiter() {
+        let mut sim = Sim::new();
+        let m = Arc::new(Monitor::mesa("m", false));
+        let c = Arc::new(Cond::new("c"));
+        let order = Arc::new(Mutex::new(Vec::new()));
+
+        let (m1, c1, o1) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&order));
+        sim.spawn("waiter", move |ctx| {
+            m1.enter(ctx, |mc| {
+                while !mc.state(|s| *s) {
+                    mc.wait(&c1);
+                }
+                o1.lock().push("waiter-resumed");
+            });
+        });
+        let (m2, c2, o2) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&order));
+        sim.spawn("signaller", move |ctx| {
+            ctx.yield_now();
+            m2.enter(ctx, |mc| {
+                mc.state(|s| *s = true);
+                mc.signal(&c2);
+                o2.lock().push("post-signal");
+            });
+        });
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec!["post-signal", "waiter-resumed"]);
+    }
+
+    /// Under Mesa semantics a barger can invalidate the signalled
+    /// condition, so the while-loop re-check is *required*: the waiter
+    /// observes the condition false again and waits a second time.
+    #[test]
+    fn mesa_requires_recheck_after_barging() {
+        let mut sim = Sim::new();
+        let m = Arc::new(Monitor::mesa("m", 0i64)); // tokens available
+        let c = Arc::new(Cond::new("tokens"));
+        let waits = Arc::new(Mutex::new(0u32));
+
+        let (m1, c1, w1) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&waits));
+        sim.spawn("waiter", move |ctx| {
+            m1.enter(ctx, |mc| {
+                while mc.state(|s| *s) == 0 {
+                    *w1.lock() += 1;
+                    mc.wait(&c1);
+                }
+                mc.state(|s| *s -= 1);
+            });
+        });
+        let (m2, c2) = (Arc::clone(&m), Arc::clone(&c));
+        sim.spawn("producer", move |ctx| {
+            ctx.yield_now(); // waiter parks
+            m2.enter(ctx, |mc| {
+                mc.state(|s| *s += 1);
+                mc.signal(&c2);
+            });
+            // The waiter is runnable but has not re-entered yet.
+        });
+        let m3 = Arc::clone(&m);
+        sim.spawn("barger", move |ctx| {
+            ctx.yield_now();
+            // Runs after the producer released but, under FIFO, before the
+            // signalled waiter re-acquires: steals the token.
+            m3.enter(ctx, |mc| {
+                mc.state(|s| {
+                    if *s > 0 {
+                        *s -= 1;
+                    }
+                });
+            });
+        });
+        let (m4, c4) = (Arc::clone(&m), Arc::clone(&c));
+        sim.spawn("producer2", move |ctx| {
+            for _ in 0..6 {
+                ctx.yield_now();
+            }
+            m4.enter(ctx, |mc| {
+                mc.state(|s| *s += 1);
+                mc.signal(&c4);
+            });
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *waits.lock(),
+            2,
+            "waiter had to wait twice (barging stole the token)"
+        );
+        assert_eq!(
+            *m.state.lock(),
+            0,
+            "exactly the two produced tokens were consumed"
+        );
+    }
+
+    #[test]
+    fn signal_on_empty_condition_is_noop() {
+        for signaling in [Signaling::Hoare, Signaling::SignalAndContinue] {
+            let mut sim = Sim::new();
+            let m = Arc::new(Monitor::new("m", signaling, ()));
+            let c = Arc::new(Cond::new("c"));
+            let (m1, c1) = (Arc::clone(&m), Arc::clone(&c));
+            sim.spawn("solo", move |ctx| {
+                m1.enter(ctx, |mc| {
+                    mc.signal(&c1);
+                    mc.ctx().emit("survived", &[]);
+                });
+            });
+            let report = sim.run().unwrap();
+            assert_eq!(report.trace.count_user("survived"), 1);
+        }
+    }
+
+    #[test]
+    fn priority_wait_orders_wakeups_by_rank() {
+        let mut sim = Sim::new();
+        let m = Arc::new(Monitor::hoare("m", ()));
+        let c = Arc::new(Cond::new("ranked"));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (i, rank) in [(0, 30i64), (1, 10), (2, 20)] {
+            let (m, c, order) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&order));
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                m.enter(ctx, |mc| {
+                    mc.wait_priority(&c, rank);
+                    order.lock().push(rank);
+                });
+            });
+        }
+        let (m2, c2) = (Arc::clone(&m), Arc::clone(&c));
+        sim.spawn("drain", move |ctx| {
+            for _ in 0..4 {
+                ctx.yield_now();
+            }
+            assert_eq!(c2.min_priority(), Some(10));
+            for _ in 0..3 {
+                m2.enter(ctx, |mc| mc.signal(&c2));
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec![10, 20, 30]);
+    }
+
+    /// The urgent queue: a Hoare signaller resumes before processes waiting
+    /// on the entry queue.
+    #[test]
+    fn urgent_queue_beats_entry_queue() {
+        let mut sim = Sim::new();
+        let m = Arc::new(Monitor::hoare("m", ()));
+        let c = Arc::new(Cond::new("c"));
+        let order = Arc::new(Mutex::new(Vec::new()));
+
+        let (m1, c1, o1) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&order));
+        sim.spawn("waiter", move |ctx| {
+            m1.enter(ctx, |mc| {
+                mc.wait(&c1);
+                o1.lock().push("waiter");
+            });
+        });
+        let (m2, c2, o2) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&order));
+        sim.spawn("signaller", move |ctx| {
+            ctx.yield_now();
+            m2.enter(ctx, |mc| {
+                mc.signal(&c2);
+                o2.lock().push("signaller-resumed");
+            });
+        });
+        let (m3, o3) = (Arc::clone(&m), Arc::clone(&order));
+        sim.spawn("entrant", move |ctx| {
+            ctx.yield_now();
+            ctx.yield_now();
+            // Arrives while the signaller is inside: parks on entry.
+            m3.enter(ctx, |_| {
+                o3.lock().push("entrant");
+            });
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *order.lock(),
+            vec!["waiter", "signaller-resumed", "entrant"],
+            "urgent (signaller) resumes before the entry queue"
+        );
+    }
+
+    #[test]
+    fn signal_all_broadcasts_under_mesa() {
+        let mut sim = Sim::new();
+        let m = Arc::new(Monitor::mesa("m", true));
+        let c = Arc::new(Cond::new("gate"));
+        let through = Arc::new(Mutex::new(0));
+        for i in 0..4 {
+            let (m, c, t) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&through));
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                m.enter(ctx, |mc| {
+                    while mc.state(|closed| *closed) {
+                        mc.wait(&c);
+                    }
+                    *t.lock() += 1;
+                });
+            });
+        }
+        let (m2, c2) = (Arc::clone(&m), Arc::clone(&c));
+        sim.spawn("opener", move |ctx| {
+            for _ in 0..5 {
+                ctx.yield_now();
+            }
+            m2.enter(ctx, |mc| {
+                mc.state(|closed| *closed = false);
+                mc.signal_all(&c2);
+            });
+        });
+        sim.run().unwrap();
+        assert_eq!(*through.lock(), 4);
+    }
+
+    #[test]
+    fn signal_all_panics_under_hoare() {
+        let mut sim = Sim::new();
+        let m = Arc::new(Monitor::hoare("m", ()));
+        let c = Arc::new(Cond::new("c"));
+        sim.spawn("offender", move |ctx| {
+            m.enter(ctx, |mc| mc.signal_all(&c));
+        });
+        let err = sim.run().expect_err("must fail");
+        assert!(
+            err.to_string().contains("signal_and_continue")
+                || err.to_string().contains("signal-and-continue")
+        );
+    }
+
+    /// Howard's signal-and-exit: the signal takes effect at monitor exit,
+    /// the signalled process resumes with the condition guaranteed (like
+    /// Hoare), and the signaller never waits on an urgent queue.
+    #[test]
+    fn signal_and_exit_hands_off_at_release() {
+        let mut sim = Sim::new();
+        let m = Arc::new(Monitor::signal_and_exit("m", false));
+        let c = Arc::new(Cond::new("c"));
+        let order = Arc::new(Mutex::new(Vec::new()));
+
+        let (m1, c1, o1) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&order));
+        sim.spawn("waiter", move |ctx| {
+            m1.enter(ctx, |mc| {
+                if !mc.state(|s| *s) {
+                    mc.wait(&c1);
+                }
+                assert!(mc.state(|s| *s), "condition guaranteed at wake (SR)");
+                o1.lock().push("waiter-resumed");
+            });
+        });
+        let (m2, c2, o2) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&order));
+        sim.spawn("signaller", move |ctx| {
+            ctx.yield_now();
+            m2.enter(ctx, |mc| {
+                mc.state(|s| *s = true);
+                mc.signal(&c2);
+                // Unlike Hoare, the signaller keeps running: the hand-off
+                // happens only when this body returns.
+                o2.lock().push("post-signal-still-inside");
+            });
+            o2.lock().push("signaller-left");
+        });
+        sim.run().unwrap();
+        assert_eq!(
+            *order.lock(),
+            vec![
+                "post-signal-still-inside",
+                "signaller-left",
+                "waiter-resumed"
+            ],
+            "the signal takes effect at exit, not at the signal statement"
+        );
+    }
+
+    /// Signal-and-exit hand-off beats the entry queue, like the urgent
+    /// queue does under Hoare semantics.
+    #[test]
+    fn signal_and_exit_handoff_beats_entry_queue() {
+        let mut sim = Sim::new();
+        let m = Arc::new(Monitor::signal_and_exit("m", ()));
+        let c = Arc::new(Cond::new("c"));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (m1, c1, o1) = (Arc::clone(&m), Arc::clone(&c), Arc::clone(&order));
+        sim.spawn("waiter", move |ctx| {
+            m1.enter(ctx, |mc| {
+                mc.wait(&c1);
+                o1.lock().push("waiter");
+            });
+        });
+        let (m2, c2) = (Arc::clone(&m), Arc::clone(&c));
+        sim.spawn("signaller", move |ctx| {
+            ctx.yield_now();
+            m2.enter(ctx, |mc| mc.signal(&c2));
+        });
+        let (m3, o3) = (Arc::clone(&m), Arc::clone(&order));
+        sim.spawn("entrant", move |ctx| {
+            ctx.yield_now();
+            ctx.yield_now();
+            m3.enter(ctx, |_| o3.lock().push("entrant"));
+        });
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec!["waiter", "entrant"]);
+    }
+
+    #[test]
+    fn signal_and_exit_rejects_two_signals_per_entry() {
+        let mut sim = Sim::new();
+        let m = Arc::new(Monitor::signal_and_exit("m", ()));
+        let c = Arc::new(Cond::new("c"));
+        for i in 0..2 {
+            let (m, c) = (Arc::clone(&m), Arc::clone(&c));
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                m.enter(ctx, |mc| mc.wait(&c));
+            });
+        }
+        let (m2, c2) = (Arc::clone(&m), Arc::clone(&c));
+        sim.spawn("offender", move |ctx| {
+            for _ in 0..3 {
+                ctx.yield_now();
+            }
+            m2.enter(ctx, |mc| {
+                mc.signal(&c2);
+                mc.signal(&c2); // second effective signal: error
+            });
+        });
+        let err = sim.run().expect_err("double signal must fail");
+        assert!(err.to_string().contains("one effective signal"));
+    }
+
+    /// Lister's nested monitor call problem (paper §5.2, [12]/[18]): waiting
+    /// inside an inner monitor while holding an outer one deadlocks, because
+    /// the outer monitor is not released.
+    #[test]
+    fn nested_monitor_call_deadlocks() {
+        let mut sim = Sim::new();
+        let outer = Arc::new(Monitor::hoare("outer", ()));
+        let inner = Arc::new(Monitor::hoare("inner", false));
+        let c = Arc::new(Cond::new("inner-cond"));
+
+        let (o1, i1, c1) = (Arc::clone(&outer), Arc::clone(&inner), Arc::clone(&c));
+        sim.spawn("nester", move |ctx| {
+            o1.enter(ctx, |_| {
+                i1.enter(ctx, |imc| {
+                    while !imc.state(|s| *s) {
+                        imc.wait(&c1); // releases inner, but NOT outer
+                    }
+                });
+            });
+        });
+        let (o2, i2, c2) = (Arc::clone(&outer), Arc::clone(&inner), Arc::clone(&c));
+        sim.spawn("helper", move |ctx| {
+            ctx.yield_now();
+            // Must pass through the outer monitor to reach the inner one,
+            // exactly as in the hierarchically structured resource case.
+            o2.enter(ctx, |_| {
+                i2.enter(ctx, |imc| {
+                    imc.state(|s| *s = true);
+                    imc.signal(&c2);
+                });
+            });
+        });
+        let err = sim.run().expect_err("nested monitor call must deadlock");
+        assert!(err.is_deadlock());
+    }
+
+    #[test]
+    fn conditions_hold_under_random_schedules() {
+        // Bounded-counter producer/consumer, 10 random seeds: the counter
+        // never exceeds the bound or goes negative.
+        for seed in 0..10 {
+            let mut sim = Sim::new();
+            sim.set_policy(RandomPolicy::new(seed));
+            let m = Arc::new(Monitor::hoare("m", 0i64));
+            let not_full = Arc::new(Cond::new("nf"));
+            let not_empty = Arc::new(Cond::new("ne"));
+            const BOUND: i64 = 3;
+            for p in 0..2 {
+                let (m, nf, ne) = (
+                    Arc::clone(&m),
+                    Arc::clone(&not_full),
+                    Arc::clone(&not_empty),
+                );
+                sim.spawn(&format!("prod{p}"), move |ctx| {
+                    for _ in 0..10 {
+                        m.enter(ctx, |mc| {
+                            while mc.state(|n| *n) >= BOUND {
+                                mc.wait(&nf);
+                            }
+                            mc.state(|n| {
+                                *n += 1;
+                                assert!(*n <= BOUND);
+                            });
+                            mc.signal(&ne);
+                        });
+                    }
+                });
+            }
+            for c in 0..2 {
+                let (m, nf, ne) = (
+                    Arc::clone(&m),
+                    Arc::clone(&not_full),
+                    Arc::clone(&not_empty),
+                );
+                sim.spawn(&format!("cons{c}"), move |ctx| {
+                    for _ in 0..10 {
+                        m.enter(ctx, |mc| {
+                            while mc.state(|n| *n) == 0 {
+                                mc.wait(&ne);
+                            }
+                            mc.state(|n| {
+                                *n -= 1;
+                                assert!(*n >= 0);
+                            });
+                            mc.signal(&nf);
+                        });
+                    }
+                });
+            }
+            sim.run().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(*m.state.lock(), 0);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of monitor invariants across signal disciplines.
+
+use bloom_monitor::{Cond, Monitor, Signaling};
+use bloom_sim::{RandomPolicy, Sim, SimConfig};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn disciplines() -> impl Strategy<Value = Signaling> {
+    prop_oneof![
+        Just(Signaling::Hoare),
+        Just(Signaling::SignalAndContinue),
+        Just(Signaling::SignalAndExit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// A bounded counter guarded by a monitor stays within bounds and
+    /// conserves all increments/decrements, for every signal discipline,
+    /// shape and schedule.
+    #[test]
+    fn bounded_counter_invariant(
+        signaling in disciplines(),
+        bound in 1i64..5,
+        pairs in 1usize..4,
+        ops in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::with_config(SimConfig {
+            max_steps: 300_000,
+            record_sched_events: false,
+        });
+        sim.set_policy(RandomPolicy::new(seed));
+        let m = Arc::new(Monitor::new("m", signaling, 0i64));
+        let not_full = Arc::new(Cond::new("nf"));
+        let not_empty = Arc::new(Cond::new("ne"));
+        let violated = Arc::new(Mutex::new(false));
+        for p in 0..pairs {
+            let (mp, nf, ne, bad) = (
+                Arc::clone(&m),
+                Arc::clone(&not_full),
+                Arc::clone(&not_empty),
+                Arc::clone(&violated),
+            );
+            sim.spawn(&format!("prod{p}"), move |ctx| {
+                for _ in 0..ops {
+                    mp.enter(ctx, |mc| {
+                        while mc.state(|n| *n) >= bound {
+                            mc.wait(&nf);
+                        }
+                        mc.state(|n| {
+                            *n += 1;
+                            if *n > bound {
+                                *bad.lock() = true;
+                            }
+                        });
+                        mc.signal(&ne);
+                    });
+                }
+            });
+            let (mc2, nf, ne, bad) = (
+                Arc::clone(&m),
+                Arc::clone(&not_full),
+                Arc::clone(&not_empty),
+                Arc::clone(&violated),
+            );
+            sim.spawn(&format!("cons{p}"), move |ctx| {
+                for _ in 0..ops {
+                    mc2.enter(ctx, |mc| {
+                        while mc.state(|n| *n) == 0 {
+                            mc.wait(&ne);
+                        }
+                        mc.state(|n| {
+                            *n -= 1;
+                            if *n < 0 {
+                                *bad.lock() = true;
+                            }
+                        });
+                        mc.signal(&nf);
+                    });
+                }
+            });
+        }
+        sim.run().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(!*violated.lock());
+    }
+
+    /// Monitor bodies are mutually exclusive under every discipline.
+    #[test]
+    fn possession_is_exclusive(
+        signaling in disciplines(),
+        procs in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new();
+        sim.set_policy(RandomPolicy::new(seed));
+        let m = Arc::new(Monitor::new("m", signaling, ()));
+        let occupancy = Arc::new(Mutex::new((0u32, 0u32)));
+        for i in 0..procs {
+            let m = Arc::clone(&m);
+            let occupancy = Arc::clone(&occupancy);
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                for _ in 0..3 {
+                    m.enter(ctx, |mc| {
+                        {
+                            let mut o = occupancy.lock();
+                            o.0 += 1;
+                            o.1 = o.1.max(o.0);
+                        }
+                        mc.ctx().yield_now();
+                        occupancy.lock().0 -= 1;
+                    });
+                }
+            });
+        }
+        sim.run().unwrap();
+        prop_assert_eq!(occupancy.lock().1, 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Abstract syntax of path expressions.
+//!
+//! The grammar follows Campbell & Habermann 1974 as used in Bloom's paper:
+//! sequencing `;`, selection `,`, concurrent repetition (burst) `{ e }`,
+//! and the implicit cyclic repetition of `path … end`. Selection binds
+//! tighter than sequencing, which is why Figure 1 of the paper needs
+//! parentheses in `path { read } , (openwrite ; write) end`.
+//!
+//! As an extension (the *numeric operator* Bloom reports was added in the
+//! second version of the mechanism [Flon & Habermann 1976]), the grammar
+//! also accepts `n : ( e )` — a counted burst admitting at most `n`
+//! concurrent executions of `e`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A node of a path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathExpr {
+    /// A named operation on the resource.
+    Op(String),
+    /// `e1 ; e2 ; …` — the elements execute in order within one cycle.
+    Seq(Vec<PathExpr>),
+    /// `e1 , e2 , …` — exactly one alternative executes per activation.
+    Sel(Vec<PathExpr>),
+    /// `{ e }` — a *burst*: any number of concurrent executions of `e`;
+    /// the group occupies the enclosing position from the first entry to
+    /// the last exit (first-in/last-out).
+    Burst(Box<PathExpr>),
+    /// `n : ( e )` — a counted burst admitting at most `n` concurrent
+    /// executions (version-2 numeric operator).
+    Bounded(u32, Box<PathExpr>),
+}
+
+impl PathExpr {
+    /// Collects every operation name mentioned, in sorted order.
+    pub fn alphabet(&self) -> BTreeSet<String> {
+        let mut set = BTreeSet::new();
+        self.collect_ops(&mut set);
+        set
+    }
+
+    fn collect_ops(&self, set: &mut BTreeSet<String>) {
+        match self {
+            PathExpr::Op(name) => {
+                set.insert(name.clone());
+            }
+            PathExpr::Seq(items) | PathExpr::Sel(items) => {
+                for item in items {
+                    item.collect_ops(set);
+                }
+            }
+            PathExpr::Burst(inner) | PathExpr::Bounded(_, inner) => inner.collect_ops(set),
+        }
+    }
+
+    /// Whether the expression uses the version-2 numeric operator.
+    pub fn uses_numeric(&self) -> bool {
+        match self {
+            PathExpr::Op(_) => false,
+            PathExpr::Seq(items) | PathExpr::Sel(items) => items.iter().any(Self::uses_numeric),
+            PathExpr::Burst(inner) => inner.uses_numeric(),
+            PathExpr::Bounded(..) => true,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, parent_is_sel: bool) -> fmt::Result {
+        match self {
+            PathExpr::Op(name) => write!(f, "{name}"),
+            PathExpr::Seq(items) => {
+                // Sequencing is weaker than selection: parenthesize when a
+                // sequence appears where a selection operand is expected.
+                if parent_is_sel {
+                    write!(f, "(")?;
+                }
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ; ")?;
+                    }
+                    item.fmt_prec(f, false)?;
+                }
+                if parent_is_sel {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            PathExpr::Sel(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " , ")?;
+                    }
+                    item.fmt_prec(f, true)?;
+                }
+                Ok(())
+            }
+            PathExpr::Burst(inner) => {
+                write!(f, "{{ ")?;
+                inner.fmt_prec(f, false)?;
+                write!(f, " }}")
+            }
+            PathExpr::Bounded(n, inner) => {
+                write!(f, "{n} : (")?;
+                inner.fmt_prec(f, false)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, false)
+    }
+}
+
+/// A complete `path … end` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// The path body; the whole body repeats cyclically.
+    pub body: PathExpr,
+}
+
+impl Path {
+    /// Creates a path from a body expression.
+    pub fn new(body: PathExpr) -> Self {
+        Path { body }
+    }
+
+    /// Operations named in this path.
+    pub fn alphabet(&self) -> BTreeSet<String> {
+        self.body.alphabet()
+    }
+
+    /// Whether the path uses the version-2 numeric operator.
+    pub fn uses_numeric(&self) -> bool {
+        self.body.uses_numeric()
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path {} end", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(name: &str) -> PathExpr {
+        PathExpr::Op(name.to_string())
+    }
+
+    #[test]
+    fn alphabet_collects_unique_sorted_names() {
+        let e = PathExpr::Seq(vec![
+            op("b"),
+            PathExpr::Sel(vec![op("a"), PathExpr::Burst(Box::new(op("b")))]),
+        ]);
+        let names: Vec<String> = e.alphabet().into_iter().collect();
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn display_round_trips_paper_figures() {
+        let fig1_path3 = Path::new(PathExpr::Sel(vec![
+            PathExpr::Burst(Box::new(op("read"))),
+            PathExpr::Seq(vec![op("openwrite"), op("write")]),
+        ]));
+        assert_eq!(
+            fig1_path3.to_string(),
+            "path { read } , (openwrite ; write) end"
+        );
+    }
+
+    #[test]
+    fn display_does_not_over_parenthesize() {
+        let p = Path::new(PathExpr::Seq(vec![op("a"), op("b")]));
+        assert_eq!(p.to_string(), "path a ; b end");
+        let q = Path::new(PathExpr::Sel(vec![op("a"), op("b")]));
+        assert_eq!(q.to_string(), "path a , b end");
+    }
+
+    #[test]
+    fn numeric_detection() {
+        let bounded = Path::new(PathExpr::Bounded(3, Box::new(op("x"))));
+        assert!(bounded.uses_numeric());
+        assert!(!Path::new(op("x")).uses_numeric());
+        assert_eq!(bounded.to_string(), "path 3 : (x) end");
+    }
+}

@@ -1,0 +1,421 @@
+//! Parser for the `path … end` notation.
+//!
+//! Grammar (selection binds tighter than sequencing, matching the
+//! parenthesization in the paper's figures):
+//!
+//! ```text
+//! path      := 'path' expr 'end'
+//! expr      := selection ( ';' selection )*
+//! selection := primary ( ',' primary )*
+//! primary   := IDENT
+//!            | '{' expr '}'
+//!            | '(' expr ')'
+//!            | NUMBER ':' primary          -- version-2 numeric operator
+//! ```
+
+use crate::ast::{Path, PathExpr};
+use std::fmt;
+
+/// A parse failure, with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset at which the error was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Path,
+    End,
+    Ident(String),
+    Number(u32),
+    Comma,
+    Semi,
+    Colon,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            ';' => {
+                out.push((i, Tok::Semi));
+                i += 1;
+            }
+            ':' => {
+                out.push((i, Tok::Colon));
+                i += 1;
+            }
+            '{' => {
+                out.push((i, Tok::LBrace));
+                i += 1;
+            }
+            '}' => {
+                out.push((i, Tok::RBrace));
+                i += 1;
+            }
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: u32 = text.parse().map_err(|_| ParseError {
+                    at: start,
+                    message: format!("number out of range: {text}"),
+                })?;
+                out.push((start, Tok::Number(n)));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..i];
+                out.push((
+                    start,
+                    match word {
+                        "path" => Tok::Path,
+                        "end" => Tok::End,
+                        _ => Tok::Ident(word.to_string()),
+                    },
+                ));
+            }
+            other => {
+                return Err(ParseError {
+                    at: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.src_len, |(at, _)| *at)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError {
+                at: self.at(),
+                message: format!("expected {what}"),
+            })
+        }
+    }
+
+    /// expr := selection (';' selection)*
+    fn expr(&mut self) -> Result<PathExpr, ParseError> {
+        let first = self.selection()?;
+        let mut items = vec![first];
+        while self.peek() == Some(&Tok::Semi) {
+            self.pos += 1;
+            items.push(self.selection()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().expect("nonempty")
+        } else {
+            PathExpr::Seq(items)
+        })
+    }
+
+    /// selection := primary (',' primary)*
+    fn selection(&mut self) -> Result<PathExpr, ParseError> {
+        let first = self.primary()?;
+        let mut items = vec![first];
+        while self.peek() == Some(&Tok::Comma) {
+            self.pos += 1;
+            items.push(self.primary()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().expect("nonempty")
+        } else {
+            PathExpr::Sel(items)
+        })
+    }
+
+    fn primary(&mut self) -> Result<PathExpr, ParseError> {
+        let at = self.at();
+        match self.bump() {
+            Some(Tok::Ident(name)) => Ok(PathExpr::Op(name)),
+            Some(Tok::LBrace) => {
+                let inner = self.expr()?;
+                self.expect(&Tok::RBrace, "'}'")?;
+                Ok(PathExpr::Burst(Box::new(inner)))
+            }
+            Some(Tok::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Tok::Number(n)) => {
+                if n == 0 {
+                    return Err(ParseError {
+                        at,
+                        message: "numeric bound must be at least 1".to_string(),
+                    });
+                }
+                self.expect(&Tok::Colon, "':' after numeric bound")?;
+                let inner = self.primary()?;
+                Ok(PathExpr::Bounded(n, Box::new(inner)))
+            }
+            other => Err(ParseError {
+                at,
+                message: format!(
+                    "expected an operation, '{{', '(' or a number, found {}",
+                    describe(other.as_ref())
+                ),
+            }),
+        }
+    }
+}
+
+/// Human-readable description of a token for error messages.
+fn describe(tok: Option<&Tok>) -> String {
+    match tok {
+        None => "end of input".to_string(),
+        Some(Tok::Path) => "'path'".to_string(),
+        Some(Tok::End) => "'end'".to_string(),
+        Some(Tok::Ident(name)) => format!("'{name}'"),
+        Some(Tok::Number(n)) => format!("'{n}'"),
+        Some(Tok::Comma) => "','".to_string(),
+        Some(Tok::Semi) => "';'".to_string(),
+        Some(Tok::Colon) => "':'".to_string(),
+        Some(Tok::LBrace) => "'{'".to_string(),
+        Some(Tok::RBrace) => "'}'".to_string(),
+        Some(Tok::LParen) => "'('".to_string(),
+        Some(Tok::RParen) => "')'".to_string(),
+    }
+}
+
+/// Parses a single `path … end` declaration.
+pub fn parse_path(src: &str) -> Result<Path, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        src_len: src.len(),
+    };
+    p.expect(&Tok::Path, "'path'")?;
+    let body = p.expr()?;
+    p.expect(&Tok::End, "'end'")?;
+    if p.pos != p.toks.len() {
+        return Err(ParseError {
+            at: p.at(),
+            message: "trailing input after 'end'".to_string(),
+        });
+    }
+    Ok(Path::new(body))
+}
+
+/// Parses several `path … end` declarations from one source string.
+pub fn parse_paths(src: &str) -> Result<Vec<Path>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let mut out = Vec::new();
+    while p.peek().is_some() {
+        p.expect(&Tok::Path, "'path'")?;
+        let body = p.expr()?;
+        p.expect(&Tok::End, "'end'")?;
+        out.push(Path::new(body));
+    }
+    if out.is_empty() {
+        return Err(ParseError {
+            at: 0,
+            message: "no path declarations found".to_string(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_op() {
+        let p = parse_path("path writeattempt end").unwrap();
+        assert_eq!(p.to_string(), "path writeattempt end");
+    }
+
+    #[test]
+    fn parses_paper_figure_1() {
+        let src = "
+            path writeattempt end
+            path { requestread } , requestwrite end
+            path { read } , (openwrite ; write) end
+        ";
+        let paths = parse_paths(src).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert_eq!(
+            paths[1].to_string(),
+            "path { requestread } , requestwrite end"
+        );
+        assert_eq!(
+            paths[2].to_string(),
+            "path { read } , (openwrite ; write) end"
+        );
+    }
+
+    #[test]
+    fn parses_paper_figure_2() {
+        let src = "
+            path readattempt end
+            path requestread , { requestwrite } end
+            path { openread ; read } , write end
+        ";
+        let paths = parse_paths(src).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert_eq!(
+            paths[1].to_string(),
+            "path requestread , { requestwrite } end"
+        );
+        assert_eq!(paths[2].to_string(), "path { openread ; read } , write end");
+    }
+
+    #[test]
+    fn selection_binds_tighter_than_sequence() {
+        let p = parse_path("path a , b ; c end").unwrap();
+        assert_eq!(
+            p.body,
+            PathExpr::Seq(vec![
+                PathExpr::Sel(vec![
+                    PathExpr::Op("a".to_string()),
+                    PathExpr::Op("b".to_string())
+                ]),
+                PathExpr::Op("c".to_string()),
+            ])
+        );
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let p = parse_path("path a , (b ; c) end").unwrap();
+        assert_eq!(
+            p.body,
+            PathExpr::Sel(vec![
+                PathExpr::Op("a".to_string()),
+                PathExpr::Seq(vec![
+                    PathExpr::Op("b".to_string()),
+                    PathExpr::Op("c".to_string())
+                ]),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_numeric_bound() {
+        let p = parse_path("path 5 : (deposit ; remove) end").unwrap();
+        assert!(p.uses_numeric());
+        assert_eq!(p.to_string(), "path 5 : (deposit ; remove) end");
+    }
+
+    #[test]
+    fn zero_bound_is_rejected() {
+        let err = parse_path("path 0 : (x) end").unwrap_err();
+        assert!(err.message.contains("at least 1"));
+    }
+
+    #[test]
+    fn reports_missing_end() {
+        let err = parse_path("path a ; b").unwrap_err();
+        assert!(err.message.contains("end") || err.message.contains("expected"));
+    }
+
+    #[test]
+    fn reports_unexpected_character() {
+        let err = parse_path("path a & b end").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.at, 7);
+    }
+
+    #[test]
+    fn reports_trailing_garbage() {
+        let err = parse_path("path a end extra").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn nested_bursts_parse() {
+        let p = parse_path("path { a ; { b } } end").unwrap();
+        assert_eq!(p.to_string(), "path { a ; { b } } end");
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for src in [
+            "path a end",
+            "path a ; b ; c end",
+            "path a , b , c end",
+            "path { a } , (b ; c) end",
+            "path 2 : ({ a } ; b) end",
+            "path (a , b) ; { c ; d } end",
+        ] {
+            let parsed = parse_path(src).unwrap();
+            let reparsed = parse_path(&parsed.to_string()).unwrap();
+            assert_eq!(parsed, reparsed, "round trip failed for {src}");
+        }
+    }
+}

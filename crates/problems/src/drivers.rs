@@ -1,0 +1,214 @@
+//! Scenario drivers: spawn workloads against a solution and return the
+//! trace for checking.
+//!
+//! Every driver is deterministic given its arguments: `seed = None` uses
+//! the FIFO policy, `Some(s)` the seeded random policy. Tests sweep seeds;
+//! benches fix one.
+
+use crate::{alarm, buffer, disk, fcfs, oneslot, rw};
+use bloom_core::MechanismId;
+use bloom_sim::{RandomPolicy, Sim, SimReport};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn new_sim(seed: Option<u64>) -> Sim {
+    let mut sim = Sim::new();
+    if let Some(s) = seed {
+        sim.set_policy(RandomPolicy::new(s));
+    }
+    sim
+}
+
+/// One producer deposits `0..n_values`, one consumer removes them all.
+pub fn oneslot_scenario(mech: MechanismId, n_values: i64, seed: Option<u64>) -> SimReport {
+    let mut sim = new_sim(seed);
+    let buf = oneslot::make(mech);
+    let b = Arc::clone(&buf);
+    sim.spawn("consumer", move |ctx| {
+        for _ in 0..n_values {
+            b.remove(ctx);
+            ctx.yield_now();
+        }
+    });
+    let b = Arc::clone(&buf);
+    sim.spawn("producer", move |ctx| {
+        for v in 0..n_values {
+            b.deposit(ctx, v);
+            ctx.yield_now();
+        }
+    });
+    sim.run()
+        .unwrap_or_else(|e| panic!("oneslot/{mech} (seed {seed:?}): {e}"))
+}
+
+/// `producers`×`per_producer` deposits against matching removes over a
+/// buffer of `capacity`. Returns the report and the multiset check data
+/// `(sent, received)`.
+pub fn buffer_scenario(
+    mech: MechanismId,
+    capacity: usize,
+    producers: usize,
+    consumers: usize,
+    per_producer: usize,
+    seed: Option<u64>,
+) -> (SimReport, Vec<i64>, Vec<i64>) {
+    assert_eq!(
+        producers * per_producer % consumers,
+        0,
+        "consumers must evenly divide total items"
+    );
+    let mut sim = new_sim(seed);
+    let buf = buffer::make(mech, capacity);
+    let sent = Arc::new(Mutex::new(Vec::new()));
+    let received = Arc::new(Mutex::new(Vec::new()));
+    for p in 0..producers {
+        let b = Arc::clone(&buf);
+        let sent = Arc::clone(&sent);
+        sim.spawn(&format!("producer{p}"), move |ctx| {
+            for i in 0..per_producer {
+                let v = (p * per_producer + i) as i64;
+                b.deposit(ctx, v);
+                sent.lock().push(v);
+                ctx.yield_now();
+            }
+        });
+    }
+    let per_consumer = producers * per_producer / consumers;
+    for c in 0..consumers {
+        let b = Arc::clone(&buf);
+        let received = Arc::clone(&received);
+        sim.spawn(&format!("consumer{c}"), move |ctx| {
+            for _ in 0..per_consumer {
+                let v = b.remove(ctx);
+                received.lock().push(v);
+                ctx.yield_now();
+            }
+        });
+    }
+    let report = sim
+        .run()
+        .unwrap_or_else(|e| panic!("buffer/{mech} (seed {seed:?}): {e}"));
+    let sent = sent.lock().clone();
+    let received = received.lock().clone();
+    (report, sent, received)
+}
+
+/// `n_workers` each use the FCFS resource `uses_each` times with varying
+/// think times.
+pub fn fcfs_scenario(
+    mech: MechanismId,
+    n_workers: usize,
+    uses_each: usize,
+    seed: Option<u64>,
+) -> SimReport {
+    let mut sim = new_sim(seed);
+    let res = fcfs::make(mech);
+    for w in 0..n_workers {
+        let r = Arc::clone(&res);
+        sim.spawn(&format!("worker{w}"), move |ctx| {
+            for _ in 0..uses_each {
+                r.with_resource(ctx, &mut || {
+                    ctx.yield_now(); // hold the resource across a quantum
+                });
+                for _ in 0..(w % 3) {
+                    ctx.yield_now(); // staggered think time
+                }
+            }
+        });
+    }
+    sim.run()
+        .unwrap_or_else(|e| panic!("fcfs/{mech} (seed {seed:?}): {e}"))
+}
+
+/// Mixed readers/writers workload against a given variant's solution.
+pub fn rw_scenario(
+    mech: MechanismId,
+    variant: rw::RwVariant,
+    readers: usize,
+    writers: usize,
+    ops_each: usize,
+    seed: Option<u64>,
+) -> SimReport {
+    let mut sim = new_sim(seed);
+    let db = rw::make(mech, variant);
+    for r in 0..readers {
+        let db = Arc::clone(&db);
+        sim.spawn(&format!("reader{r}"), move |ctx| {
+            for _ in 0..ops_each {
+                db.read(ctx, &mut || ctx.yield_now());
+                for _ in 0..(r % 2) {
+                    ctx.yield_now();
+                }
+            }
+        });
+    }
+    for w in 0..writers {
+        let db = Arc::clone(&db);
+        sim.spawn(&format!("writer{w}"), move |ctx| {
+            for _ in 0..ops_each {
+                db.write(ctx, &mut || ctx.yield_now());
+                ctx.yield_now();
+            }
+        });
+    }
+    sim.run()
+        .unwrap_or_else(|e| panic!("rw-{variant:?}/{mech} (seed {seed:?}): {e}"))
+}
+
+/// `n_requests` seeks at seeded-random tracks, issued by several processes
+/// with random pauses, against the disk scheduler.
+pub fn disk_scenario(
+    mech: MechanismId,
+    n_processes: usize,
+    seeks_each: usize,
+    workload_seed: u64,
+    sched_seed: Option<u64>,
+) -> SimReport {
+    let mut sim = new_sim(sched_seed);
+    let disk = disk::make(mech);
+    for p in 0..n_processes {
+        let d = Arc::clone(&disk);
+        let mut rng = StdRng::seed_from_u64(workload_seed.wrapping_add(p as u64));
+        sim.spawn(&format!("client{p}"), move |ctx| {
+            for _ in 0..seeks_each {
+                let track = rng.gen_range(0..200);
+                d.seek(ctx, track, &mut || {});
+                let pause = rng.gen_range(0..3);
+                for _ in 0..pause {
+                    ctx.yield_now();
+                }
+            }
+        });
+    }
+    sim.run()
+        .unwrap_or_else(|e| panic!("disk/{mech} (workload {workload_seed}): {e}"))
+}
+
+/// Sleepers request seeded-random wake-up delays while a ticker advances
+/// the logical clock.
+pub fn alarm_scenario(
+    mech: MechanismId,
+    n_sleepers: usize,
+    workload_seed: u64,
+    sched_seed: Option<u64>,
+) -> SimReport {
+    let mut sim = new_sim(sched_seed);
+    let clock = alarm::make(mech);
+    let mut rng = StdRng::seed_from_u64(workload_seed);
+    for s in 0..n_sleepers {
+        let c = Arc::clone(&clock);
+        let delay = rng.gen_range(1..30i64);
+        sim.spawn(&format!("sleeper{s}"), move |ctx| {
+            c.wake_me(ctx, delay);
+        });
+    }
+    let c = Arc::clone(&clock);
+    sim.spawn_daemon("ticker", move |ctx| loop {
+        ctx.sleep(2);
+        c.tick(ctx);
+    });
+    sim.run()
+        .unwrap_or_else(|e| panic!("alarm/{mech} (workload {workload_seed}): {e}"))
+}

@@ -1,0 +1,18 @@
+//! Canonical operation names shared by solutions, drivers and checkers.
+
+/// Buffer deposit operation.
+pub const DEPOSIT: &str = "deposit";
+/// Buffer remove operation.
+pub const REMOVE: &str = "remove";
+/// Database read operation.
+pub const READ: &str = "read";
+/// Database write operation.
+pub const WRITE: &str = "write";
+/// FCFS resource use operation.
+pub const USE: &str = "use";
+/// Disk seek operation (param 0: track).
+pub const SEEK: &str = "seek";
+/// Alarm wake operation (params: deadline, clock at wake).
+pub const WAKE: &str = "wake";
+/// Alarm clock tick operation.
+pub const TICK: &str = "tick";

@@ -1,0 +1,229 @@
+//! Monitor readers/writers solutions (after Hoare 1974 §4).
+//!
+//! The exclusion constraint is realized the same way in all three
+//! variants — a `busy` flag plus an active-reader count, both monitor
+//! data — while the priority constraint varies: the wake policy at
+//! release, plus (for writers priority) a queue interrogation at read
+//! entry, plus (for FCFS) a ticket sequencer using the priority-wait
+//! construct. That separation is why the paper finds monitor constraints
+//! largely independent (§5.2); the component attribution in
+//! [`SolutionDesc`] makes it measurable.
+//!
+//! The FCFS variant demonstrates the paper's *request type × request time
+//! conflict*: both kinds of information want the condition queue, so the
+//! solution issues tickets (stage one: a total arrival order) and admits
+//! ticket-holders from a single priority-ordered condition (stage two:
+//! per-type admission tests) — the "two stages of queuing" idiom of §5.2.
+
+use super::{ReadersWriters, RwVariant};
+use crate::events::{READ, WRITE};
+use bloom_core::events::{enter, exit, request};
+use bloom_core::{Directness, ImplUnit, InfoType, MechanismId, SolutionDesc};
+use bloom_monitor::{Cond, Monitor};
+use bloom_sim::Ctx;
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+struct RwState {
+    readers: u32,
+    busy: bool,
+    /// FCFS only: ticket dispenser and grant cursor.
+    next_ticket: i64,
+    serving: i64,
+}
+
+/// Hoare-monitor readers/writers.
+pub struct MonitorRw {
+    variant: RwVariant,
+    monitor: Monitor<RwState>,
+    ok_read: Cond,
+    ok_write: Cond,
+    /// FCFS only: one condition ordered by ticket.
+    turn: Cond,
+}
+
+impl MonitorRw {
+    /// Creates the database for the given variant.
+    pub fn new(variant: RwVariant) -> Self {
+        MonitorRw {
+            variant,
+            monitor: Monitor::hoare("rw", RwState::default()),
+            ok_read: Cond::new("rw.ok_read"),
+            ok_write: Cond::new("rw.ok_write"),
+            turn: Cond::new("rw.turn"),
+        }
+    }
+
+    fn start_read(&self, ctx: &Ctx) {
+        self.monitor.enter(ctx, |mc| {
+            // A request exists for the synchronizer once it is inside the
+            // monitor; emitting it here (not before entry) keeps the trace
+            // aligned with what the wake policies can actually see.
+            request(ctx, READ, &[]);
+            match self.variant {
+                RwVariant::ReadersPriority => {
+                    if mc.state(|s| s.busy) {
+                        mc.wait(&self.ok_read);
+                    }
+                    mc.state(|s| s.readers += 1);
+                    // Emit while holding the monitor: trace order = admission
+                    // order even though the cascade resumes us interleaved.
+                    enter(ctx, READ, &[]);
+                    // Cascade: admit the next waiting reader, who admits the
+                    // next, and so on.
+                    mc.signal(&self.ok_read);
+                }
+                RwVariant::WritersPriority => {
+                    // Queue interrogation (sync state): new readers defer to
+                    // waiting writers.
+                    while mc.state(|s| s.busy) || !self.ok_write.is_empty() {
+                        mc.wait(&self.ok_read);
+                    }
+                    mc.state(|s| s.readers += 1);
+                    enter(ctx, READ, &[]);
+                    mc.signal(&self.ok_read);
+                }
+                RwVariant::Fcfs => {
+                    let t = mc.state(|s| {
+                        let t = s.next_ticket;
+                        s.next_ticket += 1;
+                        t
+                    });
+                    while mc.state(|s| s.serving != t || s.busy) {
+                        mc.wait_priority(&self.turn, t);
+                    }
+                    mc.state(|s| {
+                        s.serving += 1;
+                        s.readers += 1;
+                    });
+                    enter(ctx, READ, &[]);
+                    // The next ticket holder may also be admissible (another
+                    // reader): pass the grant along.
+                    mc.signal(&self.turn);
+                }
+            }
+        });
+    }
+
+    fn end_read(&self, ctx: &Ctx) {
+        self.monitor.enter(ctx, |mc| {
+            exit(ctx, READ, &[]);
+            let readers = mc.state(|s| {
+                s.readers -= 1;
+                s.readers
+            });
+            if readers == 0 {
+                match self.variant {
+                    RwVariant::Fcfs => mc.signal(&self.turn),
+                    _ => mc.signal(&self.ok_write),
+                }
+            }
+        });
+    }
+
+    fn start_write(&self, ctx: &Ctx) {
+        self.monitor.enter(ctx, |mc| {
+            request(ctx, WRITE, &[]);
+            match self.variant {
+                RwVariant::ReadersPriority | RwVariant::WritersPriority => {
+                    while mc.state(|s| s.busy || s.readers > 0) {
+                        mc.wait(&self.ok_write);
+                    }
+                    mc.state(|s| s.busy = true);
+                    enter(ctx, WRITE, &[]);
+                }
+                RwVariant::Fcfs => {
+                    let t = mc.state(|s| {
+                        let t = s.next_ticket;
+                        s.next_ticket += 1;
+                        t
+                    });
+                    while mc.state(|s| s.serving != t || s.busy || s.readers > 0) {
+                        mc.wait_priority(&self.turn, t);
+                    }
+                    mc.state(|s| {
+                        s.serving += 1;
+                        s.busy = true;
+                    });
+                    enter(ctx, WRITE, &[]);
+                }
+            }
+        });
+    }
+
+    fn end_write(&self, ctx: &Ctx) {
+        self.monitor.enter(ctx, |mc| {
+            exit(ctx, WRITE, &[]);
+            mc.state(|s| s.busy = false);
+            match self.variant {
+                RwVariant::ReadersPriority => {
+                    // Waiting readers beat waiting writers.
+                    if !self.ok_read.is_empty() {
+                        mc.signal(&self.ok_read);
+                    } else {
+                        mc.signal(&self.ok_write);
+                    }
+                }
+                RwVariant::WritersPriority => {
+                    // Waiting writers beat waiting readers.
+                    if !self.ok_write.is_empty() {
+                        mc.signal(&self.ok_write);
+                    } else {
+                        mc.signal(&self.ok_read);
+                    }
+                }
+                RwVariant::Fcfs => mc.signal(&self.turn),
+            }
+        });
+    }
+}
+
+impl ReadersWriters for MonitorRw {
+    fn read(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        self.start_read(ctx); // emits request and enter inside the monitor
+        body();
+        self.end_read(ctx); // emits the exit inside the monitor
+    }
+
+    fn write(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        self.start_write(ctx);
+        body();
+        self.end_write(ctx);
+    }
+
+    fn desc(&self) -> SolutionDesc {
+        let (priority_component, extra_info, workarounds): (&str, _, Vec<String>) = match self
+            .variant
+        {
+            RwVariant::ReadersPriority => (
+                "monitor:release-prefers-ok_read",
+                (InfoType::RequestType, Directness::Direct),
+                vec![],
+            ),
+            RwVariant::WritersPriority => (
+                "monitor:release-prefers-ok_write+entry-interrogates-ok_write",
+                (InfoType::RequestType, Directness::Direct),
+                vec![],
+            ),
+            RwVariant::Fcfs => (
+                "monitor:ticket-sequencer+priority-cond",
+                (InfoType::RequestTime, Directness::Direct),
+                vec!["two-stage queuing: tickets reconcile the type×time queue conflict".into()],
+            ),
+        };
+        SolutionDesc {
+            problem: self.variant.problem(),
+            mechanism: MechanismId::Monitor,
+            units: vec![
+                // Identical across all three variants: monitor constraints
+                // are independent.
+                ImplUnit::new("rw-exclusion", "monitor:busy-flag+reader-count"),
+                ImplUnit::new(self.variant.priority_constraint(), priority_component),
+            ],
+            info_handling: [(InfoType::SyncState, Directness::Indirect), extra_info]
+                .into_iter()
+                .collect::<BTreeMap<_, _>>(),
+            workarounds,
+        }
+    }
+}

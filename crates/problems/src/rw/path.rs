@@ -1,0 +1,473 @@
+//! Path-expression readers/writers solutions — the paper's Figures 1 and 2
+//! reproduced verbatim, plus the FCFS variant via the gate idiom.
+//!
+//! The figures use *synchronization procedures* (`requestread`,
+//! `writeattempt`, `openwrite`, …): extra operations that appear in paths
+//! purely to steer the scheduler, invoked from each other's bodies exactly
+//! as the paper's `where` clauses prescribe. They are the workaround
+//! Bloom's §5.1 identifies — and the reason the solutions score
+//! `Workaround` on priority information and fail the modularity
+//! requirement (resource and synchronization are inseparable).
+//!
+//! [`PathFig1ReadersPriority`] carries the paper's own footnote 3: it does
+//! **not** implement true readers priority. A second writer that has
+//! claimed `requestwrite` while the first writes will beat a reader that
+//! arrived earlier. The workspace tests prove this mechanically with the
+//! schedule explorer.
+
+use super::{ReadersWriters, RwVariant};
+use crate::events::{READ, WRITE};
+use bloom_core::events::{enter, exit, request};
+use bloom_core::{Directness, ImplUnit, InfoType, MechanismId, SolutionDesc};
+use bloom_pathexpr::PathResource;
+use bloom_sim::Ctx;
+use std::collections::BTreeMap;
+
+/// Figure 1: the readers-priority solution of Campbell & Habermann as
+/// reproduced in the paper.
+///
+/// ```text
+/// path writeattempt end
+/// path { requestread } , requestwrite end
+/// path { read } , (openwrite ; write) end
+/// where
+///   requestwrite = begin openwrite end
+///   writeattempt = begin requestwrite end
+///   requestread  = begin read end
+///   READ  = begin requestread end
+///   WRITE = begin writeattempt ; write end
+/// ```
+pub struct PathFig1ReadersPriority {
+    paths: PathResource,
+}
+
+/// The paths of Figure 1, verbatim.
+pub const FIG1_PATHS: &str = "\
+    path writeattempt end \
+    path { requestread } , requestwrite end \
+    path { read } , (openwrite ; write) end";
+
+impl PathFig1ReadersPriority {
+    /// Creates the database.
+    pub fn new() -> Self {
+        PathFig1ReadersPriority {
+            paths: PathResource::parse("rw-fig1", FIG1_PATHS).expect("static path source"),
+        }
+    }
+}
+
+impl Default for PathFig1ReadersPriority {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReadersWriters for PathFig1ReadersPriority {
+    fn read(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        request(ctx, READ, &[]);
+        // READ = begin requestread end; requestread = begin read end.
+        self.paths.perform(ctx, "requestread", || {
+            self.paths.perform(ctx, "read", || {
+                enter(ctx, READ, &[]);
+                body();
+                exit(ctx, READ, &[]);
+            });
+        });
+    }
+
+    fn write(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        request(ctx, WRITE, &[]);
+        // WRITE = begin writeattempt ; write end, with
+        // writeattempt = begin requestwrite end and
+        // requestwrite = begin openwrite end.
+        self.paths.perform(ctx, "writeattempt", || {
+            self.paths.perform(ctx, "requestwrite", || {
+                self.paths.perform(ctx, "openwrite", || {});
+            });
+        });
+        self.paths.perform(ctx, "write", || {
+            enter(ctx, WRITE, &[]);
+            body();
+            exit(ctx, WRITE, &[]);
+        });
+    }
+
+    fn desc(&self) -> SolutionDesc {
+        SolutionDesc {
+            problem: RwVariant::ReadersPriority.problem(),
+            mechanism: MechanismId::PathV1,
+            units: vec![
+                // The exclusion constraint is *not* the isolated
+                // `path {read},write end`: it had to be rewritten to
+                // coordinate with the priority gates.
+                ImplUnit::new("rw-exclusion", "path:{read},(openwrite;write)"),
+                ImplUnit::new("readers-priority", "path:writeattempt-serializer"),
+                ImplUnit::new("readers-priority", "path:{requestread},requestwrite"),
+                ImplUnit::new(
+                    "readers-priority",
+                    "syncproc:requestread/requestwrite/openwrite",
+                ),
+            ],
+            info_handling: [
+                (InfoType::RequestType, Directness::Direct),
+                (InfoType::SyncState, Directness::Workaround),
+            ]
+            .into_iter()
+            .collect::<BTreeMap<_, _>>(),
+            workarounds: vec![
+                "synchronization procedures as gates (paper §5.1.1)".into(),
+                "KNOWN ANOMALY (paper footnote 3): a second writer overtakes a waiting reader"
+                    .into(),
+            ],
+        }
+    }
+}
+
+/// Figure 2: the writers-priority solution.
+///
+/// ```text
+/// path readattempt end
+/// path requestread , { requestwrite } end
+/// path { openread ; read } , write end
+/// where
+///   readattempt  = begin requestread end
+///   requestread  = begin openread end
+///   requestwrite = begin write end
+///   READ  = begin readattempt ; read end
+///   WRITE = begin requestwrite end
+/// ```
+pub struct PathFig2WritersPriority {
+    paths: PathResource,
+}
+
+/// The paths of Figure 2, verbatim.
+pub const FIG2_PATHS: &str = "\
+    path readattempt end \
+    path requestread , { requestwrite } end \
+    path { openread ; read } , write end";
+
+impl PathFig2WritersPriority {
+    /// Creates the database.
+    pub fn new() -> Self {
+        PathFig2WritersPriority {
+            paths: PathResource::parse("rw-fig2", FIG2_PATHS).expect("static path source"),
+        }
+    }
+}
+
+impl Default for PathFig2WritersPriority {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReadersWriters for PathFig2WritersPriority {
+    fn read(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        request(ctx, READ, &[]);
+        // READ = begin readattempt ; read end, with
+        // readattempt = begin requestread end and
+        // requestread = begin openread end.
+        self.paths.perform(ctx, "readattempt", || {
+            self.paths.perform(ctx, "requestread", || {
+                self.paths.perform(ctx, "openread", || {});
+            });
+        });
+        self.paths.perform(ctx, "read", || {
+            enter(ctx, READ, &[]);
+            body();
+            exit(ctx, READ, &[]);
+        });
+    }
+
+    fn write(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        request(ctx, WRITE, &[]);
+        // WRITE = begin requestwrite end; requestwrite = begin write end.
+        self.paths.perform(ctx, "requestwrite", || {
+            self.paths.perform(ctx, "write", || {
+                enter(ctx, WRITE, &[]);
+                body();
+                exit(ctx, WRITE, &[]);
+            });
+        });
+    }
+
+    fn desc(&self) -> SolutionDesc {
+        SolutionDesc {
+            problem: RwVariant::WritersPriority.problem(),
+            mechanism: MechanismId::PathV1,
+            units: vec![
+                // Again a different exclusion path than Figure 1's and than
+                // the isolated form — the §5.1.2 finding.
+                ImplUnit::new("rw-exclusion", "path:{openread;read},write"),
+                ImplUnit::new("writers-priority", "path:readattempt-serializer"),
+                ImplUnit::new("writers-priority", "path:requestread,{requestwrite}"),
+                ImplUnit::new(
+                    "writers-priority",
+                    "syncproc:readattempt/requestread/openread",
+                ),
+            ],
+            info_handling: [
+                (InfoType::RequestType, Directness::Direct),
+                (InfoType::SyncState, Directness::Workaround),
+            ]
+            .into_iter()
+            .collect::<BTreeMap<_, _>>(),
+            workarounds: vec![
+                "synchronization procedures as gates (paper §5.1.2, Figure 2)".into(),
+                "priority is arrival-relative: readers already past requestread finish first"
+                    .into(),
+            ],
+        }
+    }
+}
+
+/// FCFS readers/writers via the gate idiom: a one-operation `request` path
+/// serializes arrivals (longest-waiting selection makes it FIFO), and each
+/// request *begins* its data operation while still holding the gate, so
+/// admission order equals arrival order. The exclusion path is exactly the
+/// isolated form `path { read } , write end`.
+pub struct PathFcfsRw {
+    paths: PathResource,
+}
+
+/// The paths of the FCFS gate solution.
+pub const FCFS_PATHS: &str = "path request end path { read } , write end";
+
+impl PathFcfsRw {
+    /// Creates the database.
+    pub fn new() -> Self {
+        PathFcfsRw {
+            paths: PathResource::parse("rw-fcfs", FCFS_PATHS).expect("static path source"),
+        }
+    }
+}
+
+impl Default for PathFcfsRw {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReadersWriters for PathFcfsRw {
+    fn read(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        request(ctx, READ, &[]);
+        self.paths.perform(ctx, "request", || {
+            self.paths.begin(ctx, "read");
+        });
+        enter(ctx, READ, &[]);
+        body();
+        exit(ctx, READ, &[]);
+        self.paths.finish(ctx, "read");
+    }
+
+    fn write(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        request(ctx, WRITE, &[]);
+        self.paths.perform(ctx, "request", || {
+            self.paths.begin(ctx, "write");
+        });
+        enter(ctx, WRITE, &[]);
+        body();
+        exit(ctx, WRITE, &[]);
+        self.paths.finish(ctx, "write");
+    }
+
+    fn desc(&self) -> SolutionDesc {
+        SolutionDesc {
+            problem: RwVariant::Fcfs.problem(),
+            mechanism: MechanismId::PathV1,
+            units: vec![
+                ImplUnit::new("rw-exclusion", "path:{read},write"),
+                ImplUnit::new("fcfs-order", "path:request-gate-serializer"),
+                ImplUnit::new("fcfs-order", "syncproc:begin-inside-gate"),
+            ],
+            info_handling: [
+                (InfoType::RequestType, Directness::Direct),
+                (InfoType::RequestTime, Directness::Indirect),
+            ]
+            .into_iter()
+            .collect::<BTreeMap<_, _>>(),
+            workarounds: vec!["gate operation holding admission open (sync procedure)".into()],
+        }
+    }
+}
+
+/// Version-3 (Andler) readers-priority solution: the *isolated* exclusion
+/// path plus one predicate — no synchronization procedures, no gates, and
+/// no footnote-3 anomaly.
+///
+/// ```text
+/// path { read } , write end
+/// predicate on write:  blocked(read) == 0
+/// ```
+///
+/// The predicate states readers priority directly over synchronization
+/// state (the blocked-request count), exactly the information v1 paths
+/// could not reach. The workspace tests prove by exhaustive exploration
+/// that this solution never exhibits the anomaly.
+pub struct PathV3ReadersPriority {
+    paths: PathResource,
+}
+
+impl PathV3ReadersPriority {
+    /// Creates the database.
+    pub fn new() -> Self {
+        let paths =
+            PathResource::parse("rw-v3", "path { read } , write end").expect("static path source");
+        // Andler predicate: writers defer to waiting readers.
+        paths.add_predicate("write", |v| v.blocked("read") == 0);
+        PathV3ReadersPriority { paths }
+    }
+}
+
+impl Default for PathV3ReadersPriority {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReadersWriters for PathV3ReadersPriority {
+    fn read(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        request(ctx, READ, &[]);
+        self.paths.perform(ctx, "read", || {
+            enter(ctx, READ, &[]);
+            body();
+            exit(ctx, READ, &[]);
+        });
+    }
+
+    fn write(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        request(ctx, WRITE, &[]);
+        self.paths.perform(ctx, "write", || {
+            enter(ctx, WRITE, &[]);
+            body();
+            exit(ctx, WRITE, &[]);
+        });
+    }
+
+    fn desc(&self) -> SolutionDesc {
+        SolutionDesc {
+            problem: RwVariant::ReadersPriority.problem(),
+            mechanism: MechanismId::PathV3,
+            units: vec![
+                // The isolated exclusion form survives intact.
+                ImplUnit::new("rw-exclusion", "path:{read},write"),
+                ImplUnit::new("readers-priority", "predicate:no-blocked-readers"),
+            ],
+            info_handling: [
+                (InfoType::RequestType, Directness::Direct),
+                (InfoType::SyncState, Directness::Direct),
+            ]
+            .into_iter()
+            .collect::<BTreeMap<_, _>>(),
+            workarounds: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bloom_core::checks::{check_exclusion, check_priority_over, expect_clean};
+    use bloom_core::events::extract;
+    use bloom_sim::Sim;
+    use std::sync::Arc;
+
+    /// The deterministic footnote-3 script: W1 writes; W2 requests while
+    /// W1 writes; the reader requests after W2 but before W1 finishes; W2
+    /// enters before the reader although readers should have priority.
+    #[test]
+    fn figure1_footnote3_anomaly_reproduces_deterministically() {
+        let mut sim = Sim::new();
+        let db = Arc::new(PathFig1ReadersPriority::new());
+        let d1 = Arc::clone(&db);
+        sim.spawn("writer1", move |ctx| {
+            d1.write(ctx, &mut || {
+                // Hold the write long enough for W2 and the reader to queue.
+                for _ in 0..6 {
+                    ctx.yield_now();
+                }
+            });
+        });
+        let d2 = Arc::clone(&db);
+        sim.spawn("writer2", move |ctx| {
+            ctx.yield_now(); // let W1 start writing
+            d2.write(ctx, &mut || {});
+        });
+        let d3 = Arc::clone(&db);
+        sim.spawn("reader", move |ctx| {
+            ctx.yield_now();
+            ctx.yield_now(); // request after W2 has claimed requestwrite
+            d3.read(ctx, &mut || {});
+        });
+        let report = sim.run().expect("no deadlock");
+        let events = extract(&report.trace);
+        let violations = check_priority_over(&events, READ, WRITE);
+        assert!(
+            !violations.is_empty(),
+            "footnote 3 must reproduce: a writer enters while the reader waits.\n{}",
+            report.trace.render()
+        );
+        // And yet exclusion is intact — the anomaly is purely a priority bug.
+        expect_clean(
+            &check_exclusion(&events, &[(READ, WRITE), (WRITE, WRITE)]),
+            "figure-1 exclusion",
+        );
+    }
+
+    /// In the same scenario, Figure 2 (writers priority) must serve both
+    /// writers before the reader — correctly this time, by design.
+    #[test]
+    fn figure2_serves_writers_first_by_design() {
+        let mut sim = Sim::new();
+        let db = Arc::new(PathFig2WritersPriority::new());
+        let d1 = Arc::clone(&db);
+        sim.spawn("writer1", move |ctx| {
+            d1.write(ctx, &mut || {
+                for _ in 0..6 {
+                    ctx.yield_now();
+                }
+            });
+        });
+        let d2 = Arc::clone(&db);
+        sim.spawn("writer2", move |ctx| {
+            ctx.yield_now();
+            d2.write(ctx, &mut || {});
+        });
+        let d3 = Arc::clone(&db);
+        sim.spawn("reader", move |ctx| {
+            ctx.yield_now();
+            ctx.yield_now();
+            d3.read(ctx, &mut || {});
+        });
+        let report = sim.run().expect("no deadlock");
+        let events = extract(&report.trace);
+        let enters: Vec<&str> = events
+            .iter()
+            .filter(|e| e.phase == bloom_core::Phase::Enter)
+            .map(|e| e.op.as_str())
+            .collect();
+        assert_eq!(enters, vec![WRITE, WRITE, READ], "writers-priority order");
+    }
+
+    /// Figure 1 paths parse to exactly the figure's text.
+    #[test]
+    fn figure_sources_round_trip() {
+        let paths = bloom_pathexpr::parse_paths(FIG1_PATHS).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].to_string(), "path writeattempt end");
+        assert_eq!(
+            paths[1].to_string(),
+            "path { requestread } , requestwrite end"
+        );
+        assert_eq!(
+            paths[2].to_string(),
+            "path { read } , (openwrite ; write) end"
+        );
+        let paths = bloom_pathexpr::parse_paths(FIG2_PATHS).unwrap();
+        assert_eq!(
+            paths[1].to_string(),
+            "path requestread , { requestwrite } end"
+        );
+        assert_eq!(paths[2].to_string(), "path { openread ; read } , write end");
+    }
+}

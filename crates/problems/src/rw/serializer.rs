@@ -1,0 +1,155 @@
+//! Serializer readers/writers solutions (after Atkinson–Hewitt).
+//!
+//! The exclusion constraint is two guard conjuncts over crowds — readers
+//! require no active writers, writers require an empty database — and is
+//! *textually identical* in all three variants. The priority constraint
+//! changes only the queue topology (and, for readers priority, one extra
+//! guard conjunct):
+//!
+//! * readers priority — separate reader/writer queues; the writer guard
+//!   additionally requires the reader queue to be empty;
+//! * writers priority — mirror image;
+//! * FCFS — **one** queue for both types: the FIFO head-blocking preserves
+//!   arrival order while each process carries its own type-specific
+//!   guarantee. This is Bloom's §5.2 observation that automatic signalling
+//!   lets request-time and request-type information share a queue, where
+//!   monitors need two-stage queuing.
+
+use super::{ReadersWriters, RwVariant};
+use crate::events::{READ, WRITE};
+use bloom_core::events::{enter, exit, request};
+use bloom_core::{Directness, ImplUnit, InfoType, MechanismId, SolutionDesc};
+use bloom_serializer::{CrowdId, QueueId, Serializer};
+use bloom_sim::Ctx;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Serializer readers/writers database.
+pub struct SerializerRw {
+    variant: RwVariant,
+    ser: Arc<Serializer<()>>,
+    /// Reader queue (readers-/writers-priority) or the single shared queue
+    /// (FCFS).
+    read_queue: QueueId,
+    /// Writer queue; equals `read_queue` in the FCFS variant.
+    write_queue: QueueId,
+    readers: CrowdId,
+    writers: CrowdId,
+}
+
+impl SerializerRw {
+    /// Creates the database for the given variant.
+    pub fn new(variant: RwVariant) -> Self {
+        let ser = Arc::new(Serializer::new("rw", ()));
+        let (read_queue, write_queue) = match variant {
+            RwVariant::Fcfs => {
+                let q = ser.queue("arrivals");
+                (q, q)
+            }
+            _ => (ser.queue("read-requests"), ser.queue("write-requests")),
+        };
+        let readers = ser.crowd("readers");
+        let writers = ser.crowd("writers");
+        SerializerRw {
+            variant,
+            ser,
+            read_queue,
+            write_queue,
+            readers,
+            writers,
+        }
+    }
+}
+
+impl ReadersWriters for SerializerRw {
+    fn read(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        let (writers, write_queue) = (self.writers, self.write_queue);
+        let variant = self.variant;
+        self.ser.enter(ctx, |sc| {
+            // A request exists for the synchronizer once it has possession.
+            request(ctx, READ, &[]);
+            sc.enqueue(self.read_queue, move |v| {
+                let exclusion = v.crowd_is_empty(writers);
+                let priority = match variant {
+                    // New readers defer to queued writers.
+                    RwVariant::WritersPriority => v.queue_is_empty(write_queue),
+                    _ => true,
+                };
+                exclusion && priority
+            });
+            // Emit while holding possession: trace order = admission order.
+            enter(ctx, READ, &[]);
+            sc.join_crowd(self.readers, || {
+                body();
+            });
+            exit(ctx, READ, &[]);
+        });
+    }
+
+    fn write(&self, ctx: &Ctx, body: &mut dyn FnMut()) {
+        let (readers, writers, read_queue) = (self.readers, self.writers, self.read_queue);
+        let variant = self.variant;
+        self.ser.enter(ctx, |sc| {
+            request(ctx, WRITE, &[]);
+            sc.enqueue(self.write_queue, move |v| {
+                let exclusion = v.crowd_is_empty(writers) && v.crowd_is_empty(readers);
+                let priority = match variant {
+                    // Writers defer to queued readers.
+                    RwVariant::ReadersPriority => v.queue_is_empty(read_queue),
+                    _ => true,
+                };
+                exclusion && priority
+            });
+            enter(ctx, WRITE, &[]);
+            sc.join_crowd(self.writers, || {
+                body();
+            });
+            exit(ctx, WRITE, &[]);
+        });
+    }
+
+    fn desc(&self) -> SolutionDesc {
+        let (priority_component, time_rating, notes): (&str, _, Vec<String>) = match self.variant {
+            RwVariant::ReadersPriority => (
+                "topology:split-queues+writer-defers-to-read-queue",
+                None,
+                vec![],
+            ),
+            RwVariant::WritersPriority => (
+                "topology:split-queues+reader-defers-to-write-queue",
+                None,
+                vec![],
+            ),
+            RwVariant::Fcfs => (
+                "topology:single-shared-queue",
+                Some((InfoType::RequestTime, Directness::Direct)),
+                vec![
+                    "one queue holds both request types: automatic signalling avoids the \
+                      monitor's type×time conflict"
+                        .into(),
+                ],
+            ),
+        };
+        let mut info: BTreeMap<InfoType, Directness> = [
+            (InfoType::RequestType, Directness::Direct),
+            (InfoType::SyncState, Directness::Direct), // crowds
+        ]
+        .into_iter()
+        .collect();
+        if let Some((k, v)) = time_rating {
+            info.insert(k, v);
+        }
+        SolutionDesc {
+            problem: self.variant.problem(),
+            mechanism: MechanismId::Serializer,
+            units: vec![
+                // Identical guard conjuncts in all three variants.
+                ImplUnit::new("rw-exclusion", "guard:readers-exclude-writers"),
+                ImplUnit::new("rw-exclusion", "guard:writers-exclude-everyone"),
+                ImplUnit::new(self.variant.priority_constraint(), priority_component),
+            ],
+            info_handling: info,
+            workarounds: notes,
+        }
+    }
+}

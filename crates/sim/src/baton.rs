@@ -1,0 +1,106 @@
+//! Single-slot rendezvous cell used for the scheduler/process handshake.
+//!
+//! A [`Baton`] carries exactly one value from one thread to another. The
+//! kernel gives each process a `Baton<Go>` (the permission to run) and keeps
+//! one `Baton<Report>` for itself (the process's account of why it stopped).
+//! Because at most one process holds the CPU, each baton has at most one
+//! producer and one consumer at a time, so a mutex-guarded `Option` plus a
+//! condvar is all that is needed.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A one-value rendezvous channel.
+pub(crate) struct Baton<T> {
+    slot: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+impl<T> Baton<T> {
+    /// Creates an empty baton.
+    pub(crate) fn new() -> Self {
+        Baton {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deposits a value and wakes the (single) waiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already full, which would indicate a violation
+    /// of the one-running-process invariant.
+    pub(crate) fn put(&self, value: T) {
+        let mut slot = self.slot.lock();
+        assert!(slot.is_none(), "baton overrun: two concurrent producers");
+        *slot = Some(value);
+        self.cv.notify_one();
+    }
+
+    /// Blocks until a value is available and takes it.
+    pub(crate) fn take(&self) -> T {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(value) = slot.take() {
+                return value;
+            }
+            self.cv.wait(&mut slot);
+        }
+    }
+}
+
+/// Command handed to a process thread by the scheduler.
+pub(crate) enum Go {
+    /// Run until the next scheduling point.
+    Run,
+    /// The simulation is over; unwind and exit the thread.
+    Cancel,
+}
+
+/// A process's account of why it stopped running, handed back to the scheduler.
+pub(crate) enum Report {
+    /// Voluntary yield; the process is still runnable.
+    Yielded,
+    /// The process parked itself (it is on some wait queue).
+    Parked { reason: String },
+    /// Parked with a timeout: wake via unpark or when the timer fires.
+    ParkedTimeout { reason: String, ticks: u64 },
+    /// The process wants to sleep for the given number of virtual ticks.
+    Slept { ticks: u64 },
+    /// The process closure returned normally.
+    Finished,
+    /// The process closure panicked with the given message.
+    Panicked { message: String },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn put_then_take_transfers_value() {
+        let b = Baton::new();
+        b.put(7u32);
+        assert_eq!(b.take(), 7);
+    }
+
+    #[test]
+    fn take_blocks_until_put() {
+        let b = Arc::new(Baton::new());
+        let b2 = Arc::clone(&b);
+        let h = thread::spawn(move || b2.take());
+        thread::sleep(std::time::Duration::from_millis(10));
+        b.put("hello");
+        assert_eq!(h.join().unwrap(), "hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "baton overrun")]
+    fn double_put_panics() {
+        let b = Baton::new();
+        b.put(1);
+        b.put(2);
+    }
+}

@@ -1,0 +1,219 @@
+//! The per-process kernel handle.
+
+use crate::baton::Report;
+use crate::kernel::{obey, ProcessStatus, Shared};
+use crate::trace::EventKind;
+use crate::types::{Pid, Time};
+use std::sync::Arc;
+
+/// Handle through which a simulated process interacts with the kernel.
+///
+/// Every process closure receives a `&Ctx`. All blocking primitives in the
+/// mechanism crates take a `&Ctx` argument; the handle identifies *which*
+/// process is performing the operation and gives access to the shared kernel.
+pub struct Ctx {
+    shared: Arc<Shared>,
+    pid: Pid,
+}
+
+impl Ctx {
+    pub(crate) fn new(shared: Arc<Shared>, pid: Pid) -> Self {
+        Ctx { shared, pid }
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// This process's spawn-time name.
+    pub fn name(&self) -> String {
+        self.shared.state.lock().procs[self.pid.index()]
+            .name
+            .clone()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.shared.state.lock().clock
+    }
+
+    /// Draws a fresh, strictly increasing ticket. Mechanisms use tickets to
+    /// implement FIFO ordering (e.g. arrival order of requests).
+    pub fn fresh_ticket(&self) -> u64 {
+        self.shared.fresh_ticket()
+    }
+
+    /// Gives up the CPU; the process stays runnable and will be rescheduled
+    /// according to the policy.
+    pub fn yield_now(&self) {
+        let baton = {
+            let st = self.shared.state.lock();
+            Arc::clone(&st.procs[self.pid.index()].baton)
+        };
+        self.shared.sched_baton.put(Report::Yielded);
+        obey(baton.take());
+    }
+
+    /// Sleeps for `ticks` quanta of virtual time.
+    ///
+    /// Sleeping zero ticks is equivalent to [`Ctx::yield_now`].
+    pub fn sleep(&self, ticks: u64) {
+        if ticks == 0 {
+            self.yield_now();
+            return;
+        }
+        let baton = {
+            let st = self.shared.state.lock();
+            Arc::clone(&st.procs[self.pid.index()].baton)
+        };
+        self.shared.sched_baton.put(Report::Slept { ticks });
+        obey(baton.take());
+    }
+
+    /// Parks this process until another process calls [`Ctx::unpark`] on it.
+    ///
+    /// `reason` is recorded in the trace and shown in deadlock diagnostics.
+    /// Mechanism crates call this *after* registering the process on their
+    /// own wait queue; thanks to the cooperative invariant the
+    /// register-then-park sequence is atomic with respect to other processes.
+    pub fn park(&self, reason: &str) {
+        let baton = {
+            let mut st = self.shared.state.lock();
+            let clock = st.clock;
+            st.trace.push(
+                clock,
+                self.pid,
+                EventKind::Blocked {
+                    reason: reason.to_string(),
+                },
+            );
+            Arc::clone(&st.procs[self.pid.index()].baton)
+        };
+        self.shared.sched_baton.put(Report::Parked {
+            reason: reason.to_string(),
+        });
+        obey(baton.take());
+    }
+
+    /// Parks this process until [`Ctx::unpark`] *or* until `ticks` quanta
+    /// of virtual time elapse. Returns `true` if woken by an unpark,
+    /// `false` on timeout.
+    ///
+    /// On timeout the caller is still registered on whatever wait queue it
+    /// joined and must deregister itself (see
+    /// [`crate::WaitQueue::wait_timeout`], which handles this).
+    pub fn park_timeout(&self, reason: &str, ticks: u64) -> bool {
+        let baton = {
+            let mut st = self.shared.state.lock();
+            let clock = st.clock;
+            st.trace.push(
+                clock,
+                self.pid,
+                EventKind::Blocked {
+                    reason: reason.to_string(),
+                },
+            );
+            Arc::clone(&st.procs[self.pid.index()].baton)
+        };
+        self.shared.sched_baton.put(Report::ParkedTimeout {
+            reason: reason.to_string(),
+            ticks,
+        });
+        obey(baton.take());
+        let mut st = self.shared.state.lock();
+        let slot = &mut st.procs[self.pid.index()];
+        let timed_out = slot.timed_out;
+        slot.timed_out = false;
+        !timed_out
+    }
+
+    /// Makes a parked process runnable again if it is currently parked;
+    /// returns whether it was. Use for queues that may hold *stale*
+    /// entries of processes that already woke by timeout; for queues that
+    /// cannot, prefer [`Ctx::unpark`], which panics on staleness.
+    pub fn try_unpark(&self, target: Pid) -> bool {
+        let mut st = self.shared.state.lock();
+        let slot = &mut st.procs[target.index()];
+        if !matches!(slot.status, ProcessStatus::Blocked { .. }) {
+            return false;
+        }
+        slot.status = ProcessStatus::Ready;
+        st.ready.push(target);
+        let clock = st.clock;
+        st.trace
+            .push(clock, target, EventKind::Unparked { by: self.pid });
+        true
+    }
+
+    /// Makes a parked process runnable again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not currently blocked. Under the cooperative
+    /// invariant a mechanism only ever wakes processes it has previously
+    /// parked, so an unparked-while-not-parked target is a mechanism bug and
+    /// is reported loudly rather than being silently ignored.
+    pub fn unpark(&self, target: Pid) {
+        let mut st = self.shared.state.lock();
+        let slot = &mut st.procs[target.index()];
+        assert!(
+            matches!(slot.status, ProcessStatus::Blocked { .. }),
+            "unpark of {target} which is {:?} (mechanism bug)",
+            slot.status
+        );
+        slot.status = ProcessStatus::Ready;
+        st.ready.push(target);
+        let clock = st.clock;
+        st.trace
+            .push(clock, target, EventKind::Unparked { by: self.pid });
+    }
+
+    /// Appends an application-level event to the trace.
+    pub fn emit(&self, label: &str, params: &[i64]) {
+        self.emit_for(self.pid, label, params);
+    }
+
+    /// Appends an application-level event attributed to another process.
+    ///
+    /// Mechanisms that *grant* access on behalf of a blocked process (a
+    /// semaphore hand-off, a baton protocol) use this to record the grant
+    /// at the moment the decision is made, attributed to the process being
+    /// granted — keeping trace order faithful to decision order even
+    /// though the grantee resumes later.
+    pub fn emit_for(&self, target: Pid, label: &str, params: &[i64]) {
+        let mut st = self.shared.state.lock();
+        let clock = st.clock;
+        st.trace.push(
+            clock,
+            target,
+            EventKind::User {
+                label: label.to_string(),
+                params: params.to_vec(),
+            },
+        );
+    }
+
+    /// Spawns a new process from within a running one.
+    pub fn spawn<F>(&self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.shared.spawn_process(name, false, f)
+    }
+
+    /// Spawns a daemon process: the run completes (rather than deadlocking)
+    /// if only daemons remain blocked, and they are cancelled at shutdown.
+    pub fn spawn_daemon<F>(&self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.shared.spawn_process(name, true, f)
+    }
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("pid", &self.pid).finish()
+    }
+}

@@ -1,0 +1,68 @@
+//! Simulation failure reporting.
+
+use crate::kernel::SimReport;
+use crate::types::Pid;
+use std::fmt;
+
+/// Why a run failed.
+#[derive(Debug, Clone)]
+pub enum SimErrorKind {
+    /// No process is runnable, no timers are pending, and at least one
+    /// non-daemon process is blocked. `blocked` lists `(pid, name, reason)`.
+    Deadlock { blocked: Vec<(Pid, String, String)> },
+    /// A process closure panicked.
+    ProcessPanicked {
+        /// The panicking process.
+        pid: Pid,
+        /// The panic message.
+        message: String,
+    },
+    /// The configured step budget was exhausted (likely a livelock).
+    MaxStepsExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+/// A failed run, including everything recorded up to the failure.
+#[derive(Debug, Clone)]
+pub struct SimError {
+    /// What went wrong.
+    pub kind: SimErrorKind,
+    /// The partial run report (trace, decisions, process states).
+    pub report: SimReport,
+}
+
+impl SimError {
+    /// Whether this error is a deadlock.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self.kind, SimErrorKind::Deadlock { .. })
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SimErrorKind::Deadlock { blocked } => {
+                write!(f, "deadlock: ")?;
+                let mut first = true;
+                for (pid, name, reason) in blocked {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    write!(f, "{pid} \"{name}\" blocked on {reason}")?;
+                }
+                Ok(())
+            }
+            SimErrorKind::ProcessPanicked { pid, message } => {
+                write!(f, "process {pid} panicked: {message}")
+            }
+            SimErrorKind::MaxStepsExceeded { limit } => {
+                write!(f, "exceeded max steps ({limit}); possible livelock")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,496 @@
+//! The simulation kernel: process table, ready list, timers, and the
+//! scheduler loop that enforces the one-running-process invariant.
+
+use crate::baton::{Baton, Go, Report};
+use crate::ctx::Ctx;
+use crate::error::{SimError, SimErrorKind};
+use crate::policy::SchedPolicy;
+use crate::sim::SimConfig;
+use crate::trace::{Decision, EventKind, Trace};
+use crate::types::{Pid, Time};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Lifecycle state of a simulated process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcessStatus {
+    /// Runnable, waiting to be dispatched.
+    Ready,
+    /// Currently holding the CPU.
+    Running,
+    /// Parked on a wait queue.
+    Blocked { reason: String },
+    /// Sleeping until a virtual-time deadline.
+    Sleeping { until: Time },
+    /// Closure returned normally.
+    Finished,
+    /// Closure panicked.
+    Panicked { message: String },
+    /// Daemon cancelled at shutdown.
+    Cancelled,
+}
+
+impl ProcessStatus {
+    /// Whether the process still exists (has not finished or died).
+    pub fn is_live(&self) -> bool {
+        matches!(
+            self,
+            ProcessStatus::Ready
+                | ProcessStatus::Running
+                | ProcessStatus::Blocked { .. }
+                | ProcessStatus::Sleeping { .. }
+        )
+    }
+}
+
+/// What a pending timer does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum TimerKind {
+    /// Wake a sleeping process.
+    Sleep,
+    /// Wake a process parked with a timeout, if it is still parked in the
+    /// same park "generation" (the token detects staleness).
+    ParkTimeout { token: u64 },
+}
+
+/// Per-process bookkeeping.
+pub(crate) struct ProcSlot {
+    pub name: String,
+    pub daemon: bool,
+    pub status: ProcessStatus,
+    pub baton: Arc<Baton<Go>>,
+    pub join: Option<JoinHandle<()>>,
+    /// Incremented at every park; timeout timers carry the token of the
+    /// park they belong to so stale timers are ignored.
+    pub park_token: u64,
+    /// Set when the last park ended by timeout rather than unpark.
+    pub timed_out: bool,
+}
+
+/// All mutable kernel state, guarded by one mutex.
+pub(crate) struct State {
+    pub procs: Vec<ProcSlot>,
+    /// Runnable pids in enqueue order (index 0 waited longest).
+    pub ready: Vec<Pid>,
+    /// Timers: `(deadline, tiebreak, pid, kind)` min-heap.
+    pub timers: BinaryHeap<Reverse<(Time, u64, Pid, TimerKind)>>,
+    pub timer_tiebreak: u64,
+    pub clock: Time,
+    pub step: u64,
+    pub running: Option<Pid>,
+    pub trace: Trace,
+    pub decisions: Vec<Decision>,
+    pub record_sched_events: bool,
+}
+
+impl State {
+    pub(crate) fn new(record_sched_events: bool) -> Self {
+        State {
+            procs: Vec::new(),
+            ready: Vec::new(),
+            timers: BinaryHeap::new(),
+            timer_tiebreak: 0,
+            clock: Time::ZERO,
+            step: 0,
+            running: None,
+            trace: Trace::new(),
+            decisions: Vec::new(),
+            record_sched_events,
+        }
+    }
+}
+
+/// State shared between the scheduler thread and all process threads.
+pub(crate) struct Shared {
+    pub state: Mutex<State>,
+    /// The scheduler's inbox: the running process reports here when it stops.
+    pub sched_baton: Baton<Report>,
+    /// Global ticket dispenser used by wait queues for FIFO ordering.
+    pub tickets: AtomicU64,
+}
+
+impl Shared {
+    pub(crate) fn new(record_sched_events: bool) -> Arc<Self> {
+        Arc::new(Shared {
+            state: Mutex::new(State::new(record_sched_events)),
+            sched_baton: Baton::new(),
+            tickets: AtomicU64::new(0),
+        })
+    }
+
+    /// Draws a fresh, strictly increasing ticket.
+    pub(crate) fn fresh_ticket(&self) -> u64 {
+        self.tickets.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a new process (from the builder or a running process) and
+    /// starts its host thread. The thread idles until first dispatched.
+    pub(crate) fn spawn_process<F>(self: &Arc<Self>, name: &str, daemon: bool, f: F) -> Pid
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        let baton = Arc::new(Baton::new());
+        let pid;
+        {
+            let mut st = self.state.lock();
+            pid = Pid(st.procs.len() as u32);
+            st.procs.push(ProcSlot {
+                name: name.to_string(),
+                daemon,
+                status: ProcessStatus::Ready,
+                baton: Arc::clone(&baton),
+                join: None,
+                park_token: 0,
+                timed_out: false,
+            });
+            st.ready.push(pid);
+            let clock = st.clock;
+            st.trace.push(
+                clock,
+                pid,
+                EventKind::Spawned {
+                    name: name.to_string(),
+                    daemon,
+                },
+            );
+        }
+        let shared = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || process_main(shared, pid, baton, f))
+            .expect("failed to spawn simulator process thread");
+        self.state.lock().procs[pid.index()].join = Some(handle);
+        pid
+    }
+}
+
+/// Marker payload used to unwind a process thread cleanly at shutdown.
+struct Cancelled;
+
+/// Entry point of every process host thread.
+fn process_main<F>(shared: Arc<Shared>, pid: Pid, baton: Arc<Baton<Go>>, f: F)
+where
+    F: FnOnce(&Ctx) + Send + 'static,
+{
+    match baton.take() {
+        Go::Cancel => return,
+        Go::Run => {}
+    }
+    let ctx = Ctx::new(Arc::clone(&shared), pid);
+    let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+    match result {
+        Ok(()) => shared.sched_baton.put(Report::Finished),
+        Err(payload) => {
+            if payload.is::<Cancelled>() {
+                // Shutdown unwind: the scheduler is not waiting for a report.
+                return;
+            }
+            let message = panic_message(payload);
+            shared.sched_baton.put(Report::Panicked { message });
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Called from [`Ctx::park`]: unwinds the process thread if cancelled.
+pub(crate) fn obey(go: Go) {
+    match go {
+        Go::Run => {}
+        // `resume_unwind` (not `panic_any`) so the panic hook stays silent:
+        // cancellation is normal shutdown, not an error.
+        Go::Cancel => std::panic::resume_unwind(Box::new(Cancelled)),
+    }
+}
+
+/// Summary of one process at the end of a run.
+#[derive(Debug, Clone)]
+pub struct ProcessSummary {
+    /// The process id.
+    pub pid: Pid,
+    /// The name given at spawn time.
+    pub name: String,
+    /// Whether the process was a daemon.
+    pub daemon: bool,
+    /// Final status.
+    pub status: ProcessStatus,
+}
+
+/// Everything recorded about one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The full ordered event log.
+    pub trace: Trace,
+    /// Every contested scheduling decision, in order (replay coordinates).
+    pub decisions: Vec<Decision>,
+    /// Number of dispatches performed.
+    pub steps: u64,
+    /// Virtual time at which the run ended.
+    pub final_time: Time,
+    /// Final status of every process.
+    pub processes: Vec<ProcessSummary>,
+}
+
+impl SimReport {
+    /// The name of the process with the given pid.
+    pub fn name_of(&self, pid: Pid) -> &str {
+        &self.processes[pid.index()].name
+    }
+}
+
+fn snapshot(st: &mut State) -> SimReport {
+    SimReport {
+        trace: std::mem::take(&mut st.trace),
+        decisions: std::mem::take(&mut st.decisions),
+        steps: st.step,
+        final_time: st.clock,
+        processes: st
+            .procs
+            .iter()
+            .map(|p| ProcessSummary {
+                pid: Pid(0), // patched below
+                name: p.name.clone(),
+                daemon: p.daemon,
+                status: p.status.clone(),
+            })
+            .enumerate()
+            .map(|(i, mut s)| {
+                s.pid = Pid(i as u32);
+                s
+            })
+            .collect(),
+    }
+}
+
+/// The scheduler loop. Runs on the thread that called [`crate::Sim::run`].
+pub(crate) fn run_kernel(
+    shared: Arc<Shared>,
+    mut policy: Box<dyn SchedPolicy>,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    let error: Option<SimErrorKind>;
+    loop {
+        // Phase 1: pick the next process (or detect termination/deadlock).
+        let next: Pid;
+        let baton: Arc<Baton<Go>>;
+        {
+            let mut st = shared.state.lock();
+            // The run is complete once no non-daemon process is live, even
+            // if daemon processes are still runnable or sleeping.
+            if st.procs.iter().all(|p| p.daemon || !p.status.is_live()) {
+                error = None;
+                break;
+            }
+            // Fire due timers, jumping the clock forward as often as
+            // needed: a batch may consist entirely of stale timers, in
+            // which case the next deadline must be tried too.
+            while st.ready.is_empty() {
+                let Some(&Reverse((deadline, _, _, _))) = st.timers.peek() else {
+                    break;
+                };
+                {
+                    if deadline > st.clock {
+                        st.clock = deadline;
+                    }
+                    while let Some(&Reverse((d, _, pid, kind))) = st.timers.peek() {
+                        if d > st.clock {
+                            break;
+                        }
+                        st.timers.pop();
+                        let fire = match kind {
+                            TimerKind::Sleep => {
+                                matches!(
+                                    st.procs[pid.index()].status,
+                                    ProcessStatus::Sleeping { .. }
+                                )
+                            }
+                            TimerKind::ParkTimeout { token } => {
+                                let slot = &st.procs[pid.index()];
+                                slot.park_token == token
+                                    && matches!(slot.status, ProcessStatus::Blocked { .. })
+                            }
+                        };
+                        if !fire {
+                            continue; // stale timer from an earlier park/sleep
+                        }
+                        if let TimerKind::ParkTimeout { .. } = kind {
+                            st.procs[pid.index()].timed_out = true;
+                        }
+                        st.procs[pid.index()].status = ProcessStatus::Ready;
+                        st.ready.push(pid);
+                        if st.record_sched_events {
+                            let clock = st.clock;
+                            st.trace.push(clock, pid, EventKind::TimerFired);
+                        }
+                    }
+                }
+            }
+            if st.ready.is_empty() {
+                let blocked: Vec<(Pid, String, String)> = st
+                    .procs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| match &p.status {
+                        ProcessStatus::Blocked { reason } if !p.daemon => {
+                            Some((Pid(i as u32), p.name.clone(), reason.clone()))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                error = if blocked.is_empty() {
+                    None // Only daemons (or nothing) remain: clean completion.
+                } else {
+                    Some(SimErrorKind::Deadlock { blocked })
+                };
+                break;
+            }
+            if st.step >= cfg.max_steps {
+                error = Some(SimErrorKind::MaxStepsExceeded {
+                    limit: cfg.max_steps,
+                });
+                break;
+            }
+            let idx = if st.ready.len() == 1 {
+                0
+            } else {
+                let step = st.step;
+                let arity = st.ready.len() as u32;
+                let pick = policy.choose(&st.ready, step).min(st.ready.len() - 1);
+                st.decisions.push(Decision {
+                    arity,
+                    chosen: pick as u32,
+                });
+                pick
+            };
+            next = st.ready.remove(idx);
+            st.clock = st.clock.plus(1);
+            st.step += 1;
+            st.running = Some(next);
+            st.procs[next.index()].status = ProcessStatus::Running;
+            if st.record_sched_events {
+                let clock = st.clock;
+                st.trace.push(clock, next, EventKind::Scheduled);
+            }
+            baton = Arc::clone(&st.procs[next.index()].baton);
+        }
+
+        // Phase 2: hand over the CPU and wait for the process to stop.
+        baton.put(Go::Run);
+        let report = shared.sched_baton.take();
+
+        // Phase 3: account for how it stopped.
+        let mut st = shared.state.lock();
+        st.running = None;
+        let clock = st.clock;
+        match report {
+            Report::Yielded => {
+                st.procs[next.index()].status = ProcessStatus::Ready;
+                st.ready.push(next);
+                if st.record_sched_events {
+                    st.trace.push(clock, next, EventKind::Yielded);
+                }
+            }
+            Report::Parked { reason } => {
+                // The Blocked trace event was already pushed by Ctx::park so
+                // that it is ordered before any subsequent unpark.
+                let slot = &mut st.procs[next.index()];
+                slot.status = ProcessStatus::Blocked { reason };
+                slot.park_token += 1;
+                slot.timed_out = false;
+            }
+            Report::ParkedTimeout { reason, ticks } => {
+                let until = clock.plus(ticks);
+                let slot = &mut st.procs[next.index()];
+                slot.status = ProcessStatus::Blocked { reason };
+                slot.park_token += 1;
+                slot.timed_out = false;
+                let token = slot.park_token;
+                let tiebreak = st.timer_tiebreak;
+                st.timer_tiebreak += 1;
+                st.timers.push(Reverse((
+                    until,
+                    tiebreak,
+                    next,
+                    TimerKind::ParkTimeout { token },
+                )));
+            }
+            Report::Slept { ticks } => {
+                let until = clock.plus(ticks);
+                st.procs[next.index()].status = ProcessStatus::Sleeping { until };
+                let tiebreak = st.timer_tiebreak;
+                st.timer_tiebreak += 1;
+                st.timers
+                    .push(Reverse((until, tiebreak, next, TimerKind::Sleep)));
+                if st.record_sched_events {
+                    st.trace.push(clock, next, EventKind::Slept { until });
+                }
+            }
+            Report::Finished => {
+                st.procs[next.index()].status = ProcessStatus::Finished;
+                if st.record_sched_events {
+                    st.trace.push(clock, next, EventKind::Finished);
+                }
+            }
+            Report::Panicked { message } => {
+                st.procs[next.index()].status = ProcessStatus::Panicked {
+                    message: message.clone(),
+                };
+                drop(st);
+                shutdown(&shared);
+                let mut st = shared.state.lock();
+                let report = snapshot(&mut st);
+                return Err(SimError {
+                    kind: SimErrorKind::ProcessPanicked { pid: next, message },
+                    report,
+                });
+            }
+        }
+    }
+
+    shutdown(&shared);
+    let mut st = shared.state.lock();
+    let report = snapshot(&mut st);
+    match error {
+        None => Ok(report),
+        Some(kind) => Err(SimError { kind, report }),
+    }
+}
+
+/// Cancels every still-live process thread and joins all threads.
+fn shutdown(shared: &Arc<Shared>) {
+    let mut joins = Vec::new();
+    {
+        let mut st = shared.state.lock();
+        for (i, p) in st.procs.iter_mut().enumerate() {
+            let _ = i;
+            if p.status.is_live() {
+                p.baton.put(Go::Cancel);
+                p.status = ProcessStatus::Cancelled;
+            }
+            if let Some(h) = p.join.take() {
+                joins.push(h);
+            }
+        }
+    }
+    for h in joins {
+        // A cancelled thread unwinds with the private `Cancelled` payload,
+        // which `process_main` catches, so join never observes a panic from
+        // cancellation; a genuine panic was already reported via the baton
+        // and converted into Finished-by-report there.
+        let _ = h.join();
+    }
+}

@@ -1,0 +1,80 @@
+#![forbid(unsafe_code)]
+//! Deterministic cooperative concurrency simulator.
+//!
+//! `bloom-sim` is the substrate every synchronization mechanism in this
+//! workspace is built on. Simulated *processes* are ordinary Rust closures,
+//! each hosted on its own OS thread, but a baton protocol guarantees that
+//! **exactly one process executes at any instant**. Every blocking operation
+//! (parking, sleeping, yielding) is a scheduling point at which a pluggable
+//! [`SchedPolicy`] picks the next process to run. Given a policy, an entire
+//! execution — including its virtual-time stamps and event trace — is a pure
+//! function of the program, so any run can be replayed, shrunk, or
+//! exhaustively explored.
+//!
+//! This determinism is what makes the paper's *behavioral* claims testable:
+//! Bloom's analysis of the Figure-1 path-expression solution (footnote 3)
+//! hinges on one specific interleaving of three processes, which
+//! [`Explorer`] can find mechanically.
+//!
+//! # Architecture
+//!
+//! * [`Sim`] — builder/owner of a simulation: spawn processes, pick a
+//!   policy, [`Sim::run`] to completion.
+//! * [`Ctx`] — the handle a process closure receives; all interaction with
+//!   the kernel (parking, spawning, tracing) goes through it.
+//! * [`WaitQueue`] — the one low-level blocking primitive; semaphores,
+//!   monitors, serializers and path expressions are all built from it.
+//! * [`Trace`] / [`Event`] — the totally ordered event log of a run;
+//!   higher-level crates derive their correctness checks from it.
+//! * [`Explorer`] — bounded exhaustive enumeration of schedules.
+//!
+//! # The cooperative invariant
+//!
+//! Because only one process runs at a time and control transfers only at
+//! explicit scheduling points, a *check-then-park* sequence inside a process
+//! is atomic with respect to all other processes. Mechanism implementations
+//! exploit this: there are no lost-wakeup races to defend against, so the
+//! mechanism code stays close to the published pseudocode it reproduces.
+//!
+//! # Example
+//!
+//! ```
+//! use bloom_sim::{Sim, WaitQueue};
+//! use std::sync::Arc;
+//!
+//! let mut sim = Sim::new();
+//! let q = Arc::new(WaitQueue::new("turnstile"));
+//! let q2 = Arc::clone(&q);
+//! sim.spawn("waiter", move |ctx| {
+//!     q2.wait(ctx); // parks until woken
+//!     ctx.emit("woken", &[]);
+//! });
+//! let q3 = Arc::clone(&q);
+//! sim.spawn("waker", move |ctx| {
+//!     ctx.yield_now(); // let the waiter park first
+//!     q3.wake_one(ctx);
+//! });
+//! let report = sim.run().expect("no deadlock");
+//! assert!(report.trace.user_events().any(|(_, label, _)| label == "woken"));
+//! ```
+
+mod baton;
+mod ctx;
+mod error;
+mod explore;
+mod kernel;
+mod policy;
+mod sim;
+mod trace;
+mod types;
+mod waitq;
+
+pub use ctx::Ctx;
+pub use error::{SimError, SimErrorKind};
+pub use explore::{ExploreStats, Explorer};
+pub use kernel::{ProcessStatus, ProcessSummary, SimReport};
+pub use policy::{FifoPolicy, LifoPolicy, RandomPolicy, ReplayPolicy, SchedPolicy};
+pub use sim::{Sim, SimConfig};
+pub use trace::{Decision, Event, EventKind, Trace};
+pub use types::{Pid, Time};
+pub use waitq::WaitQueue;

@@ -1,0 +1,185 @@
+//! Pluggable scheduling policies.
+//!
+//! The kernel consults a [`SchedPolicy`] only when more than one process is
+//! runnable; with a single candidate the dispatch is forced. All provided
+//! policies are deterministic functions of their own state, so an entire run
+//! is reproducible from the policy construction parameters (e.g. the random
+//! seed), and any run can be replayed exactly from its recorded
+//! [`crate::Decision`] list via [`ReplayPolicy`].
+
+use crate::types::Pid;
+
+/// Chooses which runnable process to dispatch next.
+///
+/// `ready` is the runnable set in enqueue order (index 0 has been runnable
+/// the longest) and always has at least two entries. Implementations must
+/// return an index `< ready.len()`.
+pub trait SchedPolicy: Send {
+    /// Picks the index of the process to dispatch.
+    fn choose(&mut self, ready: &[Pid], step: u64) -> usize;
+
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &str {
+        "custom"
+    }
+}
+
+/// First-come-first-served round-robin: always dispatches the process that
+/// has been runnable the longest. This is the "fair" baseline policy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FifoPolicy;
+
+impl SchedPolicy for FifoPolicy {
+    fn choose(&mut self, _ready: &[Pid], _step: u64) -> usize {
+        0
+    }
+
+    fn name(&self) -> &str {
+        "fifo"
+    }
+}
+
+/// Adversarially unfair policy: always dispatches the most recently
+/// runnable process. Useful for provoking starvation in mechanisms whose
+/// fairness depends on the underlying scheduler (e.g. weak semaphores).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LifoPolicy;
+
+impl SchedPolicy for LifoPolicy {
+    fn choose(&mut self, ready: &[Pid], _step: u64) -> usize {
+        ready.len() - 1
+    }
+
+    fn name(&self) -> &str {
+        "lifo"
+    }
+}
+
+/// Seeded pseudo-random policy (SplitMix64), deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    state: u64,
+    name: String,
+}
+
+impl RandomPolicy {
+    /// Creates a random policy with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            state: seed,
+            name: format!("random(seed={seed})"),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64: tiny, high-quality, dependency-free.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SchedPolicy for RandomPolicy {
+    fn choose(&mut self, ready: &[Pid], _step: u64) -> usize {
+        (self.next_u64() % ready.len() as u64) as usize
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Replays a recorded decision script; beyond the script it behaves like
+/// [`FifoPolicy`]. This is the workhorse of [`crate::Explorer`].
+#[derive(Debug, Clone)]
+pub struct ReplayPolicy {
+    script: Vec<u32>,
+    pos: usize,
+}
+
+impl ReplayPolicy {
+    /// Creates a replay policy from a decision prefix (one entry per
+    /// decision point with more than one runnable process).
+    pub fn new(script: Vec<u32>) -> Self {
+        ReplayPolicy { script, pos: 0 }
+    }
+}
+
+impl SchedPolicy for ReplayPolicy {
+    fn choose(&mut self, ready: &[Pid], _step: u64) -> usize {
+        let pick = match self.script.get(self.pos) {
+            Some(&i) => (i as usize).min(ready.len() - 1),
+            None => 0,
+        };
+        self.pos += 1;
+        pick
+    }
+
+    fn name(&self) -> &str {
+        "replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(n: u32) -> Vec<Pid> {
+        (0..n).map(Pid).collect()
+    }
+
+    #[test]
+    fn fifo_picks_oldest() {
+        let mut p = FifoPolicy;
+        assert_eq!(p.choose(&pids(3), 0), 0);
+    }
+
+    #[test]
+    fn lifo_picks_newest() {
+        let mut p = LifoPolicy;
+        assert_eq!(p.choose(&pids(3), 0), 2);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let r = pids(5);
+        let mut a = RandomPolicy::new(42);
+        let mut b = RandomPolicy::new(42);
+        let seq_a: Vec<_> = (0..20).map(|s| a.choose(&r, s)).collect();
+        let seq_b: Vec<_> = (0..20).map(|s| b.choose(&r, s)).collect();
+        assert_eq!(seq_a, seq_b);
+        let mut c = RandomPolicy::new(43);
+        let seq_c: Vec<_> = (0..20).map(|s| c.choose(&r, s)).collect();
+        assert_ne!(seq_a, seq_c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn random_stays_in_bounds() {
+        let mut p = RandomPolicy::new(7);
+        for step in 0..1000 {
+            let n = 2 + (step as usize % 7);
+            let pick = p.choose(&pids(n as u32), step);
+            assert!(pick < n);
+        }
+    }
+
+    #[test]
+    fn replay_follows_script_then_fifo() {
+        let mut p = ReplayPolicy::new(vec![2, 1]);
+        assert_eq!(p.choose(&pids(4), 0), 2);
+        assert_eq!(p.choose(&pids(4), 1), 1);
+        assert_eq!(
+            p.choose(&pids(4), 2),
+            0,
+            "past script end falls back to fifo"
+        );
+    }
+
+    #[test]
+    fn replay_clamps_out_of_range_entries() {
+        let mut p = ReplayPolicy::new(vec![9]);
+        assert_eq!(p.choose(&pids(2), 0), 1);
+    }
+}

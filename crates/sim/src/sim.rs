@@ -1,0 +1,101 @@
+//! The public simulation builder and runner.
+
+use crate::ctx::Ctx;
+use crate::error::SimError;
+use crate::kernel::{run_kernel, Shared, SimReport};
+use crate::policy::{FifoPolicy, SchedPolicy};
+use crate::types::Pid;
+use std::sync::Arc;
+
+/// Tunables for a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Dispatch budget; exceeding it fails the run with
+    /// [`crate::SimErrorKind::MaxStepsExceeded`]. Guards against livelock.
+    pub max_steps: u64,
+    /// Whether scheduler-level events (Scheduled/Yielded/…) are recorded in
+    /// the trace. User events are always recorded. Disable for benchmarks.
+    pub record_sched_events: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_steps: 2_000_000,
+            record_sched_events: true,
+        }
+    }
+}
+
+/// A simulation under construction.
+///
+/// Spawn processes, optionally set a policy and config, then call
+/// [`Sim::run`]. See the [crate docs](crate) for an end-to-end example.
+pub struct Sim {
+    shared: Arc<Shared>,
+    policy: Box<dyn SchedPolicy>,
+    config: SimConfig,
+}
+
+impl Sim {
+    /// Creates a simulation with the default (FIFO round-robin) policy.
+    pub fn new() -> Self {
+        Sim::with_config(SimConfig::default())
+    }
+
+    /// Creates a simulation with explicit configuration.
+    pub fn with_config(config: SimConfig) -> Self {
+        Sim {
+            shared: Shared::new(config.record_sched_events),
+            policy: Box::new(FifoPolicy),
+            config,
+        }
+    }
+
+    /// Replaces the scheduling policy.
+    pub fn set_policy<P: SchedPolicy + 'static>(&mut self, policy: P) -> &mut Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Spawns a process; it becomes runnable when the simulation starts.
+    pub fn spawn<F>(&mut self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.shared.spawn_process(name, false, f)
+    }
+
+    /// Spawns a daemon process (see [`Ctx::spawn_daemon`]).
+    pub fn spawn_daemon<F>(&mut self, name: &str, f: F) -> Pid
+    where
+        F: FnOnce(&Ctx) + Send + 'static,
+    {
+        self.shared.spawn_process(name, true, f)
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// Completion means every non-daemon process finished (daemons are then
+    /// cancelled). Failures — deadlock, process panic, step-budget
+    /// exhaustion — are returned as [`SimError`], which still carries the
+    /// full [`SimReport`] for diagnosis.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        run_kernel(self.shared, self.policy, &self.config)
+    }
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Sim::new()
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("policy", &self.policy.name())
+            .field("config", &self.config)
+            .finish()
+    }
+}

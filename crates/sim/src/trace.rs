@@ -1,0 +1,211 @@
+//! The totally ordered event log of a simulation run.
+//!
+//! Every scheduling action and every user-emitted event is appended to a
+//! single [`Trace`]. Higher-level crates (checkers, the evaluation harness)
+//! consume the trace rather than instrumenting mechanisms directly, so one
+//! log is the single source of truth for "what happened, in what order".
+
+use crate::types::{Pid, Time};
+use std::fmt;
+
+/// What happened at one point in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A process was created (by the builder or by a running process).
+    Spawned { name: String, daemon: bool },
+    /// The scheduler dispatched the process.
+    Scheduled,
+    /// The process voluntarily yielded the CPU.
+    Yielded,
+    /// The process parked itself on a wait queue.
+    Blocked { reason: String },
+    /// A running process made this (parked) process runnable again.
+    Unparked { by: Pid },
+    /// The process began sleeping until the given virtual time.
+    Slept { until: Time },
+    /// The process's sleep timer fired and it became runnable.
+    TimerFired,
+    /// The process closure returned.
+    Finished,
+    /// An application-level event emitted via [`crate::Ctx::emit`].
+    User { label: String, params: Vec<i64> },
+}
+
+/// One entry in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual time at which the event occurred.
+    pub time: Time,
+    /// Position in the trace; a strict total order over all events.
+    pub seq: u64,
+    /// The process the event concerns.
+    pub pid: Pid,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} #{}] {}: ", self.time, self.seq, self.pid)?;
+        match &self.kind {
+            EventKind::Spawned { name, daemon } => {
+                write!(
+                    f,
+                    "spawned \"{name}\"{}",
+                    if *daemon { " (daemon)" } else { "" }
+                )
+            }
+            EventKind::Scheduled => write!(f, "scheduled"),
+            EventKind::Yielded => write!(f, "yielded"),
+            EventKind::Blocked { reason } => write!(f, "blocked on {reason}"),
+            EventKind::Unparked { by } => write!(f, "unparked by {by}"),
+            EventKind::Slept { until } => write!(f, "sleeping until {until}"),
+            EventKind::TimerFired => write!(f, "timer fired"),
+            EventKind::Finished => write!(f, "finished"),
+            EventKind::User { label, params } => write!(f, "{label} {params:?}"),
+        }
+    }
+}
+
+/// A scheduling decision point: the policy chose `chosen` out of `arity`
+/// runnable processes. Only points with `arity > 1` are recorded; they are
+/// exactly the coordinates the [`crate::Explorer`] enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// How many processes were runnable.
+    pub arity: u32,
+    /// Index (into the ready list, in enqueue order) that was dispatched.
+    pub chosen: u32,
+}
+
+/// The event log of one run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn push(&mut self, time: Time, pid: Pid, kind: EventKind) {
+        let seq = self.events.len() as u64;
+        self.events.push(Event {
+            time,
+            seq,
+            pid,
+            kind,
+        });
+    }
+
+    /// All events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over user events as `(event, label, params)` triples.
+    pub fn user_events(&self) -> impl Iterator<Item = (&Event, &str, &[i64])> {
+        self.events.iter().filter_map(|e| match &e.kind {
+            EventKind::User { label, params } => Some((e, label.as_str(), params.as_slice())),
+            _ => None,
+        })
+    }
+
+    /// All events concerning one process.
+    pub fn events_for(&self, pid: Pid) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.pid == pid)
+    }
+
+    /// The first user event with the given label, if any.
+    pub fn first_user(&self, label: &str) -> Option<&Event> {
+        self.user_events()
+            .find(|(_, l, _)| *l == label)
+            .map(|(e, _, _)| e)
+    }
+
+    /// Counts user events with the given label.
+    pub fn count_user(&self, label: &str) -> usize {
+        self.user_events().filter(|(_, l, _)| *l == label).count()
+    }
+
+    /// Renders the full trace, one event per line (diagnostics).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(Time(0), Pid(0), EventKind::Scheduled);
+        t.push(
+            Time(1),
+            Pid(0),
+            EventKind::User {
+                label: "enter".into(),
+                params: vec![42],
+            },
+        );
+        t.push(
+            Time(2),
+            Pid(1),
+            EventKind::User {
+                label: "enter".into(),
+                params: vec![7],
+            },
+        );
+        t.push(Time(3), Pid(0), EventKind::Finished);
+        t
+    }
+
+    #[test]
+    fn seq_is_dense_and_ordered() {
+        let t = sample();
+        for (i, e) in t.events().iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn user_event_queries() {
+        let t = sample();
+        assert_eq!(t.count_user("enter"), 2);
+        assert_eq!(t.first_user("enter").unwrap().pid, Pid(0));
+        assert!(t.first_user("missing").is_none());
+    }
+
+    #[test]
+    fn events_for_filters_by_pid() {
+        let t = sample();
+        assert_eq!(t.events_for(Pid(1)).count(), 1);
+        assert_eq!(t.events_for(Pid(0)).count(), 3);
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let t = sample();
+        let s = t.render();
+        assert!(s.contains("enter [42]"));
+        assert!(s.contains("P1"));
+    }
+}

@@ -1,0 +1,290 @@
+//! The one low-level blocking primitive: an ordered wait queue.
+//!
+//! Every mechanism crate (semaphores, monitors, serializers, path
+//! expressions) builds its blocking behavior out of [`WaitQueue`]s. A queue
+//! orders waiters by `(priority, arrival ticket)`: plain [`WaitQueue::wait`]
+//! uses priority 0, so the order degenerates to FIFO; priority waits (as in
+//! Hoare's disk-scheduler monitor) jump the queue.
+//!
+//! Thanks to the simulator's cooperative invariant, the registration of a
+//! waiter and the subsequent park are atomic with respect to all other
+//! processes — there is no lost-wakeup window to defend against.
+
+use crate::ctx::Ctx;
+use crate::types::Pid;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+struct Waiter {
+    pid: Pid,
+    ticket: u64,
+    priority: i64,
+}
+
+/// An ordered queue of parked processes.
+#[derive(Debug)]
+pub struct WaitQueue {
+    name: String,
+    waiters: Mutex<VecDeque<Waiter>>,
+}
+
+impl WaitQueue {
+    /// Creates an empty queue; `name` appears in traces and deadlock reports.
+    pub fn new(name: &str) -> Self {
+        WaitQueue {
+            name: name.to_string(),
+            waiters: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The queue's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parks the calling process at the back of the queue (FIFO order).
+    pub fn wait(&self, ctx: &Ctx) {
+        self.wait_priority(ctx, 0);
+    }
+
+    /// Parks the calling process ordered by `priority` (lower values are
+    /// woken first), with FIFO arrival order breaking ties.
+    pub fn wait_priority(&self, ctx: &Ctx, priority: i64) {
+        self.enqueue_current(ctx, priority);
+        ctx.park(&self.name);
+    }
+
+    /// Registers the calling process on the queue *without* parking it.
+    ///
+    /// The caller must follow up with [`Ctx::park`] before any
+    /// other process can run; under the simulator's cooperative invariant
+    /// any non-blocking work done in between (such as releasing a monitor)
+    /// is atomic with the enqueue, which is exactly what monitor `wait`
+    /// needs: enqueue on the condition, release possession, park.
+    pub fn enqueue_current(&self, ctx: &Ctx, priority: i64) {
+        let ticket = ctx.fresh_ticket();
+        let mut q = self.waiters.lock();
+        let at = q
+            .iter()
+            .position(|w| (w.priority, w.ticket) > (priority, ticket))
+            .unwrap_or(q.len());
+        q.insert(
+            at,
+            Waiter {
+                pid: ctx.pid(),
+                ticket,
+                priority,
+            },
+        );
+    }
+
+    /// Wakes the frontmost waiter, if any, and returns its pid.
+    ///
+    /// Entries whose process already woke by timeout (see
+    /// [`WaitQueue::wait_timeout`]) are discarded, so a wake is never
+    /// wasted on a waiter that has given up.
+    pub fn wake_one(&self, ctx: &Ctx) -> Option<Pid> {
+        loop {
+            let waiter = self.waiters.lock().pop_front()?;
+            if ctx.try_unpark(waiter.pid) {
+                return Some(waiter.pid);
+            }
+            // Stale entry (timed out, not yet self-removed): skip it.
+        }
+    }
+
+    /// Wakes every waiter (in queue order) and returns how many were woken.
+    pub fn wake_all(&self, ctx: &Ctx) -> usize {
+        let drained: Vec<Waiter> = self.waiters.lock().drain(..).collect();
+        drained.iter().filter(|w| ctx.try_unpark(w.pid)).count()
+    }
+
+    /// Wakes a specific pid if it is in this queue; returns whether it was
+    /// woken (a stale timed-out entry is removed but not counted).
+    pub fn wake_pid(&self, ctx: &Ctx, pid: Pid) -> bool {
+        let removed = {
+            let mut q = self.waiters.lock();
+            match q.iter().position(|w| w.pid == pid) {
+                Some(at) => {
+                    q.remove(at);
+                    true
+                }
+                None => false,
+            }
+        };
+        removed && ctx.try_unpark(pid)
+    }
+
+    /// Removes and returns the frontmost waiter *without* waking it; the
+    /// caller becomes responsible for eventually unparking the process
+    /// (used by deferred hand-offs such as signal-and-exit monitors).
+    pub fn take_front(&self) -> Option<Pid> {
+        self.waiters.lock().pop_front().map(|w| w.pid)
+    }
+
+    /// Removes the calling process's own entry (timeout cleanup).
+    pub fn remove_current(&self, ctx: &Ctx) {
+        self.waiters.lock().retain(|w| w.pid != ctx.pid());
+    }
+
+    /// Parks the calling process at the back of the queue for at most
+    /// `ticks` quanta of virtual time. Returns `true` if woken by a
+    /// [`WaitQueue::wake_one`]/[`WaitQueue::wake_all`], `false` on timeout
+    /// (the entry is removed either way).
+    pub fn wait_timeout(&self, ctx: &Ctx, ticks: u64) -> bool {
+        self.enqueue_current(ctx, 0);
+        let woken = ctx.park_timeout(&self.name, ticks);
+        if !woken {
+            // A waker may have skipped past our stale entry already; the
+            // removal is idempotent.
+            self.remove_current(ctx);
+        }
+        woken
+    }
+
+    /// Number of processes currently waiting.
+    pub fn len(&self) -> usize {
+        self.waiters.lock().len()
+    }
+
+    /// Whether the queue has no waiters. This is Hoare's *condition queue
+    /// interrogation* (`nonempty`/`queue` in the monitor paper).
+    pub fn is_empty(&self) -> bool {
+        self.waiters.lock().is_empty()
+    }
+
+    /// Priority of the frontmost waiter, if any (Hoare's `minrank`, used by
+    /// the disk-scheduler and alarm-clock monitors).
+    pub fn min_priority(&self) -> Option<i64> {
+        self.waiters.lock().front().map(|w| w.priority)
+    }
+
+    /// The frontmost waiter's pid without waking it.
+    pub fn front(&self) -> Option<Pid> {
+        self.waiters.lock().front().map(|w| w.pid)
+    }
+
+    /// Arrival ticket of the frontmost waiter, if any. Lower tickets arrived
+    /// earlier; mechanisms use this for longest-waiting selection across
+    /// several queues.
+    pub fn front_ticket(&self) -> Option<u64> {
+        self.waiters.lock().front().map(|w| w.ticket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_wake_order() {
+        let mut sim = Sim::new();
+        let q = Arc::new(WaitQueue::new("q"));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let q = Arc::clone(&q);
+            let order = Arc::clone(&order);
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                q.wait(ctx);
+                order.lock().push(i);
+            });
+        }
+        let q2 = Arc::clone(&q);
+        sim.spawn("waker", move |ctx| {
+            // Let all three park first (each wait is a scheduling point).
+            for _ in 0..4 {
+                ctx.yield_now();
+            }
+            assert_eq!(q2.len(), 3);
+            while q2.wake_one(ctx).is_some() {}
+        });
+        sim.run().expect("clean run");
+        assert_eq!(*order.lock(), vec![0, 1, 2], "FIFO order preserved");
+    }
+
+    #[test]
+    fn priority_orders_wakeups() {
+        let mut sim = Sim::new();
+        let q = Arc::new(WaitQueue::new("prio"));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (i, prio) in [(0, 5i64), (1, 1), (2, 3)] {
+            let q = Arc::clone(&q);
+            let order = Arc::clone(&order);
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                q.wait_priority(ctx, prio);
+                order.lock().push(i);
+            });
+        }
+        let q2 = Arc::clone(&q);
+        sim.spawn("waker", move |ctx| {
+            for _ in 0..4 {
+                ctx.yield_now();
+            }
+            assert_eq!(q2.min_priority(), Some(1));
+            while q2.wake_one(ctx).is_some() {}
+        });
+        sim.run().expect("clean run");
+        assert_eq!(*order.lock(), vec![1, 2, 0], "woken in priority order");
+    }
+
+    #[test]
+    fn wake_pid_plucks_from_middle() {
+        let mut sim = Sim::new();
+        let q = Arc::new(WaitQueue::new("q"));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut pids = Vec::new();
+        for i in 0..3 {
+            let q = Arc::clone(&q);
+            let order = Arc::clone(&order);
+            pids.push(sim.spawn(&format!("w{i}"), move |ctx| {
+                q.wait(ctx);
+                order.lock().push(i);
+            }));
+        }
+        let q2 = Arc::clone(&q);
+        let target = pids[1];
+        sim.spawn("waker", move |ctx| {
+            for _ in 0..4 {
+                ctx.yield_now();
+            }
+            assert!(q2.wake_pid(ctx, target));
+            assert!(
+                !q2.wake_pid(ctx, target),
+                "second wake of same pid is a no-op"
+            );
+            q2.wake_all(ctx);
+        });
+        sim.run().expect("clean run");
+        assert_eq!(*order.lock(), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn empty_queue_wake_is_noop() {
+        let mut sim = Sim::new();
+        let q = Arc::new(WaitQueue::new("q"));
+        let q2 = Arc::clone(&q);
+        sim.spawn("solo", move |ctx| {
+            assert!(q2.wake_one(ctx).is_none());
+            assert_eq!(q2.wake_all(ctx), 0);
+            assert!(q2.is_empty());
+            assert_eq!(q2.min_priority(), None);
+        });
+        sim.run().expect("clean run");
+    }
+
+    #[test]
+    fn deadlock_reported_when_everyone_waits() {
+        let mut sim = Sim::new();
+        let q = Arc::new(WaitQueue::new("abyss"));
+        for i in 0..2 {
+            let q = Arc::clone(&q);
+            sim.spawn(&format!("w{i}"), move |ctx| q.wait(ctx));
+        }
+        let err = sim.run().expect_err("must deadlock");
+        assert!(err.is_deadlock());
+        assert!(err.to_string().contains("abyss"));
+    }
+}

@@ -1,0 +1,453 @@
+//! End-to-end behavioral tests of the simulator kernel.
+
+use bloom_sim::{
+    EventKind, FifoPolicy, LifoPolicy, Pid, ProcessStatus, RandomPolicy, ReplayPolicy, Sim,
+    SimConfig, SimErrorKind, Time, WaitQueue,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[test]
+fn empty_simulation_completes() {
+    let report = Sim::new().run().expect("empty sim runs");
+    assert_eq!(report.steps, 0);
+    assert_eq!(report.final_time, Time::ZERO);
+    assert!(report.processes.is_empty());
+}
+
+#[test]
+fn single_process_runs_to_completion() {
+    let mut sim = Sim::new();
+    let hits = Arc::new(Mutex::new(0));
+    let hits2 = Arc::clone(&hits);
+    sim.spawn("solo", move |ctx| {
+        *hits2.lock() += 1;
+        ctx.emit("done", &[]);
+    });
+    let report = sim.run().unwrap();
+    assert_eq!(*hits.lock(), 1);
+    assert_eq!(report.processes[0].status, ProcessStatus::Finished);
+    assert_eq!(report.trace.count_user("done"), 1);
+}
+
+#[test]
+fn virtual_clock_advances_one_per_dispatch() {
+    let mut sim = Sim::new();
+    let times = Arc::new(Mutex::new(Vec::new()));
+    let t2 = Arc::clone(&times);
+    sim.spawn("ticker", move |ctx| {
+        for _ in 0..3 {
+            t2.lock().push(ctx.now());
+            ctx.yield_now();
+        }
+    });
+    sim.run().unwrap();
+    assert_eq!(*times.lock(), vec![Time(1), Time(2), Time(3)]);
+}
+
+#[test]
+fn sleep_orders_by_deadline_not_spawn_order() {
+    let mut sim = Sim::new();
+    let order = Arc::new(Mutex::new(Vec::new()));
+    for (name, ticks) in [("late", 50u64), ("early", 10)] {
+        let order = Arc::clone(&order);
+        sim.spawn(name, move |ctx| {
+            ctx.sleep(ticks);
+            order.lock().push(name);
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(*order.lock(), vec!["early", "late"]);
+}
+
+#[test]
+fn sleep_advances_clock_to_deadline() {
+    let mut sim = Sim::new();
+    let observed = Arc::new(Mutex::new(Time::ZERO));
+    let o2 = Arc::clone(&observed);
+    sim.spawn("sleeper", move |ctx| {
+        let before = ctx.now();
+        ctx.sleep(100);
+        let after = ctx.now();
+        assert!(
+            after.0 >= before.0 + 100,
+            "woke at {after} after sleeping 100 from {before}"
+        );
+        *o2.lock() = after;
+    });
+    sim.run().unwrap();
+    assert!(observed.lock().0 >= 100);
+}
+
+#[test]
+fn sleep_zero_is_yield() {
+    let mut sim = Sim::new();
+    let order = Arc::new(Mutex::new(Vec::new()));
+    let o1 = Arc::clone(&order);
+    sim.spawn("a", move |ctx| {
+        ctx.sleep(0);
+        o1.lock().push("a");
+    });
+    let o2 = Arc::clone(&order);
+    sim.spawn("b", move |_| {
+        o2.lock().push("b");
+    });
+    sim.run().unwrap();
+    assert_eq!(*order.lock(), vec!["b", "a"], "sleep(0) let b run first");
+}
+
+#[test]
+fn daemons_do_not_prevent_completion() {
+    let mut sim = Sim::new();
+    let q = Arc::new(WaitQueue::new("forever"));
+    let q2 = Arc::clone(&q);
+    sim.spawn_daemon("background", move |ctx| {
+        q2.wait(ctx); // blocks forever
+        unreachable!("daemon must be cancelled, not woken");
+    });
+    sim.spawn("worker", |ctx| ctx.emit("work", &[]));
+    let report = sim.run().expect("daemons alone don't deadlock");
+    assert_eq!(report.processes[0].status, ProcessStatus::Cancelled);
+    assert_eq!(report.processes[1].status, ProcessStatus::Finished);
+}
+
+#[test]
+fn daemon_loop_with_sleep_is_cancelled_cleanly() {
+    let mut sim = Sim::new();
+    let ticks = Arc::new(Mutex::new(0u64));
+    let t2 = Arc::clone(&ticks);
+    sim.spawn_daemon("ticker", move |ctx| loop {
+        *t2.lock() += 1;
+        ctx.sleep(10);
+    });
+    sim.spawn("worker", |ctx| ctx.sleep(35));
+    let report = sim.run().unwrap();
+    // Ticker fires at t≈0,10,20,30 while worker sleeps until 35.
+    assert!(
+        *ticks.lock() >= 3,
+        "ticker ran while worker slept: {}",
+        *ticks.lock()
+    );
+    assert_eq!(report.processes[0].status, ProcessStatus::Cancelled);
+}
+
+#[test]
+fn process_panic_is_reported_with_message() {
+    let mut sim = Sim::new();
+    sim.spawn("bomb", |_| panic!("boom-42"));
+    sim.spawn("bystander", |ctx| {
+        for _ in 0..100 {
+            ctx.yield_now();
+        }
+    });
+    let err = sim.run().expect_err("panic must fail the run");
+    match err.kind {
+        SimErrorKind::ProcessPanicked { pid, ref message } => {
+            assert_eq!(pid, Pid(0));
+            assert!(message.contains("boom-42"));
+        }
+        other => panic!("unexpected error: {other:?}"),
+    }
+}
+
+#[test]
+fn deadlock_lists_all_blocked_processes() {
+    let mut sim = Sim::new();
+    let a = Arc::new(WaitQueue::new("qa"));
+    let b = Arc::new(WaitQueue::new("qb"));
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    sim.spawn("p0", move |ctx| a2.wait(ctx));
+    sim.spawn("p1", move |ctx| b2.wait(ctx));
+    let err = sim.run().expect_err("deadlock");
+    match err.kind {
+        SimErrorKind::Deadlock { blocked } => {
+            assert_eq!(blocked.len(), 2);
+            let reasons: Vec<&str> = blocked.iter().map(|(_, _, r)| r.as_str()).collect();
+            assert!(reasons.contains(&"qa") && reasons.contains(&"qb"));
+        }
+        other => panic!("unexpected error: {other:?}"),
+    }
+}
+
+#[test]
+fn max_steps_catches_livelock() {
+    let mut sim = Sim::with_config(SimConfig {
+        max_steps: 50,
+        record_sched_events: false,
+    });
+    sim.spawn("spinner", |ctx| loop {
+        ctx.yield_now();
+    });
+    let err = sim.run().expect_err("livelock");
+    assert!(matches!(
+        err.kind,
+        SimErrorKind::MaxStepsExceeded { limit: 50 }
+    ));
+}
+
+#[test]
+fn spawn_during_run_schedules_child() {
+    let mut sim = Sim::new();
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let s2 = Arc::clone(&seen);
+    sim.spawn("parent", move |ctx| {
+        let s3 = Arc::clone(&s2);
+        ctx.spawn("child", move |cctx| {
+            s3.lock().push(format!("child {}", cctx.pid()));
+        });
+        s2.lock().push("parent".to_string());
+    });
+    let report = sim.run().unwrap();
+    assert_eq!(report.processes.len(), 2);
+    assert_eq!(report.name_of(Pid(1)), "child");
+    assert_eq!(seen.lock().len(), 2);
+}
+
+fn schedule_signature(policy_seed: Option<u64>) -> Vec<String> {
+    let mut sim = Sim::new();
+    if let Some(seed) = policy_seed {
+        sim.set_policy(RandomPolicy::new(seed));
+    }
+    for i in 0..4 {
+        sim.spawn(&format!("p{i}"), move |ctx| {
+            for j in 0..3 {
+                ctx.emit("op", &[i, j]);
+                ctx.yield_now();
+            }
+        });
+    }
+    let report = sim.run().unwrap();
+    report
+        .trace
+        .user_events()
+        .map(|(e, _, params)| format!("{}:{:?}", e.pid, params))
+        .collect()
+}
+
+#[test]
+fn runs_are_deterministic_per_policy() {
+    assert_eq!(schedule_signature(None), schedule_signature(None));
+    assert_eq!(schedule_signature(Some(9)), schedule_signature(Some(9)));
+    assert_ne!(
+        schedule_signature(Some(1)),
+        schedule_signature(Some(2)),
+        "different seeds should produce different interleavings for this scenario"
+    );
+}
+
+#[test]
+fn recorded_decisions_replay_identically() {
+    let build = || {
+        let mut sim = Sim::new();
+        for i in 0..3 {
+            sim.spawn(&format!("p{i}"), move |ctx| {
+                for j in 0..2 {
+                    ctx.emit("op", &[i, j]);
+                    ctx.yield_now();
+                }
+            });
+        }
+        sim
+    };
+    let mut original = build();
+    original.set_policy(RandomPolicy::new(1234));
+    let report = original.run().unwrap();
+    let script: Vec<u32> = report.decisions.iter().map(|d| d.chosen).collect();
+
+    let mut replay = build();
+    replay.set_policy(ReplayPolicy::new(script));
+    let replayed = replay.run().unwrap();
+
+    let sig = |r: &bloom_sim::SimReport| -> Vec<String> {
+        r.trace
+            .user_events()
+            .map(|(e, _, p)| format!("{}:{:?}", e.pid, p))
+            .collect()
+    };
+    assert_eq!(sig(&report), sig(&replayed));
+}
+
+#[test]
+fn lifo_policy_reverses_fifo_order() {
+    let run = |fifo: bool| -> Vec<i64> {
+        let mut sim = Sim::new();
+        if fifo {
+            sim.set_policy(FifoPolicy);
+        } else {
+            sim.set_policy(LifoPolicy);
+        }
+        for i in 0..3 {
+            sim.spawn(&format!("p{i}"), move |ctx| ctx.emit("go", &[i]));
+        }
+        sim.run()
+            .unwrap()
+            .trace
+            .user_events()
+            .map(|(_, _, p)| p[0])
+            .collect()
+    };
+    assert_eq!(run(true), vec![0, 1, 2]);
+    assert_eq!(run(false), vec![2, 1, 0]);
+}
+
+#[test]
+fn trace_records_block_and_unpark_ordering() {
+    let mut sim = Sim::new();
+    let q = Arc::new(WaitQueue::new("gate"));
+    let q2 = Arc::clone(&q);
+    sim.spawn("waiter", move |ctx| q2.wait(ctx));
+    let q3 = Arc::clone(&q);
+    sim.spawn("waker", move |ctx| {
+        ctx.yield_now();
+        q3.wake_one(ctx);
+    });
+    let report = sim.run().unwrap();
+    let block_seq = report
+        .trace
+        .events()
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Blocked { .. }))
+        .expect("block event")
+        .seq;
+    let unpark_seq = report
+        .trace
+        .events()
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Unparked { .. }))
+        .expect("unpark event")
+        .seq;
+    assert!(
+        block_seq < unpark_seq,
+        "block must precede unpark in the trace"
+    );
+}
+
+#[test]
+fn tickets_are_strictly_increasing() {
+    let mut sim = Sim::new();
+    let tickets = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..3 {
+        let t = Arc::clone(&tickets);
+        sim.spawn(&format!("p{i}"), move |ctx| {
+            for _ in 0..5 {
+                t.lock().push(ctx.fresh_ticket());
+                ctx.yield_now();
+            }
+        });
+    }
+    sim.run().unwrap();
+    let ts = tickets.lock();
+    let mut sorted = ts.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ts.len(), "tickets are unique");
+}
+
+#[test]
+fn report_even_on_failure_contains_trace() {
+    let mut sim = Sim::new();
+    let q = Arc::new(WaitQueue::new("q"));
+    let q2 = Arc::clone(&q);
+    sim.spawn("stuck", move |ctx| {
+        ctx.emit("before", &[7]);
+        q2.wait(ctx);
+    });
+    let err = sim.run().expect_err("deadlock");
+    assert_eq!(err.report.trace.count_user("before"), 1);
+}
+
+#[test]
+fn park_timeout_fires_when_nobody_wakes() {
+    let mut sim = Sim::new();
+    let q = Arc::new(WaitQueue::new("patient"));
+    let q2 = Arc::clone(&q);
+    sim.spawn("waiter", move |ctx| {
+        let before = ctx.now();
+        let woken = q2.wait_timeout(ctx, 40);
+        assert!(!woken, "nobody woke us: must time out");
+        assert!(ctx.now().0 >= before.0 + 40, "woke only after the deadline");
+        assert!(q2.is_empty(), "timed-out entry removed");
+        ctx.emit("timed-out", &[]);
+    });
+    let report = sim.run().expect("timeout prevents the deadlock");
+    assert_eq!(report.trace.count_user("timed-out"), 1);
+}
+
+#[test]
+fn park_timeout_cancelled_by_normal_wake() {
+    let mut sim = Sim::new();
+    let q = Arc::new(WaitQueue::new("q"));
+    let q2 = Arc::clone(&q);
+    sim.spawn("waiter", move |ctx| {
+        let woken = q2.wait_timeout(ctx, 1000);
+        assert!(woken, "explicit wake beats the timer");
+        ctx.emit("woken", &[]);
+    });
+    let q3 = Arc::clone(&q);
+    sim.spawn("waker", move |ctx| {
+        ctx.yield_now();
+        assert!(q3.wake_one(ctx).is_some());
+    });
+    let report = sim.run().unwrap();
+    assert_eq!(report.trace.count_user("woken"), 1);
+    // The stale timer must not resurrect the process or corrupt later parks.
+    assert!(report
+        .processes
+        .iter()
+        .all(|p| p.status == bloom_sim::ProcessStatus::Finished));
+}
+
+#[test]
+fn stale_timer_does_not_disturb_a_later_park() {
+    let mut sim = Sim::new();
+    let q = Arc::new(WaitQueue::new("q"));
+    let q2 = Arc::clone(&q);
+    sim.spawn("waiter", move |ctx| {
+        // First park with a short timeout, woken explicitly.
+        assert!(q2.wait_timeout(ctx, 5));
+        // Second, plain park: the old timer (due at ~t5) must not wake it.
+        q2.wait(ctx);
+        ctx.emit("legit-wake", &[]);
+    });
+    let q3 = Arc::clone(&q);
+    sim.spawn("waker", move |ctx| {
+        ctx.yield_now();
+        assert!(q3.wake_one(ctx).is_some());
+        // Sleep well past the stale deadline, then wake again.
+        ctx.sleep(50);
+        assert!(
+            q3.wake_one(ctx).is_some(),
+            "waiter still parked despite stale timer"
+        );
+    });
+    let report = sim.run().unwrap();
+    assert_eq!(report.trace.count_user("legit-wake"), 1);
+}
+
+#[test]
+fn wake_one_skips_stale_entries_of_timed_out_waiters() {
+    let mut sim = Sim::new();
+    let q = Arc::new(WaitQueue::new("q"));
+    let order = Arc::new(Mutex::new(Vec::new()));
+    let (q1, o1) = (Arc::clone(&q), Arc::clone(&order));
+    sim.spawn("impatient", move |ctx| {
+        let woken = q1.wait_timeout(ctx, 10);
+        o1.lock().push(("impatient", woken));
+    });
+    let (q2, o2) = (Arc::clone(&q), Arc::clone(&order));
+    sim.spawn("patient", move |ctx| {
+        let woken = q2.wait_timeout(ctx, 10_000);
+        o2.lock().push(("patient", woken));
+    });
+    let q3 = Arc::clone(&q);
+    sim.spawn("waker", move |ctx| {
+        // Wait past the first waiter's timeout, then wake once: the wake
+        // must reach the patient waiter, not the stale front entry.
+        ctx.sleep(100);
+        assert!(q3.wake_one(ctx).is_some());
+    });
+    sim.run().unwrap();
+    let order = order.lock();
+    assert!(order.contains(&("impatient", false)));
+    assert!(order.contains(&("patient", true)));
+}

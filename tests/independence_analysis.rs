@@ -1,0 +1,172 @@
+//! Experiment T4: constraint independence (§4.2, §5.1.2).
+//!
+//! The paper's ease-of-use test: compare solutions to similar problems —
+//! the three readers/writers variants share the `rw-exclusion` constraint
+//! and differ in the priority constraint — and check whether the shared
+//! constraint's implementation survives the change. Its findings:
+//!
+//! * path expressions: "the path implementing the exclusion constraint is
+//!   different in the writers-priority solution … a modification to one
+//!   constraint involves changing the entire solution" — independence 0;
+//! * monitors and serializers: "constraints were independent in most
+//!   cases" — the exclusion components are identical across variants;
+//! * changing the priority *information type* (readers-priority →
+//!   FCFS, request type → request time) is costlier than flipping the
+//!   priority direction, but still leaves the exclusion constraint intact
+//!   for monitors and serializers.
+
+use bloom_core::{independence, modification_cost, MechanismId, SolutionDesc};
+use bloom_problems::rw::{self, RwVariant};
+
+fn desc(mech: MechanismId, variant: RwVariant) -> SolutionDesc {
+    rw::make(mech, variant).desc()
+}
+
+#[test]
+fn monitor_and_serializer_preserve_exclusion_across_priority_flip() {
+    for mech in [MechanismId::Monitor, MechanismId::Serializer] {
+        let rp = desc(mech, RwVariant::ReadersPriority);
+        let wp = desc(mech, RwVariant::WritersPriority);
+        let report = independence(&rp, &wp);
+        assert_eq!(
+            report.score,
+            Some(1.0),
+            "{mech}: shared exclusion must be implemented identically, got {report:?}"
+        );
+        assert!(report.preserved.contains(&"rw-exclusion".to_string()));
+    }
+}
+
+#[test]
+fn path_and_semaphore_rewrite_exclusion_when_priority_changes() {
+    for mech in [MechanismId::PathV1, MechanismId::Semaphore] {
+        let rp = desc(mech, RwVariant::ReadersPriority);
+        let wp = desc(mech, RwVariant::WritersPriority);
+        let report = independence(&rp, &wp);
+        assert_eq!(
+            report.score,
+            Some(0.0),
+            "{mech}: the paper's finding is that the exclusion implementation differs, \
+             got {report:?}"
+        );
+        assert!(report.disturbed.contains(&"rw-exclusion".to_string()));
+    }
+}
+
+#[test]
+fn exclusion_survives_even_an_information_type_change_for_monitors() {
+    // readers-priority → FCFS changes the priority *information type*
+    // (request type → request time); the exclusion component must still be
+    // untouched for the independent mechanisms.
+    for mech in [MechanismId::Monitor, MechanismId::Serializer] {
+        let rp = desc(mech, RwVariant::ReadersPriority);
+        let fc = desc(mech, RwVariant::Fcfs);
+        let report = independence(&rp, &fc);
+        assert_eq!(report.score, Some(1.0), "{mech} rp→fcfs: {report:?}");
+    }
+}
+
+#[test]
+fn modification_costs_rank_mechanisms_as_the_paper_does() {
+    // Flipping readers→writers priority: paths change *every* unit
+    // ("every synchronization procedure and every path"), monitors and
+    // serializers only the priority unit.
+    let cost = |mech: MechanismId, a: RwVariant, b: RwVariant| {
+        modification_cost(&desc(mech, a), &desc(mech, b)).fraction()
+    };
+    let path_flip = cost(
+        MechanismId::PathV1,
+        RwVariant::ReadersPriority,
+        RwVariant::WritersPriority,
+    );
+    let mon_flip = cost(
+        MechanismId::Monitor,
+        RwVariant::ReadersPriority,
+        RwVariant::WritersPriority,
+    );
+    let ser_flip = cost(
+        MechanismId::Serializer,
+        RwVariant::ReadersPriority,
+        RwVariant::WritersPriority,
+    );
+    let sem_flip = cost(
+        MechanismId::Semaphore,
+        RwVariant::ReadersPriority,
+        RwVariant::WritersPriority,
+    );
+
+    assert_eq!(
+        path_flip, 1.0,
+        "paths: a modification to one constraint changes everything"
+    );
+    assert!(
+        mon_flip < path_flip,
+        "monitor flip ({mon_flip}) cheaper than path ({path_flip})"
+    );
+    assert!(
+        ser_flip < path_flip,
+        "serializer flip ({ser_flip}) cheaper than path"
+    );
+    assert_eq!(
+        sem_flip, 1.0,
+        "semaphore baton solutions are monolithic too"
+    );
+}
+
+#[test]
+fn changing_information_type_is_harder_than_flipping_priority() {
+    // The paper: "the overall change [to FCFS] can be expected to be more
+    // difficult than a change from readers to writers priority" — visible
+    // for monitors in the units that must change (the FCFS variant
+    // replaces the wake policy *and* adds the ticket machinery; we measure
+    // it as cost(rp→fcfs) >= cost(rp→wp)).
+    for mech in [MechanismId::Monitor, MechanismId::Serializer] {
+        let rp = desc(mech, RwVariant::ReadersPriority);
+        let wp = desc(mech, RwVariant::WritersPriority);
+        let fc = desc(mech, RwVariant::Fcfs);
+        let flip = modification_cost(&rp, &wp).fraction();
+        let retype = modification_cost(&rp, &fc).fraction();
+        assert!(
+            retype >= flip,
+            "{mech}: rp→fcfs ({retype}) should cost at least rp→wp ({flip})"
+        );
+    }
+}
+
+#[test]
+fn fcfs_path_solution_uses_the_isolated_exclusion_form() {
+    // §5.1.1: "in isolation, [the exclusion constraint] would be
+    // implemented as: path { read } , write end". The FCFS gate solution
+    // achieves exactly that; Figure 1 could not.
+    let fcfs = desc(MechanismId::PathV1, RwVariant::Fcfs);
+    let components = fcfs.components_of("rw-exclusion");
+    assert!(
+        components.contains("path:{read},write"),
+        "FCFS path solution keeps the isolated exclusion path: {components:?}"
+    );
+    let fig1 = desc(MechanismId::PathV1, RwVariant::ReadersPriority);
+    assert!(
+        !fig1
+            .components_of("rw-exclusion")
+            .contains("path:{read},write"),
+        "Figure 1 had to deform the exclusion path to coordinate with the priority gates"
+    );
+}
+
+#[test]
+fn every_solution_attributes_every_catalog_constraint() {
+    // Sanity for the whole registry: each solution covers the constraints
+    // of its problem spec (names match the catalog).
+    for desc in bloom_problems::registry::all_descs() {
+        let spec = bloom_core::spec(desc.problem);
+        for constraint in &spec.constraints {
+            assert!(
+                desc.constraints().contains(constraint.name.as_str()),
+                "{}/{}: constraint {} not attributed",
+                desc.mechanism,
+                desc.problem,
+                constraint.name
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Experiment T1: the full solution matrix.
+//!
+//! Footnote 2's test suite (plus the readers/writers variants) × every
+//! mechanism, each run under several schedulers and seeds and validated by
+//! the constraint checkers — the machine-checked version of "use the
+//! mechanism to implement solutions to a set of examples that covers all
+//! information classes" (§4.1).
+
+use bloom_core::checks::{
+    check_alarm, check_all_served, check_alternation, check_buffer_bounds, check_elevator,
+    check_exclusion, check_fifo, check_no_later_overtake, check_priority_over, expect_clean,
+};
+use bloom_core::events::extract;
+use bloom_core::MechanismId;
+use bloom_problems::drivers::{
+    alarm_scenario, buffer_scenario, disk_scenario, fcfs_scenario, oneslot_scenario, rw_scenario,
+};
+use bloom_problems::rw::RwVariant;
+use bloom_problems::{alarm, buffer, disk, fcfs, oneslot, rw};
+
+fn seeds() -> Vec<Option<u64>> {
+    std::iter::once(None)
+        .chain((1000..1010).map(Some))
+        .collect()
+}
+
+#[test]
+fn matrix_one_slot_buffer() {
+    for mech in oneslot::MECHANISMS {
+        for seed in seeds() {
+            let report = oneslot_scenario(mech, 8, seed);
+            let events = extract(&report.trace);
+            let tag = format!("one-slot/{mech} (seed {seed:?})");
+            expect_clean(&check_alternation(&events, "deposit", "remove"), &tag);
+            expect_clean(&check_buffer_bounds(&events, "deposit", "remove", 1), &tag);
+            expect_clean(&check_all_served(&events), &tag);
+        }
+    }
+}
+
+#[test]
+fn matrix_bounded_buffer() {
+    for mech in buffer::MECHANISMS {
+        for seed in seeds() {
+            let (report, mut sent, mut received) = buffer_scenario(mech, 4, 3, 2, 4, seed);
+            let events = extract(&report.trace);
+            let tag = format!("buffer/{mech} (seed {seed:?})");
+            expect_clean(&check_buffer_bounds(&events, "deposit", "remove", 4), &tag);
+            expect_clean(&check_all_served(&events), &tag);
+            sent.sort_unstable();
+            received.sort_unstable();
+            assert_eq!(sent, received, "{tag}: value conservation");
+        }
+    }
+}
+
+#[test]
+fn matrix_fcfs_resource() {
+    for mech in fcfs::MECHANISMS {
+        for seed in seeds() {
+            let report = fcfs_scenario(mech, 6, 3, seed);
+            let events = extract(&report.trace);
+            let tag = format!("fcfs/{mech} (seed {seed:?})");
+            expect_clean(&check_fifo(&events, &["use"]), &tag);
+            expect_clean(&check_exclusion(&events, &[("use", "use")]), &tag);
+            expect_clean(&check_all_served(&events), &tag);
+        }
+    }
+}
+
+#[test]
+fn matrix_readers_writers_all_variants() {
+    for mech in rw::MECHANISMS {
+        for variant in RwVariant::ALL {
+            for seed in seeds() {
+                let report = rw_scenario(mech, variant, 4, 2, 3, seed);
+                let events = extract(&report.trace);
+                let tag = format!("rw-{variant:?}/{mech} (seed {seed:?})");
+                expect_clean(
+                    &check_exclusion(&events, &[("read", "write"), ("write", "write")]),
+                    &tag,
+                );
+                expect_clean(&check_all_served(&events), &tag);
+                // Variant-specific guarantees (Figure 1 is exempt from the
+                // priority check: its violation is the reproduced anomaly).
+                match (variant, mech) {
+                    (RwVariant::ReadersPriority, MechanismId::PathV1) => {}
+                    (RwVariant::ReadersPriority, _) => {
+                        expect_clean(&check_priority_over(&events, "read", "write"), &tag);
+                    }
+                    (RwVariant::WritersPriority, MechanismId::PathV1) => {
+                        expect_clean(&check_no_later_overtake(&events, "write", "read"), &tag);
+                    }
+                    (RwVariant::WritersPriority, _) => {
+                        expect_clean(&check_priority_over(&events, "write", "read"), &tag);
+                    }
+                    (RwVariant::Fcfs, _) => {
+                        expect_clean(&check_fifo(&events, &["read", "write"]), &tag);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_disk_scheduler() {
+    for mech in disk::MECHANISMS {
+        for workload in 0..6u64 {
+            for sched in [None, Some(7_000 + workload)] {
+                let report = disk_scenario(mech, 5, 4, workload, sched);
+                let events = extract(&report.trace);
+                let tag = format!("disk/{mech} (workload {workload}, sched {sched:?})");
+                expect_clean(&check_elevator(&events, "seek"), &tag);
+                expect_clean(&check_exclusion(&events, &[("seek", "seek")]), &tag);
+                expect_clean(&check_all_served(&events), &tag);
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_alarm_clock() {
+    for mech in alarm::MECHANISMS {
+        for workload in 0..6u64 {
+            for sched in [None, Some(8_000 + workload)] {
+                let report = alarm_scenario(mech, 6, workload, sched);
+                let events = extract(&report.trace);
+                let tag = format!("alarm/{mech} (workload {workload}, sched {sched:?})");
+                expect_clean(&check_alarm(&events, "wake", 1), &tag);
+                expect_clean(&check_all_served(&events), &tag);
+            }
+        }
+    }
+}
+
+/// Larger stress configuration: more processes and operations than the
+/// per-crate unit tests use.
+#[test]
+fn matrix_stress_scale() {
+    for mech in rw::MECHANISMS {
+        let report = rw_scenario(mech, RwVariant::Fcfs, 8, 4, 6, Some(99));
+        let events = extract(&report.trace);
+        let tag = format!("rw-stress/{mech}");
+        expect_clean(
+            &check_exclusion(&events, &[("read", "write"), ("write", "write")]),
+            &tag,
+        );
+        expect_clean(&check_fifo(&events, &["read", "write"]), &tag);
+        assert!(events.len() > 200, "{tag}: expected a substantial trace");
+    }
+}

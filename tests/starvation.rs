@@ -1,0 +1,147 @@
+//! Starvation properties of the priority policies.
+//!
+//! The paper notes, in passing, that the readers-priority specification
+//! "allows writers to starve". That is a *checkable* consequence of the
+//! constraint taxonomy: a priority constraint conditioned on request type
+//! alone is unbounded, while one conditioned on request time (FCFS) gives
+//! bounded bypass. Both are demonstrated here on every mechanism, with
+//! the identical overlapping-readers workload.
+
+use bloom_core::checks::check_no_later_overtake;
+use bloom_core::events::{extract, Phase};
+use bloom_core::MechanismId;
+use bloom_problems::rw::{self, RwVariant};
+use bloom_sim::{Sim, SimReport};
+use std::sync::Arc;
+
+/// A relay of readers that keeps the database continuously read-locked
+/// for a while (each reader's body spans the next reader's arrival), plus
+/// one writer who requests early.
+fn overlapping_readers_scenario(mech: MechanismId, variant: RwVariant) -> SimReport {
+    let mut sim = Sim::new();
+    let db = rw::make(mech, variant);
+    for i in 0..6 {
+        let db = Arc::clone(&db);
+        sim.spawn(&format!("reader{i}"), move |ctx| {
+            // Staggered arrivals, long bodies: intervals overlap.
+            for _ in 0..(i * 2) {
+                ctx.yield_now();
+            }
+            db.read(ctx, &mut || {
+                for _ in 0..6 {
+                    ctx.yield_now();
+                }
+            });
+        });
+    }
+    let db2 = Arc::clone(&db);
+    sim.spawn("writer", move |ctx| {
+        ctx.yield_now(); // request just after reader0 starts
+        db2.write(ctx, &mut || {});
+    });
+    sim.run().expect("workload terminates")
+}
+
+/// How many later-requested readers entered before the writer.
+fn writer_bypass_count(report: &SimReport) -> usize {
+    let events = extract(&report.trace);
+    check_no_later_overtake(&events, "write", "read").len()
+}
+
+/// Did the writer enter only after every read had exited?
+fn writer_entered_last(report: &SimReport) -> bool {
+    let events = extract(&report.trace);
+    let write_enter = events
+        .iter()
+        .find(|e| e.op == "write" && e.phase == Phase::Enter)
+        .expect("writer served eventually")
+        .seq;
+    let last_read_exit = events
+        .iter()
+        .filter(|e| e.op == "read" && e.phase == Phase::Exit)
+        .map(|e| e.seq)
+        .max()
+        .expect("reads happened");
+    write_enter > last_read_exit
+}
+
+/// Under readers priority, the early writer is overtaken by *every*
+/// later-arriving reader while the read-lock relay lasts — unbounded
+/// bypass, i.e. starvation whenever readers keep coming.
+#[test]
+fn readers_priority_starves_the_writer_by_design() {
+    for mech in [
+        MechanismId::Monitor,
+        MechanismId::Serializer,
+        MechanismId::Semaphore,
+    ] {
+        let report = overlapping_readers_scenario(mech, RwVariant::ReadersPriority);
+        let bypass = writer_bypass_count(&report);
+        assert!(
+            bypass >= 4,
+            "{mech}: expected the reader relay to repeatedly overtake the writer, \
+             got {bypass} overtakes"
+        );
+        assert!(
+            writer_entered_last(&report),
+            "{mech}: the writer should only enter once the relay ends"
+        );
+    }
+}
+
+/// The identical workload under FCFS: nobody who requested after the
+/// writer gets in before it.
+#[test]
+fn fcfs_bounds_the_writers_bypass_to_zero() {
+    for mech in rw::MECHANISMS {
+        let report = overlapping_readers_scenario(mech, RwVariant::Fcfs);
+        let bypass = writer_bypass_count(&report);
+        assert_eq!(
+            bypass, 0,
+            "{mech}: FCFS must not let later readers overtake"
+        );
+        assert!(
+            !writer_entered_last(&report),
+            "{mech}: under FCFS the writer goes before the later readers"
+        );
+    }
+}
+
+/// Writers priority inverts the starvation: with a writer relay, readers
+/// wait for all of it.
+#[test]
+fn writers_priority_starves_readers_symmetrically() {
+    for mech in [
+        MechanismId::Monitor,
+        MechanismId::Serializer,
+        MechanismId::Semaphore,
+    ] {
+        let mut sim = Sim::new();
+        let db = rw::make(mech, RwVariant::WritersPriority);
+        for i in 0..5 {
+            let db = Arc::clone(&db);
+            sim.spawn(&format!("writer{i}"), move |ctx| {
+                for _ in 0..i {
+                    ctx.yield_now();
+                }
+                db.write(ctx, &mut || {
+                    for _ in 0..4 {
+                        ctx.yield_now();
+                    }
+                });
+            });
+        }
+        let db2 = Arc::clone(&db);
+        sim.spawn("reader", move |ctx| {
+            ctx.yield_now();
+            db2.read(ctx, &mut || {});
+        });
+        let report = sim.run().expect("terminates");
+        let events = extract(&report.trace);
+        let overtakes = check_no_later_overtake(&events, "read", "write").len();
+        assert!(
+            overtakes >= 3,
+            "{mech}: later writers should overtake the waiting reader, got {overtakes}"
+        );
+    }
+}
