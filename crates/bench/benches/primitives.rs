@@ -27,6 +27,7 @@ fn quiet_sim() -> Sim {
     Sim::with_config(SimConfig {
         max_steps: 1_000_000,
         record_sched_events: false,
+        ..SimConfig::default()
     })
 }
 

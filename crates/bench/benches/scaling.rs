@@ -22,6 +22,7 @@ fn bench_scaling(c: &mut Criterion) {
                 let mut sim = Sim::with_config(SimConfig {
                     max_steps: 500_000,
                     record_sched_events: false,
+                    ..SimConfig::default()
                 });
                 let per = TOTAL_OPS / procs;
                 for i in 0..procs {

@@ -6,9 +6,10 @@
 //!
 //! Prints the coverage table (T2), the expressiveness matrix (T3), the
 //! workaround census (T3b), the independence matrix (T4), the exhaustive
-//! footnote-3 verification (F1a), the modularity assessment (T6), and the
-//! full solution matrix (T1). `EXPERIMENTS.md` archives this output and
-//! maps each section back to the paper.
+//! footnote-3 verification (F1a), the crash-robustness matrix (R1), the
+//! modularity assessment (T6), and the full solution matrix (T1).
+//! `EXPERIMENTS.md` archives this output and maps each section back to
+//! the paper.
 
 fn main() {
     print!("{}", bloom_bench::full_report());

@@ -13,6 +13,9 @@
 //!   modification costs across the readers/writers family;
 //! * [`anomaly_report`] — F1a: exhaustive-exploration statistics for the
 //!   footnote-3 anomaly;
+//! * [`crash_robustness_report`] — R1: the crash-robustness matrix
+//!   (mechanism × problem → contained/poisoned/wedged) under deterministic
+//!   fault injection;
 //! * [`solution_matrix_report`] — T1: every solution validated against
 //!   its constraint checkers;
 //! * [`modularity_report`] — §2/T6: the modularity assessment.
@@ -26,6 +29,7 @@ use bloom_core::checks::{
 };
 use bloom_core::events::extract;
 use bloom_core::report::{section, table};
+use bloom_core::CrashOutcome;
 use bloom_core::{
     catalog, full_target, independence, minimal_cover, modification_cost, paper_profile,
     Directness, InfoType, MechanismId, ProblemId,
@@ -33,6 +37,7 @@ use bloom_core::{
 use bloom_problems::drivers::{
     alarm_scenario, buffer_scenario, disk_scenario, fcfs_scenario, oneslot_scenario, rw_scenario,
 };
+use bloom_problems::faults::{outcome_sweep, CrashMechanism, CrashProblem};
 use bloom_problems::registry::{all_descs, derived_ratings};
 use bloom_problems::rw::{self, RwVariant};
 use bloom_sim::{Explorer, Sim};
@@ -235,6 +240,59 @@ pub fn anomaly_report() -> String {
          predicate (blocked(read) == 0 on write) repairs Figure 1's defect.\n",
     );
     section("F1a — Footnote-3 anomaly, exhaustively verified", &out)
+}
+
+/// Kill points swept per crash-robustness cell — past the victim's last
+/// scheduling point in every scenario, so the whole fault surface is hit.
+const CRASH_KILL_POINTS: u64 = 8;
+
+/// R1: the crash-robustness matrix. Each cell kills the victim at every
+/// scheduling point `1..=8` of the canonical schedule and classifies the
+/// aftermath (see `bloom_core::crash`): *contained* — survivors finish,
+/// or the loss is reported as a named deadlock; *poisoned* — the primitive
+/// records the crash and survivors observe it as a value; *wedged* —
+/// survivors hang on state the corpse can no longer repair.
+pub fn crash_robustness_report() -> String {
+    let summarize = |outcomes: &[(u64, CrashOutcome)]| {
+        let worst = outcomes
+            .iter()
+            .map(|&(_, o)| o)
+            .max()
+            .expect("at least one kill point");
+        let count = |kind: CrashOutcome| outcomes.iter().filter(|&&(_, o)| o == kind).count();
+        format!(
+            "{worst}  ({}c/{}p/{}w)",
+            count(CrashOutcome::Contained),
+            count(CrashOutcome::Poisoned),
+            count(CrashOutcome::Wedged),
+        )
+    };
+    let rows: Vec<Vec<String>> = CrashMechanism::ALL
+        .iter()
+        .map(|&mech| {
+            let mut row = vec![mech.label().to_string()];
+            for &problem in CrashProblem::ALL.iter() {
+                row.push(summarize(&outcome_sweep(mech, problem, CRASH_KILL_POINTS)));
+            }
+            row
+        })
+        .collect();
+    let mut out = table(&["mechanism", "readers/writers", "bounded buffer"], &rows);
+    out.push_str(&format!(
+        "\nEach cell: worst outcome over kill points 1..={CRASH_KILL_POINTS} \
+         (contained/poisoned/wedged tally). Bare P/V wedges — a dead holder's \
+         permit is unrecoverable. Lock, monitor and path expressions poison: \
+         the crash becomes a value survivors can observe. Serializer crowds \
+         contain reader/writer crashes outright (membership cleanup re-runs \
+         the guards); its possession-held bodies poison like a monitor. CSP \
+         contains whenever the server owns the state, but wedges when a \
+         granted writer dies mid-protocol — the server is mid-rendezvous \
+         with a corpse.\n",
+    ));
+    section(
+        "R1 — Crash robustness under deterministic fault injection",
+        &out,
+    )
 }
 
 fn run_checks(tag: &str, violations: Vec<Violation>, failures: &mut Vec<String>) {
@@ -483,6 +541,8 @@ pub fn full_report() -> String {
     out.push_str(&independence_report());
     out.push('\n');
     out.push_str(&anomaly_report());
+    out.push('\n');
+    out.push_str(&crash_robustness_report());
     out.push('\n');
     out.push_str(&modularity_report());
     out.push('\n');

@@ -27,6 +27,26 @@
 //! local state, and replies grant access. The §2 modularity structure is
 //! automatic — the resource and its synchronization live in one process,
 //! and clients hold no synchronization code at all.
+//!
+//! # Crash safety
+//!
+//! Channels hold no possession, so — unlike monitors and serializers —
+//! they are never *poisoned*. All rendezvous state is structural: queued
+//! offers and select registrations. A process killed while parked cleans
+//! up behind itself:
+//!
+//! * a sender dying in [`Channel::send`] withdraws its offer — the queued
+//!   value is dropped and [`Channel::pending_senders`] stays truthful, so
+//!   no receiver ever rendezvouses with a corpse;
+//! * a receiver dying in [`select`] (or [`Channel::recv`]) removes its
+//!   registration from every enabled alternative, so later senders queue
+//!   for a live receiver instead of delivering into the dead one.
+//!
+//! A value already *delivered* to a receiver that is killed before it
+//! consumes it is lost with the receiver; the sender has completed its
+//! rendezvous and already returned. Peers of a crashed process therefore
+//! either keep running (if other partners exist) or park until the
+//! simulator reports the deadlock by name — never a silent wedge.
 
 use bloom_sim::{Ctx, Pid};
 use parking_lot::Mutex;
@@ -97,6 +117,10 @@ impl<T: Send> Channel<T> {
     }
 
     /// Sends `value`, blocking until a receiver takes it (rendezvous).
+    ///
+    /// If the sender is killed while parked here, the queued offer is
+    /// withdrawn and the value dropped (see the crate-level *Crash
+    /// safety* notes).
     pub fn send(&self, ctx: &Ctx, value: T) {
         let mut value = Some(value);
         {
@@ -120,7 +144,9 @@ impl<T: Send> Channel<T> {
                 value: value.take().expect("value present"),
             });
         }
+        let withdraw = WithdrawOfferOnUnwind { chan: self, ctx };
         ctx.park(&format!("{}.send", self.name));
+        std::mem::forget(withdraw);
     }
 
     /// Receives a value, blocking until a sender offers one.
@@ -157,6 +183,37 @@ impl<T: Send> Channel<T> {
 
     fn unregister_receiver(&self, pid: Pid) {
         self.state.lock().receivers.retain(|r| r.pid != pid);
+    }
+}
+
+/// Withdraws this process's queued offer if `send` unwinds while parked
+/// (the process was killed): the value is dropped and `pending_senders`
+/// stays truthful. Own-queue cleanup, so it runs even during shutdown.
+struct WithdrawOfferOnUnwind<'a, T: Send> {
+    chan: &'a Channel<T>,
+    ctx: &'a Ctx,
+}
+
+impl<T: Send> Drop for WithdrawOfferOnUnwind<'_, T> {
+    fn drop(&mut self) {
+        let me = self.ctx.pid();
+        self.chan.state.lock().senders.retain(|s| s.pid != me);
+    }
+}
+
+/// Removes a dead selector's registrations from every channel it parked
+/// on, so later senders queue for a live receiver instead of delivering
+/// into the corpse. Own-queue cleanup, so it runs even during shutdown.
+struct UnregisterOnUnwind<'a, T: Send> {
+    chans: &'a [&'a Channel<T>],
+    ctx: &'a Ctx,
+}
+
+impl<T: Send> Drop for UnregisterOnUnwind<'_, T> {
+    fn drop(&mut self) {
+        for chan in self.chans {
+            chan.unregister_receiver(self.ctx.pid());
+        }
     }
 }
 
@@ -202,6 +259,7 @@ pub fn select<T: Send>(ctx: &Ctx, alternatives: &mut [(&Channel<T>, bool)]) -> (
     // eagerly removed below.
     let cell = DeliveryCell::new();
     let mut reasons = Vec::new();
+    let mut registered = Vec::new();
     for (i, &mut (chan, guard)) in alternatives.iter_mut().enumerate() {
         if guard {
             chan.register_receiver(WaitingReceiver {
@@ -210,9 +268,15 @@ pub fn select<T: Send>(ctx: &Ctx, alternatives: &mut [(&Channel<T>, bool)]) -> (
                 cell: Arc::clone(&cell),
             });
             reasons.push(chan.name());
+            registered.push(chan);
         }
     }
+    let cleanup = UnregisterOnUnwind {
+        chans: &registered,
+        ctx,
+    };
     ctx.park(&format!("select[{}]", reasons.join(",")));
+    std::mem::forget(cleanup);
     // The delivering sender recorded which alternative it was. Remove our
     // remaining registrations (senders also discard them lazily, but eager
     // cleanup keeps queues short and pid-reuse safe).
@@ -221,10 +285,8 @@ pub fn select<T: Send>(ctx: &Ctx, alternatives: &mut [(&Channel<T>, bool)]) -> (
         .lock()
         .take()
         .expect("woken receiver must have a delivery");
-    for &mut (chan, guard) in alternatives.iter_mut() {
-        if guard {
-            chan.unregister_receiver(ctx.pid());
-        }
+    for chan in &registered {
+        chan.unregister_receiver(ctx.pid());
     }
     (index, value)
 }

@@ -1,0 +1,106 @@
+//! Crash-safety of CSP channels under fault injection: channels are never
+//! poisoned — dead senders withdraw their offers, dead selectors
+//! unregister — so live peers keep rendezvousing with each other.
+
+use bloom_channel::{select, Channel};
+use bloom_sim::{FaultPlan, Pid, Sim};
+use std::sync::Arc;
+
+/// A sender killed while parked withdraws its offer: the queued value is
+/// dropped, `pending_senders` stays truthful, and a later receiver
+/// rendezvouses with a live sender instead of the corpse.
+#[test]
+fn dead_sender_withdraws_its_offer() {
+    let mut sim = Sim::new();
+    // The victim's park inside `send` is its first scheduling point.
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 1));
+    let ch = Arc::new(Channel::new("ch"));
+    let token = Arc::new(()); // dropped with the withdrawn offer
+    let (tx, t) = (Arc::clone(&ch), Arc::clone(&token));
+    sim.spawn("victim", move |ctx| {
+        tx.send(ctx, Some(t));
+        ctx.emit("victim-sent", &[]);
+    });
+    let tx2 = Arc::clone(&ch);
+    sim.spawn("live-sender", move |ctx| {
+        ctx.yield_now();
+        tx2.send(ctx, None);
+    });
+    let rx = Arc::clone(&ch);
+    sim.spawn("receiver", move |ctx| {
+        ctx.yield_now();
+        ctx.yield_now();
+        assert_eq!(rx.pending_senders(), 1, "the dead offer was withdrawn");
+        assert!(
+            rx.recv(ctx).is_none(),
+            "the live sender's value, not the corpse's"
+        );
+        ctx.emit("got-live-value", &[]);
+    });
+    let report = sim.run().expect("withdrawal prevents the wedge");
+    assert_eq!(report.killed(), vec![Pid(0)]);
+    assert_eq!(report.trace.count_user("victim-sent"), 0);
+    assert_eq!(report.trace.count_user("got-live-value"), 1);
+    assert_eq!(ch.pending_senders(), 0);
+    assert_eq!(
+        Arc::strong_count(&token),
+        1,
+        "the withdrawn offer's value was dropped with it"
+    );
+}
+
+/// A selector killed while parked unregisters from *every* alternative:
+/// later senders queue rather than delivering into the dead select, and a
+/// live receiver gets the value.
+#[test]
+fn dead_selector_unregisters_from_all_alternatives() {
+    let mut sim = Sim::new();
+    // The server's park inside `select` is its first scheduling point.
+    sim.set_fault_plan(FaultPlan::new().kill("dead-server", 1));
+    let a = Arc::new(Channel::new("a"));
+    let b = Arc::new(Channel::new("b"));
+    let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+    sim.spawn("dead-server", move |ctx| {
+        let _ = select(ctx, &mut [(&*a1, true), (&*b1, true)]);
+        ctx.emit("server-got", &[]);
+    });
+    let a2 = Arc::clone(&a);
+    sim.spawn("sender", move |ctx| {
+        ctx.yield_now();
+        a2.send(ctx, 7);
+        ctx.emit("send-returned", &[]);
+    });
+    let a3 = Arc::clone(&a);
+    sim.spawn("live-receiver", move |ctx| {
+        ctx.yield_now();
+        ctx.yield_now();
+        assert_eq!(a3.recv(ctx), 7);
+        ctx.emit("live-got", &[]);
+    });
+    let report = sim.run().expect("unregistration prevents the wedge");
+    assert_eq!(report.killed(), vec![Pid(0)]);
+    assert_eq!(report.trace.count_user("server-got"), 0);
+    assert_eq!(report.trace.count_user("send-returned"), 1);
+    assert_eq!(report.trace.count_user("live-got"), 1);
+}
+
+/// A sender whose only possible partner died parks until the simulator
+/// reports the deadlock by channel name — contained, never silent.
+#[test]
+fn orphaned_sender_deadlocks_loudly() {
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().kill("receiver", 1));
+    let ch = Arc::new(Channel::new("orphan"));
+    let rx = Arc::clone(&ch);
+    sim.spawn("receiver", move |ctx| {
+        let _ = rx.recv(ctx); // killed at this park
+    });
+    let tx = Arc::clone(&ch);
+    sim.spawn("sender", move |ctx| {
+        ctx.yield_now();
+        tx.send(ctx, 1);
+    });
+    let err = sim.run().expect_err("nobody left to receive");
+    assert!(err.is_deadlock());
+    assert!(err.to_string().contains("orphan.send"));
+}

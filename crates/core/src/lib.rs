@@ -20,6 +20,10 @@
 //!   constraint class: exclusion, FCFS, readers/writers priority (the
 //!   checker that exposes the paper's footnote-3 anomaly), buffer bounds,
 //!   alternation, elevator order, alarm deadlines, bounded bypass.
+//! * [`crash`] — the robustness axis the paper did not evaluate but its
+//!   methodology supports: crash-containment and poison-protocol checkers
+//!   over whole faulted runs (see `bloom_sim::FaultPlan`), classifying
+//!   each (mechanism, scenario) cell as contained, poisoned, or wedged.
 //! * [`profile`] / [`independence`](mod@independence) (§4.1, §4.2, §5) — expressive-power
 //!   ratings per (mechanism, info type), the paper's own findings encoded
 //!   as [`paper_profiles`], and the constraint-independence metrics used
@@ -31,6 +35,7 @@
 
 pub mod checks;
 pub mod cover;
+pub mod crash;
 pub mod events;
 pub mod independence;
 pub mod profile;
@@ -39,6 +44,7 @@ pub mod taxonomy;
 
 pub use checks::{expect_clean, Violation};
 pub use cover::{coverage, full_target, gaps, greedy_cover, is_complete, minimal_cover, Feature};
+pub use crash::{check_crash_containment, check_poison_propagation, classify_crash, CrashOutcome};
 pub use events::{extract, instances, Instance, Phase, ProblemEvent};
 pub use independence::{
     independence, modification_cost, ImplUnit, IndependenceReport, ModificationCost, SolutionDesc,

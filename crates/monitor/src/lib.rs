@@ -80,8 +80,9 @@
 //! sim.run().unwrap();
 //! ```
 
-use bloom_sim::{Ctx, WaitQueue};
+use bloom_sim::{Ctx, Pid, Poisoned, WaitQueue};
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Signal discipline of a [`Monitor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,12 +150,32 @@ impl Cond {
 /// [`MonitorCtx::state`]; possession (the implicit monitor lock) is held
 /// for the duration of the `enter` body except while waiting on a
 /// condition.
+///
+/// # Crash safety
+///
+/// A process that dies (fault-plan kill or panic) while *holding
+/// possession* poisons the monitor: the protected state may be mid-update,
+/// so instead of silently wedging everyone behind the dead holder, the
+/// monitor records a [`Poisoned`] verdict, dissolves possession, and wakes
+/// every entry/urgent waiter plus the waiters of every condition passed to
+/// [`Monitor::register_cond`]. Woken processes and later entrants observe
+/// the poison: [`Monitor::try_enter`] and [`MonitorCtx::wait_checked`]
+/// return it as a value; plain [`Monitor::enter`] and [`MonitorCtx::wait`]
+/// panic, keeping the failure loud. A process that dies while *waiting on
+/// a condition* (it holds nothing) is merely dequeued — the monitor stays
+/// healthy.
 #[derive(Debug)]
 pub struct Monitor<S> {
     name: String,
     signaling: Signaling,
     /// Whether some process currently has possession.
     busy: Mutex<bool>,
+    /// Which process has (or was just handed) possession; `None` when open.
+    holder: Mutex<Option<Pid>>,
+    /// Set when a holder died mid-body; sticky once set.
+    poisoned: Mutex<Option<Poisoned>>,
+    /// Conditions to broadcast-wake if the monitor is poisoned.
+    watched: Mutex<Vec<Arc<Cond>>>,
     entry: WaitQueue,
     urgent: WaitQueue,
     /// Signal-and-exit only: the process the next release hands off to.
@@ -169,6 +190,9 @@ impl<S: Send> Monitor<S> {
             name: name.to_string(),
             signaling,
             busy: Mutex::new(false),
+            holder: Mutex::new(None),
+            poisoned: Mutex::new(None),
+            watched: Mutex::new(Vec::new()),
             entry: WaitQueue::new(&format!("{name}.entry")),
             urgent: WaitQueue::new(&format!("{name}.urgent")),
             pending_handoff: Mutex::new(None),
@@ -206,12 +230,65 @@ impl<S: Send> Monitor<S> {
     /// Entry blocks while another process has possession. The body receives
     /// a [`MonitorCtx`] through which it accesses the protected state and
     /// the condition operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor is poisoned (a previous holder died inside its
+    /// body). Use [`Monitor::try_enter`] to handle poisoning as a value.
     pub fn enter<R>(&self, ctx: &Ctx, body: impl FnOnce(&MonitorCtx<'_, S>) -> R) -> R {
+        match self.try_enter(ctx, body) {
+            Ok(r) => r,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// Runs `body` with possession, surfacing poisoning instead of
+    /// panicking. The body is not entered on a poisoned monitor.
+    pub fn try_enter<R>(
+        &self,
+        ctx: &Ctx,
+        body: impl FnOnce(&MonitorCtx<'_, S>) -> R,
+    ) -> Result<R, Poisoned> {
+        if let Some(p) = self.observe_poison(ctx) {
+            return Err(p);
+        }
         self.acquire(ctx);
+        if let Some(p) = self.observe_poison(ctx) {
+            // We were woken by the poison broadcast, not a possession
+            // hand-off; there is nothing to release.
+            return Err(p);
+        }
+        let cleanup = PoisonOnUnwind { monitor: self, ctx };
         let mc = MonitorCtx { monitor: self, ctx };
         let r = body(&mc);
+        std::mem::forget(cleanup);
+        if self.poisoned.lock().is_some() {
+            // Possession dissolved while the body waited on a condition
+            // (the dying holder broadcast); the body already observed the
+            // poison through `wait_checked` and chose its return value.
+            return Ok(r);
+        }
         self.release(ctx);
-        r
+        Ok(r)
+    }
+
+    /// Registers `cond` for the poison broadcast: if a holder dies, waiters
+    /// on registered conditions are woken (and observe the poison) instead
+    /// of sleeping forever on a condition nobody will ever signal again.
+    pub fn register_cond(&self, cond: &Arc<Cond>) {
+        self.watched.lock().push(Arc::clone(cond));
+    }
+
+    /// Whether a previous holder died inside the monitor.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.lock().is_some()
+    }
+
+    /// Clones the poison verdict, recording the observation in the trace.
+    fn observe_poison(&self, ctx: &Ctx) -> Option<Poisoned> {
+        let p = self.poisoned.lock().clone()?;
+        ctx.emit(&format!("poison-seen:{}", self.name), &[]);
+        Some(p)
     }
 
     fn acquire(&self, ctx: &Ctx) {
@@ -224,9 +301,12 @@ impl<S: Send> Monitor<S> {
                 true
             }
         };
-        if !got {
+        if got {
+            *self.holder.lock() = Some(ctx.pid());
+        } else {
             // Possession is handed to us directly when we are woken; the
-            // busy flag stays true across the hand-off.
+            // busy flag stays true across the hand-off (the releaser also
+            // records us as the new holder).
             self.entry.wait(ctx);
         }
     }
@@ -235,17 +315,75 @@ impl<S: Send> Monitor<S> {
         // Signal-and-exit: a deferred signal takes effect now, handing
         // possession straight to the signalled process.
         if let Some(pid) = self.pending_handoff.lock().take() {
+            *self.holder.lock() = Some(pid);
             ctx.unpark(pid);
             return; // hand-off: busy stays true
         }
         // Hoare: the urgent queue (paused signallers) beats the entry queue.
-        if self.urgent.wake_one(ctx).is_some() {
+        if let Some(pid) = self.urgent.wake_one(ctx) {
+            *self.holder.lock() = Some(pid);
             return; // hand-off: busy stays true
         }
-        if self.entry.wake_one(ctx).is_some() {
+        if let Some(pid) = self.entry.wake_one(ctx) {
+            *self.holder.lock() = Some(pid);
             return; // hand-off: busy stays true
         }
         *self.busy.lock() = false;
+        *self.holder.lock() = None;
+    }
+}
+
+/// Poisons a [`Monitor`] whose holder's body unwound (kill or panic).
+///
+/// Armed for the whole `enter` body and disarmed with `mem::forget` on the
+/// normal path. The holder check makes the guard a no-op when the process
+/// dies *waiting on a condition* — it holds nothing then, and its queue
+/// entry is removed by the wait's own unwind guard.
+struct PoisonOnUnwind<'a, S> {
+    monitor: &'a Monitor<S>,
+    ctx: &'a Ctx,
+}
+
+impl<S> Drop for PoisonOnUnwind<'_, S> {
+    fn drop(&mut self) {
+        if self.ctx.cancelling() {
+            return;
+        }
+        if *self.monitor.holder.lock() != Some(self.ctx.pid()) {
+            return;
+        }
+        *self.monitor.poisoned.lock() = Some(Poisoned {
+            primitive: self.monitor.name.clone(),
+            by: self.ctx.pid(),
+        });
+        self.ctx.emit(&format!("poison:{}", self.monitor.name), &[]);
+        // Dissolve possession and wake everyone so they observe the poison
+        // instead of wedging: entry and urgent waiters, a deferred
+        // signal-and-exit grantee, and the waiters of registered conditions.
+        *self.monitor.busy.lock() = false;
+        *self.monitor.holder.lock() = None;
+        if let Some(pid) = self.monitor.pending_handoff.lock().take() {
+            self.ctx.try_unpark(pid);
+        }
+        self.monitor.entry.wake_all(self.ctx);
+        self.monitor.urgent.wake_all(self.ctx);
+        for cond in self.monitor.watched.lock().iter() {
+            cond.queue.wake_all(self.ctx);
+        }
+    }
+}
+
+/// Removes the parked process's own queue entry if the park unwinds —
+/// a kill-point while waiting on a condition or the urgent queue must not
+/// leave a dead entry for a later signal to be wasted on.
+struct DequeueOnUnwind<'a> {
+    queue: &'a WaitQueue,
+    ctx: &'a Ctx,
+}
+
+impl Drop for DequeueOnUnwind<'_> {
+    fn drop(&mut self) {
+        self.queue.remove_current(self.ctx);
     }
 }
 
@@ -278,23 +416,57 @@ impl<S: Send> MonitorCtx<'_, S> {
     }
 
     /// Waits on `cond`, releasing possession until signalled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wake came from a poison broadcast (the holder died);
+    /// use [`MonitorCtx::wait_checked`] to handle that as a value.
     pub fn wait(&self, cond: &Cond) {
         self.wait_priority(cond, 0);
     }
 
     /// Hoare's conditional wait: waiters are signalled in increasing
-    /// `priority` order (FIFO among equals).
+    /// `priority` order (FIFO among equals). Panics on a poison wake, like
+    /// [`MonitorCtx::wait`].
     pub fn wait_priority(&self, cond: &Cond, priority: i64) {
+        if let Err(p) = self.wait_priority_checked(cond, priority) {
+            panic!("{p}");
+        }
+    }
+
+    /// Like [`MonitorCtx::wait`], but a wake caused by the monitor being
+    /// poisoned returns the verdict instead of panicking. On `Err` the
+    /// caller does *not* have possession and must leave the body promptly.
+    pub fn wait_checked(&self, cond: &Cond) -> Result<(), Poisoned> {
+        self.wait_priority_checked(cond, 0)
+    }
+
+    /// Priority variant of [`MonitorCtx::wait_checked`].
+    pub fn wait_priority_checked(&self, cond: &Cond, priority: i64) -> Result<(), Poisoned> {
         // Enqueue, release possession, park: atomic under the cooperative
-        // invariant.
+        // invariant. If we die while parked, the unwind guard removes our
+        // entry so a later signal is never wasted on a corpse.
         cond.queue.enqueue_current(self.ctx, priority);
         self.monitor.release(self.ctx);
+        let cleanup = DequeueOnUnwind {
+            queue: &cond.queue,
+            ctx: self.ctx,
+        };
         self.ctx.park(cond.queue.name());
+        std::mem::forget(cleanup);
+        if let Some(p) = self.monitor.observe_poison(self.ctx) {
+            return Err(p);
+        }
         if self.monitor.signaling == Signaling::SignalAndContinue {
             // Mesa: we were only made runnable; re-contend for possession.
             self.monitor.acquire(self.ctx);
+            if let Some(p) = self.monitor.observe_poison(self.ctx) {
+                // The holder died while we sat on the entry queue.
+                return Err(p);
+            }
         }
         // Hoare: possession was handed to us by the signaller.
+        Ok(())
     }
 
     /// Signals `cond`: resumes its frontmost waiter, if any.
@@ -303,27 +475,56 @@ impl<S: Send> MonitorCtx<'_, S> {
     /// the signaller parks on the urgent queue; under Mesa semantics the
     /// signalled process simply becomes runnable and will re-enter later.
     /// Signalling an empty condition is a no-op in both disciplines.
+    ///
+    /// # Panics
+    ///
+    /// Panics under Hoare semantics if the signalled process dies with
+    /// possession before handing it back (the urgent-queue wake is then a
+    /// poison broadcast); use [`MonitorCtx::signal_checked`] to handle
+    /// that as a value.
     pub fn signal(&self, cond: &Cond) {
+        if let Err(p) = self.signal_checked(cond) {
+            panic!("{p}");
+        }
+    }
+
+    /// Like [`MonitorCtx::signal`], but a Hoare signaller woken by the
+    /// poison broadcast of a dying signallee gets the verdict back instead
+    /// of panicking. On `Err` the caller does *not* have possession and
+    /// must leave the body promptly. Mesa and signal-and-exit signallers
+    /// never park, so they always return `Ok`.
+    pub fn signal_checked(&self, cond: &Cond) -> Result<(), Poisoned> {
         match self.monitor.signaling {
             Signaling::Hoare => {
                 if cond.queue.is_empty() {
-                    return;
+                    return Ok(());
                 }
                 // Step aside for the signalled process: enqueue ourselves
                 // urgent, wake it (hand-off), park.
                 self.monitor.urgent.enqueue_current(self.ctx, 0);
-                cond.queue
+                let pid = cond
+                    .queue
                     .wake_one(self.ctx)
                     .expect("non-empty condition must yield a waiter");
+                *self.monitor.holder.lock() = Some(pid);
+                let cleanup = DequeueOnUnwind {
+                    queue: &self.monitor.urgent,
+                    ctx: self.ctx,
+                };
                 self.ctx.park(self.monitor.urgent.name());
-                // Resumed: possession handed back to us.
+                std::mem::forget(cleanup);
+                // Resumed: possession handed back to us — unless the wake
+                // was the poison broadcast of a dying holder.
+                if let Some(p) = self.monitor.observe_poison(self.ctx) {
+                    return Err(p);
+                }
             }
             Signaling::SignalAndContinue => {
                 cond.queue.wake_one(self.ctx);
             }
             Signaling::SignalAndExit => {
                 if cond.queue.is_empty() {
-                    return;
+                    return Ok(());
                 }
                 // Defer the hand-off to the moment we leave the monitor:
                 // take the waiter off the condition but leave it parked.
@@ -336,6 +537,7 @@ impl<S: Send> MonitorCtx<'_, S> {
                 *pending = Some(pid);
             }
         }
+        Ok(())
     }
 
     /// Wakes every waiter on `cond` (broadcast).

@@ -1,0 +1,183 @@
+//! Crash-safety of monitors under fault injection: possession poisoning,
+//! the poison broadcast, and kill-during-wait containment.
+
+use bloom_monitor::{Cond, Monitor};
+use bloom_sim::{FaultPlan, Pid, Sim};
+use std::sync::Arc;
+
+/// A holder dying mid-body poisons the monitor; entry waiters wake and
+/// observe the poison instead of sleeping behind the corpse forever.
+#[test]
+fn holder_death_poisons_and_wakes_entry_queue() {
+    let mut sim = Sim::new();
+    // The victim's first scheduling point is the yield inside its body.
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 1));
+    let m = Arc::new(Monitor::hoare("m", 0i64));
+    let m2 = Arc::clone(&m);
+    sim.spawn("victim", move |ctx| {
+        let _ = m2.try_enter(ctx, |mc| {
+            mc.state(|s| *s += 1); // state left mid-update
+            mc.ctx().yield_now(); // killed here, holding possession
+            mc.state(|s| *s -= 1);
+        });
+    });
+    let m3 = Arc::clone(&m);
+    sim.spawn("waiter", move |ctx| {
+        let p = m3
+            .try_enter(ctx, |_| ())
+            .expect_err("the crashed holder poisoned the monitor");
+        assert_eq!(p.primitive, "m");
+        assert_eq!(p.by, Pid(0));
+        ctx.emit("poison-observed", &[]);
+    });
+    let report = sim.run().expect("poisoning contains the crash");
+    assert!(m.is_poisoned());
+    assert_eq!(report.killed(), vec![Pid(0)]);
+    assert_eq!(report.trace.count_user("poison:m"), 1);
+    assert_eq!(report.trace.count_user("poison-observed"), 1);
+}
+
+/// Dying while waiting on a condition holds nothing: the monitor stays
+/// healthy and the dead waiter's queue entry is removed, so a later
+/// signal reaches a live waiter.
+#[test]
+fn death_while_cond_waiting_does_not_poison() {
+    for kind in ["hoare", "mesa"] {
+        let mut sim = Sim::new();
+        sim.set_fault_plan(FaultPlan::new().kill("victim", 2));
+        let m = Arc::new(match kind {
+            "hoare" => Monitor::hoare("m", false),
+            _ => Monitor::mesa("m", false),
+        });
+        let c = Arc::new(Cond::new("c"));
+        let (m1, c1) = (Arc::clone(&m), Arc::clone(&c));
+        sim.spawn("victim", move |ctx| {
+            m1.enter(ctx, |mc| {
+                // Point 1 is somewhere in entry; make the park the 2nd stop:
+                // enter is uncontended, so stop 1 is this yield and stop 2
+                // the park inside wait.
+                mc.ctx().yield_now();
+                while !mc.state(|s| *s) {
+                    mc.wait(&c1);
+                }
+            });
+        });
+        let (m2, c2) = (Arc::clone(&m), Arc::clone(&c));
+        sim.spawn("peer", move |ctx| {
+            ctx.yield_now();
+            ctx.yield_now();
+            m2.enter(ctx, |mc| {
+                while !mc.state(|s| *s) {
+                    mc.wait(&c2);
+                }
+                mc.ctx().emit("peer-woken", &[]);
+            });
+        });
+        let (m3, c3) = (Arc::clone(&m), Arc::clone(&c));
+        sim.spawn("signaller", move |ctx| {
+            for _ in 0..5 {
+                ctx.yield_now();
+            }
+            m3.enter(ctx, |mc| {
+                mc.state(|s| *s = true);
+                mc.signal(&c3);
+            });
+        });
+        let report = sim.run().expect("{kind}: no wedge, no poison");
+        assert!(!m.is_poisoned(), "{kind}: a cond waiter holds nothing");
+        assert_eq!(
+            report.trace.count_user("peer-woken"),
+            1,
+            "{kind}: the signal reaches the live waiter, not the corpse"
+        );
+    }
+}
+
+/// A holder dying while registered conditions have waiters broadcasts the
+/// poison to them too; `wait_checked` surfaces it as a value.
+#[test]
+fn poison_broadcast_reaches_registered_cond_waiters() {
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 2));
+    let m = Arc::new(Monitor::mesa("m", false));
+    let c = Arc::new(Cond::new("c"));
+    m.register_cond(&c);
+    let (m1, c1) = (Arc::clone(&m), Arc::clone(&c));
+    sim.spawn("cond-waiter", move |ctx| {
+        let r = m1.try_enter(ctx, |mc| {
+            while !mc.state(|s| *s) {
+                if let Err(p) = mc.wait_checked(&c1) {
+                    assert_eq!(p.primitive, "m");
+                    ctx.emit("poisoned-while-waiting", &[]);
+                    return;
+                }
+            }
+        });
+        assert!(r.is_ok(), "entry itself succeeded before the poison");
+    });
+    let m2 = Arc::clone(&m);
+    sim.spawn("victim", move |ctx| {
+        ctx.yield_now(); // let the waiter get onto the condition
+        m2.enter(ctx, |mc| {
+            mc.ctx().yield_now(); // killed here, holding possession
+            mc.state(|s| *s = true);
+        });
+    });
+    let report = sim.run().expect("broadcast prevents the wedge");
+    assert_eq!(report.trace.count_user("poisoned-while-waiting"), 1);
+    assert_eq!(report.trace.count_user("poison-seen:m"), 1);
+}
+
+/// Without registration, a condition's waiters are *not* woken by the
+/// poison — the run ends in a reported deadlock (contained, not silent).
+#[test]
+fn unregistered_cond_waiters_deadlock_loudly() {
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 2));
+    let m = Arc::new(Monitor::mesa("m", false));
+    let c = Arc::new(Cond::new("c"));
+    let (m1, c1) = (Arc::clone(&m), Arc::clone(&c));
+    sim.spawn("cond-waiter", move |ctx| {
+        let _ = m1.try_enter(ctx, |mc| {
+            while !mc.state(|s| *s) {
+                let _ = mc.wait_checked(&c1);
+            }
+        });
+    });
+    let m2 = Arc::clone(&m);
+    sim.spawn("victim", move |ctx| {
+        ctx.yield_now();
+        m2.enter(ctx, |mc| {
+            mc.ctx().yield_now();
+            mc.state(|s| *s = true);
+        });
+    });
+    let err = sim
+        .run()
+        .expect_err("nobody signals the orphaned condition");
+    assert!(err.is_deadlock());
+}
+
+/// Poison is sticky: entrants arriving long after the crash still get the
+/// verdict, and plain `enter` fails loudly rather than proceeding.
+#[test]
+fn poison_is_sticky_for_late_entrants() {
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 1));
+    let m = Arc::new(Monitor::signal_and_exit("m", ()));
+    let m1 = Arc::clone(&m);
+    sim.spawn("victim", move |ctx| {
+        let _ = m1.try_enter(ctx, |mc| mc.ctx().yield_now());
+    });
+    for i in 0..2 {
+        let m = Arc::clone(&m);
+        sim.spawn(&format!("late{i}"), move |ctx| {
+            ctx.yield_now();
+            ctx.yield_now();
+            assert!(m.try_enter(ctx, |_| ()).is_err());
+            ctx.emit("refused", &[]);
+        });
+    }
+    let report = sim.run().expect("no wedge");
+    assert_eq!(report.trace.count_user("refused"), 2);
+}

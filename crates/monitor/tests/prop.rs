@@ -31,6 +31,7 @@ proptest! {
         let mut sim = Sim::with_config(SimConfig {
             max_steps: 300_000,
             record_sched_events: false,
+            ..SimConfig::default()
         });
         sim.set_policy(RandomPolicy::new(seed));
         let m = Arc::new(Monitor::new("m", signaling, 0i64));

@@ -13,7 +13,7 @@
 use crate::ast::Path;
 use crate::compile::{compile, CompiledPath, PathState};
 use crate::parse::{parse_paths, ParseError};
-use bloom_sim::{Ctx, Pid};
+use bloom_sim::{Ctx, Pid, Poisoned};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -206,10 +206,24 @@ impl std::fmt::Debug for Machine {
 /// // The consumer arrived first but the path forces deposit before remove.
 /// sim.run().unwrap();
 /// ```
+///
+/// # Crash safety
+///
+/// A process dying (fault-plan kill or panic) *mid-operation* — between
+/// the paths granting its start and its finish — poisons the resource:
+/// the path states have consumed tokens that will never be put back, so
+/// every constraint downstream of the dead operation is unsatisfiable.
+/// The poison wakes all blocked requests; they (and later requesters)
+/// observe a [`Poisoned`] verdict from [`PathResource::try_perform`],
+/// while plain [`PathResource::perform`] panics, keeping the failure
+/// loud. A process dying while *blocked* (its operation never started)
+/// is simply removed from the request queue — the resource stays healthy.
 #[derive(Debug)]
 pub struct PathResource {
     name: String,
     machine: Mutex<Machine>,
+    /// Set when a process died mid-operation; sticky once set.
+    poisoned: Mutex<Option<Poisoned>>,
 }
 
 impl PathResource {
@@ -231,6 +245,7 @@ impl PathResource {
                 on_enter: HashMap::new(),
                 on_exit: HashMap::new(),
             }),
+            poisoned: Mutex::new(None),
         }
     }
 
@@ -251,17 +266,56 @@ impl PathResource {
     /// resource (path procedures invoking other procedures, as in the
     /// paper's Figure 1 where `requestwrite = begin openwrite end`).
     /// An operation named in no path is unconstrained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource is poisoned (a process died mid-operation).
+    /// Use [`PathResource::try_perform`] to handle poisoning as a value.
     pub fn perform<R>(&self, ctx: &Ctx, op: &str, body: impl FnOnce() -> R) -> R {
-        self.begin(ctx, op);
+        match self.try_perform(ctx, op, body) {
+            Ok(r) => r,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// Like [`PathResource::perform`], but surfaces poisoning as a value
+    /// instead of panicking. The operation is not started on a poisoned
+    /// resource.
+    pub fn try_perform<R>(
+        &self,
+        ctx: &Ctx,
+        op: &str,
+        body: impl FnOnce() -> R,
+    ) -> Result<R, Poisoned> {
+        self.begin_checked(ctx, op)?;
+        // From here we hold an activation: dying inside the body leaves
+        // tokens consumed forever, so the unwind must poison the resource.
+        let cleanup = PoisonOnUnwind { res: self, ctx };
         let r = body();
+        std::mem::forget(cleanup);
         self.finish(ctx, op);
-        r
+        Ok(r)
     }
 
     /// Starts operation `op` (the first half of [`PathResource::perform`]).
     /// Prefer `perform`; `begin`/`finish` exist for callers whose operation
-    /// body does not fit a closure.
+    /// body does not fit a closure. Note that the `begin`/`finish` form has
+    /// no crash protection for the operation body — only `perform`/
+    /// `try_perform` poison the resource when the body dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource is (or becomes) poisoned.
     pub fn begin(&self, ctx: &Ctx, op: &str) {
+        if let Err(p) = self.begin_checked(ctx, op) {
+            panic!("{p}");
+        }
+    }
+
+    fn begin_checked(&self, ctx: &Ctx, op: &str) -> Result<(), Poisoned> {
+        if let Some(p) = self.observe_poison(ctx) {
+            return Err(p);
+        }
         let started = {
             let mut m = self.machine.lock();
             match m.try_activation(op) {
@@ -285,11 +339,32 @@ impl PathResource {
         if started {
             // Starting can enable blocked peers (opening a burst).
             self.wake_startable(ctx);
-        } else {
-            ctx.park(&format!("{}.{}", self.name, op));
-            // The waker applied our enter effects and recorded our
-            // activation before unparking us.
+            return Ok(());
         }
+        // If we die while parked here, our request must not linger in the
+        // queue: it can never be granted and poisons nothing.
+        let cleanup = UnblockOnUnwind { res: self, ctx };
+        ctx.park(&format!("{}.{}", self.name, op));
+        std::mem::forget(cleanup);
+        // A granting waker applied our enter effects, recorded our
+        // activation, and *removed us from the blocked queue* before
+        // unparking. A poison broadcast wakes us still-queued instead.
+        let still_blocked = {
+            let mut m = self.machine.lock();
+            let me = ctx.pid();
+            let was = m.blocked.iter().any(|b| b.pid == me);
+            if was {
+                m.blocked.retain(|b| b.pid != me);
+            }
+            was
+        };
+        if still_blocked {
+            let p = self
+                .observe_poison(ctx)
+                .expect("woken without grant can only happen on poison");
+            return Err(p);
+        }
+        Ok(())
     }
 
     /// Finishes operation `op` (the second half of [`PathResource::perform`]).
@@ -318,6 +393,19 @@ impl PathResource {
         for pid in woken {
             ctx.unpark(pid);
         }
+    }
+
+    /// Whether a process died mid-operation, leaving the paths' token
+    /// state unrecoverable.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.lock().is_some()
+    }
+
+    /// Clones the poison verdict, recording the observation in the trace.
+    fn observe_poison(&self, ctx: &Ctx) -> Option<Poisoned> {
+        let p = self.poisoned.lock().clone()?;
+        ctx.emit(&format!("poison-seen:{}", self.name), &[]);
+        Some(p)
     }
 
     /// Number of executions of `op` currently in progress.
@@ -396,6 +484,55 @@ impl PathResource {
     /// Current value of a v3 state variable (0 if never written).
     pub fn var(&self, name: &str) -> i64 {
         self.machine.lock().vars.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Poisons a [`PathResource`] when an operation body unwinds (kill or
+/// panic): the activation's tokens are consumed and can never be put
+/// back. All blocked requests are woken — *without* removing their queue
+/// entries, which is how they distinguish the poison broadcast from a
+/// grant — so they observe the verdict instead of wedging.
+struct PoisonOnUnwind<'a> {
+    res: &'a PathResource,
+    ctx: &'a Ctx,
+}
+
+impl Drop for PoisonOnUnwind<'_> {
+    fn drop(&mut self) {
+        if self.ctx.cancelling() {
+            return;
+        }
+        *self.res.poisoned.lock() = Some(Poisoned {
+            primitive: self.res.name.clone(),
+            by: self.ctx.pid(),
+        });
+        self.ctx.emit(&format!("poison:{}", self.res.name), &[]);
+        let blocked: Vec<Pid> = self
+            .res
+            .machine
+            .lock()
+            .blocked
+            .iter()
+            .map(|b| b.pid)
+            .collect();
+        for pid in blocked {
+            self.ctx.try_unpark(pid);
+        }
+    }
+}
+
+/// Removes the parked process's own request from the blocked queue if the
+/// park unwinds: a request whose process died can never be granted, and
+/// leaving it would make `blocked()` predicate counts lie forever.
+struct UnblockOnUnwind<'a> {
+    res: &'a PathResource,
+    ctx: &'a Ctx,
+}
+
+impl Drop for UnblockOnUnwind<'_> {
+    fn drop(&mut self) {
+        let me = self.ctx.pid();
+        self.res.machine.lock().blocked.retain(|b| b.pid != me);
     }
 }
 

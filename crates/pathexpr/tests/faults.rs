@@ -1,0 +1,94 @@
+//! Crash-safety of path-expression resources under fault injection:
+//! mid-operation death poisons, blocked-request death is cleaned up.
+
+use bloom_pathexpr::PathResource;
+use bloom_sim::{FaultPlan, Pid, Sim};
+use std::sync::Arc;
+
+/// Dying inside an operation body consumes tokens forever: the resource
+/// is poisoned, blocked requests wake, and they observe the verdict.
+#[test]
+fn death_mid_operation_poisons_and_wakes_blocked() {
+    let mut sim = Sim::new();
+    // The victim's first scheduling point is the yield inside its body.
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 1));
+    let r = Arc::new(PathResource::parse("s", "path a end").unwrap());
+    let r1 = Arc::clone(&r);
+    sim.spawn("victim", move |ctx| {
+        let _ = r1.try_perform(ctx, "a", || {
+            ctx.yield_now(); // killed mid-operation
+            ctx.emit("victim-finished", &[]);
+        });
+    });
+    let r2 = Arc::clone(&r);
+    sim.spawn("waiter", move |ctx| {
+        let p = r2
+            .try_perform(ctx, "a", || ())
+            .expect_err("the dead operation poisoned the resource");
+        assert_eq!(p.primitive, "s");
+        assert_eq!(p.by, Pid(0));
+        ctx.emit("poison-observed", &[]);
+    });
+    let report = sim.run().expect("poisoning contains the crash");
+    assert!(r.is_poisoned());
+    assert_eq!(report.killed(), vec![Pid(0)]);
+    assert_eq!(report.trace.count_user("victim-finished"), 0);
+    assert_eq!(report.trace.count_user("poison:s"), 1);
+    assert_eq!(report.trace.count_user("poison-observed"), 1);
+    assert_eq!(
+        r.blocked_count(),
+        0,
+        "the poison-woken request deregistered"
+    );
+}
+
+/// Dying while *blocked* starts nothing: the request is removed, the
+/// resource stays healthy, and `blocked()` predicates see the truth.
+#[test]
+fn death_while_blocked_is_removed_without_poison() {
+    let mut sim = Sim::new();
+    // The victim's park on the blocked queue is its first stop.
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 1));
+    let r = Arc::new(PathResource::parse("slot", "path deposit ; remove end").unwrap());
+    let r1 = Arc::clone(&r);
+    sim.spawn("victim", move |ctx| {
+        // `remove` cannot start before a deposit: the victim parks.
+        r1.perform(ctx, "remove", || ctx.emit("victim-removed", &[]));
+    });
+    let r2 = Arc::clone(&r);
+    sim.spawn("producer", move |ctx| {
+        ctx.yield_now();
+        assert_eq!(r2.blocked_count(), 0, "the dead request was removed");
+        r2.perform(ctx, "deposit", || {});
+        r2.perform(ctx, "remove", || ctx.emit("producer-removed", &[]));
+    });
+    let report = sim.run().expect("healthy: the corpse never started");
+    assert!(!r.is_poisoned());
+    assert_eq!(report.trace.count_user("victim-removed"), 0);
+    assert_eq!(report.trace.count_user("producer-removed"), 1);
+}
+
+/// Poison is sticky: requesters arriving after the crash are refused
+/// immediately, without ever parking.
+#[test]
+fn poison_is_sticky_for_late_requesters() {
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 1));
+    let r = Arc::new(PathResource::parse("s", "path a end").unwrap());
+    let r1 = Arc::clone(&r);
+    sim.spawn("victim", move |ctx| {
+        let _ = r1.try_perform(ctx, "a", || ctx.yield_now());
+    });
+    for i in 0..2 {
+        let r = Arc::clone(&r);
+        sim.spawn(&format!("late{i}"), move |ctx| {
+            ctx.yield_now();
+            ctx.yield_now();
+            assert!(r.try_perform(ctx, "a", || ()).is_err());
+            ctx.emit("refused", &[]);
+        });
+    }
+    let report = sim.run().expect("no wedge");
+    assert_eq!(report.trace.count_user("refused"), 2);
+    assert_eq!(report.trace.count_user("poison-seen:s"), 2);
+}

@@ -38,6 +38,7 @@ pub mod disk;
 pub mod drivers;
 pub mod events;
 pub mod extra;
+pub mod faults;
 pub mod fcfs;
 pub mod oneslot;
 pub mod registry;

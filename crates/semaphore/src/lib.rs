@@ -15,6 +15,19 @@
 //!   is a programming error and panics, matching Dijkstra's definition.
 //! * [`Lock`] — a mutual-exclusion convenience wrapper with a closure API.
 //!
+//! # Crash safety
+//!
+//! Bare `p`/`v` pairs have no crash story: a process that dies (fault-plan
+//! kill or panic) between `p` and `v` takes the permit with it and later
+//! entrants wedge — which is precisely the low-level-mechanism fragility
+//! the crash-robustness experiment (R1) measures. The structured entry
+//! points are safe: [`Semaphore::with_permit`] releases the permit during
+//! the unwind, and [`Lock::with`]/[`Lock::try_with`] mark the lock
+//! *poisoned* (surfaced as [`bloom_sim::Poisoned`]) and wake all waiters
+//! so no survivor blocks forever. A process that dies while *blocked* in
+//! `p` is removed from the wait queue by the queue's own unwind guard and
+//! is never granted a permit.
+//!
 //! # Example
 //!
 //! ```
@@ -36,8 +49,17 @@
 //! assert_eq!(report.trace.count_user("critical"), 2);
 //! ```
 
-use bloom_sim::{Ctx, WaitQueue};
+use bloom_sim::{Ctx, Poisoned, WaitQueue};
 use parking_lot::Mutex;
+
+/// Outcome of a timed acquire ([`Semaphore::p_timeout`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryResult {
+    /// A permit was obtained.
+    Acquired,
+    /// The timeout elapsed without obtaining a permit.
+    TimedOut,
+}
 
 /// Wake-up discipline of a [`Semaphore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +148,64 @@ impl Semaphore {
         }
     }
 
+    /// P with a timeout: blocks for at most `ticks` quanta of virtual time.
+    ///
+    /// The timeout-vs-wake race (see [`WaitQueue::wait_timeout`]) cannot
+    /// lose a permit in either direction: a `v` that skips a waiter whose
+    /// timer already fired falls back to incrementing the count, and a
+    /// hand-off that wins the race simply delivers the permit. On a strong
+    /// semaphore a timed-out waiter reports [`TryResult::TimedOut`] even
+    /// if a permit became free in the same instant (hand-off order is
+    /// king); a weak waiter re-contends one final time before giving up.
+    pub fn p_timeout(&self, ctx: &Ctx, ticks: u64) -> TryResult {
+        match self.fairness {
+            Fairness::Strong => {
+                if self.try_p() {
+                    return TryResult::Acquired;
+                }
+                if self.queue.wait_timeout(ctx, ticks) {
+                    // Woken by v's direct hand-off: the permit is ours.
+                    TryResult::Acquired
+                } else {
+                    TryResult::TimedOut
+                }
+            }
+            Fairness::Weak => {
+                let deadline = ctx.now().plus(ticks);
+                loop {
+                    if self.try_p() {
+                        return TryResult::Acquired;
+                    }
+                    let now = ctx.now();
+                    if now >= deadline {
+                        return TryResult::TimedOut;
+                    }
+                    if !self.queue.wait_timeout(ctx, deadline.0 - now.0) {
+                        // Timed out parked; the barging discipline grants
+                        // one last look at the count.
+                        return if self.try_p() {
+                            TryResult::Acquired
+                        } else {
+                            TryResult::TimedOut
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs `f` with a permit held, releasing it even if `f` unwinds
+    /// (fault-plan kill or panic): the crash-safe alternative to a bare
+    /// `p`/`v` pair.
+    pub fn with_permit<R>(&self, ctx: &Ctx, f: impl FnOnce() -> R) -> R {
+        self.p(ctx);
+        let cleanup = ReleaseOnUnwind { sem: self, ctx };
+        let r = f();
+        std::mem::forget(cleanup);
+        self.v(ctx);
+        r
+    }
+
     /// Dijkstra's V operation: release a permit.
     pub fn v(&self, ctx: &Ctx) {
         match self.fairness {
@@ -161,6 +241,24 @@ impl Semaphore {
     /// The diagnostic name this semaphore was created with.
     pub fn name(&self) -> &str {
         self.queue.name()
+    }
+}
+
+/// Returns the permit of a [`Semaphore::with_permit`] section whose body
+/// unwound. Disarmed with `mem::forget` on the normal path.
+struct ReleaseOnUnwind<'a> {
+    sem: &'a Semaphore,
+    ctx: &'a Ctx,
+}
+
+impl Drop for ReleaseOnUnwind<'_> {
+    fn drop(&mut self) {
+        // Shutdown cancellations unwind concurrently; kernel state and the
+        // trace are off-limits then, and nobody is left to need the permit.
+        if self.ctx.cancelling() {
+            return;
+        }
+        self.sem.v(self.ctx);
     }
 }
 
@@ -208,9 +306,20 @@ impl BinarySemaphore {
 
 /// Mutual exclusion built from a strong binary semaphore, with a closure
 /// API that makes forgetting the release impossible.
+///
+/// # Crash safety
+///
+/// If the body of a [`Lock::with`]/[`Lock::try_with`] section unwinds
+/// (fault-plan kill or panic), the lock is marked *poisoned* — the
+/// protected state may be mid-update — and released, so waiters wake
+/// instead of wedging. Subsequent [`Lock::try_with`] calls observe
+/// [`Poisoned`]; plain [`Lock::with`] panics on a poisoned lock, keeping
+/// the failure loud. The bare [`Lock::acquire`]/[`Lock::release`] pair
+/// has no crash protection, exactly like a raw semaphore.
 #[derive(Debug)]
 pub struct Lock {
     sem: Semaphore,
+    poisoned: Mutex<Option<Poisoned>>,
 }
 
 impl Lock {
@@ -218,15 +327,47 @@ impl Lock {
     pub fn new(name: &str) -> Self {
         Lock {
             sem: Semaphore::strong(name, 1),
+            poisoned: Mutex::new(None),
         }
     }
 
     /// Runs `f` with the lock held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned (a previous holder died mid-section).
+    /// Use [`Lock::try_with`] to handle poisoning as a value.
     pub fn with<R>(&self, ctx: &Ctx, f: impl FnOnce() -> R) -> R {
+        match self.try_with(ctx, f) {
+            Ok(r) => r,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// Runs `f` with the lock held, surfacing poisoning instead of
+    /// panicking. The body is not entered on a poisoned lock.
+    pub fn try_with<R>(&self, ctx: &Ctx, f: impl FnOnce() -> R) -> Result<R, Poisoned> {
         self.sem.p(ctx);
+        if let Some(p) = self.poisoned.lock().clone() {
+            ctx.emit(&format!("poison-seen:{}", self.name()), &[]);
+            self.sem.v(ctx);
+            return Err(p);
+        }
+        let cleanup = PoisonOnUnwind { lock: self, ctx };
         let r = f();
+        std::mem::forget(cleanup);
         self.sem.v(ctx);
-        r
+        Ok(r)
+    }
+
+    /// Whether a previous holder died inside a closure section.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.lock().is_some()
+    }
+
+    /// The diagnostic name this lock was created with.
+    pub fn name(&self) -> &str {
+        self.sem.name()
     }
 
     /// Acquires the lock without the closure API; pair with [`Lock::release`].
@@ -237,6 +378,28 @@ impl Lock {
     /// Releases the lock acquired with [`Lock::acquire`].
     pub fn release(&self, ctx: &Ctx) {
         self.sem.v(ctx);
+    }
+}
+
+/// Poisons and releases a [`Lock`] whose closure section unwound.
+struct PoisonOnUnwind<'a> {
+    lock: &'a Lock,
+    ctx: &'a Ctx,
+}
+
+impl Drop for PoisonOnUnwind<'_> {
+    fn drop(&mut self) {
+        if self.ctx.cancelling() {
+            return;
+        }
+        *self.lock.poisoned.lock() = Some(Poisoned {
+            primitive: self.lock.name().to_string(),
+            by: self.ctx.pid(),
+        });
+        self.ctx.emit(&format!("poison:{}", self.lock.name()), &[]);
+        // Release so waiters wake and observe the poison instead of
+        // blocking forever behind a dead holder.
+        self.lock.sem.v(self.ctx);
     }
 }
 

@@ -1,0 +1,223 @@
+//! Crash-safety and timeout behavior of semaphores under fault injection:
+//! kill-during-wait, permit containment via `with_permit`, `Lock` poisoning,
+//! and the timeout-vs-wake race of `p_timeout`.
+
+use bloom_semaphore::{Lock, Semaphore, TryResult};
+use bloom_sim::{FaultPlan, LifoPolicy, Pid, Sim};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A process killed while blocked in `p` must be dequeued: the permit its
+/// `v`-ing peer releases flows to a live waiter, never to the corpse.
+#[test]
+fn kill_while_blocked_in_p_does_not_swallow_the_permit() {
+    let mut sim = Sim::new();
+    // The victim's first scheduling point is its park inside `p`.
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 1));
+    let sem = Arc::new(Semaphore::strong("s", 0));
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let (s2, g2) = (Arc::clone(&sem), Arc::clone(&got));
+    sim.spawn("victim", move |ctx| {
+        s2.p(ctx);
+        g2.lock().push("victim");
+    });
+    let (s3, g3) = (Arc::clone(&sem), Arc::clone(&got));
+    sim.spawn("other", move |ctx| {
+        s3.p(ctx);
+        g3.lock().push("other");
+    });
+    let s4 = Arc::clone(&sem);
+    sim.spawn("releaser", move |ctx| {
+        for _ in 0..3 {
+            ctx.yield_now();
+        }
+        s4.v(ctx);
+    });
+    let report = sim.run().expect("no deadlock: the dead waiter is dequeued");
+    assert_eq!(*got.lock(), vec!["other"], "permit reaches the live waiter");
+    assert_eq!(report.killed(), vec![Pid(0)]);
+}
+
+/// `with_permit` returns the permit when its body unwinds, so a crash in
+/// the critical section does not wedge later acquirers.
+#[test]
+fn with_permit_releases_on_kill() {
+    let mut sim = Sim::new();
+    // Point 1 is the yield inside the victim's with_permit body.
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 1));
+    let sem = Arc::new(Semaphore::strong("s", 1));
+    let s2 = Arc::clone(&sem);
+    sim.spawn("victim", move |ctx| {
+        s2.with_permit(ctx, || {
+            ctx.yield_now(); // killed mid-section
+            ctx.emit("victim-finished", &[]);
+        });
+    });
+    let s3 = Arc::clone(&sem);
+    sim.spawn("other", move |ctx| {
+        s3.with_permit(ctx, || ctx.emit("other-entered", &[]));
+    });
+    let report = sim.run().expect("permit returned on unwind: no wedge");
+    assert_eq!(report.trace.count_user("victim-finished"), 0);
+    assert_eq!(report.trace.count_user("other-entered"), 1);
+    assert_eq!(sem.value(), 1, "permit count restored after the crash");
+}
+
+/// A bare `p`/`v` pair deliberately has no crash protection: a holder dying
+/// between `p` and `v` wedges everyone behind it (the R1 baseline).
+#[test]
+fn bare_p_v_wedges_on_kill() {
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 1));
+    let sem = Arc::new(Semaphore::strong("s", 1));
+    let s2 = Arc::clone(&sem);
+    sim.spawn("victim", move |ctx| {
+        s2.p(ctx);
+        ctx.yield_now(); // killed holding the permit
+        s2.v(ctx);
+    });
+    let s3 = Arc::clone(&sem);
+    sim.spawn("other", move |ctx| {
+        s3.p(ctx);
+        s3.v(ctx);
+    });
+    let err = sim
+        .run()
+        .expect_err("the orphaned permit deadlocks `other`");
+    assert!(err.is_deadlock());
+}
+
+/// A holder dying inside `Lock::try_with` poisons the lock; waiters wake
+/// and observe `Poisoned` instead of blocking forever.
+#[test]
+fn lock_poison_propagates_to_waiters() {
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 1));
+    let lock = Arc::new(Lock::new("L"));
+    let l2 = Arc::clone(&lock);
+    sim.spawn("victim", move |ctx| {
+        let r = l2.try_with(ctx, || {
+            ctx.yield_now(); // killed mid-section
+        });
+        assert!(r.is_ok(), "unreachable: the victim never returns");
+    });
+    let l3 = Arc::clone(&lock);
+    sim.spawn("waiter", move |ctx| {
+        let r = l3.try_with(ctx, || ());
+        let p = r.expect_err("the crashed holder poisoned the lock");
+        assert_eq!(p.primitive, "L");
+        assert_eq!(p.by, Pid(0));
+        ctx.emit("poison-observed", &[]);
+    });
+    let report = sim.run().expect("poisoning contains the crash");
+    assert!(lock.is_poisoned());
+    assert_eq!(report.trace.count_user("poison:L"), 1);
+    assert_eq!(report.trace.count_user("poison-seen:L"), 1);
+    assert_eq!(report.trace.count_user("poison-observed"), 1);
+}
+
+/// Poisoning is sticky: every later `try_with` sees it, and the lock keeps
+/// admitting (and immediately refusing) entrants without wedging.
+#[test]
+fn lock_poison_is_sticky_across_entrants() {
+    let mut sim = Sim::new();
+    sim.set_fault_plan(FaultPlan::new().kill("victim", 1));
+    let lock = Arc::new(Lock::new("L"));
+    let l2 = Arc::clone(&lock);
+    sim.spawn("victim", move |ctx| {
+        let _ = l2.try_with(ctx, || ctx.yield_now());
+    });
+    for i in 0..3 {
+        let lock = Arc::clone(&lock);
+        sim.spawn(&format!("late{i}"), move |ctx| {
+            ctx.yield_now();
+            ctx.yield_now();
+            assert!(lock.try_with(ctx, || ()).is_err());
+            ctx.emit("refused", &[]);
+        });
+    }
+    let report = sim.run().expect("no wedge");
+    assert_eq!(report.trace.count_user("refused"), 3);
+}
+
+#[test]
+fn p_timeout_fast_path_and_expiry() {
+    let mut sim = Sim::new();
+    let avail = Arc::new(Semaphore::strong("avail", 1));
+    let empty = Arc::new(Semaphore::strong("empty", 0));
+    let (a2, e2) = (Arc::clone(&avail), Arc::clone(&empty));
+    sim.spawn("caller", move |ctx| {
+        assert_eq!(a2.p_timeout(ctx, 10), TryResult::Acquired, "fast path");
+        let before = ctx.now();
+        assert_eq!(e2.p_timeout(ctx, 10), TryResult::TimedOut);
+        assert!(
+            ctx.now().0 >= before.0 + 10,
+            "timeout waited the full budget in virtual time"
+        );
+        assert_eq!(e2.waiting(), 0, "the expired entry is gone");
+    });
+    sim.run().expect("clean run");
+}
+
+#[test]
+fn p_timeout_woken_by_v_before_expiry() {
+    let mut sim = Sim::new();
+    let sem = Arc::new(Semaphore::strong("s", 0));
+    let s2 = Arc::clone(&sem);
+    sim.spawn("waiter", move |ctx| {
+        assert_eq!(s2.p_timeout(ctx, 100), TryResult::Acquired);
+        ctx.emit("acquired", &[ctx.now().0 as i64]);
+    });
+    let s3 = Arc::clone(&sem);
+    sim.spawn("releaser", move |ctx| {
+        ctx.sleep(5);
+        s3.v(ctx);
+    });
+    let report = sim.run().expect("clean run");
+    assert_eq!(report.trace.count_user("acquired"), 1);
+    assert_eq!(sem.value(), 0, "the hand-off consumed the permit");
+}
+
+/// The timeout-vs-wake race: the releaser's `v` lands at the very instant
+/// the waiter's timeout expires. Whatever order the scheduler picks, the
+/// permit must be conserved — either the waiter acquired it (and holds
+/// it), or it timed out and the permit is back on the counter.
+#[test]
+fn timeout_vs_wake_race_conserves_the_permit() {
+    for fairness in ["strong", "weak"] {
+        let mut sim = Sim::new();
+        // LIFO runs the most-recently-readied process first, which at the
+        // shared instant is the releaser: its wake_one pops the waiter's
+        // stale entry, try_unpark fails, and v must fall back to count+=1.
+        sim.set_policy(LifoPolicy);
+        let sem = Arc::new(match fairness {
+            "strong" => Semaphore::strong("s", 0),
+            _ => Semaphore::weak("s", 0),
+        });
+        let s2 = Arc::clone(&sem);
+        sim.spawn("waiter", move |ctx| {
+            let outcome = s2.p_timeout(ctx, 10);
+            match outcome {
+                TryResult::Acquired => {
+                    ctx.emit("got", &[]);
+                    s2.v(ctx);
+                }
+                TryResult::TimedOut => ctx.emit("gave-up", &[]),
+            }
+        });
+        let s3 = Arc::clone(&sem);
+        sim.spawn("releaser", move |ctx| {
+            ctx.sleep(10); // lands exactly at the waiter's deadline
+            s3.v(ctx);
+        });
+        let report = sim.run().expect("clean run");
+        let got = report.trace.count_user("got");
+        let gave_up = report.trace.count_user("gave-up");
+        assert_eq!(got + gave_up, 1, "{fairness}: exactly one outcome");
+        assert_eq!(
+            sem.value(),
+            1,
+            "{fairness}: the permit is never lost in the race"
+        );
+    }
+}

@@ -23,6 +23,7 @@ proptest! {
         let mut sim = Sim::with_config(SimConfig {
             max_steps: 200_000,
             record_sched_events: false,
+            ..SimConfig::default()
         });
         sim.set_policy(RandomPolicy::new(seed));
         let fairness = if weak { Fairness::Weak } else { Fairness::Strong };

@@ -80,7 +80,7 @@
 //! sim.run().unwrap();
 //! ```
 
-use bloom_sim::{Ctx, Pid, WaitQueue};
+use bloom_sim::{Ctx, Pid, Poisoned, WaitQueue};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -164,10 +164,27 @@ enum Winner {
 }
 
 /// An Atkinson–Hewitt serializer protecting state `S`.
+///
+/// # Crash safety
+///
+/// A process dying (fault-plan kill or panic) with *possession* poisons
+/// the serializer: a [`Poisoned`] verdict is recorded, possession is
+/// dissolved, and every waiter — entry, all internal queues — is woken to
+/// observe it, so nobody wedges behind the corpse.
+/// [`Serializer::try_enter`] and [`SerializerCtx::enqueue_checked`]
+/// surface the verdict as a value; the plain variants panic, keeping the
+/// failure loud. A process dying *in a queue* is dequeued (its guard can
+/// never be granted), and one dying *in a crowd* leaves the crowd during
+/// the unwind and re-triggers guard evaluation, so a guarantee such as
+/// "the writers crowd is empty" does not stay false forever.
 #[derive(Debug)]
 pub struct Serializer<S> {
     name: String,
     busy: Mutex<bool>,
+    /// Which process has (or was just handed) possession; `None` when open.
+    holder: Mutex<Option<Pid>>,
+    /// Set when a holder died mid-body; sticky once set.
+    poisoned: Mutex<Option<Poisoned>>,
     entry: WaitQueue,
     queues: Mutex<Vec<QueueState<S>>>,
     crowds: Mutex<Vec<CrowdState>>,
@@ -198,6 +215,8 @@ impl<S: Send> Serializer<S> {
         Serializer {
             name: name.to_string(),
             busy: Mutex::new(false),
+            holder: Mutex::new(None),
+            poisoned: Mutex::new(None),
             entry: WaitQueue::new(&format!("{name}.entry")),
             queues: Mutex::new(Vec::new()),
             crowds: Mutex::new(Vec::new()),
@@ -241,12 +260,57 @@ impl<S: Send> Serializer<S> {
     }
 
     /// Runs `body` with possession of the serializer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serializer is poisoned (a previous holder died inside
+    /// its body). Use [`Serializer::try_enter`] to handle poisoning as a
+    /// value.
     pub fn enter<R>(&self, ctx: &Ctx, body: impl FnOnce(&SerializerCtx<'_, S>) -> R) -> R {
+        match self.try_enter(ctx, body) {
+            Ok(r) => r,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// Runs `body` with possession, surfacing poisoning instead of
+    /// panicking. The body is not entered on a poisoned serializer.
+    pub fn try_enter<R>(
+        &self,
+        ctx: &Ctx,
+        body: impl FnOnce(&SerializerCtx<'_, S>) -> R,
+    ) -> Result<R, Poisoned> {
+        if let Some(p) = self.observe_poison(ctx) {
+            return Err(p);
+        }
         self.acquire(ctx);
+        if let Some(p) = self.observe_poison(ctx) {
+            // Woken by the poison broadcast, not a possession hand-off.
+            return Err(p);
+        }
+        let cleanup = PoisonOnUnwind { ser: self, ctx };
         let sc = SerializerCtx { ser: self, ctx };
         let r = body(&sc);
+        std::mem::forget(cleanup);
+        if self.poisoned.lock().is_some() {
+            // Possession dissolved while the body waited in a queue (the
+            // dying holder broadcast); nothing to release.
+            return Ok(r);
+        }
         self.release(ctx);
-        r
+        Ok(r)
+    }
+
+    /// Whether a previous holder died inside the serializer.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.lock().is_some()
+    }
+
+    /// Clones the poison verdict, recording the observation in the trace.
+    fn observe_poison(&self, ctx: &Ctx) -> Option<Poisoned> {
+        let p = self.poisoned.lock().clone()?;
+        ctx.emit(&format!("poison-seen:{}", self.name), &[]);
+        Some(p)
     }
 
     fn acquire(&self, ctx: &Ctx) {
@@ -259,9 +323,12 @@ impl<S: Send> Serializer<S> {
                 true
             }
         };
-        if !got {
+        if got {
+            *self.holder.lock() = Some(ctx.pid());
+        } else {
             // Entrants are candidates in `select_winner`; when woken,
-            // possession was handed to us.
+            // possession was handed to us (the releaser records us as the
+            // new holder).
             self.entry.wait(ctx);
         }
     }
@@ -288,18 +355,21 @@ impl<S: Send> Serializer<S> {
                         return true; // the caller keeps possession
                     }
                     if ctx.try_unpark(waiter.pid) {
+                        *self.holder.lock() = Some(waiter.pid);
                         return false; // hand-off: busy stays true
                     }
                     // Stale entry of a timed-out waiter: drop and re-select.
                 }
                 Winner::Entrant => {
-                    if self.entry.wake_one(ctx).is_some() {
+                    if let Some(pid) = self.entry.wake_one(ctx) {
+                        *self.holder.lock() = Some(pid);
                         return false;
                     }
                     // All entrant entries were stale; re-select.
                 }
                 Winner::Nobody => {
                     *self.busy.lock() = false;
+                    *self.holder.lock() = None;
                     return false;
                 }
             }
@@ -340,6 +410,108 @@ impl<S: Send> Serializer<S> {
         match best {
             Some((_, w)) => w,
             None => Winner::Nobody,
+        }
+    }
+}
+
+/// Poisons a [`Serializer`] whose holder's body unwound (kill or panic).
+///
+/// Armed for the whole `enter` body and disarmed with `mem::forget` on the
+/// normal path. The holder check makes it a no-op when the process dies
+/// waiting in a queue or running in a crowd — it holds nothing then, and
+/// the wait/crowd guards do that cleanup.
+struct PoisonOnUnwind<'a, S> {
+    ser: &'a Serializer<S>,
+    ctx: &'a Ctx,
+}
+
+impl<S> Drop for PoisonOnUnwind<'_, S> {
+    fn drop(&mut self) {
+        if self.ctx.cancelling() {
+            return;
+        }
+        if *self.ser.holder.lock() != Some(self.ctx.pid()) {
+            return;
+        }
+        *self.ser.poisoned.lock() = Some(Poisoned {
+            primitive: self.ser.name.clone(),
+            by: self.ctx.pid(),
+        });
+        self.ctx.emit(&format!("poison:{}", self.ser.name), &[]);
+        // Dissolve possession and wake every waiter — entrants and all
+        // queued guarantees — so they observe the poison instead of
+        // wedging behind the corpse.
+        *self.ser.busy.lock() = false;
+        *self.ser.holder.lock() = None;
+        self.ser.entry.wake_all(self.ctx);
+        let drained: Vec<Pid> = self
+            .ser
+            .queues
+            .lock()
+            .iter_mut()
+            .flat_map(|q| q.waiters.drain(..).map(|w| w.pid))
+            .collect();
+        for pid in drained {
+            self.ctx.try_unpark(pid);
+        }
+    }
+}
+
+/// Removes the parked process's own queue entry if its wait unwinds —
+/// a dead waiter's guarantee can never be granted, and its entry would
+/// block the FIFO queue behind it forever.
+struct DequeueOnUnwind<'a, S> {
+    ser: &'a Serializer<S>,
+    queue: QueueId,
+    ctx: &'a Ctx,
+}
+
+impl<S> Drop for DequeueOnUnwind<'_, S> {
+    fn drop(&mut self) {
+        let me = self.ctx.pid();
+        self.ser.queues.lock()[self.queue.0]
+            .waiters
+            .retain(|w| w.pid != me);
+    }
+}
+
+/// Leaves the crowd if the crowd body (or the re-entry after it) unwinds,
+/// then re-runs guard evaluation: guarantees such as "the writers crowd is
+/// empty" may have just become true, and no release would otherwise ever
+/// re-check them if the serializer is idle.
+struct LeaveCrowdOnUnwind<'a, S: Send> {
+    ser: &'a Serializer<S>,
+    crowd: CrowdId,
+    ctx: &'a Ctx,
+}
+
+impl<S: Send> Drop for LeaveCrowdOnUnwind<'_, S> {
+    fn drop(&mut self) {
+        let me = self.ctx.pid();
+        {
+            let mut crowds = self.ser.crowds.lock();
+            let members = &mut crowds[self.crowd.0].members;
+            if let Some(at) = members.iter().position(|&p| p == me) {
+                members.remove(at);
+            }
+        }
+        if self.ctx.cancelling() {
+            return;
+        }
+        // If nobody is inside, claim possession on behalf of the dead
+        // member and hand it straight to whoever became eligible; if
+        // someone is inside, their release re-evaluates anyway.
+        let claimed = {
+            let mut busy = self.ser.busy.lock();
+            if *busy {
+                false
+            } else {
+                *busy = true;
+                true
+            }
+        };
+        if claimed {
+            self.ser.hand_off(self.ctx, None);
         }
     }
 }
@@ -385,6 +557,18 @@ impl<S: Send> SerializerCtx<'_, S> {
         self.enqueue_priority(queue, 0, guard);
     }
 
+    /// Like [`SerializerCtx::enqueue`], but a wake caused by the serializer
+    /// being poisoned (the holder died) returns the verdict instead of
+    /// panicking. On `Err` the caller does *not* have possession and must
+    /// leave the body promptly.
+    pub fn enqueue_checked(
+        &self,
+        queue: QueueId,
+        guard: impl Fn(&GuardView<'_, S>) -> bool + Send + 'static,
+    ) -> Result<(), Poisoned> {
+        self.enqueue_inner(queue, 0, Box::new(guard))
+    }
+
     /// Like [`SerializerCtx::enqueue`], but the queue is ordered by
     /// `priority` (lower first; FIFO among equals) instead of pure arrival
     /// order. Bloom notes (§5.2) that priority queues had to be *added* to
@@ -397,6 +581,17 @@ impl<S: Send> SerializerCtx<'_, S> {
         priority: i64,
         guard: impl Fn(&GuardView<'_, S>) -> bool + Send + 'static,
     ) {
+        if let Err(p) = self.enqueue_inner(queue, priority, Box::new(guard)) {
+            panic!("{p}");
+        }
+    }
+
+    fn enqueue_inner(
+        &self,
+        queue: QueueId,
+        priority: i64,
+        guard: Guard<S>,
+    ) -> Result<(), Poisoned> {
         let ticket = self.ctx.fresh_ticket();
         let me = self.ctx.pid();
         {
@@ -412,16 +607,20 @@ impl<S: Send> SerializerCtx<'_, S> {
                     pid: me,
                     ticket,
                     priority,
-                    guard: Box::new(guard),
+                    guard,
                 },
             );
         }
         // Releasing possession may select *us* (we might be the oldest
         // eligible head); in that case keep possession and continue.
         if self.ser.hand_off(self.ctx, Some(me)) {
-            return; // we stay in possession
+            return Ok(()); // we stay in possession
         }
         self.park_in(queue);
+        match self.ser.observe_poison(self.ctx) {
+            Some(p) => Err(p),
+            None => Ok(()),
+        }
     }
 
     /// Like [`SerializerCtx::enqueue`], but gives up after `ticks` quanta
@@ -459,7 +658,14 @@ impl<S: Send> SerializerCtx<'_, S> {
             return true;
         }
         let reason = format!("{}.{}", self.ser.name, self.ser.queues.lock()[queue.0].name);
-        if self.ctx.park_timeout(&reason, ticks) {
+        let cleanup = DequeueOnUnwind {
+            ser: self.ser,
+            queue,
+            ctx: self.ctx,
+        };
+        let woken = self.ctx.park_timeout(&reason, ticks);
+        std::mem::forget(cleanup);
+        if woken {
             return true; // the guarantee was met and possession handed over
         }
         // Timed out: deregister (idempotent — a releaser may have skipped
@@ -473,18 +679,35 @@ impl<S: Send> SerializerCtx<'_, S> {
 
     fn park_in(&self, queue: QueueId) {
         let reason = format!("{}.{}", self.ser.name, self.ser.queues.lock()[queue.0].name);
+        let cleanup = DequeueOnUnwind {
+            ser: self.ser,
+            queue,
+            ctx: self.ctx,
+        };
         self.ctx.park(&reason);
-        // Woken with possession handed to us.
+        std::mem::forget(cleanup);
+        // Woken with possession handed to us (or by a poison broadcast —
+        // the caller checks).
     }
 
     /// Joins `crowd`, releases possession, runs `body` outside the
     /// serializer (concurrently with other crowd members), then re-enters
     /// and leaves the crowd.
+    ///
+    /// If the body dies (fault-plan kill or panic), the membership is
+    /// removed during the unwind and guard evaluation re-runs, so waiters
+    /// whose guarantees mention this crowd are not stranded.
     pub fn join_crowd<R>(&self, crowd: CrowdId, body: impl FnOnce() -> R) -> R {
         self.ser.crowds.lock()[crowd.0].members.push(self.ctx.pid());
         self.ser.release(self.ctx);
+        let cleanup = LeaveCrowdOnUnwind {
+            ser: self.ser,
+            crowd,
+            ctx: self.ctx,
+        };
         let r = body();
         self.ser.acquire(self.ctx);
+        std::mem::forget(cleanup);
         let mut crowds = self.ser.crowds.lock();
         let members = &mut crowds[crowd.0].members;
         let at = members

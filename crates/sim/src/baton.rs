@@ -55,6 +55,9 @@ pub(crate) enum Go {
     Run,
     /// The simulation is over; unwind and exit the thread.
     Cancel,
+    /// A fault-plan kill-point fired: unwind (running drop guards) and
+    /// report back as killed.
+    Kill,
 }
 
 /// A process's account of why it stopped running, handed back to the scheduler.
@@ -71,6 +74,8 @@ pub(crate) enum Report {
     Finished,
     /// The process closure panicked with the given message.
     Panicked { message: String },
+    /// The process finished unwinding after a kill-point (fault injection).
+    Killed,
 }
 
 #[cfg(test)]

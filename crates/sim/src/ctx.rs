@@ -1,9 +1,10 @@
 //! The per-process kernel handle.
 
 use crate::baton::Report;
-use crate::kernel::{obey, ProcessStatus, Shared};
+use crate::kernel::{obey, ProcessStatus, Shared, TimerKind};
 use crate::trace::EventKind;
 use crate::types::{Pid, Time};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Handle through which a simulated process interacts with the kernel.
@@ -36,6 +37,16 @@ impl Ctx {
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.shared.state.lock().clock
+    }
+
+    /// Whether the simulation is shutting down (daemons being cancelled).
+    ///
+    /// Crash-safety drop guards in the mechanism crates consult this: a
+    /// shutdown unwind is not a crash, and because cancelled threads unwind
+    /// *concurrently*, guards must not touch kernel state or the trace
+    /// then. Pure own-entry queue cleanup remains safe either way.
+    pub fn cancelling(&self) -> bool {
+        self.shared.cancelling.load(Ordering::SeqCst)
     }
 
     /// Draws a fresh, strictly increasing ticket. Mechanisms use tickets to
@@ -90,10 +101,31 @@ impl Ctx {
             );
             Arc::clone(&st.procs[self.pid.index()].baton)
         };
-        self.shared.sched_baton.put(Report::Parked {
-            reason: reason.to_string(),
-        });
-        obey(baton.take());
+        loop {
+            self.shared.sched_baton.put(Report::Parked {
+                reason: reason.to_string(),
+            });
+            obey(baton.take());
+            // A fault-plan spurious wake resumed us without a matching
+            // unpark: absorb it by re-parking, so mechanisms never observe
+            // a wake they did not grant. (A real unpark that raced the
+            // spurious window clears the flag — see Ctx::try_unpark — and
+            // we return normally.)
+            let mut st = self.shared.state.lock();
+            let slot = &mut st.procs[self.pid.index()];
+            if !slot.spurious_wake {
+                return;
+            }
+            slot.spurious_wake = false;
+            let clock = st.clock;
+            st.trace.push(
+                clock,
+                self.pid,
+                EventKind::Blocked {
+                    reason: reason.to_string(),
+                },
+            );
+        }
     }
 
     /// Parks this process until [`Ctx::unpark`] *or* until `ticks` quanta
@@ -136,13 +168,19 @@ impl Ctx {
         let mut st = self.shared.state.lock();
         let slot = &mut st.procs[target.index()];
         if !matches!(slot.status, ProcessStatus::Blocked { .. }) {
+            // A pending fault-plan spurious wake means the target is Ready
+            // but will transparently re-park; converting the pending wake
+            // into this real unpark preserves unpark semantics exactly.
+            if slot.spurious_wake {
+                slot.spurious_wake = false;
+                let clock = st.clock;
+                st.trace
+                    .push(clock, target, EventKind::Unparked { by: self.pid });
+                return true;
+            }
             return false;
         }
-        slot.status = ProcessStatus::Ready;
-        st.ready.push(target);
-        let clock = st.clock;
-        st.trace
-            .push(clock, target, EventKind::Unparked { by: self.pid });
+        self.deliver_unpark(&mut st, target);
         true
     }
 
@@ -157,16 +195,58 @@ impl Ctx {
     pub fn unpark(&self, target: Pid) {
         let mut st = self.shared.state.lock();
         let slot = &mut st.procs[target.index()];
+        if slot.spurious_wake {
+            // See Ctx::try_unpark: consume the pending spurious wake as if
+            // it were this unpark.
+            slot.spurious_wake = false;
+            let clock = st.clock;
+            st.trace
+                .push(clock, target, EventKind::Unparked { by: self.pid });
+            return;
+        }
         assert!(
             matches!(slot.status, ProcessStatus::Blocked { .. }),
             "unpark of {target} which is {:?} (mechanism bug)",
             slot.status
         );
-        slot.status = ProcessStatus::Ready;
-        st.ready.push(target);
+        self.deliver_unpark(&mut st, target);
+    }
+
+    /// Shared tail of [`Ctx::try_unpark`]/[`Ctx::unpark`] once `target` is
+    /// known to be blocked: wakes it, or — when a fault-plan delayed wake
+    /// fires on this unpark — converts the wake into a timed sleep. Either
+    /// way the unpark is *delivered* (the hand-off decision is unchanged);
+    /// a delay only shifts when the wakee next runs.
+    fn deliver_unpark(&self, st: &mut crate::kernel::State, target: Pid) {
         let clock = st.clock;
         st.trace
             .push(clock, target, EventKind::Unparked { by: self.pid });
+        let delay = if st.faults.active() {
+            let name = st.procs[target.index()].name.clone();
+            st.faults.on_unpark(target, &name)
+        } else {
+            None
+        };
+        match delay {
+            None => {
+                st.procs[target.index()].status = ProcessStatus::Ready;
+                st.ready.push(target);
+            }
+            Some(ticks) => {
+                let until = clock.plus(ticks);
+                st.procs[target.index()].status = ProcessStatus::Sleeping { until };
+                let tiebreak = st.timer_tiebreak;
+                st.timer_tiebreak += 1;
+                st.timers.push(std::cmp::Reverse((
+                    until,
+                    tiebreak,
+                    target,
+                    TimerKind::Sleep,
+                )));
+                st.trace
+                    .push(clock, target, EventKind::DelayedWake { until });
+            }
+        }
     }
 
     /// Appends an application-level event to the trace.

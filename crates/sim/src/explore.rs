@@ -10,6 +10,7 @@
 //! the Figure-1 path-expression solution requires.
 
 use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::kernel::SimReport;
 use crate::policy::ReplayPolicy;
 use crate::sim::Sim;
@@ -92,6 +93,47 @@ impl Explorer {
                     complete: true,
                 };
             }
+        }
+    }
+
+    /// Explores the (schedule × kill-point) space of a scenario: for each
+    /// kill point `k` in `1..=max_points`, every schedule of the scenario
+    /// is run with `victim` killed at its `k`-th scheduling point.
+    ///
+    /// `visit` receives the kill point, the decision vector, and the run
+    /// outcome. Kill points beyond the number of scheduling points the
+    /// victim actually reaches in a given schedule simply never fire (the
+    /// victim then runs to completion), so `max_points` may be a loose
+    /// upper bound. The per-call schedule budget applies to each kill
+    /// point separately; `schedules` in the returned stats is the total.
+    pub fn run_kill_points<S, V>(
+        &self,
+        victim: &str,
+        max_points: u64,
+        mut setup: S,
+        mut visit: V,
+    ) -> ExploreStats
+    where
+        S: FnMut() -> Sim,
+        V: FnMut(u64, &[Decision], &Result<SimReport, SimError>),
+    {
+        let mut schedules = 0;
+        let mut complete = true;
+        for point in 1..=max_points {
+            let stats = self.run(
+                || {
+                    let mut sim = setup();
+                    sim.set_fault_plan(FaultPlan::new().kill(victim, point));
+                    sim
+                },
+                |decisions, result| visit(point, decisions, result),
+            );
+            schedules += stats.schedules;
+            complete &= stats.complete;
+        }
+        ExploreStats {
+            schedules,
+            complete,
         }
     }
 }

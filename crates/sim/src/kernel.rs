@@ -4,6 +4,7 @@
 use crate::baton::{Baton, Go, Report};
 use crate::ctx::Ctx;
 use crate::error::{SimError, SimErrorKind};
+use crate::fault::FaultRuntime;
 use crate::policy::SchedPolicy;
 use crate::sim::SimConfig;
 use crate::trace::{Decision, EventKind, Trace};
@@ -12,7 +13,7 @@ use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -33,6 +34,10 @@ pub enum ProcessStatus {
     Panicked { message: String },
     /// Daemon cancelled at shutdown.
     Cancelled,
+    /// Terminated by a fault-plan kill-point (see [`crate::FaultPlan`]).
+    /// Distinct from [`ProcessStatus::Panicked`]: a kill is an injected
+    /// fault, not a bug in the process closure.
+    Killed,
 }
 
 impl ProcessStatus {
@@ -70,6 +75,9 @@ pub(crate) struct ProcSlot {
     pub park_token: u64,
     /// Set when the last park ended by timeout rather than unpark.
     pub timed_out: bool,
+    /// Set when a fault-plan spurious wake made this process runnable
+    /// without a matching unpark; [`Ctx::park`] absorbs it by re-parking.
+    pub spurious_wake: bool,
 }
 
 /// All mutable kernel state, guarded by one mutex.
@@ -86,10 +94,12 @@ pub(crate) struct State {
     pub trace: Trace,
     pub decisions: Vec<Decision>,
     pub record_sched_events: bool,
+    /// Fault-plan bookkeeping (counters and fired flags).
+    pub faults: FaultRuntime,
 }
 
 impl State {
-    pub(crate) fn new(record_sched_events: bool) -> Self {
+    pub(crate) fn new(record_sched_events: bool, faults: FaultRuntime) -> Self {
         State {
             procs: Vec::new(),
             ready: Vec::new(),
@@ -101,6 +111,7 @@ impl State {
             trace: Trace::new(),
             decisions: Vec::new(),
             record_sched_events,
+            faults,
         }
     }
 }
@@ -112,14 +123,21 @@ pub(crate) struct Shared {
     pub sched_baton: Baton<Report>,
     /// Global ticket dispenser used by wait queues for FIFO ordering.
     pub tickets: AtomicU64,
+    /// Set (before any cancellation) when the run is shutting down. Unwind
+    /// guards in the mechanism crates consult this via
+    /// [`Ctx::cancelling`]: a shutdown unwind is not a crash, and multiple
+    /// threads unwind concurrently then, so guards must not touch shared
+    /// state or the trace.
+    pub cancelling: AtomicBool,
 }
 
 impl Shared {
-    pub(crate) fn new(record_sched_events: bool) -> Arc<Self> {
+    pub(crate) fn new(record_sched_events: bool, faults: FaultRuntime) -> Arc<Self> {
         Arc::new(Shared {
-            state: Mutex::new(State::new(record_sched_events)),
+            state: Mutex::new(State::new(record_sched_events, faults)),
             sched_baton: Baton::new(),
             tickets: AtomicU64::new(0),
+            cancelling: AtomicBool::new(false),
         })
     }
 
@@ -147,6 +165,7 @@ impl Shared {
                 join: None,
                 park_token: 0,
                 timed_out: false,
+                spurious_wake: false,
             });
             st.ready.push(pid);
             let clock = st.clock;
@@ -172,6 +191,12 @@ impl Shared {
 /// Marker payload used to unwind a process thread cleanly at shutdown.
 struct Cancelled;
 
+/// Marker payload used to unwind a process thread at a fault-plan
+/// kill-point. Unlike [`Cancelled`], the scheduler *is* waiting for the
+/// unwind to complete (guards may release or poison primitives) and the
+/// process is recorded as [`ProcessStatus::Killed`].
+struct KilledMarker;
+
 /// Entry point of every process host thread.
 fn process_main<F>(shared: Arc<Shared>, pid: Pid, baton: Arc<Baton<Go>>, f: F)
 where
@@ -180,6 +205,9 @@ where
     match baton.take() {
         Go::Cancel => return,
         Go::Run => {}
+        // A kill-point counts scheduling points, and a process that has
+        // never run has none, so a kill cannot be its first command.
+        Go::Kill => unreachable!("kill delivered to a never-dispatched process"),
     }
     let ctx = Ctx::new(Arc::clone(&shared), pid);
     let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
@@ -188,6 +216,12 @@ where
         Err(payload) => {
             if payload.is::<Cancelled>() {
                 // Shutdown unwind: the scheduler is not waiting for a report.
+                return;
+            }
+            if payload.is::<KilledMarker>() {
+                // Kill-point unwind complete (all drop guards have run);
+                // the scheduler is blocked waiting for exactly this report.
+                shared.sched_baton.put(Report::Killed);
                 return;
             }
             let message = panic_message(payload);
@@ -207,13 +241,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Called from [`Ctx::park`]: unwinds the process thread if cancelled.
+/// Called from [`Ctx::park`]: unwinds the process thread if cancelled or
+/// killed.
 pub(crate) fn obey(go: Go) {
     match go {
         Go::Run => {}
         // `resume_unwind` (not `panic_any`) so the panic hook stays silent:
-        // cancellation is normal shutdown, not an error.
+        // neither cancellation nor an injected kill is an error.
         Go::Cancel => std::panic::resume_unwind(Box::new(Cancelled)),
+        Go::Kill => std::panic::resume_unwind(Box::new(KilledMarker)),
     }
 }
 
@@ -249,6 +285,15 @@ impl SimReport {
     /// The name of the process with the given pid.
     pub fn name_of(&self, pid: Pid) -> &str {
         &self.processes[pid.index()].name
+    }
+
+    /// Pids of processes terminated by fault-plan kill-points, in pid order.
+    pub fn killed(&self) -> Vec<Pid> {
+        self.processes
+            .iter()
+            .filter(|p| p.status == ProcessStatus::Killed)
+            .map(|p| p.pid)
+            .collect()
     }
 }
 
@@ -396,6 +441,58 @@ pub(crate) fn run_kernel(
         let mut st = shared.state.lock();
         st.running = None;
         let clock = st.clock;
+        // Fault plane: a yield/park/sleep is a scheduling point of `next`.
+        // If the plan kills it here, the normal bookkeeping for the report
+        // is skipped — the process unwinds instead of ever resuming.
+        let kill_due = st.faults.active()
+            && matches!(
+                report,
+                Report::Yielded
+                    | Report::Parked { .. }
+                    | Report::ParkedTimeout { .. }
+                    | Report::Slept { .. }
+            )
+            && {
+                let name = st.procs[next.index()].name.clone();
+                st.faults.on_stop(next, &name)
+            };
+        if kill_due {
+            // The Killed event goes in *before* the unwind so that poison
+            // events emitted by drop guards follow it in the trace.
+            st.trace.push(clock, next, EventKind::Killed);
+            let baton = Arc::clone(&st.procs[next.index()].baton);
+            drop(st);
+            // The victim is blocked in `obey(baton.take())`; Go::Kill makes
+            // it unwind. While it unwinds it is the only executing process
+            // (the scheduler blocks on the report), so drop guards may
+            // lock state, emit trace events, and try_unpark — but must
+            // never park or panic.
+            baton.put(Go::Kill);
+            match shared.sched_baton.take() {
+                Report::Killed => {}
+                Report::Panicked { message } => {
+                    // A drop guard panicked during the kill unwind: surface
+                    // it as the mechanism bug it is.
+                    let mut st = shared.state.lock();
+                    st.procs[next.index()].status = ProcessStatus::Panicked {
+                        message: message.clone(),
+                    };
+                    drop(st);
+                    shutdown(&shared);
+                    let mut st = shared.state.lock();
+                    let report = snapshot(&mut st);
+                    return Err(SimError {
+                        kind: SimErrorKind::ProcessPanicked { pid: next, message },
+                        report,
+                    });
+                }
+                _ => unreachable!("kill unwind reports Killed or Panicked"),
+            }
+            let mut st = shared.state.lock();
+            // The victim's thread has fully exited; shutdown() joins it.
+            st.procs[next.index()].status = ProcessStatus::Killed;
+            continue;
+        }
         match report {
             Report::Yielded => {
                 st.procs[next.index()].status = ProcessStatus::Ready;
@@ -411,6 +508,18 @@ pub(crate) fn run_kernel(
                 slot.status = ProcessStatus::Blocked { reason };
                 slot.park_token += 1;
                 slot.timed_out = false;
+                // Fault plane: a spurious wake makes the process runnable
+                // again with no matching unpark; Ctx::park absorbs it.
+                if st.faults.active() {
+                    let name = st.procs[next.index()].name.clone();
+                    if st.faults.on_park(next, &name) {
+                        let slot = &mut st.procs[next.index()];
+                        slot.status = ProcessStatus::Ready;
+                        slot.spurious_wake = true;
+                        st.ready.push(next);
+                        st.trace.push(clock, next, EventKind::SpuriousWake);
+                    }
+                }
             }
             Report::ParkedTimeout { reason, ticks } => {
                 let until = clock.plus(ticks);
@@ -458,6 +567,9 @@ pub(crate) fn run_kernel(
                     report,
                 });
             }
+            // Only ever sent in response to Go::Kill, which the kill path
+            // above consumes directly.
+            Report::Killed => unreachable!("Killed report outside a kill hand-shake"),
         }
     }
 
@@ -472,6 +584,10 @@ pub(crate) fn run_kernel(
 
 /// Cancels every still-live process thread and joins all threads.
 fn shutdown(shared: &Arc<Shared>) {
+    // Raise the flag before any cancellation: cancelled threads unwind
+    // concurrently, and their drop guards check it (via Ctx::cancelling)
+    // to skip crash-handling work that is only valid for a kill.
+    shared.cancelling.store(true, Ordering::SeqCst);
     let mut joins = Vec::new();
     {
         let mut st = shared.state.lock();

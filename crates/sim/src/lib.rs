@@ -26,7 +26,12 @@
 //!   monitors, serializers and path expressions are all built from it.
 //! * [`Trace`] / [`Event`] — the totally ordered event log of a run;
 //!   higher-level crates derive their correctness checks from it.
-//! * [`Explorer`] — bounded exhaustive enumeration of schedules.
+//! * [`Explorer`] — bounded exhaustive enumeration of schedules (and,
+//!   via [`Explorer::run_kill_points`], of schedule × kill-point spaces).
+//! * [`FaultPlan`] — deterministic fault injection: kill a named process
+//!   at its Nth scheduling point, wake a park spuriously, delay a wake.
+//!   Faults are part of the run's coordinates, so a crash scenario replays
+//!   exactly like a schedule.
 //!
 //! # The cooperative invariant
 //!
@@ -62,6 +67,7 @@ mod baton;
 mod ctx;
 mod error;
 mod explore;
+mod fault;
 mod kernel;
 mod policy;
 mod sim;
@@ -72,6 +78,7 @@ mod waitq;
 pub use ctx::Ctx;
 pub use error::{SimError, SimErrorKind};
 pub use explore::{ExploreStats, Explorer};
+pub use fault::{DelaySpec, FaultPlan, KillSpec, Poisoned, SpuriousSpec};
 pub use kernel::{ProcessStatus, ProcessSummary, SimReport};
 pub use policy::{FifoPolicy, LifoPolicy, RandomPolicy, ReplayPolicy, SchedPolicy};
 pub use sim::{Sim, SimConfig};

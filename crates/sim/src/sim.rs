@@ -2,6 +2,7 @@
 
 use crate::ctx::Ctx;
 use crate::error::SimError;
+use crate::fault::{FaultPlan, FaultRuntime};
 use crate::kernel::{run_kernel, Shared, SimReport};
 use crate::policy::{FifoPolicy, SchedPolicy};
 use crate::types::Pid;
@@ -16,6 +17,9 @@ pub struct SimConfig {
     /// Whether scheduler-level events (Scheduled/Yielded/…) are recorded in
     /// the trace. User events are always recorded. Disable for benchmarks.
     pub record_sched_events: bool,
+    /// Deterministic faults to inject (kills, spurious wakes, delayed
+    /// wakes). Empty by default. Fault events are always recorded.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -23,6 +27,7 @@ impl Default for SimConfig {
         SimConfig {
             max_steps: 2_000_000,
             record_sched_events: true,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -46,7 +51,10 @@ impl Sim {
     /// Creates a simulation with explicit configuration.
     pub fn with_config(config: SimConfig) -> Self {
         Sim {
-            shared: Shared::new(config.record_sched_events),
+            shared: Shared::new(
+                config.record_sched_events,
+                FaultRuntime::new(config.faults.clone()),
+            ),
             policy: Box::new(FifoPolicy),
             config,
         }
@@ -55,6 +63,17 @@ impl Sim {
     /// Replaces the scheduling policy.
     pub fn set_policy<P: SchedPolicy + 'static>(&mut self, policy: P) -> &mut Self {
         self.policy = Box::new(policy);
+        self
+    }
+
+    /// Replaces the fault plan (call before [`Sim::run`]).
+    ///
+    /// Equivalent to setting [`SimConfig::faults`] up front; this form
+    /// suits explorers that wrap an existing setup closure (see
+    /// [`crate::Explorer::run_kill_points`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.config.faults = plan.clone();
+        self.shared.state.lock().faults = FaultRuntime::new(plan);
         self
     }
 

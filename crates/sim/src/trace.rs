@@ -27,6 +27,15 @@ pub enum EventKind {
     TimerFired,
     /// The process closure returned.
     Finished,
+    /// A fault-plan kill-point fired: the process unwinds and never
+    /// resumes. Poison events emitted by its drop guards follow this event.
+    Killed,
+    /// A fault-plan spurious wake made the process runnable with no
+    /// matching unpark ([`crate::Ctx::park`] absorbs it by re-parking).
+    SpuriousWake,
+    /// A fault plan converted an unpark of this process into a timed sleep
+    /// ending at the given virtual time.
+    DelayedWake { until: Time },
     /// An application-level event emitted via [`crate::Ctx::emit`].
     User { label: String, params: Vec<i64> },
 }
@@ -62,6 +71,11 @@ impl fmt::Display for Event {
             EventKind::Slept { until } => write!(f, "sleeping until {until}"),
             EventKind::TimerFired => write!(f, "timer fired"),
             EventKind::Finished => write!(f, "finished"),
+            EventKind::Killed => write!(f, "killed (fault injection)"),
+            EventKind::SpuriousWake => write!(f, "spurious wake (fault injection)"),
+            EventKind::DelayedWake { until } => {
+                write!(f, "wake delayed until {until} (fault injection)")
+            }
             EventKind::User { label, params } => write!(f, "{label} {params:?}"),
         }
     }

@@ -50,9 +50,15 @@ impl WaitQueue {
 
     /// Parks the calling process ordered by `priority` (lower values are
     /// woken first), with FIFO arrival order breaking ties.
+    ///
+    /// If the process dies while parked (a fault-plan kill-point or a
+    /// panic), its entry is removed from the queue during the unwind, so a
+    /// later wake is never granted to a dead process.
     pub fn wait_priority(&self, ctx: &Ctx, priority: i64) {
         self.enqueue_current(ctx, priority);
+        let cleanup = DequeueOnUnwind { queue: self, ctx };
         ctx.park(&self.name);
+        std::mem::forget(cleanup);
     }
 
     /// Registers the calling process on the queue *without* parking it.
@@ -134,7 +140,9 @@ impl WaitQueue {
     /// (the entry is removed either way).
     pub fn wait_timeout(&self, ctx: &Ctx, ticks: u64) -> bool {
         self.enqueue_current(ctx, 0);
+        let cleanup = DequeueOnUnwind { queue: self, ctx };
         let woken = ctx.park_timeout(&self.name, ticks);
+        std::mem::forget(cleanup);
         if !woken {
             // A waker may have skipped past our stale entry already; the
             // removal is idempotent.
@@ -170,6 +178,22 @@ impl WaitQueue {
     /// several queues.
     pub fn front_ticket(&self) -> Option<u64> {
         self.waiters.lock().front().map(|w| w.ticket)
+    }
+}
+
+/// Removes the parked process's queue entry if the park unwinds (kill or
+/// panic) instead of returning. Armed before the park and disarmed with
+/// `mem::forget` on the normal path, so the `Drop` body runs only during
+/// an unwind. Touches only this queue's own mutex — safe even during the
+/// concurrent unwinds of shutdown.
+struct DequeueOnUnwind<'a> {
+    queue: &'a WaitQueue,
+    ctx: &'a Ctx,
+}
+
+impl Drop for DequeueOnUnwind<'_> {
+    fn drop(&mut self) {
+        self.queue.remove_current(self.ctx);
     }
 }
 

@@ -14,6 +14,7 @@ fn scenario(procs: usize, ops: usize) -> (Sim, OpLog) {
     let mut sim = Sim::with_config(SimConfig {
         max_steps: 100_000,
         record_sched_events: false,
+        ..SimConfig::default()
     });
     let log = Arc::new(Mutex::new(Vec::new()));
     for p in 0..procs {

@@ -174,6 +174,7 @@ fn max_steps_catches_livelock() {
     let mut sim = Sim::with_config(SimConfig {
         max_steps: 50,
         record_sched_events: false,
+        ..SimConfig::default()
     });
     sim.spawn("spinner", |ctx| loop {
         ctx.yield_now();

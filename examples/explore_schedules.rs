@@ -46,15 +46,12 @@ fn philosophers(n: usize, ordered: bool) -> impl Fn() -> Sim {
 fn explore(label: &str, setup: impl Fn() -> Sim) {
     let mut schedules = 0usize;
     let mut deadlocks = 0usize;
-    let stats = Explorer::new(2_000_000).run(
-        setup,
-        |_, result| {
-            schedules += 1;
-            if result.is_err() {
-                deadlocks += 1;
-            }
-        },
-    );
+    let stats = Explorer::new(2_000_000).run(setup, |_, result| {
+        schedules += 1;
+        if result.is_err() {
+            deadlocks += 1;
+        }
+    });
     assert!(stats.complete, "{label}: exploration hit the budget cap");
     let pct = 100.0 * deadlocks as f64 / schedules as f64;
     println!("  {label:<28} {schedules:>7} schedules, {deadlocks:>5} deadlock ({pct:>5.1}%)");

@@ -1,0 +1,21 @@
+//! Golden test: `docs/report.txt` is the archived output of the report
+//! binary. Whenever a solution, checker, or report section changes the
+//! findings, regenerate the archive:
+//!
+//! ```text
+//! cargo run --release -p bloom-bench --bin report > docs/report.txt
+//! ```
+//!
+//! `EXPERIMENTS.md` quotes this file; keeping it in lockstep with the code
+//! means the prose can be trusted without rerunning anything.
+
+#[test]
+fn archived_report_matches_generated_report() {
+    let archived = include_str!("../docs/report.txt");
+    let generated = bloom_bench::full_report();
+    assert!(
+        archived == generated,
+        "docs/report.txt is stale — regenerate with \
+         `cargo run --release -p bloom-bench --bin report > docs/report.txt`"
+    );
+}

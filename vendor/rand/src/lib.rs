@@ -1,0 +1,126 @@
+#![forbid(unsafe_code)]
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `rand` to this shim via a path dependency in the root
+//! manifest. It provides the subset the workspace uses — `rngs::StdRng`,
+//! `Rng::gen_range` over half-open integer ranges, and
+//! `SeedableRng::seed_from_u64` — backed by SplitMix64.
+//!
+//! The stream differs from the real `StdRng` (ChaCha12); the workspace
+//! only requires workload generation to be *deterministic per seed*, which
+//! SplitMix64 satisfies, not any particular stream.
+
+use std::ops::Range;
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Integer types that [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Maps `raw` into `[lo, hi)` (caller guarantees `lo < hi`).
+    fn from_raw(raw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_raw(raw: u64, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add((raw as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing random-value methods (auto-implemented for every source).
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range. Panics if the range is empty.
+    fn gen_range<T: SampleUniform + PartialOrd>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        let raw = self.next_u64();
+        T::from_raw(raw, range.start, range.end)
+    }
+
+    /// A random bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator (SplitMix64; the real crate uses ChaCha12 —
+    /// see the crate docs for why the difference does not matter here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&v));
+            let u = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&u));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+}
