@@ -15,7 +15,7 @@
 
 use bloom_monitor::Monitor;
 use bloom_pathexpr::PathResource;
-use bloom_semaphore::Semaphore;
+use bloom_semaphore::{Semaphore, TryResult};
 use bloom_serializer::Serializer;
 use bloom_sim::{Sim, SimConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -54,6 +54,24 @@ fn bench_primitives(c: &mut Criterion) {
             sim.spawn("solo", move |ctx| {
                 for _ in 0..OPS {
                     sem.p(ctx);
+                    sem.v(ctx);
+                }
+            });
+            sim.run().unwrap();
+        })
+    });
+
+    // The R2 deadline layer's fast path: an uncontended timed acquire
+    // never arms a timer or touches the sleep queue, so `p_timeout`
+    // should price like bare `p` plus one deadline computation. Compare
+    // against `semaphore_pv` above.
+    group.bench_function("semaphore_pv_timed", |b| {
+        b.iter(|| {
+            let mut sim = quiet_sim();
+            let sem = Arc::new(Semaphore::strong("s", 1));
+            sim.spawn("solo", move |ctx| {
+                for _ in 0..OPS {
+                    assert_eq!(sem.p_timeout(ctx, 8), TryResult::Acquired);
                     sem.v(ctx);
                 }
             });

@@ -16,6 +16,9 @@
 //! * [`crash_robustness_report`] — R1: the crash-robustness matrix
 //!   (mechanism × problem → contained/poisoned/wedged) under deterministic
 //!   fault injection;
+//! * [`liveness_robustness_report`] — R2: the liveness-robustness matrix
+//!   (mechanism × scenario → recovers/degrades/wedges) under deadlines,
+//!   deadlock recovery and the starvation watchdog;
 //! * [`solution_matrix_report`] — T1: every solution validated against
 //!   its constraint checkers;
 //! * [`modularity_report`] — §2/T6: the modularity assessment.
@@ -28,6 +31,7 @@ use bloom_core::checks::{
     check_exclusion, check_fifo, check_no_later_overtake, check_priority_over, Violation,
 };
 use bloom_core::events::extract;
+use bloom_core::liveness::{classify_liveness, LivenessOutcome};
 use bloom_core::report::{section, table};
 use bloom_core::CrashOutcome;
 use bloom_core::{
@@ -38,6 +42,9 @@ use bloom_problems::drivers::{
     alarm_scenario, buffer_scenario, disk_scenario, fcfs_scenario, oneslot_scenario, rw_scenario,
 };
 use bloom_problems::faults::{outcome_sweep, CrashMechanism, CrashProblem};
+use bloom_problems::liveness::{
+    liveness_outcome, timeout_withdrawal_sim, LiveMechanism, LiveScenario, HOLD,
+};
 use bloom_problems::registry::{all_descs, derived_ratings};
 use bloom_problems::rw::{self, RwVariant};
 use bloom_sim::{Explorer, Sim};
@@ -295,6 +302,68 @@ pub fn crash_robustness_report() -> String {
     )
 }
 
+/// Patience values swept per timeout-withdrawal cell — below and above
+/// the holder's occupancy, so every cell sees both the withdrawal path
+/// and the deadline-met path.
+const LIVENESS_PATIENCE_SWEEP: [u64; 4] = [1, 2, HOLD, HOLD + 4];
+
+/// R2: the liveness-robustness matrix. The *timeout withdrawal* column
+/// sweeps contender patience below and above the holder's occupancy and
+/// tallies the classifications (see `bloom_core::liveness`): *recovers* —
+/// withdrawals and recovery invisible to survivors; *degrades* — poison,
+/// a starvation flag or a permanent give-up; *wedges* — the run dies. The
+/// other two columns run one canonical schedule each: a genuine cyclic
+/// deadlock with kernel victim-abort recovery on, and a writer retrying
+/// under two resource hogs with the starvation watchdog armed.
+pub fn liveness_robustness_report() -> String {
+    let rows: Vec<Vec<String>> = LiveMechanism::ALL
+        .iter()
+        .map(|&mech| {
+            let outcomes: Vec<LivenessOutcome> = LIVENESS_PATIENCE_SWEEP
+                .iter()
+                .map(|&patience| classify_liveness(&timeout_withdrawal_sim(mech, patience).run()))
+                .collect();
+            let worst = *outcomes.iter().max().expect("at least one patience");
+            let count = |kind: LivenessOutcome| outcomes.iter().filter(|&&o| o == kind).count();
+            vec![
+                mech.label().to_string(),
+                format!(
+                    "{worst}  ({}r/{}d/{}w)",
+                    count(LivenessOutcome::Recovers),
+                    count(LivenessOutcome::Degrades),
+                    count(LivenessOutcome::Wedges),
+                ),
+                liveness_outcome(mech, LiveScenario::DeadlockRecovery).to_string(),
+                liveness_outcome(mech, LiveScenario::StarvationWatchdog).to_string(),
+            ]
+        })
+        .collect();
+    let mut out = table(
+        &[
+            "mechanism",
+            "timeout withdrawal",
+            "deadlock recovery",
+            "starvation watchdog",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\nTimeout cell: worst outcome over patience {LIVENESS_PATIENCE_SWEEP:?} \
+         (recovers/degrades/wedges tally) — every mechanism withdraws cleanly and \
+         retries to success. Deadlock recovery: aborting the victim recovers \
+         outright where unwinding fully restores what it held (semaphore permits, \
+         serializer crowd seats) but degrades to poison where the victim died \
+         inside a monitor or mid-operation in a path expression, and to a dead \
+         rendezvous cycle in CSP. Starvation watchdog: the weak semaphore starves \
+         the writer under two polling hogs — flagged on a concrete replayable \
+         schedule — while the FIFO disciplines all serve it.\n",
+    ));
+    section(
+        "R2 — Liveness robustness: deadlines, cancellation and recovery",
+        &out,
+    )
+}
+
 fn run_checks(tag: &str, violations: Vec<Violation>, failures: &mut Vec<String>) {
     for v in violations {
         failures.push(format!("{tag}: {v}"));
@@ -544,6 +613,8 @@ pub fn full_report() -> String {
     out.push('\n');
     out.push_str(&crash_robustness_report());
     out.push('\n');
+    out.push_str(&liveness_robustness_report());
+    out.push('\n');
     out.push_str(&modularity_report());
     out.push('\n');
     out.push_str(&solution_matrix_report());
@@ -578,10 +649,20 @@ mod tests {
     #[test]
     fn full_report_renders_every_section() {
         let report = full_report();
-        for heading in ["T1", "T2", "T3", "T4", "F1a", "T6"] {
+        for heading in ["T1", "T2", "T3", "T4", "F1a", "R1", "R2", "T6"] {
             assert!(report.contains(heading), "missing section {heading}");
         }
         assert!(report.contains("ANOMALOUS (footnote 3)"));
         assert!(!report.contains("FAIL"), "report contains failures");
+    }
+
+    #[test]
+    fn liveness_matrix_matches_the_expected_verdicts() {
+        let report = liveness_robustness_report();
+        // The R2 headline cells: only the weak semaphore fails the
+        // watchdog, and no cell of the matrix wedges.
+        assert!(report.contains("semaphore (weak)"));
+        assert!(report.contains("degrades"));
+        assert!(!report.contains("wedges  ("), "a timeout cell wedged");
     }
 }

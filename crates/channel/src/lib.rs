@@ -122,36 +122,79 @@ impl<T: Send> Channel<T> {
     /// withdrawn and the value dropped (see the crate-level *Crash
     /// safety* notes).
     pub fn send(&self, ctx: &Ctx, value: T) {
-        let mut value = Some(value);
-        {
-            let mut st = self.state.lock();
-            // Deliver to the longest-waiting receiver whose select has not
-            // been claimed by another channel yet; stale entries (already
-            // claimed elsewhere) are discarded.
-            while let Some(rcv) = st.receivers.pop_front() {
-                if rcv.cell.claimed() {
-                    continue; // stale registration from a finished select
-                }
-                *rcv.cell.slot.lock() = Some((rcv.alt_index, value.take().expect("value present")));
-                drop(st);
-                ctx.unpark(rcv.pid);
-                return;
-            }
-            // No receiver: queue ourselves with the value and park.
-            st.senders.push_back(WaitingSender {
-                pid: ctx.pid(),
-                ticket: ctx.fresh_ticket(),
-                value: value.take().expect("value present"),
-            });
+        if self.deliver_or_enqueue(ctx, value) {
+            return;
         }
         let withdraw = WithdrawOfferOnUnwind { chan: self, ctx };
         ctx.park(&format!("{}.send", self.name));
         std::mem::forget(withdraw);
     }
 
+    /// Timed [`Channel::send`]: blocks for at most `ticks` quanta. On
+    /// timeout the offer is withdrawn and the unsent value handed back as
+    /// `Err(value)` — the rendezvous either happened completely or not at
+    /// all, so the value is never lost to a half-completed exchange.
+    pub fn send_timeout(&self, ctx: &Ctx, value: T, ticks: u64) -> Result<(), T> {
+        if self.deliver_or_enqueue(ctx, value) {
+            return Ok(());
+        }
+        let withdraw = WithdrawOfferOnUnwind { chan: self, ctx };
+        let woken = ctx.park_timeout(&format!("{}.send", self.name), ticks);
+        std::mem::forget(withdraw);
+        if woken {
+            return Ok(()); // a receiver took the value
+        }
+        // Timed out: withdraw the offer and recover the value. The
+        // parked-only guard in the receive paths means no receiver can
+        // have taken it after the timer fired, so the entry is still ours.
+        let mut st = self.state.lock();
+        let me = ctx.pid();
+        let at = st
+            .senders
+            .iter()
+            .position(|s| s.pid == me)
+            .expect("timed-out sender's offer must still be queued");
+        let sender = st.senders.remove(at).expect("index valid");
+        Err(sender.value)
+    }
+
+    /// Delivers `value` to the longest-waiting live receiver (completing
+    /// the rendezvous) or queues it as an offer; returns whether it was
+    /// delivered.
+    fn deliver_or_enqueue(&self, ctx: &Ctx, value: T) -> bool {
+        let mut value = Some(value);
+        let mut st = self.state.lock();
+        // Deliver to the longest-waiting receiver whose select has not been
+        // claimed by another channel yet. Entries already claimed elsewhere
+        // and entries whose process woke by timeout (runnable, about to
+        // report `None`) are discarded — delivering into those would lose
+        // the value.
+        while let Some(rcv) = st.receivers.pop_front() {
+            if rcv.cell.claimed() || !ctx.is_parked(rcv.pid) {
+                continue; // stale registration
+            }
+            *rcv.cell.slot.lock() = Some((rcv.alt_index, value.take().expect("value present")));
+            drop(st);
+            ctx.unpark(rcv.pid);
+            return true;
+        }
+        st.senders.push_back(WaitingSender {
+            pid: ctx.pid(),
+            ticket: ctx.fresh_ticket(),
+            value: value.take().expect("value present"),
+        });
+        false
+    }
+
     /// Receives a value, blocking until a sender offers one.
     pub fn recv(&self, ctx: &Ctx) -> T {
         select(ctx, &mut [(self, true)]).1
+    }
+
+    /// Timed [`Channel::recv`]: returns `None` if no sender rendezvoused
+    /// within `ticks` quanta.
+    pub fn recv_timeout(&self, ctx: &Ctx, ticks: u64) -> Option<T> {
+        select_timeout(ctx, &mut [(self, true)], ticks).map(|(_, v)| v)
     }
 
     /// Number of senders currently blocked on this channel — queue
@@ -160,19 +203,32 @@ impl<T: Send> Channel<T> {
         self.state.lock().senders.len()
     }
 
-    /// Arrival ticket of the longest-waiting sender, if any.
-    fn front_ticket(&self) -> Option<u64> {
-        self.state.lock().senders.front().map(|s| s.ticket)
-    }
-
-    /// Takes the longest-waiting sender's value and wakes the sender.
-    fn take_front(&self, ctx: &Ctx) -> T {
-        let sender = self
-            .state
+    /// Arrival ticket of the longest-waiting *live* sender, if any.
+    ///
+    /// A sender that woke by timeout (runnable, about to withdraw its
+    /// offer) is skipped, not counted: its rendezvous already failed on its
+    /// side, and it must get its value back. The stale entry is left in
+    /// place for the sender's own withdrawal.
+    fn front_parked_ticket(&self, ctx: &Ctx) -> Option<u64> {
+        self.state
             .lock()
             .senders
-            .pop_front()
-            .expect("take_front called on a channel with a waiting sender");
+            .iter()
+            .find(|s| ctx.is_parked(s.pid))
+            .map(|s| s.ticket)
+    }
+
+    /// Takes the longest-waiting live sender's value and wakes the sender.
+    fn take_front(&self, ctx: &Ctx) -> T {
+        let sender = {
+            let mut st = self.state.lock();
+            let at = st
+                .senders
+                .iter()
+                .position(|s| ctx.is_parked(s.pid))
+                .expect("take_front called on a channel with a live waiting sender");
+            st.senders.remove(at).expect("index valid")
+        };
         ctx.unpark(sender.pid);
         sender.value
     }
@@ -240,18 +296,47 @@ impl<T> std::fmt::Debug for Channel<T> {
 /// guards false, this aborts rather than blocking forever (a server whose
 /// guards can all be false should include an always-true alternative).
 pub fn select<T: Send>(ctx: &Ctx, alternatives: &mut [(&Channel<T>, bool)]) -> (usize, T) {
+    select_inner(ctx, alternatives, None).expect("untimed select always rendezvouses")
+}
+
+/// Timed [`select`]: a built-in timeout arm. Returns `None` if no sender
+/// rendezvoused on any enabled alternative within `ticks` quanta — the
+/// guarded-command analogue of an `after`/timeout alternative, which turns
+/// a server's potentially-unbounded wait into a bounded one.
+///
+/// # Panics
+///
+/// Panics if every guard is false, like [`select`].
+pub fn select_timeout<T: Send>(
+    ctx: &Ctx,
+    alternatives: &mut [(&Channel<T>, bool)],
+    ticks: u64,
+) -> Option<(usize, T)> {
+    select_inner(ctx, alternatives, Some(ticks))
+}
+
+fn select_inner<T: Send>(
+    ctx: &Ctx,
+    alternatives: &mut [(&Channel<T>, bool)],
+    timeout: Option<u64>,
+) -> Option<(usize, T)> {
     assert!(
         alternatives.iter().any(|&(_, guard)| guard),
         "select with every guard false would block forever"
     );
-    // Ready alternative with the longest-waiting sender?
+    // Ready alternative with the longest-waiting live sender?
     let ready = alternatives
         .iter()
         .enumerate()
-        .filter(|(_, &(chan, guard))| guard && chan.pending_senders() > 0)
-        .min_by_key(|(_, &(chan, _))| chan.front_ticket().expect("pending sender has ticket"));
-    if let Some((index, &(chan, _))) = ready {
-        return (index, chan.take_front(ctx));
+        .filter_map(|(i, &(chan, guard))| {
+            if !guard {
+                return None;
+            }
+            chan.front_parked_ticket(ctx).map(|ticket| (i, ticket))
+        })
+        .min_by_key(|&(_, ticket)| ticket);
+    if let Some((index, _)) = ready {
+        return Some((index, alternatives[index].0.take_front(ctx)));
     }
     // Nothing ready: register on every enabled alternative and park. The
     // first sender to arrive claims the delivery cell; registrations left
@@ -275,8 +360,24 @@ pub fn select<T: Send>(ctx: &Ctx, alternatives: &mut [(&Channel<T>, bool)]) -> (
         chans: &registered,
         ctx,
     };
-    ctx.park(&format!("select[{}]", reasons.join(",")));
+    let reason = format!("select[{}]", reasons.join(","));
+    let woken = match timeout {
+        None => {
+            ctx.park(&reason);
+            true
+        }
+        Some(ticks) => ctx.park_timeout(&reason, ticks),
+    };
     std::mem::forget(cleanup);
+    if !woken {
+        // Timed out: remove our registrations. The parked-only guard in
+        // the send paths means no sender delivered after the timer fired,
+        // but take a racing delivery defensively rather than lose it.
+        for chan in &registered {
+            chan.unregister_receiver(ctx.pid());
+        }
+        return cell.slot.lock().take();
+    }
     // The delivering sender recorded which alternative it was. Remove our
     // remaining registrations (senders also discard them lazily, but eager
     // cleanup keeps queues short and pid-reuse safe).
@@ -288,7 +389,7 @@ pub fn select<T: Send>(ctx: &Ctx, alternatives: &mut [(&Channel<T>, bool)]) -> (
     for chan in &registered {
         chan.unregister_receiver(ctx.pid());
     }
-    (index, value)
+    Some((index, value))
 }
 
 #[cfg(test)]
@@ -465,6 +566,123 @@ mod tests {
             *log.lock(),
             vec!["first:0".to_string(), "second:1:2".to_string()]
         );
+    }
+
+    /// Timed-send withdrawal: the unsent value comes back in `Err`, the
+    /// offer queue is left clean, and the channel still works afterwards.
+    #[test]
+    fn send_timeout_returns_the_value_on_timeout() {
+        let mut sim = Sim::new();
+        let ch = Arc::new(Channel::new("ch"));
+        let tx = Arc::clone(&ch);
+        sim.spawn("sender", move |ctx| {
+            assert_eq!(tx.send_timeout(ctx, 42, 3), Err(42), "value recovered");
+            assert_eq!(tx.pending_senders(), 0, "offer withdrawn");
+            // The channel is unharmed: a later rendezvous succeeds.
+            tx.send(ctx, 43);
+        });
+        let rx = Arc::clone(&ch);
+        sim.spawn("late-receiver", move |ctx| {
+            ctx.sleep(10);
+            assert_eq!(rx.recv(ctx), 43);
+        });
+        sim.run().expect("timeout avoids the deadlock");
+    }
+
+    #[test]
+    fn recv_timeout_gives_up_without_a_sender() {
+        let mut sim = Sim::new();
+        let ch = Arc::new(Channel::<i64>::new("ch"));
+        let rx = Arc::clone(&ch);
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(rx.recv_timeout(ctx, 4), None);
+            // A sender arriving after the timeout still rendezvouses.
+            assert_eq!(rx.recv(ctx), 7);
+        });
+        let tx = Arc::clone(&ch);
+        sim.spawn("late-sender", move |ctx| {
+            ctx.sleep(10);
+            tx.send(ctx, 7);
+        });
+        sim.run().expect("timeout avoids the deadlock");
+    }
+
+    /// The timeout arm of a guarded select: no enabled sender in time
+    /// yields `None`, and every registration is removed from every
+    /// alternative (the kernel's queue-hygiene assertion would also catch
+    /// a leak at end of run).
+    #[test]
+    fn select_timeout_unregisters_every_alternative() {
+        let mut sim = Sim::new();
+        let a = Arc::new(Channel::<i64>::new("a"));
+        let b = Arc::new(Channel::<i64>::new("b"));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        sim.spawn("server", move |ctx| {
+            assert_eq!(
+                select_timeout(ctx, &mut [(&*a1, true), (&*b1, true)], 5),
+                None
+            );
+            assert_eq!(a1.state.lock().receivers.len(), 0);
+            assert_eq!(b1.state.lock().receivers.len(), 0);
+        });
+        sim.run().expect("clean run");
+    }
+
+    /// The rendezvous-vs-timeout race explored exhaustively: in every
+    /// schedule either the exchange completes on both sides or fails on
+    /// both sides — the staleness guards (parked-only senders in the
+    /// receive scan, parked-only receivers in the send scan) make a
+    /// half-completed rendezvous impossible.
+    #[test]
+    fn timeout_rendezvous_race_explored_exhaustively() {
+        let explorer = bloom_sim::Explorer::new(20_000);
+        let stats = explorer.run(
+            || {
+                let mut sim = Sim::new();
+                let ch = Arc::new(Channel::new("ch"));
+                let tx = Arc::clone(&ch);
+                sim.spawn("sender", move |ctx| {
+                    if let Err(v) = tx.send_timeout(ctx, 7, 2) {
+                        assert_eq!(v, 7, "withdrawn value intact");
+                        ctx.emit("send-failed", &[]);
+                    } else {
+                        ctx.emit("send-ok", &[]);
+                    }
+                });
+                let rx = Arc::clone(&ch);
+                sim.spawn("receiver", move |ctx| {
+                    ctx.sleep(2); // lands on the sender's deadline
+                    match rx.recv_timeout(ctx, 4) {
+                        Some(v) => {
+                            assert_eq!(v, 7);
+                            ctx.emit("recv-ok", &[]);
+                        }
+                        None => ctx.emit("recv-failed", &[]),
+                    }
+                });
+                sim
+            },
+            |decisions, result| {
+                let report = result
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("schedule {decisions:?}: {e}"));
+                let sent = report.trace.count_user("send-ok");
+                let received = report.trace.count_user("recv-ok");
+                assert_eq!(
+                    sent, received,
+                    "schedule {decisions:?}: rendezvous completed on one side only"
+                );
+                for p in &report.processes {
+                    assert_eq!(
+                        p.status,
+                        bloom_sim::ProcessStatus::Finished,
+                        "schedule {decisions:?}: {} did not finish",
+                        p.name
+                    );
+                }
+            },
+        );
+        assert!(stats.complete, "decision space fully explored");
     }
 
     #[test]

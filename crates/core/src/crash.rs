@@ -151,18 +151,20 @@ pub fn check_crash_containment(
 /// * a primitive is poisoned **at most once** — possession is exclusive,
 ///   so two `poison:<p>` events mean the guard fired for a process that
 ///   never held possession;
-/// * every `poison:<p>` is preceded by a `Killed` event **for the same
-///   process** — poison may only originate from an injected kill's
-///   unwind, never from healthy code;
+/// * every `poison:<p>` is preceded by a `Killed` **or** `Aborted` event
+///   **for the same process** — poison may only originate from the unwind
+///   of an injected kill or of a deadlock-recovery abort, never from
+///   healthy code;
 /// * every `poison-seen:<p>` observation comes **after** the poisoning —
 ///   nobody can observe a verdict that does not exist yet.
 pub fn check_poison_propagation(trace: &Trace) -> Vec<Violation> {
     let mut violations = Vec::new();
-    // seq of each process's Killed event (at most one per process).
+    // seq of each process's Killed/Aborted event (at most one per process:
+    // either way the process never runs again).
     let killed_at: HashMap<Pid, u64> = trace
         .events()
         .iter()
-        .filter(|e| e.kind == EventKind::Killed)
+        .filter(|e| matches!(e.kind, EventKind::Killed | EventKind::Aborted))
         .map(|e| (e.pid, e.seq))
         .collect();
     // First poison event per primitive.
@@ -185,7 +187,8 @@ pub fn check_poison_propagation(trace: &Trace) -> Vec<Violation> {
                             at_seq: event.seq,
                             message: format!(
                                 "primitive `{primitive}` poisoned by {} without a preceding \
-                                 kill of that process: poison must originate from a crash",
+                                 kill or abort of that process: poison must originate from a \
+                                 crash or a recovery abort",
                                 event.pid
                             ),
                         }),

@@ -24,6 +24,10 @@
 //!   methodology supports: crash-containment and poison-protocol checkers
 //!   over whole faulted runs (see `bloom_sim::FaultPlan`), classifying
 //!   each (mechanism, scenario) cell as contained, poisoned, or wedged.
+//! * [`liveness`] — the second robustness axis (R2): recovery-containment
+//!   and starvation checkers over runs with deadlines, deadlock recovery,
+//!   and the kernel starvation watchdog, classifying each (mechanism,
+//!   scenario) cell as recovers, degrades, or wedges.
 //! * [`profile`] / [`independence`](mod@independence) (§4.1, §4.2, §5) — expressive-power
 //!   ratings per (mechanism, info type), the paper's own findings encoded
 //!   as [`paper_profiles`], and the constraint-independence metrics used
@@ -38,6 +42,7 @@ pub mod cover;
 pub mod crash;
 pub mod events;
 pub mod independence;
+pub mod liveness;
 pub mod profile;
 pub mod report;
 pub mod taxonomy;
@@ -48,6 +53,9 @@ pub use crash::{check_crash_containment, check_poison_propagation, classify_cras
 pub use events::{extract, instances, Instance, Phase, ProblemEvent};
 pub use independence::{
     independence, modification_cost, ImplUnit, IndependenceReport, ModificationCost, SolutionDesc,
+};
+pub use liveness::{
+    check_recovery_containment, check_starvation_free, classify_liveness, LivenessOutcome,
 };
 pub use profile::{
     paper_profile, paper_profiles, Directness, MechanismId, MechanismProfile, Modularity, Support,

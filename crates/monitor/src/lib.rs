@@ -80,7 +80,7 @@
 //! sim.run().unwrap();
 //! ```
 
-use bloom_sim::{Ctx, Pid, Poisoned, WaitQueue};
+use bloom_sim::{Ctx, Deadline, Pid, Poisoned, WaitQueue};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -469,6 +469,83 @@ impl<S: Send> MonitorCtx<'_, S> {
         Ok(())
     }
 
+    /// Timed [`MonitorCtx::wait`]: waits on `cond` for at most `ticks`
+    /// quanta of virtual time. Returns `true` if signalled, `false` if the
+    /// wait timed out.
+    ///
+    /// On timeout the waiter *withdraws*: it removes its condition
+    /// registration and re-enters like a fresh entrant, so the body resumes
+    /// with possession either way and the monitor invariant is preserved.
+    /// A signal that raced the timeout and skipped the stale entry falls
+    /// through to the next waiter (or becomes a no-op) exactly as a
+    /// release-time rescan would. Mesa callers must re-check their
+    /// predicate on *both* return values, as always.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a poison wake (use [`MonitorCtx::wait_timeout_checked`])
+    /// and under [`Signaling::SignalAndExit`], whose deferred hand-off
+    /// cannot be withdrawn once granted.
+    pub fn wait_timeout(&self, cond: &Cond, ticks: u64) -> bool {
+        match self.wait_timeout_checked(cond, ticks) {
+            Ok(signalled) => signalled,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// Like [`MonitorCtx::wait_timeout`], but a poison wake (or a poisoning
+    /// discovered while re-entering after a timeout) is returned as a value.
+    /// On `Err` the caller does *not* have possession and must leave the
+    /// body promptly.
+    pub fn wait_timeout_checked(&self, cond: &Cond, ticks: u64) -> Result<bool, Poisoned> {
+        assert!(
+            self.monitor.signaling != Signaling::SignalAndExit,
+            "timed waits are not supported under signal-and-exit semantics: \
+             a deferred hand-off cannot be withdrawn"
+        );
+        cond.queue.enqueue_current(self.ctx, 0);
+        self.monitor.release(self.ctx);
+        let cleanup = DequeueOnUnwind {
+            queue: &cond.queue,
+            ctx: self.ctx,
+        };
+        let woken = self.ctx.park_timeout(cond.queue.name(), ticks);
+        std::mem::forget(cleanup);
+        if !woken {
+            // Withdraw: remove the stale registration (idempotent — a
+            // signaller may already have skipped past it) and re-acquire
+            // possession as a fresh entrant.
+            cond.queue.remove_current(self.ctx);
+            self.monitor.acquire(self.ctx);
+            if let Some(p) = self.monitor.observe_poison(self.ctx) {
+                return Err(p);
+            }
+            return Ok(false);
+        }
+        if let Some(p) = self.monitor.observe_poison(self.ctx) {
+            return Err(p);
+        }
+        if self.monitor.signaling == Signaling::SignalAndContinue {
+            // Mesa: we were only made runnable; re-contend for possession.
+            self.monitor.acquire(self.ctx);
+            if let Some(p) = self.monitor.observe_poison(self.ctx) {
+                return Err(p);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Deadline form of [`MonitorCtx::wait_timeout`]: waits until `deadline`
+    /// at the latest. An already-expired deadline returns `false`
+    /// immediately — possession is never released and no scheduling point
+    /// is consumed.
+    pub fn wait_deadline(&self, cond: &Cond, deadline: Deadline) -> bool {
+        match deadline.remaining(self.ctx.now()) {
+            None => false,
+            Some(ticks) => self.wait_timeout(cond, ticks),
+        }
+    }
+
     /// Signals `cond`: resumes its frontmost waiter, if any.
     ///
     /// Under Hoare semantics possession passes to the signalled process and
@@ -502,10 +579,14 @@ impl<S: Send> MonitorCtx<'_, S> {
                 // Step aside for the signalled process: enqueue ourselves
                 // urgent, wake it (hand-off), park.
                 self.monitor.urgent.enqueue_current(self.ctx, 0);
-                let pid = cond
-                    .queue
-                    .wake_one(self.ctx)
-                    .expect("non-empty condition must yield a waiter");
+                let Some(pid) = cond.queue.wake_one(self.ctx) else {
+                    // Every entry was stale — timed-out waiters that have
+                    // not yet withdrawn (see `wait_timeout_checked`). The
+                    // signal is a no-op after all; take back the urgent
+                    // registration and keep possession.
+                    self.monitor.urgent.remove_current(self.ctx);
+                    return Ok(());
+                };
                 *self.monitor.holder.lock() = Some(pid);
                 let cleanup = DequeueOnUnwind {
                     queue: &self.monitor.urgent,
@@ -1049,5 +1130,112 @@ mod tests {
             sim.run().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(*m.state.lock(), 0);
         }
+    }
+
+    /// Timed-wait withdrawal under both withdrawal-capable disciplines: a
+    /// consumer whose condition is never signalled times out, re-acquires
+    /// possession, reads consistent state, and the monitor keeps working
+    /// for later entrants.
+    #[test]
+    fn wait_timeout_withdraws_and_reacquires() {
+        for signaling in [Signaling::Hoare, Signaling::SignalAndContinue] {
+            let mut sim = Sim::new();
+            let m = Arc::new(Monitor::new("buf", signaling, 0u32));
+            let nonzero = Arc::new(Cond::new("nonzero"));
+            let (m2, c2) = (Arc::clone(&m), Arc::clone(&nonzero));
+            sim.spawn("consumer", move |ctx| {
+                let got = m2.enter(ctx, |mc| {
+                    let signalled = mc.wait_timeout(&c2, 3);
+                    assert!(!signalled, "nobody signals");
+                    mc.state(|s| *s)
+                });
+                assert_eq!(got, 0);
+            });
+            let m3 = Arc::clone(&m);
+            sim.spawn("late-entrant", move |ctx| {
+                ctx.sleep(10);
+                m3.enter(ctx, |mc| mc.state(|s| *s += 1));
+            });
+            sim.run().unwrap_or_else(|e| panic!("{signaling:?}: {e}"));
+            assert_eq!(*m.state.lock(), 1, "{signaling:?}: monitor still works");
+            assert!(nonzero.is_empty(), "{signaling:?}: no leaked registration");
+        }
+    }
+
+    /// A signal delivered before the timeout elapses wins the race: the
+    /// timed waiter reports `true` and (Hoare) resumes with the signalled
+    /// condition guaranteed.
+    #[test]
+    fn signal_beats_timeout() {
+        for signaling in [Signaling::Hoare, Signaling::SignalAndContinue] {
+            let mut sim = Sim::new();
+            let m = Arc::new(Monitor::new("m", signaling, false));
+            let ready = Arc::new(Cond::new("ready"));
+            let (m2, c2) = (Arc::clone(&m), Arc::clone(&ready));
+            sim.spawn("waiter", move |ctx| {
+                m2.enter(ctx, |mc| {
+                    let signalled = mc.wait_timeout(&c2, 100);
+                    assert!(signalled);
+                    assert!(mc.state(|s| *s), "state updated by the signaller");
+                });
+            });
+            let (m3, c3) = (Arc::clone(&m), Arc::clone(&ready));
+            sim.spawn("signaller", move |ctx| {
+                ctx.yield_now();
+                m3.enter(ctx, |mc| {
+                    mc.state(|s| *s = true);
+                    mc.signal(&c3);
+                });
+            });
+            sim.run().unwrap_or_else(|e| panic!("{signaling:?}: {e}"));
+        }
+    }
+
+    /// The timeout-vs-signal race, explored exhaustively: across *every*
+    /// schedule a Hoare signaller may find the condition queue holding only
+    /// a stale (timed-out, not yet withdrawn) entry. The no-op-signal path
+    /// must keep possession with the signaller, never panic, and never leak
+    /// a registration (the kernel's end-of-run hygiene assertion checks the
+    /// latter on each schedule).
+    #[test]
+    fn stale_signal_race_explored_exhaustively() {
+        let explorer = bloom_sim::Explorer::new(20_000);
+        let stats = explorer.run(
+            || {
+                let mut sim = Sim::new();
+                let m = Arc::new(Monitor::hoare("m", 0u32));
+                let c = Arc::new(Cond::new("c"));
+                let (m2, c2) = (Arc::clone(&m), Arc::clone(&c));
+                sim.spawn("timed-waiter", move |ctx| {
+                    m2.enter(ctx, |mc| {
+                        mc.wait_timeout(&c2, 2);
+                        mc.state(|s| *s += 1);
+                    });
+                });
+                let (m3, c3) = (Arc::clone(&m), Arc::clone(&c));
+                sim.spawn("signaller", move |ctx| {
+                    ctx.sleep(3); // straddles the waiter's timeout
+                    m3.enter(ctx, |mc| {
+                        mc.signal(&c3);
+                        mc.state(|s| *s += 1);
+                    });
+                });
+                sim
+            },
+            |decisions, result| {
+                let report = result
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("schedule {decisions:?}: {e}"));
+                for p in &report.processes {
+                    assert_eq!(
+                        p.status,
+                        bloom_sim::ProcessStatus::Finished,
+                        "schedule {decisions:?}: {} did not finish",
+                        p.name
+                    );
+                }
+            },
+        );
+        assert!(stats.complete, "decision space fully explored");
     }
 }

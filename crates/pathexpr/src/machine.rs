@@ -151,13 +151,20 @@ impl Machine {
     /// first, restarting the scan after each start (starting one request —
     /// e.g. opening a burst — can enable another). Returns the pids to
     /// unpark, in start order.
-    fn drain_startable(&mut self) -> Vec<Pid> {
+    ///
+    /// `is_parked` guards against the timed-wait race: an entry whose
+    /// process already woke by timeout (runnable, but not yet dispatched to
+    /// withdraw its request) is *skipped, not granted* — the process will
+    /// report the timeout and must not be charged an activation it will
+    /// never finish. Its entry stays queued for its own withdrawal.
+    fn drain_startable(&mut self, is_parked: &dyn Fn(Pid) -> bool) -> Vec<Pid> {
         let mut woken = Vec::new();
         loop {
             let found = self
                 .blocked
                 .iter()
                 .enumerate()
+                .filter(|(_, b)| is_parked(b.pid))
                 .find_map(|(i, b)| self.try_activation(&b.op).map(|act| (i, act)));
             match found {
                 Some((i, act)) => {
@@ -367,6 +374,128 @@ impl PathResource {
         Ok(())
     }
 
+    /// Timed [`PathResource::begin`]: requests `op`, giving up after
+    /// `ticks` quanta of virtual time. Returns `true` if the operation
+    /// started (the caller owes a matching [`PathResource::finish`]),
+    /// `false` on timeout — the request was withdrawn and the queue
+    /// re-scanned, since `blocked()` predicate counts just changed and may
+    /// have enabled another request (the same rescan a finish performs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resource is (or becomes) poisoned; use
+    /// [`PathResource::request_timeout_checked`] to handle that as a value.
+    pub fn request_timeout(&self, ctx: &Ctx, op: &str, ticks: u64) -> bool {
+        match self.request_timeout_checked(ctx, op, ticks) {
+            Ok(started) => started,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// Like [`PathResource::request_timeout`], but poisoning — whether it
+    /// woke the parked request or arrived with the timeout — is returned as
+    /// a value.
+    pub fn request_timeout_checked(
+        &self,
+        ctx: &Ctx,
+        op: &str,
+        ticks: u64,
+    ) -> Result<bool, Poisoned> {
+        if let Some(p) = self.observe_poison(ctx) {
+            return Err(p);
+        }
+        let started = {
+            let mut m = self.machine.lock();
+            match m.try_activation(op) {
+                Some(act) => {
+                    m.apply_enter(op, &act);
+                    m.open
+                        .entry(ctx.pid())
+                        .or_default()
+                        .push((op.to_string(), act));
+                    true
+                }
+                None => {
+                    m.blocked.push_back(Blocked {
+                        pid: ctx.pid(),
+                        op: op.to_string(),
+                    });
+                    false
+                }
+            }
+        };
+        if started {
+            self.wake_startable(ctx);
+            return Ok(true);
+        }
+        let cleanup = UnblockOnUnwind { res: self, ctx };
+        let woken = ctx.park_timeout(&format!("{}.{}", self.name, op), ticks);
+        std::mem::forget(cleanup);
+        if !woken {
+            // Timed out: withdraw. A granting waker cannot have selected us
+            // after the timer fired (`drain_startable` skips non-parked
+            // entries), so the entry is still ours to remove.
+            let me = ctx.pid();
+            self.machine.lock().blocked.retain(|b| b.pid != me);
+            self.wake_startable(ctx);
+            if let Some(p) = self.observe_poison(ctx) {
+                return Err(p);
+            }
+            return Ok(false);
+        }
+        let still_blocked = {
+            let mut m = self.machine.lock();
+            let me = ctx.pid();
+            let was = m.blocked.iter().any(|b| b.pid == me);
+            if was {
+                m.blocked.retain(|b| b.pid != me);
+            }
+            was
+        };
+        if still_blocked {
+            let p = self
+                .observe_poison(ctx)
+                .expect("woken without grant can only happen on poison");
+            return Err(p);
+        }
+        Ok(true)
+    }
+
+    /// Timed [`PathResource::perform`]: runs `body` as `op` if the paths
+    /// permit it to start within `ticks` quanta, returning `None` on
+    /// timeout. Panics on poison like `perform`; use
+    /// [`PathResource::try_perform_timeout`] for the checked form.
+    pub fn perform_timeout<R>(
+        &self,
+        ctx: &Ctx,
+        op: &str,
+        ticks: u64,
+        body: impl FnOnce() -> R,
+    ) -> Option<R> {
+        match self.try_perform_timeout(ctx, op, ticks, body) {
+            Ok(r) => r,
+            Err(p) => panic!("{p}"),
+        }
+    }
+
+    /// Checked form of [`PathResource::perform_timeout`].
+    pub fn try_perform_timeout<R>(
+        &self,
+        ctx: &Ctx,
+        op: &str,
+        ticks: u64,
+        body: impl FnOnce() -> R,
+    ) -> Result<Option<R>, Poisoned> {
+        if !self.request_timeout_checked(ctx, op, ticks)? {
+            return Ok(None);
+        }
+        let cleanup = PoisonOnUnwind { res: self, ctx };
+        let r = body();
+        std::mem::forget(cleanup);
+        self.finish(ctx, op);
+        Ok(Some(r))
+    }
+
     /// Finishes operation `op` (the second half of [`PathResource::perform`]).
     pub fn finish(&self, ctx: &Ctx, op: &str) {
         {
@@ -389,7 +518,10 @@ impl PathResource {
     }
 
     fn wake_startable(&self, ctx: &Ctx) {
-        let woken = self.machine.lock().drain_startable();
+        let woken = self
+            .machine
+            .lock()
+            .drain_startable(&|pid| ctx.is_parked(pid));
         for pid in woken {
             ctx.unpark(pid);
         }
@@ -870,6 +1002,96 @@ mod tests {
         let err = sim.run().expect_err("deadlock");
         assert!(err.is_deadlock());
         assert!(err.to_string().contains("s.b"));
+    }
+
+    /// A timed request for an operation the paths never enable gives up at
+    /// the bound, leaves the queue clean, and the resource keeps serving
+    /// other operations.
+    #[test]
+    fn request_timeout_withdraws_cleanly() {
+        let mut sim = Sim::new();
+        let r = Arc::new(PathResource::parse("s", "path a ; b end").unwrap());
+        let r1 = Arc::clone(&r);
+        sim.spawn("impatient", move |ctx| {
+            // b needs an a first; nobody performs a yet.
+            assert_eq!(r1.perform_timeout(ctx, "b", 5, || unreachable!()), None);
+            assert_eq!(r1.blocked_count(), 0, "request withdrawn");
+            ctx.emit("timed-out", &[]);
+        });
+        let r2 = Arc::clone(&r);
+        sim.spawn("worker", move |ctx| {
+            ctx.sleep(10);
+            r2.perform(ctx, "a", || {});
+            r2.perform(ctx, "b", || {});
+        });
+        let report = sim.run().expect("timeout avoids the deadlock");
+        assert_eq!(report.trace.count_user("timed-out"), 1);
+    }
+
+    /// Withdrawal re-scans the queue: a predicate counting `blocked()`
+    /// can flip from false to true when a timed-out request leaves, and
+    /// the waiter it was blocking must be started by that rescan (without
+    /// it, this scenario deadlocks).
+    #[test]
+    fn withdrawal_rescan_unblocks_predicate_waiters() {
+        let mut sim = Sim::new();
+        // r can never start (needs a first); w defers to queued r requests.
+        let r = Arc::new(PathResource::parse("s", "path a ; r end path w end").unwrap());
+        r.add_predicate("w", |v| v.blocked("r") == 0);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (r1, o1) = (Arc::clone(&r), Arc::clone(&order));
+        sim.spawn("reader", move |ctx| {
+            assert!(!r1.request_timeout(ctx, "r", 6));
+            o1.lock().push("r-gave-up");
+        });
+        let (r2, o2) = (Arc::clone(&r), Arc::clone(&order));
+        sim.spawn("writer", move |ctx| {
+            ctx.yield_now(); // let the reader queue first
+            r2.perform(ctx, "w", || o2.lock().push("w"));
+        });
+        sim.run().expect("withdrawal rescan frees the writer");
+        assert_eq!(*order.lock(), vec!["r-gave-up", "w"]);
+    }
+
+    /// The grant-vs-timeout race, explored exhaustively: a holder's finish
+    /// may rescan while the timed requester's timer has already fired. The
+    /// `drain_startable` parked-only guard must skip the stale entry in
+    /// every schedule — granting it would charge an activation the
+    /// requester never observes.
+    #[test]
+    fn grant_timeout_race_explored_exhaustively() {
+        let explorer = bloom_sim::Explorer::new(20_000);
+        let stats = explorer.run(
+            || {
+                let mut sim = Sim::new();
+                let r = Arc::new(PathResource::parse("s", "path a end").unwrap());
+                let r1 = Arc::clone(&r);
+                sim.spawn("holder", move |ctx| {
+                    r1.perform(ctx, "a", || ctx.sleep(3));
+                });
+                let r2 = Arc::clone(&r);
+                sim.spawn("timed", move |ctx| {
+                    if r2.request_timeout(ctx, "a", 2) {
+                        r2.finish(ctx, "a");
+                    }
+                });
+                sim
+            },
+            |decisions, result| {
+                let report = result
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("schedule {decisions:?}: {e}"));
+                for p in &report.processes {
+                    assert_eq!(
+                        p.status,
+                        bloom_sim::ProcessStatus::Finished,
+                        "schedule {decisions:?}: {} did not finish",
+                        p.name
+                    );
+                }
+            },
+        );
+        assert!(stats.complete, "decision space fully explored");
     }
 
     #[test]

@@ -16,3 +16,5 @@ pub const SEEK: &str = "seek";
 pub const WAKE: &str = "wake";
 /// Alarm clock tick operation.
 pub const TICK: &str = "tick";
+/// Dining-philosophers eat operation (param 0: philosopher index).
+pub const EAT: &str = "eat";

@@ -40,6 +40,7 @@ pub mod events;
 pub mod extra;
 pub mod faults;
 pub mod fcfs;
+pub mod liveness;
 pub mod oneslot;
 pub mod registry;
 pub mod rw;

@@ -49,7 +49,7 @@
 //! assert_eq!(report.trace.count_user("critical"), 2);
 //! ```
 
-use bloom_sim::{Ctx, Poisoned, WaitQueue};
+use bloom_sim::{Ctx, Deadline, Poisoned, WaitQueue};
 use parking_lot::Mutex;
 
 /// Outcome of a timed acquire ([`Semaphore::p_timeout`]).
@@ -191,6 +191,25 @@ impl Semaphore {
                     }
                 }
             }
+        }
+    }
+
+    /// P against an absolute virtual-time [`Deadline`]: the deadline form
+    /// of [`Semaphore::p_timeout`].
+    ///
+    /// An already-expired deadline degenerates to a [`Semaphore::try_p`]
+    /// that never parks, so retry loops can pass a fixed deadline through
+    /// repeated acquire attempts without re-computing remaining ticks.
+    pub fn p_deadline(&self, ctx: &Ctx, deadline: Deadline) -> TryResult {
+        match deadline.remaining(ctx.now()) {
+            None => {
+                if self.try_p() {
+                    TryResult::Acquired
+                } else {
+                    TryResult::TimedOut
+                }
+            }
+            Some(ticks) => self.p_timeout(ctx, ticks),
         }
     }
 
@@ -642,6 +661,48 @@ mod tests {
             let (current, max) = *occ.lock();
             assert_eq!(current, 0);
             assert!(max <= 2, "seed {seed}: occupancy {max} exceeded permits");
+        }
+    }
+
+    /// Withdrawal: a timed-out `p_deadline` leaves no residue — the holder
+    /// still releases to an empty queue, a later retry succeeds, and the
+    /// count balances. Exercised on both fairness disciplines.
+    #[test]
+    fn p_deadline_withdraws_cleanly_then_retries() {
+        for fairness in [Fairness::Strong, Fairness::Weak] {
+            let mut sim = Sim::new();
+            let sem = Arc::new(Semaphore::new("s", 1, fairness));
+            let outcome = Arc::new(Mutex::new(Vec::new()));
+
+            let sem1 = Arc::clone(&sem);
+            sim.spawn("holder", move |ctx| {
+                sem1.p(ctx);
+                ctx.sleep(10); // hold well past the requester's deadline
+                sem1.v(ctx);
+            });
+
+            let sem2 = Arc::clone(&sem);
+            let out2 = Arc::clone(&outcome);
+            sim.spawn("requester", move |ctx| {
+                let deadline = ctx.deadline_after(3);
+                let first = sem2.p_deadline(ctx, deadline);
+                out2.lock().push(first);
+                // Expired deadline: degenerates to try_p, no parking.
+                let again = sem2.p_deadline(ctx, deadline);
+                out2.lock().push(again);
+                assert_eq!(sem2.waiting(), 0, "withdrawal left no registration");
+                // An untimed retry succeeds once the holder releases.
+                sem2.p(ctx);
+                sem2.v(ctx);
+            });
+
+            sim.run().expect("no deadlock");
+            assert_eq!(
+                *outcome.lock(),
+                vec![TryResult::TimedOut, TryResult::TimedOut],
+                "{fairness:?}"
+            );
+            assert_eq!(sem.value(), 1, "count balanced after timeout + retry");
         }
     }
 

@@ -80,7 +80,7 @@
 //! sim.run().unwrap();
 //! ```
 
-use bloom_sim::{Ctx, Pid, Poisoned, WaitQueue};
+use bloom_sim::{Ctx, Deadline, Pid, Poisoned, WaitQueue};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -677,6 +677,23 @@ impl<S: Send> SerializerCtx<'_, S> {
         false
     }
 
+    /// Deadline form of [`SerializerCtx::enqueue_timeout`]: the guarantee
+    /// must be met by `deadline` (absolute virtual time). An
+    /// already-expired deadline gives up immediately — possession is kept
+    /// and no scheduling point is consumed — so retry loops can thread one
+    /// fixed deadline through repeated attempts.
+    pub fn enqueue_deadline(
+        &self,
+        queue: QueueId,
+        deadline: Deadline,
+        guard: impl Fn(&GuardView<'_, S>) -> bool + Send + 'static,
+    ) -> bool {
+        match deadline.remaining(self.ctx.now()) {
+            None => false,
+            Some(ticks) => self.enqueue_timeout(queue, ticks, guard),
+        }
+    }
+
     fn park_in(&self, queue: QueueId) {
         let reason = format!("{}.{}", self.ser.name, self.ser.queues.lock()[queue.0].name);
         let cleanup = DequeueOnUnwind {
@@ -1024,6 +1041,33 @@ mod tests {
         });
         let report = sim.run().unwrap();
         assert_eq!(report.trace.count_user("met"), 1);
+    }
+
+    /// Deadline withdrawal: `enqueue_deadline` gives up at the absolute
+    /// deadline, leaves no stale entry behind once it withdraws, and an
+    /// already-expired deadline fails instantly without releasing
+    /// possession.
+    #[test]
+    fn enqueue_deadline_withdraws_at_the_deadline() {
+        let mut sim = Sim::new();
+        let s = Arc::new(Serializer::new("s", false));
+        let q = s.queue("gate");
+        let s2 = Arc::clone(&s);
+        sim.spawn("impatient", move |ctx| {
+            s2.enter(ctx, |sc| {
+                let deadline = ctx.deadline_after(5);
+                assert!(!sc.enqueue_deadline(q, deadline, |v| *v.state()));
+                assert!(deadline.expired(ctx.now()), "gave up only at the deadline");
+                assert_eq!(sc.queue_len(q), 0, "withdrawal removed the entry");
+                let before = ctx.now();
+                assert!(
+                    !sc.enqueue_deadline(q, deadline, |v| *v.state()),
+                    "expired deadline fails immediately"
+                );
+                assert_eq!(ctx.now(), before, "no scheduling point consumed");
+            });
+        });
+        sim.run().expect("deadline avoids the deadlock");
     }
 
     #[test]

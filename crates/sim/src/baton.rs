@@ -58,6 +58,10 @@ pub(crate) enum Go {
     /// A fault-plan kill-point fired: unwind (running drop guards) and
     /// report back as killed.
     Kill,
+    /// Deadlock recovery chose this process as the victim: unwind (running
+    /// drop guards, exactly as for a kill) and report back as aborted. The
+    /// process is recorded as *cancelled*, not crashed.
+    Abort,
 }
 
 /// A process's account of why it stopped running, handed back to the scheduler.
@@ -76,6 +80,8 @@ pub(crate) enum Report {
     Panicked { message: String },
     /// The process finished unwinding after a kill-point (fault injection).
     Killed,
+    /// The process finished unwinding after a deadlock-recovery abort.
+    Aborted,
 }
 
 #[cfg(test)]

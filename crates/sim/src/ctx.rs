@@ -3,7 +3,7 @@
 use crate::baton::Report;
 use crate::kernel::{obey, ProcessStatus, Shared, TimerKind};
 use crate::trace::EventKind;
-use crate::types::{Pid, Time};
+use crate::types::{Deadline, Pid, Time};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -22,6 +22,10 @@ impl Ctx {
         Ctx { shared, pid }
     }
 
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
     /// This process's id.
     pub fn pid(&self) -> Pid {
         self.pid
@@ -37,6 +41,12 @@ impl Ctx {
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.shared.state.lock().clock
+    }
+
+    /// A [`Deadline`] `ticks` quanta from now. Convenience for the timed
+    /// mechanism APIs that take absolute deadlines.
+    pub fn deadline_after(&self, ticks: u64) -> Deadline {
+        Deadline::after(self.now(), ticks)
     }
 
     /// Whether the simulation is shutting down (daemons being cancelled).
@@ -134,7 +144,12 @@ impl Ctx {
     ///
     /// On timeout the caller is still registered on whatever wait queue it
     /// joined and must deregister itself (see
-    /// [`crate::WaitQueue::wait_timeout`], which handles this).
+    /// [`crate::WaitQueue::wait_timeout`], which handles this). A leaked
+    /// registration is caught loudly: in debug builds the kernel asserts at
+    /// the end of every non-panicked run that no wait queue still holds an
+    /// entry, and grant paths must consult [`Ctx::is_parked`] before
+    /// granting to a queue entry, so a timed-out waiter that has not yet
+    /// deregistered is never the target of a grant.
     pub fn park_timeout(&self, reason: &str, ticks: u64) -> bool {
         let baton = {
             let mut st = self.shared.state.lock();
@@ -158,6 +173,21 @@ impl Ctx {
         let timed_out = slot.timed_out;
         slot.timed_out = false;
         !timed_out
+    }
+
+    /// Whether `target` is currently parked — i.e. an unpark delivered now
+    /// would succeed. Mirrors exactly what [`Ctx::try_unpark`] would
+    /// accept: a blocked process, or a ready one whose pending fault-plan
+    /// spurious wake would be converted into the unpark.
+    ///
+    /// Grant paths that scan a queue which may hold *stale* entries (a
+    /// timed-out process that has not yet removed its own registration)
+    /// must check this before applying a grant's side effects, so that a
+    /// waiter whose timed wait returned `false` was never granted anything.
+    pub fn is_parked(&self, target: Pid) -> bool {
+        let st = self.shared.state.lock();
+        let slot = &st.procs[target.index()];
+        matches!(slot.status, ProcessStatus::Blocked { .. }) || slot.spurious_wake
     }
 
     /// Makes a parked process runnable again if it is currently parked;

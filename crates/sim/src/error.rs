@@ -29,8 +29,9 @@ pub enum SimErrorKind {
 pub struct SimError {
     /// What went wrong.
     pub kind: SimErrorKind,
-    /// The partial run report (trace, decisions, process states).
-    pub report: SimReport,
+    /// The partial run report (trace, decisions, process states). Boxed
+    /// so `Result<SimReport, SimError>` stays cheap to return by value.
+    pub report: Box<SimReport>,
 }
 
 impl SimError {

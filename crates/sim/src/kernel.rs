@@ -78,6 +78,16 @@ pub(crate) struct ProcSlot {
     /// Set when a fault-plan spurious wake made this process runnable
     /// without a matching unpark; [`Ctx::park`] absorbs it by re-parking.
     pub spurious_wake: bool,
+    /// Start of the current *wait episode* for the starvation watchdog:
+    /// `(reason, first park time)`. Re-parking on the same reason (the
+    /// re-contend loop of a weak semaphore, a Mesa-style recheck) keeps the
+    /// episode open, so barging starvation accumulates age even though each
+    /// individual park is short. Any other stop — a yield, a sleep, a park
+    /// on a different queue, finishing — closes the episode.
+    pub wait_started: Option<(String, Time)>,
+    /// Whether the watchdog has already flagged the current wait episode
+    /// (each episode is flagged at most once).
+    pub starvation_flagged: bool,
 }
 
 /// All mutable kernel state, guarded by one mutex.
@@ -96,6 +106,10 @@ pub(crate) struct State {
     pub record_sched_events: bool,
     /// Fault-plan bookkeeping (counters and fired flags).
     pub faults: FaultRuntime,
+    /// Wait episodes flagged by the starvation watchdog, in flag order.
+    pub starvation: Vec<StarvationFlag>,
+    /// Victims aborted by deadlock recovery, in abort order.
+    pub recovered: Vec<Pid>,
 }
 
 impl State {
@@ -112,8 +126,30 @@ impl State {
             decisions: Vec::new(),
             record_sched_events,
             faults,
+            starvation: Vec::new(),
+            recovered: Vec::new(),
         }
     }
+}
+
+/// One wait episode flagged by the kernel starvation watchdog: the process
+/// had been waiting longer than [`crate::SimConfig::starvation_bound`]
+/// quanta while other processes kept being dispatched (a bounded-bypass
+/// violation, measured in the kernel rather than per-checker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StarvationFlag {
+    /// The starved process.
+    pub pid: Pid,
+    /// Its spawn-time name.
+    pub name: String,
+    /// What it was waiting on (the park reason).
+    pub reason: String,
+    /// When the wait episode began.
+    pub since: Time,
+    /// When the watchdog flagged it.
+    pub flagged_at: Time,
+    /// `flagged_at - since`, for convenience.
+    pub age: u64,
 }
 
 /// State shared between the scheduler thread and all process threads.
@@ -129,6 +165,13 @@ pub(crate) struct Shared {
     /// threads unwind concurrently then, so guards must not touch shared
     /// state or the trace.
     pub cancelling: AtomicBool,
+    /// Every [`crate::WaitQueue`] that has ever enqueued a process in this
+    /// simulation registers its cell here (see `WaitQueue::bind`). At the
+    /// end of a non-panicked run, after shutdown unwinds have dequeued all
+    /// cancelled waiters, a debug assertion checks that every registered
+    /// queue is empty — catching mechanisms whose timed paths leak a stale
+    /// registration after `park_timeout` returns `false`.
+    pub queues: Mutex<Vec<Arc<crate::waitq::QueueCell>>>,
 }
 
 impl Shared {
@@ -138,6 +181,7 @@ impl Shared {
             sched_baton: Baton::new(),
             tickets: AtomicU64::new(0),
             cancelling: AtomicBool::new(false),
+            queues: Mutex::new(Vec::new()),
         })
     }
 
@@ -166,6 +210,8 @@ impl Shared {
                 park_token: 0,
                 timed_out: false,
                 spurious_wake: false,
+                wait_started: None,
+                starvation_flagged: false,
             });
             st.ready.push(pid);
             let clock = st.clock;
@@ -197,6 +243,12 @@ struct Cancelled;
 /// process is recorded as [`ProcessStatus::Killed`].
 struct KilledMarker;
 
+/// Marker payload used to unwind a deadlock-recovery victim. Identical in
+/// mechanics to [`KilledMarker`] — the scheduler waits for the unwind, drop
+/// guards roll registrations back — but the process is recorded as
+/// [`ProcessStatus::Cancelled`]: an abort is a recovery action, not a crash.
+struct AbortedMarker;
+
 /// Entry point of every process host thread.
 fn process_main<F>(shared: Arc<Shared>, pid: Pid, baton: Arc<Baton<Go>>, f: F)
 where
@@ -208,6 +260,8 @@ where
         // A kill-point counts scheduling points, and a process that has
         // never run has none, so a kill cannot be its first command.
         Go::Kill => unreachable!("kill delivered to a never-dispatched process"),
+        // Deadlock recovery only aborts *blocked* processes, which have run.
+        Go::Abort => unreachable!("abort delivered to a never-dispatched process"),
     }
     let ctx = Ctx::new(Arc::clone(&shared), pid);
     let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
@@ -222,6 +276,12 @@ where
                 // Kill-point unwind complete (all drop guards have run);
                 // the scheduler is blocked waiting for exactly this report.
                 shared.sched_baton.put(Report::Killed);
+                return;
+            }
+            if payload.is::<AbortedMarker>() {
+                // Deadlock-recovery unwind complete; the scheduler is
+                // blocked waiting for exactly this report.
+                shared.sched_baton.put(Report::Aborted);
                 return;
             }
             let message = panic_message(payload);
@@ -250,6 +310,7 @@ pub(crate) fn obey(go: Go) {
         // neither cancellation nor an injected kill is an error.
         Go::Cancel => std::panic::resume_unwind(Box::new(Cancelled)),
         Go::Kill => std::panic::resume_unwind(Box::new(KilledMarker)),
+        Go::Abort => std::panic::resume_unwind(Box::new(AbortedMarker)),
     }
 }
 
@@ -279,6 +340,14 @@ pub struct SimReport {
     pub final_time: Time,
     /// Final status of every process.
     pub processes: Vec<ProcessSummary>,
+    /// Wait episodes flagged by the starvation watchdog (empty unless
+    /// [`crate::SimConfig::starvation_bound`] was set), in flag order.
+    pub starvation: Vec<StarvationFlag>,
+    /// Victims aborted by deadlock recovery (empty unless
+    /// [`crate::SimConfig::deadlock_recovery`] was enabled), in abort
+    /// order. These processes end with status
+    /// [`ProcessStatus::Cancelled`], not [`ProcessStatus::Killed`].
+    pub recovered: Vec<Pid>,
 }
 
 impl SimReport {
@@ -318,6 +387,8 @@ fn snapshot(st: &mut State) -> SimReport {
                 s
             })
             .collect(),
+        starvation: std::mem::take(&mut st.starvation),
+        recovered: std::mem::take(&mut st.recovered),
     }
 }
 
@@ -396,6 +467,69 @@ pub(crate) fn run_kernel(
                         _ => None,
                     })
                     .collect();
+                if cfg.deadlock_recovery && !blocked.is_empty() {
+                    // Deadlock recovery: abort one victim through the same
+                    // unwind machinery as a fault-plan kill, so its RAII
+                    // guards roll registrations back (releasing permits,
+                    // dequeuing, poisoning held monitors), then resume
+                    // scheduling — the rollback may have unparked survivors.
+                    // Each abort removes one live non-daemon, so the loop
+                    // terminates even if the survivors deadlock again.
+                    //
+                    // Victim choice: the most recently blocked process (its
+                    // wait episode started last, so the least progress is
+                    // discarded); ties broken by pid. Deterministic, and it
+                    // adds no scheduling decision, so exploration and replay
+                    // are unaffected.
+                    let &(victim, _, _) = blocked
+                        .iter()
+                        .max_by_key(|(pid, _, _)| {
+                            let since = st.procs[pid.index()]
+                                .wait_started
+                                .as_ref()
+                                .map_or(Time::ZERO, |&(_, t)| t);
+                            (since, *pid)
+                        })
+                        .expect("non-empty blocked list");
+                    let clock = st.clock;
+                    // The Aborted event goes in *before* the unwind so that
+                    // poison events emitted by drop guards follow it.
+                    st.trace.push(clock, victim, EventKind::Aborted);
+                    st.recovered.push(victim);
+                    let victim_baton = Arc::clone(&st.procs[victim.index()].baton);
+                    drop(st);
+                    // The victim is blocked in `obey(baton.take())`; while it
+                    // unwinds it is the only executing process, exactly as in
+                    // the kill hand-shake above.
+                    victim_baton.put(Go::Abort);
+                    match shared.sched_baton.take() {
+                        Report::Aborted => {}
+                        Report::Panicked { message } => {
+                            let mut st = shared.state.lock();
+                            st.procs[victim.index()].status = ProcessStatus::Panicked {
+                                message: message.clone(),
+                            };
+                            drop(st);
+                            shutdown(&shared);
+                            let mut st = shared.state.lock();
+                            let report = snapshot(&mut st);
+                            return Err(SimError {
+                                kind: SimErrorKind::ProcessPanicked {
+                                    pid: victim,
+                                    message,
+                                },
+                                report: Box::new(report),
+                            });
+                        }
+                        _ => unreachable!("abort unwind reports Aborted or Panicked"),
+                    }
+                    let mut st = shared.state.lock();
+                    // Cancelled, not Killed: an abort is a recovery action,
+                    // not a crash. The thread has exited; shutdown joins it.
+                    st.procs[victim.index()].status = ProcessStatus::Cancelled;
+                    st.procs[victim.index()].wait_started = None;
+                    continue;
+                }
                 error = if blocked.is_empty() {
                     None // Only daemons (or nothing) remain: clean completion.
                 } else {
@@ -426,6 +560,45 @@ pub(crate) fn run_kernel(
             st.step += 1;
             st.running = Some(next);
             st.procs[next.index()].status = ProcessStatus::Running;
+            // Starvation watchdog: a dispatch means *somebody* is making
+            // progress; any non-daemon still blocked whose current wait
+            // episode is older than the bound has been bypassed that whole
+            // time. Flag it (once per episode) — detection, not recovery.
+            if let Some(bound) = cfg.starvation_bound {
+                let clock = st.clock;
+                let mut flagged = Vec::new();
+                for (i, p) in st.procs.iter_mut().enumerate() {
+                    if p.daemon
+                        || p.starvation_flagged
+                        || !matches!(p.status, ProcessStatus::Blocked { .. })
+                    {
+                        continue;
+                    }
+                    let Some((reason, since)) = p.wait_started.clone() else {
+                        continue;
+                    };
+                    let age = clock.0 - since.0;
+                    if age > bound {
+                        p.starvation_flagged = true;
+                        flagged.push(StarvationFlag {
+                            pid: Pid(i as u32),
+                            name: p.name.clone(),
+                            reason,
+                            since,
+                            flagged_at: clock,
+                            age,
+                        });
+                    }
+                }
+                for flag in flagged {
+                    st.trace.push(
+                        clock,
+                        flag.pid,
+                        EventKind::StarvationFlagged { age: flag.age },
+                    );
+                    st.starvation.push(flag);
+                }
+            }
             if st.record_sched_events {
                 let clock = st.clock;
                 st.trace.push(clock, next, EventKind::Scheduled);
@@ -483,7 +656,7 @@ pub(crate) fn run_kernel(
                     let report = snapshot(&mut st);
                     return Err(SimError {
                         kind: SimErrorKind::ProcessPanicked { pid: next, message },
-                        report,
+                        report: Box::new(report),
                     });
                 }
                 _ => unreachable!("kill unwind reports Killed or Panicked"),
@@ -495,7 +668,10 @@ pub(crate) fn run_kernel(
         }
         match report {
             Report::Yielded => {
-                st.procs[next.index()].status = ProcessStatus::Ready;
+                let slot = &mut st.procs[next.index()];
+                slot.status = ProcessStatus::Ready;
+                slot.wait_started = None;
+                slot.starvation_flagged = false;
                 st.ready.push(next);
                 if st.record_sched_events {
                     st.trace.push(clock, next, EventKind::Yielded);
@@ -505,6 +681,16 @@ pub(crate) fn run_kernel(
                 // The Blocked trace event was already pushed by Ctx::park so
                 // that it is ordered before any subsequent unpark.
                 let slot = &mut st.procs[next.index()];
+                // Watchdog bookkeeping: re-parking on the same reason (a
+                // re-contend or recheck loop) continues the current wait
+                // episode; anything else starts a fresh one.
+                match &slot.wait_started {
+                    Some((r, _)) if *r == reason => {}
+                    _ => {
+                        slot.wait_started = Some((reason.clone(), clock));
+                        slot.starvation_flagged = false;
+                    }
+                }
                 slot.status = ProcessStatus::Blocked { reason };
                 slot.park_token += 1;
                 slot.timed_out = false;
@@ -524,6 +710,13 @@ pub(crate) fn run_kernel(
             Report::ParkedTimeout { reason, ticks } => {
                 let until = clock.plus(ticks);
                 let slot = &mut st.procs[next.index()];
+                match &slot.wait_started {
+                    Some((r, _)) if *r == reason => {}
+                    _ => {
+                        slot.wait_started = Some((reason.clone(), clock));
+                        slot.starvation_flagged = false;
+                    }
+                }
                 slot.status = ProcessStatus::Blocked { reason };
                 slot.park_token += 1;
                 slot.timed_out = false;
@@ -539,7 +732,10 @@ pub(crate) fn run_kernel(
             }
             Report::Slept { ticks } => {
                 let until = clock.plus(ticks);
-                st.procs[next.index()].status = ProcessStatus::Sleeping { until };
+                let slot = &mut st.procs[next.index()];
+                slot.wait_started = None;
+                slot.starvation_flagged = false;
+                slot.status = ProcessStatus::Sleeping { until };
                 let tiebreak = st.timer_tiebreak;
                 st.timer_tiebreak += 1;
                 st.timers
@@ -549,7 +745,9 @@ pub(crate) fn run_kernel(
                 }
             }
             Report::Finished => {
-                st.procs[next.index()].status = ProcessStatus::Finished;
+                let slot = &mut st.procs[next.index()];
+                slot.wait_started = None;
+                slot.status = ProcessStatus::Finished;
                 if st.record_sched_events {
                     st.trace.push(clock, next, EventKind::Finished);
                 }
@@ -564,21 +762,45 @@ pub(crate) fn run_kernel(
                 let report = snapshot(&mut st);
                 return Err(SimError {
                     kind: SimErrorKind::ProcessPanicked { pid: next, message },
-                    report,
+                    report: Box::new(report),
                 });
             }
             // Only ever sent in response to Go::Kill, which the kill path
             // above consumes directly.
             Report::Killed => unreachable!("Killed report outside a kill hand-shake"),
+            // Only ever sent in response to Go::Abort, which the deadlock
+            // recovery path in phase 1 consumes directly.
+            Report::Aborted => unreachable!("Aborted report outside an abort hand-shake"),
         }
     }
 
     shutdown(&shared);
+    // Queue hygiene (the `park_timeout` stale-registration footgun): by
+    // now every registration must be gone — removed by a wake, by timeout
+    // self-removal, or by an unwind guard when shutdown cancelled a still-
+    // parked process. A leftover entry means some timed wait path returned
+    // without deregistering and the corpse would absorb a future grant.
+    // Checked on every non-panicked exit (clean, deadlock, max-steps); the
+    // panic paths return early above since their guards may not have run.
+    #[cfg(debug_assertions)]
+    for cell in shared.queues.lock().iter() {
+        let waiters = cell.waiters.lock();
+        assert!(
+            waiters.is_empty(),
+            "wait queue '{}' still holds {:?} at end of run: \
+             a timed wait path leaked a stale registration",
+            cell.name,
+            waiters.iter().map(|w| w.pid).collect::<Vec<_>>(),
+        );
+    }
     let mut st = shared.state.lock();
     let report = snapshot(&mut st);
     match error {
         None => Ok(report),
-        Some(kind) => Err(SimError { kind, report }),
+        Some(kind) => Err(SimError {
+            kind,
+            report: Box::new(report),
+        }),
     }
 }
 

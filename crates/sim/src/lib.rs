@@ -79,9 +79,9 @@ pub use ctx::Ctx;
 pub use error::{SimError, SimErrorKind};
 pub use explore::{ExploreStats, Explorer};
 pub use fault::{DelaySpec, FaultPlan, KillSpec, Poisoned, SpuriousSpec};
-pub use kernel::{ProcessStatus, ProcessSummary, SimReport};
+pub use kernel::{ProcessStatus, ProcessSummary, SimReport, StarvationFlag};
 pub use policy::{FifoPolicy, LifoPolicy, RandomPolicy, ReplayPolicy, SchedPolicy};
 pub use sim::{Sim, SimConfig};
 pub use trace::{Decision, Event, EventKind, Trace};
-pub use types::{Pid, Time};
+pub use types::{Deadline, Pid, Time};
 pub use waitq::WaitQueue;

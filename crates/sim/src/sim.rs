@@ -20,6 +20,22 @@ pub struct SimConfig {
     /// Deterministic faults to inject (kills, spurious wakes, delayed
     /// wakes). Empty by default. Fault events are always recorded.
     pub faults: FaultPlan,
+    /// Starvation watchdog bound, in quanta. When set, any non-daemon whose
+    /// current wait episode (consecutive parks on the same reason) is older
+    /// than the bound while other processes are still being dispatched is
+    /// flagged in the trace and in [`crate::SimReport::starvation`].
+    /// Detection only — the flagged process keeps waiting. `None` (the
+    /// default) disables the watchdog.
+    pub starvation_bound: Option<u64>,
+    /// When enabled, a detected deadlock aborts one victim (the most
+    /// recently blocked non-daemon) through the kill-unwind machinery
+    /// instead of failing the run: RAII guards roll the victim's
+    /// registrations back, the victim ends as
+    /// [`crate::ProcessStatus::Cancelled`], and the survivors continue.
+    /// Victims are listed in [`crate::SimReport::recovered`]. Disabled by
+    /// default: a deadlock fails the run with
+    /// [`crate::SimErrorKind::Deadlock`].
+    pub deadlock_recovery: bool,
 }
 
 impl Default for SimConfig {
@@ -28,6 +44,8 @@ impl Default for SimConfig {
             max_steps: 2_000_000,
             record_sched_events: true,
             faults: FaultPlan::new(),
+            starvation_bound: None,
+            deadlock_recovery: false,
         }
     }
 }
@@ -74,6 +92,19 @@ impl Sim {
     pub fn set_fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
         self.config.faults = plan.clone();
         self.shared.state.lock().faults = FaultRuntime::new(plan);
+        self
+    }
+
+    /// Enables the starvation watchdog with the given age bound (see
+    /// [`SimConfig::starvation_bound`]).
+    pub fn set_starvation_bound(&mut self, bound: u64) -> &mut Self {
+        self.config.starvation_bound = Some(bound);
+        self
+    }
+
+    /// Enables deadlock recovery (see [`SimConfig::deadlock_recovery`]).
+    pub fn enable_deadlock_recovery(&mut self) -> &mut Self {
+        self.config.deadlock_recovery = true;
         self
     }
 

@@ -30,6 +30,14 @@ pub enum EventKind {
     /// A fault-plan kill-point fired: the process unwinds and never
     /// resumes. Poison events emitted by its drop guards follow this event.
     Killed,
+    /// Deadlock recovery aborted the process (the chosen victim): it
+    /// unwinds and never resumes, classified as cancelled rather than
+    /// crashed. Poison events emitted by its drop guards follow this event.
+    Aborted,
+    /// The kernel starvation watchdog flagged the process: it had been
+    /// waiting `age` quanta — longer than the configured bound — while
+    /// other processes kept making progress.
+    StarvationFlagged { age: u64 },
     /// A fault-plan spurious wake made the process runnable with no
     /// matching unpark ([`crate::Ctx::park`] absorbs it by re-parking).
     SpuriousWake,
@@ -72,6 +80,10 @@ impl fmt::Display for Event {
             EventKind::TimerFired => write!(f, "timer fired"),
             EventKind::Finished => write!(f, "finished"),
             EventKind::Killed => write!(f, "killed (fault injection)"),
+            EventKind::Aborted => write!(f, "aborted (deadlock recovery)"),
+            EventKind::StarvationFlagged { age } => {
+                write!(f, "starvation watchdog flagged (waiting {age} quanta)")
+            }
             EventKind::SpuriousWake => write!(f, "spurious wake (fault injection)"),
             EventKind::DelayedWake { until } => {
                 write!(f, "wake delayed until {until} (fault injection)")

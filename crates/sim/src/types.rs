@@ -49,6 +49,54 @@ impl fmt::Display for Time {
     }
 }
 
+/// An absolute virtual-time deadline.
+///
+/// Timed waits throughout the mechanism crates accept either a relative
+/// tick count or a `Deadline`; the deadline form composes across nested
+/// calls (each layer re-computes the *remaining* budget instead of
+/// restarting the clock). A deadline is just a point on the virtual
+/// clock, so it is deterministic and replayable like everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Deadline(pub Time);
+
+impl Deadline {
+    /// A deadline at the given absolute virtual time.
+    pub fn at(time: Time) -> Deadline {
+        Deadline(time)
+    }
+
+    /// A deadline `ticks` quanta after `now`.
+    pub fn after(now: Time, ticks: u64) -> Deadline {
+        Deadline(now.plus(ticks))
+    }
+
+    /// The absolute virtual time of this deadline.
+    pub fn time(self) -> Time {
+        self.0
+    }
+
+    /// Whether the deadline has passed (inclusive: a deadline *at* `now`
+    /// is expired — there is no budget left to wait with).
+    pub fn expired(self, now: Time) -> bool {
+        now >= self.0
+    }
+
+    /// Ticks left until the deadline, or `None` if it has expired.
+    pub fn remaining(self, now: Time) -> Option<u64> {
+        if self.expired(now) {
+            None
+        } else {
+            Some(self.0 .0 - now.0)
+        }
+    }
+}
+
+impl fmt::Display for Deadline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "by {}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,36 +11,66 @@
 //! processes — there is no lost-wakeup window to defend against.
 
 use crate::ctx::Ctx;
-use crate::types::Pid;
+use crate::kernel::Shared;
+use crate::types::{Deadline, Pid};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::{Arc, Weak};
 
 #[derive(Debug, Clone, Copy)]
-struct Waiter {
-    pid: Pid,
+pub(crate) struct Waiter {
+    pub(crate) pid: Pid,
     ticket: u64,
     priority: i64,
+}
+
+/// The shareable interior of a [`WaitQueue`]: the kernel keeps a second
+/// handle to every queue that has ever held a waiter, so it can assert at
+/// the end of a run that no stale registration was leaked by a timed wait
+/// path (see `run_kernel`'s queue-hygiene check).
+#[derive(Debug)]
+pub(crate) struct QueueCell {
+    pub(crate) name: String,
+    pub(crate) waiters: Mutex<VecDeque<Waiter>>,
 }
 
 /// An ordered queue of parked processes.
 #[derive(Debug)]
 pub struct WaitQueue {
-    name: String,
-    waiters: Mutex<VecDeque<Waiter>>,
+    cell: Arc<QueueCell>,
+    /// The kernel this queue last registered with (for the end-of-run
+    /// hygiene check); re-bound lazily on enqueue, so one queue object can
+    /// be reused across simulations.
+    bound: Mutex<Weak<Shared>>,
 }
 
 impl WaitQueue {
     /// Creates an empty queue; `name` appears in traces and deadlock reports.
     pub fn new(name: &str) -> Self {
         WaitQueue {
-            name: name.to_string(),
-            waiters: Mutex::new(VecDeque::new()),
+            cell: Arc::new(QueueCell {
+                name: name.to_string(),
+                waiters: Mutex::new(VecDeque::new()),
+            }),
+            bound: Mutex::new(Weak::new()),
         }
     }
 
     /// The queue's diagnostic name.
     pub fn name(&self) -> &str {
-        &self.name
+        &self.cell.name
+    }
+
+    /// Registers this queue's cell with the calling process's kernel (once
+    /// per simulation), so the end-of-run hygiene assertion sees it.
+    fn bind(&self, ctx: &Ctx) {
+        let shared = ctx.shared();
+        let mut bound = self.bound.lock();
+        if Weak::as_ptr(&bound) == Arc::as_ptr(shared) {
+            return;
+        }
+        *bound = Arc::downgrade(shared);
+        shared.queues.lock().push(Arc::clone(&self.cell));
     }
 
     /// Parks the calling process at the back of the queue (FIFO order).
@@ -57,7 +87,7 @@ impl WaitQueue {
     pub fn wait_priority(&self, ctx: &Ctx, priority: i64) {
         self.enqueue_current(ctx, priority);
         let cleanup = DequeueOnUnwind { queue: self, ctx };
-        ctx.park(&self.name);
+        ctx.park(self.name());
         std::mem::forget(cleanup);
     }
 
@@ -69,8 +99,9 @@ impl WaitQueue {
     /// is atomic with the enqueue, which is exactly what monitor `wait`
     /// needs: enqueue on the condition, release possession, park.
     pub fn enqueue_current(&self, ctx: &Ctx, priority: i64) {
+        self.bind(ctx);
         let ticket = ctx.fresh_ticket();
-        let mut q = self.waiters.lock();
+        let mut q = self.cell.waiters.lock();
         let at = q
             .iter()
             .position(|w| (w.priority, w.ticket) > (priority, ticket))
@@ -92,7 +123,7 @@ impl WaitQueue {
     /// wasted on a waiter that has given up.
     pub fn wake_one(&self, ctx: &Ctx) -> Option<Pid> {
         loop {
-            let waiter = self.waiters.lock().pop_front()?;
+            let waiter = self.cell.waiters.lock().pop_front()?;
             if ctx.try_unpark(waiter.pid) {
                 return Some(waiter.pid);
             }
@@ -102,7 +133,7 @@ impl WaitQueue {
 
     /// Wakes every waiter (in queue order) and returns how many were woken.
     pub fn wake_all(&self, ctx: &Ctx) -> usize {
-        let drained: Vec<Waiter> = self.waiters.lock().drain(..).collect();
+        let drained: Vec<Waiter> = self.cell.waiters.lock().drain(..).collect();
         drained.iter().filter(|w| ctx.try_unpark(w.pid)).count()
     }
 
@@ -110,7 +141,7 @@ impl WaitQueue {
     /// woken (a stale timed-out entry is removed but not counted).
     pub fn wake_pid(&self, ctx: &Ctx, pid: Pid) -> bool {
         let removed = {
-            let mut q = self.waiters.lock();
+            let mut q = self.cell.waiters.lock();
             match q.iter().position(|w| w.pid == pid) {
                 Some(at) => {
                     q.remove(at);
@@ -126,12 +157,12 @@ impl WaitQueue {
     /// caller becomes responsible for eventually unparking the process
     /// (used by deferred hand-offs such as signal-and-exit monitors).
     pub fn take_front(&self) -> Option<Pid> {
-        self.waiters.lock().pop_front().map(|w| w.pid)
+        self.cell.waiters.lock().pop_front().map(|w| w.pid)
     }
 
     /// Removes the calling process's own entry (timeout cleanup).
     pub fn remove_current(&self, ctx: &Ctx) {
-        self.waiters.lock().retain(|w| w.pid != ctx.pid());
+        self.cell.waiters.lock().retain(|w| w.pid != ctx.pid());
     }
 
     /// Parks the calling process at the back of the queue for at most
@@ -141,7 +172,7 @@ impl WaitQueue {
     pub fn wait_timeout(&self, ctx: &Ctx, ticks: u64) -> bool {
         self.enqueue_current(ctx, 0);
         let cleanup = DequeueOnUnwind { queue: self, ctx };
-        let woken = ctx.park_timeout(&self.name, ticks);
+        let woken = ctx.park_timeout(self.name(), ticks);
         std::mem::forget(cleanup);
         if !woken {
             // A waker may have skipped past our stale entry already; the
@@ -151,33 +182,43 @@ impl WaitQueue {
         woken
     }
 
+    /// Parks the calling process at the back of the queue until woken or
+    /// until `deadline`. Returns `true` if woken, `false` on timeout; an
+    /// already-expired deadline fails immediately without parking.
+    pub fn wait_deadline(&self, ctx: &Ctx, deadline: Deadline) -> bool {
+        match deadline.remaining(ctx.now()) {
+            None => false,
+            Some(ticks) => self.wait_timeout(ctx, ticks),
+        }
+    }
+
     /// Number of processes currently waiting.
     pub fn len(&self) -> usize {
-        self.waiters.lock().len()
+        self.cell.waiters.lock().len()
     }
 
     /// Whether the queue has no waiters. This is Hoare's *condition queue
     /// interrogation* (`nonempty`/`queue` in the monitor paper).
     pub fn is_empty(&self) -> bool {
-        self.waiters.lock().is_empty()
+        self.cell.waiters.lock().is_empty()
     }
 
     /// Priority of the frontmost waiter, if any (Hoare's `minrank`, used by
     /// the disk-scheduler and alarm-clock monitors).
     pub fn min_priority(&self) -> Option<i64> {
-        self.waiters.lock().front().map(|w| w.priority)
+        self.cell.waiters.lock().front().map(|w| w.priority)
     }
 
     /// The frontmost waiter's pid without waking it.
     pub fn front(&self) -> Option<Pid> {
-        self.waiters.lock().front().map(|w| w.pid)
+        self.cell.waiters.lock().front().map(|w| w.pid)
     }
 
     /// Arrival ticket of the frontmost waiter, if any. Lower tickets arrived
     /// earlier; mechanisms use this for longest-waiting selection across
     /// several queues.
     pub fn front_ticket(&self) -> Option<u64> {
-        self.waiters.lock().front().map(|w| w.ticket)
+        self.cell.waiters.lock().front().map(|w| w.ticket)
     }
 }
 

@@ -202,6 +202,134 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Timed acquisition (R2): withdrawal leaves the primitives consistent
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Whatever the schedule, fairness, patience and retry budget, a
+    /// timed-out P withdraws without consuming or leaking anything:
+    /// mutual exclusion holds throughout and the permit survives the run.
+    #[test]
+    fn timed_semaphore_survives_withdrawals(
+        strong in any::<bool>(),
+        contenders in 2usize..6,
+        patience in 1u64..8,
+        attempts in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use bloom_semaphore::{Fairness, Semaphore, TryResult};
+        use bloom_sim::{RandomPolicy, Sim};
+        use std::sync::Arc;
+
+        let fairness = if strong { Fairness::Strong } else { Fairness::Weak };
+        let mut sim = Sim::new();
+        sim.set_policy(RandomPolicy::new(seed));
+        let sem = Arc::new(Semaphore::new("res", 1, fairness));
+        // (current holders, max holders, total served)
+        let occupancy = Arc::new(parking_lot::Mutex::new((0u32, 0u32, 0u32)));
+        for i in 0..contenders {
+            let sem = Arc::clone(&sem);
+            let occupancy = Arc::clone(&occupancy);
+            sim.spawn(&format!("c{i}"), move |ctx| {
+                for _ in 0..attempts {
+                    if sem.p_timeout(ctx, patience) == TryResult::Acquired {
+                        {
+                            let mut o = occupancy.lock();
+                            o.0 += 1;
+                            o.1 = o.1.max(o.0);
+                            o.2 += 1;
+                        }
+                        ctx.yield_now();
+                        occupancy.lock().0 -= 1;
+                        sem.v(ctx);
+                        return;
+                    }
+                }
+            });
+        }
+        sim.run().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let (current, max, served) = *occupancy.lock();
+        prop_assert_eq!(current, 0);
+        prop_assert!(max <= 1, "exclusion violated");
+        prop_assert!(served >= 1, "the first contender finds the permit free");
+        prop_assert!(sem.try_p(), "a withdrawal leaked the permit");
+    }
+
+    /// Whatever the schedule, signalling discipline and patience, timed
+    /// condition waits withdraw cleanly: each timeout re-acquires
+    /// possession before returning, the busy-flag protocol never admits
+    /// two holders, and the flag ends clear.
+    #[test]
+    fn timed_monitor_wait_survives_withdrawals(
+        hoare in any::<bool>(),
+        contenders in 2usize..6,
+        patience in 1u64..8,
+        attempts in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        use bloom_monitor::{Cond, Monitor, Signaling};
+        use bloom_sim::{RandomPolicy, Sim};
+        use std::sync::Arc;
+
+        let signaling = if hoare { Signaling::Hoare } else { Signaling::SignalAndContinue };
+        let mut sim = Sim::new();
+        sim.set_policy(RandomPolicy::new(seed));
+        let mon = Arc::new(Monitor::new("m", signaling, false));
+        let free = Arc::new(Cond::new("free"));
+        let occupancy = Arc::new(parking_lot::Mutex::new((0u32, 0u32, 0u32)));
+        for i in 0..contenders {
+            let mon = Arc::clone(&mon);
+            let free = Arc::clone(&free);
+            let occupancy = Arc::clone(&occupancy);
+            sim.spawn(&format!("c{i}"), move |ctx| {
+                let claimed = mon.enter(ctx, |mc| {
+                    let mut budget = attempts;
+                    while mc.state(|busy| *busy) {
+                        if budget == 0 {
+                            return false;
+                        }
+                        budget -= 1;
+                        // A `false` return means the wait timed out; either
+                        // way possession is ours again here.
+                        let _ = mc.wait_timeout(&free, patience);
+                    }
+                    mc.state(|busy| *busy = true);
+                    true
+                });
+                if claimed {
+                    {
+                        let mut o = occupancy.lock();
+                        o.0 += 1;
+                        o.1 = o.1.max(o.0);
+                        o.2 += 1;
+                    }
+                    ctx.yield_now();
+                    occupancy.lock().0 -= 1;
+                    mon.enter(ctx, |mc| {
+                        mc.state(|busy| *busy = false);
+                        mc.signal(&free);
+                    });
+                }
+            });
+        }
+        sim.run().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let (current, max, served) = *occupancy.lock();
+        prop_assert_eq!(current, 0);
+        prop_assert!(max <= 1, "exclusion violated");
+        prop_assert!(served >= 1, "the first contender finds the flag clear");
+        // The flag ends clear: a fresh probe claims it without waiting.
+        let mut probe = Sim::new();
+        let mon2 = Arc::clone(&mon);
+        probe.spawn("probe", move |ctx| {
+            mon2.enter(ctx, |mc| assert!(mc.state(|busy| !*busy), "flag left set"));
+        });
+        probe.run().map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // CSP channel properties
 // ---------------------------------------------------------------------------
 

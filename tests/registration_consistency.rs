@@ -1,0 +1,42 @@
+//! Guards the workspace convention that root-level `tests/` and
+//! `examples/` are targets of the `bloom-bench` crate: every `*.rs` file
+//! in those directories must have a matching `[[test]]`/`[[example]]`
+//! entry in `crates/bench/Cargo.toml`, or cargo silently never builds or
+//! runs it.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Stems of `*.rs` files directly under `dir` (no recursion — neither
+/// directory nests).
+fn rs_stems(dir: &Path) -> BTreeSet<String> {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .map(|entry| entry.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .map(|p| p.file_stem().unwrap().to_str().unwrap().to_string())
+        .collect()
+}
+
+/// Every stem must appear in the manifest as `path = ".../{kind}/<stem>.rs"`.
+fn assert_registered(manifest: &str, repo_root: &Path, kind: &str) {
+    let missing: Vec<String> = rs_stems(&repo_root.join(kind))
+        .into_iter()
+        .filter(|stem| !manifest.contains(&format!("path = \"../../{kind}/{stem}.rs\"")))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "root {kind}/ files not registered in crates/bench/Cargo.toml \
+         (add a [[{}]] entry per CLAUDE.md): {missing:?}",
+        kind.trim_end_matches('s'),
+    );
+}
+
+#[test]
+fn every_root_test_and_example_is_registered() {
+    let bench_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let repo_root = bench_dir.parent().unwrap().parent().unwrap();
+    let manifest = std::fs::read_to_string(bench_dir.join("Cargo.toml")).expect("bench manifest");
+    assert_registered(&manifest, repo_root, "tests");
+    assert_registered(&manifest, repo_root, "examples");
+}
