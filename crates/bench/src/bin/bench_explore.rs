@@ -1,0 +1,194 @@
+//! Exploration throughput baseline: serial [`Explorer`] vs the
+//! work-sharing [`ParallelExplorer`] at 1/2/4/8 workers, over two real
+//! schedule trees, plus the equivalence prune's effect on a
+//! stutter-heavy tree. Writes `BENCH_explore.json` at the repo root
+//! (archived in EXPERIMENTS.md §E1).
+//!
+//! ```text
+//! cargo run --release -p bloom-bench --bin bench_explore
+//! ```
+//!
+//! Wall-clock measurement is deliberately confined to this binary — the
+//! deterministic report (`report.rs`) must stay machine-independent; this
+//! artifact, like the criterion benches, is a measurement and says so.
+
+use bloom_core::MechanismId;
+use bloom_problems::liveness::{deadlock_recovery_sim, LiveMechanism};
+use bloom_problems::rw::{self, RwVariant};
+use bloom_sim::{Explorer, ParallelExplorer, Sim};
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The experiment-R2 dining-philosophers recovery tree: contested forks,
+/// deadlock detection, and kernel victim-abort on many schedules.
+fn recovery_tree() -> Sim {
+    deadlock_recovery_sim(LiveMechanism::SemaphoreStrong)
+}
+
+/// The footnote-3 anomaly tree (two writers, one reader, Figure-1 paths):
+/// the F1a report section's workload.
+fn anomaly_tree() -> Sim {
+    let mut sim = Sim::new();
+    let db = rw::make(MechanismId::PathV1, RwVariant::ReadersPriority);
+    for i in 0..2 {
+        let db = Arc::clone(&db);
+        sim.spawn(&format!("writer{i}"), move |ctx| {
+            db.write(ctx, &mut || ctx.yield_now());
+        });
+    }
+    let db2 = Arc::clone(&db);
+    sim.spawn("reader", move |ctx| {
+        db2.read(ctx, &mut || ctx.yield_now());
+    });
+    sim
+}
+
+/// Stutter-heavy dining scenario for the prune measurement: extra bare
+/// yields between fork operations create pure quanta whose sibling
+/// subtrees the sleep-set prune can discard.
+fn dining_tree(n: usize) -> Sim {
+    let mut sim = Sim::new();
+    let forks: Vec<Arc<bloom_semaphore::Semaphore>> = (0..n)
+        .map(|i| Arc::new(bloom_semaphore::Semaphore::strong(&format!("fork{i}"), 1)))
+        .collect();
+    for i in 0..n {
+        let (a, b) = (i, (i + 1) % n);
+        let (a, b) = (a.min(b), a.max(b));
+        let first = Arc::clone(&forks[a]);
+        let second = Arc::clone(&forks[b]);
+        sim.spawn(&format!("philosopher{i}"), move |ctx| {
+            first.p(ctx);
+            ctx.yield_now();
+            ctx.yield_now();
+            second.p(ctx);
+            second.v(ctx);
+            first.v(ctx);
+        });
+    }
+    sim
+}
+
+struct Measurement {
+    schedules: usize,
+    secs: f64,
+}
+
+fn time_serial(iters: usize, setup: impl Fn() -> Sim) -> Measurement {
+    let start = Instant::now();
+    let mut schedules = 0;
+    for _ in 0..iters {
+        let mut errors = 0usize;
+        let stats = Explorer::new(usize::MAX).run(&setup, |_, result| {
+            errors += usize::from(result.is_err());
+        });
+        assert!(stats.complete);
+        std::hint::black_box(errors);
+        schedules = stats.schedules;
+    }
+    Measurement {
+        schedules,
+        secs: start.elapsed().as_secs_f64() / iters as f64,
+    }
+}
+
+fn time_parallel(iters: usize, threads: usize, setup: impl Fn() -> Sim + Sync) -> Measurement {
+    let start = Instant::now();
+    let mut schedules = 0;
+    for _ in 0..iters {
+        let (journal, stats) = ParallelExplorer::new(usize::MAX)
+            .threads(threads)
+            .run(&setup, |_, result| result.is_err());
+        assert!(stats.complete);
+        std::hint::black_box(journal.iter().filter(|r| r.value).count());
+        schedules = journal.len();
+    }
+    Measurement {
+        schedules,
+        secs: start.elapsed().as_secs_f64() / iters as f64,
+    }
+}
+
+fn bench_tree(name: &str, iters: usize, setup: impl Fn() -> Sim + Sync) -> String {
+    let serial = time_serial(iters, &setup);
+    eprintln!(
+        "{name}: serial {} schedules in {:.3}s ({:.0}/s)",
+        serial.schedules,
+        serial.secs,
+        serial.schedules as f64 / serial.secs
+    );
+    let mut parallel_entries = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let m = time_parallel(iters, threads, &setup);
+        assert_eq!(
+            m.schedules, serial.schedules,
+            "{name}: parallel schedule count diverged at {threads} threads"
+        );
+        let speedup = serial.secs / m.secs;
+        eprintln!(
+            "{name}: {threads} thread(s) {:.3}s ({:.0}/s, {speedup:.2}x)",
+            m.secs,
+            m.schedules as f64 / m.secs
+        );
+        parallel_entries.push(format!(
+            "{{ \"threads\": {threads}, \"schedules\": {}, \"secs\": {:.6}, \
+             \"schedules_per_sec\": {:.0}, \"speedup\": {speedup:.2} }}",
+            m.schedules,
+            m.secs,
+            m.schedules as f64 / m.secs
+        ));
+    }
+    format!(
+        "{{\n      \"name\": \"{name}\",\n      \"schedules\": {},\n      \
+         \"serial\": {{ \"secs\": {:.6}, \"schedules_per_sec\": {:.0} }},\n      \
+         \"parallel\": [\n        {}\n      ]\n    }}",
+        serial.schedules,
+        serial.secs,
+        serial.schedules as f64 / serial.secs,
+        parallel_entries.join(",\n        ")
+    )
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("host: {cores} core(s) available");
+    let trees = [
+        bench_tree("liveness-recovery", 20, recovery_tree),
+        bench_tree("anomaly", 100, anomaly_tree),
+    ];
+
+    // Prune measurement: the same stutter-heavy tree with and without the
+    // equivalence prune, serial and 4-thread parallel agreeing exactly.
+    let full = time_serial(3, || dining_tree(3));
+    let (pruned_schedules, pruned_count) = {
+        let stats = Explorer::new(usize::MAX)
+            .with_pruning()
+            .run(|| dining_tree(3), |_, _| {});
+        assert!(stats.complete);
+        (stats.schedules, stats.pruned)
+    };
+    let (pjournal, pstats) = ParallelExplorer::new(usize::MAX)
+        .threads(4)
+        .with_pruning()
+        .run(|| dining_tree(3), |_, _| ());
+    assert_eq!(pjournal.len(), pruned_schedules);
+    assert_eq!(pstats.pruned, pruned_count);
+    eprintln!(
+        "pruning(dining-strong-3): {} full schedules, {} after prune ({} subtrees cut)",
+        full.schedules, pruned_schedules, pruned_count
+    );
+
+    let json = format!(
+        "{{\n  \"host_cores\": {cores},\n  \"trees\": [\n    {}\n  ],\n  \"pruning\": {{\n    \
+         \"tree\": \"dining-strong-3\",\n    \"full_schedules\": {},\n    \
+         \"pruned_schedules\": {},\n    \"pruned_subtrees\": {}\n  }}\n}}\n",
+        trees.join(",\n    "),
+        full.schedules,
+        pruned_schedules,
+        pruned_count
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    std::fs::write(path, &json).expect("write BENCH_explore.json");
+    println!("{json}");
+}

@@ -47,7 +47,7 @@ use bloom_problems::liveness::{
 };
 use bloom_problems::registry::{all_descs, derived_ratings};
 use bloom_problems::rw::{self, RwVariant};
-use bloom_sim::{Explorer, Sim};
+use bloom_sim::{ParallelExplorer, Sim};
 use std::sync::Arc;
 
 /// T2: catalog coverage and the minimal evaluation set.
@@ -171,12 +171,12 @@ pub struct AnomalyStats {
 }
 
 /// Exhaustively explores the footnote-3 scenario for one mechanism.
+///
+/// Runs on the work-sharing [`ParallelExplorer`] — the per-schedule counts
+/// are thread-count-independent by construction, so the report text stays
+/// machine-independent.
 pub fn explore_anomaly(mech: MechanismId) -> AnomalyStats {
-    let mut stats = AnomalyStats {
-        schedules: 0,
-        violations: 0,
-    };
-    Explorer::new(500_000).run(
+    let (journal, _) = ParallelExplorer::new(500_000).threads(4).run(
         || {
             let mut sim = Sim::new();
             let db = rw::make(mech, RwVariant::ReadersPriority);
@@ -193,16 +193,18 @@ pub fn explore_anomaly(mech: MechanismId) -> AnomalyStats {
             sim
         },
         |_, result| {
-            stats.schedules += 1;
             if let Ok(report) = result {
                 let events = extract(&report.trace);
-                if !check_priority_over(&events, "read", "write").is_empty() {
-                    stats.violations += 1;
-                }
+                !check_priority_over(&events, "read", "write").is_empty()
+            } else {
+                false
             }
         },
     );
-    stats
+    AnomalyStats {
+        schedules: journal.len(),
+        violations: journal.iter().filter(|r| r.value).count(),
+    }
 }
 
 /// F1a: the footnote-3 anomaly, quantified by exhaustive exploration.

@@ -286,12 +286,17 @@ impl<S: Send> Monitor<S> {
 
     /// Clones the poison verdict, recording the observation in the trace.
     fn observe_poison(&self, ctx: &Ctx) -> Option<Poisoned> {
+        // Reads shared state (the poison flag) — and is called at every
+        // post-wake point, so it also marks resumed quanta as impure for
+        // the explorer (see `Ctx::note_sync`).
+        ctx.note_sync();
         let p = self.poisoned.lock().clone()?;
         ctx.emit(&format!("poison-seen:{}", self.name), &[]);
         Some(p)
     }
 
     fn acquire(&self, ctx: &Ctx) {
+        ctx.note_sync();
         let got = {
             let mut busy = self.busy.lock();
             if *busy {
@@ -312,6 +317,7 @@ impl<S: Send> Monitor<S> {
     }
 
     fn release(&self, ctx: &Ctx) {
+        ctx.note_sync();
         // Signal-and-exit: a deferred signal takes effect now, handing
         // possession straight to the signalled process.
         if let Some(pid) = self.pending_handoff.lock().take() {
@@ -402,6 +408,9 @@ impl<S: Send> MonitorCtx<'_, S> {
     /// Panics on re-entrant use (calling `state` inside another `state`
     /// closure, or waiting inside one), which would otherwise deadlock.
     pub fn state<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        // Protected-state access is exactly the kernel-invisible effect
+        // the purity analysis must see.
+        self.ctx.note_sync();
         let mut guard = self
             .monitor
             .state
@@ -571,6 +580,8 @@ impl<S: Send> MonitorCtx<'_, S> {
     /// must leave the body promptly. Mesa and signal-and-exit signallers
     /// never park, so they always return `Ok`.
     pub fn signal_checked(&self, cond: &Cond) -> Result<(), Poisoned> {
+        // The empty-queue probes below are ctx-less and kernel-invisible.
+        self.ctx.note_sync();
         match self.monitor.signaling {
             Signaling::Hoare => {
                 if cond.queue.is_empty() {

@@ -353,6 +353,9 @@ impl PathResource {
         let cleanup = UnblockOnUnwind { res: self, ctx };
         ctx.park(&format!("{}.{}", self.name, op));
         std::mem::forget(cleanup);
+        // The resumed quantum re-reads the machine (grant-vs-poison
+        // disambiguation below), so it must be marked.
+        ctx.note_sync();
         // A granting waker applied our enter effects, recorded our
         // activation, and *removed us from the blocked queue* before
         // unparking. A poison broadcast wakes us still-queued instead.
@@ -498,6 +501,7 @@ impl PathResource {
 
     /// Finishes operation `op` (the second half of [`PathResource::perform`]).
     pub fn finish(&self, ctx: &Ctx, op: &str) {
+        ctx.note_sync();
         {
             let mut m = self.machine.lock();
             let stack = m.open.get_mut(&ctx.pid()).expect("finish without begin");
@@ -518,6 +522,7 @@ impl PathResource {
     }
 
     fn wake_startable(&self, ctx: &Ctx) {
+        ctx.note_sync();
         let woken = self
             .machine
             .lock()
@@ -535,6 +540,10 @@ impl PathResource {
 
     /// Clones the poison verdict, recording the observation in the trace.
     fn observe_poison(&self, ctx: &Ctx) -> Option<Poisoned> {
+        // Reads shared state — and runs at every request entry point, so
+        // it marks those quanta as impure for the explorer (see
+        // `Ctx::note_sync`).
+        ctx.note_sync();
         let p = self.poisoned.lock().clone()?;
         ctx.emit(&format!("poison-seen:{}", self.name), &[]);
         Some(p)

@@ -159,7 +159,7 @@ pub mod dining {
         /// of the ordered solution does.
         #[test]
         fn exhaustive_exploration_quantifies_the_deadlock() {
-            use bloom_sim::Explorer;
+            use bloom_sim::ParallelExplorer;
 
             let naive = |n: usize| {
                 move || {
@@ -181,14 +181,10 @@ pub mod dining {
                     sim
                 }
             };
-            let mut schedules = 0usize;
-            let mut deadlocks = 0usize;
-            let stats = Explorer::new(300_000).run(naive(3), |_, result| {
-                schedules += 1;
-                if result.is_err() {
-                    deadlocks += 1;
-                }
-            });
+            let (journal, stats) =
+                ParallelExplorer::new(300_000).run(naive(3), |_, result| result.is_err());
+            let schedules = journal.len();
+            let deadlocks = journal.iter().filter(|r| r.value).count();
             assert!(stats.complete, "3-philosopher tree fully explored");
             assert!(deadlocks > 0, "the circular wait is reachable");
             assert!(
@@ -221,12 +217,9 @@ pub mod dining {
                 }
                 sim
             };
-            let mut ordered_deadlocks = 0usize;
-            let stats = Explorer::new(300_000).run(ordered, |_, result| {
-                if result.is_err() {
-                    ordered_deadlocks += 1;
-                }
-            });
+            let (journal, stats) =
+                ParallelExplorer::new(300_000).run(ordered, |_, result| result.is_err());
+            let ordered_deadlocks = journal.iter().filter(|r| r.value).count();
             assert!(stats.complete);
             assert_eq!(
                 ordered_deadlocks, 0,

@@ -13,7 +13,7 @@
 
 use bloom_core::{check_crash_containment, check_poison_propagation, classify_crash, CrashOutcome};
 use bloom_problems::faults::{crash_sim, CrashMechanism, CrashProblem, VICTIM};
-use bloom_sim::Explorer;
+use bloom_sim::ParallelExplorer;
 
 const KILL_POINTS: u64 = 6;
 const BUDGET: usize = 20_000;
@@ -24,8 +24,7 @@ const BUDGET: usize = 20_000;
 /// outcome — plus whether the whole tree was covered within `budget`.
 fn explore_journal(mech: CrashMechanism, budget: usize) -> (Vec<String>, bool) {
     let problem = CrashProblem::ReadersWriters;
-    let mut journal = Vec::new();
-    let stats = Explorer::new(budget).run_kill_points(
+    let (records, stats) = ParallelExplorer::new(budget).run_kill_points(
         VICTIM,
         KILL_POINTS,
         || crash_sim(mech, problem),
@@ -49,9 +48,10 @@ fn explore_journal(mech: CrashMechanism, budget: usize) -> (Vec<String>, bool) {
                 "{mech}/{problem} kill point {point}: {protocol:?}"
             );
             let choices: Vec<u32> = decisions.iter().map(|d| d.chosen).collect();
-            journal.push(format!("k{point} {choices:?} {}", classify_crash(result)));
+            format!("k{point} {choices:?} {}", classify_crash(result))
         },
     );
+    let journal = records.into_iter().map(|(_, r)| r.value).collect();
     (journal, stats.complete)
 }
 

@@ -12,7 +12,7 @@
 
 use bloom_core::liveness::{check_recovery_containment, classify_liveness, LivenessOutcome};
 use bloom_problems::liveness::{deadlock_recovery_sim, LiveMechanism};
-use bloom_sim::Explorer;
+use bloom_sim::ParallelExplorer;
 
 const BUDGET: usize = 50_000;
 
@@ -21,8 +21,7 @@ const BUDGET: usize = 50_000;
 /// line per schedule (decision vector, victim count, verdict) plus
 /// whether the tree was exhausted within the budget.
 fn explore_journal(mech: LiveMechanism, budget: usize) -> (Vec<String>, bool) {
-    let mut journal = Vec::new();
-    let stats = Explorer::new(budget).run(
+    let (records, stats) = ParallelExplorer::new(budget).run(
         || deadlock_recovery_sim(mech),
         |decisions, result| {
             let violations = check_recovery_containment(result);
@@ -32,12 +31,10 @@ fn explore_journal(mech: LiveMechanism, budget: usize) -> (Vec<String>, bool) {
                 Err(err) => err.report.recovered.len(),
             };
             let choices: Vec<u32> = decisions.iter().map(|d| d.chosen).collect();
-            journal.push(format!(
-                "{choices:?} v{recovered} {}",
-                classify_liveness(result)
-            ));
+            format!("{choices:?} v{recovered} {}", classify_liveness(result))
         },
     );
+    let journal = records.into_iter().map(|r| r.value).collect();
     (journal, stats.complete)
 }
 

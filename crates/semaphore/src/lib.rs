@@ -107,6 +107,9 @@ impl Semaphore {
     pub fn p(&self, ctx: &Ctx) {
         match self.fairness {
             Fairness::Strong => {
+                // The count is kernel-invisible shared state: mark the
+                // quantum (see `Ctx::note_sync`) before touching it.
+                ctx.note_sync();
                 let available = {
                     let mut count = self.count.lock();
                     if *count > 0 {
@@ -118,11 +121,17 @@ impl Semaphore {
                 };
                 if !available {
                     // The permit will be handed to us directly by `v`
-                    // without touching the count.
+                    // without touching the count — the resumed quantum
+                    // reads no shared state, so it is deliberately *not*
+                    // marked: a pure stutter after a hand-off stays
+                    // prunable for the explorer.
                     self.queue.wait(ctx);
                 }
             }
             Fairness::Weak => loop {
+                // Each re-contention (including the first attempt and
+                // every post-wake retry) reads the shared count.
+                ctx.note_sync();
                 {
                     let mut count = self.count.lock();
                     if *count > 0 {
@@ -158,6 +167,11 @@ impl Semaphore {
     /// if a permit became free in the same instant (hand-off order is
     /// king); a weak waiter re-contends one final time before giving up.
     pub fn p_timeout(&self, ctx: &Ctx, ticks: u64) -> TryResult {
+        // The non-parking fast path below mutates the count without any
+        // kernel-visible operation; the timed paths disable pruning for
+        // the whole run anyway (timers), so the entry mark is what keeps
+        // the fast path honest.
+        ctx.note_sync();
         match self.fairness {
             Fairness::Strong => {
                 if self.try_p() {
@@ -227,6 +241,7 @@ impl Semaphore {
 
     /// Dijkstra's V operation: release a permit.
     pub fn v(&self, ctx: &Ctx) {
+        ctx.note_sync();
         match self.fairness {
             Fairness::Strong => {
                 // Direct hand-off: if anyone waits, the permit never becomes
@@ -367,6 +382,10 @@ impl Lock {
     /// panicking. The body is not entered on a poisoned lock.
     pub fn try_with<R>(&self, ctx: &Ctx, f: impl FnOnce() -> R) -> Result<R, Poisoned> {
         self.sem.p(ctx);
+        // Unlike a bare strong-semaphore hand-off, the quantum resumed
+        // here *does* read shared state (the poison flag), so it must be
+        // marked even though `p` itself leaves the hand-off unmarked.
+        ctx.note_sync();
         if let Some(p) = self.poisoned.lock().clone() {
             ctx.emit(&format!("poison-seen:{}", self.name()), &[]);
             self.sem.v(ctx);

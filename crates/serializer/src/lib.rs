@@ -308,12 +308,16 @@ impl<S: Send> Serializer<S> {
 
     /// Clones the poison verdict, recording the observation in the trace.
     fn observe_poison(&self, ctx: &Ctx) -> Option<Poisoned> {
+        // Reads shared state, and runs at every post-wake point — marks
+        // resumed quanta as impure for the explorer (see `Ctx::note_sync`).
+        ctx.note_sync();
         let p = self.poisoned.lock().clone()?;
         ctx.emit(&format!("poison-seen:{}", self.name), &[]);
         Some(p)
     }
 
     fn acquire(&self, ctx: &Ctx) {
+        ctx.note_sync();
         let got = {
             let mut busy = self.busy.lock();
             if *busy {
@@ -344,6 +348,9 @@ impl<S: Send> Serializer<S> {
     /// (timed-out) waiters. With `me = Some(pid)`, a win by `pid` keeps
     /// possession and returns `true` instead of unparking.
     fn hand_off(&self, ctx: &Ctx, me: Option<Pid>) -> bool {
+        // Guard evaluation reads every queue and crowd — all of it
+        // kernel-invisible shared state.
+        ctx.note_sync();
         loop {
             match self.select_winner(me) {
                 Winner::QueueHead(qi) => {
@@ -530,6 +537,9 @@ impl<S: Send> SerializerCtx<'_, S> {
     ///
     /// Panics on re-entrant use, which would otherwise deadlock.
     pub fn state<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        // Protected-state access is exactly the kernel-invisible effect
+        // the purity analysis must see.
+        self.ctx.note_sync();
         let mut guard = self
             .ser
             .state
@@ -725,6 +735,10 @@ impl<S: Send> SerializerCtx<'_, S> {
         let r = body();
         self.ser.acquire(self.ctx);
         std::mem::forget(cleanup);
+        // `acquire` marks its own quantum before it parks; the membership
+        // removal below runs in the quantum resumed *after* the hand-off,
+        // which must be marked separately.
+        self.ctx.note_sync();
         let mut crowds = self.ser.crowds.lock();
         let members = &mut crowds[crowd.0].members;
         let at = members
@@ -738,6 +752,7 @@ impl<S: Send> SerializerCtx<'_, S> {
     /// Number of members currently in `crowd` (Bloom's *synchronization
     /// state* interrogation).
     pub fn crowd_len(&self, crowd: CrowdId) -> usize {
+        self.ctx.note_sync();
         self.ser.crowds.lock()[crowd.0].members.len()
     }
 
@@ -748,6 +763,7 @@ impl<S: Send> SerializerCtx<'_, S> {
 
     /// Number of waiters in `queue`.
     pub fn queue_len(&self, queue: QueueId) -> usize {
+        self.ctx.note_sync();
         self.ser.queues.lock()[queue.0].waiters.len()
     }
 }

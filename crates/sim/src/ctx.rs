@@ -39,8 +39,16 @@ impl Ctx {
     }
 
     /// Current virtual time.
+    ///
+    /// Reading the clock is an observable effect: commuting a pure quantum
+    /// shifts intervening timestamps by one tick, so a process that
+    /// branches on `now()` voids the explorers' equivalence prune for the
+    /// whole run (see [`crate::Decision::pure`]).
     pub fn now(&self) -> Time {
-        self.shared.state.lock().clock
+        self.note_sync();
+        let mut st = self.shared.state.lock();
+        st.prune_safe = false;
+        st.clock
     }
 
     /// A [`Deadline`] `ticks` quanta from now. Convenience for the timed
@@ -56,13 +64,33 @@ impl Ctx {
     /// *concurrently*, guards must not touch kernel state or the trace
     /// then. Pure own-entry queue cleanup remains safe either way.
     pub fn cancelling(&self) -> bool {
+        self.note_sync();
         self.shared.cancelling.load(Ordering::SeqCst)
     }
 
     /// Draws a fresh, strictly increasing ticket. Mechanisms use tickets to
     /// implement FIFO ordering (e.g. arrival order of requests).
     pub fn fresh_ticket(&self) -> u64 {
+        self.note_sync();
         self.shared.fresh_ticket()
+    }
+
+    /// Marks the current quantum as having touched synchronization state
+    /// the kernel cannot observe.
+    ///
+    /// The explorers' equivalence prune classifies a quantum that performed
+    /// no kernel-visible operation as a *stutter* that commutes with every
+    /// sibling (see [`crate::Decision::pure`]). Mechanism state lives
+    /// outside the kernel — a semaphore's fast path decrements a counter
+    /// under its own mutex without ever entering the kernel — so every
+    /// mechanism operation that reads or writes such state must call this
+    /// before doing so; over-marking is always safe (it only disables
+    /// pruning), under-marking makes the prune unsound. Operations that do
+    /// not take a `&Ctx` (e.g. `WaitQueue::len`) cannot be marked:
+    /// scenarios that let such calls influence control flow between
+    /// scheduling points must not enable pruning.
+    pub fn note_sync(&self) {
+        self.shared.quantum_dirty.store(true, Ordering::Relaxed);
     }
 
     /// Gives up the CPU; the process stays runnable and will be rescheduled
@@ -185,6 +213,7 @@ impl Ctx {
     /// must check this before applying a grant's side effects, so that a
     /// waiter whose timed wait returned `false` was never granted anything.
     pub fn is_parked(&self, target: Pid) -> bool {
+        self.note_sync();
         let st = self.shared.state.lock();
         let slot = &st.procs[target.index()];
         matches!(slot.status, ProcessStatus::Blocked { .. }) || slot.spurious_wake
@@ -195,6 +224,7 @@ impl Ctx {
     /// entries of processes that already woke by timeout; for queues that
     /// cannot, prefer [`Ctx::unpark`], which panics on staleness.
     pub fn try_unpark(&self, target: Pid) -> bool {
+        self.note_sync();
         let mut st = self.shared.state.lock();
         let slot = &mut st.procs[target.index()];
         if !matches!(slot.status, ProcessStatus::Blocked { .. }) {
@@ -223,6 +253,7 @@ impl Ctx {
     /// parked, so an unparked-while-not-parked target is a mechanism bug and
     /// is reported loudly rather than being silently ignored.
     pub fn unpark(&self, target: Pid) {
+        self.note_sync();
         let mut st = self.shared.state.lock();
         let slot = &mut st.procs[target.index()];
         if slot.spurious_wake {
@@ -292,6 +323,7 @@ impl Ctx {
     /// granted — keeping trace order faithful to decision order even
     /// though the grantee resumes later.
     pub fn emit_for(&self, target: Pid, label: &str, params: &[i64]) {
+        self.note_sync();
         let mut st = self.shared.state.lock();
         let clock = st.clock;
         st.trace.push(
@@ -309,6 +341,7 @@ impl Ctx {
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
+        self.note_sync();
         self.shared.spawn_process(name, false, f)
     }
 
@@ -318,6 +351,7 @@ impl Ctx {
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
+        self.note_sync();
         self.shared.spawn_process(name, true, f)
     }
 }

@@ -8,10 +8,27 @@
 //! and a few operations each, this *proves* properties over all
 //! interleavings — which is exactly what Bloom's footnote-3 argument about
 //! the Figure-1 path-expression solution requires.
+//!
+//! For large trees, [`crate::ParallelExplorer`] explores the same space
+//! with a pool of worker threads and byte-identical results.
+//!
+//! # The equivalence prune
+//!
+//! With [`Explorer::with_pruning`], sibling branches of a decision whose
+//! canonical (choice-0) quantum was *observably pure* — a stutter that
+//! touched nothing any other process can see ([`Decision::pure`]) — are
+//! skipped and counted in [`ExploreStats::pruned`]. Every skipped schedule
+//! has the same user-event trace as a schedule that is still visited:
+//! deferring a stutter commutes with every intervening quantum, so the
+//! sibling-first subtree maps leaf-for-leaf into the visited stutter-first
+//! subtree. Schedule *counts* therefore shrink under pruning, but the set
+//! of distinct observable behaviors does not. Pruning is off by default
+//! because exact schedule counts are themselves findings in this
+//! repository's reports.
 
 use crate::error::SimError;
 use crate::fault::FaultPlan;
-use crate::kernel::SimReport;
+use crate::kernel::{ProcessStatus, SimReport};
 use crate::policy::ReplayPolicy;
 use crate::sim::Sim;
 use crate::trace::Decision;
@@ -22,19 +39,61 @@ pub struct ExploreStats {
     /// How many distinct schedules were executed.
     pub schedules: usize,
     /// Whether the entire schedule tree was covered (no budget cut-off).
+    /// Pruned branches count as covered: their behaviors are represented.
     pub complete: bool,
+    /// How many sibling branches (whole subtrees, not schedules) the
+    /// equivalence prune skipped. Always 0 unless pruning was enabled.
+    pub pruned: usize,
+}
+
+/// Result summary of a kill-point sweep ([`Explorer::run_kill_points`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillPointStats {
+    /// Total schedules executed across all explored kill points.
+    pub schedules: usize,
+    /// Whether every explored kill point covered its whole tree.
+    pub complete: bool,
+    /// Total sibling branches skipped by the equivalence prune.
+    pub pruned: usize,
+    /// Per-kill-point counts, in sweep order. Points past the victim's
+    /// maximum observed scheduling-point count are not explored (they can
+    /// never fire), so this may be shorter than `max_points`.
+    pub per_point: Vec<KillPointCount>,
+}
+
+/// Exploration counts for one kill point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPointCount {
+    /// The kill point (the victim's Nth scheduling point, 1-based).
+    pub point: u64,
+    /// Schedules executed with the kill armed at this point.
+    pub schedules: usize,
+    /// Schedules in which the kill actually fired (the victim died).
+    pub kills: usize,
 }
 
 /// Depth-first enumerator of all schedules of a scenario.
 #[derive(Debug, Clone, Copy)]
 pub struct Explorer {
     max_schedules: usize,
+    prune: bool,
 }
 
 impl Explorer {
     /// Creates an explorer that runs at most `max_schedules` schedules.
     pub fn new(max_schedules: usize) -> Self {
-        Explorer { max_schedules }
+        Explorer {
+            max_schedules,
+            prune: false,
+        }
+    }
+
+    /// Enables the equivalence prune (see the module docs): sibling
+    /// branches of a decision whose canonical quantum was a pure stutter
+    /// are skipped and counted in [`ExploreStats::pruned`].
+    pub fn with_pruning(mut self) -> Self {
+        self.prune = true;
+        self
     }
 
     /// Explores the scenario produced by `setup`.
@@ -54,14 +113,21 @@ impl Explorer {
         V: FnMut(&[Decision], &Result<SimReport, SimError>),
     {
         let mut prefix: Vec<u32> = Vec::new();
+        // Per-depth prunability of the node on the current path, recorded
+        // when the node is first discovered (its choice-0 run). Using the
+        // discovery run's verdict — rather than the backtracking run's —
+        // keeps the pruned tree identical to ParallelExplorer's, which can
+        // only consult the discovering run.
+        let mut prunable: Vec<bool> = Vec::new();
         let mut schedules = 0;
+        let mut pruned = 0;
         loop {
             let mut sim = setup();
             sim.set_policy(ReplayPolicy::new(prefix.clone()));
             let result = sim.run();
-            let decisions: Vec<Decision> = match &result {
-                Ok(report) => report.decisions.clone(),
-                Err(err) => err.report.decisions.clone(),
+            let decisions: &[Decision] = match &result {
+                Ok(report) => &report.decisions,
+                Err(err) => &err.report.decisions,
             };
             for (i, want) in prefix.iter().enumerate() {
                 assert!(
@@ -69,30 +135,49 @@ impl Explorer {
                     "replay prefix diverged at decision {i}: scenario is nondeterministic"
                 );
             }
-            visit(&decisions, &result);
+            // Decisions past the replay prefix take the canonical choice 0;
+            // this run discovers those nodes, so it fixes their prunability.
+            debug_assert!(decisions[prefix.len()..].iter().all(|d| d.chosen == 0));
+            for d in &decisions[prunable.len()..] {
+                prunable.push(self.prune && d.pure);
+            }
+            visit(decisions, &result);
             schedules += 1;
+            // Backtrack to the deepest decision with an unexplored branch —
+            // checked *before* the budget so a tree of exactly
+            // `max_schedules` schedules still reports `complete`.
+            let mut next_branch = None;
+            for i in (0..decisions.len()).rev() {
+                if decisions[i].chosen + 1 < decisions[i].arity {
+                    if prunable[i] {
+                        pruned += (decisions[i].arity - 1 - decisions[i].chosen) as usize;
+                        continue;
+                    }
+                    next_branch = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = next_branch else {
+                return ExploreStats {
+                    schedules,
+                    complete: true,
+                    pruned,
+                };
+            };
             if schedules >= self.max_schedules {
                 return ExploreStats {
                     schedules,
                     complete: false,
+                    pruned,
                 };
             }
-            // Backtrack to the deepest decision with an unexplored branch.
-            let mut advanced = false;
-            for i in (0..decisions.len()).rev() {
-                if decisions[i].chosen + 1 < decisions[i].arity {
-                    prefix = decisions[..i].iter().map(|d| d.chosen).collect();
-                    prefix.push(decisions[i].chosen + 1);
-                    advanced = true;
-                    break;
-                }
-            }
-            if !advanced {
-                return ExploreStats {
-                    schedules,
-                    complete: true,
-                };
-            }
+            // Advance the prefix in place: entries below `i` already match
+            // the decision vector (asserted above).
+            let keep = i.min(prefix.len());
+            prefix.truncate(keep);
+            prefix.extend(decisions[keep..i].iter().map(|d| d.chosen));
+            prefix.push(decisions[i].chosen + 1);
+            prunable.truncate(i + 1);
         }
     }
 
@@ -101,41 +186,71 @@ impl Explorer {
     /// is run with `victim` killed at its `k`-th scheduling point.
     ///
     /// `visit` receives the kill point, the decision vector, and the run
-    /// outcome. Kill points beyond the number of scheduling points the
-    /// victim actually reaches in a given schedule simply never fire (the
-    /// victim then runs to completion), so `max_points` may be a loose
-    /// upper bound. The per-call schedule budget applies to each kill
-    /// point separately; `schedules` in the returned stats is the total.
+    /// outcome. The sweep stops early once a kill point never fires in any
+    /// schedule: the victim's scheduling-point count is then below `k` in
+    /// every interleaving, and an armed-but-idle kill plan leaves the tree
+    /// identical to the unfaulted one, so no later point can fire either.
+    /// `max_points` may therefore be a loose upper bound at no cost. The
+    /// per-call schedule budget applies to each kill point separately;
+    /// `schedules` in the returned stats is the total.
     pub fn run_kill_points<S, V>(
         &self,
         victim: &str,
         max_points: u64,
         mut setup: S,
         mut visit: V,
-    ) -> ExploreStats
+    ) -> KillPointStats
     where
         S: FnMut() -> Sim,
         V: FnMut(u64, &[Decision], &Result<SimReport, SimError>),
     {
-        let mut schedules = 0;
-        let mut complete = true;
+        let mut stats = KillPointStats {
+            schedules: 0,
+            complete: true,
+            pruned: 0,
+            per_point: Vec::new(),
+        };
         for point in 1..=max_points {
-            let stats = self.run(
+            let mut kills = 0usize;
+            let point_stats = self.run(
                 || {
                     let mut sim = setup();
                     sim.set_fault_plan(FaultPlan::new().kill(victim, point));
                     sim
                 },
-                |decisions, result| visit(point, decisions, result),
+                |decisions, result| {
+                    if victim_killed(victim, result) {
+                        kills += 1;
+                    }
+                    visit(point, decisions, result);
+                },
             );
-            schedules += stats.schedules;
-            complete &= stats.complete;
+            stats.schedules += point_stats.schedules;
+            stats.complete &= point_stats.complete;
+            stats.pruned += point_stats.pruned;
+            stats.per_point.push(KillPointCount {
+                point,
+                schedules: point_stats.schedules,
+                kills,
+            });
+            if kills == 0 && point_stats.complete {
+                break; // the victim never reaches `point` scheduling points
+            }
         }
-        ExploreStats {
-            schedules,
-            complete,
-        }
+        stats
     }
+}
+
+/// Whether the named victim ended the run killed by the fault plan.
+pub(crate) fn victim_killed(victim: &str, result: &Result<SimReport, SimError>) -> bool {
+    let report = match result {
+        Ok(report) => report,
+        Err(err) => &err.report,
+    };
+    report
+        .processes
+        .iter()
+        .any(|p| p.name == victim && p.status == ProcessStatus::Killed)
 }
 
 #[cfg(test)]
@@ -217,5 +332,84 @@ mod tests {
         );
         assert_eq!(stats.schedules, 2);
         assert!(!stats.complete);
+    }
+
+    /// Regression: a budget of exactly the tree size must still prove
+    /// completeness — the unexplored-branch check runs before the budget
+    /// check. Two one-emit processes have exactly 2 schedules.
+    #[test]
+    fn exact_budget_still_reports_complete() {
+        let stats = Explorer::new(2).run(
+            || {
+                let mut sim = Sim::new();
+                sim.spawn("a", |ctx| ctx.emit("a", &[]));
+                sim.spawn("b", |ctx| ctx.emit("b", &[]));
+                sim
+            },
+            |_, _| {},
+        );
+        assert_eq!(stats.schedules, 2);
+        assert!(
+            stats.complete,
+            "budget == tree size must report complete: true"
+        );
+    }
+
+    /// Pure stutter quanta (bare yields between emits) license the prune;
+    /// the pruned exploration must visit strictly fewer schedules but the
+    /// identical set of user-event traces.
+    #[test]
+    fn pruning_preserves_observable_behaviors() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            sim.spawn("a", |ctx| {
+                ctx.emit("a1", &[]);
+                ctx.yield_now();
+                ctx.yield_now();
+                ctx.emit("a2", &[]);
+            });
+            sim.spawn("b", |ctx| {
+                ctx.emit("b1", &[]);
+                ctx.yield_now();
+                ctx.yield_now();
+                ctx.emit("b2", &[]);
+            });
+            sim
+        };
+        let traces = |prune: bool| {
+            let seen = Arc::new(Mutex::new(BTreeSet::new()));
+            let seen2 = Arc::clone(&seen);
+            let explorer = if prune {
+                Explorer::new(100_000).with_pruning()
+            } else {
+                Explorer::new(100_000)
+            };
+            let stats = explorer.run(scenario, move |_, result| {
+                let report = result.as_ref().expect("no failure possible");
+                let order: Vec<String> = report
+                    .trace
+                    .user_events()
+                    .map(|(_, l, _)| l.to_string())
+                    .collect();
+                seen2.lock().insert(order);
+            });
+            assert!(stats.complete);
+            let seen = Arc::try_unwrap(seen).unwrap().into_inner();
+            (seen, stats)
+        };
+        let (full_traces, full) = traces(false);
+        let (pruned_traces, pruned) = traces(true);
+        assert_eq!(full.pruned, 0);
+        assert!(pruned.pruned > 0, "the stutter yields must prune something");
+        assert!(
+            pruned.schedules < full.schedules,
+            "pruning must cut schedules: {} vs {}",
+            pruned.schedules,
+            full.schedules
+        );
+        assert_eq!(
+            pruned_traces, full_traces,
+            "pruning must preserve the set of observable behaviors"
+        );
     }
 }

@@ -110,6 +110,14 @@ pub(crate) struct State {
     pub starvation: Vec<StarvationFlag>,
     /// Victims aborted by deadlock recovery, in abort order.
     pub recovered: Vec<Pid>,
+    /// Whether the run has stayed within the contract of the explorers'
+    /// equivalence prune. Commuting a pure quantum across its siblings
+    /// shifts the virtual times of the events in between by one tick, so
+    /// anything time-sensitive voids the prune: setting any timer, reading
+    /// the clock from a process ([`Ctx::now`]), injecting faults, or
+    /// running the starvation watchdog clears this flag, and `snapshot`
+    /// then strips the `pure` bit from every recorded decision.
+    pub prune_safe: bool,
 }
 
 impl State {
@@ -128,6 +136,7 @@ impl State {
             faults,
             starvation: Vec::new(),
             recovered: Vec::new(),
+            prune_safe: true,
         }
     }
 }
@@ -159,6 +168,12 @@ pub(crate) struct Shared {
     pub sched_baton: Baton<Report>,
     /// Global ticket dispenser used by wait queues for FIFO ordering.
     pub tickets: AtomicU64,
+    /// Set by every [`Ctx`] operation with an observable effect (and by
+    /// [`Ctx::note_sync`], through which the mechanism crates report state
+    /// accesses the kernel cannot see). The scheduler clears it at each
+    /// dispatch and reads it back when the quantum ends, classifying the
+    /// quantum as pure or not — see [`crate::Decision::pure`].
+    pub quantum_dirty: AtomicBool,
     /// Set (before any cancellation) when the run is shutting down. Unwind
     /// guards in the mechanism crates consult this via
     /// [`Ctx::cancelling`]: a shutdown unwind is not a crash, and multiple
@@ -180,6 +195,7 @@ impl Shared {
             state: Mutex::new(State::new(record_sched_events, faults)),
             sched_baton: Baton::new(),
             tickets: AtomicU64::new(0),
+            quantum_dirty: AtomicBool::new(false),
             cancelling: AtomicBool::new(false),
             queues: Mutex::new(Vec::new()),
         })
@@ -348,6 +364,12 @@ pub struct SimReport {
     /// order. These processes end with status
     /// [`ProcessStatus::Cancelled`], not [`ProcessStatus::Killed`].
     pub recovered: Vec<Pid>,
+    /// Whether the run stayed within the contract of the explorers'
+    /// equivalence prune (no timers, no process-visible clock reads, no
+    /// faults, no starvation watchdog). When `false`, every
+    /// [`Decision::pure`] bit has been forced to `false`, so explorers need
+    /// not consult this field separately.
+    pub prune_safe: bool,
 }
 
 impl SimReport {
@@ -367,9 +389,18 @@ impl SimReport {
 }
 
 fn snapshot(st: &mut State) -> SimReport {
+    let mut decisions = std::mem::take(&mut st.decisions);
+    if !st.prune_safe {
+        // A pure quantum commutes with its siblings only up to a one-tick
+        // shift of the intervening virtual times; once anything in the run
+        // was time-sensitive, no decision may be treated as prunable.
+        for d in &mut decisions {
+            d.pure = false;
+        }
+    }
     SimReport {
         trace: std::mem::take(&mut st.trace),
-        decisions: std::mem::take(&mut st.decisions),
+        decisions,
         steps: st.step,
         final_time: st.clock,
         processes: st
@@ -389,6 +420,7 @@ fn snapshot(st: &mut State) -> SimReport {
             .collect(),
         starvation: std::mem::take(&mut st.starvation),
         recovered: std::mem::take(&mut st.recovered),
+        prune_safe: st.prune_safe,
     }
 }
 
@@ -399,10 +431,21 @@ pub(crate) fn run_kernel(
     cfg: &SimConfig,
 ) -> Result<SimReport, SimError> {
     let error: Option<SimErrorKind>;
+    {
+        // Static prune-safety gate: fault plans reorder effects around kill
+        // points and the starvation watchdog's verdicts depend on absolute
+        // wait ages, so both void the commutation argument behind
+        // `Decision::pure` for the whole run.
+        let mut st = shared.state.lock();
+        if st.faults.active() || cfg.starvation_bound.is_some() {
+            st.prune_safe = false;
+        }
+    }
     loop {
         // Phase 1: pick the next process (or detect termination/deadlock).
         let next: Pid;
         let baton: Arc<Baton<Go>>;
+        let decided: bool;
         {
             let mut st = shared.state.lock();
             // The run is complete once no non-daemon process is live, even
@@ -544,14 +587,17 @@ pub(crate) fn run_kernel(
                 break;
             }
             let idx = if st.ready.len() == 1 {
+                decided = false;
                 0
             } else {
+                decided = true;
                 let step = st.step;
                 let arity = st.ready.len() as u32;
                 let pick = policy.choose(&st.ready, step).min(st.ready.len() - 1);
                 st.decisions.push(Decision {
                     arity,
                     chosen: pick as u32,
+                    pure: false,
                 });
                 pick
             };
@@ -607,6 +653,7 @@ pub(crate) fn run_kernel(
         }
 
         // Phase 2: hand over the CPU and wait for the process to stop.
+        shared.quantum_dirty.store(false, Ordering::Relaxed);
         baton.put(Go::Run);
         let report = shared.sched_baton.take();
 
@@ -614,6 +661,25 @@ pub(crate) fn run_kernel(
         let mut st = shared.state.lock();
         st.running = None;
         let clock = st.clock;
+        // Purity classification (see `Decision::pure`): the quantum must
+        // have touched nothing observable and stopped with a plain yield.
+        // A pure *finish* is also a stutter, except when daemons exist —
+        // deferring the last non-daemon's finish would give a daemon an
+        // extra quantum, which is an observably different schedule.
+        if decided {
+            let dirty = shared.quantum_dirty.load(Ordering::Relaxed);
+            let pure = !dirty
+                && match &report {
+                    Report::Yielded => true,
+                    Report::Finished => !st.procs.iter().any(|p| p.daemon),
+                    _ => false,
+                };
+            if pure {
+                if let Some(d) = st.decisions.last_mut() {
+                    d.pure = true;
+                }
+            }
+        }
         // Fault plane: a yield/park/sleep is a scheduling point of `next`.
         // If the plan kills it here, the normal bookkeeping for the report
         // is skipped — the process unwinds instead of ever resuming.
@@ -708,6 +774,7 @@ pub(crate) fn run_kernel(
                 }
             }
             Report::ParkedTimeout { reason, ticks } => {
+                st.prune_safe = false; // timers are time-sensitive: no prune
                 let until = clock.plus(ticks);
                 let slot = &mut st.procs[next.index()];
                 match &slot.wait_started {
@@ -731,6 +798,7 @@ pub(crate) fn run_kernel(
                 )));
             }
             Report::Slept { ticks } => {
+                st.prune_safe = false; // timers are time-sensitive: no prune
                 let until = clock.plus(ticks);
                 let slot = &mut st.procs[next.index()];
                 slot.wait_started = None;

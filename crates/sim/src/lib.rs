@@ -69,6 +69,7 @@ mod error;
 mod explore;
 mod fault;
 mod kernel;
+mod parallel;
 mod policy;
 mod sim;
 mod trace;
@@ -77,9 +78,10 @@ mod waitq;
 
 pub use ctx::Ctx;
 pub use error::{SimError, SimErrorKind};
-pub use explore::{ExploreStats, Explorer};
+pub use explore::{ExploreStats, Explorer, KillPointCount, KillPointStats};
 pub use fault::{DelaySpec, FaultPlan, KillSpec, Poisoned, SpuriousSpec};
 pub use kernel::{ProcessStatus, ProcessSummary, SimReport, StarvationFlag};
+pub use parallel::{ParallelExplorer, ScheduleRecord};
 pub use policy::{FifoPolicy, LifoPolicy, RandomPolicy, ReplayPolicy, SchedPolicy};
 pub use sim::{Sim, SimConfig};
 pub use trace::{Decision, Event, EventKind, Trace};

@@ -1,0 +1,450 @@
+//! Work-sharing parallel schedule exploration.
+//!
+//! [`ParallelExplorer`] explores the same decision tree as
+//! [`crate::Explorer`], but with a pool of worker threads
+//! (`std::thread::scope` — no extra dependencies, no unsafe). The tree is
+//! embarrassingly parallel at prefix boundaries:
+//!
+//! * A shared frontier (`Mutex<Vec<Vec<u32>>>`) holds unexplored branch
+//!   prefixes, seeded with the empty prefix (the canonical first schedule).
+//! * A worker pops a prefix, runs the scenario under a [`ReplayPolicy`]
+//!   for it (decisions past the prefix take the canonical choice 0), and
+//!   for every decision point the run *discovered* — indices at or beyond
+//!   the prefix length — pushes each sibling branch `decisions[..i] ⧺ [c]`,
+//!   `c ∈ 1..arity`, back onto the frontier. Each leaf is generated exactly
+//!   once: by the prefix that ends at its last non-zero choice.
+//! * The run's outcome is mapped to a journal entry on the spot (outcomes
+//!   are never buffered whole — a 300k-schedule tree of full [`SimReport`]s
+//!   would not fit in memory) and appended to the worker's own journal.
+//!
+//! Determinism is load-bearing in this repository, so the merge is
+//! canonical: per-worker journals are concatenated and sorted by the full
+//! decision vector of each schedule, which is exactly the depth-first
+//! visit order of the serial explorer. Schedule counts, journals, and any
+//! report text derived from them are byte-identical for every thread
+//! count — and identical to [`crate::Explorer`] (verified by the
+//! `parallel_explore` integration test).
+//!
+//! The budget is also deterministic: workers claim budget slots from an
+//! atomic counter before running, so exactly `min(budget, tree)` schedules
+//! execute regardless of interleaving; *which* schedules run under an
+//! exhausted budget is scheduling-dependent, so only `schedules` and
+//! `complete` (not the journal) are guaranteed stable for budget-cut
+//! explorations. All exhaustive call sites in this repository are
+//! budgeted above their tree size.
+
+use crate::error::SimError;
+use crate::explore::victim_killed;
+use crate::explore::{ExploreStats, KillPointCount, KillPointStats};
+use crate::fault::FaultPlan;
+use crate::kernel::SimReport;
+use crate::policy::ReplayPolicy;
+use crate::sim::Sim;
+use crate::trace::Decision;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// One schedule's entry in a merged exploration journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleRecord<T> {
+    /// The schedule's decision vector (its replay coordinates).
+    pub choices: Vec<u32>,
+    /// Whatever the map closure produced for this schedule.
+    pub value: T,
+}
+
+/// Shared frontier of unexplored branch prefixes.
+struct Frontier {
+    stack: Vec<Vec<u32>>,
+    /// Workers currently expanding a popped prefix (may push more work).
+    active: usize,
+    /// Raised on budget exhaustion or worker panic: drain and exit.
+    stop: bool,
+}
+
+struct Coordinator {
+    frontier: Mutex<Frontier>,
+    available: Condvar,
+}
+
+/// Decrements `active` when an expansion ends — including by panic, where
+/// it also raises `stop` so sibling workers exit instead of waiting forever
+/// on a frontier that will never drain.
+struct ActiveGuard<'a> {
+    sync: &'a Coordinator,
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        let mut f = self.sync.frontier.lock();
+        f.active -= 1;
+        if std::thread::panicking() {
+            f.stop = true;
+        }
+        self.sync.available.notify_all();
+    }
+}
+
+/// Work-sharing parallel version of [`crate::Explorer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExplorer {
+    max_schedules: usize,
+    threads: usize,
+    prune: bool,
+}
+
+impl ParallelExplorer {
+    /// Creates an explorer that runs at most `max_schedules` schedules,
+    /// with one worker per available core (capped at 8).
+    pub fn new(max_schedules: usize) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        ParallelExplorer {
+            max_schedules,
+            threads,
+            prune: false,
+        }
+    }
+
+    /// Sets the worker count (min 1). Results are identical for every
+    /// thread count; this only tunes throughput.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables the equivalence prune (see [`crate::Explorer::with_pruning`]
+    /// — the pruned tree is identical to the serial explorer's).
+    pub fn with_pruning(mut self) -> Self {
+        self.prune = true;
+        self
+    }
+
+    /// Explores the scenario produced by `setup`, mapping every schedule
+    /// to a journal entry via `map`, and returns the journal merged in
+    /// canonical (serial depth-first) order together with the stats.
+    ///
+    /// `setup` must build an identical simulation each time it is called;
+    /// it and `map` run concurrently on worker threads. A panic in either
+    /// (including assertion failures inside `map`) stops the exploration
+    /// and propagates.
+    pub fn run<S, M, T>(&self, setup: S, map: M) -> (Vec<ScheduleRecord<T>>, ExploreStats)
+    where
+        S: Fn() -> Sim + Sync,
+        M: Fn(&[Decision], &Result<SimReport, SimError>) -> T + Sync,
+        T: Send,
+    {
+        let sync = Coordinator {
+            frontier: Mutex::new(Frontier {
+                stack: vec![Vec::new()],
+                active: 0,
+                stop: false,
+            }),
+            available: Condvar::new(),
+        };
+        let claimed = AtomicUsize::new(0);
+        let budget_hit = AtomicBool::new(false);
+        let pruned = AtomicUsize::new(0);
+        let journals: Mutex<Vec<Vec<ScheduleRecord<T>>>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| {
+                    let journal = self.worker(&sync, &claimed, &budget_hit, &pruned, &setup, &map);
+                    journals.lock().push(journal);
+                });
+            }
+        });
+
+        let mut journal: Vec<ScheduleRecord<T>> =
+            journals.into_inner().into_iter().flatten().collect();
+        journal.sort_unstable_by(|a, b| a.choices.cmp(&b.choices));
+        let stats = ExploreStats {
+            schedules: journal.len(),
+            complete: !budget_hit.load(Ordering::Relaxed),
+            pruned: pruned.load(Ordering::Relaxed),
+        };
+        (journal, stats)
+    }
+
+    /// One worker: pop a prefix, run it, expand its discovered siblings,
+    /// journal the outcome; exit when the frontier drains or `stop` rises.
+    fn worker<S, M, T>(
+        &self,
+        sync: &Coordinator,
+        claimed: &AtomicUsize,
+        budget_hit: &AtomicBool,
+        pruned: &AtomicUsize,
+        setup: &S,
+        map: &M,
+    ) -> Vec<ScheduleRecord<T>>
+    where
+        S: Fn() -> Sim + Sync,
+        M: Fn(&[Decision], &Result<SimReport, SimError>) -> T + Sync,
+        T: Send,
+    {
+        let mut journal = Vec::new();
+        loop {
+            // Pop a prefix, or exit once no work exists and nobody is
+            // expanding (an active worker may still push more).
+            let prefix = {
+                let mut f = sync.frontier.lock();
+                loop {
+                    if f.stop {
+                        return journal;
+                    }
+                    if let Some(p) = f.stack.pop() {
+                        f.active += 1;
+                        break p;
+                    }
+                    if f.active == 0 {
+                        return journal;
+                    }
+                    sync.available.wait(&mut f);
+                }
+            };
+            let _guard = ActiveGuard { sync };
+            // Claim a budget slot *before* running: exactly
+            // min(budget, tree) schedules execute, deterministically.
+            if claimed.fetch_add(1, Ordering::Relaxed) >= self.max_schedules {
+                budget_hit.store(true, Ordering::Relaxed);
+                let mut f = sync.frontier.lock();
+                f.stop = true;
+                sync.available.notify_all();
+                return journal;
+            }
+
+            let mut sim = setup();
+            sim.set_policy(ReplayPolicy::new(prefix.clone()));
+            let result = sim.run();
+            let decisions: &[Decision] = match &result {
+                Ok(report) => &report.decisions,
+                Err(err) => &err.report.decisions,
+            };
+            for (i, want) in prefix.iter().enumerate() {
+                assert!(
+                    decisions.get(i).map(|d| d.chosen) == Some(*want),
+                    "replay prefix diverged at decision {i}: scenario is nondeterministic"
+                );
+            }
+            // Expand the decision points this run discovered. Points below
+            // the prefix length were expanded by the run that discovered
+            // the prefix; the rest are seen here first (with the canonical
+            // choice 0, which is what licenses the prune check).
+            let mut fresh: Vec<Vec<u32>> = Vec::new();
+            for i in prefix.len()..decisions.len() {
+                let d = decisions[i];
+                debug_assert_eq!(d.chosen, 0, "past-prefix replay takes choice 0");
+                if d.arity <= 1 {
+                    continue;
+                }
+                if self.prune && d.pure {
+                    pruned.fetch_add(d.arity as usize - 1, Ordering::Relaxed);
+                    continue;
+                }
+                for c in 1..d.arity {
+                    let mut branch = Vec::with_capacity(i + 1);
+                    branch.extend(decisions[..i].iter().map(|d| d.chosen));
+                    branch.push(c);
+                    fresh.push(branch);
+                }
+            }
+            if !fresh.is_empty() {
+                let mut f = sync.frontier.lock();
+                f.stack.append(&mut fresh);
+                sync.available.notify_all();
+            }
+            journal.push(ScheduleRecord {
+                choices: decisions.iter().map(|d| d.chosen).collect(),
+                value: map(decisions, &result),
+            });
+        }
+    }
+
+    /// Parallel version of [`crate::Explorer::run_kill_points`]: explores
+    /// the (schedule × kill-point) space, stopping the sweep at the first
+    /// kill point that can no longer fire. Journal entries carry the kill
+    /// point in `value` position via the `map` closure's first argument;
+    /// the merged journal is ordered by `(kill point, decision vector)`.
+    pub fn run_kill_points<S, M, T>(
+        &self,
+        victim: &str,
+        max_points: u64,
+        setup: S,
+        map: M,
+    ) -> (Vec<(u64, ScheduleRecord<T>)>, KillPointStats)
+    where
+        S: Fn() -> Sim + Sync,
+        M: Fn(u64, &[Decision], &Result<SimReport, SimError>) -> T + Sync,
+        T: Send,
+    {
+        let mut journal = Vec::new();
+        let mut stats = KillPointStats {
+            schedules: 0,
+            complete: true,
+            pruned: 0,
+            per_point: Vec::new(),
+        };
+        for point in 1..=max_points {
+            let kills = AtomicUsize::new(0);
+            let (point_journal, point_stats) = self.run(
+                || {
+                    let mut sim = setup();
+                    sim.set_fault_plan(FaultPlan::new().kill(victim, point));
+                    sim
+                },
+                |decisions, result| {
+                    if victim_killed(victim, result) {
+                        kills.fetch_add(1, Ordering::Relaxed);
+                    }
+                    map(point, decisions, result)
+                },
+            );
+            let kills = kills.into_inner();
+            stats.schedules += point_stats.schedules;
+            stats.complete &= point_stats.complete;
+            stats.pruned += point_stats.pruned;
+            stats.per_point.push(KillPointCount {
+                point,
+                schedules: point_stats.schedules,
+                kills,
+            });
+            journal.extend(point_journal.into_iter().map(|r| (point, r)));
+            if kills == 0 && point_stats.complete {
+                break; // the victim never reaches `point` scheduling points
+            }
+        }
+        (journal, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn three_emitters() -> Sim {
+        let mut sim = Sim::new();
+        for i in 0..3 {
+            sim.spawn(&format!("p{i}"), move |ctx| ctx.emit("go", &[i]));
+        }
+        sim
+    }
+
+    #[test]
+    fn matches_serial_explorer_for_every_thread_count() {
+        let mut serial: Vec<(Vec<u32>, Vec<i64>)> = Vec::new();
+        let serial_stats = crate::Explorer::new(10_000).run(three_emitters, |decisions, result| {
+            let report = result.as_ref().unwrap();
+            serial.push((
+                decisions.iter().map(|d| d.chosen).collect(),
+                report
+                    .trace
+                    .user_events()
+                    .map(|(_, _, params)| params[0])
+                    .collect(),
+            ));
+        });
+        for threads in [1, 2, 4, 8] {
+            let (journal, stats) =
+                ParallelExplorer::new(10_000)
+                    .threads(threads)
+                    .run(three_emitters, |_, result| {
+                        let report = result.as_ref().unwrap();
+                        report
+                            .trace
+                            .user_events()
+                            .map(|(_, _, params)| params[0])
+                            .collect::<Vec<i64>>()
+                    });
+            assert_eq!(stats.schedules, serial_stats.schedules);
+            assert!(stats.complete);
+            let merged: Vec<(Vec<u32>, Vec<i64>)> =
+                journal.into_iter().map(|r| (r.choices, r.value)).collect();
+            assert_eq!(merged, serial, "journal must match serial visit order");
+        }
+    }
+
+    #[test]
+    fn budget_claims_are_deterministic() {
+        for threads in [1, 2, 4, 8] {
+            let (journal, stats) = ParallelExplorer::new(2)
+                .threads(threads)
+                .run(three_emitters, |_, _| ());
+            assert_eq!(stats.schedules, 2);
+            assert_eq!(journal.len(), 2);
+            assert!(!stats.complete);
+        }
+    }
+
+    #[test]
+    fn exact_budget_reports_complete() {
+        // 3 one-emit processes: 3! = 6 schedules exactly.
+        let (_, stats) = ParallelExplorer::new(6)
+            .threads(4)
+            .run(three_emitters, |_, _| ());
+        assert_eq!(stats.schedules, 6);
+        assert!(stats.complete, "budget == tree size must be complete");
+    }
+
+    #[test]
+    fn pruning_matches_serial_and_preserves_behaviors() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            sim.spawn("a", |ctx| {
+                ctx.emit("a1", &[]);
+                ctx.yield_now();
+                ctx.yield_now();
+                ctx.emit("a2", &[]);
+            });
+            sim.spawn("b", |ctx| {
+                ctx.emit("b1", &[]);
+                ctx.yield_now();
+                ctx.emit("b2", &[]);
+            });
+            sim
+        };
+        let trace_of = |result: &Result<SimReport, SimError>| {
+            result
+                .as_ref()
+                .unwrap()
+                .trace
+                .user_events()
+                .map(|(_, l, _)| l.to_string())
+                .collect::<Vec<_>>()
+        };
+        let mut serial_traces = BTreeSet::new();
+        let mut serial_journal = Vec::new();
+        let serial_stats =
+            crate::Explorer::new(100_000)
+                .with_pruning()
+                .run(scenario, |decisions, result| {
+                    let t = trace_of(result);
+                    serial_traces.insert(t.clone());
+                    serial_journal
+                        .push((decisions.iter().map(|d| d.chosen).collect::<Vec<_>>(), t));
+                });
+        assert!(serial_stats.pruned > 0, "scenario must actually prune");
+        let mut full_traces = BTreeSet::new();
+        crate::Explorer::new(100_000).run(scenario, |_, result| {
+            full_traces.insert(trace_of(result));
+        });
+        assert_eq!(
+            serial_traces, full_traces,
+            "prune must be behavior-preserving"
+        );
+        for threads in [1, 4] {
+            let (journal, stats) = ParallelExplorer::new(100_000)
+                .threads(threads)
+                .with_pruning()
+                .run(scenario, |_, result| trace_of(result));
+            assert_eq!(stats.schedules, serial_stats.schedules);
+            assert_eq!(stats.pruned, serial_stats.pruned);
+            let merged: Vec<(Vec<u32>, Vec<String>)> =
+                journal.into_iter().map(|r| (r.choices, r.value)).collect();
+            assert_eq!(merged, serial_journal, "pruned trees must be identical");
+        }
+    }
+}

@@ -102,6 +102,17 @@ pub struct Decision {
     pub arity: u32,
     /// Index (into the ready list, in enqueue order) that was dispatched.
     pub chosen: u32,
+    /// Whether the quantum this decision dispatched was *observably pure*:
+    /// it performed no kernel-visible operation (no emit, unpark, ticket,
+    /// clock read, spawn, …), no mechanism marked synchronization state as
+    /// touched via [`crate::Ctx::note_sync`], and the process stopped with a
+    /// plain yield (or finished, in a daemon-free simulation) — and the run
+    /// as a whole stayed prune-safe (no timers, no faults, no starvation
+    /// watchdog). A pure quantum is a stutter step: scheduling it earlier
+    /// or later commutes with every other process, which is what licenses
+    /// the explorers' sibling prune (see `Explorer::with_pruning`). Replay
+    /// ignores this field.
+    pub pure: bool,
 }
 
 /// The event log of one run.

@@ -122,6 +122,7 @@ impl WaitQueue {
     /// [`WaitQueue::wait_timeout`]) are discarded, so a wake is never
     /// wasted on a waiter that has given up.
     pub fn wake_one(&self, ctx: &Ctx) -> Option<Pid> {
+        ctx.note_sync(); // queue-state access (even when empty) — see Ctx::note_sync
         loop {
             let waiter = self.cell.waiters.lock().pop_front()?;
             if ctx.try_unpark(waiter.pid) {
@@ -133,6 +134,7 @@ impl WaitQueue {
 
     /// Wakes every waiter (in queue order) and returns how many were woken.
     pub fn wake_all(&self, ctx: &Ctx) -> usize {
+        ctx.note_sync();
         let drained: Vec<Waiter> = self.cell.waiters.lock().drain(..).collect();
         drained.iter().filter(|w| ctx.try_unpark(w.pid)).count()
     }
@@ -140,6 +142,7 @@ impl WaitQueue {
     /// Wakes a specific pid if it is in this queue; returns whether it was
     /// woken (a stale timed-out entry is removed but not counted).
     pub fn wake_pid(&self, ctx: &Ctx, pid: Pid) -> bool {
+        ctx.note_sync();
         let removed = {
             let mut q = self.cell.waiters.lock();
             match q.iter().position(|w| w.pid == pid) {
@@ -162,6 +165,7 @@ impl WaitQueue {
 
     /// Removes the calling process's own entry (timeout cleanup).
     pub fn remove_current(&self, ctx: &Ctx) {
+        ctx.note_sync();
         self.cell.waiters.lock().retain(|w| w.pid != ctx.pid());
     }
 

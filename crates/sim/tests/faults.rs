@@ -272,8 +272,20 @@ fn kill_point_explorer_covers_schedules_and_points() {
         outcomes.iter().any(|&(p, killed)| p == 1 && killed),
         "kill at the victim's only yield fires in some schedule"
     );
+    // The victim has exactly one scheduling point (its yield), so point 2
+    // never fires in any schedule — and the sweep proves that and stops
+    // there rather than exploring point 3.
+    assert_eq!(
+        stats.per_point.len(),
+        2,
+        "sweep must stop once a point can no longer fire"
+    );
+    assert_eq!(stats.per_point[0].point, 1);
+    assert!(stats.per_point[0].kills > 0);
+    assert_eq!(stats.per_point[1].point, 2);
+    assert_eq!(stats.per_point[1].kills, 0);
     assert!(
-        outcomes.iter().any(|&(p, killed)| p == 3 && !killed),
-        "a kill point past the victim's last stop never fires"
+        !outcomes.iter().any(|&(p, _)| p == 3),
+        "a kill point past the victim's last stop is not explored"
     );
 }

@@ -5,13 +5,14 @@
 //! ```
 //!
 //! The simulator records every contested scheduling decision; the
-//! [`Explorer`] walks the tree of those decisions depth-first, running
-//! *every* interleaving of a scenario. This example uses it to map the
-//! deadlock space of the dining philosophers: what fraction of schedules
-//! deadlocks naively, and that the two classic cures drive it to zero.
+//! [`ParallelExplorer`] walks the tree of those decisions — depth-first
+//! within each worker, work-shared across workers — running *every*
+//! interleaving of a scenario. This example uses it to map the deadlock
+//! space of the dining philosophers: what fraction of schedules deadlocks
+//! naively, and that the two classic cures drive it to zero.
 
 use bloom_semaphore::Semaphore;
-use bloom_sim::{Explorer, Sim};
+use bloom_sim::{ParallelExplorer, Sim};
 use std::sync::Arc;
 
 /// Builds `n` philosophers; `ordered` selects the resource-ordering cure.
@@ -43,16 +44,11 @@ fn philosophers(n: usize, ordered: bool) -> impl Fn() -> Sim {
     }
 }
 
-fn explore(label: &str, setup: impl Fn() -> Sim) {
-    let mut schedules = 0usize;
-    let mut deadlocks = 0usize;
-    let stats = Explorer::new(2_000_000).run(setup, |_, result| {
-        schedules += 1;
-        if result.is_err() {
-            deadlocks += 1;
-        }
-    });
+fn explore(label: &str, setup: impl Fn() -> Sim + Sync) {
+    let (journal, stats) = ParallelExplorer::new(2_000_000).run(setup, |_, result| result.is_err());
     assert!(stats.complete, "{label}: exploration hit the budget cap");
+    let schedules = journal.len();
+    let deadlocks = journal.iter().filter(|r| r.value).count();
     let pct = 100.0 * deadlocks as f64 / schedules as f64;
     println!("  {label:<28} {schedules:>7} schedules, {deadlocks:>5} deadlock ({pct:>5.1}%)");
 }

@@ -15,7 +15,7 @@ use bloom_core::checks::check_priority_over;
 use bloom_core::events::extract;
 use bloom_core::{MechanismId, Phase};
 use bloom_problems::rw::{self, PathFig1ReadersPriority, ReadersWriters, RwVariant};
-use bloom_sim::{Explorer, Sim};
+use bloom_sim::{ParallelExplorer, Sim};
 use std::sync::Arc;
 
 fn main() {
@@ -82,9 +82,7 @@ fn main() {
         MechanismId::Monitor,
         MechanismId::Serializer,
     ] {
-        let mut schedules = 0usize;
-        let mut violating = 0usize;
-        let stats = Explorer::new(500_000).run(
+        let (journal, stats) = ParallelExplorer::new(500_000).run(
             || {
                 let mut sim = Sim::new();
                 let db = rw::make(mech, RwVariant::ReadersPriority);
@@ -101,15 +99,14 @@ fn main() {
                 sim
             },
             |_, result| {
-                schedules += 1;
-                if let Ok(report) = result {
-                    if !check_priority_over(&extract(&report.trace), "read", "write").is_empty() {
-                        violating += 1;
-                    }
-                }
+                result.as_ref().is_ok_and(|report| {
+                    !check_priority_over(&extract(&report.trace), "read", "write").is_empty()
+                })
             },
         );
         assert!(stats.complete);
+        let schedules = journal.len();
+        let violating = journal.iter().filter(|r| r.value).count();
         let verdict = if violating > 0 {
             "ANOMALOUS"
         } else {

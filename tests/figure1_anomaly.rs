@@ -19,7 +19,7 @@ use bloom_core::checks::{check_exclusion, check_no_later_overtake, check_priorit
 use bloom_core::events::extract;
 use bloom_core::MechanismId;
 use bloom_problems::rw::{self, RwVariant};
-use bloom_sim::{Explorer, Sim};
+use bloom_sim::{ParallelExplorer, Sim};
 use std::sync::Arc;
 
 const READ: &str = "read";
@@ -53,35 +53,29 @@ struct ExplorationOutcome {
 }
 
 fn explore_readers_priority(mech: MechanismId, cap: usize) -> ExplorationOutcome {
-    let mut out = ExplorationOutcome {
-        schedules: 0,
-        complete: false,
-        priority_violations: 0,
-        exclusion_violations: 0,
-        failures: 0,
-    };
-    let stats = Explorer::new(cap).run(
+    // (failed, priority violation, exclusion violation) per schedule.
+    let (journal, stats) = ParallelExplorer::new(cap).run(
         || footnote3_scenario(mech),
         |_, result| {
-            out.schedules += 1;
             let report = match result {
                 Ok(r) => r,
-                Err(_) => {
-                    out.failures += 1;
-                    return;
-                }
+                Err(_) => return (true, false, false),
             };
             let events = extract(&report.trace);
-            if !check_priority_over(&events, READ, WRITE).is_empty() {
-                out.priority_violations += 1;
-            }
-            if !check_exclusion(&events, &[(READ, WRITE), (WRITE, WRITE)]).is_empty() {
-                out.exclusion_violations += 1;
-            }
+            (
+                false,
+                !check_priority_over(&events, READ, WRITE).is_empty(),
+                !check_exclusion(&events, &[(READ, WRITE), (WRITE, WRITE)]).is_empty(),
+            )
         },
     );
-    out.complete = stats.complete;
-    out
+    ExplorationOutcome {
+        schedules: journal.len(),
+        complete: stats.complete,
+        priority_violations: journal.iter().filter(|r| r.value.1).count(),
+        exclusion_violations: journal.iter().filter(|r| r.value.2).count(),
+        failures: journal.iter().filter(|r| r.value.0).count(),
+    }
 }
 
 #[test]
@@ -174,9 +168,7 @@ fn csp_server_is_anomaly_free_over_all_schedules() {
 /// schedule.
 #[test]
 fn figure2_never_lets_later_readers_overtake() {
-    let mut schedules = 0;
-    let mut violations = 0;
-    let stats = Explorer::new(400_000).run(
+    let (journal, stats) = ParallelExplorer::new(400_000).run(
         || {
             let mut sim = Sim::new();
             let db = rw::make(MechanismId::PathV1, RwVariant::WritersPriority);
@@ -193,14 +185,13 @@ fn figure2_never_lets_later_readers_overtake() {
             sim
         },
         |_, result| {
-            schedules += 1;
             let report = result.as_ref().expect("figure 2 must not deadlock");
             let events = extract(&report.trace);
-            if !check_no_later_overtake(&events, WRITE, READ).is_empty() {
-                violations += 1;
-            }
+            !check_no_later_overtake(&events, WRITE, READ).is_empty()
         },
     );
     assert!(stats.complete);
+    let schedules = journal.len();
+    let violations = journal.iter().filter(|r| r.value).count();
     assert_eq!(violations, 0, "figure 2 holds in all {schedules} schedules");
 }

@@ -1,0 +1,64 @@
+//! Determinism contract of the work-sharing [`ParallelExplorer`]: for any
+//! worker count, the parallel exploration of a real problem tree is
+//! *byte-identical* to the serial [`Explorer`]'s — same schedule count,
+//! same set of decision vectors, same merged journal in the same order.
+//!
+//! The scenario is the experiment-R2 dining-philosophers deadlock-recovery
+//! sim: a genuinely contested tree (thousands of schedules) whose runs
+//! exercise deadlock detection, victim abort, and recovery bookkeeping —
+//! the worst case for any scheme whose merged order could depend on which
+//! worker got which subtree.
+
+use bloom_core::liveness::classify_liveness;
+use bloom_problems::liveness::{deadlock_recovery_sim, LiveMechanism};
+use bloom_sim::{Decision, Explorer, ParallelExplorer, ScheduleRecord, SimError, SimReport};
+use std::collections::BTreeSet;
+
+const BUDGET: usize = 50_000;
+
+/// One journal line per schedule: decision vector, victim count, verdict.
+fn line(decisions: &[Decision], result: &Result<SimReport, SimError>) -> String {
+    let recovered = match result {
+        Ok(report) => report.recovered.len(),
+        Err(err) => err.report.recovered.len(),
+    };
+    let choices: Vec<u32> = decisions.iter().map(|d| d.chosen).collect();
+    format!("{choices:?} v{recovered} {}", classify_liveness(result))
+}
+
+#[test]
+fn parallel_matches_serial_on_recovery_tree_at_every_thread_count() {
+    let mech = LiveMechanism::SemaphoreStrong;
+
+    // Serial baseline: journal in DFS visit order, which is lexicographic
+    // decision-vector order — the canonical order the parallel merge
+    // reproduces.
+    let mut serial_journal = Vec::new();
+    let serial_stats = Explorer::new(BUDGET).run(
+        || deadlock_recovery_sim(mech),
+        |decisions, result| serial_journal.push(line(decisions, result)),
+    );
+    assert!(serial_stats.complete, "budget too small for the tree");
+    let serial_vectors: BTreeSet<String> = serial_journal.iter().cloned().collect();
+
+    for threads in [1, 2, 4, 8] {
+        let (records, stats): (Vec<ScheduleRecord<String>>, _) = ParallelExplorer::new(BUDGET)
+            .threads(threads)
+            .run(|| deadlock_recovery_sim(mech), line);
+        assert_eq!(
+            stats.schedules, serial_stats.schedules,
+            "{threads} threads: schedule count diverged"
+        );
+        assert!(stats.complete, "{threads} threads: must exhaust the tree");
+        let vectors: BTreeSet<String> = records.iter().map(|r| r.value.clone()).collect();
+        assert_eq!(
+            vectors, serial_vectors,
+            "{threads} threads: decision-vector set diverged"
+        );
+        let merged: Vec<String> = records.into_iter().map(|r| r.value).collect();
+        assert_eq!(
+            merged, serial_journal,
+            "{threads} threads: merged journal is not byte-identical to serial"
+        );
+    }
+}
