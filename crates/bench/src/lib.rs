@@ -21,7 +21,10 @@
 //!   deadlock recovery and the starvation watchdog;
 //! * [`solution_matrix_report`] — T1: every solution validated against
 //!   its constraint checkers;
-//! * [`modularity_report`] — §2/T6: the modularity assessment.
+//! * [`modularity_report`] — §2/T6: the modularity assessment;
+//! * [`run_anatomy_report`] — O1: the per-run `SimMetrics` (dispatches,
+//!   context switches, parks/wakes, queue depths, sync-op counts) across
+//!   the solution matrix.
 //!
 //! The `report` binary prints them all; `EXPERIMENTS.md` archives the
 //! output.
@@ -599,6 +602,78 @@ pub fn workaround_report() -> String {
     )
 }
 
+/// O1: run anatomy — the `SimMetrics` of one canonical (FIFO) run of each
+/// problem × mechanism cell, side by side. Metrics are non-authoritative
+/// observability counters recorded by the simulator on every run; the
+/// table makes mechanism overhead visible (context switches, parks, peak
+/// wait-queue depth, mechanism-labelled sync operations) without touching
+/// any correctness machinery.
+pub fn run_anatomy_report() -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut push = |problem: &str, mech: MechanismId, report: &bloom_sim::SimReport| {
+        let m = &report.metrics;
+        rows.push(vec![
+            problem.to_string(),
+            mech.label().to_string(),
+            m.dispatches.to_string(),
+            m.context_switches.to_string(),
+            m.total_parks().to_string(),
+            m.total_wakes().to_string(),
+            m.max_queue_depth().to_string(),
+            m.total_sync_ops().to_string(),
+        ]);
+    };
+    for mech in bloom_problems::oneslot::MECHANISMS {
+        push("one-slot buffer", mech, &oneslot_scenario(mech, 6, None));
+    }
+    for mech in bloom_problems::buffer::MECHANISMS {
+        let (report, _, _) = buffer_scenario(mech, 3, 2, 2, 4, None);
+        push("bounded buffer", mech, &report);
+    }
+    for mech in bloom_problems::fcfs::MECHANISMS {
+        push("FCFS resource", mech, &fcfs_scenario(mech, 5, 3, None));
+    }
+    for mech in rw::MECHANISMS {
+        push(
+            "readers-priority DB",
+            mech,
+            &rw_scenario(mech, RwVariant::ReadersPriority, 3, 2, 3, None),
+        );
+    }
+    for mech in bloom_problems::disk::MECHANISMS {
+        push("disk scheduler", mech, &disk_scenario(mech, 4, 3, 2, None));
+    }
+    for mech in bloom_problems::alarm::MECHANISMS {
+        push("alarm clock", mech, &alarm_scenario(mech, 5, 2, None));
+    }
+    let mut out = table(
+        &[
+            "problem",
+            "mechanism",
+            "disp",
+            "switch",
+            "parks",
+            "wakes",
+            "peak q",
+            "sync ops",
+        ],
+        &rows,
+    );
+    out.push_str(
+        "\nOne canonical FIFO run per cell. disp/switch: dispatches and context \
+         switches; parks/wakes: blocking episodes entered/ended (by any cause); \
+         peak q: deepest wait queue observed; sync ops: mechanism-labelled \
+         synchronization-state touches (the same instrumentation that powers the \
+         explorer's purity tracking, so recording it adds no scheduling points). \
+         Metrics are non-authoritative: they observe scheduling, never influence \
+         it, and are byte-identical across explorer thread counts.\n",
+    );
+    section(
+        "O1 — Run anatomy (SimMetrics across the solution matrix)",
+        &out,
+    )
+}
+
 /// The complete report, in experiment-index order.
 pub fn full_report() -> String {
     let mut out = String::new();
@@ -620,12 +695,38 @@ pub fn full_report() -> String {
     out.push_str(&modularity_report());
     out.push('\n');
     out.push_str(&solution_matrix_report());
+    out.push('\n');
+    out.push_str(&run_anatomy_report());
     out
 }
 
 /// All problems used by the benchmark suite, for reference.
 pub fn problem_list() -> Vec<ProblemId> {
     ProblemId::ALL.to_vec()
+}
+
+/// The fixed two-process semaphore run behind the trace-export golden
+/// files (`docs/trace_export.jsonl`, `docs/trace_export.chrome.json`):
+/// two processes contend for one strong-semaphore permit under the
+/// default FIFO policy, so the run parks, wakes, and context-switches
+/// deterministically. `examples/trace_export.rs` exports this run; the
+/// `trace_export` integration test pins its exact exported bytes.
+pub fn trace_export_sample() -> bloom_sim::SimReport {
+    let sem = Arc::new(bloom_semaphore::Semaphore::strong("gate", 1));
+    let mut sim = Sim::new();
+    for (name, base) in [("ping", 0i64), ("pong", 10i64)] {
+        let sem = Arc::clone(&sem);
+        sim.spawn(name, move |ctx| {
+            for i in 0..2 {
+                sem.p(ctx);
+                ctx.emit("enter", &[base + i]);
+                ctx.yield_now();
+                ctx.emit("exit", &[base + i]);
+                sem.v(ctx);
+            }
+        });
+    }
+    sim.run().expect("sample run cannot deadlock")
 }
 
 #[cfg(test)]
@@ -651,7 +752,7 @@ mod tests {
     #[test]
     fn full_report_renders_every_section() {
         let report = full_report();
-        for heading in ["T1", "T2", "T3", "T4", "F1a", "R1", "R2", "T6"] {
+        for heading in ["T1", "T2", "T3", "T4", "F1a", "R1", "R2", "T6", "O1"] {
             assert!(report.contains(heading), "missing section {heading}");
         }
         assert!(report.contains("ANOMALOUS (footnote 3)"));

@@ -164,7 +164,7 @@ impl<T: Send> Channel<T> {
     fn deliver_or_enqueue(&self, ctx: &Ctx, value: T) -> bool {
         // Channel state is kernel-invisible shared state: mark the quantum
         // (see `Ctx::note_sync`) before touching it.
-        ctx.note_sync();
+        ctx.note_sync_op("channel");
         let mut value = Some(value);
         let mut st = self.state.lock();
         // Deliver to the longest-waiting receiver whose select has not been
@@ -213,7 +213,7 @@ impl<T: Send> Channel<T> {
     /// side, and it must get its value back. The stale entry is left in
     /// place for the sender's own withdrawal.
     fn front_parked_ticket(&self, ctx: &Ctx) -> Option<u64> {
-        ctx.note_sync();
+        ctx.note_sync_op("channel");
         self.state
             .lock()
             .senders
@@ -376,7 +376,7 @@ fn select_inner<T: Send>(
     // The resumed quantum drains the delivery cell and unregisters from
     // every channel — unlike a semaphore hand-off, it mutates shared
     // state and must be marked.
-    ctx.note_sync();
+    ctx.note_sync_op("channel");
     if !woken {
         // Timed out: remove our registrations. The parked-only guard in
         // the send paths means no sender delivered after the timer fired,

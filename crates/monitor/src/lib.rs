@@ -289,14 +289,14 @@ impl<S: Send> Monitor<S> {
         // Reads shared state (the poison flag) — and is called at every
         // post-wake point, so it also marks resumed quanta as impure for
         // the explorer (see `Ctx::note_sync`).
-        ctx.note_sync();
+        ctx.note_sync_op("monitor");
         let p = self.poisoned.lock().clone()?;
         ctx.emit(&format!("poison-seen:{}", self.name), &[]);
         Some(p)
     }
 
     fn acquire(&self, ctx: &Ctx) {
-        ctx.note_sync();
+        ctx.note_sync_op("monitor");
         let got = {
             let mut busy = self.busy.lock();
             if *busy {
@@ -317,7 +317,7 @@ impl<S: Send> Monitor<S> {
     }
 
     fn release(&self, ctx: &Ctx) {
-        ctx.note_sync();
+        ctx.note_sync_op("monitor");
         // Signal-and-exit: a deferred signal takes effect now, handing
         // possession straight to the signalled process.
         if let Some(pid) = self.pending_handoff.lock().take() {
@@ -410,7 +410,7 @@ impl<S: Send> MonitorCtx<'_, S> {
     pub fn state<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
         // Protected-state access is exactly the kernel-invisible effect
         // the purity analysis must see.
-        self.ctx.note_sync();
+        self.ctx.note_sync_op("monitor");
         let mut guard = self
             .monitor
             .state
@@ -581,7 +581,7 @@ impl<S: Send> MonitorCtx<'_, S> {
     /// never park, so they always return `Ok`.
     pub fn signal_checked(&self, cond: &Cond) -> Result<(), Poisoned> {
         // The empty-queue probes below are ctx-less and kernel-invisible.
-        self.ctx.note_sync();
+        self.ctx.note_sync_op("monitor");
         match self.monitor.signaling {
             Signaling::Hoare => {
                 if cond.queue.is_empty() {

@@ -355,7 +355,7 @@ impl PathResource {
         std::mem::forget(cleanup);
         // The resumed quantum re-reads the machine (grant-vs-poison
         // disambiguation below), so it must be marked.
-        ctx.note_sync();
+        ctx.note_sync_op("pathexpr");
         // A granting waker applied our enter effects, recorded our
         // activation, and *removed us from the blocked queue* before
         // unparking. A poison broadcast wakes us still-queued instead.
@@ -501,7 +501,7 @@ impl PathResource {
 
     /// Finishes operation `op` (the second half of [`PathResource::perform`]).
     pub fn finish(&self, ctx: &Ctx, op: &str) {
-        ctx.note_sync();
+        ctx.note_sync_op("pathexpr");
         {
             let mut m = self.machine.lock();
             let stack = m.open.get_mut(&ctx.pid()).expect("finish without begin");
@@ -522,7 +522,7 @@ impl PathResource {
     }
 
     fn wake_startable(&self, ctx: &Ctx) {
-        ctx.note_sync();
+        ctx.note_sync_op("pathexpr");
         let woken = self
             .machine
             .lock()
@@ -543,7 +543,7 @@ impl PathResource {
         // Reads shared state — and runs at every request entry point, so
         // it marks those quanta as impure for the explorer (see
         // `Ctx::note_sync`).
-        ctx.note_sync();
+        ctx.note_sync_op("pathexpr");
         let p = self.poisoned.lock().clone()?;
         ctx.emit(&format!("poison-seen:{}", self.name), &[]);
         Some(p)

@@ -109,7 +109,7 @@ impl Semaphore {
             Fairness::Strong => {
                 // The count is kernel-invisible shared state: mark the
                 // quantum (see `Ctx::note_sync`) before touching it.
-                ctx.note_sync();
+                ctx.note_sync_op("semaphore");
                 let available = {
                     let mut count = self.count.lock();
                     if *count > 0 {
@@ -131,7 +131,7 @@ impl Semaphore {
             Fairness::Weak => loop {
                 // Each re-contention (including the first attempt and
                 // every post-wake retry) reads the shared count.
-                ctx.note_sync();
+                ctx.note_sync_op("semaphore");
                 {
                     let mut count = self.count.lock();
                     if *count > 0 {
@@ -171,7 +171,7 @@ impl Semaphore {
         // kernel-visible operation; the timed paths disable pruning for
         // the whole run anyway (timers), so the entry mark is what keeps
         // the fast path honest.
-        ctx.note_sync();
+        ctx.note_sync_op("semaphore");
         match self.fairness {
             Fairness::Strong => {
                 if self.try_p() {
@@ -241,7 +241,7 @@ impl Semaphore {
 
     /// Dijkstra's V operation: release a permit.
     pub fn v(&self, ctx: &Ctx) {
-        ctx.note_sync();
+        ctx.note_sync_op("semaphore");
         match self.fairness {
             Fairness::Strong => {
                 // Direct hand-off: if anyone waits, the permit never becomes
@@ -385,7 +385,7 @@ impl Lock {
         // Unlike a bare strong-semaphore hand-off, the quantum resumed
         // here *does* read shared state (the poison flag), so it must be
         // marked even though `p` itself leaves the hand-off unmarked.
-        ctx.note_sync();
+        ctx.note_sync_op("semaphore");
         if let Some(p) = self.poisoned.lock().clone() {
             ctx.emit(&format!("poison-seen:{}", self.name()), &[]);
             self.sem.v(ctx);

@@ -310,14 +310,14 @@ impl<S: Send> Serializer<S> {
     fn observe_poison(&self, ctx: &Ctx) -> Option<Poisoned> {
         // Reads shared state, and runs at every post-wake point — marks
         // resumed quanta as impure for the explorer (see `Ctx::note_sync`).
-        ctx.note_sync();
+        ctx.note_sync_op("serializer");
         let p = self.poisoned.lock().clone()?;
         ctx.emit(&format!("poison-seen:{}", self.name), &[]);
         Some(p)
     }
 
     fn acquire(&self, ctx: &Ctx) {
-        ctx.note_sync();
+        ctx.note_sync_op("serializer");
         let got = {
             let mut busy = self.busy.lock();
             if *busy {
@@ -350,7 +350,7 @@ impl<S: Send> Serializer<S> {
     fn hand_off(&self, ctx: &Ctx, me: Option<Pid>) -> bool {
         // Guard evaluation reads every queue and crowd — all of it
         // kernel-invisible shared state.
-        ctx.note_sync();
+        ctx.note_sync_op("serializer");
         loop {
             match self.select_winner(me) {
                 Winner::QueueHead(qi) => {
@@ -539,7 +539,7 @@ impl<S: Send> SerializerCtx<'_, S> {
     pub fn state<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
         // Protected-state access is exactly the kernel-invisible effect
         // the purity analysis must see.
-        self.ctx.note_sync();
+        self.ctx.note_sync_op("serializer");
         let mut guard = self
             .ser
             .state
@@ -738,7 +738,7 @@ impl<S: Send> SerializerCtx<'_, S> {
         // `acquire` marks its own quantum before it parks; the membership
         // removal below runs in the quantum resumed *after* the hand-off,
         // which must be marked separately.
-        self.ctx.note_sync();
+        self.ctx.note_sync_op("serializer");
         let mut crowds = self.ser.crowds.lock();
         let members = &mut crowds[crowd.0].members;
         let at = members
@@ -752,7 +752,7 @@ impl<S: Send> SerializerCtx<'_, S> {
     /// Number of members currently in `crowd` (Bloom's *synchronization
     /// state* interrogation).
     pub fn crowd_len(&self, crowd: CrowdId) -> usize {
-        self.ctx.note_sync();
+        self.ctx.note_sync_op("serializer");
         self.ser.crowds.lock()[crowd.0].members.len()
     }
 
@@ -763,7 +763,7 @@ impl<S: Send> SerializerCtx<'_, S> {
 
     /// Number of waiters in `queue`.
     pub fn queue_len(&self, queue: QueueId) -> usize {
-        self.ctx.note_sync();
+        self.ctx.note_sync_op("serializer");
         self.ser.queues.lock()[queue.0].waiters.len()
     }
 }

@@ -93,6 +93,20 @@ impl Ctx {
         self.shared.quantum_dirty.store(true, Ordering::Relaxed);
     }
 
+    /// [`Ctx::note_sync`], plus a per-mechanism operation count in
+    /// [`crate::SimMetrics::sync_ops`] under `mechanism`.
+    ///
+    /// The mechanism crates call this at the call sites that already had
+    /// to call `note_sync` for the purity contract, so the metric rides an
+    /// existing instrumentation point and adds **no new scheduling
+    /// points**: incrementing a counter is not a kernel operation, does
+    /// not stop the quantum, and is never read back by the scheduler.
+    pub fn note_sync_op(&self, mechanism: &str) {
+        self.note_sync();
+        let mut st = self.shared.state.lock();
+        crate::metrics::SimMetrics::bump(&mut st.metrics.sync_ops, mechanism);
+    }
+
     /// Gives up the CPU; the process stays runnable and will be rescheduled
     /// according to the policy.
     pub fn yield_now(&self) {
@@ -233,6 +247,10 @@ impl Ctx {
             // into this real unpark preserves unpark semantics exactly.
             if slot.spurious_wake {
                 slot.spurious_wake = false;
+                if let Some((reason, _)) = &slot.wait_started {
+                    let reason = reason.clone();
+                    crate::metrics::SimMetrics::bump(&mut st.metrics.wakes, &reason);
+                }
                 let clock = st.clock;
                 st.trace
                     .push(clock, target, EventKind::Unparked { by: self.pid });
@@ -260,6 +278,10 @@ impl Ctx {
             // See Ctx::try_unpark: consume the pending spurious wake as if
             // it were this unpark.
             slot.spurious_wake = false;
+            if let Some((reason, _)) = &slot.wait_started {
+                let reason = reason.clone();
+                crate::metrics::SimMetrics::bump(&mut st.metrics.wakes, &reason);
+            }
             let clock = st.clock;
             st.trace
                 .push(clock, target, EventKind::Unparked { by: self.pid });
@@ -280,6 +302,14 @@ impl Ctx {
     /// a delay only shifts when the wakee next runs.
     fn deliver_unpark(&self, st: &mut crate::kernel::State, target: Pid) {
         let clock = st.clock;
+        // Metrics: the unpark is delivered either way (a fault-plan delay
+        // only shifts when the wakee runs), so it counts as a wake and
+        // ends the target's blocked episode here.
+        if let ProcessStatus::Blocked { reason } = &st.procs[target.index()].status {
+            let reason = reason.clone();
+            crate::metrics::SimMetrics::bump(&mut st.metrics.wakes, &reason);
+        }
+        st.settle_blocked_time(target);
         st.trace
             .push(clock, target, EventKind::Unparked { by: self.pid });
         let delay = if st.faults.active() {

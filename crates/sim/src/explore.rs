@@ -33,8 +33,25 @@ use crate::policy::ReplayPolicy;
 use crate::sim::Sim;
 use crate::trace::Decision;
 
+/// The first failed schedule of an exploration, with enough context to
+/// replay it: the full decision vector that produced the failure and the
+/// failure itself (whose report carries the partial trace and metrics).
+///
+/// "First" is deterministic regardless of exploration strategy or thread
+/// count: it is the failing schedule whose decision vector comes first in
+/// canonical depth-first order — the order [`Explorer`] visits natively
+/// and [`crate::ParallelExplorer`] reconstructs by sorting.
+#[derive(Debug, Clone)]
+pub struct ExploreError {
+    /// The decision vector (one chosen index per contested decision) of
+    /// the failing schedule; feed it to [`ReplayPolicy::new`] to rerun it.
+    pub choices: Vec<u32>,
+    /// The failure.
+    pub error: SimError,
+}
+
 /// Result summary of an exploration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ExploreStats {
     /// How many distinct schedules were executed.
     pub schedules: usize,
@@ -44,10 +61,53 @@ pub struct ExploreStats {
     /// How many sibling branches (whole subtrees, not schedules) the
     /// equivalence prune skipped. Always 0 unless pruning was enabled.
     pub pruned: usize,
+    /// Schedule histogram by depth: `depth_schedules[d]` counts executed
+    /// schedules whose decision vector had exactly `d` contested
+    /// decisions. Sums to `schedules`.
+    pub depth_schedules: Vec<usize>,
+    /// Prune histogram by depth: `depth_pruned[d]` counts sibling branches
+    /// skipped at decision index `d`. Sums to `pruned`.
+    pub depth_pruned: Vec<usize>,
+    /// The first failed schedule in canonical depth-first order, if any
+    /// schedule failed. Exploration does not stop at a failure — the rest
+    /// of the tree is still covered — but the canonical-first failure is
+    /// kept for replay and is identical across explorer thread counts.
+    pub first_error: Option<ExploreError>,
+}
+
+impl ExploreStats {
+    /// Folds one schedule into the depth histogram.
+    pub(crate) fn count_schedule_at_depth(&mut self, depth: usize) {
+        bump_depth(&mut self.depth_schedules, depth, 1);
+        self.schedules += 1;
+    }
+
+    /// Folds pruned sibling branches at `depth` into the prune histogram.
+    pub(crate) fn count_pruned_at_depth(&mut self, depth: usize, branches: usize) {
+        bump_depth(&mut self.depth_pruned, depth, branches);
+        self.pruned += branches;
+    }
+}
+
+/// Adds `by` to `hist[depth]`, growing the histogram as needed.
+pub(crate) fn bump_depth(hist: &mut Vec<usize>, depth: usize, by: usize) {
+    if hist.len() <= depth {
+        hist.resize(depth + 1, 0);
+    }
+    hist[depth] += by;
+}
+
+/// Elementwise-adds `src` into `dst` (histogram merge).
+pub(crate) fn merge_depth(dst: &mut Vec<usize>, src: &[usize]) {
+    for (depth, &by) in src.iter().enumerate() {
+        if by > 0 {
+            bump_depth(dst, depth, by);
+        }
+    }
 }
 
 /// Result summary of a kill-point sweep ([`Explorer::run_kill_points`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct KillPointStats {
     /// Total schedules executed across all explored kill points.
     pub schedules: usize,
@@ -59,6 +119,15 @@ pub struct KillPointStats {
     /// maximum observed scheduling-point count are not explored (they can
     /// never fire), so this may be shorter than `max_points`.
     pub per_point: Vec<KillPointCount>,
+    /// Schedule histogram by depth, merged across kill points (see
+    /// [`ExploreStats::depth_schedules`]).
+    pub depth_schedules: Vec<usize>,
+    /// Prune histogram by depth, merged across kill points.
+    pub depth_pruned: Vec<usize>,
+    /// The first failed schedule: the canonical-first failure of the
+    /// earliest kill point that had one (points are swept in order, so
+    /// this too is deterministic across strategies and thread counts).
+    pub first_error: Option<ExploreError>,
 }
 
 /// Exploration counts for one kill point of a sweep.
@@ -102,6 +171,11 @@ impl Explorer {
     /// (the explorer overrides the policy). `visit` is invoked once per
     /// schedule with the decision vector taken and the run outcome.
     ///
+    /// A failed schedule (deadlock, panic, step-budget overrun) does not
+    /// abort the exploration: the failure is still passed to `visit`, the
+    /// rest of the tree is covered, and the canonical-first failure is
+    /// returned in [`ExploreStats::first_error`].
+    ///
     /// # Panics
     ///
     /// Panics if `setup` produces runs whose decision structure is not a
@@ -119,16 +193,23 @@ impl Explorer {
         // keeps the pruned tree identical to ParallelExplorer's, which can
         // only consult the discovering run.
         let mut prunable: Vec<bool> = Vec::new();
-        let mut schedules = 0;
-        let mut pruned = 0;
+        let mut stats = ExploreStats::default();
         loop {
             let mut sim = setup();
-            sim.set_policy(ReplayPolicy::new(prefix.clone()));
+            sim.set_policy(ReplayPolicy::prefix(prefix.clone()));
             let result = sim.run();
-            let decisions: &[Decision] = match &result {
-                Ok(report) => &report.decisions,
-                Err(err) => &err.report.decisions,
+            let (decisions, metrics): (&[Decision], _) = match &result {
+                Ok(report) => (&report.decisions, &report.metrics),
+                Err(err) => (&err.report.decisions, &err.report.metrics),
             };
+            // An exhaustive walk replays only prefixes of vectors the tree
+            // itself produced, so any recorded divergence means the
+            // scenario is not a function of its decisions.
+            debug_assert!(
+                !metrics.replay.diverged(),
+                "replay diverged ({:?}) during exploration: scenario is nondeterministic",
+                metrics.replay
+            );
             for (i, want) in prefix.iter().enumerate() {
                 assert!(
                     decisions.get(i).map(|d| d.chosen) == Some(*want),
@@ -142,7 +223,17 @@ impl Explorer {
                 prunable.push(self.prune && d.pure);
             }
             visit(decisions, &result);
-            schedules += 1;
+            stats.count_schedule_at_depth(decisions.len());
+            if let Err(err) = &result {
+                // Depth-first order *is* canonical order, so the first
+                // failure seen wins.
+                if stats.first_error.is_none() {
+                    stats.first_error = Some(ExploreError {
+                        choices: decisions.iter().map(|d| d.chosen).collect(),
+                        error: err.clone(),
+                    });
+                }
+            }
             // Backtrack to the deepest decision with an unexplored branch —
             // checked *before* the budget so a tree of exactly
             // `max_schedules` schedules still reports `complete`.
@@ -150,7 +241,10 @@ impl Explorer {
             for i in (0..decisions.len()).rev() {
                 if decisions[i].chosen + 1 < decisions[i].arity {
                     if prunable[i] {
-                        pruned += (decisions[i].arity - 1 - decisions[i].chosen) as usize;
+                        stats.count_pruned_at_depth(
+                            i,
+                            (decisions[i].arity - 1 - decisions[i].chosen) as usize,
+                        );
                         continue;
                     }
                     next_branch = Some(i);
@@ -158,18 +252,11 @@ impl Explorer {
                 }
             }
             let Some(i) = next_branch else {
-                return ExploreStats {
-                    schedules,
-                    complete: true,
-                    pruned,
-                };
+                stats.complete = true;
+                return stats;
             };
-            if schedules >= self.max_schedules {
-                return ExploreStats {
-                    schedules,
-                    complete: false,
-                    pruned,
-                };
+            if stats.schedules >= self.max_schedules {
+                return stats;
             }
             // Advance the prefix in place: entries below `i` already match
             // the decision vector (asserted above).
@@ -205,10 +292,8 @@ impl Explorer {
         V: FnMut(u64, &[Decision], &Result<SimReport, SimError>),
     {
         let mut stats = KillPointStats {
-            schedules: 0,
             complete: true,
-            pruned: 0,
-            per_point: Vec::new(),
+            ..KillPointStats::default()
         };
         for point in 1..=max_points {
             let mut kills = 0usize;
@@ -228,6 +313,11 @@ impl Explorer {
             stats.schedules += point_stats.schedules;
             stats.complete &= point_stats.complete;
             stats.pruned += point_stats.pruned;
+            merge_depth(&mut stats.depth_schedules, &point_stats.depth_schedules);
+            merge_depth(&mut stats.depth_pruned, &point_stats.depth_pruned);
+            if stats.first_error.is_none() {
+                stats.first_error = point_stats.first_error;
+            }
             stats.per_point.push(KillPointCount {
                 point,
                 schedules: point_stats.schedules,
@@ -305,7 +395,7 @@ mod tests {
                 sim
             },
             move |_, result| {
-                let report = result.as_ref().unwrap();
+                let Ok(report) = result else { return };
                 let order: Vec<i64> = report
                     .trace
                     .user_events()
@@ -316,6 +406,72 @@ mod tests {
         );
         assert!(stats.complete);
         assert_eq!(seen.lock().len(), 6, "3! = 6 distinct orders");
+    }
+
+    /// The depth histograms are exact decompositions of the totals.
+    #[test]
+    fn depth_histograms_sum_to_totals() {
+        let stats = Explorer::new(10_000).run(
+            || {
+                let mut sim = Sim::new();
+                for i in 0..3 {
+                    sim.spawn(&format!("p{i}"), move |ctx| ctx.emit("go", &[i]));
+                }
+                sim
+            },
+            |_, _| {},
+        );
+        assert_eq!(stats.depth_schedules.iter().sum::<usize>(), stats.schedules);
+        assert_eq!(stats.depth_pruned.iter().sum::<usize>(), stats.pruned);
+        assert!(
+            stats.depth_schedules.last().copied().unwrap_or(0) > 0,
+            "histogram must not have trailing empty buckets"
+        );
+    }
+
+    /// A schedule-dependent deadlock (wake-before-wait loses the wakeup)
+    /// must not abort exploration: the whole tree is still covered, both
+    /// outcomes are visited, and the canonical-first failing decision
+    /// vector is reported in `first_error`.
+    #[test]
+    fn failed_schedules_are_reported_not_fatal() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            let q = Arc::new(crate::waitq::WaitQueue::new("gate"));
+            let q2 = Arc::clone(&q);
+            sim.spawn("waiter", move |ctx| q2.wait(ctx));
+            let q3 = Arc::clone(&q);
+            sim.spawn("waker", move |ctx| {
+                q3.wake_one(ctx);
+            });
+            sim
+        };
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        let outcomes2 = Arc::clone(&outcomes);
+        let stats = Explorer::new(1000).run(scenario, move |decisions, result| {
+            outcomes2.lock().push((
+                decisions.iter().map(|d| d.chosen).collect::<Vec<u32>>(),
+                result.is_ok(),
+            ));
+        });
+        assert!(stats.complete, "a failure must not cut the walk short");
+        let outcomes = outcomes.lock();
+        assert!(outcomes.iter().any(|(_, ok)| *ok), "some schedule succeeds");
+        assert!(
+            outcomes.iter().any(|(_, ok)| !*ok),
+            "some schedule deadlocks"
+        );
+        let first = stats.first_error.as_ref().expect("failure is propagated");
+        assert!(first.error.is_deadlock());
+        let canonical_first_failure = outcomes
+            .iter()
+            .find(|(_, ok)| !*ok)
+            .map(|(choices, _)| choices.clone())
+            .unwrap();
+        assert_eq!(
+            first.choices, canonical_first_failure,
+            "first error is the first failure in depth-first order"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::baton::{Baton, Go, Report};
 use crate::ctx::Ctx;
 use crate::error::{SimError, SimErrorKind};
 use crate::fault::FaultRuntime;
+use crate::metrics::{PidMetrics, SimMetrics};
 use crate::policy::SchedPolicy;
 use crate::sim::SimConfig;
 use crate::trace::{Decision, EventKind, Trace};
@@ -88,6 +89,10 @@ pub(crate) struct ProcSlot {
     /// Whether the watchdog has already flagged the current wait episode
     /// (each episode is flagged at most once).
     pub starvation_flagged: bool,
+    /// When the process last became `Blocked`, for the blocked-time metric
+    /// ([`crate::PidMetrics::blocked_ticks`]). Metrics bookkeeping only —
+    /// never consulted by scheduling decisions.
+    pub blocked_since: Option<Time>,
 }
 
 /// All mutable kernel state, guarded by one mutex.
@@ -118,6 +123,13 @@ pub(crate) struct State {
     /// running the starvation watchdog clears this flag, and `snapshot`
     /// then strips the `pure` bit from every recorded decision.
     pub prune_safe: bool,
+    /// Run-anatomy counters (see [`SimMetrics`]). Strictly
+    /// non-authoritative: written throughout the run, read only by
+    /// `snapshot`.
+    pub metrics: SimMetrics,
+    /// The previously dispatched pid, for the context-switch count.
+    /// Metrics bookkeeping only.
+    pub last_dispatched: Option<Pid>,
 }
 
 impl State {
@@ -137,6 +149,18 @@ impl State {
             starvation: Vec::new(),
             recovered: Vec::new(),
             prune_safe: true,
+            metrics: SimMetrics::default(),
+            last_dispatched: None,
+        }
+    }
+
+    /// Closes the pid's blocked episode (if one is open) and adds its
+    /// duration to the blocked-time metric. Called wherever a process
+    /// stops being `Blocked`: unpark delivery, park-timeout fire, abort,
+    /// spurious wake, and end-of-run finalization.
+    pub(crate) fn settle_blocked_time(&mut self, pid: Pid) {
+        if let Some(since) = self.procs[pid.index()].blocked_since.take() {
+            self.metrics.per_pid[pid.index()].blocked_ticks += self.clock.0 - since.0;
         }
     }
 }
@@ -228,7 +252,9 @@ impl Shared {
                 spurious_wake: false,
                 wait_started: None,
                 starvation_flagged: false,
+                blocked_since: None,
             });
+            st.metrics.per_pid.push(PidMetrics::default());
             st.ready.push(pid);
             let clock = st.clock;
             st.trace.push(
@@ -370,6 +396,11 @@ pub struct SimReport {
     /// [`Decision::pure`] bit has been forced to `false`, so explorers need
     /// not consult this field separately.
     pub prune_safe: bool,
+    /// Run-anatomy counters (dispatches, parks/wakes by reason, queue
+    /// high-water marks, per-mechanism sync ops, replay divergence).
+    /// Strictly non-authoritative: recorded on every run, never consulted
+    /// by scheduling. See [`SimMetrics`] and [`crate::export`].
+    pub metrics: SimMetrics,
 }
 
 impl SimReport {
@@ -388,7 +419,7 @@ impl SimReport {
     }
 }
 
-fn snapshot(st: &mut State) -> SimReport {
+fn snapshot(st: &mut State, policy: &dyn SchedPolicy) -> SimReport {
     let mut decisions = std::mem::take(&mut st.decisions);
     if !st.prune_safe {
         // A pure quantum commutes with its siblings only up to a one-tick
@@ -398,6 +429,20 @@ fn snapshot(st: &mut State) -> SimReport {
             d.pure = false;
         }
     }
+    // Metrics finalization: close the blocked episodes of processes that
+    // never woke (deadlock victims, shutdown-cancelled waiters) and read
+    // the policy's replay-divergence verdict.
+    let still_blocked: Vec<Pid> = st
+        .procs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p.status, ProcessStatus::Blocked { .. }))
+        .map(|(i, _)| Pid(i as u32))
+        .collect();
+    for pid in still_blocked {
+        st.settle_blocked_time(pid);
+    }
+    st.metrics.replay = policy.replay_divergence().unwrap_or_default();
     SimReport {
         trace: std::mem::take(&mut st.trace),
         decisions,
@@ -421,6 +466,7 @@ fn snapshot(st: &mut State) -> SimReport {
         starvation: std::mem::take(&mut st.starvation),
         recovered: std::mem::take(&mut st.recovered),
         prune_safe: st.prune_safe,
+        metrics: std::mem::take(&mut st.metrics),
     }
 }
 
@@ -488,6 +534,12 @@ pub(crate) fn run_kernel(
                         }
                         if let TimerKind::ParkTimeout { .. } = kind {
                             st.procs[pid.index()].timed_out = true;
+                            if let ProcessStatus::Blocked { reason } = &st.procs[pid.index()].status
+                            {
+                                let reason = reason.clone();
+                                SimMetrics::bump(&mut st.metrics.timeout_wakes, &reason);
+                            }
+                            st.settle_blocked_time(pid);
                         }
                         st.procs[pid.index()].status = ProcessStatus::Ready;
                         st.ready.push(pid);
@@ -555,7 +607,7 @@ pub(crate) fn run_kernel(
                             drop(st);
                             shutdown(&shared);
                             let mut st = shared.state.lock();
-                            let report = snapshot(&mut st);
+                            let report = snapshot(&mut st, policy.as_ref());
                             return Err(SimError {
                                 kind: SimErrorKind::ProcessPanicked {
                                     pid: victim,
@@ -569,6 +621,7 @@ pub(crate) fn run_kernel(
                     let mut st = shared.state.lock();
                     // Cancelled, not Killed: an abort is a recovery action,
                     // not a crash. The thread has exited; shutdown joins it.
+                    st.settle_blocked_time(victim);
                     st.procs[victim.index()].status = ProcessStatus::Cancelled;
                     st.procs[victim.index()].wait_started = None;
                     continue;
@@ -591,6 +644,15 @@ pub(crate) fn run_kernel(
                 0
             } else {
                 decided = true;
+                // The trait contract promises policies at least two
+                // candidates at a contested dispatch; assert the kernel
+                // keeps that promise (the len == 1 arm above handles the
+                // forced case, and an empty ready list never reaches here).
+                debug_assert!(
+                    st.ready.len() >= 2,
+                    "policy consulted with {} candidates",
+                    st.ready.len()
+                );
                 let step = st.step;
                 let arity = st.ready.len() as u32;
                 let pick = policy.choose(&st.ready, step).min(st.ready.len() - 1);
@@ -606,6 +668,15 @@ pub(crate) fn run_kernel(
             st.step += 1;
             st.running = Some(next);
             st.procs[next.index()].status = ProcessStatus::Running;
+            // Run-anatomy metrics (non-authoritative; nothing below reads
+            // them back).
+            st.metrics.dispatches += 1;
+            if st.last_dispatched != Some(next) {
+                st.metrics.context_switches += 1;
+            }
+            st.last_dispatched = Some(next);
+            st.metrics.per_pid[next.index()].dispatches += 1;
+            st.metrics.per_pid[next.index()].run_ticks += 1;
             // Starvation watchdog: a dispatch means *somebody* is making
             // progress; any non-daemon still blocked whose current wait
             // episode is older than the bound has been bypassed that whole
@@ -719,7 +790,7 @@ pub(crate) fn run_kernel(
                     drop(st);
                     shutdown(&shared);
                     let mut st = shared.state.lock();
-                    let report = snapshot(&mut st);
+                    let report = snapshot(&mut st, policy.as_ref());
                     return Err(SimError {
                         kind: SimErrorKind::ProcessPanicked { pid: next, message },
                         report: Box::new(report),
@@ -746,6 +817,7 @@ pub(crate) fn run_kernel(
             Report::Parked { reason } => {
                 // The Blocked trace event was already pushed by Ctx::park so
                 // that it is ordered before any subsequent unpark.
+                SimMetrics::bump(&mut st.metrics.parks, &reason);
                 let slot = &mut st.procs[next.index()];
                 // Watchdog bookkeeping: re-parking on the same reason (a
                 // re-contend or recheck loop) continues the current wait
@@ -760,11 +832,13 @@ pub(crate) fn run_kernel(
                 slot.status = ProcessStatus::Blocked { reason };
                 slot.park_token += 1;
                 slot.timed_out = false;
+                slot.blocked_since = Some(clock);
                 // Fault plane: a spurious wake makes the process runnable
                 // again with no matching unpark; Ctx::park absorbs it.
                 if st.faults.active() {
                     let name = st.procs[next.index()].name.clone();
                     if st.faults.on_park(next, &name) {
+                        st.settle_blocked_time(next);
                         let slot = &mut st.procs[next.index()];
                         slot.status = ProcessStatus::Ready;
                         slot.spurious_wake = true;
@@ -775,6 +849,7 @@ pub(crate) fn run_kernel(
             }
             Report::ParkedTimeout { reason, ticks } => {
                 st.prune_safe = false; // timers are time-sensitive: no prune
+                SimMetrics::bump(&mut st.metrics.parks, &reason);
                 let until = clock.plus(ticks);
                 let slot = &mut st.procs[next.index()];
                 match &slot.wait_started {
@@ -787,6 +862,7 @@ pub(crate) fn run_kernel(
                 slot.status = ProcessStatus::Blocked { reason };
                 slot.park_token += 1;
                 slot.timed_out = false;
+                slot.blocked_since = Some(clock);
                 let token = slot.park_token;
                 let tiebreak = st.timer_tiebreak;
                 st.timer_tiebreak += 1;
@@ -827,7 +903,7 @@ pub(crate) fn run_kernel(
                 drop(st);
                 shutdown(&shared);
                 let mut st = shared.state.lock();
-                let report = snapshot(&mut st);
+                let report = snapshot(&mut st, policy.as_ref());
                 return Err(SimError {
                     kind: SimErrorKind::ProcessPanicked { pid: next, message },
                     report: Box::new(report),
@@ -862,7 +938,7 @@ pub(crate) fn run_kernel(
         );
     }
     let mut st = shared.state.lock();
-    let report = snapshot(&mut st);
+    let report = snapshot(&mut st, policy.as_ref());
     match error {
         None => Ok(report),
         Some(kind) => Err(SimError {

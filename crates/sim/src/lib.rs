@@ -32,6 +32,12 @@
 //!   at its Nth scheduling point, wake a park spuriously, delay a wake.
 //!   Faults are part of the run's coordinates, so a crash scenario replays
 //!   exactly like a schedule.
+//! * [`SimMetrics`] — per-run observability counters (dispatches, parks,
+//!   wakes, queue depths, sync ops, replay divergence) attached to every
+//!   [`SimReport`]; strictly *non-authoritative* — metrics observe
+//!   scheduling, never influence it.
+//! * [`export`] — serializes any trace + metrics pair to JSONL or the
+//!   Chrome trace-event format (Perfetto-loadable), dependency-free.
 //!
 //! # The cooperative invariant
 //!
@@ -67,8 +73,10 @@ mod baton;
 mod ctx;
 mod error;
 mod explore;
+pub mod export;
 mod fault;
 mod kernel;
+mod metrics;
 mod parallel;
 mod policy;
 mod sim;
@@ -78,9 +86,10 @@ mod waitq;
 
 pub use ctx::Ctx;
 pub use error::{SimError, SimErrorKind};
-pub use explore::{ExploreStats, Explorer, KillPointCount, KillPointStats};
+pub use explore::{ExploreError, ExploreStats, Explorer, KillPointCount, KillPointStats};
 pub use fault::{DelaySpec, FaultPlan, KillSpec, Poisoned, SpuriousSpec};
 pub use kernel::{ProcessStatus, ProcessSummary, SimReport, StarvationFlag};
+pub use metrics::{PidMetrics, ReplayDivergence, SimMetrics};
 pub use parallel::{ParallelExplorer, ScheduleRecord};
 pub use policy::{FifoPolicy, LifoPolicy, RandomPolicy, ReplayPolicy, SchedPolicy};
 pub use sim::{Sim, SimConfig};

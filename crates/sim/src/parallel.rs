@@ -35,14 +35,18 @@
 
 use crate::error::SimError;
 use crate::explore::victim_killed;
-use crate::explore::{ExploreStats, KillPointCount, KillPointStats};
+use crate::explore::{
+    bump_depth, merge_depth, ExploreError, ExploreStats, KillPointCount, KillPointStats,
+};
 use crate::fault::FaultPlan;
 use crate::kernel::SimReport;
 use crate::policy::ReplayPolicy;
 use crate::sim::Sim;
 use crate::trace::Decision;
 use parking_lot::{Condvar, Mutex};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// One schedule's entry in a merged exploration journal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,12 +89,59 @@ impl Drop for ActiveGuard<'_> {
     }
 }
 
+/// Mutable exploration state shared by the workers. Everything here is
+/// merge-order-independent (atomic adds, elementwise histogram adds, a
+/// lexicographic minimum), which is what keeps the final [`ExploreStats`]
+/// byte-identical across thread counts.
+struct SharedStats {
+    claimed: AtomicUsize,
+    budget_hit: AtomicBool,
+    depth_pruned: Mutex<Vec<usize>>,
+    first_error: Mutex<Option<ExploreError>>,
+}
+
+impl SharedStats {
+    fn new() -> Self {
+        SharedStats {
+            claimed: AtomicUsize::new(0),
+            budget_hit: AtomicBool::new(false),
+            depth_pruned: Mutex::new(Vec::new()),
+            first_error: Mutex::new(None),
+        }
+    }
+
+    /// Keeps the failure whose decision vector is least in canonical
+    /// depth-first order — the same winner regardless of which worker
+    /// found which failure first.
+    fn offer_error(&self, candidate: ExploreError) {
+        let mut slot = self.first_error.lock();
+        match &*slot {
+            Some(cur) if cur.choices <= candidate.choices => {}
+            _ => *slot = Some(candidate),
+        }
+    }
+}
+
 /// Work-sharing parallel version of [`crate::Explorer`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct ParallelExplorer {
     max_schedules: usize,
     threads: usize,
     prune: bool,
+    progress_every: usize,
+    progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl fmt::Debug for ParallelExplorer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelExplorer")
+            .field("max_schedules", &self.max_schedules)
+            .field("threads", &self.threads)
+            .field("prune", &self.prune)
+            .field("progress_every", &self.progress_every)
+            .field("progress", &self.progress.as_ref().map(|_| ".."))
+            .finish()
+    }
 }
 
 impl ParallelExplorer {
@@ -105,6 +156,8 @@ impl ParallelExplorer {
             max_schedules,
             threads,
             prune: false,
+            progress_every: 0,
+            progress: None,
         }
     }
 
@@ -119,6 +172,25 @@ impl ParallelExplorer {
     /// — the pruned tree is identical to the serial explorer's).
     pub fn with_pruning(mut self) -> Self {
         self.prune = true;
+        self
+    }
+
+    /// Installs a progress callback fired at *virtual* milestones — once
+    /// for every `every`-th schedule claimed from the budget counter, with
+    /// the running claim count as argument — never on wall-clock time, so
+    /// observing progress cannot perturb determinism. For an exhaustive
+    /// exploration the set of milestones is a pure function of the tree
+    /// (claims = schedules); only the thread a callback runs on varies.
+    /// Under a budget cut-off the over-claims that detect exhaustion are
+    /// scheduling-dependent, so the last milestone may vary — the same
+    /// caveat as the journal (see the module docs). `every == 0` disables
+    /// the callback.
+    pub fn with_progress<F>(mut self, every: usize, callback: F) -> Self
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        self.progress_every = every;
+        self.progress = Some(Arc::new(callback));
         self
     }
 
@@ -144,15 +216,13 @@ impl ParallelExplorer {
             }),
             available: Condvar::new(),
         };
-        let claimed = AtomicUsize::new(0);
-        let budget_hit = AtomicBool::new(false);
-        let pruned = AtomicUsize::new(0);
+        let shared = SharedStats::new();
         let journals: Mutex<Vec<Vec<ScheduleRecord<T>>>> = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
             for _ in 0..self.threads {
                 scope.spawn(|| {
-                    let journal = self.worker(&sync, &claimed, &budget_hit, &pruned, &setup, &map);
+                    let journal = self.worker(&sync, &shared, &setup, &map);
                     journals.lock().push(journal);
                 });
             }
@@ -161,10 +231,22 @@ impl ParallelExplorer {
         let mut journal: Vec<ScheduleRecord<T>> =
             journals.into_inner().into_iter().flatten().collect();
         journal.sort_unstable_by(|a, b| a.choices.cmp(&b.choices));
+        // The schedule depth histogram is derived from the merged journal
+        // (one record per executed schedule), so it is canonical by
+        // construction; the prune histogram and first error were merged
+        // order-independently as the workers ran.
+        let mut depth_schedules = Vec::new();
+        for r in &journal {
+            bump_depth(&mut depth_schedules, r.choices.len(), 1);
+        }
+        let depth_pruned = shared.depth_pruned.into_inner();
         let stats = ExploreStats {
             schedules: journal.len(),
-            complete: !budget_hit.load(Ordering::Relaxed),
-            pruned: pruned.load(Ordering::Relaxed),
+            complete: !shared.budget_hit.load(Ordering::Relaxed),
+            pruned: depth_pruned.iter().sum(),
+            depth_schedules,
+            depth_pruned,
+            first_error: shared.first_error.into_inner(),
         };
         (journal, stats)
     }
@@ -174,9 +256,7 @@ impl ParallelExplorer {
     fn worker<S, M, T>(
         &self,
         sync: &Coordinator,
-        claimed: &AtomicUsize,
-        budget_hit: &AtomicBool,
-        pruned: &AtomicUsize,
+        shared: &SharedStats,
         setup: &S,
         map: &M,
     ) -> Vec<ScheduleRecord<T>>
@@ -208,26 +288,43 @@ impl ParallelExplorer {
             let _guard = ActiveGuard { sync };
             // Claim a budget slot *before* running: exactly
             // min(budget, tree) schedules execute, deterministically.
-            if claimed.fetch_add(1, Ordering::Relaxed) >= self.max_schedules {
-                budget_hit.store(true, Ordering::Relaxed);
+            let claim = shared.claimed.fetch_add(1, Ordering::Relaxed);
+            if claim >= self.max_schedules {
+                shared.budget_hit.store(true, Ordering::Relaxed);
                 let mut f = sync.frontier.lock();
                 f.stop = true;
                 sync.available.notify_all();
                 return journal;
             }
+            if self.progress_every > 0 && (claim + 1).is_multiple_of(self.progress_every) {
+                if let Some(progress) = &self.progress {
+                    progress(claim + 1);
+                }
+            }
 
             let mut sim = setup();
-            sim.set_policy(ReplayPolicy::new(prefix.clone()));
+            sim.set_policy(ReplayPolicy::prefix(prefix.clone()));
             let result = sim.run();
-            let decisions: &[Decision] = match &result {
-                Ok(report) => &report.decisions,
-                Err(err) => &err.report.decisions,
+            let (decisions, metrics): (&[Decision], _) = match &result {
+                Ok(report) => (&report.decisions, &report.metrics),
+                Err(err) => (&err.report.decisions, &err.report.metrics),
             };
+            debug_assert!(
+                !metrics.replay.diverged(),
+                "replay diverged ({:?}) during exploration: scenario is nondeterministic",
+                metrics.replay
+            );
             for (i, want) in prefix.iter().enumerate() {
                 assert!(
                     decisions.get(i).map(|d| d.chosen) == Some(*want),
                     "replay prefix diverged at decision {i}: scenario is nondeterministic"
                 );
+            }
+            if let Err(err) = &result {
+                shared.offer_error(ExploreError {
+                    choices: decisions.iter().map(|d| d.chosen).collect(),
+                    error: err.clone(),
+                });
             }
             // Expand the decision points this run discovered. Points below
             // the prefix length were expanded by the run that discovered
@@ -241,7 +338,7 @@ impl ParallelExplorer {
                     continue;
                 }
                 if self.prune && d.pure {
-                    pruned.fetch_add(d.arity as usize - 1, Ordering::Relaxed);
+                    bump_depth(&mut shared.depth_pruned.lock(), i, d.arity as usize - 1);
                     continue;
                 }
                 for c in 1..d.arity {
@@ -282,10 +379,8 @@ impl ParallelExplorer {
     {
         let mut journal = Vec::new();
         let mut stats = KillPointStats {
-            schedules: 0,
             complete: true,
-            pruned: 0,
-            per_point: Vec::new(),
+            ..KillPointStats::default()
         };
         for point in 1..=max_points {
             let kills = AtomicUsize::new(0);
@@ -306,6 +401,11 @@ impl ParallelExplorer {
             stats.schedules += point_stats.schedules;
             stats.complete &= point_stats.complete;
             stats.pruned += point_stats.pruned;
+            merge_depth(&mut stats.depth_schedules, &point_stats.depth_schedules);
+            merge_depth(&mut stats.depth_pruned, &point_stats.depth_pruned);
+            if stats.first_error.is_none() {
+                stats.first_error = point_stats.first_error;
+            }
             stats.per_point.push(KillPointCount {
                 point,
                 schedules: point_stats.schedules,
@@ -337,7 +437,7 @@ mod tests {
     fn matches_serial_explorer_for_every_thread_count() {
         let mut serial: Vec<(Vec<u32>, Vec<i64>)> = Vec::new();
         let serial_stats = crate::Explorer::new(10_000).run(three_emitters, |decisions, result| {
-            let report = result.as_ref().unwrap();
+            let Ok(report) = result else { return };
             serial.push((
                 decisions.iter().map(|d| d.chosen).collect(),
                 report
@@ -352,7 +452,9 @@ mod tests {
                 ParallelExplorer::new(10_000)
                     .threads(threads)
                     .run(three_emitters, |_, result| {
-                        let report = result.as_ref().unwrap();
+                        let Ok(report) = result else {
+                            return Vec::new();
+                        };
                         report
                             .trace
                             .user_events()
@@ -361,6 +463,9 @@ mod tests {
                     });
             assert_eq!(stats.schedules, serial_stats.schedules);
             assert!(stats.complete);
+            assert_eq!(stats.depth_schedules, serial_stats.depth_schedules);
+            assert_eq!(stats.depth_pruned, serial_stats.depth_pruned);
+            assert!(stats.first_error.is_none());
             let merged: Vec<(Vec<u32>, Vec<i64>)> =
                 journal.into_iter().map(|r| (r.choices, r.value)).collect();
             assert_eq!(merged, serial, "journal must match serial visit order");
@@ -409,11 +514,14 @@ mod tests {
         let trace_of = |result: &Result<SimReport, SimError>| {
             result
                 .as_ref()
-                .unwrap()
-                .trace
-                .user_events()
-                .map(|(_, l, _)| l.to_string())
-                .collect::<Vec<_>>()
+                .map(|report| {
+                    report
+                        .trace
+                        .user_events()
+                        .map(|(_, l, _)| l.to_string())
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default()
         };
         let mut serial_traces = BTreeSet::new();
         let mut serial_journal = Vec::new();
@@ -445,6 +553,56 @@ mod tests {
             let merged: Vec<(Vec<u32>, Vec<String>)> =
                 journal.into_iter().map(|r| (r.choices, r.value)).collect();
             assert_eq!(merged, serial_journal, "pruned trees must be identical");
+        }
+    }
+
+    /// A schedule-dependent deadlock must not panic the workers; the
+    /// canonical-first failure must match the serial explorer's for every
+    /// thread count.
+    #[test]
+    fn first_error_matches_serial_for_every_thread_count() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            let q = Arc::new(crate::waitq::WaitQueue::new("gate"));
+            let q2 = Arc::clone(&q);
+            sim.spawn("waiter", move |ctx| q2.wait(ctx));
+            let q3 = Arc::clone(&q);
+            sim.spawn("waker", move |ctx| {
+                q3.wake_one(ctx);
+            });
+            sim
+        };
+        let serial_stats = crate::Explorer::new(1000).run(scenario, |_, _| {});
+        let serial_first = serial_stats.first_error.expect("some schedule deadlocks");
+        for threads in [1, 2, 4, 8] {
+            let (journal, stats) = ParallelExplorer::new(1000)
+                .threads(threads)
+                .run(scenario, |_, result| result.is_ok());
+            assert!(stats.complete, "failures must not cut the walk short");
+            assert_eq!(stats.schedules, serial_stats.schedules);
+            assert!(journal.iter().any(|r| !r.value), "failures are journaled");
+            let first = stats.first_error.expect("failure is propagated");
+            assert_eq!(first.choices, serial_first.choices);
+            assert!(first.error.is_deadlock());
+        }
+    }
+
+    /// Progress milestones are a pure function of the tree for exhaustive
+    /// explorations: same set for every thread count, never wall-clock.
+    #[test]
+    fn progress_milestones_are_deterministic() {
+        for threads in [1, 2, 4, 8] {
+            let ticks = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let ticks2 = Arc::clone(&ticks);
+            let (_, stats) = ParallelExplorer::new(10_000)
+                .threads(threads)
+                .with_progress(2, move |n| ticks2.lock().push(n))
+                .run(three_emitters, |_, _| ());
+            assert!(stats.complete);
+            assert_eq!(stats.schedules, 6, "3! = 6 schedules");
+            let mut ticks = ticks.lock().clone();
+            ticks.sort_unstable();
+            assert_eq!(ticks, vec![2, 4, 6], "milestones fire every 2 claims");
         }
     }
 }

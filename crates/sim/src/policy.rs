@@ -7,13 +7,19 @@
 //! seed), and any run can be replayed exactly from its recorded
 //! [`crate::Decision`] list via [`ReplayPolicy`].
 
+use crate::metrics::ReplayDivergence;
 use crate::types::Pid;
 
 /// Chooses which runnable process to dispatch next.
 ///
 /// `ready` is the runnable set in enqueue order (index 0 has been runnable
-/// the longest) and always has at least two entries. Implementations must
-/// return an index `< ready.len()`.
+/// the longest). The kernel consults a policy only at *contested* decision
+/// points — `ready` then has at least two entries, and the dispatch loop
+/// debug-asserts it — but implementations must still be **total**: tests
+/// and tools call `choose` directly with arbitrary slices, so a policy
+/// must return a valid index (0 for an empty or single-entry slice) rather
+/// than panic. Returns an index `< ready.len()` (`0` if `ready` is empty;
+/// the kernel additionally clamps out-of-range picks).
 pub trait SchedPolicy: Send {
     /// Picks the index of the process to dispatch.
     fn choose(&mut self, ready: &[Pid], step: u64) -> usize;
@@ -21,6 +27,14 @@ pub trait SchedPolicy: Send {
     /// Human-readable policy name for reports.
     fn name(&self) -> &str {
         "custom"
+    }
+
+    /// Replay divergence accumulated by this policy, if it is a replay
+    /// policy (see [`ReplayPolicy::diverged`]). The kernel copies this
+    /// into [`crate::SimMetrics::replay`] at the end of every run; the
+    /// default for non-replay policies is `None` (reported as zero).
+    fn replay_divergence(&self) -> Option<ReplayDivergence> {
+        None
     }
 }
 
@@ -47,7 +61,7 @@ pub struct LifoPolicy;
 
 impl SchedPolicy for LifoPolicy {
     fn choose(&mut self, ready: &[Pid], _step: u64) -> usize {
-        ready.len() - 1
+        ready.len().saturating_sub(1)
     }
 
     fn name(&self) -> &str {
@@ -83,6 +97,9 @@ impl RandomPolicy {
 
 impl SchedPolicy for RandomPolicy {
     fn choose(&mut self, ready: &[Pid], _step: u64) -> usize {
+        if ready.is_empty() {
+            return 0;
+        }
         (self.next_u64() % ready.len() as u64) as usize
     }
 
@@ -93,25 +110,85 @@ impl SchedPolicy for RandomPolicy {
 
 /// Replays a recorded decision script; beyond the script it behaves like
 /// [`FifoPolicy`]. This is the workhorse of [`crate::Explorer`].
+///
+/// Two modes, differing only in what counts as *divergence*:
+///
+/// * [`ReplayPolicy::new`] — **strict** replay of a complete recorded
+///   decision vector. An out-of-range entry is clamped *and counted*, and
+///   running past the script while more than one process is runnable is
+///   counted as an underrun: both mean the script no longer matches the
+///   tree it is replayed against (a stale or corrupted vector), which
+///   used to be masked silently.
+/// * [`ReplayPolicy::prefix`] — replay of a branch *prefix*, as the
+///   explorers use it: decisions past the prefix deliberately take the
+///   canonical choice 0, so script exhaustion is expected and only
+///   clamping counts as divergence.
+///
+/// Either way the pick itself is unchanged (clamped, then FIFO fallback);
+/// divergence is *recorded*, in [`ReplayPolicy::diverged`] and — via
+/// [`SchedPolicy::replay_divergence`] — in [`crate::SimMetrics::replay`].
 #[derive(Debug, Clone)]
 pub struct ReplayPolicy {
     script: Vec<u32>,
     pos: usize,
+    strict: bool,
+    divergence: ReplayDivergence,
 }
 
 impl ReplayPolicy {
-    /// Creates a replay policy from a decision prefix (one entry per
-    /// decision point with more than one runnable process).
+    /// Creates a strict replay policy from a complete recorded decision
+    /// vector (one entry per decision point with more than one runnable
+    /// process). Divergence from the script — clamped entries or script
+    /// exhaustion at a contested decision — is recorded.
     pub fn new(script: Vec<u32>) -> Self {
-        ReplayPolicy { script, pos: 0 }
+        ReplayPolicy {
+            script,
+            pos: 0,
+            strict: true,
+            divergence: ReplayDivergence::default(),
+        }
+    }
+
+    /// Creates a prefix replay policy: past the script, decisions take the
+    /// canonical choice 0 *by design* (the explorers' branch descent), so
+    /// only clamped entries count as divergence.
+    pub fn prefix(script: Vec<u32>) -> Self {
+        ReplayPolicy {
+            strict: false,
+            ..ReplayPolicy::new(script)
+        }
+    }
+
+    /// The divergence recorded so far (see the type-level docs for what
+    /// counts in each mode).
+    pub fn divergence(&self) -> ReplayDivergence {
+        self.divergence
+    }
+
+    /// Whether the replay has diverged from the script.
+    pub fn diverged(&self) -> bool {
+        self.divergence.diverged()
     }
 }
 
 impl SchedPolicy for ReplayPolicy {
     fn choose(&mut self, ready: &[Pid], _step: u64) -> usize {
         let pick = match self.script.get(self.pos) {
-            Some(&i) => (i as usize).min(ready.len() - 1),
-            None => 0,
+            Some(&i) => {
+                let want = i as usize;
+                if want >= ready.len() {
+                    self.divergence.clamped += 1;
+                    ready.len().saturating_sub(1)
+                } else {
+                    want
+                }
+            }
+            None => {
+                if self.strict && ready.len() > 1 {
+                    self.divergence.underruns += 1;
+                }
+                0
+            }
         };
         self.pos += 1;
         pick
@@ -119,6 +196,10 @@ impl SchedPolicy for ReplayPolicy {
 
     fn name(&self) -> &str {
         "replay"
+    }
+
+    fn replay_divergence(&self) -> Option<ReplayDivergence> {
+        Some(self.divergence)
     }
 }
 
@@ -140,6 +221,21 @@ mod tests {
     fn lifo_picks_newest() {
         let mut p = LifoPolicy;
         assert_eq!(p.choose(&pids(3), 0), 2);
+    }
+
+    /// The trait contract requires totality: policies are called directly
+    /// by tests and tools with slices the kernel would never pass.
+    #[test]
+    fn policies_are_total_on_degenerate_inputs() {
+        let empty: Vec<Pid> = Vec::new();
+        assert_eq!(FifoPolicy.choose(&empty, 0), 0);
+        assert_eq!(LifoPolicy.choose(&empty, 0), 0);
+        assert_eq!(RandomPolicy::new(1).choose(&empty, 0), 0);
+        assert_eq!(ReplayPolicy::new(vec![5]).choose(&empty, 0), 0);
+        assert_eq!(FifoPolicy.choose(&pids(1), 0), 0);
+        assert_eq!(LifoPolicy.choose(&pids(1), 0), 0);
+        assert!(RandomPolicy::new(1).choose(&pids(1), 0) < 1);
+        assert_eq!(ReplayPolicy::new(vec![0]).choose(&pids(1), 0), 0);
     }
 
     #[test]
@@ -178,8 +274,49 @@ mod tests {
     }
 
     #[test]
-    fn replay_clamps_out_of_range_entries() {
+    fn replay_clamps_and_records_out_of_range_entries() {
         let mut p = ReplayPolicy::new(vec![9]);
-        assert_eq!(p.choose(&pids(2), 0), 1);
+        assert!(!p.diverged());
+        assert_eq!(p.choose(&pids(2), 0), 1, "pick is still clamped");
+        assert!(p.diverged(), "but the divergence is recorded");
+        assert_eq!(p.divergence().clamped, 1);
+        assert_eq!(p.replay_divergence(), Some(p.divergence()));
+    }
+
+    #[test]
+    fn strict_replay_counts_underruns_prefix_replay_does_not() {
+        let mut strict = ReplayPolicy::new(vec![1]);
+        assert_eq!(strict.choose(&pids(3), 0), 1);
+        assert!(!strict.diverged(), "in-script choices are not divergence");
+        assert_eq!(strict.choose(&pids(3), 1), 0);
+        assert_eq!(
+            strict.divergence().underruns,
+            1,
+            "script exhausted while choices remained"
+        );
+
+        let mut prefix = ReplayPolicy::prefix(vec![1]);
+        assert_eq!(prefix.choose(&pids(3), 0), 1);
+        assert_eq!(prefix.choose(&pids(3), 1), 0);
+        assert!(
+            !prefix.diverged(),
+            "prefix replay treats exhaustion as the canonical choice"
+        );
+    }
+
+    #[test]
+    fn uncontested_consults_past_script_end_are_not_underruns() {
+        // The kernel never consults a policy with < 2 candidates, but if a
+        // caller does, a forced pick past the script is no divergence.
+        let mut p = ReplayPolicy::new(vec![]);
+        assert_eq!(p.choose(&pids(1), 0), 0);
+        assert!(!p.diverged());
+    }
+
+    #[test]
+    fn non_replay_policies_report_no_divergence() {
+        assert_eq!(FifoPolicy.replay_divergence(), None);
+        assert_eq!(LifoPolicy.replay_divergence(), None);
+        assert_eq!(RandomPolicy::new(3).replay_divergence(), None);
     }
 }

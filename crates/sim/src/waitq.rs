@@ -101,19 +101,29 @@ impl WaitQueue {
     pub fn enqueue_current(&self, ctx: &Ctx, priority: i64) {
         self.bind(ctx);
         let ticket = ctx.fresh_ticket();
-        let mut q = self.cell.waiters.lock();
-        let at = q
-            .iter()
-            .position(|w| (w.priority, w.ticket) > (priority, ticket))
-            .unwrap_or(q.len());
-        q.insert(
-            at,
-            Waiter {
-                pid: ctx.pid(),
-                ticket,
-                priority,
-            },
-        );
+        let depth = {
+            let mut q = self.cell.waiters.lock();
+            let at = q
+                .iter()
+                .position(|w| (w.priority, w.ticket) > (priority, ticket))
+                .unwrap_or(q.len());
+            q.insert(
+                at,
+                Waiter {
+                    pid: ctx.pid(),
+                    ticket,
+                    priority,
+                },
+            );
+            q.len() as u64
+        };
+        // Metrics only (queue-depth high-water mark); the queue lock is
+        // released first so the kernel lock is never nested inside it.
+        ctx.shared()
+            .state
+            .lock()
+            .metrics
+            .note_queue_depth(&self.cell.name, depth);
     }
 
     /// Wakes the frontmost waiter, if any, and returns its pid.

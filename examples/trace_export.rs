@@ -1,0 +1,71 @@
+//! Trace export: serialize a run's trace and metrics to JSONL and the
+//! Chrome trace-event format.
+//!
+//! ```text
+//! cargo run --example trace_export [output-dir]
+//! ```
+//!
+//! Runs the fixed two-process semaphore scenario (two processes contend
+//! for one permit), then writes `trace_export.jsonl` and
+//! `trace_export.chrome.json` into `output-dir` (default: `target/`).
+//! Load the `.chrome.json` file in <https://ui.perfetto.dev> or
+//! `chrome://tracing`: one track per simulated process, each dispatch a
+//! one-tick slice, each park…wake episode an async span named after the
+//! wait reason.
+//!
+//! The exporters are pure functions of the run, so for a fixed scenario
+//! the output bytes are fixed too — the `trace_export` integration test
+//! pins this very scenario's bytes against `docs/`.
+
+use bloom_bench::trace_export_sample;
+use bloom_sim::export;
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let report = trace_export_sample();
+    let metrics = &report.metrics;
+
+    let jsonl = export::to_jsonl(&report.trace, metrics);
+    let chrome = export::to_chrome_trace(&report.trace, metrics);
+    let jsonl_path = out_dir.join("trace_export.jsonl");
+    let chrome_path = out_dir.join("trace_export.chrome.json");
+    std::fs::write(&jsonl_path, &jsonl).expect("write JSONL");
+    std::fs::write(&chrome_path, &chrome).expect("write Chrome trace");
+
+    println!("== trace export: two processes, one semaphore permit ==\n");
+    println!(
+        "run: {} trace events over {} virtual ticks",
+        report.trace.len(),
+        report.steps
+    );
+    println!(
+        "metrics: {} dispatches, {} context switches, {} parks, {} wakes, \
+         peak queue depth {}, {} sync ops",
+        metrics.dispatches,
+        metrics.context_switches,
+        metrics.total_parks(),
+        metrics.total_wakes(),
+        metrics.max_queue_depth(),
+        metrics.total_sync_ops(),
+    );
+    for (mechanism, count) in &metrics.sync_ops {
+        println!("  sync ops[{mechanism}] = {count}");
+    }
+    println!("\nwrote {} ({} bytes)", jsonl_path.display(), jsonl.len());
+    println!("wrote {} ({} bytes)", chrome_path.display(), chrome.len());
+    println!("\nOpen the .chrome.json file in https://ui.perfetto.dev to see the");
+    println!("park/wake spans; every line of the .jsonl file is one JSON object.");
+
+    // Self-check with the built-in parser: both documents must be valid.
+    for line in jsonl.lines() {
+        export::parse_json(line).expect("every JSONL line parses");
+    }
+    export::parse_json(&chrome).expect("chrome trace parses");
+    println!("\nself-check: all exported JSON parses cleanly.");
+}

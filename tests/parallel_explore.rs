@@ -1,7 +1,9 @@
 //! Determinism contract of the work-sharing [`ParallelExplorer`]: for any
 //! worker count, the parallel exploration of a real problem tree is
 //! *byte-identical* to the serial [`Explorer`]'s — same schedule count,
-//! same set of decision vectors, same merged journal in the same order.
+//! same set of decision vectors, same merged journal in the same order,
+//! and (since the observability layer) the same `SimMetrics` and the same
+//! exported JSONL/Chrome trace bytes for every schedule.
 //!
 //! The scenario is the experiment-R2 dining-philosophers deadlock-recovery
 //! sim: a genuinely contested tree (thousands of schedules) whose runs
@@ -11,19 +13,52 @@
 
 use bloom_core::liveness::classify_liveness;
 use bloom_problems::liveness::{deadlock_recovery_sim, LiveMechanism};
-use bloom_sim::{Decision, Explorer, ParallelExplorer, ScheduleRecord, SimError, SimReport};
+use bloom_sim::{
+    export, Decision, Explorer, ParallelExplorer, ScheduleRecord, SimError, SimReport,
+};
 use std::collections::BTreeSet;
 
 const BUDGET: usize = 50_000;
 
-/// One journal line per schedule: decision vector, victim count, verdict.
+/// FNV-1a 64: folds a whole exported document into one journal token, so
+/// the byte-identity assertion covers every exported byte of every
+/// schedule without holding thousands of full documents in memory.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One journal line per schedule: decision vector, victim count, verdict,
+/// the run's metrics, and hashes of both export formats.
 fn line(decisions: &[Decision], result: &Result<SimReport, SimError>) -> String {
-    let recovered = match result {
-        Ok(report) => report.recovered.len(),
-        Err(err) => err.report.recovered.len(),
+    let report: &SimReport = match result {
+        Ok(report) => report,
+        Err(err) => &err.report,
     };
+    let m = &report.metrics;
+    assert!(
+        !m.replay.diverged(),
+        "exhaustive exploration must never diverge from its own decisions"
+    );
+    let jsonl = export::to_jsonl(&report.trace, m);
+    let chrome = export::to_chrome_trace(&report.trace, m);
     let choices: Vec<u32> = decisions.iter().map(|d| d.chosen).collect();
-    format!("{choices:?} v{recovered} {}", classify_liveness(result))
+    format!(
+        "{choices:?} v{} {} d{} s{} p{} w{} q{} j{:016x} c{:016x}",
+        report.recovered.len(),
+        classify_liveness(result),
+        m.dispatches,
+        m.context_switches,
+        m.total_parks(),
+        m.total_wakes(),
+        m.max_queue_depth(),
+        fnv1a(jsonl.as_bytes()),
+        fnv1a(chrome.as_bytes()),
+    )
 }
 
 #[test]
@@ -50,6 +85,27 @@ fn parallel_matches_serial_on_recovery_tree_at_every_thread_count() {
             "{threads} threads: schedule count diverged"
         );
         assert!(stats.complete, "{threads} threads: must exhaust the tree");
+        assert_eq!(
+            stats.depth_schedules, serial_stats.depth_schedules,
+            "{threads} threads: depth histogram diverged"
+        );
+        assert_eq!(
+            stats.depth_pruned, serial_stats.depth_pruned,
+            "{threads} threads: prune histogram diverged"
+        );
+        match (&stats.first_error, &serial_stats.first_error) {
+            (None, None) => {}
+            (Some(parallel), Some(serial)) => assert_eq!(
+                parallel.choices, serial.choices,
+                "{threads} threads: canonical first error diverged"
+            ),
+            (parallel, serial) => panic!(
+                "{threads} threads: first_error presence diverged \
+                 (parallel: {:?}, serial: {:?})",
+                parallel.is_some(),
+                serial.is_some()
+            ),
+        }
         let vectors: BTreeSet<String> = records.iter().map(|r| r.value.clone()).collect();
         assert_eq!(
             vectors, serial_vectors,
@@ -58,7 +114,8 @@ fn parallel_matches_serial_on_recovery_tree_at_every_thread_count() {
         let merged: Vec<String> = records.into_iter().map(|r| r.value).collect();
         assert_eq!(
             merged, serial_journal,
-            "{threads} threads: merged journal is not byte-identical to serial"
+            "{threads} threads: merged journal (incl. metrics and export \
+             hashes) is not byte-identical to serial"
         );
     }
 }

@@ -1,0 +1,216 @@
+//! Trace-export contract tests.
+//!
+//! * Golden files: the exact exported bytes of the fixed two-process
+//!   semaphore run (`bloom_bench::trace_export_sample`) are archived in
+//!   `docs/trace_export.jsonl` and `docs/trace_export.chrome.json` — the
+//!   same lockstep discipline as `docs/report.txt`. Regenerate with:
+//!
+//!   ```text
+//!   cargo run -p bloom-bench --example trace_export -- docs
+//!   ```
+//!
+//! * Property: for arbitrary small scenarios, export → parse round-trips
+//!   the event count, the pid set, and every event's virtual time, in
+//!   both formats.
+//!
+//! * Replay divergence (the PR-4 bugfix): a faithfully replayed recorded
+//!   schedule reports zero divergence; a corrupted decision vector
+//!   reports clamping; a truncated one reports an underrun.
+
+use bloom_sim::export::{self, Json};
+use bloom_sim::{EventKind, LifoPolicy, ReplayDivergence, ReplayPolicy, Sim, SimReport};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[test]
+fn archived_jsonl_matches_generated() {
+    let report = bloom_bench::trace_export_sample();
+    let generated = export::to_jsonl(&report.trace, &report.metrics);
+    let archived = include_str!("../docs/trace_export.jsonl");
+    assert!(
+        archived == generated,
+        "docs/trace_export.jsonl is stale — regenerate with \
+         `cargo run -p bloom-bench --example trace_export -- docs`"
+    );
+}
+
+#[test]
+fn archived_chrome_trace_matches_generated() {
+    let report = bloom_bench::trace_export_sample();
+    let generated = export::to_chrome_trace(&report.trace, &report.metrics);
+    let archived = include_str!("../docs/trace_export.chrome.json");
+    assert!(
+        archived == generated,
+        "docs/trace_export.chrome.json is stale — regenerate with \
+         `cargo run -p bloom-bench --example trace_export -- docs`"
+    );
+}
+
+/// A small scenario parameterized enough for proptest to vary its shape:
+/// `procs` processes, each emitting `ops` events with yields between them.
+fn scenario(procs: usize, ops: usize) -> Sim {
+    let mut sim = Sim::new();
+    for p in 0..procs {
+        sim.spawn(&format!("p{p}"), move |ctx| {
+            for i in 0..ops {
+                ctx.emit("op", &[p as i64, i as i64]);
+                ctx.yield_now();
+            }
+        });
+    }
+    sim
+}
+
+fn pid_set(report: &SimReport) -> BTreeSet<u64> {
+    report
+        .trace
+        .events()
+        .iter()
+        .map(|e| e.pid.0 as u64)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn jsonl_round_trips_counts_pids_and_times(
+        procs in 1usize..4,
+        ops in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut sim = scenario(procs, ops);
+        if seed > 0 {
+            // seed 0 keeps the default FIFO policy in the mix.
+            sim.set_policy(bloom_sim::RandomPolicy::new(seed));
+        }
+        let report = sim.run().expect("emit/yield scenarios cannot fail");
+        let jsonl = export::to_jsonl(&report.trace, &report.metrics);
+        let lines: Vec<Json> = jsonl
+            .lines()
+            .map(|l| export::parse_json(l).expect("valid JSONL line"))
+            .collect();
+        // meta + one line per event + metrics
+        prop_assert_eq!(lines.len(), report.trace.len() + 2);
+        let events = &lines[1..lines.len() - 1];
+        let mut parsed_pids = BTreeSet::new();
+        for (json, event) in events.iter().zip(report.trace.events()) {
+            prop_assert_eq!(json.get("type").unwrap().as_str(), Some("event"));
+            prop_assert_eq!(json.get("seq").unwrap().as_u64(), Some(event.seq));
+            prop_assert_eq!(json.get("time").unwrap().as_u64(), Some(event.time.0));
+            let pid = json.get("pid").unwrap().as_u64().unwrap();
+            prop_assert_eq!(pid, event.pid.0 as u64);
+            parsed_pids.insert(pid);
+        }
+        prop_assert_eq!(parsed_pids, pid_set(&report));
+        let metrics = lines.last().unwrap().get("metrics").unwrap();
+        prop_assert_eq!(
+            metrics.get("dispatches").unwrap().as_u64(),
+            Some(report.metrics.dispatches)
+        );
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_dispatches_and_pids(
+        procs in 1usize..4,
+        ops in 1usize..4,
+    ) {
+        let report = scenario(procs, ops).run().expect("cannot fail");
+        let doc = export::parse_json(&export::to_chrome_trace(&report.trace, &report.metrics))
+            .expect("valid chrome trace");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let dispatches: Vec<(u64, u64)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .map(|e| {
+                (
+                    e.get("tid").unwrap().as_u64().unwrap(),
+                    e.get("ts").unwrap().as_u64().unwrap(),
+                )
+            })
+            .collect();
+        let scheduled: Vec<(u64, u64)> = report
+            .trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Scheduled))
+            .map(|e| (e.pid.0 as u64, e.time.0))
+            .collect();
+        prop_assert_eq!(dispatches, scheduled, "one X slice per dispatch, same track and tick");
+        let tracks: BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .map(|e| e.get("tid").unwrap().as_u64().unwrap())
+            .collect();
+        prop_assert_eq!(tracks, pid_set(&report), "one named track per pid");
+    }
+}
+
+/// A contested scenario (several processes, several yields each) recorded
+/// under the adversarial LIFO policy, so the decision vector is non-trivial.
+fn contested_sim() -> Sim {
+    scenario(3, 3)
+}
+
+#[test]
+fn faithful_replay_reports_zero_divergence() {
+    let mut sim = contested_sim();
+    sim.set_policy(LifoPolicy);
+    let recorded = sim.run().expect("cannot fail");
+    assert!(
+        !recorded.decisions.is_empty(),
+        "scenario must be contested for the test to mean anything"
+    );
+    let script: Vec<u32> = recorded.decisions.iter().map(|d| d.chosen).collect();
+    assert!(
+        script.iter().any(|&c| c != 0),
+        "LIFO must pick non-canonically"
+    );
+
+    let mut sim = contested_sim();
+    sim.set_policy(ReplayPolicy::new(script));
+    let replayed = sim.run().expect("replay of a clean run is clean");
+    assert_eq!(replayed.metrics.replay, ReplayDivergence::default());
+    assert!(!replayed.metrics.replay.diverged());
+    assert_eq!(
+        replayed.trace.render(),
+        recorded.trace.render(),
+        "faithful replay reproduces the run"
+    );
+}
+
+#[test]
+fn corrupted_script_reports_clamping() {
+    let mut sim = contested_sim();
+    sim.set_policy(LifoPolicy);
+    let recorded = sim.run().expect("cannot fail");
+    let mut script: Vec<u32> = recorded.decisions.iter().map(|d| d.chosen).collect();
+    script[0] = 99; // no decision point in this scenario has arity 100
+
+    let mut sim = contested_sim();
+    sim.set_policy(ReplayPolicy::new(script));
+    let replayed = sim.run().expect("clamped replay still completes");
+    assert!(
+        replayed.metrics.replay.clamped > 0,
+        "clamping must be recorded"
+    );
+    assert!(replayed.metrics.replay.diverged());
+}
+
+#[test]
+fn truncated_script_reports_underrun() {
+    let mut sim = contested_sim();
+    sim.set_policy(LifoPolicy);
+    let recorded = sim.run().expect("cannot fail");
+    let script: Vec<u32> = recorded.decisions.iter().map(|d| d.chosen).collect();
+    let truncated = script[..script.len() - 1].to_vec();
+
+    let mut sim = contested_sim();
+    sim.set_policy(ReplayPolicy::new(truncated));
+    let replayed = sim.run().expect("underrun replay still completes");
+    assert!(
+        replayed.metrics.replay.underruns > 0,
+        "script exhaustion at a contested decision must be recorded"
+    );
+    assert!(replayed.metrics.replay.diverged());
+}
