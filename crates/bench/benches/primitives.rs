@@ -62,7 +62,7 @@ fn bench_primitives(c: &mut Criterion) {
     });
 
     // The R2 deadline layer's fast path: an uncontended timed acquire
-    // never arms a timer or touches the sleep queue, so `p_timeout`
+    // never arms a timer or touches the sleep queue, so `p_by`
     // should price like bare `p` plus one deadline computation. Compare
     // against `semaphore_pv` above.
     group.bench_function("semaphore_pv_timed", |b| {
@@ -71,7 +71,7 @@ fn bench_primitives(c: &mut Criterion) {
             let sem = Arc::new(Semaphore::strong("s", 1));
             sim.spawn("solo", move |ctx| {
                 for _ in 0..OPS {
-                    assert_eq!(sem.p_timeout(ctx, 8), TryResult::Acquired);
+                    assert_eq!(sem.p_by(ctx, 8u64), TryResult::Acquired);
                     sem.v(ctx);
                 }
             });

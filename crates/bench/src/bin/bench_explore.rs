@@ -1,8 +1,10 @@
-//! Exploration throughput baseline: serial [`Explorer`] vs the
-//! work-sharing [`ParallelExplorer`] at 1/2/4/8 workers, over two real
-//! schedule trees, plus the equivalence prune's effect on a
-//! stutter-heavy tree. Writes `BENCH_explore.json` at the repo root
-//! (archived in EXPERIMENTS.md §E1).
+//! Exploration baselines: serial [`Explorer`] vs the work-sharing
+//! [`ParallelExplorer`] at 1/2/4/8 workers over two real schedule trees
+//! (E1, throughput), and the equivalence prune's two layers — the pure-
+//! stutter-only prune of PR 3 vs the object-granular sleep-set prune —
+//! on the same trees plus a stutter-heavy dining scenario (E2, schedule
+//! counts). Writes `BENCH_explore.json` at the repo root (archived in
+//! EXPERIMENTS.md §E1/§E2).
 //!
 //! ```text
 //! cargo run --release -p bloom-bench --bin bench_explore
@@ -11,11 +13,16 @@
 //! Wall-clock measurement is deliberately confined to this binary — the
 //! deterministic report (`report.rs`) must stay machine-independent; this
 //! artifact, like the criterion benches, is a measurement and says so.
+//! The prune *counts*, by contrast, are deterministic, and this binary
+//! asserts their soundness while measuring: every prune mode observes
+//! the identical behavior set, and every pruned tree is byte-identical
+//! across 1/2/4/8 worker threads.
 
 use bloom_core::MechanismId;
 use bloom_problems::liveness::{deadlock_recovery_sim, LiveMechanism};
 use bloom_problems::rw::{self, RwVariant};
-use bloom_sim::{Explorer, ParallelExplorer, Sim};
+use bloom_sim::prelude::*;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -41,6 +48,27 @@ fn anomaly_tree() -> Sim {
     let db2 = Arc::clone(&db);
     sim.spawn("reader", move |ctx| {
         db2.read(ctx, &mut || ctx.yield_now());
+    });
+    sim
+}
+
+/// The footnote-3 tree as explored for the prune comparison: the
+/// Figure-1 scenario of [`anomaly_tree`] plus one background process
+/// working a private semaphore. Every quantum of the bare scenario
+/// touches the single shared path machine, so the object-granular layer
+/// cannot improve on the pure-stutter prune there (both leave all 44
+/// schedules); the background worker is the minimal independent load
+/// that separates the two layers — its semaphore quanta conflict with
+/// nothing the anomaly processes touch, which only per-object footprints
+/// can see. This is also the representative case: exploring a subsystem
+/// embedded in a larger program.
+fn anomaly_bg_tree() -> Sim {
+    let mut sim = anomaly_tree();
+    let side = Arc::new(bloom_semaphore::Semaphore::strong("side", 1));
+    sim.spawn("background", move |ctx| {
+        side.p(ctx);
+        ctx.yield_now();
+        side.v(ctx);
     });
     sim
 }
@@ -80,9 +108,11 @@ fn time_serial(iters: usize, setup: impl Fn() -> Sim) -> Measurement {
     let mut schedules = 0;
     for _ in 0..iters {
         let mut errors = 0usize;
-        let stats = Explorer::new(usize::MAX).run(&setup, |_, result| {
-            errors += usize::from(result.is_err());
-        });
+        let stats = ExploreConfig::new(usize::MAX)
+            .serial()
+            .run(&setup, |_, result| {
+                errors += usize::from(result.is_err());
+            });
         assert!(stats.complete);
         std::hint::black_box(errors);
         schedules = stats.schedules;
@@ -97,8 +127,9 @@ fn time_parallel(iters: usize, threads: usize, setup: impl Fn() -> Sim + Sync) -
     let start = Instant::now();
     let mut schedules = 0;
     for _ in 0..iters {
-        let (journal, stats) = ParallelExplorer::new(usize::MAX)
+        let (journal, stats) = ExploreConfig::new(usize::MAX)
             .threads(threads)
+            .parallel()
             .run(&setup, |_, result| result.is_err());
         assert!(stats.complete);
         std::hint::black_box(journal.iter().filter(|r| r.value).count());
@@ -150,6 +181,132 @@ fn bench_tree(name: &str, iters: usize, setup: impl Fn() -> Sim + Sync) -> Strin
     )
 }
 
+/// Canonical behavior of one schedule: liveness verdict, recovery
+/// victims, and the ordered user-event journal. Timestamps are excluded
+/// on purpose — commuting a pure quantum shifts every later timestamp,
+/// and that is exactly the unobservable difference the prune collapses.
+fn behavior(result: &Result<SimReport, SimError>) -> String {
+    let report = match result {
+        Ok(report) => report,
+        Err(err) => &err.report,
+    };
+    let events: Vec<String> = report
+        .trace
+        .user_events()
+        .map(|(e, label, params)| format!("{}:{label}:{params:?}", e.pid))
+        .collect();
+    format!(
+        "ok={} recovered={:?} {}",
+        result.is_ok(),
+        report.recovered,
+        events.join(",")
+    )
+}
+
+/// One serial exploration under `config`, returning the full
+/// (decision-vector, behavior) journal alongside the stats.
+fn explore_serial(
+    config: &ExploreConfig,
+    setup: impl Fn() -> Sim,
+) -> (Vec<(Vec<u32>, String)>, ExploreStats) {
+    let mut journal = Vec::new();
+    let stats = config.serial().run(&setup, |decisions, result| {
+        journal.push((
+            decisions.iter().map(|d| d.chosen).collect(),
+            behavior(result),
+        ));
+    });
+    assert!(stats.complete, "tree exceeds the budget");
+    (journal, stats)
+}
+
+/// E2: full tree vs the PR 3 pure-stutter prune ("coarse") vs the
+/// object-granular sleep-set prune on one tree. Asserts, while counting:
+/// all three modes observe the identical behavior set, the granular
+/// prune visits strictly fewer schedules than the coarse one, and both
+/// pruned trees are byte-identical across 1/2/4/8 worker threads.
+fn compare_prunes(name: &str, setup: impl Fn() -> Sim + Sync) -> String {
+    let budget = ExploreConfig::new(usize::MAX);
+    let coarse_config = budget.clone().prune(true).granular(false);
+    let granular_config = budget.clone().prune(true);
+    let (full_journal, full_stats) = explore_serial(&budget, &setup);
+    let (coarse_journal, coarse_stats) = explore_serial(&coarse_config, &setup);
+    let (granular_journal, granular_stats) = explore_serial(&granular_config, &setup);
+
+    // Soundness while we measure: pruning may only skip schedules whose
+    // behavior an explored schedule already exhibits.
+    let behaviors = |journal: &[(Vec<u32>, String)]| -> BTreeSet<String> {
+        journal.iter().map(|(_, b)| b.clone()).collect()
+    };
+    let full_set = behaviors(&full_journal);
+    assert_eq!(
+        behaviors(&coarse_journal),
+        full_set,
+        "{name}: coarse prune changed the behavior set"
+    );
+    assert_eq!(
+        behaviors(&granular_journal),
+        full_set,
+        "{name}: granular prune changed the behavior set"
+    );
+    assert!(coarse_stats.schedules <= full_stats.schedules);
+    assert!(
+        granular_stats.schedules < coarse_stats.schedules,
+        "{name}: object-granular prune must beat the pure-only prune \
+         ({} vs {} schedules)",
+        granular_stats.schedules,
+        coarse_stats.schedules
+    );
+
+    // Thread-count invariance: both pruned trees merge to the serial
+    // journal byte-for-byte at every worker count.
+    for (config, serial_journal, serial_stats) in [
+        (&coarse_config, &coarse_journal, &coarse_stats),
+        (&granular_config, &granular_journal, &granular_stats),
+    ] {
+        for &threads in &THREAD_COUNTS {
+            let (journal, stats) = config
+                .clone()
+                .threads(threads)
+                .parallel()
+                .run(&setup, |_, result| behavior(result));
+            let merged: Vec<(Vec<u32>, String)> =
+                journal.into_iter().map(|r| (r.choices, r.value)).collect();
+            assert_eq!(
+                &merged, serial_journal,
+                "{name}: pruned journal diverged at {threads} threads"
+            );
+            assert_eq!(stats.schedules, serial_stats.schedules);
+            assert_eq!(stats.pruned, serial_stats.pruned);
+            assert_eq!(stats.conflicts, serial_stats.conflicts);
+        }
+    }
+
+    let evictions: u64 = granular_stats.conflicts.values().sum();
+    eprintln!(
+        "pruning({name}): {} full, {} coarse (pure-only), {} granular \
+         ({} + {} subtrees cut, {} conflict evictions)",
+        full_stats.schedules,
+        coarse_stats.schedules,
+        granular_stats.schedules,
+        coarse_stats.pruned,
+        granular_stats.pruned,
+        evictions
+    );
+    format!(
+        "{{\n      \"tree\": \"{name}\",\n      \"full_schedules\": {},\n      \
+         \"coarse_schedules\": {},\n      \"coarse_pruned\": {},\n      \
+         \"granular_schedules\": {},\n      \"granular_pruned\": {},\n      \
+         \"conflict_evictions\": {}\n    }}",
+        full_stats.schedules,
+        coarse_stats.schedules,
+        coarse_stats.pruned,
+        granular_stats.schedules,
+        granular_stats.pruned,
+        evictions
+    )
+}
+
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!("host: {cores} core(s) available");
@@ -157,36 +314,17 @@ fn main() {
         bench_tree("liveness-recovery", 20, recovery_tree),
         bench_tree("anomaly", 100, anomaly_tree),
     ];
-
-    // Prune measurement: the same stutter-heavy tree with and without the
-    // equivalence prune, serial and 4-thread parallel agreeing exactly.
-    let full = time_serial(3, || dining_tree(3));
-    let (pruned_schedules, pruned_count) = {
-        let stats = Explorer::new(usize::MAX)
-            .with_pruning()
-            .run(|| dining_tree(3), |_, _| {});
-        assert!(stats.complete);
-        (stats.schedules, stats.pruned)
-    };
-    let (pjournal, pstats) = ParallelExplorer::new(usize::MAX)
-        .threads(4)
-        .with_pruning()
-        .run(|| dining_tree(3), |_, _| ());
-    assert_eq!(pjournal.len(), pruned_schedules);
-    assert_eq!(pstats.pruned, pruned_count);
-    eprintln!(
-        "pruning(dining-strong-3): {} full schedules, {} after prune ({} subtrees cut)",
-        full.schedules, pruned_schedules, pruned_count
-    );
+    let pruning = [
+        compare_prunes("liveness-recovery", recovery_tree),
+        compare_prunes("anomaly+background", anomaly_bg_tree),
+        compare_prunes("dining-strong-3", || dining_tree(3)),
+    ];
 
     let json = format!(
-        "{{\n  \"host_cores\": {cores},\n  \"trees\": [\n    {}\n  ],\n  \"pruning\": {{\n    \
-         \"tree\": \"dining-strong-3\",\n    \"full_schedules\": {},\n    \
-         \"pruned_schedules\": {},\n    \"pruned_subtrees\": {}\n  }}\n}}\n",
+        "{{\n  \"host_cores\": {cores},\n  \"trees\": [\n    {}\n  ],\n  \
+         \"pruning\": [\n    {}\n  ]\n}}\n",
         trees.join(",\n    "),
-        full.schedules,
-        pruned_schedules,
-        pruned_count
+        pruning.join(",\n    ")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
     std::fs::write(path, &json).expect("write BENCH_explore.json");

@@ -48,7 +48,7 @@
 //! either keep running (if other partners exist) or park until the
 //! simulator reports the deadlock by name — never a silent wedge.
 
-use bloom_sim::{Ctx, Pid};
+use bloom_sim::{Access, Ctx, Deadline, ObjId, Pid};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -96,6 +96,8 @@ struct ChanState<T> {
 /// A synchronous (rendezvous, unbuffered) channel.
 pub struct Channel<T> {
     name: String,
+    /// Identity for object-granular dependency tracking.
+    obj: ObjId,
     state: Mutex<ChanState<T>>,
 }
 
@@ -104,6 +106,7 @@ impl<T: Send> Channel<T> {
     pub fn new(name: &str) -> Self {
         Channel {
             name: name.to_string(),
+            obj: ObjId::new("channel", name),
             state: Mutex::new(ChanState {
                 senders: VecDeque::new(),
                 receivers: VecDeque::new(),
@@ -130,11 +133,18 @@ impl<T: Send> Channel<T> {
         std::mem::forget(withdraw);
     }
 
-    /// Timed [`Channel::send`]: blocks for at most `ticks` quanta. On
-    /// timeout the offer is withdrawn and the unsent value handed back as
-    /// `Err(value)` — the rendezvous either happened completely or not at
-    /// all, so the value is never lost to a half-completed exchange.
-    pub fn send_timeout(&self, ctx: &Ctx, value: T, ticks: u64) -> Result<(), T> {
+    /// Timed [`Channel::send`]: blocks until `deadline` at the latest.
+    /// Accepts anything convertible into a [`Deadline`] — a tick count
+    /// (`u64`), a `Duration`, or an explicit [`Deadline`]. On timeout the
+    /// offer is withdrawn and the unsent value handed back as `Err(value)`
+    /// — the rendezvous either happened completely or not at all, so the
+    /// value is never lost to a half-completed exchange. An
+    /// already-expired deadline hands the value straight back without
+    /// attempting the rendezvous; no scheduling point is consumed.
+    pub fn send_by(&self, ctx: &Ctx, value: T, deadline: impl Into<Deadline>) -> Result<(), T> {
+        let Some(ticks) = ctx.remaining(deadline) else {
+            return Err(value);
+        };
         if self.deliver_or_enqueue(ctx, value) {
             return Ok(());
         }
@@ -163,8 +173,8 @@ impl<T: Send> Channel<T> {
     /// delivered.
     fn deliver_or_enqueue(&self, ctx: &Ctx, value: T) -> bool {
         // Channel state is kernel-invisible shared state: mark the quantum
-        // (see `Ctx::note_sync`) before touching it.
-        ctx.note_sync_op("channel");
+        // (see `Ctx::note_sync_obj`) before touching it.
+        ctx.note_sync_obj_op(&self.obj, Access::Write);
         let mut value = Some(value);
         let mut st = self.state.lock();
         // Deliver to the longest-waiting receiver whose select has not been
@@ -195,9 +205,26 @@ impl<T: Send> Channel<T> {
     }
 
     /// Timed [`Channel::recv`]: returns `None` if no sender rendezvoused
-    /// within `ticks` quanta.
+    /// by `deadline`. Accepts anything convertible into a [`Deadline`].
+    /// An already-expired deadline returns `None` without attempting the
+    /// rendezvous; no scheduling point is consumed.
+    pub fn recv_by(&self, ctx: &Ctx, deadline: impl Into<Deadline>) -> Option<T> {
+        select_by(ctx, &mut [(self, true)], deadline).map(|(_, v)| v)
+    }
+
+    /// Deprecated spelling of [`Channel::send_by`].
+    ///
+    /// Semantics note: `ticks == 0` now fails immediately instead of
+    /// parking for a zero-length timeout (no in-repo caller passes 0).
+    #[deprecated(since = "0.1.0", note = "use `send_by` (takes `impl Into<Deadline>`)")]
+    pub fn send_timeout(&self, ctx: &Ctx, value: T, ticks: u64) -> Result<(), T> {
+        self.send_by(ctx, value, ticks)
+    }
+
+    /// Deprecated spelling of [`Channel::recv_by`].
+    #[deprecated(since = "0.1.0", note = "use `recv_by` (takes `impl Into<Deadline>`)")]
     pub fn recv_timeout(&self, ctx: &Ctx, ticks: u64) -> Option<T> {
-        select_timeout(ctx, &mut [(self, true)], ticks).map(|(_, v)| v)
+        self.recv_by(ctx, ticks)
     }
 
     /// Number of senders currently blocked on this channel — queue
@@ -213,7 +240,7 @@ impl<T: Send> Channel<T> {
     /// side, and it must get its value back. The stale entry is left in
     /// place for the sender's own withdrawal.
     fn front_parked_ticket(&self, ctx: &Ctx) -> Option<u64> {
-        ctx.note_sync_op("channel");
+        ctx.note_sync_obj_op(&self.obj, Access::Read);
         self.state
             .lock()
             .senders
@@ -224,6 +251,9 @@ impl<T: Send> Channel<T> {
 
     /// Takes the longest-waiting live sender's value and wakes the sender.
     fn take_front(&self, ctx: &Ctx) -> T {
+        // Removing the offer mutates channel state; the probe that found it
+        // only recorded a read.
+        ctx.note_sync_obj(&self.obj, Access::Write);
         let sender = {
             let mut st = self.state.lock();
             let at = st
@@ -304,19 +334,48 @@ pub fn select<T: Send>(ctx: &Ctx, alternatives: &mut [(&Channel<T>, bool)]) -> (
 }
 
 /// Timed [`select`]: a built-in timeout arm. Returns `None` if no sender
-/// rendezvoused on any enabled alternative within `ticks` quanta — the
+/// rendezvoused on any enabled alternative by `deadline` — the
 /// guarded-command analogue of an `after`/timeout alternative, which turns
-/// a server's potentially-unbounded wait into a bounded one.
+/// a server's potentially-unbounded wait into a bounded one. Accepts
+/// anything convertible into a [`Deadline`]. An already-expired deadline
+/// returns `None` without attempting a rendezvous; no scheduling point is
+/// consumed.
 ///
 /// # Panics
 ///
-/// Panics if every guard is false, like [`select`].
+/// Panics if every guard is false, like [`select`] — even when the
+/// deadline has already expired (it is a programming error either way).
+pub fn select_by<T: Send>(
+    ctx: &Ctx,
+    alternatives: &mut [(&Channel<T>, bool)],
+    deadline: impl Into<Deadline>,
+) -> Option<(usize, T)> {
+    assert_some_guard(alternatives);
+    let ticks = ctx.remaining(deadline)?;
+    select_inner(ctx, alternatives, Some(ticks))
+}
+
+/// Deprecated spelling of [`select_by`].
+///
+/// Semantics note: `ticks == 0` now fails immediately instead of parking
+/// for a zero-length timeout (no in-repo caller passes 0).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `select_by` (takes `impl Into<Deadline>`)"
+)]
 pub fn select_timeout<T: Send>(
     ctx: &Ctx,
     alternatives: &mut [(&Channel<T>, bool)],
     ticks: u64,
 ) -> Option<(usize, T)> {
-    select_inner(ctx, alternatives, Some(ticks))
+    select_by(ctx, alternatives, ticks)
+}
+
+fn assert_some_guard<T>(alternatives: &[(&Channel<T>, bool)]) {
+    assert!(
+        alternatives.iter().any(|&(_, guard)| guard),
+        "select with every guard false would block forever"
+    );
 }
 
 fn select_inner<T: Send>(
@@ -324,10 +383,7 @@ fn select_inner<T: Send>(
     alternatives: &mut [(&Channel<T>, bool)],
     timeout: Option<u64>,
 ) -> Option<(usize, T)> {
-    assert!(
-        alternatives.iter().any(|&(_, guard)| guard),
-        "select with every guard false would block forever"
-    );
+    assert_some_guard(alternatives);
     // Ready alternative with the longest-waiting live sender?
     let ready = alternatives
         .iter()
@@ -351,6 +407,8 @@ fn select_inner<T: Send>(
     let mut registered = Vec::new();
     for (i, &mut (chan, guard)) in alternatives.iter_mut().enumerate() {
         if guard {
+            // Registering mutates the channel's receiver queue.
+            ctx.note_sync_obj(&chan.obj, Access::Write);
             chan.register_receiver(WaitingReceiver {
                 pid: ctx.pid(),
                 alt_index: i,
@@ -375,8 +433,15 @@ fn select_inner<T: Send>(
     std::mem::forget(cleanup);
     // The resumed quantum drains the delivery cell and unregisters from
     // every channel — unlike a semaphore hand-off, it mutates shared
-    // state and must be marked.
-    ctx.note_sync_op("channel");
+    // state and must be marked. One metric bump (a single logical op),
+    // but a footprint entry for every registered channel.
+    for (i, chan) in registered.iter().enumerate() {
+        if i == 0 {
+            ctx.note_sync_obj_op(&chan.obj, Access::Write);
+        } else {
+            ctx.note_sync_obj(&chan.obj, Access::Write);
+        }
+    }
     if !woken {
         // Timed out: remove our registrations. The parked-only guard in
         // the send paths means no sender delivered after the timer fired,
@@ -579,12 +644,12 @@ mod tests {
     /// Timed-send withdrawal: the unsent value comes back in `Err`, the
     /// offer queue is left clean, and the channel still works afterwards.
     #[test]
-    fn send_timeout_returns_the_value_on_timeout() {
+    fn send_by_returns_the_value_on_timeout() {
         let mut sim = Sim::new();
         let ch = Arc::new(Channel::new("ch"));
         let tx = Arc::clone(&ch);
         sim.spawn("sender", move |ctx| {
-            assert_eq!(tx.send_timeout(ctx, 42, 3), Err(42), "value recovered");
+            assert_eq!(tx.send_by(ctx, 42, 3u64), Err(42), "value recovered");
             assert_eq!(tx.pending_senders(), 0, "offer withdrawn");
             // The channel is unharmed: a later rendezvous succeeds.
             tx.send(ctx, 43);
@@ -598,12 +663,12 @@ mod tests {
     }
 
     #[test]
-    fn recv_timeout_gives_up_without_a_sender() {
+    fn recv_by_gives_up_without_a_sender() {
         let mut sim = Sim::new();
         let ch = Arc::new(Channel::<i64>::new("ch"));
         let rx = Arc::clone(&ch);
         sim.spawn("receiver", move |ctx| {
-            assert_eq!(rx.recv_timeout(ctx, 4), None);
+            assert_eq!(rx.recv_by(ctx, 4u64), None);
             // A sender arriving after the timeout still rendezvouses.
             assert_eq!(rx.recv(ctx), 7);
         });
@@ -620,14 +685,14 @@ mod tests {
     /// alternative (the kernel's queue-hygiene assertion would also catch
     /// a leak at end of run).
     #[test]
-    fn select_timeout_unregisters_every_alternative() {
+    fn select_by_unregisters_every_alternative() {
         let mut sim = Sim::new();
         let a = Arc::new(Channel::<i64>::new("a"));
         let b = Arc::new(Channel::<i64>::new("b"));
         let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
         sim.spawn("server", move |ctx| {
             assert_eq!(
-                select_timeout(ctx, &mut [(&*a1, true), (&*b1, true)], 5),
+                select_by(ctx, &mut [(&*a1, true), (&*b1, true)], 5u64),
                 None
             );
             assert_eq!(a1.state.lock().receivers.len(), 0);
@@ -650,7 +715,7 @@ mod tests {
                 let ch = Arc::new(Channel::new("ch"));
                 let tx = Arc::clone(&ch);
                 sim.spawn("sender", move |ctx| {
-                    if let Err(v) = tx.send_timeout(ctx, 7, 2) {
+                    if let Err(v) = tx.send_by(ctx, 7, 2u64) {
                         assert_eq!(v, 7, "withdrawn value intact");
                         ctx.emit("send-failed", &[]);
                     } else {
@@ -660,7 +725,7 @@ mod tests {
                 let rx = Arc::clone(&ch);
                 sim.spawn("receiver", move |ctx| {
                     ctx.sleep(2); // lands on the sender's deadline
-                    match rx.recv_timeout(ctx, 4) {
+                    match rx.recv_by(ctx, 4u64) {
                         Some(v) => {
                             assert_eq!(v, 7);
                             ctx.emit("recv-ok", &[]);

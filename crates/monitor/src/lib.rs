@@ -80,7 +80,7 @@
 //! sim.run().unwrap();
 //! ```
 
-use bloom_sim::{Ctx, Deadline, Pid, Poisoned, WaitQueue};
+use bloom_sim::{Access, Ctx, Deadline, ObjId, Pid, Poisoned, WaitQueue};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -167,6 +167,8 @@ impl Cond {
 #[derive(Debug)]
 pub struct Monitor<S> {
     name: String,
+    /// Identity for object-granular dependency tracking.
+    obj: ObjId,
     signaling: Signaling,
     /// Whether some process currently has possession.
     busy: Mutex<bool>,
@@ -188,6 +190,7 @@ impl<S: Send> Monitor<S> {
     pub fn new(name: &str, signaling: Signaling, initial: S) -> Self {
         Monitor {
             name: name.to_string(),
+            obj: ObjId::new("monitor", name),
             signaling,
             busy: Mutex::new(false),
             holder: Mutex::new(None),
@@ -288,15 +291,15 @@ impl<S: Send> Monitor<S> {
     fn observe_poison(&self, ctx: &Ctx) -> Option<Poisoned> {
         // Reads shared state (the poison flag) — and is called at every
         // post-wake point, so it also marks resumed quanta as impure for
-        // the explorer (see `Ctx::note_sync`).
-        ctx.note_sync_op("monitor");
+        // the explorer (see `Ctx::note_sync_obj`).
+        ctx.note_sync_obj_op(&self.obj, Access::Read);
         let p = self.poisoned.lock().clone()?;
         ctx.emit(&format!("poison-seen:{}", self.name), &[]);
         Some(p)
     }
 
     fn acquire(&self, ctx: &Ctx) {
-        ctx.note_sync_op("monitor");
+        ctx.note_sync_obj_op(&self.obj, Access::Write);
         let got = {
             let mut busy = self.busy.lock();
             if *busy {
@@ -317,7 +320,7 @@ impl<S: Send> Monitor<S> {
     }
 
     fn release(&self, ctx: &Ctx) {
-        ctx.note_sync_op("monitor");
+        ctx.note_sync_obj_op(&self.obj, Access::Write);
         // Signal-and-exit: a deferred signal takes effect now, handing
         // possession straight to the signalled process.
         if let Some(pid) = self.pending_handoff.lock().take() {
@@ -409,8 +412,9 @@ impl<S: Send> MonitorCtx<'_, S> {
     /// closure, or waiting inside one), which would otherwise deadlock.
     pub fn state<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
         // Protected-state access is exactly the kernel-invisible effect
-        // the purity analysis must see.
-        self.ctx.note_sync_op("monitor");
+        // the purity analysis must see. `f` takes `&mut S`, so conservatively
+        // a write even when the closure only reads.
+        self.ctx.note_sync_obj_op(&self.monitor.obj, Access::Write);
         let mut guard = self
             .monitor
             .state
@@ -478,9 +482,12 @@ impl<S: Send> MonitorCtx<'_, S> {
         Ok(())
     }
 
-    /// Timed [`MonitorCtx::wait`]: waits on `cond` for at most `ticks`
-    /// quanta of virtual time. Returns `true` if signalled, `false` if the
-    /// wait timed out.
+    /// Timed [`MonitorCtx::wait`]: waits on `cond` until `deadline` at the
+    /// latest. Accepts anything convertible into a [`Deadline`] — a tick
+    /// count (`u64`), a `Duration`, or an explicit [`Deadline`]. Returns
+    /// `true` if signalled, `false` if the wait timed out. An
+    /// already-expired deadline returns `false` immediately — possession is
+    /// never released and no scheduling point is consumed.
     ///
     /// On timeout the waiter *withdraws*: it removes its condition
     /// registration and re-enters like a fresh entrant, so the body resumes
@@ -492,26 +499,35 @@ impl<S: Send> MonitorCtx<'_, S> {
     ///
     /// # Panics
     ///
-    /// Panics on a poison wake (use [`MonitorCtx::wait_timeout_checked`])
-    /// and under [`Signaling::SignalAndExit`], whose deferred hand-off
-    /// cannot be withdrawn once granted.
-    pub fn wait_timeout(&self, cond: &Cond, ticks: u64) -> bool {
-        match self.wait_timeout_checked(cond, ticks) {
+    /// Panics on a poison wake (use [`MonitorCtx::wait_by_checked`]) and
+    /// under [`Signaling::SignalAndExit`], whose deferred hand-off cannot
+    /// be withdrawn once granted.
+    pub fn wait_by(&self, cond: &Cond, deadline: impl Into<Deadline>) -> bool {
+        match self.wait_by_checked(cond, deadline) {
             Ok(signalled) => signalled,
             Err(p) => panic!("{p}"),
         }
     }
 
-    /// Like [`MonitorCtx::wait_timeout`], but a poison wake (or a poisoning
+    /// Like [`MonitorCtx::wait_by`], but a poison wake (or a poisoning
     /// discovered while re-entering after a timeout) is returned as a value.
     /// On `Err` the caller does *not* have possession and must leave the
-    /// body promptly.
-    pub fn wait_timeout_checked(&self, cond: &Cond, ticks: u64) -> Result<bool, Poisoned> {
+    /// body promptly. An expired deadline returns `Ok(false)` without a
+    /// poison check — possession was never released, so the caller's view
+    /// of the monitor is unchanged.
+    pub fn wait_by_checked(
+        &self,
+        cond: &Cond,
+        deadline: impl Into<Deadline>,
+    ) -> Result<bool, Poisoned> {
         assert!(
             self.monitor.signaling != Signaling::SignalAndExit,
             "timed waits are not supported under signal-and-exit semantics: \
              a deferred hand-off cannot be withdrawn"
         );
+        let Some(ticks) = self.ctx.remaining(deadline) else {
+            return Ok(false);
+        };
         cond.queue.enqueue_current(self.ctx, 0);
         self.monitor.release(self.ctx);
         let cleanup = DequeueOnUnwind {
@@ -544,15 +560,32 @@ impl<S: Send> MonitorCtx<'_, S> {
         Ok(true)
     }
 
-    /// Deadline form of [`MonitorCtx::wait_timeout`]: waits until `deadline`
-    /// at the latest. An already-expired deadline returns `false`
-    /// immediately — possession is never released and no scheduling point
-    /// is consumed.
+    /// Deprecated spelling of [`MonitorCtx::wait_by`].
+    ///
+    /// Semantics note: `ticks == 0` now returns `false` immediately instead
+    /// of parking for a zero-length timeout (no in-repo caller passes 0).
+    #[deprecated(since = "0.1.0", note = "use `wait_by` (takes `impl Into<Deadline>`)")]
+    pub fn wait_timeout(&self, cond: &Cond, ticks: u64) -> bool {
+        self.wait_by(cond, ticks)
+    }
+
+    /// Deprecated spelling of [`MonitorCtx::wait_by_checked`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `wait_by_checked` (takes `impl Into<Deadline>`)"
+    )]
+    pub fn wait_timeout_checked(&self, cond: &Cond, ticks: u64) -> Result<bool, Poisoned> {
+        self.wait_by_checked(cond, ticks)
+    }
+
+    /// Deprecated spelling of [`MonitorCtx::wait_by`].
+    ///
+    /// Semantics note: an expired deadline under
+    /// [`Signaling::SignalAndExit`] now trips the unsupported-discipline
+    /// assertion instead of silently returning `false`.
+    #[deprecated(since = "0.1.0", note = "use `wait_by` (takes `impl Into<Deadline>`)")]
     pub fn wait_deadline(&self, cond: &Cond, deadline: Deadline) -> bool {
-        match deadline.remaining(self.ctx.now()) {
-            None => false,
-            Some(ticks) => self.wait_timeout(cond, ticks),
-        }
+        self.wait_by(cond, deadline)
     }
 
     /// Signals `cond`: resumes its frontmost waiter, if any.
@@ -581,7 +614,7 @@ impl<S: Send> MonitorCtx<'_, S> {
     /// never park, so they always return `Ok`.
     pub fn signal_checked(&self, cond: &Cond) -> Result<(), Poisoned> {
         // The empty-queue probes below are ctx-less and kernel-invisible.
-        self.ctx.note_sync_op("monitor");
+        self.ctx.note_sync_obj_op(&self.monitor.obj, Access::Write);
         match self.monitor.signaling {
             Signaling::Hoare => {
                 if cond.queue.is_empty() {
@@ -592,7 +625,7 @@ impl<S: Send> MonitorCtx<'_, S> {
                 self.monitor.urgent.enqueue_current(self.ctx, 0);
                 let Some(pid) = cond.queue.wake_one(self.ctx) else {
                     // Every entry was stale — timed-out waiters that have
-                    // not yet withdrawn (see `wait_timeout_checked`). The
+                    // not yet withdrawn (see `wait_by_checked`). The
                     // signal is a no-op after all; take back the urgent
                     // registration and keep possession.
                     self.monitor.urgent.remove_current(self.ctx);
@@ -1148,7 +1181,7 @@ mod tests {
     /// possession, reads consistent state, and the monitor keeps working
     /// for later entrants.
     #[test]
-    fn wait_timeout_withdraws_and_reacquires() {
+    fn wait_by_withdraws_and_reacquires() {
         for signaling in [Signaling::Hoare, Signaling::SignalAndContinue] {
             let mut sim = Sim::new();
             let m = Arc::new(Monitor::new("buf", signaling, 0u32));
@@ -1156,7 +1189,7 @@ mod tests {
             let (m2, c2) = (Arc::clone(&m), Arc::clone(&nonzero));
             sim.spawn("consumer", move |ctx| {
                 let got = m2.enter(ctx, |mc| {
-                    let signalled = mc.wait_timeout(&c2, 3);
+                    let signalled = mc.wait_by(&c2, 3u64);
                     assert!(!signalled, "nobody signals");
                     mc.state(|s| *s)
                 });
@@ -1185,7 +1218,7 @@ mod tests {
             let (m2, c2) = (Arc::clone(&m), Arc::clone(&ready));
             sim.spawn("waiter", move |ctx| {
                 m2.enter(ctx, |mc| {
-                    let signalled = mc.wait_timeout(&c2, 100);
+                    let signalled = mc.wait_by(&c2, 100u64);
                     assert!(signalled);
                     assert!(mc.state(|s| *s), "state updated by the signaller");
                 });
@@ -1219,7 +1252,7 @@ mod tests {
                 let (m2, c2) = (Arc::clone(&m), Arc::clone(&c));
                 sim.spawn("timed-waiter", move |ctx| {
                     m2.enter(ctx, |mc| {
-                        mc.wait_timeout(&c2, 2);
+                        mc.wait_by(&c2, 2u64);
                         mc.state(|s| *s += 1);
                     });
                 });

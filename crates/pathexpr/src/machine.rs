@@ -13,7 +13,7 @@
 use crate::ast::Path;
 use crate::compile::{compile, CompiledPath, PathState};
 use crate::parse::{parse_paths, ParseError};
-use bloom_sim::{Ctx, Pid, Poisoned};
+use bloom_sim::{Access, Ctx, Deadline, ObjId, Pid, Poisoned};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -228,6 +228,8 @@ impl std::fmt::Debug for Machine {
 #[derive(Debug)]
 pub struct PathResource {
     name: String,
+    /// Identity for object-granular dependency tracking.
+    obj: ObjId,
     machine: Mutex<Machine>,
     /// Set when a process died mid-operation; sticky once set.
     poisoned: Mutex<Option<Poisoned>>,
@@ -240,6 +242,7 @@ impl PathResource {
         let states = compiled.iter().map(PathState::new).collect();
         PathResource {
             name: name.to_string(),
+            obj: ObjId::new("pathexpr", name),
             machine: Mutex::new(Machine {
                 compiled,
                 states,
@@ -323,6 +326,8 @@ impl PathResource {
         if let Some(p) = self.observe_poison(ctx) {
             return Err(p);
         }
+        // Starting (or queuing) mutates the machine.
+        ctx.note_sync_obj(&self.obj, Access::Write);
         let started = {
             let mut m = self.machine.lock();
             match m.try_activation(op) {
@@ -354,8 +359,8 @@ impl PathResource {
         ctx.park(&format!("{}.{}", self.name, op));
         std::mem::forget(cleanup);
         // The resumed quantum re-reads the machine (grant-vs-poison
-        // disambiguation below), so it must be marked.
-        ctx.note_sync_op("pathexpr");
+        // disambiguation below) and may dequeue, so it must be marked.
+        ctx.note_sync_obj_op(&self.obj, Access::Write);
         // A granting waker applied our enter effects, recorded our
         // activation, and *removed us from the blocked queue* before
         // unparking. A poison broadcast wakes us still-queued instead.
@@ -377,36 +382,51 @@ impl PathResource {
         Ok(())
     }
 
-    /// Timed [`PathResource::begin`]: requests `op`, giving up after
-    /// `ticks` quanta of virtual time. Returns `true` if the operation
-    /// started (the caller owes a matching [`PathResource::finish`]),
-    /// `false` on timeout — the request was withdrawn and the queue
-    /// re-scanned, since `blocked()` predicate counts just changed and may
-    /// have enabled another request (the same rescan a finish performs).
+    /// Timed [`PathResource::begin`]: requests `op`, giving up at
+    /// `deadline`. Accepts anything convertible into a [`Deadline`] — a
+    /// tick count (`u64`), a `Duration`, or an explicit [`Deadline`].
+    /// Returns `true` if the operation started (the caller owes a matching
+    /// [`PathResource::finish`]), `false` on timeout — the request was
+    /// withdrawn and the queue re-scanned, since `blocked()` predicate
+    /// counts just changed and may have enabled another request (the same
+    /// rescan a finish performs). An already-expired deadline degenerates
+    /// to a single activation attempt: an operation the paths permit right
+    /// now still starts, but nothing is queued and no scheduling point is
+    /// consumed.
     ///
     /// # Panics
     ///
     /// Panics if the resource is (or becomes) poisoned; use
-    /// [`PathResource::request_timeout_checked`] to handle that as a value.
-    pub fn request_timeout(&self, ctx: &Ctx, op: &str, ticks: u64) -> bool {
-        match self.request_timeout_checked(ctx, op, ticks) {
+    /// [`PathResource::request_by_checked`] to handle that as a value.
+    pub fn request_by(&self, ctx: &Ctx, op: &str, deadline: impl Into<Deadline>) -> bool {
+        match self.request_by_checked(ctx, op, deadline) {
             Ok(started) => started,
             Err(p) => panic!("{p}"),
         }
     }
 
-    /// Like [`PathResource::request_timeout`], but poisoning — whether it
-    /// woke the parked request or arrived with the timeout — is returned as
-    /// a value.
-    pub fn request_timeout_checked(
+    /// Like [`PathResource::request_by`], but poisoning — whether it woke
+    /// the parked request or arrived with the timeout — is returned as a
+    /// value.
+    pub fn request_by_checked(
         &self,
         ctx: &Ctx,
         op: &str,
-        ticks: u64,
+        deadline: impl Into<Deadline>,
     ) -> Result<bool, Poisoned> {
         if let Some(p) = self.observe_poison(ctx) {
             return Err(p);
         }
+        let Some(ticks) = ctx.remaining(deadline) else {
+            ctx.note_sync_obj(&self.obj, Access::Write);
+            let started = self.try_start_now(ctx, op);
+            if started {
+                self.wake_startable(ctx);
+            }
+            return Ok(started);
+        };
+        // Starting (or queuing) mutates the machine.
+        ctx.note_sync_obj(&self.obj, Access::Write);
         let started = {
             let mut m = self.machine.lock();
             match m.try_activation(op) {
@@ -465,31 +485,32 @@ impl PathResource {
     }
 
     /// Timed [`PathResource::perform`]: runs `body` as `op` if the paths
-    /// permit it to start within `ticks` quanta, returning `None` on
-    /// timeout. Panics on poison like `perform`; use
-    /// [`PathResource::try_perform_timeout`] for the checked form.
-    pub fn perform_timeout<R>(
+    /// permit it to start by `deadline`, returning `None` on timeout.
+    /// Accepts anything convertible into a [`Deadline`]. Panics on poison
+    /// like `perform`; use [`PathResource::try_perform_by`] for the
+    /// checked form.
+    pub fn perform_by<R>(
         &self,
         ctx: &Ctx,
         op: &str,
-        ticks: u64,
+        deadline: impl Into<Deadline>,
         body: impl FnOnce() -> R,
     ) -> Option<R> {
-        match self.try_perform_timeout(ctx, op, ticks, body) {
+        match self.try_perform_by(ctx, op, deadline, body) {
             Ok(r) => r,
             Err(p) => panic!("{p}"),
         }
     }
 
-    /// Checked form of [`PathResource::perform_timeout`].
-    pub fn try_perform_timeout<R>(
+    /// Checked form of [`PathResource::perform_by`].
+    pub fn try_perform_by<R>(
         &self,
         ctx: &Ctx,
         op: &str,
-        ticks: u64,
+        deadline: impl Into<Deadline>,
         body: impl FnOnce() -> R,
     ) -> Result<Option<R>, Poisoned> {
-        if !self.request_timeout_checked(ctx, op, ticks)? {
+        if !self.request_by_checked(ctx, op, deadline)? {
             return Ok(None);
         }
         let cleanup = PoisonOnUnwind { res: self, ctx };
@@ -499,9 +520,83 @@ impl PathResource {
         Ok(Some(r))
     }
 
+    /// Deprecated spelling of [`PathResource::request_by`].
+    ///
+    /// Semantics note: `ticks == 0` now degenerates to a single activation
+    /// attempt instead of parking for a zero-length timeout (no in-repo
+    /// caller passes 0).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `request_by` (takes `impl Into<Deadline>`)"
+    )]
+    pub fn request_timeout(&self, ctx: &Ctx, op: &str, ticks: u64) -> bool {
+        self.request_by(ctx, op, ticks)
+    }
+
+    /// Deprecated spelling of [`PathResource::request_by_checked`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `request_by_checked` (takes `impl Into<Deadline>`)"
+    )]
+    pub fn request_timeout_checked(
+        &self,
+        ctx: &Ctx,
+        op: &str,
+        ticks: u64,
+    ) -> Result<bool, Poisoned> {
+        self.request_by_checked(ctx, op, ticks)
+    }
+
+    /// Deprecated spelling of [`PathResource::perform_by`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `perform_by` (takes `impl Into<Deadline>`)"
+    )]
+    pub fn perform_timeout<R>(
+        &self,
+        ctx: &Ctx,
+        op: &str,
+        ticks: u64,
+        body: impl FnOnce() -> R,
+    ) -> Option<R> {
+        self.perform_by(ctx, op, ticks, body)
+    }
+
+    /// Deprecated spelling of [`PathResource::try_perform_by`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_perform_by` (takes `impl Into<Deadline>`)"
+    )]
+    pub fn try_perform_timeout<R>(
+        &self,
+        ctx: &Ctx,
+        op: &str,
+        ticks: u64,
+        body: impl FnOnce() -> R,
+    ) -> Result<Option<R>, Poisoned> {
+        self.try_perform_by(ctx, op, ticks, body)
+    }
+
+    /// A single activation attempt: starts `op` if the paths permit it
+    /// right now, else changes nothing (no queue entry).
+    fn try_start_now(&self, ctx: &Ctx, op: &str) -> bool {
+        let mut m = self.machine.lock();
+        match m.try_activation(op) {
+            Some(act) => {
+                m.apply_enter(op, &act);
+                m.open
+                    .entry(ctx.pid())
+                    .or_default()
+                    .push((op.to_string(), act));
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Finishes operation `op` (the second half of [`PathResource::perform`]).
     pub fn finish(&self, ctx: &Ctx, op: &str) {
-        ctx.note_sync_op("pathexpr");
+        ctx.note_sync_obj_op(&self.obj, Access::Write);
         {
             let mut m = self.machine.lock();
             let stack = m.open.get_mut(&ctx.pid()).expect("finish without begin");
@@ -522,7 +617,7 @@ impl PathResource {
     }
 
     fn wake_startable(&self, ctx: &Ctx) {
-        ctx.note_sync_op("pathexpr");
+        ctx.note_sync_obj_op(&self.obj, Access::Write);
         let woken = self
             .machine
             .lock()
@@ -542,8 +637,8 @@ impl PathResource {
     fn observe_poison(&self, ctx: &Ctx) -> Option<Poisoned> {
         // Reads shared state — and runs at every request entry point, so
         // it marks those quanta as impure for the explorer (see
-        // `Ctx::note_sync`).
-        ctx.note_sync_op("pathexpr");
+        // `Ctx::note_sync_obj`).
+        ctx.note_sync_obj_op(&self.obj, Access::Read);
         let p = self.poisoned.lock().clone()?;
         ctx.emit(&format!("poison-seen:{}", self.name), &[]);
         Some(p)
@@ -1017,13 +1112,13 @@ mod tests {
     /// the bound, leaves the queue clean, and the resource keeps serving
     /// other operations.
     #[test]
-    fn request_timeout_withdraws_cleanly() {
+    fn request_by_withdraws_cleanly() {
         let mut sim = Sim::new();
         let r = Arc::new(PathResource::parse("s", "path a ; b end").unwrap());
         let r1 = Arc::clone(&r);
         sim.spawn("impatient", move |ctx| {
             // b needs an a first; nobody performs a yet.
-            assert_eq!(r1.perform_timeout(ctx, "b", 5, || unreachable!()), None);
+            assert_eq!(r1.perform_by(ctx, "b", 5u64, || unreachable!()), None);
             assert_eq!(r1.blocked_count(), 0, "request withdrawn");
             ctx.emit("timed-out", &[]);
         });
@@ -1050,7 +1145,7 @@ mod tests {
         let order = Arc::new(Mutex::new(Vec::new()));
         let (r1, o1) = (Arc::clone(&r), Arc::clone(&order));
         sim.spawn("reader", move |ctx| {
-            assert!(!r1.request_timeout(ctx, "r", 6));
+            assert!(!r1.request_by(ctx, "r", 6u64));
             o1.lock().push("r-gave-up");
         });
         let (r2, o2) = (Arc::clone(&r), Arc::clone(&order));
@@ -1080,7 +1175,7 @@ mod tests {
                 });
                 let r2 = Arc::clone(&r);
                 sim.spawn("timed", move |ctx| {
-                    if r2.request_timeout(ctx, "a", 2) {
+                    if r2.request_by(ctx, "a", 2u64) {
                         r2.finish(ctx, "a");
                     }
                 });

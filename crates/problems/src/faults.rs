@@ -11,7 +11,7 @@
 //! * **bare semaphores** ([`CrashMechanism::SemaphoreBare`]) are the
 //!   baseline: a victim dying inside its critical section takes the
 //!   permit to the grave and the scenario *wedges* (loud deadlock);
-//! * **`Lock` + `p_timeout`** ([`CrashMechanism::SemaphoreLock`]) is the
+//! * **`Lock` + `p_by`** ([`CrashMechanism::SemaphoreLock`]) is the
 //!   crash-safe semaphore style: the mutex *poisons* and survivors time
 //!   out of condition waits instead of wedging;
 //! * **monitors**, **serializers** and **path expressions** poison their
@@ -68,7 +68,7 @@ pub enum CrashMechanism {
     /// counting semaphores for the buffer). No crash protection at all.
     SemaphoreBare,
     /// The crash-safe semaphore style: `Lock::try_with` for exclusion,
-    /// `p_timeout` for condition waits.
+    /// `p_by` for condition waits.
     SemaphoreLock,
     /// Monitor with registered conditions and checked waits.
     Monitor,
@@ -570,7 +570,7 @@ fn buffer_crash_sim(mech: CrashMechanism) -> Sim {
             let deposit = |b: &Buf, ctx: &Ctx, v: i64, patient: bool| {
                 request(ctx, DEPOSIT, &[v]);
                 if patient {
-                    if b.empty.p_timeout(ctx, PATIENCE) == TryResult::TimedOut {
+                    if b.empty.p_by(ctx, PATIENCE) == TryResult::TimedOut {
                         return; // corpse kept the slot: give up loudly-typed
                     }
                 } else {
@@ -588,7 +588,7 @@ fn buffer_crash_sim(mech: CrashMechanism) -> Sim {
             };
             let remove = |b: &Buf, ctx: &Ctx| {
                 request(ctx, REMOVE, &[]);
-                if b.full.p_timeout(ctx, PATIENCE) == TryResult::TimedOut {
+                if b.full.p_by(ctx, PATIENCE) == TryResult::TimedOut {
                     return; // nobody will ever fill the buffer
                 }
                 let taken = b.lock.try_with(ctx, || {

@@ -238,7 +238,7 @@ fn monitor_acquire(
                         .unwrap_or(ATTEMPTS.last().expect("const")),
                     None => first,
                 };
-                if !mc.wait_timeout(free, ticks) {
+                if !mc.wait_by(free, ticks) {
                     timeouts += 1;
                     if let Some(budget) = give_up_after {
                         if timeouts >= budget {
@@ -281,7 +281,7 @@ pub fn timeout_withdrawal_sim(mech: LiveMechanism, patience: u64) -> Sim {
             sim.spawn("contender", move |ctx| {
                 ctx.yield_now();
                 request(ctx, USE, &[1]);
-                while s.p_timeout(ctx, patience) == TryResult::TimedOut {
+                while s.p_by(ctx, patience) == TryResult::TimedOut {
                     ctx.emit("timed-out:res", &[]);
                 }
                 enter(ctx, USE, &[1]);
@@ -342,7 +342,7 @@ pub fn timeout_withdrawal_sim(mech: LiveMechanism, patience: u64) -> Sim {
                 ctx.yield_now();
                 request(ctx, USE, &[1]);
                 s2.enter(ctx, |sc| {
-                    while !sc.enqueue_timeout(q, patience, |g| !*g.state()) {
+                    while !sc.enqueue_by(q, patience, |g| !*g.state()) {
                         ctx.emit("timed-out:res", &[]);
                     }
                     sc.state(|b| *b = true);
@@ -369,7 +369,7 @@ pub fn timeout_withdrawal_sim(mech: LiveMechanism, patience: u64) -> Sim {
                 ctx.yield_now();
                 request(ctx, USE, &[1]);
                 loop {
-                    let served = r2.perform_timeout(ctx, USE, patience, || {
+                    let served = r2.perform_by(ctx, USE, patience, || {
                         enter(ctx, USE, &[1]);
                         work(ctx);
                         exit(ctx, USE, &[1]);
@@ -402,7 +402,7 @@ pub fn timeout_withdrawal_sim(mech: LiveMechanism, patience: u64) -> Sim {
             sim.spawn("contender", move |ctx| {
                 ctx.yield_now();
                 request(ctx, USE, &[1]);
-                while a.send_timeout(ctx, 1, patience).is_err() {
+                while a.send_by(ctx, 1, patience).is_err() {
                     ctx.emit("timed-out:res", &[]);
                 }
                 enter(ctx, USE, &[1]);
@@ -638,7 +638,7 @@ pub fn starvation_sim(mech: LiveMechanism) -> Sim {
                 ctx.yield_now();
                 request(ctx, WRITE, &[]);
                 for (attempt, &patience) in ATTEMPTS.iter().enumerate() {
-                    match s.p_timeout(ctx, patience) {
+                    match s.p_by(ctx, patience) {
                         TryResult::Acquired => {
                             enter(ctx, WRITE, &[]);
                             work(ctx);
@@ -725,7 +725,7 @@ pub fn starvation_sim(mech: LiveMechanism) -> Sim {
                 let mut acquired = false;
                 s2.enter(ctx, |sc| {
                     for (attempt, &patience) in ATTEMPTS.iter().enumerate() {
-                        if sc.enqueue_timeout(q, patience, |g| !*g.state()) {
+                        if sc.enqueue_by(q, patience, |g| !*g.state()) {
                             sc.state(|b| *b = true);
                             acquired = true;
                             return;
@@ -764,7 +764,7 @@ pub fn starvation_sim(mech: LiveMechanism) -> Sim {
                 ctx.yield_now();
                 request(ctx, WRITE, &[]);
                 for (attempt, &patience) in ATTEMPTS.iter().enumerate() {
-                    let served = r2.perform_timeout(ctx, USE, patience, || {
+                    let served = r2.perform_by(ctx, USE, patience, || {
                         enter(ctx, WRITE, &[]);
                         work(ctx);
                         exit(ctx, WRITE, &[]);
@@ -804,7 +804,7 @@ pub fn starvation_sim(mech: LiveMechanism) -> Sim {
                 ctx.yield_now();
                 request(ctx, WRITE, &[]);
                 for (attempt, &patience) in ATTEMPTS.iter().enumerate() {
-                    if a.send_timeout(ctx, 1, patience).is_ok() {
+                    if a.send_by(ctx, 1, patience).is_ok() {
                         enter(ctx, WRITE, &[]);
                         work(ctx);
                         exit(ctx, WRITE, &[]);

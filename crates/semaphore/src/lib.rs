@@ -49,10 +49,10 @@
 //! assert_eq!(report.trace.count_user("critical"), 2);
 //! ```
 
-use bloom_sim::{Ctx, Deadline, Poisoned, WaitQueue};
+use bloom_sim::{Access, Ctx, Deadline, ObjId, Poisoned, WaitQueue};
 use parking_lot::Mutex;
 
-/// Outcome of a timed acquire ([`Semaphore::p_timeout`]).
+/// Outcome of a timed acquire ([`Semaphore::p_by`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TryResult {
     /// A permit was obtained.
@@ -81,6 +81,10 @@ pub struct Semaphore {
     count: Mutex<u64>,
     queue: WaitQueue,
     fairness: Fairness,
+    /// Identity of the count for the explorers' object-granular
+    /// dependency tracking: two semaphores with different names never
+    /// conflict footprint-wise.
+    obj: ObjId,
 }
 
 impl Semaphore {
@@ -90,6 +94,7 @@ impl Semaphore {
             count: Mutex::new(initial),
             queue: WaitQueue::new(name),
             fairness,
+            obj: ObjId::new("semaphore", name),
         }
     }
 
@@ -108,8 +113,8 @@ impl Semaphore {
         match self.fairness {
             Fairness::Strong => {
                 // The count is kernel-invisible shared state: mark the
-                // quantum (see `Ctx::note_sync`) before touching it.
-                ctx.note_sync_op("semaphore");
+                // quantum (see `Ctx::note_sync_obj`) before touching it.
+                ctx.note_sync_obj_op(&self.obj, Access::Write);
                 let available = {
                     let mut count = self.count.lock();
                     if *count > 0 {
@@ -130,8 +135,8 @@ impl Semaphore {
             }
             Fairness::Weak => loop {
                 // Each re-contention (including the first attempt and
-                // every post-wake retry) reads the shared count.
-                ctx.note_sync_op("semaphore");
+                // every post-wake retry) touches the shared count.
+                ctx.note_sync_obj_op(&self.obj, Access::Write);
                 {
                     let mut count = self.count.lock();
                     if *count > 0 {
@@ -157,27 +162,43 @@ impl Semaphore {
         }
     }
 
-    /// P with a timeout: blocks for at most `ticks` quanta of virtual time.
+    /// Timed P: blocks until the [`Deadline`] — relative
+    /// (`u64`/`Duration` ticks) or absolute ([`Deadline::at`],
+    /// [`Ctx::deadline_after`]) — expires.
     ///
-    /// The timeout-vs-wake race (see [`WaitQueue::wait_timeout`]) cannot
+    /// An already-expired deadline degenerates to a [`Semaphore::try_p`]
+    /// that never parks, so retry loops can pass a fixed absolute deadline
+    /// through repeated acquire attempts without re-computing remaining
+    /// ticks.
+    ///
+    /// The timeout-vs-wake race (see [`WaitQueue::wait_by`]) cannot
     /// lose a permit in either direction: a `v` that skips a waiter whose
     /// timer already fired falls back to incrementing the count, and a
     /// hand-off that wins the race simply delivers the permit. On a strong
     /// semaphore a timed-out waiter reports [`TryResult::TimedOut`] even
     /// if a permit became free in the same instant (hand-off order is
     /// king); a weak waiter re-contends one final time before giving up.
-    pub fn p_timeout(&self, ctx: &Ctx, ticks: u64) -> TryResult {
+    pub fn p_by(&self, ctx: &Ctx, deadline: impl Into<Deadline>) -> TryResult {
         // The non-parking fast path below mutates the count without any
         // kernel-visible operation; the timed paths disable pruning for
         // the whole run anyway (timers), so the entry mark is what keeps
         // the fast path honest.
-        ctx.note_sync_op("semaphore");
+        ctx.note_sync_obj_op(&self.obj, Access::Write);
+        let deadline = deadline.into();
+        let Some(ticks) = ctx.remaining(deadline) else {
+            // Expired: one permit check, no parking.
+            return if self.try_p() {
+                TryResult::Acquired
+            } else {
+                TryResult::TimedOut
+            };
+        };
         match self.fairness {
             Fairness::Strong => {
                 if self.try_p() {
                     return TryResult::Acquired;
                 }
-                if self.queue.wait_timeout(ctx, ticks) {
+                if self.queue.wait_by(ctx, ticks) {
                     // Woken by v's direct hand-off: the permit is ours.
                     TryResult::Acquired
                 } else {
@@ -185,16 +206,19 @@ impl Semaphore {
                 }
             }
             Fairness::Weak => {
-                let deadline = ctx.now().plus(ticks);
+                let abs = match deadline.absolute() {
+                    Some(t) => t,
+                    None => ctx.now().plus(ticks),
+                };
                 loop {
                     if self.try_p() {
                         return TryResult::Acquired;
                     }
                     let now = ctx.now();
-                    if now >= deadline {
+                    if now >= abs {
                         return TryResult::TimedOut;
                     }
-                    if !self.queue.wait_timeout(ctx, deadline.0 - now.0) {
+                    if !self.queue.wait_by(ctx, abs.0 - now.0) {
                         // Timed out parked; the barging discipline grants
                         // one last look at the count.
                         return if self.try_p() {
@@ -208,23 +232,24 @@ impl Semaphore {
         }
     }
 
-    /// P against an absolute virtual-time [`Deadline`]: the deadline form
-    /// of [`Semaphore::p_timeout`].
+    /// P with a relative timeout in ticks.
     ///
-    /// An already-expired deadline degenerates to a [`Semaphore::try_p`]
-    /// that never parks, so retry loops can pass a fixed deadline through
-    /// repeated acquire attempts without re-computing remaining ticks.
+    /// Superseded by [`Semaphore::p_by`], which takes relative and
+    /// absolute deadlines alike. Note `p_by(ctx, 0)` fails immediately
+    /// without parking, where this method parked with an already-due
+    /// timer.
+    #[deprecated(since = "0.1.0", note = "use `p_by` (takes `impl Into<Deadline>`)")]
+    pub fn p_timeout(&self, ctx: &Ctx, ticks: u64) -> TryResult {
+        self.p_by(ctx, ticks)
+    }
+
+    /// P against an absolute [`Deadline`].
+    ///
+    /// Superseded by [`Semaphore::p_by`], which takes relative and
+    /// absolute deadlines alike.
+    #[deprecated(since = "0.1.0", note = "use `p_by` (takes `impl Into<Deadline>`)")]
     pub fn p_deadline(&self, ctx: &Ctx, deadline: Deadline) -> TryResult {
-        match deadline.remaining(ctx.now()) {
-            None => {
-                if self.try_p() {
-                    TryResult::Acquired
-                } else {
-                    TryResult::TimedOut
-                }
-            }
-            Some(ticks) => self.p_timeout(ctx, ticks),
-        }
+        self.p_by(ctx, deadline)
     }
 
     /// Runs `f` with a permit held, releasing it even if `f` unwinds
@@ -241,7 +266,7 @@ impl Semaphore {
 
     /// Dijkstra's V operation: release a permit.
     pub fn v(&self, ctx: &Ctx) {
-        ctx.note_sync_op("semaphore");
+        ctx.note_sync_obj_op(&self.obj, Access::Write);
         match self.fairness {
             Fairness::Strong => {
                 // Direct hand-off: if anyone waits, the permit never becomes
@@ -385,7 +410,7 @@ impl Lock {
         // Unlike a bare strong-semaphore hand-off, the quantum resumed
         // here *does* read shared state (the poison flag), so it must be
         // marked even though `p` itself leaves the hand-off unmarked.
-        ctx.note_sync_op("semaphore");
+        ctx.note_sync_obj_op(&self.sem.obj, Access::Read);
         if let Some(p) = self.poisoned.lock().clone() {
             ctx.emit(&format!("poison-seen:{}", self.name()), &[]);
             self.sem.v(ctx);
@@ -683,11 +708,11 @@ mod tests {
         }
     }
 
-    /// Withdrawal: a timed-out `p_deadline` leaves no residue — the holder
+    /// Withdrawal: a timed-out `p_by` leaves no residue — the holder
     /// still releases to an empty queue, a later retry succeeds, and the
     /// count balances. Exercised on both fairness disciplines.
     #[test]
-    fn p_deadline_withdraws_cleanly_then_retries() {
+    fn p_by_withdraws_cleanly_then_retries() {
         for fairness in [Fairness::Strong, Fairness::Weak] {
             let mut sim = Sim::new();
             let sem = Arc::new(Semaphore::new("s", 1, fairness));
@@ -704,10 +729,10 @@ mod tests {
             let out2 = Arc::clone(&outcome);
             sim.spawn("requester", move |ctx| {
                 let deadline = ctx.deadline_after(3);
-                let first = sem2.p_deadline(ctx, deadline);
+                let first = sem2.p_by(ctx, deadline);
                 out2.lock().push(first);
                 // Expired deadline: degenerates to try_p, no parking.
-                let again = sem2.p_deadline(ctx, deadline);
+                let again = sem2.p_by(ctx, deadline);
                 out2.lock().push(again);
                 assert_eq!(sem2.waiting(), 0, "withdrawal left no registration");
                 // An untimed retry succeeds once the holder releases.

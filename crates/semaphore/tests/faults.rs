@@ -1,6 +1,6 @@
 //! Crash-safety and timeout behavior of semaphores under fault injection:
 //! kill-during-wait, permit containment via `with_permit`, `Lock` poisoning,
-//! and the timeout-vs-wake race of `p_timeout`.
+//! and the timeout-vs-wake race of `p_by`.
 
 use bloom_semaphore::{Lock, Semaphore, TryResult};
 use bloom_sim::{FaultPlan, LifoPolicy, Pid, Sim};
@@ -141,15 +141,15 @@ fn lock_poison_is_sticky_across_entrants() {
 }
 
 #[test]
-fn p_timeout_fast_path_and_expiry() {
+fn p_by_fast_path_and_expiry() {
     let mut sim = Sim::new();
     let avail = Arc::new(Semaphore::strong("avail", 1));
     let empty = Arc::new(Semaphore::strong("empty", 0));
     let (a2, e2) = (Arc::clone(&avail), Arc::clone(&empty));
     sim.spawn("caller", move |ctx| {
-        assert_eq!(a2.p_timeout(ctx, 10), TryResult::Acquired, "fast path");
+        assert_eq!(a2.p_by(ctx, 10u64), TryResult::Acquired, "fast path");
         let before = ctx.now();
-        assert_eq!(e2.p_timeout(ctx, 10), TryResult::TimedOut);
+        assert_eq!(e2.p_by(ctx, 10u64), TryResult::TimedOut);
         assert!(
             ctx.now().0 >= before.0 + 10,
             "timeout waited the full budget in virtual time"
@@ -160,12 +160,12 @@ fn p_timeout_fast_path_and_expiry() {
 }
 
 #[test]
-fn p_timeout_woken_by_v_before_expiry() {
+fn p_by_woken_by_v_before_expiry() {
     let mut sim = Sim::new();
     let sem = Arc::new(Semaphore::strong("s", 0));
     let s2 = Arc::clone(&sem);
     sim.spawn("waiter", move |ctx| {
-        assert_eq!(s2.p_timeout(ctx, 100), TryResult::Acquired);
+        assert_eq!(s2.p_by(ctx, 100u64), TryResult::Acquired);
         ctx.emit("acquired", &[ctx.now().0 as i64]);
     });
     let s3 = Arc::clone(&sem);
@@ -196,7 +196,7 @@ fn timeout_vs_wake_race_conserves_the_permit() {
         });
         let s2 = Arc::clone(&sem);
         sim.spawn("waiter", move |ctx| {
-            let outcome = s2.p_timeout(ctx, 10);
+            let outcome = s2.p_by(ctx, 10u64);
             match outcome {
                 TryResult::Acquired => {
                     ctx.emit("got", &[]);

@@ -80,7 +80,7 @@
 //! sim.run().unwrap();
 //! ```
 
-use bloom_sim::{Ctx, Deadline, Pid, Poisoned, WaitQueue};
+use bloom_sim::{Access, Ctx, Deadline, ObjId, Pid, Poisoned, WaitQueue};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -180,6 +180,8 @@ enum Winner {
 #[derive(Debug)]
 pub struct Serializer<S> {
     name: String,
+    /// Identity for object-granular dependency tracking.
+    obj: ObjId,
     busy: Mutex<bool>,
     /// Which process has (or was just handed) possession; `None` when open.
     holder: Mutex<Option<Pid>>,
@@ -214,6 +216,7 @@ impl<S: Send> Serializer<S> {
     pub fn new(name: &str, initial: S) -> Self {
         Serializer {
             name: name.to_string(),
+            obj: ObjId::new("serializer", name),
             busy: Mutex::new(false),
             holder: Mutex::new(None),
             poisoned: Mutex::new(None),
@@ -309,15 +312,15 @@ impl<S: Send> Serializer<S> {
     /// Clones the poison verdict, recording the observation in the trace.
     fn observe_poison(&self, ctx: &Ctx) -> Option<Poisoned> {
         // Reads shared state, and runs at every post-wake point — marks
-        // resumed quanta as impure for the explorer (see `Ctx::note_sync`).
-        ctx.note_sync_op("serializer");
+        // resumed quanta as impure for the explorer (see `Ctx::note_sync_obj`).
+        ctx.note_sync_obj_op(&self.obj, Access::Read);
         let p = self.poisoned.lock().clone()?;
         ctx.emit(&format!("poison-seen:{}", self.name), &[]);
         Some(p)
     }
 
     fn acquire(&self, ctx: &Ctx) {
-        ctx.note_sync_op("serializer");
+        ctx.note_sync_obj_op(&self.obj, Access::Write);
         let got = {
             let mut busy = self.busy.lock();
             if *busy {
@@ -348,9 +351,9 @@ impl<S: Send> Serializer<S> {
     /// (timed-out) waiters. With `me = Some(pid)`, a win by `pid` keeps
     /// possession and returns `true` instead of unparking.
     fn hand_off(&self, ctx: &Ctx, me: Option<Pid>) -> bool {
-        // Guard evaluation reads every queue and crowd — all of it
-        // kernel-invisible shared state.
-        ctx.note_sync_op("serializer");
+        // Guard evaluation reads every queue and crowd, and a win mutates
+        // them — all of it kernel-invisible shared state.
+        ctx.note_sync_obj_op(&self.obj, Access::Write);
         loop {
             match self.select_winner(me) {
                 Winner::QueueHead(qi) => {
@@ -538,8 +541,9 @@ impl<S: Send> SerializerCtx<'_, S> {
     /// Panics on re-entrant use, which would otherwise deadlock.
     pub fn state<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
         // Protected-state access is exactly the kernel-invisible effect
-        // the purity analysis must see.
-        self.ctx.note_sync_op("serializer");
+        // the purity analysis must see. `f` takes `&mut S`, so conservatively
+        // a write even when the closure only reads.
+        self.ctx.note_sync_obj_op(&self.ser.obj, Access::Write);
         let mut guard = self
             .ser
             .state
@@ -633,18 +637,25 @@ impl<S: Send> SerializerCtx<'_, S> {
         }
     }
 
-    /// Like [`SerializerCtx::enqueue`], but gives up after `ticks` quanta
-    /// of virtual time — the Atkinson–Hewitt *timeout* feature: an enqueue
-    /// carries a time bound, and an expired wait returns control (with
-    /// possession re-acquired) so the process can handle the failure
-    /// inside the serializer. Returns `true` if the guarantee was met,
-    /// `false` on timeout.
-    pub fn enqueue_timeout(
+    /// Like [`SerializerCtx::enqueue`], but gives up at `deadline` — the
+    /// Atkinson–Hewitt *timeout* feature: an enqueue carries a time bound,
+    /// and an expired wait returns control (with possession re-acquired) so
+    /// the process can handle the failure inside the serializer. Accepts
+    /// anything convertible into a [`Deadline`] — a tick count (`u64`), a
+    /// `Duration`, or an explicit [`Deadline`]. Returns `true` if the
+    /// guarantee was met, `false` on timeout. An already-expired deadline
+    /// gives up immediately — possession is kept and no scheduling point is
+    /// consumed — so retry loops can thread one fixed deadline through
+    /// repeated attempts.
+    pub fn enqueue_by(
         &self,
         queue: QueueId,
-        ticks: u64,
+        deadline: impl Into<Deadline>,
         guard: impl Fn(&GuardView<'_, S>) -> bool + Send + 'static,
     ) -> bool {
+        let Some(ticks) = self.ctx.remaining(deadline) else {
+            return false;
+        };
         let ticket = self.ctx.fresh_ticket();
         let me = self.ctx.pid();
         {
@@ -687,21 +698,35 @@ impl<S: Send> SerializerCtx<'_, S> {
         false
     }
 
-    /// Deadline form of [`SerializerCtx::enqueue_timeout`]: the guarantee
-    /// must be met by `deadline` (absolute virtual time). An
-    /// already-expired deadline gives up immediately — possession is kept
-    /// and no scheduling point is consumed — so retry loops can thread one
-    /// fixed deadline through repeated attempts.
+    /// Deprecated spelling of [`SerializerCtx::enqueue_by`].
+    ///
+    /// Semantics note: `ticks == 0` now gives up immediately instead of
+    /// parking for a zero-length timeout (no in-repo caller passes 0).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `enqueue_by` (takes `impl Into<Deadline>`)"
+    )]
+    pub fn enqueue_timeout(
+        &self,
+        queue: QueueId,
+        ticks: u64,
+        guard: impl Fn(&GuardView<'_, S>) -> bool + Send + 'static,
+    ) -> bool {
+        self.enqueue_by(queue, ticks, guard)
+    }
+
+    /// Deprecated spelling of [`SerializerCtx::enqueue_by`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `enqueue_by` (takes `impl Into<Deadline>`)"
+    )]
     pub fn enqueue_deadline(
         &self,
         queue: QueueId,
         deadline: Deadline,
         guard: impl Fn(&GuardView<'_, S>) -> bool + Send + 'static,
     ) -> bool {
-        match deadline.remaining(self.ctx.now()) {
-            None => false,
-            Some(ticks) => self.enqueue_timeout(queue, ticks, guard),
-        }
+        self.enqueue_by(queue, deadline, guard)
     }
 
     fn park_in(&self, queue: QueueId) {
@@ -738,7 +763,7 @@ impl<S: Send> SerializerCtx<'_, S> {
         // `acquire` marks its own quantum before it parks; the membership
         // removal below runs in the quantum resumed *after* the hand-off,
         // which must be marked separately.
-        self.ctx.note_sync_op("serializer");
+        self.ctx.note_sync_obj_op(&self.ser.obj, Access::Write);
         let mut crowds = self.ser.crowds.lock();
         let members = &mut crowds[crowd.0].members;
         let at = members
@@ -752,7 +777,7 @@ impl<S: Send> SerializerCtx<'_, S> {
     /// Number of members currently in `crowd` (Bloom's *synchronization
     /// state* interrogation).
     pub fn crowd_len(&self, crowd: CrowdId) -> usize {
-        self.ctx.note_sync_op("serializer");
+        self.ctx.note_sync_obj_op(&self.ser.obj, Access::Read);
         self.ser.crowds.lock()[crowd.0].members.len()
     }
 
@@ -763,7 +788,7 @@ impl<S: Send> SerializerCtx<'_, S> {
 
     /// Number of waiters in `queue`.
     pub fn queue_len(&self, queue: QueueId) -> usize {
-        self.ctx.note_sync_op("serializer");
+        self.ctx.note_sync_obj_op(&self.ser.obj, Access::Read);
         self.ser.queues.lock()[queue.0].waiters.len()
     }
 }
@@ -1018,7 +1043,7 @@ mod tests {
     }
 
     #[test]
-    fn enqueue_timeout_expires_and_returns_with_possession() {
+    fn enqueue_by_expires_and_returns_with_possession() {
         let mut sim = Sim::new();
         let s = Arc::new(Serializer::new("s", false));
         let q = s.queue("gate");
@@ -1026,7 +1051,7 @@ mod tests {
         sim.spawn("impatient", move |ctx| {
             s2.enter(ctx, |sc| {
                 let before = ctx.now();
-                let met = sc.enqueue_timeout(q, 30, |v| *v.state());
+                let met = sc.enqueue_by(q, 30u64, |v| *v.state());
                 assert!(!met, "the guarantee is never met");
                 assert!(ctx.now().0 >= before.0 + 30, "waited out the bound");
                 // Possession was re-acquired: the state is inspectable.
@@ -1039,14 +1064,14 @@ mod tests {
     }
 
     #[test]
-    fn enqueue_timeout_succeeds_when_guarantee_met_in_time() {
+    fn enqueue_by_succeeds_when_guarantee_met_in_time() {
         let mut sim = Sim::new();
         let s = Arc::new(Serializer::new("s", false));
         let q = s.queue("gate");
         let (s1, s2) = (Arc::clone(&s), Arc::clone(&s));
         sim.spawn("waiter", move |ctx| {
             s1.enter(ctx, |sc| {
-                let met = sc.enqueue_timeout(q, 1000, |v| *v.state());
+                let met = sc.enqueue_by(q, 1000u64, |v| *v.state());
                 assert!(met, "setter ran before the deadline");
                 ctx.emit("met", &[]);
             });
@@ -1059,12 +1084,12 @@ mod tests {
         assert_eq!(report.trace.count_user("met"), 1);
     }
 
-    /// Deadline withdrawal: `enqueue_deadline` gives up at the absolute
+    /// Deadline withdrawal: `enqueue_by` gives up at the absolute
     /// deadline, leaves no stale entry behind once it withdraws, and an
     /// already-expired deadline fails instantly without releasing
     /// possession.
     #[test]
-    fn enqueue_deadline_withdraws_at_the_deadline() {
+    fn enqueue_by_withdraws_at_the_deadline() {
         let mut sim = Sim::new();
         let s = Arc::new(Serializer::new("s", false));
         let q = s.queue("gate");
@@ -1072,12 +1097,12 @@ mod tests {
         sim.spawn("impatient", move |ctx| {
             s2.enter(ctx, |sc| {
                 let deadline = ctx.deadline_after(5);
-                assert!(!sc.enqueue_deadline(q, deadline, |v| *v.state()));
+                assert!(!sc.enqueue_by(q, deadline, |v| *v.state()));
                 assert!(deadline.expired(ctx.now()), "gave up only at the deadline");
                 assert_eq!(sc.queue_len(q), 0, "withdrawal removed the entry");
                 let before = ctx.now();
                 assert!(
-                    !sc.enqueue_deadline(q, deadline, |v| *v.state()),
+                    !sc.enqueue_by(q, deadline, |v| *v.state()),
                     "expired deadline fails immediately"
                 );
                 assert_eq!(ctx.now(), before, "no scheduling point consumed");
@@ -1097,7 +1122,7 @@ mod tests {
         let (s1, o1) = (Arc::clone(&s), Arc::clone(&order));
         sim.spawn("impatient", move |ctx| {
             s1.enter(ctx, |sc| {
-                assert!(!sc.enqueue_timeout(q, 10, |v| *v.state()));
+                assert!(!sc.enqueue_by(q, 10u64, |v| *v.state()));
                 o1.lock().push("timed-out");
             });
         });

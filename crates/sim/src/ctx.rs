@@ -1,6 +1,7 @@
 //! The per-process kernel handle.
 
 use crate::baton::Report;
+use crate::footprint::{merge_access, Access, ObjId};
 use crate::kernel::{obey, ProcessStatus, Shared, TimerKind};
 use crate::trace::EventKind;
 use crate::types::{Deadline, Pid, Time};
@@ -57,6 +58,22 @@ impl Ctx {
         Deadline::after(self.now(), ticks)
     }
 
+    /// Resolves a deadline into a wait budget: `Some(ticks)` of budget
+    /// left, `None` if the deadline has already expired (the caller must
+    /// not park at all — fail fast instead).
+    ///
+    /// A relative deadline ([`Deadline::within`], or a bare `u64`/
+    /// `Duration`) resolves without reading the clock, so it never voids
+    /// the explorers' equivalence prune; an absolute one reads
+    /// [`Ctx::now`] and therefore does (see [`Ctx::now`]).
+    pub fn remaining(&self, deadline: impl Into<Deadline>) -> Option<u64> {
+        let deadline = deadline.into();
+        match deadline.absolute() {
+            Some(_) => deadline.remaining(self.now()),
+            None => deadline.remaining(Time::ZERO),
+        }
+    }
+
     /// Whether the simulation is shutting down (daemons being cancelled).
     ///
     /// Crash-safety drop guards in the mechanism crates consult this: a
@@ -70,8 +87,15 @@ impl Ctx {
 
     /// Draws a fresh, strictly increasing ticket. Mechanisms use tickets to
     /// implement FIFO ordering (e.g. arrival order of requests).
+    ///
+    /// Ticket draws write the shared `"ticket"` pseudo-object: mechanisms
+    /// compare ticket *values* across queues (a serializer picks the
+    /// lowest front ticket over all its queues, a channel select takes
+    /// the oldest offer), so two quanta that both draw tickets must not
+    /// be commuted — swapping the draws swaps the values and can swap a
+    /// later arbitration.
     pub fn fresh_ticket(&self) -> u64 {
-        self.note_sync();
+        self.mark_obj(ObjId::pseudo("ticket"), Access::Write);
         self.shared.fresh_ticket()
     }
 
@@ -89,22 +113,63 @@ impl Ctx {
     /// not take a `&Ctx` (e.g. `WaitQueue::len`) cannot be marked:
     /// scenarios that let such calls influence control flow between
     /// scheduling points must not enable pruning.
+    ///
+    /// This is the conservative fallback of the footprint contract: it
+    /// marks the quantum as touching *everything*
+    /// ([`crate::Footprint::All`]). Mechanisms that know which object they
+    /// touched should call [`Ctx::note_sync_obj`] instead, which keeps the
+    /// object-granular sleep-set prune effective (see `DESIGN.md` §2.10).
     pub fn note_sync(&self) {
         self.shared.quantum_dirty.store(true, Ordering::Relaxed);
+        self.shared.quantum_all.store(true, Ordering::Relaxed);
     }
 
-    /// [`Ctx::note_sync`], plus a per-mechanism operation count in
-    /// [`crate::SimMetrics::sync_ops`] under `mechanism`.
+    /// Marks the current quantum as having accessed one synchronization
+    /// object. Object-granular refinement of [`Ctx::note_sync`]: the
+    /// kernel records the per-quantum footprint and the explorers prune a
+    /// sibling branch only when the quanta's footprints are independent
+    /// (disjoint, or overlapping in reads only).
+    ///
+    /// Use `Access::Write` whenever the operation may change the object's
+    /// state *or* branches on it in a way later writes could invalidate;
+    /// `Access::Read` only for pure probes whose result the caller treats
+    /// as a momentary hint. Over-marking (wider access, more objects, or
+    /// falling back to [`Ctx::note_sync`]) is always safe.
+    pub fn note_sync_obj(&self, obj: &ObjId, access: Access) {
+        self.mark_obj(obj.clone(), access);
+    }
+
+    /// [`Ctx::note_sync_obj`], plus a per-mechanism operation count in
+    /// [`crate::SimMetrics::sync_ops`] under the object's kind prefix.
     ///
     /// The mechanism crates call this at the call sites that already had
     /// to call `note_sync` for the purity contract, so the metric rides an
     /// existing instrumentation point and adds **no new scheduling
     /// points**: incrementing a counter is not a kernel operation, does
     /// not stop the quantum, and is never read back by the scheduler.
+    pub fn note_sync_obj_op(&self, obj: &ObjId, access: Access) {
+        self.shared.quantum_dirty.store(true, Ordering::Relaxed);
+        let mut st = self.shared.state.lock();
+        merge_access(&mut st.quantum_objs, obj.clone(), access);
+        crate::metrics::SimMetrics::bump(&mut st.metrics.sync_ops, obj.kind());
+    }
+
+    /// [`Ctx::note_sync`], plus a per-mechanism operation count in
+    /// [`crate::SimMetrics::sync_ops`] under `mechanism`. Conservative
+    /// sibling of [`Ctx::note_sync_obj_op`] for operations with no single
+    /// identifiable object.
     pub fn note_sync_op(&self, mechanism: &str) {
         self.note_sync();
         let mut st = self.shared.state.lock();
         crate::metrics::SimMetrics::bump(&mut st.metrics.sync_ops, mechanism);
+    }
+
+    /// Records an access to a kernel pseudo-object (or a mechanism object,
+    /// by value) in the current quantum's footprint.
+    fn mark_obj(&self, obj: ObjId, access: Access) {
+        self.shared.quantum_dirty.store(true, Ordering::Relaxed);
+        let mut st = self.shared.state.lock();
+        merge_access(&mut st.quantum_objs, obj, access);
     }
 
     /// Gives up the CPU; the process stays runnable and will be rescheduled
@@ -227,8 +292,17 @@ impl Ctx {
     /// must check this before applying a grant's side effects, so that a
     /// waiter whose timed wait returned `false` was never granted anything.
     pub fn is_parked(&self, target: Pid) -> bool {
-        self.note_sync();
-        let st = self.shared.state.lock();
+        // Footprint: reads the target's park slot. The kernel writes the
+        // same pseudo-object when the target parks, and unparks write it
+        // too, so commuting this probe past a park-state change is
+        // impossible; two probes of the same target commute.
+        self.shared.quantum_dirty.store(true, Ordering::Relaxed);
+        let mut st = self.shared.state.lock();
+        merge_access(
+            &mut st.quantum_objs,
+            ObjId::pseudo(&format!("park:{target}")),
+            Access::Read,
+        );
         let slot = &st.procs[target.index()];
         matches!(slot.status, ProcessStatus::Blocked { .. }) || slot.spurious_wake
     }
@@ -238,8 +312,13 @@ impl Ctx {
     /// entries of processes that already woke by timeout; for queues that
     /// cannot, prefer [`Ctx::unpark`], which panics on staleness.
     pub fn try_unpark(&self, target: Pid) -> bool {
-        self.note_sync();
+        self.shared.quantum_dirty.store(true, Ordering::Relaxed);
         let mut st = self.shared.state.lock();
+        merge_access(
+            &mut st.quantum_objs,
+            ObjId::pseudo(&format!("park:{target}")),
+            Access::Write,
+        );
         let slot = &mut st.procs[target.index()];
         if !matches!(slot.status, ProcessStatus::Blocked { .. }) {
             // A pending fault-plan spurious wake means the target is Ready
@@ -271,8 +350,13 @@ impl Ctx {
     /// parked, so an unparked-while-not-parked target is a mechanism bug and
     /// is reported loudly rather than being silently ignored.
     pub fn unpark(&self, target: Pid) {
-        self.note_sync();
+        self.shared.quantum_dirty.store(true, Ordering::Relaxed);
         let mut st = self.shared.state.lock();
+        merge_access(
+            &mut st.quantum_objs,
+            ObjId::pseudo(&format!("park:{target}")),
+            Access::Write,
+        );
         let slot = &mut st.procs[target.index()];
         if slot.spurious_wake {
             // See Ctx::try_unpark: consume the pending spurious wake as if
@@ -353,8 +437,14 @@ impl Ctx {
     /// granted — keeping trace order faithful to decision order even
     /// though the grantee resumes later.
     pub fn emit_for(&self, target: Pid, label: &str, params: &[i64]) {
-        self.note_sync();
+        // Footprint: the user-event trace is an ordered pseudo-object —
+        // two emitting quanta must never be commuted (their relative
+        // event order is the observable behavior the explorers preserve),
+        // while an emitting quantum still commutes with independent
+        // non-emitting ones.
+        self.shared.quantum_dirty.store(true, Ordering::Relaxed);
         let mut st = self.shared.state.lock();
+        merge_access(&mut st.quantum_objs, ObjId::pseudo("trace"), Access::Write);
         let clock = st.clock;
         st.trace.push(
             clock,

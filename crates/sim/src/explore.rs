@@ -14,24 +14,52 @@
 //!
 //! # The equivalence prune
 //!
-//! With [`Explorer::with_pruning`], sibling branches of a decision whose
-//! canonical (choice-0) quantum was *observably pure* — a stutter that
-//! touched nothing any other process can see ([`Decision::pure`]) — are
-//! skipped and counted in [`ExploreStats::pruned`]. Every skipped schedule
-//! has the same user-event trace as a schedule that is still visited:
-//! deferring a stutter commutes with every intervening quantum, so the
-//! sibling-first subtree maps leaf-for-leaf into the visited stutter-first
-//! subtree. Schedule *counts* therefore shrink under pruning, but the set
-//! of distinct observable behaviors does not. Pruning is off by default
-//! because exact schedule counts are themselves findings in this
-//! repository's reports.
+//! With [`Explorer::with_pruning`], two layers of reduction apply; both
+//! preserve the set of distinct user-event traces while shrinking the
+//! schedule count, and skipped branches are counted in
+//! [`ExploreStats::pruned`].
+//!
+//! 1. **Purity** ([`Decision::pure`], PR 3): when the canonical (choice-0)
+//!    quantum of a decision was a stutter that touched nothing any other
+//!    process can see, *all* sibling branches are skipped — deferring a
+//!    stutter commutes with every intervening quantum, so the
+//!    sibling-first subtree maps leaf-for-leaf into the visited
+//!    stutter-first subtree. (In persistent-set terms, a globally
+//!    independent transition is a singleton persistent set.)
+//!
+//! 2. **Sleep sets** (object-granular, this layer): each executed run
+//!    carries a footprint log ([`crate::SimReport::quanta`]) of which
+//!    objects every quantum read or wrote. The explorers maintain
+//!    classical sleep sets over it: after branch `c` of a node is
+//!    explored, the canonical quantum's `(pid, footprint)` joins the
+//!    sleep set inherited by the later siblings, and a sibling whose
+//!    dispatched process is still asleep when its node is reached is
+//!    skipped — every schedule below it commutes, footprint-wise, into
+//!    the subtree already explored. An entry leaves the sleep set as soon
+//!    as any executed quantum's footprint *conflicts* with it (same
+//!    object, at least one write — see [`crate::Footprint`]); those
+//!    wake-ups are tallied per object in [`ExploreStats::conflicts`].
+//!    When a run's *canonical* choice dispatches a sleeping process, the
+//!    run past that point is a redundant probe and its continuation is
+//!    cut (see `walk_run`).
+//!
+//! The run-level `prune_safe` gate is unchanged: timers, faults, clock
+//! reads, and the starvation watchdog strip both the `pure` bits and the
+//! footprints (forced to [`crate::Footprint::All`]) of the whole run, so
+//! both layers self-disable. Pruning is off by default because exact
+//! schedule counts are themselves findings in this repository's reports.
+//! See `DESIGN.md` §2.10 for the full soundness argument.
 
 use crate::error::SimError;
 use crate::fault::FaultPlan;
+use crate::footprint::{Footprint, QuantumRecord};
 use crate::kernel::{ProcessStatus, SimReport};
 use crate::policy::ReplayPolicy;
 use crate::sim::Sim;
 use crate::trace::Decision;
+use crate::types::Pid;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The first failed schedule of an exploration, with enough context to
 /// replay it: the full decision vector that produced the failure and the
@@ -52,14 +80,18 @@ pub struct ExploreError {
 
 /// Result summary of an exploration.
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct ExploreStats {
     /// How many distinct schedules were executed.
     pub schedules: usize,
     /// Whether the entire schedule tree was covered (no budget cut-off).
     /// Pruned branches count as covered: their behaviors are represented.
     pub complete: bool,
-    /// How many sibling branches (whole subtrees, not schedules) the
-    /// equivalence prune skipped. Always 0 unless pruning was enabled.
+    /// How many branches (whole subtrees, not schedules) the equivalence
+    /// prune skipped: sibling branches of pure decisions, siblings whose
+    /// process was asleep, and abandoned canonical continuations of cut
+    /// runs (see `walk_run`'s cut rule). Always 0 unless pruning was
+    /// enabled.
     pub pruned: usize,
     /// Schedule histogram by depth: `depth_schedules[d]` counts executed
     /// schedules whose decision vector had exactly `d` contested
@@ -68,6 +100,15 @@ pub struct ExploreStats {
     /// Prune histogram by depth: `depth_pruned[d]` counts sibling branches
     /// skipped at decision index `d`. Sums to `pruned`.
     pub depth_pruned: Vec<usize>,
+    /// Per-object conflict tally of the sleep-set prune: how many times an
+    /// executed quantum's footprint conflicted with (and so evicted) a
+    /// sleeping entry, keyed by the conflicting object's full name (`"*"`
+    /// when both sides were opaque [`crate::Footprint::All`]). Summed over
+    /// every executed run's walk; deterministic and identical across
+    /// thread counts for complete explorations. Empty unless pruning was
+    /// enabled. A hot object here is the object whose contention limits
+    /// the reduction.
+    pub conflicts: BTreeMap<String, u64>,
     /// The first failed schedule in canonical depth-first order, if any
     /// schedule failed. Exploration does not stop at a failure — the rest
     /// of the tree is still covered — but the canonical-first failure is
@@ -106,8 +147,187 @@ pub(crate) fn merge_depth(dst: &mut Vec<usize>, src: &[usize]) {
     }
 }
 
+/// Additively merges a per-object conflict tally into `dst`.
+pub(crate) fn merge_conflicts(dst: &mut BTreeMap<String, u64>, src: &BTreeMap<String, u64>) {
+    for (obj, &by) in src {
+        *dst.entry(obj.clone()).or_insert(0) += by;
+    }
+}
+
+/// A sleep set: processes whose dispatch at the current point is known to
+/// commute into an already-explored sibling subtree, each with the
+/// footprint its (explored) quantum had. An entry is evicted as soon as an
+/// executed quantum's footprint conflicts with it — after a conflicting
+/// write, the sleeping process's quantum might no longer do what the
+/// explored branch saw it do.
+///
+/// A `Vec` in insertion order, not a map: sets are tiny (bounded by the
+/// process count), cloning must be cheap, and deterministic iteration
+/// order keeps the per-object conflict tallies identical across explorer
+/// strategies.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SleepSet {
+    entries: Vec<(Pid, Footprint)>,
+}
+
+impl SleepSet {
+    pub(crate) fn contains(&self, pid: Pid) -> bool {
+        self.entries.iter().any(|(p, _)| *p == pid)
+    }
+
+    fn insert(&mut self, pid: Pid, footprint: Footprint) {
+        match self.entries.iter_mut().find(|(p, _)| *p == pid) {
+            Some(slot) => slot.1 = footprint,
+            None => self.entries.push((pid, footprint)),
+        }
+    }
+
+    fn remove(&mut self, pid: Pid) {
+        self.entries.retain(|(p, _)| *p != pid);
+    }
+
+    /// Evicts every entry whose footprint conflicts with `footprint`,
+    /// tallying each eviction under the conflicting object's name.
+    fn wake_filter(&mut self, footprint: &Footprint, conflicts: &mut BTreeMap<String, u64>) {
+        self.entries
+            .retain(|(_, fp)| match footprint.conflict_with(fp) {
+                Some(obj) => {
+                    *conflicts.entry(obj.to_string()).or_insert(0) += 1;
+                    false
+                }
+                None => true,
+            });
+    }
+}
+
+/// What one run's walk learned about one newly discovered decision node.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeInfo {
+    /// The canonical quantum was a pure stutter: prune *all* siblings.
+    pub(crate) pure: bool,
+    /// `asleep[c]`: the process sibling choice `c` would dispatch was in
+    /// the sleep set when the node was reached — prune that sibling.
+    /// Indexed like the decision's ready list; entry 0 is unused.
+    pub(crate) asleep: Vec<bool>,
+    /// The sleep set sibling branches of this node inherit: the set at
+    /// the node plus the canonical quantum's own `(pid, footprint)` entry
+    /// (omitted when the footprint is opaque `All` — an unknowable
+    /// quantum can vouch for no commutation). Identical for every sibling
+    /// by construction, which is what keeps the serial and parallel
+    /// explorers' pruned trees byte-identical: neither may use what a
+    /// *sibling's* quantum turned out to touch, because the other
+    /// explorer might expand the node before ever running that sibling.
+    pub(crate) child_sleep: SleepSet,
+}
+
+/// Walks one executed run's footprint log, producing a [`NodeInfo`] for
+/// every decision node the run discovered (index `start` onward) and
+/// evolving the sleep set from `inherited` (the set in force at the run's
+/// branch point — decision `start - 1`) through every executed quantum.
+/// Conflict evictions along the walk are tallied into `conflicts`.
+///
+/// **The cut rule.** The replay policy always takes choice 0 past its
+/// prefix, so a run cannot avoid dispatching a sleeping process when that
+/// process heads the ready list. When a newly discovered node's executed
+/// canonical choice dispatches a process still in the sleep set, every
+/// behavior below that choice is covered by the earlier subtree that put
+/// the process to sleep: the run from there on is a redundant probe. The
+/// walk stops at that node (its `NodeInfo` is still emitted — its
+/// *siblings* are not redundant), so the caller sees a short vector,
+/// expands nothing deeper, and counts the abandoned canonical
+/// continuation as one pruned branch at the cut node's depth.
+///
+/// Both explorers call this once per executed run with identical
+/// arguments, so every derived quantity (prune verdicts, child sleep
+/// sets, conflict tallies, the cut position) is independent of
+/// exploration strategy.
+pub(crate) fn walk_run(
+    decisions: &[Decision],
+    quanta: &[QuantumRecord],
+    start: usize,
+    inherited: &SleepSet,
+    conflicts: &mut BTreeMap<String, u64>,
+) -> Vec<NodeInfo> {
+    let contested = quanta.iter().filter(|q| q.ready.is_some()).count();
+    if contested != decisions.len() {
+        // No usable footprint log (the explorers force `record_quanta` on,
+        // so this is only reachable through a hand-built `Sim` path):
+        // degrade to the pure-only prune with empty sleep sets.
+        debug_assert!(quanta.is_empty(), "partial quantum log");
+        return decisions[start..]
+            .iter()
+            .map(|d| NodeInfo {
+                pure: d.pure,
+                asleep: vec![false; d.arity as usize],
+                child_sleep: SleepSet::default(),
+            })
+            .collect();
+    }
+    let mut out = Vec::with_capacity(decisions.len().saturating_sub(start));
+    let mut sleep = inherited.clone();
+    // Quanta strictly before the branch quantum (the contested quantum of
+    // decision `start - 1`) are part of the shared prefix whose effects
+    // `inherited` already reflects; the branch quantum itself and
+    // everything after must still be applied.
+    let mut active = start == 0;
+    let mut next_index = 0usize;
+    for q in quanta {
+        let index = q.ready.is_some().then(|| {
+            let i = next_index;
+            next_index += 1;
+            i
+        });
+        if !active {
+            match index {
+                Some(i) if i + 1 == start => active = true,
+                _ => continue,
+            }
+        }
+        if let Some(i) = index {
+            if i >= start {
+                let d = &decisions[i];
+                let ready = q
+                    .ready
+                    .as_ref()
+                    .expect("contested quantum has a ready list");
+                debug_assert_eq!(ready.len(), d.arity as usize);
+                let asleep: Vec<bool> = if d.pure {
+                    vec![false; ready.len()] // purity prunes all siblings anyway
+                } else {
+                    ready.iter().map(|pid| sleep.contains(*pid)).collect()
+                };
+                let cut = asleep[d.chosen as usize];
+                let mut child_sleep = sleep.clone();
+                if q.footprint.is_all() {
+                    child_sleep.remove(q.pid);
+                } else {
+                    child_sleep.insert(q.pid, q.footprint.clone());
+                }
+                out.push(NodeInfo {
+                    pure: d.pure,
+                    asleep,
+                    child_sleep,
+                });
+                if cut {
+                    // The executed canonical choice dispatched a sleeping
+                    // process: the rest of this run is a redundant probe.
+                    return out;
+                }
+            }
+        }
+        // Effects of executing this quantum (contested, forced, or unwind
+        // bookkeeping) on the running sleep set: the dispatched process is
+        // no longer deferred, and conflicting entries wake up.
+        sleep.remove(q.pid);
+        sleep.wake_filter(&q.footprint, conflicts);
+    }
+    debug_assert_eq!(out.len(), decisions.len().saturating_sub(start));
+    out
+}
+
 /// Result summary of a kill-point sweep ([`Explorer::run_kill_points`]).
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct KillPointStats {
     /// Total schedules executed across all explored kill points.
     pub schedules: usize,
@@ -124,6 +344,9 @@ pub struct KillPointStats {
     pub depth_schedules: Vec<usize>,
     /// Prune histogram by depth, merged across kill points.
     pub depth_pruned: Vec<usize>,
+    /// Per-object sleep-set conflict tally, merged across kill points
+    /// (see [`ExploreStats::conflicts`]).
+    pub conflicts: BTreeMap<String, u64>,
     /// The first failed schedule: the canonical-first failure of the
     /// earliest kill point that had one (points are swept in order, so
     /// this too is deterministic across strategies and thread counts).
@@ -142,10 +365,25 @@ pub struct KillPointCount {
 }
 
 /// Depth-first enumerator of all schedules of a scenario.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct Explorer {
     max_schedules: usize,
     prune: bool,
+    granular: bool,
+    progress_every: usize,
+    progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Explorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Explorer")
+            .field("max_schedules", &self.max_schedules)
+            .field("prune", &self.prune)
+            .field("granular", &self.granular)
+            .field("progress_every", &self.progress_every)
+            .field("progress", &self.progress.as_ref().map(|_| ".."))
+            .finish()
+    }
 }
 
 impl Explorer {
@@ -154,14 +392,44 @@ impl Explorer {
         Explorer {
             max_schedules,
             prune: false,
+            granular: true,
+            progress_every: 0,
+            progress: None,
         }
     }
 
-    /// Enables the equivalence prune (see the module docs): sibling
-    /// branches of a decision whose canonical quantum was a pure stutter
-    /// are skipped and counted in [`ExploreStats::pruned`].
+    /// Enables the equivalence prune (see the module docs): branches whose
+    /// subtrees are provably equivalent to already-explored ones are
+    /// skipped and counted in [`ExploreStats::pruned`].
     pub fn with_pruning(mut self) -> Self {
         self.prune = true;
+        self.granular = true;
+        self
+    }
+
+    /// Enables only the *first* layer of the equivalence prune — pure
+    /// stutter siblings — leaving the object-granular sleep-set layer
+    /// off. This is the pre-footprint prune, kept addressable so the
+    /// sleep-set layer's contribution can be measured (see
+    /// `bench_explore`); for actual exploration prefer
+    /// [`Explorer::with_pruning`], which subsumes it.
+    pub fn with_coarse_pruning(mut self) -> Self {
+        self.prune = true;
+        self.granular = false;
+        self
+    }
+
+    /// Installs a progress callback fired once per `every` executed
+    /// schedules, with the running schedule count as argument (see
+    /// [`crate::ParallelExplorer::with_progress`] — for the serial
+    /// explorer the milestones are simply every `every`-th schedule in
+    /// depth-first order). `every == 0` disables the callback.
+    pub fn with_progress<F>(mut self, every: usize, callback: F) -> Self
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        self.progress_every = every;
+        self.progress = Some(Arc::new(callback));
         self
     }
 
@@ -187,20 +455,33 @@ impl Explorer {
         V: FnMut(&[Decision], &Result<SimReport, SimError>),
     {
         let mut prefix: Vec<u32> = Vec::new();
-        // Per-depth prunability of the node on the current path, recorded
-        // when the node is first discovered (its choice-0 run). Using the
-        // discovery run's verdict — rather than the backtracking run's —
-        // keeps the pruned tree identical to ParallelExplorer's, which can
-        // only consult the discovering run.
-        let mut prunable: Vec<bool> = Vec::new();
+        // Per-depth prune facts for the nodes on the current path, recorded
+        // when each node is first discovered (by the run that first reached
+        // it). Using the discovery run's verdicts — rather than any later
+        // run's — keeps the pruned tree identical to ParallelExplorer's,
+        // which can only consult the discovering run.
+        let mut path: Vec<NodeInfo> = Vec::new();
+        // The sleep set in force at the start of the next run: the
+        // branched-from node's `child_sleep` (empty for the root run).
+        let mut pending_sleep = SleepSet::default();
         let mut stats = ExploreStats::default();
         loop {
             let mut sim = setup();
             sim.set_policy(ReplayPolicy::prefix(prefix.clone()));
+            if self.prune {
+                // The sleep-set layer needs the footprint log; the coarse
+                // mode drops it, degrading `walk_run` to the pure-only
+                // prune with empty sleep sets.
+                sim.set_record_quanta(self.granular);
+            }
             let result = sim.run();
-            let (decisions, metrics): (&[Decision], _) = match &result {
-                Ok(report) => (&report.decisions, &report.metrics),
-                Err(err) => (&err.report.decisions, &err.report.metrics),
+            let (decisions, quanta, metrics): (&[Decision], &[QuantumRecord], _) = match &result {
+                Ok(report) => (&report.decisions, &report.quanta, &report.metrics),
+                Err(err) => (
+                    &err.report.decisions,
+                    &err.report.quanta,
+                    &err.report.metrics,
+                ),
             };
             // An exhaustive walk replays only prefixes of vectors the tree
             // itself produced, so any recorded divergence means the
@@ -217,13 +498,32 @@ impl Explorer {
                 );
             }
             // Decisions past the replay prefix take the canonical choice 0;
-            // this run discovers those nodes, so it fixes their prunability.
+            // this run discovers those nodes, so it fixes their prune facts.
             debug_assert!(decisions[prefix.len()..].iter().all(|d| d.chosen == 0));
-            for d in &decisions[prunable.len()..] {
-                prunable.push(self.prune && d.pure);
+            if self.prune {
+                let start = path.len();
+                path.extend(walk_run(
+                    decisions,
+                    quanta,
+                    start,
+                    &pending_sleep,
+                    &mut stats.conflicts,
+                ));
+                if path.len() < decisions.len() {
+                    // The walk cut this run at `path.len() - 1`: its
+                    // canonical continuation is redundant. Count the
+                    // abandoned continuation as one pruned branch; the
+                    // backtrack scan below never looks past the cut.
+                    stats.count_pruned_at_depth(path.len() - 1, 1);
+                }
             }
             visit(decisions, &result);
             stats.count_schedule_at_depth(decisions.len());
+            if self.progress_every > 0 && stats.schedules.is_multiple_of(self.progress_every) {
+                if let Some(progress) = &self.progress {
+                    progress(stats.schedules);
+                }
+            }
             if let Err(err) = &result {
                 // Depth-first order *is* canonical order, so the first
                 // failure seen wins.
@@ -234,24 +534,40 @@ impl Explorer {
                     });
                 }
             }
-            // Backtrack to the deepest decision with an unexplored branch —
-            // checked *before* the budget so a tree of exactly
-            // `max_schedules` schedules still reports `complete`.
+            // Backtrack to the deepest decision with an unexplored,
+            // unpruned branch — checked *before* the budget so a tree of
+            // exactly `max_schedules` schedules still reports `complete`.
+            // With the prune on, decisions past a cut are not on the path
+            // and are never scanned (their subtrees are covered).
+            let scan_len = if self.prune {
+                path.len().min(decisions.len())
+            } else {
+                decisions.len()
+            };
             let mut next_branch = None;
-            for i in (0..decisions.len()).rev() {
-                if decisions[i].chosen + 1 < decisions[i].arity {
-                    if prunable[i] {
-                        stats.count_pruned_at_depth(
-                            i,
-                            (decisions[i].arity - 1 - decisions[i].chosen) as usize,
-                        );
-                        continue;
-                    }
-                    next_branch = Some(i);
+            'scan: for i in (0..scan_len).rev() {
+                let (chosen, arity) = (decisions[i].chosen, decisions[i].arity);
+                if chosen + 1 >= arity {
+                    continue;
+                }
+                if !self.prune {
+                    next_branch = Some((i, chosen + 1));
                     break;
                 }
+                if path[i].pure {
+                    stats.count_pruned_at_depth(i, (arity - 1 - chosen) as usize);
+                    continue;
+                }
+                for c in (chosen + 1)..arity {
+                    if path[i].asleep[c as usize] {
+                        stats.count_pruned_at_depth(i, 1);
+                    } else {
+                        next_branch = Some((i, c));
+                        break 'scan;
+                    }
+                }
             }
-            let Some(i) = next_branch else {
+            let Some((i, c)) = next_branch else {
                 stats.complete = true;
                 return stats;
             };
@@ -263,8 +579,11 @@ impl Explorer {
             let keep = i.min(prefix.len());
             prefix.truncate(keep);
             prefix.extend(decisions[keep..i].iter().map(|d| d.chosen));
-            prefix.push(decisions[i].chosen + 1);
-            prunable.truncate(i + 1);
+            prefix.push(c);
+            if self.prune {
+                pending_sleep = path[i].child_sleep.clone();
+                path.truncate(i + 1);
+            }
         }
     }
 
@@ -315,6 +634,7 @@ impl Explorer {
             stats.pruned += point_stats.pruned;
             merge_depth(&mut stats.depth_schedules, &point_stats.depth_schedules);
             merge_depth(&mut stats.depth_pruned, &point_stats.depth_pruned);
+            merge_conflicts(&mut stats.conflicts, &point_stats.conflicts);
             if stats.first_error.is_none() {
                 stats.first_error = point_stats.first_error;
             }
@@ -328,6 +648,135 @@ impl Explorer {
             }
         }
         stats
+    }
+}
+
+/// Shared configuration builder for both exploration strategies.
+///
+/// Collects the knobs the two explorers have in common — budget, prune,
+/// progress callback, thread count — once, then materialises either a
+/// serial [`Explorer`] ([`ExploreConfig::serial`]) or a
+/// [`crate::ParallelExplorer`] ([`ExploreConfig::parallel`]). Call sites
+/// that compare the two strategies (the parallel-determinism tests, the
+/// exploration benchmarks) build one config and derive both, so the knobs
+/// cannot drift apart:
+///
+/// ```
+/// use bloom_sim::ExploreConfig;
+/// let config = ExploreConfig::new(10_000).prune(true);
+/// let serial = config.serial();
+/// let parallel = config.parallel().threads(4);
+/// # let _ = (serial, parallel);
+/// ```
+#[derive(Clone)]
+pub struct ExploreConfig {
+    budget: usize,
+    prune: bool,
+    granular: bool,
+    threads: Option<usize>,
+    progress_every: usize,
+    progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ExploreConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExploreConfig")
+            .field("budget", &self.budget)
+            .field("prune", &self.prune)
+            .field("granular", &self.granular)
+            .field("threads", &self.threads)
+            .field("progress_every", &self.progress_every)
+            .field("progress", &self.progress.as_ref().map(|_| ".."))
+            .finish()
+    }
+}
+
+impl ExploreConfig {
+    /// Creates a configuration with the given schedule budget; pruning
+    /// off, default thread count, no progress callback.
+    pub fn new(budget: usize) -> Self {
+        ExploreConfig {
+            budget,
+            prune: false,
+            granular: true,
+            threads: None,
+            progress_every: 0,
+            progress: None,
+        }
+    }
+
+    /// Enables or disables the equivalence prune (see
+    /// [`Explorer::with_pruning`]).
+    pub fn prune(mut self, on: bool) -> Self {
+        self.prune = on;
+        self
+    }
+
+    /// Selects between the full object-granular prune (`true`, the
+    /// default) and the coarse pure-stutter-only layer (`false`; see
+    /// [`Explorer::with_coarse_pruning`]). No effect while pruning is
+    /// off.
+    pub fn granular(mut self, on: bool) -> Self {
+        self.granular = on;
+        self
+    }
+
+    /// Sets the worker count for the parallel strategy (the serial
+    /// strategy ignores it; `None` — the default — lets
+    /// [`crate::ParallelExplorer::new`] pick one per core, capped at 8).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Installs a progress callback fired every `every` schedules (see
+    /// [`Explorer::with_progress`] and
+    /// [`crate::ParallelExplorer::with_progress`] for each strategy's
+    /// milestone semantics). `every == 0` disables it.
+    pub fn progress<F>(mut self, every: usize, callback: F) -> Self
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        self.progress_every = every;
+        self.progress = Some(Arc::new(callback));
+        self
+    }
+
+    /// Materialises a serial [`Explorer`] with this configuration.
+    pub fn serial(&self) -> Explorer {
+        let mut explorer = Explorer::new(self.budget);
+        if self.prune {
+            explorer = if self.granular {
+                explorer.with_pruning()
+            } else {
+                explorer.with_coarse_pruning()
+            };
+        }
+        if let Some(progress) = &self.progress {
+            let progress = Arc::clone(progress);
+            explorer = explorer.with_progress(self.progress_every, move |n| progress(n));
+        }
+        explorer
+    }
+
+    /// Materialises a [`crate::ParallelExplorer`] with this configuration.
+    pub fn parallel(&self) -> crate::ParallelExplorer {
+        let mut explorer = crate::ParallelExplorer::new(self.budget);
+        if let Some(threads) = self.threads {
+            explorer = explorer.threads(threads);
+        }
+        if self.prune {
+            explorer = if self.granular {
+                explorer.with_pruning()
+            } else {
+                explorer.with_coarse_pruning()
+            };
+        }
+        if let Some(progress) = &self.progress {
+            let progress = Arc::clone(progress);
+            explorer = explorer.with_progress(self.progress_every, move |n| progress(n));
+        }
+        explorer
     }
 }
 
@@ -567,5 +1016,168 @@ mod tests {
             pruned_traces, full_traces,
             "pruning must preserve the set of observable behaviors"
         );
+    }
+
+    /// Two processes working disjoint objects: every quantum is a real
+    /// synchronization operation (never a pure stutter), so the purity
+    /// layer cannot prune — only the object-granular sleep-set layer can
+    /// see that the processes commute.
+    #[test]
+    fn sleep_sets_prune_disjoint_objects_where_purity_cannot() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            let qa = Arc::new(crate::waitq::WaitQueue::new("qa"));
+            let qb = Arc::new(crate::waitq::WaitQueue::new("qb"));
+            sim.spawn("a", move |ctx| {
+                qa.wake_one(ctx);
+                ctx.yield_now();
+                qa.wake_one(ctx);
+            });
+            sim.spawn("b", move |ctx| {
+                qb.wake_one(ctx);
+                ctx.yield_now();
+                qb.wake_one(ctx);
+            });
+            sim
+        };
+        let full = Explorer::new(100_000).run(scenario, |_, _| {});
+        let pruned = Explorer::new(100_000)
+            .with_pruning()
+            .run(scenario, |_, _| {});
+        assert!(full.complete && pruned.complete);
+        assert_eq!(full.pruned, 0);
+        assert!(
+            pruned.schedules < full.schedules,
+            "disjoint footprints must prune: {} vs {}",
+            pruned.schedules,
+            full.schedules
+        );
+        assert!(pruned.pruned > 0, "cut/asleep branches must be counted");
+    }
+
+    /// Sleep-set pruning with observable events: the per-process events
+    /// conflict on the trace object, so event orderings are preserved
+    /// while the disjoint queue operations commute away.
+    #[test]
+    fn sleep_set_prune_preserves_observable_behaviors() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            let qa = Arc::new(crate::waitq::WaitQueue::new("qa"));
+            let qb = Arc::new(crate::waitq::WaitQueue::new("qb"));
+            sim.spawn("a", move |ctx| {
+                qa.wake_one(ctx);
+                ctx.yield_now();
+                qa.wake_one(ctx);
+                ctx.yield_now();
+                ctx.emit("a", &[]);
+            });
+            sim.spawn("b", move |ctx| {
+                qb.wake_one(ctx);
+                ctx.yield_now();
+                qb.wake_one(ctx);
+                ctx.yield_now();
+                ctx.emit("b", &[]);
+            });
+            sim
+        };
+        let traces = |prune: bool| {
+            let seen = Arc::new(Mutex::new(BTreeSet::new()));
+            let seen2 = Arc::clone(&seen);
+            let explorer = if prune {
+                Explorer::new(100_000).with_pruning()
+            } else {
+                Explorer::new(100_000)
+            };
+            let stats = explorer.run(scenario, move |_, result| {
+                let report = result.as_ref().expect("no failure possible");
+                let order: Vec<String> = report
+                    .trace
+                    .user_events()
+                    .map(|(_, l, _)| l.to_string())
+                    .collect();
+                seen2.lock().insert(order);
+            });
+            assert!(stats.complete);
+            (Arc::try_unwrap(seen).unwrap().into_inner(), stats)
+        };
+        let (full_traces, full) = traces(false);
+        let (pruned_traces, pruned) = traces(true);
+        assert!(
+            full_traces.contains(&vec!["a".to_string(), "b".to_string()])
+                && full_traces.contains(&vec!["b".to_string(), "a".to_string()]),
+            "both event orders are real behaviors"
+        );
+        assert_eq!(
+            pruned_traces, full_traces,
+            "sleep sets must preserve the set of observable behaviors"
+        );
+        assert!(
+            pruned.schedules < full.schedules,
+            "sleep sets must cut schedules: {} vs {}",
+            pruned.schedules,
+            full.schedules
+        );
+    }
+
+    /// The conflict tally names the object whose contention woke sleeping
+    /// entries: two writers of one queue conflict exactly there.
+    #[test]
+    fn conflicts_tally_names_the_contended_object() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            let q = Arc::new(crate::waitq::WaitQueue::new("gate"));
+            let q2 = Arc::clone(&q);
+            sim.spawn("a", move |ctx| {
+                q2.wake_one(ctx);
+            });
+            let q3 = Arc::clone(&q);
+            sim.spawn("b", move |ctx| {
+                q3.wake_one(ctx);
+            });
+            sim
+        };
+        let stats = Explorer::new(1000).with_pruning().run(scenario, |_, _| {});
+        assert!(stats.complete);
+        assert!(
+            stats.conflicts.get("queue:gate").copied().unwrap_or(0) > 0,
+            "the contended queue must appear in the tally: {:?}",
+            stats.conflicts
+        );
+        let unpruned = Explorer::new(1000).run(scenario, |_, _| {});
+        assert!(unpruned.conflicts.is_empty(), "tally requires pruning");
+    }
+
+    /// One `ExploreConfig` materialises both strategies with the same
+    /// knobs; serial progress milestones fire every `every` schedules.
+    #[test]
+    fn explore_config_builds_both_strategies() {
+        let three = || {
+            let mut sim = Sim::new();
+            for i in 0..3 {
+                sim.spawn(&format!("p{i}"), move |ctx| ctx.emit("go", &[i]));
+            }
+            sim
+        };
+        let ticks = Arc::new(Mutex::new(Vec::new()));
+        let ticks2 = Arc::clone(&ticks);
+        let config = ExploreConfig::new(10_000)
+            .prune(true)
+            .threads(2)
+            .progress(2, move |n| ticks2.lock().push(n));
+        let serial = config.serial().run(three, |_, _| {});
+        let mut serial_ticks = std::mem::take(&mut *ticks.lock());
+        serial_ticks.sort_unstable();
+        assert_eq!(
+            serial_ticks,
+            (1..=serial.schedules / 2)
+                .map(|i| i * 2)
+                .collect::<Vec<_>>(),
+            "serial milestones fire every 2 schedules"
+        );
+        let (_, parallel) = config.parallel().run(three, |_, _| ());
+        assert_eq!(parallel.schedules, serial.schedules);
+        assert_eq!(parallel.pruned, serial.pruned);
+        assert_eq!(parallel.conflicts, serial.conflicts);
+        assert_eq!(parallel.depth_schedules, serial.depth_schedules);
     }
 }

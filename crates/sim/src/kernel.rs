@@ -5,6 +5,7 @@ use crate::baton::{Baton, Go, Report};
 use crate::ctx::Ctx;
 use crate::error::{SimError, SimErrorKind};
 use crate::fault::FaultRuntime;
+use crate::footprint::{merge_access, Access, Footprint, ObjId, QuantumRecord};
 use crate::metrics::{PidMetrics, SimMetrics};
 use crate::policy::SchedPolicy;
 use crate::sim::SimConfig;
@@ -12,7 +13,7 @@ use crate::trace::{Decision, EventKind, Trace};
 use crate::types::{Pid, Time};
 use parking_lot::Mutex;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -130,10 +131,25 @@ pub(crate) struct State {
     /// The previously dispatched pid, for the context-switch count.
     /// Metrics bookkeeping only.
     pub last_dispatched: Option<Pid>,
+    /// Object accesses reported for the *current* quantum via
+    /// [`Ctx::note_sync_obj`]; drained into a [`QuantumRecord`] when the
+    /// quantum ends, cleared at each dispatch. (The coarse companion bits
+    /// live in [`Shared::quantum_dirty`]/[`Shared::quantum_all`], which
+    /// processes can set without taking this lock.)
+    pub quantum_objs: BTreeMap<ObjId, Access>,
+    /// The per-dispatch footprint log (see [`SimReport::quanta`]).
+    pub quanta: Vec<QuantumRecord>,
+    /// Whether to record `quanta`. On by default; the explorers force it
+    /// on when their object-granular prune is enabled.
+    pub record_quanta: bool,
 }
 
 impl State {
-    pub(crate) fn new(record_sched_events: bool, faults: FaultRuntime) -> Self {
+    pub(crate) fn new(
+        record_sched_events: bool,
+        record_quanta: bool,
+        faults: FaultRuntime,
+    ) -> Self {
         State {
             procs: Vec::new(),
             ready: Vec::new(),
@@ -151,6 +167,9 @@ impl State {
             prune_safe: true,
             metrics: SimMetrics::default(),
             last_dispatched: None,
+            quantum_objs: BTreeMap::new(),
+            quanta: Vec::new(),
+            record_quanta,
         }
     }
 
@@ -198,6 +217,11 @@ pub(crate) struct Shared {
     /// dispatch and reads it back when the quantum ends, classifying the
     /// quantum as pure or not — see [`crate::Decision::pure`].
     pub quantum_dirty: AtomicBool,
+    /// Set by [`Ctx::note_sync`] (the conservative fallback of the
+    /// footprint contract): the current quantum may have touched *any*
+    /// object, so its footprint is [`Footprint::All`] regardless of what
+    /// [`State::quantum_objs`] collected. Cleared at each dispatch.
+    pub quantum_all: AtomicBool,
     /// Set (before any cancellation) when the run is shutting down. Unwind
     /// guards in the mechanism crates consult this via
     /// [`Ctx::cancelling`]: a shutdown unwind is not a crash, and multiple
@@ -214,12 +238,17 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    pub(crate) fn new(record_sched_events: bool, faults: FaultRuntime) -> Arc<Self> {
+    pub(crate) fn new(
+        record_sched_events: bool,
+        record_quanta: bool,
+        faults: FaultRuntime,
+    ) -> Arc<Self> {
         Arc::new(Shared {
-            state: Mutex::new(State::new(record_sched_events, faults)),
+            state: Mutex::new(State::new(record_sched_events, record_quanta, faults)),
             sched_baton: Baton::new(),
             tickets: AtomicU64::new(0),
             quantum_dirty: AtomicBool::new(false),
+            quantum_all: AtomicBool::new(false),
             cancelling: AtomicBool::new(false),
             queues: Mutex::new(Vec::new()),
         })
@@ -401,6 +430,13 @@ pub struct SimReport {
     /// Strictly non-authoritative: recorded on every run, never consulted
     /// by scheduling. See [`SimMetrics`] and [`crate::export`].
     pub metrics: SimMetrics,
+    /// Per-dispatch access footprints in dispatch order (empty when
+    /// [`crate::SimConfig::record_quanta`] is off). Records whose `ready`
+    /// is `Some` align 1:1 with `decisions`; when the run was not
+    /// `prune_safe`, every footprint has been forced to
+    /// [`Footprint::All`] so the explorers' dependency analysis can never
+    /// act on footprints a timer or fault may have invalidated.
+    pub quanta: Vec<QuantumRecord>,
 }
 
 impl SimReport {
@@ -421,12 +457,20 @@ impl SimReport {
 
 fn snapshot(st: &mut State, policy: &dyn SchedPolicy) -> SimReport {
     let mut decisions = std::mem::take(&mut st.decisions);
+    let mut quanta = std::mem::take(&mut st.quanta);
     if !st.prune_safe {
         // A pure quantum commutes with its siblings only up to a one-tick
         // shift of the intervening virtual times; once anything in the run
         // was time-sensitive, no decision may be treated as prunable.
         for d in &mut decisions {
             d.pure = false;
+        }
+        // Same hardening for the footprint log: timers and faults act
+        // outside any quantum, so recorded footprints understate what a
+        // quantum's reordering could perturb. Forcing them to `All` makes
+        // the explorers' sleep-set analysis self-disable for this run.
+        for q in &mut quanta {
+            q.footprint = Footprint::All;
         }
     }
     // Metrics finalization: close the blocked episodes of processes that
@@ -467,6 +511,7 @@ fn snapshot(st: &mut State, policy: &dyn SchedPolicy) -> SimReport {
         recovered: std::mem::take(&mut st.recovered),
         prune_safe: st.prune_safe,
         metrics: std::mem::take(&mut st.metrics),
+        quanta,
     }
 }
 
@@ -492,6 +537,7 @@ pub(crate) fn run_kernel(
         let next: Pid;
         let baton: Arc<Baton<Go>>;
         let decided: bool;
+        let ready_snapshot: Option<Vec<Pid>>;
         {
             let mut st = shared.state.lock();
             // The run is complete once no non-daemon process is live, even
@@ -592,7 +638,14 @@ pub(crate) fn run_kernel(
                     st.trace.push(clock, victim, EventKind::Aborted);
                     st.recovered.push(victim);
                     let victim_baton = Arc::clone(&st.procs[victim.index()].baton);
+                    // The unwind's guard effects (releases, poisons, wakes)
+                    // are accounted to a bookkeeping quantum of the victim,
+                    // recorded below; reset the footprint marks first.
+                    st.quantum_objs.clear();
+                    let record_abort = st.record_quanta;
                     drop(st);
+                    shared.quantum_dirty.store(false, Ordering::Relaxed);
+                    shared.quantum_all.store(false, Ordering::Relaxed);
                     // The victim is blocked in `obey(baton.take())`; while it
                     // unwinds it is the only executing process, exactly as in
                     // the kill hand-shake above.
@@ -619,6 +672,36 @@ pub(crate) fn run_kernel(
                         _ => unreachable!("abort unwind reports Aborted or Panicked"),
                     }
                     let mut st = shared.state.lock();
+                    // Record the unwind as a forced bookkeeping quantum of
+                    // the victim so the sleep-set walk sees its effects
+                    // (`ready: None` keeps it out of the decision
+                    // alignment). The victim also leaves the blocked set,
+                    // which is a write of its park slot and of the global
+                    // `park` order object.
+                    if record_abort {
+                        let mut objs = if shared.quantum_all.load(Ordering::Relaxed) {
+                            None
+                        } else {
+                            Some(std::mem::take(&mut st.quantum_objs))
+                        };
+                        if let Some(objs) = objs.as_mut() {
+                            merge_access(
+                                objs,
+                                ObjId::pseudo(&format!("park:{victim}")),
+                                Access::Write,
+                            );
+                            merge_access(objs, ObjId::pseudo("park"), Access::Write);
+                        }
+                        let footprint = match objs {
+                            None => Footprint::All,
+                            Some(map) => Footprint::Objs(map),
+                        };
+                        st.quanta.push(QuantumRecord {
+                            pid: victim,
+                            footprint,
+                            ready: None,
+                        });
+                    }
                     // Cancelled, not Killed: an abort is a recovery action,
                     // not a crash. The thread has exited; shutdown joins it.
                     st.settle_blocked_time(victim);
@@ -663,6 +746,16 @@ pub(crate) fn run_kernel(
                 });
                 pick
             };
+            // Footprint bookkeeping for the quantum about to run: remember
+            // the candidate list of a contested dispatch (index c is what
+            // sibling choice c would have dispatched) and reset the
+            // per-quantum access collection.
+            ready_snapshot = if decided && st.record_quanta {
+                Some(st.ready.clone())
+            } else {
+                None
+            };
+            st.quantum_objs.clear();
             next = st.ready.remove(idx);
             st.clock = st.clock.plus(1);
             st.step += 1;
@@ -725,6 +818,7 @@ pub(crate) fn run_kernel(
 
         // Phase 2: hand over the CPU and wait for the process to stop.
         shared.quantum_dirty.store(false, Ordering::Relaxed);
+        shared.quantum_all.store(false, Ordering::Relaxed);
         baton.put(Go::Run);
         let report = shared.sched_baton.take();
 
@@ -750,6 +844,37 @@ pub(crate) fn run_kernel(
                     d.pure = true;
                 }
             }
+        }
+        // Footprint log: drain what the quantum reported, add the
+        // kernel-implicit accesses, and record. A parking quantum writes
+        // its own park slot (the same pseudo-object `Ctx::is_parked` reads
+        // and `Ctx::unpark` writes); under deadlock recovery it also
+        // writes the global `park` pseudo-object, because the victim
+        // choice depends on the relative order in which *any* two
+        // processes blocked, so park quanta must never be commuted then.
+        if st.record_quanta {
+            let mut objs = if shared.quantum_all.load(Ordering::Relaxed) {
+                None
+            } else {
+                Some(std::mem::take(&mut st.quantum_objs))
+            };
+            if matches!(report, Report::Parked { .. } | Report::ParkedTimeout { .. }) {
+                if let Some(objs) = objs.as_mut() {
+                    merge_access(objs, ObjId::pseudo(&format!("park:{next}")), Access::Write);
+                    if cfg.deadlock_recovery {
+                        merge_access(objs, ObjId::pseudo("park"), Access::Write);
+                    }
+                }
+            }
+            let footprint = match objs {
+                None => Footprint::All,
+                Some(map) => Footprint::Objs(map),
+            };
+            st.quanta.push(QuantumRecord {
+                pid: next,
+                footprint,
+                ready: ready_snapshot,
+            });
         }
         // Fault plane: a yield/park/sleep is a scheduling point of `next`.
         // If the plan kills it here, the normal bookkeeping for the report

@@ -75,10 +75,12 @@ mod error;
 mod explore;
 pub mod export;
 mod fault;
+mod footprint;
 mod kernel;
 mod metrics;
 mod parallel;
 mod policy;
+pub mod prelude;
 mod sim;
 mod trace;
 mod types;
@@ -86,8 +88,11 @@ mod waitq;
 
 pub use ctx::Ctx;
 pub use error::{SimError, SimErrorKind};
-pub use explore::{ExploreError, ExploreStats, Explorer, KillPointCount, KillPointStats};
+pub use explore::{
+    ExploreConfig, ExploreError, ExploreStats, Explorer, KillPointCount, KillPointStats,
+};
 pub use fault::{DelaySpec, FaultPlan, KillSpec, Poisoned, SpuriousSpec};
+pub use footprint::{Access, Footprint, ObjId, QuantumRecord};
 pub use kernel::{ProcessStatus, ProcessSummary, SimReport, StarvationFlag};
 pub use metrics::{PidMetrics, ReplayDivergence, SimMetrics};
 pub use parallel::{ParallelExplorer, ScheduleRecord};

@@ -36,14 +36,17 @@
 use crate::error::SimError;
 use crate::explore::victim_killed;
 use crate::explore::{
-    bump_depth, merge_depth, ExploreError, ExploreStats, KillPointCount, KillPointStats,
+    bump_depth, merge_conflicts, merge_depth, walk_run, ExploreError, ExploreStats, KillPointCount,
+    KillPointStats, SleepSet,
 };
 use crate::fault::FaultPlan;
+use crate::footprint::QuantumRecord;
 use crate::kernel::SimReport;
 use crate::policy::ReplayPolicy;
 use crate::sim::Sim;
 use crate::trace::Decision;
 use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -57,9 +60,11 @@ pub struct ScheduleRecord<T> {
     pub value: T,
 }
 
-/// Shared frontier of unexplored branch prefixes.
+/// Shared frontier of unexplored branch prefixes, each carrying the sleep
+/// set its run inherits (the branched-from node's `child_sleep` — see
+/// [`crate::explore`]'s module docs; empty when pruning is off).
 struct Frontier {
-    stack: Vec<Vec<u32>>,
+    stack: Vec<(Vec<u32>, SleepSet)>,
     /// Workers currently expanding a popped prefix (may push more work).
     active: usize,
     /// Raised on budget exhaustion or worker panic: drain and exit.
@@ -97,6 +102,7 @@ struct SharedStats {
     claimed: AtomicUsize,
     budget_hit: AtomicBool,
     depth_pruned: Mutex<Vec<usize>>,
+    conflicts: Mutex<BTreeMap<String, u64>>,
     first_error: Mutex<Option<ExploreError>>,
 }
 
@@ -106,6 +112,7 @@ impl SharedStats {
             claimed: AtomicUsize::new(0),
             budget_hit: AtomicBool::new(false),
             depth_pruned: Mutex::new(Vec::new()),
+            conflicts: Mutex::new(BTreeMap::new()),
             first_error: Mutex::new(None),
         }
     }
@@ -128,6 +135,7 @@ pub struct ParallelExplorer {
     max_schedules: usize,
     threads: usize,
     prune: bool,
+    granular: bool,
     progress_every: usize,
     progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
 }
@@ -138,6 +146,7 @@ impl fmt::Debug for ParallelExplorer {
             .field("max_schedules", &self.max_schedules)
             .field("threads", &self.threads)
             .field("prune", &self.prune)
+            .field("granular", &self.granular)
             .field("progress_every", &self.progress_every)
             .field("progress", &self.progress.as_ref().map(|_| ".."))
             .finish()
@@ -156,6 +165,7 @@ impl ParallelExplorer {
             max_schedules,
             threads,
             prune: false,
+            granular: true,
             progress_every: 0,
             progress: None,
         }
@@ -172,6 +182,16 @@ impl ParallelExplorer {
     /// — the pruned tree is identical to the serial explorer's).
     pub fn with_pruning(mut self) -> Self {
         self.prune = true;
+        self.granular = true;
+        self
+    }
+
+    /// Enables only the pure-stutter layer of the prune (see
+    /// [`crate::Explorer::with_coarse_pruning`] — again byte-identical to
+    /// the serial explorer in the same mode).
+    pub fn with_coarse_pruning(mut self) -> Self {
+        self.prune = true;
+        self.granular = false;
         self
     }
 
@@ -210,7 +230,7 @@ impl ParallelExplorer {
     {
         let sync = Coordinator {
             frontier: Mutex::new(Frontier {
-                stack: vec![Vec::new()],
+                stack: vec![(Vec::new(), SleepSet::default())],
                 active: 0,
                 stop: false,
             }),
@@ -246,6 +266,7 @@ impl ParallelExplorer {
             pruned: depth_pruned.iter().sum(),
             depth_schedules,
             depth_pruned,
+            conflicts: shared.conflicts.into_inner(),
             first_error: shared.first_error.into_inner(),
         };
         (journal, stats)
@@ -269,7 +290,7 @@ impl ParallelExplorer {
         loop {
             // Pop a prefix, or exit once no work exists and nobody is
             // expanding (an active worker may still push more).
-            let prefix = {
+            let (prefix, inherited) = {
                 let mut f = sync.frontier.lock();
                 loop {
                     if f.stop {
@@ -304,10 +325,19 @@ impl ParallelExplorer {
 
             let mut sim = setup();
             sim.set_policy(ReplayPolicy::prefix(prefix.clone()));
+            if self.prune {
+                // The sleep-set layer needs the footprint log; coarse mode
+                // drops it, degrading the walk to the pure-only prune.
+                sim.set_record_quanta(self.granular);
+            }
             let result = sim.run();
-            let (decisions, metrics): (&[Decision], _) = match &result {
-                Ok(report) => (&report.decisions, &report.metrics),
-                Err(err) => (&err.report.decisions, &err.report.metrics),
+            let (decisions, quanta, metrics): (&[Decision], &[QuantumRecord], _) = match &result {
+                Ok(report) => (&report.decisions, &report.quanta, &report.metrics),
+                Err(err) => (
+                    &err.report.decisions,
+                    &err.report.quanta,
+                    &err.report.metrics,
+                ),
             };
             debug_assert!(
                 !metrics.replay.diverged(),
@@ -329,23 +359,68 @@ impl ParallelExplorer {
             // Expand the decision points this run discovered. Points below
             // the prefix length were expanded by the run that discovered
             // the prefix; the rest are seen here first (with the canonical
-            // choice 0, which is what licenses the prune check).
-            let mut fresh: Vec<Vec<u32>> = Vec::new();
-            for i in prefix.len()..decisions.len() {
-                let d = decisions[i];
-                debug_assert_eq!(d.chosen, 0, "past-prefix replay takes choice 0");
-                if d.arity <= 1 {
-                    continue;
+            // choice 0, which is what licenses the prune checks). With the
+            // prune on, the walk over the footprint log supplies the same
+            // per-node facts the serial explorer derives, so the pruned
+            // trees are identical.
+            let mut fresh: Vec<(Vec<u32>, SleepSet)> = Vec::new();
+            if self.prune {
+                let mut local_conflicts = BTreeMap::new();
+                let infos = walk_run(
+                    decisions,
+                    quanta,
+                    prefix.len(),
+                    &inherited,
+                    &mut local_conflicts,
+                );
+                if !local_conflicts.is_empty() {
+                    merge_conflicts(&mut shared.conflicts.lock(), &local_conflicts);
                 }
-                if self.prune && d.pure {
-                    bump_depth(&mut shared.depth_pruned.lock(), i, d.arity as usize - 1);
-                    continue;
+                if prefix.len() + infos.len() < decisions.len() {
+                    // The walk cut this run (see `walk_run`): count the
+                    // abandoned canonical continuation as one pruned
+                    // branch; nodes past the cut are never expanded.
+                    bump_depth(
+                        &mut shared.depth_pruned.lock(),
+                        prefix.len() + infos.len() - 1,
+                        1,
+                    );
                 }
-                for c in 1..d.arity {
-                    let mut branch = Vec::with_capacity(i + 1);
-                    branch.extend(decisions[..i].iter().map(|d| d.chosen));
-                    branch.push(c);
-                    fresh.push(branch);
+                for (j, info) in infos.iter().enumerate() {
+                    let i = prefix.len() + j;
+                    let d = decisions[i];
+                    debug_assert_eq!(d.chosen, 0, "past-prefix replay takes choice 0");
+                    if d.arity <= 1 {
+                        continue;
+                    }
+                    if info.pure {
+                        bump_depth(&mut shared.depth_pruned.lock(), i, d.arity as usize - 1);
+                        continue;
+                    }
+                    for c in 1..d.arity {
+                        if info.asleep[c as usize] {
+                            bump_depth(&mut shared.depth_pruned.lock(), i, 1);
+                            continue;
+                        }
+                        let mut branch = Vec::with_capacity(i + 1);
+                        branch.extend(decisions[..i].iter().map(|d| d.chosen));
+                        branch.push(c);
+                        fresh.push((branch, info.child_sleep.clone()));
+                    }
+                }
+            } else {
+                for i in prefix.len()..decisions.len() {
+                    let d = decisions[i];
+                    debug_assert_eq!(d.chosen, 0, "past-prefix replay takes choice 0");
+                    if d.arity <= 1 {
+                        continue;
+                    }
+                    for c in 1..d.arity {
+                        let mut branch = Vec::with_capacity(i + 1);
+                        branch.extend(decisions[..i].iter().map(|d| d.chosen));
+                        branch.push(c);
+                        fresh.push((branch, SleepSet::default()));
+                    }
                 }
             }
             if !fresh.is_empty() {
@@ -403,6 +478,7 @@ impl ParallelExplorer {
             stats.pruned += point_stats.pruned;
             merge_depth(&mut stats.depth_schedules, &point_stats.depth_schedules);
             merge_depth(&mut stats.depth_pruned, &point_stats.depth_pruned);
+            merge_conflicts(&mut stats.conflicts, &point_stats.conflicts);
             if stats.first_error.is_none() {
                 stats.first_error = point_stats.first_error;
             }
@@ -550,6 +626,69 @@ mod tests {
                 .run(scenario, |_, result| trace_of(result));
             assert_eq!(stats.schedules, serial_stats.schedules);
             assert_eq!(stats.pruned, serial_stats.pruned);
+            assert_eq!(stats.conflicts, serial_stats.conflicts);
+            let merged: Vec<(Vec<u32>, Vec<String>)> =
+                journal.into_iter().map(|r| (r.choices, r.value)).collect();
+            assert_eq!(merged, serial_journal, "pruned trees must be identical");
+        }
+    }
+
+    /// The sleep-set layer (disjoint objects, no pure stutters) must also
+    /// produce byte-identical pruned trees for every thread count.
+    #[test]
+    fn sleep_set_prune_matches_serial_for_every_thread_count() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            let qa = Arc::new(crate::waitq::WaitQueue::new("qa"));
+            let qb = Arc::new(crate::waitq::WaitQueue::new("qb"));
+            sim.spawn("a", move |ctx| {
+                qa.wake_one(ctx);
+                ctx.yield_now();
+                qa.wake_one(ctx);
+                ctx.yield_now();
+                ctx.emit("a", &[]);
+            });
+            sim.spawn("b", move |ctx| {
+                qb.wake_one(ctx);
+                ctx.yield_now();
+                qb.wake_one(ctx);
+                ctx.yield_now();
+                ctx.emit("b", &[]);
+            });
+            sim
+        };
+        let trace_of = |result: &Result<SimReport, SimError>| {
+            result
+                .as_ref()
+                .map(|report| {
+                    report
+                        .trace
+                        .user_events()
+                        .map(|(_, l, _)| l.to_string())
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default()
+        };
+        let mut serial_journal = Vec::new();
+        let serial_stats =
+            crate::Explorer::new(100_000)
+                .with_pruning()
+                .run(scenario, |decisions, result| {
+                    serial_journal.push((
+                        decisions.iter().map(|d| d.chosen).collect::<Vec<_>>(),
+                        trace_of(result),
+                    ));
+                });
+        assert!(serial_stats.pruned > 0, "sleep sets must prune here");
+        for threads in [1, 2, 4, 8] {
+            let (journal, stats) = ParallelExplorer::new(100_000)
+                .threads(threads)
+                .with_pruning()
+                .run(scenario, |_, result| trace_of(result));
+            assert_eq!(stats.schedules, serial_stats.schedules);
+            assert_eq!(stats.pruned, serial_stats.pruned);
+            assert_eq!(stats.depth_pruned, serial_stats.depth_pruned);
+            assert_eq!(stats.conflicts, serial_stats.conflicts);
             let merged: Vec<(Vec<u32>, Vec<String>)> =
                 journal.into_iter().map(|r| (r.choices, r.value)).collect();
             assert_eq!(merged, serial_journal, "pruned trees must be identical");

@@ -1,0 +1,12 @@
+//! One-stop imports for simulation-driving code.
+//!
+//! Examples, integration tests, and benchmark binaries all want the same
+//! dozen names; `use bloom_sim::prelude::*;` brings them in without a
+//! wall of `use` lines. Library crates should keep importing items
+//! explicitly — a glob in a library obscures where names come from.
+
+pub use crate::{
+    Ctx, Deadline, ExploreConfig, ExploreStats, Explorer, FaultPlan, FifoPolicy, KillPointStats,
+    LifoPolicy, ParallelExplorer, Pid, RandomPolicy, ReplayPolicy, SchedPolicy, ScheduleRecord,
+    Sim, SimConfig, SimError, SimReport, Time, WaitQueue,
+};

@@ -36,6 +36,12 @@ pub struct SimConfig {
     /// default: a deadlock fails the run with
     /// [`crate::SimErrorKind::Deadlock`].
     pub deadlock_recovery: bool,
+    /// Whether per-dispatch access footprints are recorded in
+    /// [`crate::SimReport::quanta`]. On by default (the log is what the
+    /// explorers' object-granular prune consumes, and they force it on);
+    /// disable for long throughput benchmarks where the log's allocation
+    /// is measurable.
+    pub record_quanta: bool,
 }
 
 impl Default for SimConfig {
@@ -46,6 +52,7 @@ impl Default for SimConfig {
             faults: FaultPlan::new(),
             starvation_bound: None,
             deadlock_recovery: false,
+            record_quanta: true,
         }
     }
 }
@@ -71,6 +78,7 @@ impl Sim {
         Sim {
             shared: Shared::new(
                 config.record_sched_events,
+                config.record_quanta,
                 FaultRuntime::new(config.faults.clone()),
             ),
             policy: Box::new(FifoPolicy),
@@ -105,6 +113,15 @@ impl Sim {
     /// Enables deadlock recovery (see [`SimConfig::deadlock_recovery`]).
     pub fn enable_deadlock_recovery(&mut self) -> &mut Self {
         self.config.deadlock_recovery = true;
+        self
+    }
+
+    /// Turns the per-dispatch footprint log on or off (see
+    /// [`SimConfig::record_quanta`]). The explorers call this to force it
+    /// on when their object-granular prune is enabled.
+    pub fn set_record_quanta(&mut self, on: bool) -> &mut Self {
+        self.config.record_quanta = on;
+        self.shared.state.lock().record_quanta = on;
         self
     }
 

@@ -49,51 +49,105 @@ impl fmt::Display for Time {
     }
 }
 
-/// An absolute virtual-time deadline.
+/// A virtual-time wait budget: either an absolute point on the virtual
+/// clock or a relative tick count resolved at the use site.
 ///
-/// Timed waits throughout the mechanism crates accept either a relative
-/// tick count or a `Deadline`; the deadline form composes across nested
-/// calls (each layer re-computes the *remaining* budget instead of
-/// restarting the clock). A deadline is just a point on the virtual
-/// clock, so it is deterministic and replayable like everything else.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Deadline(pub Time);
+/// Every timed wait in the mechanism crates takes `impl Into<Deadline>`,
+/// so callers pass whichever form is natural:
+///
+/// * a plain tick count (`u64`, via `From`) — "give up `n` quanta after
+///   the wait starts"; resolving it never reads the clock, so it cannot
+///   disturb the explorers' prune-safety gate;
+/// * an absolute [`Deadline::at`] / [`Ctx::deadline_after`] — composes
+///   across nested calls (each layer re-computes the *remaining* budget
+///   instead of restarting the clock);
+/// * a `std::time::Duration` (via `From`), read as virtual ticks at
+///   1 tick = 1 nanosecond.
+///
+/// A deadline is pure virtual-time data, so it is deterministic and
+/// replayable like everything else.
+///
+/// [`Ctx::deadline_after`]: crate::Ctx::deadline_after
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Deadline(Repr);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Repr {
+    At(Time),
+    After(u64),
+}
 
 impl Deadline {
     /// A deadline at the given absolute virtual time.
     pub fn at(time: Time) -> Deadline {
-        Deadline(time)
+        Deadline(Repr::At(time))
     }
 
     /// A deadline `ticks` quanta after `now`.
     pub fn after(now: Time, ticks: u64) -> Deadline {
-        Deadline(now.plus(ticks))
+        Deadline(Repr::At(now.plus(ticks)))
     }
 
-    /// The absolute virtual time of this deadline.
-    pub fn time(self) -> Time {
-        self.0
+    /// A relative deadline: `ticks` quanta after the wait begins.
+    /// Equivalent to the `From<u64>` conversion.
+    pub fn within(ticks: u64) -> Deadline {
+        Deadline(Repr::After(ticks))
+    }
+
+    /// The absolute virtual time of this deadline, or `None` for a
+    /// relative one (which has no fixed point until a wait resolves it).
+    pub fn absolute(self) -> Option<Time> {
+        match self.0 {
+            Repr::At(t) => Some(t),
+            Repr::After(_) => None,
+        }
     }
 
     /// Whether the deadline has passed (inclusive: a deadline *at* `now`
-    /// is expired — there is no budget left to wait with).
+    /// is expired — there is no budget left to wait with). A relative
+    /// deadline is expired only when its budget is zero.
     pub fn expired(self, now: Time) -> bool {
-        now >= self.0
+        self.remaining(now).is_none()
     }
 
     /// Ticks left until the deadline, or `None` if it has expired.
+    /// For a relative deadline the answer ignores `now`: the budget is
+    /// whatever was asked for.
     pub fn remaining(self, now: Time) -> Option<u64> {
-        if self.expired(now) {
-            None
-        } else {
-            Some(self.0 .0 - now.0)
+        match self.0 {
+            Repr::At(t) => {
+                if now >= t {
+                    None
+                } else {
+                    Some(t.0 - now.0)
+                }
+            }
+            Repr::After(n) => (n > 0).then_some(n),
         }
+    }
+}
+
+/// A relative deadline: "give up `ticks` quanta after the wait starts".
+impl From<u64> for Deadline {
+    fn from(ticks: u64) -> Deadline {
+        Deadline::within(ticks)
+    }
+}
+
+/// A relative deadline from wall-clock-style units, read as virtual time
+/// at 1 tick = 1 nanosecond (saturating at `u64::MAX` ticks).
+impl From<std::time::Duration> for Deadline {
+    fn from(d: std::time::Duration) -> Deadline {
+        Deadline::within(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
     }
 }
 
 impl fmt::Display for Deadline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "by {}", self.0)
+        match self.0 {
+            Repr::At(t) => write!(f, "by {t}"),
+            Repr::After(n) => write!(f, "within {n}"),
+        }
     }
 }
 
@@ -112,5 +166,35 @@ mod tests {
         assert!(Time(1) < Time(2));
         assert_eq!(Time::ZERO.plus(5), Time(5));
         assert_eq!(Time(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn absolute_deadline_expiry_is_inclusive() {
+        let d = Deadline::after(Time(10), 5);
+        assert_eq!(d.absolute(), Some(Time(15)));
+        assert_eq!(d.remaining(Time(10)), Some(5));
+        assert_eq!(d.remaining(Time(14)), Some(1));
+        assert!(d.expired(Time(15)));
+        assert!(d.expired(Time(20)));
+        assert_eq!(d.to_string(), "by t15");
+    }
+
+    #[test]
+    fn relative_deadline_ignores_now() {
+        let d = Deadline::from(3u64);
+        assert_eq!(d, Deadline::within(3));
+        assert_eq!(d.absolute(), None);
+        assert_eq!(d.remaining(Time(999)), Some(3));
+        assert!(!d.expired(Time(999)));
+        assert!(Deadline::within(0).expired(Time::ZERO));
+        assert_eq!(d.to_string(), "within 3");
+    }
+
+    #[test]
+    fn duration_converts_at_one_tick_per_nanosecond() {
+        let d: Deadline = std::time::Duration::from_nanos(42).into();
+        assert_eq!(d, Deadline::within(42));
+        let huge: Deadline = std::time::Duration::from_secs(u64::MAX).into();
+        assert_eq!(huge, Deadline::within(u64::MAX));
     }
 }

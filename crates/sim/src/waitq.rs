@@ -11,6 +11,7 @@
 //! processes — there is no lost-wakeup window to defend against.
 
 use crate::ctx::Ctx;
+use crate::footprint::{Access, ObjId};
 use crate::kernel::Shared;
 use crate::types::{Deadline, Pid};
 use parking_lot::Mutex;
@@ -38,6 +39,12 @@ pub(crate) struct QueueCell {
 #[derive(Debug)]
 pub struct WaitQueue {
     cell: Arc<QueueCell>,
+    /// Footprint identity for the explorers' object-granular prune: every
+    /// mutation of the queue is an access to this object (see
+    /// [`Ctx::note_sync_obj`]). Derived from the diagnostic name, so two
+    /// queues sharing a name share an identity — which only merges their
+    /// footprints (conservative, never unsound).
+    obj: ObjId,
     /// The kernel this queue last registered with (for the end-of-run
     /// hygiene check); re-bound lazily on enqueue, so one queue object can
     /// be reused across simulations.
@@ -52,6 +59,7 @@ impl WaitQueue {
                 name: name.to_string(),
                 waiters: Mutex::new(VecDeque::new()),
             }),
+            obj: ObjId::new("queue", name),
             bound: Mutex::new(Weak::new()),
         }
     }
@@ -100,6 +108,7 @@ impl WaitQueue {
     /// needs: enqueue on the condition, release possession, park.
     pub fn enqueue_current(&self, ctx: &Ctx, priority: i64) {
         self.bind(ctx);
+        ctx.note_sync_obj(&self.obj, Access::Write);
         let ticket = ctx.fresh_ticket();
         let depth = {
             let mut q = self.cell.waiters.lock();
@@ -132,7 +141,8 @@ impl WaitQueue {
     /// [`WaitQueue::wait_timeout`]) are discarded, so a wake is never
     /// wasted on a waiter that has given up.
     pub fn wake_one(&self, ctx: &Ctx) -> Option<Pid> {
-        ctx.note_sync(); // queue-state access (even when empty) — see Ctx::note_sync
+        // Queue-state access (even when empty) — see Ctx::note_sync_obj.
+        ctx.note_sync_obj(&self.obj, Access::Write);
         loop {
             let waiter = self.cell.waiters.lock().pop_front()?;
             if ctx.try_unpark(waiter.pid) {
@@ -144,7 +154,7 @@ impl WaitQueue {
 
     /// Wakes every waiter (in queue order) and returns how many were woken.
     pub fn wake_all(&self, ctx: &Ctx) -> usize {
-        ctx.note_sync();
+        ctx.note_sync_obj(&self.obj, Access::Write);
         let drained: Vec<Waiter> = self.cell.waiters.lock().drain(..).collect();
         drained.iter().filter(|w| ctx.try_unpark(w.pid)).count()
     }
@@ -152,7 +162,7 @@ impl WaitQueue {
     /// Wakes a specific pid if it is in this queue; returns whether it was
     /// woken (a stale timed-out entry is removed but not counted).
     pub fn wake_pid(&self, ctx: &Ctx, pid: Pid) -> bool {
-        ctx.note_sync();
+        ctx.note_sync_obj(&self.obj, Access::Write);
         let removed = {
             let mut q = self.cell.waiters.lock();
             match q.iter().position(|w| w.pid == pid) {
@@ -175,15 +185,20 @@ impl WaitQueue {
 
     /// Removes the calling process's own entry (timeout cleanup).
     pub fn remove_current(&self, ctx: &Ctx) {
-        ctx.note_sync();
+        ctx.note_sync_obj(&self.obj, Access::Write);
         self.cell.waiters.lock().retain(|w| w.pid != ctx.pid());
     }
 
-    /// Parks the calling process at the back of the queue for at most
-    /// `ticks` quanta of virtual time. Returns `true` if woken by a
-    /// [`WaitQueue::wake_one`]/[`WaitQueue::wake_all`], `false` on timeout
-    /// (the entry is removed either way).
-    pub fn wait_timeout(&self, ctx: &Ctx, ticks: u64) -> bool {
+    /// Parks the calling process at the back of the queue until woken by a
+    /// [`WaitQueue::wake_one`]/[`WaitQueue::wake_all`] or until `deadline`
+    /// (a tick count, a [`Deadline`], or a `Duration` — see
+    /// [`Deadline`]). Returns `true` if woken, `false` on timeout; an
+    /// already-expired deadline fails immediately without parking. The
+    /// queue entry is removed either way.
+    pub fn wait_by(&self, ctx: &Ctx, deadline: impl Into<Deadline>) -> bool {
+        let Some(ticks) = ctx.remaining(deadline) else {
+            return false;
+        };
         self.enqueue_current(ctx, 0);
         let cleanup = DequeueOnUnwind { queue: self, ctx };
         let woken = ctx.park_timeout(self.name(), ticks);
@@ -196,14 +211,20 @@ impl WaitQueue {
         woken
     }
 
-    /// Parks the calling process at the back of the queue until woken or
-    /// until `deadline`. Returns `true` if woken, `false` on timeout; an
-    /// already-expired deadline fails immediately without parking.
+    /// Parks with a relative timeout. Superseded by [`WaitQueue::wait_by`],
+    /// which accepts the same tick count directly. (One historical edge
+    /// changed: `ticks == 0` now fails immediately instead of parking with
+    /// an already-due timer.)
+    #[deprecated(since = "0.1.0", note = "use `wait_by` (takes `impl Into<Deadline>`)")]
+    pub fn wait_timeout(&self, ctx: &Ctx, ticks: u64) -> bool {
+        self.wait_by(ctx, ticks)
+    }
+
+    /// Parks until an absolute deadline. Superseded by
+    /// [`WaitQueue::wait_by`], which accepts the same [`Deadline`] directly.
+    #[deprecated(since = "0.1.0", note = "use `wait_by` (takes `impl Into<Deadline>`)")]
     pub fn wait_deadline(&self, ctx: &Ctx, deadline: Deadline) -> bool {
-        match deadline.remaining(ctx.now()) {
-            None => false,
-            Some(ticks) => self.wait_timeout(ctx, ticks),
-        }
+        self.wait_by(ctx, deadline)
     }
 
     /// Number of processes currently waiting.

@@ -9,13 +9,22 @@ use std::sync::Arc;
 #[test]
 fn deadline_arithmetic() {
     let d = Deadline::after(Time(10), 5);
-    assert_eq!(d.time(), Time(15));
+    assert_eq!(d.absolute(), Some(Time(15)));
     assert!(!d.expired(Time(14)));
     assert!(d.expired(Time(15)), "deadline at now is expired");
     assert_eq!(d.remaining(Time(12)), Some(3));
     assert_eq!(d.remaining(Time(15)), None);
     assert_eq!(d.to_string(), "by t15");
-    assert_eq!(Deadline::at(Time(7)), Deadline(Time(7)));
+    assert_eq!(Deadline::at(Time(15)), d);
+    let w = Deadline::within(3);
+    assert_eq!(w.absolute(), None);
+    assert_eq!(
+        w.remaining(Time(999)),
+        Some(3),
+        "relative ignores the clock"
+    );
+    assert_eq!(Deadline::from(3u64), w);
+    assert_eq!(Deadline::from(std::time::Duration::from_nanos(3)), w);
 }
 
 #[test]
@@ -27,7 +36,7 @@ fn wait_deadline_times_out_at_the_deadline() {
     let seen2 = Arc::clone(&seen);
     sim.spawn("waiter", move |ctx| {
         let deadline = ctx.deadline_after(4);
-        let woken = q2.wait_deadline(ctx, deadline);
+        let woken = q2.wait_by(ctx, deadline);
         *seen2.lock() = Some((woken, ctx.now(), deadline));
     });
     sim.run().expect("clean run");
@@ -35,7 +44,7 @@ fn wait_deadline_times_out_at_the_deadline() {
     assert!(!woken, "nobody woke the waiter");
     // The timer fires exactly at the deadline; the re-dispatch that resumes
     // the waiter costs one more quantum.
-    assert_eq!(now, deadline.time().plus(1));
+    assert_eq!(now, deadline.absolute().expect("absolute").plus(1));
 }
 
 #[test]
@@ -45,7 +54,7 @@ fn expired_deadline_fails_without_parking() {
     let q2 = Arc::clone(&q);
     sim.spawn("late", move |ctx| {
         let before = ctx.now();
-        assert!(!q2.wait_deadline(ctx, Deadline::at(Time::ZERO)));
+        assert!(!q2.wait_by(ctx, Deadline::at(Time::ZERO)));
         assert_eq!(ctx.now(), before, "no scheduling point consumed");
         assert!(q2.is_empty(), "no registration left behind");
     });

@@ -364,7 +364,7 @@ fn park_timeout_fires_when_nobody_wakes() {
     let q2 = Arc::clone(&q);
     sim.spawn("waiter", move |ctx| {
         let before = ctx.now();
-        let woken = q2.wait_timeout(ctx, 40);
+        let woken = q2.wait_by(ctx, 40u64);
         assert!(!woken, "nobody woke us: must time out");
         assert!(ctx.now().0 >= before.0 + 40, "woke only after the deadline");
         assert!(q2.is_empty(), "timed-out entry removed");
@@ -380,7 +380,7 @@ fn park_timeout_cancelled_by_normal_wake() {
     let q = Arc::new(WaitQueue::new("q"));
     let q2 = Arc::clone(&q);
     sim.spawn("waiter", move |ctx| {
-        let woken = q2.wait_timeout(ctx, 1000);
+        let woken = q2.wait_by(ctx, 1000u64);
         assert!(woken, "explicit wake beats the timer");
         ctx.emit("woken", &[]);
     });
@@ -405,7 +405,7 @@ fn stale_timer_does_not_disturb_a_later_park() {
     let q2 = Arc::clone(&q);
     sim.spawn("waiter", move |ctx| {
         // First park with a short timeout, woken explicitly.
-        assert!(q2.wait_timeout(ctx, 5));
+        assert!(q2.wait_by(ctx, 5u64));
         // Second, plain park: the old timer (due at ~t5) must not wake it.
         q2.wait(ctx);
         ctx.emit("legit-wake", &[]);
@@ -432,12 +432,12 @@ fn wake_one_skips_stale_entries_of_timed_out_waiters() {
     let order = Arc::new(Mutex::new(Vec::new()));
     let (q1, o1) = (Arc::clone(&q), Arc::clone(&order));
     sim.spawn("impatient", move |ctx| {
-        let woken = q1.wait_timeout(ctx, 10);
+        let woken = q1.wait_by(ctx, 10u64);
         o1.lock().push(("impatient", woken));
     });
     let (q2, o2) = (Arc::clone(&q), Arc::clone(&order));
     sim.spawn("patient", move |ctx| {
-        let woken = q2.wait_timeout(ctx, 10_000);
+        let woken = q2.wait_by(ctx, 10_000u64);
         o2.lock().push(("patient", woken));
     });
     let q3 = Arc::clone(&q);

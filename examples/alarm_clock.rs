@@ -10,7 +10,7 @@
 use bloom_core::checks::{check_alarm, expect_clean};
 use bloom_core::events::{extract, Phase};
 use bloom_problems::alarm;
-use bloom_sim::Sim;
+use bloom_sim::prelude::*;
 use std::sync::Arc;
 
 fn main() {

@@ -10,7 +10,7 @@
 
 use bloom_core::events::{extract, Phase};
 use bloom_problems::disk;
-use bloom_sim::Sim;
+use bloom_sim::prelude::*;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -12,7 +12,7 @@
 //! naively, and that the two classic cures drive it to zero.
 
 use bloom_semaphore::Semaphore;
-use bloom_sim::{ParallelExplorer, Sim};
+use bloom_sim::prelude::*;
 use std::sync::Arc;
 
 /// Builds `n` philosophers; `ordered` selects the resource-ordering cure.

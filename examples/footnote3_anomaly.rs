@@ -15,7 +15,7 @@ use bloom_core::checks::check_priority_over;
 use bloom_core::events::extract;
 use bloom_core::{MechanismId, Phase};
 use bloom_problems::rw::{self, PathFig1ReadersPriority, ReadersWriters, RwVariant};
-use bloom_sim::{ParallelExplorer, Sim};
+use bloom_sim::prelude::*;
 use std::sync::Arc;
 
 fn main() {

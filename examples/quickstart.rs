@@ -13,7 +13,7 @@
 use bloom_core::checks::{check_alternation, check_exclusion, expect_clean};
 use bloom_core::events::extract;
 use bloom_problems::oneslot;
-use bloom_sim::{RandomPolicy, Sim};
+use bloom_sim::prelude::*;
 use std::sync::Arc;
 
 fn main() {

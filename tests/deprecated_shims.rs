@@ -1,0 +1,217 @@
+//! Compatibility contract of the deprecated timed-wait shims.
+//!
+//! Every pre-unification name (`*_timeout`, `*_deadline`) is a one-line
+//! shim over its unified `*_by` method. These tests call each shim and its
+//! replacement in byte-identical scenarios and assert the full user-event
+//! journal — return values included — matches, so a shim can never drift
+//! from the method it deprecates.
+//!
+//! This file is the one place in the repository allowed to call the
+//! deprecated names.
+#![allow(deprecated)]
+
+use bloom_channel::{select_by, select_timeout, Channel};
+use bloom_monitor::{Cond, Monitor};
+use bloom_pathexpr::PathResource;
+use bloom_semaphore::Semaphore;
+use bloom_serializer::Serializer;
+use bloom_sim::prelude::*;
+use std::sync::Arc;
+
+/// Runs `scenario` in a fresh sim and returns its user-event journal.
+fn journal(scenario: impl FnOnce(&mut Sim)) -> Vec<String> {
+    let mut sim = Sim::new();
+    scenario(&mut sim);
+    let report = sim.run().expect("clean run");
+    report
+        .trace
+        .user_events()
+        .map(|(pid, label, _)| format!("{pid} {label}"))
+        .collect()
+}
+
+fn semaphore(shim: bool) -> Vec<String> {
+    journal(|sim| {
+        let s = Arc::new(Semaphore::strong("gate", 0));
+        sim.spawn("waiter", move |ctx| {
+            let timed = if shim {
+                s.p_timeout(ctx, 3)
+            } else {
+                s.p_by(ctx, 3u64)
+            };
+            let expired = if shim {
+                s.p_deadline(ctx, Deadline::at(Time::ZERO))
+            } else {
+                s.p_by(ctx, Deadline::at(Time::ZERO))
+            };
+            ctx.emit(&format!("res:{timed:?}:{expired:?}"), &[]);
+        });
+    })
+}
+
+#[test]
+fn semaphore_shims_match_unified() {
+    assert_eq!(semaphore(true), semaphore(false));
+}
+
+fn wait_queue(shim: bool) -> Vec<String> {
+    journal(|sim| {
+        let q = Arc::new(WaitQueue::new("q"));
+        sim.spawn("waiter", move |ctx| {
+            let timed = if shim {
+                q.wait_timeout(ctx, 3)
+            } else {
+                q.wait_by(ctx, 3u64)
+            };
+            let expired = if shim {
+                q.wait_deadline(ctx, Deadline::at(Time::ZERO))
+            } else {
+                q.wait_by(ctx, Deadline::at(Time::ZERO))
+            };
+            ctx.emit(&format!("res:{timed}:{expired}"), &[]);
+        });
+    })
+}
+
+#[test]
+fn wait_queue_shims_match_unified() {
+    assert_eq!(wait_queue(true), wait_queue(false));
+}
+
+fn monitor(shim: bool) -> Vec<String> {
+    journal(|sim| {
+        let m = Arc::new(Monitor::mesa("m", ()));
+        let c = Arc::new(Cond::new("c"));
+        sim.spawn("waiter", move |ctx| {
+            m.enter(ctx, |mc| {
+                let timed = if shim {
+                    mc.wait_timeout(&c, 3)
+                } else {
+                    mc.wait_by(&c, 3u64)
+                };
+                let checked = if shim {
+                    mc.wait_timeout_checked(&c, 2)
+                } else {
+                    mc.wait_by_checked(&c, 2u64)
+                };
+                let expired = if shim {
+                    mc.wait_deadline(&c, Deadline::at(Time::ZERO))
+                } else {
+                    mc.wait_by(&c, Deadline::at(Time::ZERO))
+                };
+                mc.ctx()
+                    .emit(&format!("res:{timed}:{checked:?}:{expired}"), &[]);
+            });
+        });
+    })
+}
+
+#[test]
+fn monitor_shims_match_unified() {
+    assert_eq!(monitor(true), monitor(false));
+}
+
+fn serializer(shim: bool) -> Vec<String> {
+    journal(|sim| {
+        let s = Arc::new(Serializer::new("s", ()));
+        let q = s.queue("q");
+        sim.spawn("waiter", move |ctx| {
+            s.enter(ctx, |sc| {
+                let timed = if shim {
+                    sc.enqueue_timeout(q, 3, |_| false)
+                } else {
+                    sc.enqueue_by(q, 3u64, |_| false)
+                };
+                let expired = if shim {
+                    sc.enqueue_deadline(q, Deadline::at(Time::ZERO), |_| false)
+                } else {
+                    sc.enqueue_by(q, Deadline::at(Time::ZERO), |_| false)
+                };
+                sc.ctx().emit(&format!("res:{timed}:{expired}"), &[]);
+            });
+        });
+    })
+}
+
+#[test]
+fn serializer_shims_match_unified() {
+    assert_eq!(serializer(true), serializer(false));
+}
+
+fn channel(shim: bool) -> Vec<String> {
+    journal(|sim| {
+        let ch = Arc::new(Channel::<i32>::new("ch"));
+        sim.spawn("loner", move |ctx| {
+            let sent = if shim {
+                ch.send_timeout(ctx, 7, 2)
+            } else {
+                ch.send_by(ctx, 7, 2u64)
+            };
+            let received = if shim {
+                ch.recv_timeout(ctx, 2)
+            } else {
+                ch.recv_by(ctx, 2u64)
+            };
+            let selected = if shim {
+                select_timeout(ctx, &mut [(&*ch, true)], 2)
+            } else {
+                select_by(ctx, &mut [(&*ch, true)], 2u64)
+            };
+            ctx.emit(&format!("res:{sent:?}:{received:?}:{selected:?}"), &[]);
+        });
+    })
+}
+
+#[test]
+fn channel_shims_match_unified() {
+    assert_eq!(channel(true), channel(false));
+}
+
+fn pathexpr(shim: bool) -> Vec<String> {
+    journal(|sim| {
+        let r = Arc::new(PathResource::parse("s", "path a end").unwrap());
+        let r2 = Arc::clone(&r);
+        // Park timers fire only when nothing else is runnable, so the
+        // holder must *block* (not spin) while inside `a` for the waiter's
+        // timed requests to actually expire.
+        let gate = Arc::new(Semaphore::strong("gate", 0));
+        let g2 = Arc::clone(&gate);
+        sim.spawn("holder", move |ctx| {
+            r2.perform(ctx, "a", || g2.p(ctx));
+        });
+        sim.spawn("waiter", move |ctx| {
+            ctx.yield_now(); // let the holder start `a`
+            let requested = if shim {
+                r.request_timeout(ctx, "a", 2)
+            } else {
+                r.request_by(ctx, "a", 2u64)
+            };
+            assert!(!requested, "holder still inside: request must time out");
+            let checked = if shim {
+                r.request_timeout_checked(ctx, "a", 2)
+            } else {
+                r.request_by_checked(ctx, "a", 2u64)
+            };
+            let performed = if shim {
+                r.perform_timeout(ctx, "a", 2, || 1)
+            } else {
+                r.perform_by(ctx, "a", 2u64, || 1)
+            };
+            let tried = if shim {
+                r.try_perform_timeout(ctx, "a", 2, || 1)
+            } else {
+                r.try_perform_by(ctx, "a", 2u64, || 1)
+            };
+            ctx.emit(
+                &format!("res:{requested}:{checked:?}:{performed:?}:{tried:?}"),
+                &[],
+            );
+            gate.v(ctx); // release the holder so the run ends cleanly
+        });
+    })
+}
+
+#[test]
+fn pathexpr_shims_match_unified() {
+    assert_eq!(pathexpr(true), pathexpr(false));
+}

@@ -9,7 +9,7 @@ use bloom_core::events::extract;
 use bloom_core::MechanismId;
 use bloom_problems::drivers::rw_scenario;
 use bloom_problems::rw::{self, RwVariant};
-use bloom_sim::{RandomPolicy, ReplayPolicy, Sim, SimReport};
+use bloom_sim::prelude::*;
 use std::sync::Arc;
 
 fn signature(report: &SimReport) -> Vec<String> {

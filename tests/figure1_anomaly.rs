@@ -19,7 +19,7 @@ use bloom_core::checks::{check_exclusion, check_no_later_overtake, check_priorit
 use bloom_core::events::extract;
 use bloom_core::MechanismId;
 use bloom_problems::rw::{self, RwVariant};
-use bloom_sim::{ParallelExplorer, Sim};
+use bloom_sim::prelude::*;
 use std::sync::Arc;
 
 const READ: &str = "read";

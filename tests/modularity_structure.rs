@@ -10,7 +10,7 @@
 
 use bloom_monitor::{Cond, Monitor};
 use bloom_serializer::Serializer;
-use bloom_sim::Sim;
+use bloom_sim::prelude::*;
 use parking_lot::Mutex;
 use std::sync::Arc;
 

@@ -13,9 +13,8 @@
 
 use bloom_core::liveness::classify_liveness;
 use bloom_problems::liveness::{deadlock_recovery_sim, LiveMechanism};
-use bloom_sim::{
-    export, Decision, Explorer, ParallelExplorer, ScheduleRecord, SimError, SimReport,
-};
+use bloom_sim::prelude::*;
+use bloom_sim::{export, Decision};
 use std::collections::BTreeSet;
 
 const BUDGET: usize = 50_000;
@@ -68,8 +67,9 @@ fn parallel_matches_serial_on_recovery_tree_at_every_thread_count() {
     // Serial baseline: journal in DFS visit order, which is lexicographic
     // decision-vector order — the canonical order the parallel merge
     // reproduces.
+    let config = ExploreConfig::new(BUDGET);
     let mut serial_journal = Vec::new();
-    let serial_stats = Explorer::new(BUDGET).run(
+    let serial_stats = config.serial().run(
         || deadlock_recovery_sim(mech),
         |decisions, result| serial_journal.push(line(decisions, result)),
     );
@@ -77,8 +77,10 @@ fn parallel_matches_serial_on_recovery_tree_at_every_thread_count() {
     let serial_vectors: BTreeSet<String> = serial_journal.iter().cloned().collect();
 
     for threads in [1, 2, 4, 8] {
-        let (records, stats): (Vec<ScheduleRecord<String>>, _) = ParallelExplorer::new(BUDGET)
+        let (records, stats): (Vec<ScheduleRecord<String>>, _) = config
+            .clone()
             .threads(threads)
+            .parallel()
             .run(|| deadlock_recovery_sim(mech), line);
         assert_eq!(
             stats.schedules, serial_stats.schedules,

@@ -172,7 +172,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         use bloom_pathexpr::PathResource;
-        use bloom_sim::{RandomPolicy, Sim};
+        use bloom_sim::prelude::*;
         use std::sync::Arc;
 
         let mut sim = Sim::new();
@@ -220,7 +220,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         use bloom_semaphore::{Fairness, Semaphore, TryResult};
-        use bloom_sim::{RandomPolicy, Sim};
+        use bloom_sim::prelude::*;
         use std::sync::Arc;
 
         let fairness = if strong { Fairness::Strong } else { Fairness::Weak };
@@ -234,7 +234,7 @@ proptest! {
             let occupancy = Arc::clone(&occupancy);
             sim.spawn(&format!("c{i}"), move |ctx| {
                 for _ in 0..attempts {
-                    if sem.p_timeout(ctx, patience) == TryResult::Acquired {
+                    if sem.p_by(ctx, patience) == TryResult::Acquired {
                         {
                             let mut o = occupancy.lock();
                             o.0 += 1;
@@ -270,7 +270,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         use bloom_monitor::{Cond, Monitor, Signaling};
-        use bloom_sim::{RandomPolicy, Sim};
+        use bloom_sim::prelude::*;
         use std::sync::Arc;
 
         let signaling = if hoare { Signaling::Hoare } else { Signaling::SignalAndContinue };
@@ -293,7 +293,7 @@ proptest! {
                         budget -= 1;
                         // A `false` return means the wait timed out; either
                         // way possession is ours again here.
-                        let _ = mc.wait_timeout(&free, patience);
+                        let _ = mc.wait_by(&free, patience);
                     }
                     mc.state(|busy| *busy = true);
                     true
@@ -345,7 +345,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         use bloom_channel::Channel;
-        use bloom_sim::{RandomPolicy, Sim};
+        use bloom_sim::prelude::*;
         use std::sync::Arc;
 
         let mut sim = Sim::new();
@@ -414,7 +414,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         use bloom_pathexpr::PathResource;
-        use bloom_sim::{RandomPolicy, Sim};
+        use bloom_sim::prelude::*;
         use std::sync::Arc;
 
         let mut sim = Sim::new();

@@ -11,7 +11,7 @@ use bloom_core::checks::check_no_later_overtake;
 use bloom_core::events::{extract, Phase};
 use bloom_core::MechanismId;
 use bloom_problems::rw::{self, RwVariant};
-use bloom_sim::{Sim, SimReport};
+use bloom_sim::prelude::*;
 use std::sync::Arc;
 
 /// A relay of readers that keeps the database continuously read-locked

@@ -18,7 +18,8 @@
 //!   reports clamping; a truncated one reports an underrun.
 
 use bloom_sim::export::{self, Json};
-use bloom_sim::{EventKind, LifoPolicy, ReplayDivergence, ReplayPolicy, Sim, SimReport};
+use bloom_sim::prelude::*;
+use bloom_sim::{EventKind, ReplayDivergence};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
