@@ -7,8 +7,15 @@
 //! EXPERIMENTS.md §E1/§E2).
 //!
 //! ```text
-//! cargo run --release -p bloom-bench --bin bench_explore
+//! cargo run --release -p bloom-bench --bin bench_explore            # E1/E2
+//! cargo run --release -p bloom-bench --bin bench_explore -- --sample
 //! ```
+//!
+//! With `--sample`, a third section measures the R3 *samplers* (PCT and
+//! random walk) on the scaled starvation scenario: sampled schedules
+//! per second at 1/2/4/8 workers, plus the deterministic violation
+//! counts the throughput was bought with. Without the flag the section
+//! is an empty array, so the JSON shape is stable either way.
 //!
 //! Wall-clock measurement is deliberately confined to this binary — the
 //! deterministic report (`report.rs`) must stay machine-independent; this
@@ -20,7 +27,9 @@
 
 use bloom_core::MechanismId;
 use bloom_problems::liveness::{deadlock_recovery_sim, LiveMechanism};
+use bloom_problems::r3::{starvation_at_scale, starvation_laws};
 use bloom_problems::rw::{self, RwVariant};
+use bloom_problems::workload::{Arrival, Think, WorkloadSpec};
 use bloom_sim::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -307,7 +316,81 @@ fn compare_prunes(name: &str, setup: impl Fn() -> Sim + Sync) -> String {
     )
 }
 
+/// `--sample`: throughput of the R3 samplers on one scaled starvation
+/// tree. Violation counts are deterministic (seeded, worker-count
+/// independent — asserted here across every worker count); the
+/// schedules-per-second figures are measurements.
+fn bench_samplers() -> Vec<String> {
+    let spec = WorkloadSpec::new(0xB5A)
+        .clients(24)
+        .ops(4)
+        .arrival(Arrival::Together)
+        .think(Think::None);
+    let laws = starvation_laws();
+    let mut entries = Vec::new();
+    for (name, strategy) in [
+        (
+            "pct-weak-24",
+            SampleStrategy::Pct {
+                change_points: 4,
+                depth_hint: 2048,
+            },
+        ),
+        ("walk-weak-24", SampleStrategy::Walk),
+    ] {
+        let iterations = 40;
+        let mut baseline: Option<(Vec<Vec<u32>>, u64)> = None;
+        let mut entry_parts = Vec::new();
+        for &threads in &THREAD_COUNTS {
+            let sampler = Sampler::pct(iterations, 0xB5A)
+                .strategy(strategy)
+                .threads(threads);
+            let start = Instant::now();
+            let (journal, stats) = sampler.run(
+                || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
+                |_, result| ((), laws.violated(result)),
+            );
+            let secs = start.elapsed().as_secs_f64();
+            let sampling = stats.sampling.expect("sampler stats");
+            let hits = sampling
+                .violations
+                .get("starvation-free")
+                .copied()
+                .unwrap_or(0);
+            let choices: Vec<Vec<u32>> = journal.into_iter().map(|r| r.choices).collect();
+            match &baseline {
+                None => baseline = Some((choices, hits)),
+                Some((expect_choices, expect_hits)) => {
+                    assert_eq!(
+                        &choices, expect_choices,
+                        "{name}: sampled journal diverged at {threads} threads"
+                    );
+                    assert_eq!(hits, *expect_hits);
+                }
+            }
+            eprintln!(
+                "sampling({name}): {threads} thread(s) {iterations} runs in {secs:.3}s \
+                 ({:.0}/s), {hits} starvation hits",
+                iterations as f64 / secs
+            );
+            entry_parts.push(format!(
+                "{{ \"threads\": {threads}, \"runs\": {iterations}, \"secs\": {secs:.6}, \
+                 \"runs_per_sec\": {:.0} }}",
+                iterations as f64 / secs
+            ));
+        }
+        let hits = baseline.expect("at least one worker count").1;
+        entries.push(format!(
+            "{{\n      \"name\": \"{name}\",\n      \"iterations\": 40,\n      \
+             \"violations\": {hits},\n      \"workers\": [\n        {}\n      ]\n    }}",
+            entry_parts.join(",\n        ")
+        ));
+    }
+    entries
+}
+
 fn main() {
+    let sample = std::env::args().any(|a| a == "--sample");
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!("host: {cores} core(s) available");
     let trees = [
@@ -319,12 +402,18 @@ fn main() {
         compare_prunes("anomaly+background", anomaly_bg_tree),
         compare_prunes("dining-strong-3", || dining_tree(3)),
     ];
+    let sampling = if sample { bench_samplers() } else { Vec::new() };
 
     let json = format!(
         "{{\n  \"host_cores\": {cores},\n  \"trees\": [\n    {}\n  ],\n  \
-         \"pruning\": [\n    {}\n  ]\n}}\n",
+         \"pruning\": [\n    {}\n  ],\n  \"sampling\": [{}]\n}}\n",
         trees.join(",\n    "),
-        pruning.join(",\n    ")
+        pruning.join(",\n    "),
+        if sampling.is_empty() {
+            String::new()
+        } else {
+            format!("\n    {}\n  ", sampling.join(",\n    "))
+        }
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
     std::fs::write(path, &json).expect("write BENCH_explore.json");

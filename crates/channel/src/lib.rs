@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 //! CSP-style synchronous channels over the `bloom-sim` simulator.
 //!
 //! The paper closes (§6) by naming the synchronization models it did *not*

@@ -2,6 +2,8 @@
 //! poisoned — dead senders withdraw their offers, dead selectors
 //! unregister — so live peers keep rendezvousing with each other.
 
+#![deny(deprecated)]
+
 use bloom_channel::{select, Channel};
 use bloom_sim::{FaultPlan, Pid, Sim};
 use std::sync::Arc;

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 //! Bloom's methodology for evaluating synchronization mechanisms.
 //!
 //! This crate is the primary contribution of the reproduced paper
@@ -28,6 +29,12 @@
 //!   and starvation checkers over runs with deadlines, deadlock recovery,
 //!   and the kernel starvation watchdog, classifying each (mechanism,
 //!   scenario) cell as recovers, degrades, or wedges.
+//! * [`laws`] — the third robustness axis (R3): invariant-first checking
+//!   for schedule trees too big to enumerate. Declared laws (safety and
+//!   starvation-freedom predicates over the event vocabulary) are
+//!   searched for counterexamples by seeded sampling
+//!   ([`bloom_sim::Sampler`]), and violating-run fractions are bucketed
+//!   by [`classify_rate`] for the R3 report tables.
 //! * [`profile`] / [`independence`](mod@independence) (§4.1, §4.2, §5) — expressive-power
 //!   ratings per (mechanism, info type), the paper's own findings encoded
 //!   as [`paper_profiles`], and the constraint-independence metrics used
@@ -42,6 +49,7 @@ pub mod cover;
 pub mod crash;
 pub mod events;
 pub mod independence;
+pub mod laws;
 pub mod liveness;
 pub mod profile;
 pub mod report;
@@ -53,6 +61,10 @@ pub use crash::{check_crash_containment, check_poison_propagation, classify_cras
 pub use events::{extract, instances, Instance, Phase, ProblemEvent};
 pub use independence::{
     independence, modification_cost, ImplUnit, IndependenceReport, ModificationCost, SolutionDesc,
+};
+pub use laws::{
+    classify_rate, eventual_service, exclusion, no_failure, starvation_free, Law, LawSet,
+    LawViolation, RateClass, RunView,
 };
 pub use liveness::{
     check_recovery_containment, check_starvation_free, classify_liveness, LivenessOutcome,

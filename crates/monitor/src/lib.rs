@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 //! Hoare monitors over the `bloom-sim` deterministic simulator.
 //!
 //! This crate reproduces the monitor construct of Hoare's "Monitors: An

@@ -1,6 +1,8 @@
 //! Crash-safety of monitors under fault injection: possession poisoning,
 //! the poison broadcast, and kill-during-wait containment.
 
+#![deny(deprecated)]
+
 use bloom_monitor::{Cond, Monitor};
 use bloom_sim::{FaultPlan, Pid, Sim};
 use std::sync::Arc;

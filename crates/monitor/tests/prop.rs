@@ -1,5 +1,7 @@
 //! Property-based tests of monitor invariants across signal disciplines.
 
+#![deny(deprecated)]
+
 use bloom_monitor::{Cond, Monitor, Signaling};
 use bloom_sim::{RandomPolicy, Sim, SimConfig};
 use parking_lot::Mutex;

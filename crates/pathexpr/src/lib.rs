@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 //! Campbell–Habermann path expressions over the `bloom-sim` simulator.
 //!
 //! Path expressions ("The Specification of Process Synchronization by Path

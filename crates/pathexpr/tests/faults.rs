@@ -1,6 +1,8 @@
 //! Crash-safety of path-expression resources under fault injection:
 //! mid-operation death poisons, blocked-request death is cleaned up.
 
+#![deny(deprecated)]
+
 use bloom_pathexpr::PathResource;
 use bloom_sim::{FaultPlan, Pid, Sim};
 use std::sync::Arc;

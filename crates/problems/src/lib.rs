@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 //! The canonical synchronization problem suite, solved under every
 //! mechanism.
 //!
@@ -42,8 +43,10 @@ pub mod faults;
 pub mod fcfs;
 pub mod liveness;
 pub mod oneslot;
+pub mod r3;
 pub mod registry;
 pub mod rw;
+pub mod workload;
 
 pub use alarm::AlarmClock;
 pub use buffer::BoundedBuffer;

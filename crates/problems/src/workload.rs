@@ -1,0 +1,474 @@
+//! Deterministic workload-generator DSL: the scenario axis of R3.
+//!
+//! The R1/R2 scenarios are hand-posed miniatures — two readers, one
+//! writer, a fixed retry schedule. Asking whether the paper's failure
+//! stories *still manifest at scale* needs populations: hundreds of
+//! clients with realistic arrival patterns and think times. This module
+//! is the generator for those populations, with one hard rule inherited
+//! from the simulator: **all randomness is drawn up front**, at
+//! build time, from the workspace's seeded [`SplitMix64`] stream. A
+//! [`WorkloadSpec`] expands into plain [`ClientPlan`]s — start offsets,
+//! role labels, think-time schedules — and the spawned process bodies
+//! contain no generator at all. A run is therefore a pure function of
+//! `(spec, schedule)`: the sampler's decision vector pins it down
+//! completely, which is what keeps every sampled counterexample
+//! replayable.
+//!
+//! No wall clock, no floating point, no external RNG crate: arrival and
+//! think-time distributions (bursty, Poisson-like, bounded Zipf) are
+//! integer-only approximations, which is all the R3 experiments need —
+//! the point is heavy-tailed *shape* under a fixed seed, not statistical
+//! pedigree.
+
+use bloom_sim::SplitMix64;
+
+/// When the population's clients start, in virtual-time ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Everybody is runnable from tick zero — maximal instantaneous
+    /// contention (the R2 miniatures, scaled up).
+    Together,
+    /// Client `i` starts at `i * gap`: a steady trickle.
+    Staggered {
+        /// Ticks between consecutive arrivals.
+        gap: u64,
+    },
+    /// Bursts of `size` simultaneous arrivals, `gap` ticks apart — the
+    /// pattern that keeps the *concurrently active* set near `size` even
+    /// for thousand-client populations (sleeping clients are not
+    /// runnable, so they cost no schedule decisions until they arrive).
+    Bursts {
+        /// Clients per burst.
+        size: usize,
+        /// Ticks between burst starts.
+        gap: u64,
+    },
+    /// Poisson-like arrivals: i.i.d. geometric inter-arrival gaps with
+    /// the given mean (integer Bernoulli trials, capped at `cap` so a
+    /// tail draw cannot stall the run).
+    Poisson {
+        /// Mean inter-arrival gap in ticks (`0` degenerates to
+        /// [`Arrival::Together`]).
+        mean_gap: u64,
+        /// Hard upper bound on one inter-arrival gap.
+        cap: u64,
+    },
+}
+
+/// Per-operation think time between a client's operations, in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Think {
+    /// No pause: back-to-back operations.
+    None,
+    /// The same pause after every operation.
+    Fixed(u64),
+    /// Uniform draw in `lo..=hi`.
+    Uniform {
+        /// Smallest think time.
+        lo: u64,
+        /// Largest think time.
+        hi: u64,
+    },
+    /// Bounded Zipf draw in `1..=max` with integer `exponent`: mostly
+    /// small values, a heavy tail of stragglers — the classic
+    /// heavy-tailed load shape. Weights are exact integer ratios
+    /// `(max/k)^exponent`; no floats anywhere.
+    Zipf {
+        /// Largest think time (tail bound).
+        max: u64,
+        /// Skew; 1 is the canonical Zipf, larger is steeper.
+        exponent: u32,
+    },
+}
+
+/// One client role in a mix: a label plus a selection weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Role {
+    /// Role label (`"reader"`, `"writer"`, …).
+    pub name: &'static str,
+    /// Relative weight among all roles.
+    pub weight: u32,
+}
+
+/// A deterministic population description. Build one with the fluent
+/// methods, then [`WorkloadSpec::plans`] expands it.
+///
+/// ```
+/// use bloom_problems::workload::{Arrival, Think, WorkloadSpec};
+///
+/// let plans = WorkloadSpec::new(42)
+///     .clients(100)
+///     .ops(3)
+///     .arrival(Arrival::Bursts { size: 8, gap: 400 })
+///     .think(Think::Zipf { max: 16, exponent: 1 })
+///     .plans();
+/// assert_eq!(plans.len(), 100);
+/// assert_eq!(plans, WorkloadSpec::new(42)
+///     .clients(100)
+///     .ops(3)
+///     .arrival(Arrival::Bursts { size: 8, gap: 400 })
+///     .think(Think::Zipf { max: 16, exponent: 1 })
+///     .plans(), "same seed, same population");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    seed: u64,
+    clients: usize,
+    ops: usize,
+    arrival: Arrival,
+    think: Think,
+    roles: Vec<Role>,
+}
+
+/// One expanded client: everything its process body needs, pre-drawn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientPlan {
+    /// Client index in `0..clients`.
+    pub index: usize,
+    /// Role label assigned from the spec's mix (`"client"` if no mix).
+    pub role: &'static str,
+    /// Start offset in ticks: the client sleeps this long before its
+    /// first operation (zero means immediately runnable).
+    pub start: u64,
+    /// Think time after each operation; `thinks.len()` is the client's
+    /// operation count.
+    pub thinks: Vec<u64>,
+}
+
+impl WorkloadSpec {
+    /// A one-client, one-operation spec under the given seed; grow it
+    /// with the builder methods.
+    pub fn new(seed: u64) -> Self {
+        WorkloadSpec {
+            seed,
+            clients: 1,
+            ops: 1,
+            arrival: Arrival::Together,
+            think: Think::None,
+            roles: Vec::new(),
+        }
+    }
+
+    /// Sets the population size.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Sets the operations each client performs.
+    pub fn ops(mut self, ops: usize) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Sets the arrival pattern.
+    pub fn arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Sets the think-time distribution.
+    pub fn think(mut self, think: Think) -> Self {
+        self.think = think;
+        self
+    }
+
+    /// Sets the client mix: each client draws a role with probability
+    /// proportional to its weight (seeded; zero-weight roles are never
+    /// drawn).
+    pub fn mix(mut self, roles: &[Role]) -> Self {
+        self.roles = roles.to_vec();
+        self
+    }
+
+    /// The spec's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The population size.
+    pub fn client_count(&self) -> usize {
+        self.clients
+    }
+
+    /// The arrival pattern.
+    pub fn arrival_pattern(&self) -> Arrival {
+        self.arrival
+    }
+
+    /// The per-client operation count.
+    pub fn ops_count(&self) -> usize {
+        self.ops
+    }
+
+    /// Expands the spec into per-client plans. Deterministic: the same
+    /// spec always yields the same plans, byte for byte.
+    pub fn plans(&self) -> Vec<ClientPlan> {
+        let mut rng = SplitMix64::new(self.seed);
+        let starts = self.starts(&mut rng);
+        let total_weight: u64 = self.roles.iter().map(|r| u64::from(r.weight)).sum();
+        let zipf = match self.think {
+            Think::Zipf { max, exponent } => Some(ZipfTable::new(max, exponent)),
+            _ => None,
+        };
+        (0..self.clients)
+            .map(|index| {
+                let role = if total_weight == 0 {
+                    "client"
+                } else {
+                    let mut draw = rng.next_below(total_weight);
+                    self.roles
+                        .iter()
+                        .find(|r| {
+                            let w = u64::from(r.weight);
+                            if draw < w {
+                                true
+                            } else {
+                                draw -= w;
+                                false
+                            }
+                        })
+                        .map(|r| r.name)
+                        .unwrap_or("client")
+                };
+                let thinks = (0..self.ops)
+                    .map(|_| match self.think {
+                        Think::None => 0,
+                        Think::Fixed(t) => t,
+                        Think::Uniform { lo, hi } => lo + rng.next_below(hi.saturating_sub(lo) + 1),
+                        Think::Zipf { .. } => zipf.as_ref().expect("built above").draw(&mut rng),
+                    })
+                    .collect();
+                ClientPlan {
+                    index,
+                    role,
+                    start: starts[index],
+                    thinks,
+                }
+            })
+            .collect()
+    }
+
+    fn starts(&self, rng: &mut SplitMix64) -> Vec<u64> {
+        match self.arrival {
+            Arrival::Together => vec![0; self.clients],
+            Arrival::Staggered { gap } => (0..self.clients).map(|i| i as u64 * gap).collect(),
+            Arrival::Bursts { size, gap } => (0..self.clients)
+                .map(|i| (i / size.max(1)) as u64 * gap)
+                .collect(),
+            Arrival::Poisson { mean_gap, cap } => {
+                let mut at = 0u64;
+                (0..self.clients)
+                    .map(|_| {
+                        at += geometric(rng, mean_gap, cap);
+                        at
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Geometric draw with mean ≈ `mean_gap`, capped at `cap`: count Bernoulli
+/// trials with success probability `1/mean_gap` (integer-only).
+fn geometric(rng: &mut SplitMix64, mean_gap: u64, cap: u64) -> u64 {
+    if mean_gap == 0 {
+        return 0;
+    }
+    let mut gap = 0;
+    while gap < cap && rng.next_below(mean_gap) != 0 {
+        gap += 1;
+    }
+    gap
+}
+
+/// Cumulative integer weight table for the bounded Zipf distribution:
+/// weight of value `k` is `(max/k)^exponent` in exact integer arithmetic
+/// (`u128` so `max = 10^4, exponent = 3` stays comfortably in range).
+struct ZipfTable {
+    cumulative: Vec<u128>,
+}
+
+impl ZipfTable {
+    fn new(max: u64, exponent: u32) -> Self {
+        let max = max.max(1);
+        let top = u128::from(max).pow(exponent);
+        let mut acc = 0u128;
+        let cumulative = (1..=max)
+            .map(|k| {
+                acc += top / u128::from(k).pow(exponent);
+                acc
+            })
+            .collect();
+        ZipfTable { cumulative }
+    }
+
+    fn draw(&self, rng: &mut SplitMix64) -> u64 {
+        let total = *self.cumulative.last().expect("max >= 1");
+        // Two 64-bit draws make a uniform u128 below the (possibly
+        // > 2^64) total weight; modulo bias is negligible at these sizes
+        // and, more importantly, deterministic.
+        let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        let draw = wide % total;
+        (self.cumulative.partition_point(|&c| c <= draw) as u64) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plans() {
+        let spec = WorkloadSpec::new(7)
+            .clients(200)
+            .ops(5)
+            .arrival(Arrival::Poisson {
+                mean_gap: 3,
+                cap: 20,
+            })
+            .think(Think::Zipf {
+                max: 32,
+                exponent: 2,
+            })
+            .mix(&[
+                Role {
+                    name: "reader",
+                    weight: 9,
+                },
+                Role {
+                    name: "writer",
+                    weight: 1,
+                },
+            ]);
+        assert_eq!(spec.plans(), spec.plans());
+        assert_ne!(
+            spec.plans(),
+            WorkloadSpec::new(8)
+                .clients(200)
+                .ops(5)
+                .arrival(Arrival::Poisson {
+                    mean_gap: 3,
+                    cap: 20,
+                })
+                .think(Think::Zipf {
+                    max: 32,
+                    exponent: 2,
+                })
+                .mix(&[
+                    Role {
+                        name: "reader",
+                        weight: 9,
+                    },
+                    Role {
+                        name: "writer",
+                        weight: 1,
+                    },
+                ])
+                .plans()
+        );
+    }
+
+    #[test]
+    fn arrival_shapes() {
+        let together = WorkloadSpec::new(1).clients(4).plans();
+        assert!(together.iter().all(|p| p.start == 0));
+
+        let staggered = WorkloadSpec::new(1)
+            .clients(4)
+            .arrival(Arrival::Staggered { gap: 10 })
+            .plans();
+        assert_eq!(
+            staggered.iter().map(|p| p.start).collect::<Vec<_>>(),
+            vec![0, 10, 20, 30]
+        );
+
+        let bursts = WorkloadSpec::new(1)
+            .clients(5)
+            .arrival(Arrival::Bursts { size: 2, gap: 100 })
+            .plans();
+        assert_eq!(
+            bursts.iter().map(|p| p.start).collect::<Vec<_>>(),
+            vec![0, 0, 100, 100, 200]
+        );
+
+        let poisson = WorkloadSpec::new(1)
+            .clients(50)
+            .arrival(Arrival::Poisson {
+                mean_gap: 4,
+                cap: 12,
+            })
+            .plans();
+        let starts: Vec<u64> = poisson.iter().map(|p| p.start).collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        assert!(starts.windows(2).all(|w| w[1] - w[0] <= 12), "gaps capped");
+        assert!(starts.last().copied().unwrap() > 0, "not all at zero");
+    }
+
+    #[test]
+    fn zipf_is_bounded_and_heavy_tailed() {
+        let plans = WorkloadSpec::new(3)
+            .clients(1)
+            .ops(2000)
+            .think(Think::Zipf {
+                max: 16,
+                exponent: 1,
+            })
+            .plans();
+        let thinks = &plans[0].thinks;
+        assert!(thinks.iter().all(|&t| (1..=16).contains(&t)));
+        let ones = thinks.iter().filter(|&&t| t == 1).count();
+        let sixteens = thinks.iter().filter(|&&t| t == 16).count();
+        assert!(
+            ones > 8 * sixteens.max(1),
+            "value 1 must dominate the tail ({ones} vs {sixteens})"
+        );
+        assert!(sixteens > 0, "the tail must still occur in 2000 draws");
+    }
+
+    #[test]
+    fn uniform_think_stays_in_range() {
+        let plans = WorkloadSpec::new(5)
+            .clients(1)
+            .ops(500)
+            .think(Think::Uniform { lo: 3, hi: 9 })
+            .plans();
+        assert!(plans[0].thinks.iter().all(|&t| (3..=9).contains(&t)));
+        assert!(plans[0].thinks.contains(&3));
+        assert!(plans[0].thinks.contains(&9));
+    }
+
+    #[test]
+    fn mix_respects_weights_roughly() {
+        let plans = WorkloadSpec::new(9)
+            .clients(1000)
+            .mix(&[
+                Role {
+                    name: "reader",
+                    weight: 9,
+                },
+                Role {
+                    name: "writer",
+                    weight: 1,
+                },
+            ])
+            .plans();
+        let writers = plans.iter().filter(|p| p.role == "writer").count();
+        assert!(
+            (40..=250).contains(&writers),
+            "~10% of 1000 clients should be writers, got {writers}"
+        );
+    }
+
+    #[test]
+    fn scale_to_a_thousand_clients_is_cheap() {
+        let plans = WorkloadSpec::new(11)
+            .clients(1000)
+            .ops(3)
+            .arrival(Arrival::Bursts { size: 16, gap: 500 })
+            .think(Think::Fixed(2))
+            .plans();
+        assert_eq!(plans.len(), 1000);
+        assert_eq!(plans.last().unwrap().start, (999 / 16) as u64 * 500);
+    }
+}

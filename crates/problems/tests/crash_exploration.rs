@@ -11,6 +11,8 @@
 //! sample instead; the shared-memory mechanisms are proved over their full
 //! trees (~13k–17k schedules each).
 
+#![deny(deprecated)]
+
 use bloom_core::{check_crash_containment, check_poison_propagation, classify_crash, CrashOutcome};
 use bloom_problems::faults::{crash_sim, CrashMechanism, CrashProblem, VICTIM};
 use bloom_sim::ParallelExplorer;

@@ -10,6 +10,8 @@
 //! poisoned monitor, and every recovery is contained — victims die
 //! cancelled and loud, survivors finish.
 
+#![deny(deprecated)]
+
 use bloom_core::liveness::{check_recovery_containment, classify_liveness, LivenessOutcome};
 use bloom_problems::liveness::{deadlock_recovery_sim, LiveMechanism};
 use bloom_sim::ParallelExplorer;

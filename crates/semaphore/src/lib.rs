@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 //! Dijkstra semaphores over the `bloom-sim` deterministic simulator.
 //!
 //! Semaphores are the low-level baseline the paper's high-level mechanisms

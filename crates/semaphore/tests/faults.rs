@@ -2,6 +2,8 @@
 //! kill-during-wait, permit containment via `with_permit`, `Lock` poisoning,
 //! and the timeout-vs-wake race of `p_by`.
 
+#![deny(deprecated)]
+
 use bloom_semaphore::{Lock, Semaphore, TryResult};
 use bloom_sim::{FaultPlan, LifoPolicy, Pid, Sim};
 use parking_lot::Mutex;

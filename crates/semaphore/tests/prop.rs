@@ -1,5 +1,7 @@
 //! Property-based tests of semaphore invariants.
 
+#![deny(deprecated)]
+
 use bloom_semaphore::{Fairness, Semaphore};
 use bloom_sim::{RandomPolicy, Sim, SimConfig};
 use parking_lot::Mutex;

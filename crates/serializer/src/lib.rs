@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 //! Atkinson–Hewitt serializers over the `bloom-sim` deterministic simulator.
 //!
 //! Serializers ("Synchronization and Proof Techniques for Serializers",

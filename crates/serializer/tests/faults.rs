@@ -2,6 +2,8 @@
 //! poisoning, dead-waiter dequeue, and crowd-member death re-triggering
 //! guard evaluation.
 
+#![deny(deprecated)]
+
 use bloom_serializer::Serializer;
 use bloom_sim::{FaultPlan, Pid, Sim};
 use parking_lot::Mutex;

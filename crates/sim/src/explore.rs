@@ -114,6 +114,11 @@ pub struct ExploreStats {
     /// of the tree is still covered — but the canonical-first failure is
     /// kept for replay and is identical across explorer thread counts.
     pub first_error: Option<ExploreError>,
+    /// Bug-finding statistics when the schedules were *sampled* rather
+    /// than enumerated ([`crate::Sampler`]); `None` for the exhaustive
+    /// explorers. A sampling run never proves absence — `complete` then
+    /// means only "every requested iteration ran".
+    pub sampling: Option<crate::sample::SampleStats>,
 }
 
 impl ExploreStats {

@@ -1,4 +1,5 @@
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 //! Deterministic cooperative concurrency simulator.
 //!
 //! `bloom-sim` is the substrate every synchronization mechanism in this
@@ -81,6 +82,7 @@ mod metrics;
 mod parallel;
 mod policy;
 pub mod prelude;
+mod sample;
 mod sim;
 mod trace;
 mod types;
@@ -96,7 +98,11 @@ pub use footprint::{Access, Footprint, ObjId, QuantumRecord};
 pub use kernel::{ProcessStatus, ProcessSummary, SimReport, StarvationFlag};
 pub use metrics::{PidMetrics, ReplayDivergence, SimMetrics};
 pub use parallel::{ParallelExplorer, ScheduleRecord};
-pub use policy::{FifoPolicy, LifoPolicy, RandomPolicy, ReplayPolicy, SchedPolicy};
+pub use policy::{FifoPolicy, LifoPolicy, RandomPolicy, ReplayPolicy, SchedPolicy, SplitMix64};
+pub use sample::{
+    replay_exact, replay_prefix, shrink_prefix, PctPolicy, SampleRecord, SampleStats,
+    SampleStrategy, Sampler,
+};
 pub use sim::{Sim, SimConfig};
 pub use trace::{Decision, Event, EventKind, Trace};
 pub use types::{Deadline, Pid, Time};

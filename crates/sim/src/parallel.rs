@@ -268,6 +268,7 @@ impl ParallelExplorer {
             depth_pruned,
             conflicts: shared.conflicts.into_inner(),
             first_error: shared.first_error.into_inner(),
+            sampling: None,
         };
         (journal, stats)
     }

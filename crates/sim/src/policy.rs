@@ -10,6 +10,40 @@
 use crate::metrics::ReplayDivergence;
 use crate::types::Pid;
 
+/// The workspace's one pseudo-random generator: tiny, high-quality,
+/// dependency-free, and — like everything else near scheduling —
+/// deterministic per seed. [`RandomPolicy`], the samplers, and the
+/// workload generators all draw from this so that a seed pins down an
+/// entire experiment.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` (`0` when `bound == 0`).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.next_u64() % bound
+    }
+}
+
 /// Chooses which runnable process to dispatch next.
 ///
 /// `ready` is the runnable set in enqueue order (index 0 has been runnable
@@ -69,10 +103,10 @@ impl SchedPolicy for LifoPolicy {
     }
 }
 
-/// Seeded pseudo-random policy (SplitMix64), deterministic per seed.
+/// Seeded pseudo-random policy ([`SplitMix64`]), deterministic per seed.
 #[derive(Debug, Clone)]
 pub struct RandomPolicy {
-    state: u64,
+    rng: SplitMix64,
     name: String,
 }
 
@@ -80,27 +114,15 @@ impl RandomPolicy {
     /// Creates a random policy with the given seed.
     pub fn new(seed: u64) -> Self {
         RandomPolicy {
-            state: seed,
+            rng: SplitMix64::new(seed),
             name: format!("random(seed={seed})"),
         }
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        // SplitMix64: tiny, high-quality, dependency-free.
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
     }
 }
 
 impl SchedPolicy for RandomPolicy {
     fn choose(&mut self, ready: &[Pid], _step: u64) -> usize {
-        if ready.is_empty() {
-            return 0;
-        }
-        (self.next_u64() % ready.len() as u64) as usize
+        self.rng.next_below(ready.len() as u64) as usize
     }
 
     fn name(&self) -> &str {

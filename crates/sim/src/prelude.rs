@@ -6,7 +6,8 @@
 //! explicitly — a glob in a library obscures where names come from.
 
 pub use crate::{
-    Ctx, Deadline, ExploreConfig, ExploreStats, Explorer, FaultPlan, FifoPolicy, KillPointStats,
-    LifoPolicy, ParallelExplorer, Pid, RandomPolicy, ReplayPolicy, SchedPolicy, ScheduleRecord,
-    Sim, SimConfig, SimError, SimReport, Time, WaitQueue,
+    replay_exact, replay_prefix, shrink_prefix, Ctx, Deadline, ExploreConfig, ExploreStats,
+    Explorer, FaultPlan, FifoPolicy, KillPointStats, LifoPolicy, ParallelExplorer, Pid,
+    RandomPolicy, ReplayPolicy, SampleStats, SampleStrategy, Sampler, SchedPolicy, ScheduleRecord,
+    Sim, SimConfig, SimError, SimReport, SplitMix64, Time, WaitQueue,
 };

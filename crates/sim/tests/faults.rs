@@ -1,6 +1,8 @@
 //! Behavioral tests for the deterministic fault-injection plane:
 //! kill-points, spurious wakeups, delayed wakes, and their determinism.
 
+#![deny(deprecated)]
+
 use bloom_sim::{EventKind, FaultPlan, Pid, ProcessStatus, RandomPolicy, Sim, WaitQueue};
 use parking_lot::Mutex;
 use std::sync::Arc;

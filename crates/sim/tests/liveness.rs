@@ -2,6 +2,8 @@
 //! the starvation watchdog, deadlock recovery, and the end-of-run wait
 //! queue hygiene assertion.
 
+#![deny(deprecated)]
+
 use bloom_sim::{Deadline, EventKind, ProcessStatus, Sim, Time, WaitQueue};
 use parking_lot::Mutex;
 use std::sync::Arc;

@@ -1,5 +1,7 @@
 //! Property-based tests of the simulator kernel.
 
+#![deny(deprecated)]
+
 use bloom_sim::{RandomPolicy, ReplayPolicy, Sim, SimConfig};
 use parking_lot::Mutex;
 use proptest::prelude::*;

@@ -1,5 +1,7 @@
 //! End-to-end behavioral tests of the simulator kernel.
 
+#![deny(deprecated)]
+
 use bloom_sim::{
     EventKind, FifoPolicy, LifoPolicy, Pid, ProcessStatus, RandomPolicy, ReplayPolicy, Sim,
     SimConfig, SimErrorKind, Time, WaitQueue,

@@ -7,6 +7,8 @@
 //! choices are explainable: each of the six problems earns its place by
 //! covering something the others do not.
 
+#![deny(deprecated)]
+
 use bloom_core::{
     catalog, coverage, full_target, gaps, greedy_cover, is_complete, minimal_cover, spec,
     ConstraintKind, InfoType, ProblemId, ProblemSpec,

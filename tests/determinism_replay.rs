@@ -5,6 +5,8 @@
 //! identical replay. These tests exercise that over full problem
 //! workloads (not just toy processes).
 
+#![deny(deprecated)]
+
 use bloom_core::events::extract;
 use bloom_core::MechanismId;
 use bloom_problems::drivers::rw_scenario;

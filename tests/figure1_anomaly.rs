@@ -15,6 +15,8 @@
 //! * the Figure-2 writers-priority solution never lets a later reader
 //!   overtake a waiting writer.
 
+#![deny(deprecated)]
+
 use bloom_core::checks::{check_exclusion, check_no_later_overtake, check_priority_over};
 use bloom_core::events::extract;
 use bloom_core::MechanismId;

@@ -15,6 +15,8 @@
 //!   priority direction, but still leaves the exclusion constraint intact
 //!   for monitors and serializers.
 
+#![deny(deprecated)]
+
 use bloom_core::{independence, modification_cost, MechanismId, SolutionDesc};
 use bloom_problems::rw::{self, RwVariant};
 

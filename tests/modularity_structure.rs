@@ -8,6 +8,8 @@
 //! invoked, and (c) serializers provide the structure automatically via
 //! `join_crowd`. All three claims are demonstrated here.
 
+#![deny(deprecated)]
+
 use bloom_monitor::{Cond, Monitor};
 use bloom_serializer::Serializer;
 use bloom_sim::prelude::*;

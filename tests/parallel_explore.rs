@@ -11,6 +11,8 @@
 //! the worst case for any scheme whose merged order could depend on which
 //! worker got which subtree.
 
+#![deny(deprecated)]
+
 use bloom_core::liveness::classify_liveness;
 use bloom_problems::liveness::{deadlock_recovery_sim, LiveMechanism};
 use bloom_sim::prelude::*;

@@ -1,0 +1,213 @@
+//! Root integration test for the R3 sampling layer: seeded PCT/walk
+//! sampling over the workload-DSL scenarios, worker-count determinism,
+//! replay of sampled counterexamples, and prefix shrinking.
+//!
+//! The populations here are deliberately past anything the exhaustive
+//! explorers could enumerate (101+ processes); every assertion is
+//! against a *fixed seed*, so a failure is a deterministic regression,
+//! not flake. The CI smoke job runs this file in release.
+
+#![deny(deprecated)]
+
+use bloom_problems::liveness::LiveMechanism;
+use bloom_problems::r3::{
+    nested_monitor_at_scale, nested_monitor_laws, starvation_at_scale, starvation_laws,
+};
+use bloom_problems::workload::{Arrival, Think, WorkloadSpec};
+use bloom_sim::{replay_exact, shrink_prefix, SampleRecord, Sampler};
+use proptest::prelude::*;
+
+fn small_spec() -> WorkloadSpec {
+    WorkloadSpec::new(21)
+        .clients(10)
+        .ops(5)
+        .arrival(Arrival::Together)
+        .think(Think::None)
+}
+
+fn hundred_spec() -> WorkloadSpec {
+    WorkloadSpec::new(8)
+        .clients(100)
+        .ops(2)
+        .arrival(Arrival::Together)
+        .think(Think::None)
+}
+
+/// One line per sampled schedule: iteration, decision vector, violated
+/// laws. Byte-comparing these across worker counts is the determinism
+/// contract.
+fn render(journal: &[SampleRecord<Vec<String>>]) -> Vec<String> {
+    journal
+        .iter()
+        .map(|r| format!("{}:{:?}:{:?}", r.iteration, r.choices, r.value))
+        .collect()
+}
+
+#[test]
+fn same_seed_is_byte_identical_across_worker_counts() {
+    let spec = small_spec();
+    let laws = starvation_laws();
+    let mut baseline = None;
+    for threads in [1usize, 2, 4, 8] {
+        let (journal, stats) = Sampler::pct(16, 5)
+            .change_points(4)
+            .depth_hint(1024)
+            .threads(threads)
+            .run(
+                || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
+                |_, result| {
+                    let violated = laws.violated(result);
+                    (violated.clone(), violated)
+                },
+            );
+        let rendered = render(&journal);
+        let sampling = stats.sampling.expect("sampler stats");
+        match &baseline {
+            None => baseline = Some((rendered, sampling)),
+            Some((expect_journal, expect_sampling)) => {
+                assert_eq!(
+                    &rendered, expect_journal,
+                    "sampled journal diverged at {threads} workers"
+                );
+                assert_eq!(
+                    &sampling, expect_sampling,
+                    "sampling stats diverged at {threads} workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pct_finds_replays_and_shrinks_weak_starvation_at_101_processes() {
+    let spec = hundred_spec();
+    let laws = starvation_laws();
+    let (journal, stats) = Sampler::pct(4, 2).change_points(4).depth_hint(4096).run(
+        || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
+        |_, result| {
+            let violated = laws.violated(result);
+            (violated.clone(), violated)
+        },
+    );
+    let sampling = stats.sampling.expect("sampler stats");
+    let hits = sampling
+        .violations
+        .get("starvation-free")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        hits > 0,
+        "seeded PCT must starve the writer among 101 processes; got {:?}",
+        sampling.violations
+    );
+
+    let witness = journal
+        .iter()
+        .find(|r| r.value.iter().any(|k| k == "starvation-free"))
+        .expect("a violating schedule is journaled");
+    // The sampled vector replays byte-identically (replay_exact hard-errors
+    // on any divergence) and reproduces the same verdict.
+    let replayed = replay_exact(
+        || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
+        &witness.choices,
+    );
+    assert_eq!(
+        laws.violated(&replayed),
+        witness.value,
+        "replay must reproduce the original violations"
+    );
+
+    let minimal = shrink_prefix(
+        || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
+        &witness.choices,
+        |result| laws.violated(result).iter().any(|k| k == "starvation-free"),
+    );
+    assert!(
+        minimal.len() <= witness.choices.len(),
+        "shrinking may only remove decisions"
+    );
+}
+
+#[test]
+fn pct_finds_replays_and_shrinks_nested_monitor_deadlock_at_102_processes() {
+    let spec = WorkloadSpec::new(13)
+        .clients(100)
+        .ops(2)
+        .arrival(Arrival::Together)
+        .think(Think::Fixed(2));
+    let laws = nested_monitor_laws();
+    let (journal, stats) = Sampler::pct(6, 1).change_points(2).depth_hint(512).run(
+        || nested_monitor_at_scale(&spec),
+        |_, result| {
+            let violated = laws.violated(result);
+            (violated.clone(), violated)
+        },
+    );
+    let sampling = stats.sampling.expect("sampler stats");
+    let hits = sampling.violations.get("no-deadlock").copied().unwrap_or(0);
+    assert!(
+        hits > 0,
+        "seeded PCT must close Lister's cycle among 102 processes; got {:?}",
+        sampling.violations
+    );
+
+    let witness = journal
+        .iter()
+        .find(|r| r.value.iter().any(|k| k == "no-deadlock"))
+        .expect("a deadlocking schedule is journaled");
+    let replayed = replay_exact(|| nested_monitor_at_scale(&spec), &witness.choices);
+    assert!(
+        replayed.is_err(),
+        "replaying the sampled vector must reproduce the deadlock"
+    );
+
+    let minimal = shrink_prefix(
+        || nested_monitor_at_scale(&spec),
+        &witness.choices,
+        |result| result.is_err(),
+    );
+    assert!(minimal.len() <= witness.choices.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Whatever counterexample a seeded sampler finds, its shrunk prefix
+    /// must still violate the same law — shrinking never launders a
+    /// failure into a pass.
+    #[test]
+    fn shrunk_counterexamples_still_violate(seed in any::<u64>()) {
+        let spec = WorkloadSpec::new(3)
+            .clients(6)
+            .ops(6)
+            .arrival(Arrival::Together)
+            .think(Think::None);
+        let laws = starvation_laws();
+        let (journal, _) = Sampler::pct(6, seed).change_points(4).depth_hint(1024).run(
+            || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
+            |_, result| {
+                let violated = laws.violated(result);
+                (violated.clone(), violated)
+            },
+        );
+        let fails = |result: &Result<bloom_sim::SimReport, bloom_sim::SimError>| {
+            laws.violated(result).iter().any(|k| k == "starvation-free")
+        };
+        for witness in journal
+            .iter()
+            .filter(|r| r.value.iter().any(|k| k == "starvation-free"))
+            .take(1)
+        {
+            let minimal = shrink_prefix(
+                || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
+                &witness.choices,
+                fails,
+            );
+            prop_assert!(minimal.len() <= witness.choices.len());
+            prop_assert!(fails(&bloom_sim::replay_prefix(
+                || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
+                &minimal,
+            )));
+        }
+    }
+}

@@ -4,6 +4,8 @@
 //! the safety invariants must hold for every generated case (failures
 //! shrink to a minimal seed/shape).
 
+#![deny(deprecated)]
+
 use bloom_core::checks::{
     check_buffer_bounds, check_elevator, check_exclusion, check_fifo, expect_clean,
 };

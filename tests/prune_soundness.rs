@@ -17,6 +17,8 @@
 //! oracle exercises both the sleep-set machinery and its conservative
 //! fallbacks.
 
+#![deny(deprecated)]
+
 use bloom_core::checks::{check_exclusion, expect_clean};
 use bloom_core::events::extract;
 use bloom_semaphore::Semaphore;

@@ -4,6 +4,8 @@
 //! entry in `crates/bench/Cargo.toml`, or cargo silently never builds or
 //! runs it.
 
+#![deny(deprecated)]
+
 use std::collections::BTreeSet;
 use std::path::Path;
 

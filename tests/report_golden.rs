@@ -9,6 +9,8 @@
 //! `EXPERIMENTS.md` quotes this file; keeping it in lockstep with the code
 //! means the prose can be trusted without rerunning anything.
 
+#![deny(deprecated)]
+
 #[test]
 fn archived_report_matches_generated_report() {
     let archived = include_str!("../docs/report.txt");

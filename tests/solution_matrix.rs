@@ -6,6 +6,8 @@
 //! mechanism to implement solutions to a set of examples that covers all
 //! information classes" (§4.1).
 
+#![deny(deprecated)]
+
 use bloom_core::checks::{
     check_alarm, check_all_served, check_alternation, check_buffer_bounds, check_elevator,
     check_exclusion, check_fifo, check_no_later_overtake, check_priority_over, expect_clean,

@@ -7,6 +7,8 @@
 //! bounded bypass. Both are demonstrated here on every mechanism, with
 //! the identical overlapping-readers workload.
 
+#![deny(deprecated)]
+
 use bloom_core::checks::check_no_later_overtake;
 use bloom_core::events::{extract, Phase};
 use bloom_core::MechanismId;

@@ -17,6 +17,8 @@
 //!   schedule reports zero divergence; a corrupted decision vector
 //!   reports clamping; a truncated one reports an underrun.
 
+#![deny(deprecated)]
+
 use bloom_sim::export::{self, Json};
 use bloom_sim::prelude::*;
 use bloom_sim::{EventKind, ReplayDivergence};
