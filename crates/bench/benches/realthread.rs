@@ -1,0 +1,189 @@
+//! R4 companion bench: the five mechanisms on real OS threads
+//! (`bloom-rt`), uncontended and contended, plus one problem-shaped
+//! workload — the criterion counterpart of `bench_realthread`, which
+//! archives the same shapes to `BENCH_realthread.json`.
+//!
+//! Each iteration spawns the run's threads and joins them, so absolute
+//! numbers include thread spawn cost (exactly as `primitives.rs` numbers
+//! include the simulator's context-switch cost); mechanism-to-mechanism
+//! comparison is the meaningful output, and sim-vs-real comparison goes
+//! through `primitives.rs` run on the same host.
+
+use bloom_rt::{RtChannel, RtConfig, RtMonitor, RtPathResource, RtSemaphore, RtSerializer, RtSim};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+const OPS: usize = 200;
+const CONTENDERS: usize = 4;
+
+fn quiet_rt() -> RtSim {
+    RtSim::with_config(RtConfig {
+        watchdog: Duration::from_secs(60),
+        ..RtConfig::default()
+    })
+}
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("realthread_uncontended");
+    group.sample_size(20);
+
+    group.bench_function("semaphore_pv", |b| {
+        b.iter(|| {
+            let mut rt = quiet_rt();
+            let sem = Arc::new(RtSemaphore::strong("s", 1));
+            rt.spawn("solo", move |ctx| {
+                for _ in 0..OPS {
+                    sem.p(ctx);
+                    sem.v(ctx);
+                }
+            });
+            rt.run().unwrap();
+        })
+    });
+
+    group.bench_function("monitor_enter", |b| {
+        b.iter(|| {
+            let mut rt = quiet_rt();
+            let m = Arc::new(RtMonitor::hoare("m", 0i64));
+            rt.spawn("solo", move |ctx| {
+                for _ in 0..OPS {
+                    m.enter(ctx, |mc| mc.state(|v| *v += 1));
+                }
+            });
+            rt.run().unwrap();
+        })
+    });
+
+    group.bench_function("serializer_enter", |b| {
+        b.iter(|| {
+            let mut rt = quiet_rt();
+            let s = Arc::new(RtSerializer::new("s", 0i64));
+            rt.spawn("solo", move |ctx| {
+                for _ in 0..OPS {
+                    s.enter(ctx, |sc| sc.state(|v| *v += 1));
+                }
+            });
+            rt.run().unwrap();
+        })
+    });
+
+    group.bench_function("pathexpr_perform", |b| {
+        b.iter(|| {
+            let mut rt = quiet_rt();
+            let r = Arc::new(RtPathResource::parse("r", "path op end").unwrap());
+            rt.spawn("solo", move |ctx| {
+                for _ in 0..OPS {
+                    r.perform(ctx, "op", || ());
+                }
+            });
+            rt.run().unwrap();
+        })
+    });
+
+    group.bench_function("channel_rendezvous", |b| {
+        b.iter(|| {
+            let mut rt = quiet_rt();
+            let ch = Arc::new(RtChannel::<i64>::new("ch"));
+            let tx = Arc::clone(&ch);
+            rt.spawn("sender", move |ctx| {
+                for _ in 0..OPS {
+                    tx.send(ctx, 1);
+                }
+            });
+            rt.spawn("receiver", move |ctx| {
+                for _ in 0..OPS {
+                    ch.recv(ctx);
+                }
+            });
+            rt.run().unwrap();
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("realthread_contended");
+    group.sample_size(20);
+
+    group.bench_function("semaphore_pv_4way", |b| {
+        b.iter(|| {
+            let mut rt = quiet_rt();
+            let sem = Arc::new(RtSemaphore::strong("s", 1));
+            for i in 0..CONTENDERS {
+                let s = Arc::clone(&sem);
+                rt.spawn(&format!("w{i}"), move |ctx| {
+                    for _ in 0..OPS / CONTENDERS {
+                        s.p(ctx);
+                        s.v(ctx);
+                    }
+                });
+            }
+            rt.run().unwrap();
+        })
+    });
+
+    group.bench_function("monitor_enter_4way", |b| {
+        b.iter(|| {
+            let mut rt = quiet_rt();
+            let m = Arc::new(RtMonitor::hoare("m", 0i64));
+            for i in 0..CONTENDERS {
+                let m = Arc::clone(&m);
+                rt.spawn(&format!("w{i}"), move |ctx| {
+                    for _ in 0..OPS / CONTENDERS {
+                        m.enter(ctx, |mc| mc.state(|v| *v += 1));
+                    }
+                });
+            }
+            rt.run().unwrap();
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_problem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("realthread_problem");
+    group.sample_size(20);
+
+    group.bench_function("oneslot_buffer", |b| {
+        b.iter(|| {
+            let mut rt = quiet_rt();
+            let m = Arc::new(RtMonitor::hoare("buf", None::<i64>));
+            let notfull = Arc::new(bloom_rt::RtCond::new("notfull"));
+            let notempty = Arc::new(bloom_rt::RtCond::new("notempty"));
+            m.register_cond(&notfull);
+            m.register_cond(&notempty);
+            let (m1, nf1, ne1) = (Arc::clone(&m), Arc::clone(&notfull), Arc::clone(&notempty));
+            rt.spawn("producer", move |ctx| {
+                for i in 0..OPS {
+                    m1.enter(ctx, |mc| {
+                        while mc.state(|s| s.is_some()) {
+                            mc.wait(&nf1);
+                        }
+                        mc.state(|s| *s = Some(i as i64));
+                        mc.signal(&ne1);
+                    });
+                }
+            });
+            rt.spawn("consumer", move |ctx| {
+                for _ in 0..OPS {
+                    m.enter(ctx, |mc| {
+                        while mc.state(|s| s.is_none()) {
+                            mc.wait(&notempty);
+                        }
+                        mc.state(|s| *s = None);
+                        mc.signal(&notfull);
+                    });
+                }
+            });
+            rt.run().unwrap();
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_uncontended, bench_contended, bench_problem);
+criterion_main!(benches);

@@ -1,0 +1,443 @@
+//! Real-thread measurement companion to the R4 conformance suite:
+//! wall-clock throughput of the five mechanisms on OS threads
+//! (`bloom-rt`) next to the simulator executing the *identical* shape.
+//! Writes `BENCH_realthread.json` at the repo root (archived in
+//! EXPERIMENTS.md §R4).
+//!
+//! ```text
+//! cargo run --release -p bloom-bench --bin bench_realthread
+//! ```
+//!
+//! Like `bench_explore`, wall-clock time is confined to this binary and
+//! the criterion benches — the deterministic report (`report.rs`) stays
+//! machine-independent, and nothing here feeds `docs/report.txt`. The
+//! numbers answer the paper-era question the simulator cannot: what the
+//! five disciplines *cost* on metal, uncontended and contended, and what
+//! the simulator's one-running-process execution model costs relative to
+//! free-running threads on the same workload. Correctness on real
+//! threads is the conformance suite's job (`tests/rt_conformance.rs`);
+//! this binary only measures, with a `run_ok` flag per cell asserting
+//! the run at least completed cleanly.
+
+use bloom_monitor::Monitor;
+use bloom_pathexpr::PathResource;
+use bloom_rt::{RtChannel, RtConfig, RtMonitor, RtPathResource, RtSemaphore, RtSerializer, RtSim};
+use bloom_semaphore::Semaphore;
+use bloom_serializer::Serializer;
+use bloom_sim::Sim;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Operations per uncontended cell (one thread, back to back).
+const OPS: usize = 20_000;
+/// Threads in the contended cells; each performs `OPS / CONTENDERS` ops.
+const CONTENDERS: usize = 4;
+
+struct Cell {
+    secs: f64,
+    ops_per_sec: f64,
+}
+
+fn cell(ops: usize, secs: f64) -> Cell {
+    Cell {
+        secs,
+        ops_per_sec: ops as f64 / secs,
+    }
+}
+
+fn time_real(build: impl FnOnce(&mut RtSim)) -> f64 {
+    let mut rt = RtSim::with_config(RtConfig {
+        // Generous overall budget: these are long straight-line runs, not
+        // the short conformance scenarios the 5s default is sized for.
+        watchdog: Duration::from_secs(120),
+        ..RtConfig::default()
+    });
+    build(&mut rt);
+    let start = Instant::now();
+    rt.run().expect("bench run is clean");
+    start.elapsed().as_secs_f64()
+}
+
+fn time_sim(build: impl FnOnce(&mut Sim)) -> f64 {
+    let mut sim = Sim::new();
+    build(&mut sim);
+    let start = Instant::now();
+    sim.run().expect("bench run is clean");
+    start.elapsed().as_secs_f64()
+}
+
+/// One acquire/release benchmark: the same mechanism shape built for both
+/// backends, in uncontended (1 × `OPS`) and contended
+/// (`CONTENDERS` × `OPS/CONTENDERS`) layouts.
+struct AcquireBench {
+    mechanism: &'static str,
+    sim: fn(&mut Sim, usize, usize),
+    real: fn(&mut RtSim, usize, usize),
+}
+
+fn sim_semaphore(sim: &mut Sim, threads: usize, ops: usize) {
+    let sem = Arc::new(Semaphore::strong("s", 1));
+    for i in 0..threads {
+        let s = Arc::clone(&sem);
+        sim.spawn(&format!("w{i}"), move |ctx| {
+            for _ in 0..ops {
+                s.p(ctx);
+                s.v(ctx);
+            }
+        });
+    }
+}
+
+fn real_semaphore(rt: &mut RtSim, threads: usize, ops: usize) {
+    let sem = Arc::new(RtSemaphore::strong("s", 1));
+    for i in 0..threads {
+        let s = Arc::clone(&sem);
+        rt.spawn(&format!("w{i}"), move |ctx| {
+            for _ in 0..ops {
+                s.p(ctx);
+                s.v(ctx);
+            }
+        });
+    }
+}
+
+fn sim_monitor(sim: &mut Sim, threads: usize, ops: usize) {
+    let m = Arc::new(Monitor::hoare("m", 0i64));
+    for i in 0..threads {
+        let m = Arc::clone(&m);
+        sim.spawn(&format!("w{i}"), move |ctx| {
+            for _ in 0..ops {
+                m.enter(ctx, |mc| mc.state(|v| *v += 1));
+            }
+        });
+    }
+}
+
+fn real_monitor(rt: &mut RtSim, threads: usize, ops: usize) {
+    let m = Arc::new(RtMonitor::hoare("m", 0i64));
+    for i in 0..threads {
+        let m = Arc::clone(&m);
+        rt.spawn(&format!("w{i}"), move |ctx| {
+            for _ in 0..ops {
+                m.enter(ctx, |mc| mc.state(|v| *v += 1));
+            }
+        });
+    }
+}
+
+fn sim_serializer(sim: &mut Sim, threads: usize, ops: usize) {
+    let s = Arc::new(Serializer::new("s", 0i64));
+    for i in 0..threads {
+        let s = Arc::clone(&s);
+        sim.spawn(&format!("w{i}"), move |ctx| {
+            for _ in 0..ops {
+                s.enter(ctx, |sc| sc.state(|v| *v += 1));
+            }
+        });
+    }
+}
+
+fn real_serializer(rt: &mut RtSim, threads: usize, ops: usize) {
+    let s = Arc::new(RtSerializer::new("s", 0i64));
+    for i in 0..threads {
+        let s = Arc::clone(&s);
+        rt.spawn(&format!("w{i}"), move |ctx| {
+            for _ in 0..ops {
+                s.enter(ctx, |sc| sc.state(|v| *v += 1));
+            }
+        });
+    }
+}
+
+fn sim_pathexpr(sim: &mut Sim, threads: usize, ops: usize) {
+    let r = Arc::new(PathResource::parse("r", "path op end").expect("static path"));
+    for i in 0..threads {
+        let r = Arc::clone(&r);
+        sim.spawn(&format!("w{i}"), move |ctx| {
+            for _ in 0..ops {
+                r.perform(ctx, "op", || ());
+            }
+        });
+    }
+}
+
+fn real_pathexpr(rt: &mut RtSim, threads: usize, ops: usize) {
+    let r = Arc::new(RtPathResource::parse("r", "path op end").expect("static path"));
+    for i in 0..threads {
+        let r = Arc::clone(&r);
+        rt.spawn(&format!("w{i}"), move |ctx| {
+            for _ in 0..ops {
+                r.perform(ctx, "op", || ());
+            }
+        });
+    }
+}
+
+/// Channels are rendezvous, so "acquire" is one message: `threads`
+/// senders split `ops` sends and one server receives them all.
+fn sim_channel(sim: &mut Sim, threads: usize, ops: usize) {
+    let ch = Arc::new(bloom_channel::Channel::<i64>::new("ch"));
+    for i in 0..threads {
+        let ch = Arc::clone(&ch);
+        sim.spawn(&format!("w{i}"), move |ctx| {
+            for _ in 0..ops {
+                ch.send(ctx, 1);
+            }
+        });
+    }
+    let ch2 = Arc::clone(&ch);
+    sim.spawn("server", move |ctx| {
+        for _ in 0..threads * ops {
+            ch2.recv(ctx);
+        }
+    });
+}
+
+fn real_channel(rt: &mut RtSim, threads: usize, ops: usize) {
+    let ch = Arc::new(RtChannel::<i64>::new("ch"));
+    for i in 0..threads {
+        let ch = Arc::clone(&ch);
+        rt.spawn(&format!("w{i}"), move |ctx| {
+            for _ in 0..ops {
+                ch.send(ctx, 1);
+            }
+        });
+    }
+    let ch2 = Arc::clone(&ch);
+    rt.spawn("server", move |ctx| {
+        for _ in 0..threads * ops {
+            ch2.recv(ctx);
+        }
+    });
+}
+
+const ACQUIRES: [AcquireBench; 5] = [
+    AcquireBench {
+        mechanism: "semaphore",
+        sim: sim_semaphore,
+        real: real_semaphore,
+    },
+    AcquireBench {
+        mechanism: "monitor",
+        sim: sim_monitor,
+        real: real_monitor,
+    },
+    AcquireBench {
+        mechanism: "serializer",
+        sim: sim_serializer,
+        real: real_serializer,
+    },
+    AcquireBench {
+        mechanism: "pathexpr",
+        sim: sim_pathexpr,
+        real: real_pathexpr,
+    },
+    AcquireBench {
+        mechanism: "channel",
+        sim: sim_channel,
+        real: real_channel,
+    },
+];
+
+fn backend_json(c: &Cell) -> String {
+    format!(
+        "{{ \"secs\": {:.6}, \"ops_per_sec\": {:.0}, \"run_ok\": true }}",
+        c.secs, c.ops_per_sec
+    )
+}
+
+fn acquire_entry(b: &AcquireBench, mode: &str, threads: usize, per_thread: usize) -> String {
+    let total = threads * per_thread;
+    let sim_cell = cell(total, time_sim(|s| (b.sim)(s, threads, per_thread)));
+    let real_cell = cell(total, time_real(|rt| (b.real)(rt, threads, per_thread)));
+    eprintln!(
+        "{} ({mode}): sim {:.0} ops/s, real {:.0} ops/s",
+        b.mechanism, sim_cell.ops_per_sec, real_cell.ops_per_sec
+    );
+    format!(
+        "{{\n      \"mechanism\": \"{}\",\n      \"mode\": \"{mode}\",\n      \
+         \"threads\": {threads},\n      \"ops\": {total},\n      \
+         \"sim\": {},\n      \"real\": {}\n    }}",
+        b.mechanism,
+        backend_json(&sim_cell),
+        backend_json(&real_cell)
+    )
+}
+
+/// One-slot buffer on the Hoare monitor (the R4 conformance scenario's
+/// shape, scaled to `items` hand-offs): producer and consumer alternate
+/// through `notfull`/`notempty`.
+fn oneslot(items: usize) -> (String, String) {
+    let build_sim = |sim: &mut Sim| {
+        let m = Arc::new(Monitor::hoare("buf", None::<i64>));
+        let notfull = Arc::new(bloom_monitor::Cond::new("notfull"));
+        let notempty = Arc::new(bloom_monitor::Cond::new("notempty"));
+        m.register_cond(&notfull);
+        m.register_cond(&notempty);
+        let (m1, nf1, ne1) = (Arc::clone(&m), Arc::clone(&notfull), Arc::clone(&notempty));
+        sim.spawn("producer", move |ctx| {
+            for i in 0..items {
+                m1.enter(ctx, |mc| {
+                    while mc.state(|s| s.is_some()) {
+                        mc.wait(&nf1);
+                    }
+                    mc.state(|s| *s = Some(i as i64));
+                    mc.signal(&ne1);
+                });
+            }
+        });
+        let (m2, nf2, ne2) = (m, notfull, notempty);
+        sim.spawn("consumer", move |ctx| {
+            for _ in 0..items {
+                m2.enter(ctx, |mc| {
+                    while mc.state(|s| s.is_none()) {
+                        mc.wait(&ne2);
+                    }
+                    mc.state(|s| *s = None);
+                    mc.signal(&nf2);
+                });
+            }
+        });
+    };
+    let build_real = |rt: &mut RtSim| {
+        let m = Arc::new(RtMonitor::hoare("buf", None::<i64>));
+        let notfull = Arc::new(bloom_rt::RtCond::new("notfull"));
+        let notempty = Arc::new(bloom_rt::RtCond::new("notempty"));
+        m.register_cond(&notfull);
+        m.register_cond(&notempty);
+        let (m1, nf1, ne1) = (Arc::clone(&m), Arc::clone(&notfull), Arc::clone(&notempty));
+        rt.spawn("producer", move |ctx| {
+            for i in 0..items {
+                m1.enter(ctx, |mc| {
+                    while mc.state(|s| s.is_some()) {
+                        mc.wait(&nf1);
+                    }
+                    mc.state(|s| *s = Some(i as i64));
+                    mc.signal(&ne1);
+                });
+            }
+        });
+        let (m2, nf2, ne2) = (m, notfull, notempty);
+        rt.spawn("consumer", move |ctx| {
+            for _ in 0..items {
+                m2.enter(ctx, |mc| {
+                    while mc.state(|s| s.is_none()) {
+                        mc.wait(&ne2);
+                    }
+                    mc.state(|s| *s = None);
+                    mc.signal(&nf2);
+                });
+            }
+        });
+    };
+    let sim_cell = cell(items, time_sim(build_sim));
+    let real_cell = cell(items, time_real(build_real));
+    eprintln!(
+        "one-slot-buffer: sim {:.0} items/s, real {:.0} items/s",
+        sim_cell.ops_per_sec, real_cell.ops_per_sec
+    );
+    (backend_json(&sim_cell), backend_json(&real_cell))
+}
+
+/// Readers/writers on the serializer (crowds for readers, exclusive
+/// writer), `rounds` operations per process.
+fn readers_writers(rounds: usize) -> (String, String) {
+    let build_sim = |sim: &mut Sim| {
+        let s = Arc::new(Serializer::new("db", ()));
+        let readers = s.crowd("readers");
+        let writers = s.crowd("writers");
+        let q = s.queue("main");
+        for name in ["reader1", "reader2"] {
+            let s = Arc::clone(&s);
+            sim.spawn(name, move |ctx| {
+                for _ in 0..rounds {
+                    s.enter(ctx, |sc| {
+                        sc.enqueue(q, move |g| g.crowd_is_empty(writers));
+                        sc.join_crowd(readers, || ());
+                    });
+                }
+            });
+        }
+        let s2 = Arc::clone(&s);
+        sim.spawn("writer", move |ctx| {
+            for _ in 0..rounds {
+                s2.enter(ctx, |sc| {
+                    sc.enqueue(q, move |g| {
+                        g.crowd_is_empty(readers) && g.crowd_is_empty(writers)
+                    });
+                    sc.join_crowd(writers, || ());
+                });
+            }
+        });
+    };
+    let build_real = |rt: &mut RtSim| {
+        let s = Arc::new(RtSerializer::new("db", ()));
+        let readers = s.crowd("readers");
+        let writers = s.crowd("writers");
+        let q = s.queue("main");
+        for name in ["reader1", "reader2"] {
+            let s = Arc::clone(&s);
+            rt.spawn(name, move |ctx| {
+                for _ in 0..rounds {
+                    s.enter(ctx, |sc| {
+                        sc.enqueue(q, move |g| g.crowd_is_empty(writers));
+                        sc.join_crowd(readers, || ());
+                    });
+                }
+            });
+        }
+        let s2 = Arc::clone(&s);
+        rt.spawn("writer", move |ctx| {
+            for _ in 0..rounds {
+                s2.enter(ctx, |sc| {
+                    sc.enqueue(q, move |g| {
+                        g.crowd_is_empty(readers) && g.crowd_is_empty(writers)
+                    });
+                    sc.join_crowd(writers, || ());
+                });
+            }
+        });
+    };
+    let total = rounds * 3;
+    let sim_cell = cell(total, time_sim(build_sim));
+    let real_cell = cell(total, time_real(build_real));
+    eprintln!(
+        "readers-writers: sim {:.0} ops/s, real {:.0} ops/s",
+        sim_cell.ops_per_sec, real_cell.ops_per_sec
+    );
+    (backend_json(&sim_cell), backend_json(&real_cell))
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!("host: {cores} core(s) available");
+
+    let mut acquire_entries = Vec::new();
+    for b in &ACQUIRES {
+        acquire_entries.push(acquire_entry(b, "uncontended", 1, OPS));
+        acquire_entries.push(acquire_entry(b, "contended", CONTENDERS, OPS / CONTENDERS));
+    }
+
+    let (oneslot_sim, oneslot_real) = oneslot(10_000);
+    let (rw_sim, rw_real) = readers_writers(3_000);
+    let problems = [
+        format!(
+            "{{\n      \"problem\": \"one-slot-buffer\",\n      \"mechanism\": \"monitor\",\n      \
+             \"ops\": 10000,\n      \"sim\": {oneslot_sim},\n      \"real\": {oneslot_real}\n    }}"
+        ),
+        format!(
+            "{{\n      \"problem\": \"readers-writers\",\n      \"mechanism\": \"serializer\",\n      \
+             \"ops\": 9000,\n      \"sim\": {rw_sim},\n      \"real\": {rw_real}\n    }}"
+        ),
+    ];
+
+    let json = format!(
+        "{{\n  \"host_cores\": {cores},\n  \"tick_micros\": 200,\n  \
+         \"acquire\": [\n    {}\n  ],\n  \"problems\": [\n    {}\n  ]\n}}\n",
+        acquire_entries.join(",\n    "),
+        problems.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_realthread.json");
+    std::fs::write(path, &json).expect("write BENCH_realthread.json");
+    println!("{json}");
+}

@@ -33,6 +33,8 @@
 //! The `report` binary prints them all; `EXPERIMENTS.md` archives the
 //! output.
 
+pub mod rt_conformance;
+
 use bloom_core::checks::{
     check_alarm, check_all_served, check_alternation, check_buffer_bounds, check_elevator,
     check_exclusion, check_fifo, check_no_later_overtake, check_priority_over, Violation,
@@ -323,8 +325,11 @@ const LIVENESS_PATIENCE_SWEEP: [u64; 4] = [1, 2, HOLD, HOLD + 4];
 /// R2: the liveness-robustness matrix. The *timeout withdrawal* column
 /// sweeps contender patience below and above the holder's occupancy and
 /// tallies the classifications (see `bloom_core::liveness`): *recovers* —
-/// withdrawals and recovery invisible to survivors; *degrades* — poison,
-/// a starvation flag or a permanent give-up; *wedges* — the run dies. The
+/// served within the first patience window; *recovers-after-retry* —
+/// served, but only after a clean withdrawal (the visible cost of a
+/// bounded retry loop, kept distinct from degradation); *degrades* —
+/// poison, a starvation flag or a permanent give-up; *wedges* — the run
+/// dies. The
 /// other two columns run one canonical schedule each: a genuine cyclic
 /// deadlock with kernel victim-abort recovery on, and a writer retrying
 /// under two resource hogs with the starvation watchdog armed.
@@ -341,8 +346,9 @@ pub fn liveness_robustness_report() -> String {
             vec![
                 mech.label().to_string(),
                 format!(
-                    "{worst}  ({}r/{}d/{}w)",
+                    "{worst}  ({}r/{}ar/{}d/{}w)",
                     count(LivenessOutcome::Recovers),
+                    count(LivenessOutcome::RecoversAfterRetry),
                     count(LivenessOutcome::Degrades),
                     count(LivenessOutcome::Wedges),
                 ),
@@ -362,8 +368,10 @@ pub fn liveness_robustness_report() -> String {
     );
     out.push_str(&format!(
         "\nTimeout cell: worst outcome over patience {LIVENESS_PATIENCE_SWEEP:?} \
-         (recovers/degrades/wedges tally) — every mechanism withdraws cleanly and \
-         retries to success. Deadlock recovery: aborting the victim recovers \
+         (recovers/recovers-after-retry/degrades/wedges tally) — every mechanism \
+         withdraws cleanly and retries to success: impatient contenders end \
+         recovers-after-retry (served on a later attempt), patient ones plain \
+         recovers. Deadlock recovery: aborting the victim recovers \
          outright where unwinding fully restores what it held (semaphore permits, \
          serializer crowd seats) but degrades to poison where the victim died \
          inside a monitor or mid-operation in a path expression, and to a dead \

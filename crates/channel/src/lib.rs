@@ -230,8 +230,21 @@ impl<T: Send> Channel<T> {
 
     /// Number of senders currently blocked on this channel — queue
     /// interrogation for guards (the §3 *synchronization state* category).
+    ///
+    /// **Explore-unsafe probe**: records no footprint, so a receiver that
+    /// branches on it (e.g. computing a select guard) during an explored
+    /// schedule is invisible to the object-granular prune. Solution code
+    /// must use [`Channel::pending_senders_ctx`]; this bare form exists
+    /// for test assertions and post-run inspection.
     pub fn pending_senders(&self) -> usize {
         self.state.lock().senders.len()
+    }
+
+    /// Instrumented [`Channel::pending_senders`] (footprint-recorded
+    /// read).
+    pub fn pending_senders_ctx(&self, ctx: &Ctx) -> usize {
+        ctx.note_sync_obj_op(&self.obj, Access::Read);
+        self.pending_senders()
     }
 
     /// Arrival ticket of the longest-waiting *live* sender, if any.

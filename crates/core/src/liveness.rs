@@ -11,9 +11,15 @@
 //!
 //! * **Recovers** — the run completes, every surviving requester finishes,
 //!   no primitive is poisoned, nobody is flagged as starved, and nobody
-//!   permanently gave up. Timed-out waiters withdrew cleanly and
-//!   eventually succeeded; a deadlock, if any, was shed by aborting a
-//!   victim whose rollback let the survivors continue.
+//!   permanently gave up — and nobody ever had to withdraw: every request
+//!   was served within its first patience window.
+//! * **RecoversAfterRetry** — same clean ending, but the trace shows the
+//!   price of getting there: at least one `timed-out:`/`retry:` marker,
+//!   i.e. a waiter withdrew a timed request and only a later attempt
+//!   succeeded. Separating this from *degrades* is the point of the
+//!   retry-with-backoff helper (`bloom_sim::retry_with_backoff`): a
+//!   bounded retry loop that wins is a recovery, not a degradation — but
+//!   it is not free either, so the matrix should show it.
 //! * **Degrades** — the run completes, but only by paying a visible
 //!   price: a primitive was poisoned by an aborted victim's unwind, the
 //!   watchdog flagged a starved waiter, a requester gave up for good
@@ -29,9 +35,13 @@ use std::fmt;
 /// The liveness-robustness verdict for one (mechanism, scenario) cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LivenessOutcome {
-    /// Every requester that kept asking got served; withdrawals and
-    /// recovery were invisible to the survivors.
+    /// Every requester was served within its first patience window: no
+    /// withdrawal, no poison, no flag.
     Recovers,
+    /// Every requester was eventually served, but only after at least one
+    /// clean withdrawal (`timed-out:`/`retry:` in the trace) — recovery
+    /// with a visible retry cost, kept distinct from [`Degrades`].
+    RecoversAfterRetry,
     /// The system kept going, but visibly worse off: poison, a starvation
     /// flag, a permanent give-up, or no survivor progress.
     Degrades,
@@ -43,6 +53,7 @@ impl fmt::Display for LivenessOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             LivenessOutcome::Recovers => "recovers",
+            LivenessOutcome::RecoversAfterRetry => "recovers-after-retry",
             LivenessOutcome::Degrades => "degrades",
             LivenessOutcome::Wedges => "wedges",
         })
@@ -80,6 +91,12 @@ pub fn classify_liveness(result: &Result<SimReport, SimError>) -> LivenessOutcom
             let no_progress = non_daemons > 0 && finished == 0;
             if poisoned || gave_up || starved || stranded || no_progress {
                 LivenessOutcome::Degrades
+            } else if report
+                .trace
+                .user_events()
+                .any(|(_, label, _)| label.starts_with("timed-out:") || label.starts_with("retry:"))
+            {
+                LivenessOutcome::RecoversAfterRetry
             } else {
                 LivenessOutcome::Recovers
             }
@@ -213,6 +230,20 @@ mod tests {
         sim.set_starvation_bound(50);
         sim.spawn("worker", |ctx| ctx.yield_now());
         assert_eq!(classify_liveness(&sim.run()), LivenessOutcome::Recovers);
+
+        // Recovers-after-retry: completes cleanly, but the trace shows a
+        // withdrawal on the way — distinct from both ends.
+        let mut sim = Sim::new();
+        sim.spawn("patient", |ctx| {
+            ctx.emit("timed-out:sem", &[0]);
+            ctx.emit("retry:sem", &[1]);
+        });
+        assert_eq!(
+            classify_liveness(&sim.run()),
+            LivenessOutcome::RecoversAfterRetry
+        );
+        assert!(LivenessOutcome::Recovers < LivenessOutcome::RecoversAfterRetry);
+        assert!(LivenessOutcome::RecoversAfterRetry < LivenessOutcome::Degrades);
 
         // Degrades: completes, but a requester permanently gave up.
         let mut sim = Sim::new();

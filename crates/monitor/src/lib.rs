@@ -125,18 +125,44 @@ impl Cond {
     }
 
     /// Number of processes waiting on this condition.
+    ///
+    /// **Explore-unsafe probe**: records no footprint, so a monitor body
+    /// that branches on it is invisible to the object-granular prune.
+    /// Solution code must use [`Cond::len_ctx`]; this bare form exists
+    /// for test assertions and post-run inspection.
     pub fn len(&self) -> usize {
         self.queue.len()
     }
 
+    /// Instrumented [`Cond::len`] (footprint-recorded read).
+    pub fn len_ctx(&self, ctx: &Ctx) -> usize {
+        self.queue.len_ctx(ctx)
+    }
+
     /// Whether no process waits on this condition (Hoare's `¬queue`).
+    ///
+    /// **Explore-unsafe probe** — see [`Cond::len`]; solution code must
+    /// use [`Cond::is_empty_ctx`].
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
 
+    /// Instrumented [`Cond::is_empty`] (footprint-recorded read).
+    pub fn is_empty_ctx(&self, ctx: &Ctx) -> bool {
+        self.queue.is_empty_ctx(ctx)
+    }
+
     /// Priority of the frontmost waiter (Hoare's `minrank`), if any.
+    ///
+    /// **Explore-unsafe probe** — see [`Cond::len`]; solution code must
+    /// use [`Cond::min_priority_ctx`].
     pub fn min_priority(&self) -> Option<i64> {
         self.queue.min_priority()
+    }
+
+    /// Instrumented [`Cond::min_priority`] (footprint-recorded read).
+    pub fn min_priority_ctx(&self, ctx: &Ctx) -> Option<i64> {
+        self.queue.min_priority_ctx(ctx)
     }
 
     /// The condition's diagnostic name.
@@ -284,8 +310,17 @@ impl<S: Send> Monitor<S> {
     }
 
     /// Whether a previous holder died inside the monitor.
+    ///
+    /// **Explore-unsafe probe** — see [`Cond::len`]; solution code that
+    /// branches on poisoning must use [`Monitor::is_poisoned_ctx`].
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.lock().is_some()
+    }
+
+    /// Instrumented [`Monitor::is_poisoned`] (footprint-recorded read).
+    pub fn is_poisoned_ctx(&self, ctx: &Ctx) -> bool {
+        ctx.note_sync_obj_op(&self.obj, Access::Read);
+        self.is_poisoned()
     }
 
     /// Clones the poison verdict, recording the observation in the trace.

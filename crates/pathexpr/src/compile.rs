@@ -26,7 +26,7 @@ use std::fmt;
 
 /// Where a transition takes its token from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum TakePort {
+pub enum TakePort {
     /// Consume one token from a place.
     Place(usize),
     /// Join a burst (consuming the burst's outer token if it is closed).
@@ -35,7 +35,7 @@ pub(crate) enum TakePort {
 
 /// Where a transition puts its token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum PutPort {
+pub enum PutPort {
     /// Deposit one token into a place.
     Place(usize),
     /// Leave a burst (returning the outer token if this empties it).
@@ -44,7 +44,7 @@ pub(crate) enum PutPort {
 
 /// A burst (`{e}` or `n:(e)`) within one path.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct BurstDef {
+pub struct BurstDef {
     /// Entry port of the burst as a whole (consumed by the first joiner).
     pub outer_take: TakePort,
     /// Exit port of the burst as a whole (produced by the last leaver).
@@ -55,14 +55,14 @@ pub(crate) struct BurstDef {
 
 /// One syntactic occurrence of an operation in a path.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Occurrence {
+pub struct Occurrence {
     pub take: TakePort,
     pub put: PutPort,
 }
 
 /// A path compiled to its token machine.
 #[derive(Debug, Clone)]
-pub(crate) struct CompiledPath {
+pub struct CompiledPath {
     /// Initial token count per place (index = place id).
     pub initial: Vec<u32>,
     /// Burst definitions (index = burst id).
@@ -146,7 +146,7 @@ impl Compiler {
 }
 
 /// Compiles one path declaration.
-pub(crate) fn compile(path: &Path) -> CompiledPath {
+pub fn compile(path: &Path) -> CompiledPath {
     let mut c = Compiler {
         initial: Vec::new(),
         bursts: Vec::new(),
@@ -164,13 +164,13 @@ pub(crate) fn compile(path: &Path) -> CompiledPath {
 
 /// Mutable token state of one compiled path.
 #[derive(Debug, Clone)]
-pub(crate) struct PathState {
+pub struct PathState {
     pub tokens: Vec<u32>,
     pub counters: Vec<u32>,
 }
 
 impl PathState {
-    pub(crate) fn new(compiled: &CompiledPath) -> Self {
+    pub fn new(compiled: &CompiledPath) -> Self {
         PathState {
             tokens: compiled.initial.clone(),
             counters: vec![0; compiled.bursts.len()],
@@ -178,7 +178,7 @@ impl PathState {
     }
 
     /// Whether a `take` through `port` is currently possible.
-    pub(crate) fn can_take(&self, compiled: &CompiledPath, port: TakePort) -> bool {
+    pub fn can_take(&self, compiled: &CompiledPath, port: TakePort) -> bool {
         match port {
             TakePort::Place(p) => self.tokens[p] > 0,
             TakePort::Burst(b) => {
@@ -195,7 +195,7 @@ impl PathState {
     ///
     /// Panics if the take is not possible; call [`PathState::can_take`]
     /// first.
-    pub(crate) fn take(&mut self, compiled: &CompiledPath, port: TakePort) {
+    pub fn take(&mut self, compiled: &CompiledPath, port: TakePort) {
         match port {
             TakePort::Place(p) => {
                 assert!(self.tokens[p] > 0, "take from empty place {p}");
@@ -212,7 +212,7 @@ impl PathState {
     }
 
     /// Performs a `put` through `port`.
-    pub(crate) fn put(&mut self, compiled: &CompiledPath, port: PutPort) {
+    pub fn put(&mut self, compiled: &CompiledPath, port: PutPort) {
         match port {
             PutPort::Place(p) => self.tokens[p] += 1,
             PutPort::Burst(b) => {

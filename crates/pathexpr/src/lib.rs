@@ -44,3 +44,18 @@ mod parse;
 pub use ast::{Path, PathExpr};
 pub use machine::{PathResource, PredicateView};
 pub use parse::{parse_path, parse_paths, ParseError};
+
+/// Compiler internals shared with the real-thread backend.
+///
+/// `bloom-rt` re-implements the *runtime* (blocking, FIFO selection,
+/// poisoning) on OS threads, but the path grammar and the token-machine
+/// semantics of `take`/`put` must be the single source of truth — a
+/// divergence there would make the differential conformance suite
+/// compare two different languages. These items are re-exported for that
+/// one consumer; they are not a stable public API.
+#[doc(hidden)]
+pub mod backend {
+    pub use crate::compile::{
+        compile, BurstDef, CompiledPath, Occurrence, PathState, PutPort, TakePort,
+    };
+}

@@ -13,9 +13,12 @@
 //!
 //! * [`LiveScenario::TimeoutWithdrawal`] — a holder keeps the resource
 //!   busy past a contender's patience; the contender withdraws its timed
-//!   request cleanly and retries. Every mechanism's timed wait must
-//!   rescan its queues on withdrawal exactly as on release, so this cell
-//!   *recovers* across the board — the uniform-deadline-layer guarantee.
+//!   request cleanly and retries (the semaphore arm uses
+//!   [`bloom_sim::retry_with_backoff`], the bounded form of the loop the
+//!   other arms hand-roll). Every mechanism's timed wait must rescan its
+//!   queues on withdrawal exactly as on release, so this cell ends
+//!   *recovers-after-retry* across the board — served, but only after a
+//!   visible withdrawal — the uniform-deadline-layer guarantee.
 //! * [`LiveScenario::DeadlockRecovery`] — a genuine cyclic deadlock with
 //!   [`bloom_sim::SimConfig::deadlock_recovery`] enabled. What the abort
 //!   costs depends on what the victim held: a philosopher blocked on a
@@ -49,7 +52,7 @@ use bloom_monitor::{Cond, Monitor, MonitorCtx};
 use bloom_pathexpr::PathResource;
 use bloom_semaphore::{Semaphore, TryResult};
 use bloom_serializer::Serializer;
-use bloom_sim::{Ctx, Sim, SimError, SimReport};
+use bloom_sim::{retry_with_backoff, Backoff, Ctx, Sim, SimError, SimReport};
 use std::fmt;
 use std::sync::Arc;
 
@@ -261,8 +264,9 @@ fn monitor_release(mc: &MonitorCtx<'_, bool>, free: &Cond) {
 /// Builds the timeout-withdrawal scenario with an explicit contender
 /// patience (the default-parameter form is
 /// [`liveness_sim`]`(mech, TimeoutWithdrawal)`). A patience below
-/// [`HOLD`] forces at least one withdrawal; at or above it the timed
-/// wait succeeds outright. Either way the cell must classify *recovers*.
+/// [`HOLD`] forces at least one withdrawal and the cell classifies
+/// *recovers-after-retry*; at or above it the timed wait succeeds
+/// outright and the cell classifies plain *recovers*.
 pub fn timeout_withdrawal_sim(mech: LiveMechanism, patience: u64) -> Sim {
     let mut sim = Sim::new();
     match mech {
@@ -281,13 +285,22 @@ pub fn timeout_withdrawal_sim(mech: LiveMechanism, patience: u64) -> Sim {
             sim.spawn("contender", move |ctx| {
                 ctx.yield_now();
                 request(ctx, USE, &[1]);
-                while s.p_by(ctx, patience) == TryResult::TimedOut {
-                    ctx.emit("timed-out:res", &[]);
+                // The bounded retry loop the other arms hand-roll: 8
+                // attempts of `patience` ticks each always outlasts the
+                // holder's occupancy, so the loop acquires rather than
+                // gives up — and the helper's `timed-out:`/`retry:` paper
+                // trail is what makes the cell classify
+                // *recovers-after-retry* instead of plain *recovers*.
+                let outcome =
+                    retry_with_backoff(ctx, "res", &Backoff::fixed(patience, 8), |c, p| {
+                        s.p_by(c, p) == TryResult::Acquired
+                    });
+                if outcome.acquired() {
+                    enter(ctx, USE, &[1]);
+                    work(ctx);
+                    exit(ctx, USE, &[1]);
+                    s.v(ctx);
                 }
-                enter(ctx, USE, &[1]);
-                work(ctx);
-                exit(ctx, USE, &[1]);
-                s.v(ctx);
             });
         }
         LiveMechanism::MonitorHoare | LiveMechanism::MonitorMesa => {
@@ -827,18 +840,19 @@ mod tests {
     use bloom_core::liveness::{check_recovery_containment, check_starvation_free};
 
     /// The uniform-deadline-layer guarantee: a timed-out contender
-    /// withdraws cleanly and its untimed retry succeeds, under every
-    /// mechanism.
+    /// withdraws cleanly and a later attempt succeeds, under every
+    /// mechanism — classified *recovers-after-retry*, never lumped into
+    /// *degrades*.
     #[test]
     fn timeout_withdrawal_recovers_everywhere() {
         for mech in LiveMechanism::ALL {
             let result = liveness_scenario(mech, LiveScenario::TimeoutWithdrawal);
             assert_eq!(
                 classify_liveness(&result),
-                LivenessOutcome::Recovers,
+                LivenessOutcome::RecoversAfterRetry,
                 "{mech}: {result:?}"
             );
-            let report = result.expect("classified as recovers");
+            let report = result.expect("classified as recovers-after-retry");
             assert!(
                 report
                     .trace
@@ -846,6 +860,22 @@ mod tests {
                     .any(|(_, label, _)| label == "timed-out:res"),
                 "{mech}: patience {PATIENCE} < hold {HOLD} must force a withdrawal"
             );
+            assert_eq!(
+                report.trace.count_user("gave-up:res"),
+                0,
+                "{mech}: the retry budget must outlast the holder"
+            );
+            if matches!(
+                mech,
+                LiveMechanism::SemaphoreWeak | LiveMechanism::SemaphoreStrong
+            ) {
+                // The semaphore arm runs `retry_with_backoff`, whose paper
+                // trail includes the `retry:` marker before each re-attempt.
+                assert!(
+                    report.trace.count_user("retry:res") >= 1,
+                    "{mech}: the backoff helper must log its re-attempts"
+                );
+            }
         }
     }
 

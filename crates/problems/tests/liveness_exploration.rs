@@ -45,6 +45,7 @@ fn verdicts(journal: &[String]) -> Vec<LivenessOutcome> {
         .iter()
         .map(|line| match line.rsplit(' ').next().unwrap() {
             "recovers" => LivenessOutcome::Recovers,
+            "recovers-after-retry" => LivenessOutcome::RecoversAfterRetry,
             "degrades" => LivenessOutcome::Degrades,
             other => {
                 assert_eq!(other, "wedges");

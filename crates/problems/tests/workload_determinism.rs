@@ -1,0 +1,140 @@
+//! Property suite for the workload DSL's load-bearing invariant: a
+//! [`WorkloadSpec`] is a *pure function* from its fields to its
+//! [`ClientPlan`]s.
+//!
+//! The R3 experiments and the sampled law checker both lean on this —
+//! a sampled counterexample is replayable only if rebuilding the spec
+//! reproduces the exact population the failing schedule ran against. So
+//! the properties here sweep every arrival × think-time combination the
+//! DSL offers and demand *byte identity* (via the full `Debug`
+//! serialization, not just `PartialEq`) across repeated expansions and
+//! across expansions performed concurrently on different numbers of
+//! worker threads. Wall-clock time, global RNG state, or iteration-order
+//! dependence anywhere in the expansion path would fail these within a
+//! few proptest cases.
+
+#![deny(deprecated)]
+
+use bloom_problems::workload::{Arrival, ClientPlan, Role, Think, WorkloadSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Every arrival pattern the DSL can express, with parameter ranges wide
+/// enough to hit the degenerate corners (zero gaps, burst size 1,
+/// `mean_gap` 0 — the documented degeneration to `Together`).
+fn arrival_strategy() -> BoxedStrategy<Arrival> {
+    prop_oneof![
+        Just(Arrival::Together),
+        (0u64..500).prop_map(|gap| Arrival::Staggered { gap }),
+        (1usize..32, 0u64..500).prop_map(|(size, gap)| Arrival::Bursts { size, gap }),
+        (0u64..64, 0u64..256).prop_map(|(mean_gap, cap)| Arrival::Poisson { mean_gap, cap }),
+    ]
+    .boxed()
+}
+
+/// Every think-time distribution, including the heavy-tailed Zipf corner
+/// that draws 128-bit randomness.
+fn think_strategy() -> BoxedStrategy<Think> {
+    prop_oneof![
+        Just(Think::None),
+        (0u64..64).prop_map(Think::Fixed),
+        (0u64..32, 0u64..32).prop_map(|(a, b)| Think::Uniform {
+            lo: a.min(b),
+            hi: a.max(b),
+        }),
+        (1u64..64, 1u32..4).prop_map(|(max, exponent)| Think::Zipf { max, exponent }),
+    ]
+    .boxed()
+}
+
+/// Role mixes from none (every client is `"client"`) through skewed to
+/// zero-weight corner cases.
+fn mix_strategy() -> BoxedStrategy<Vec<Role>> {
+    prop_oneof![
+        Just(Vec::<Role>::new()),
+        (0u32..10, 0u32..10).prop_map(|(r, w)| vec![
+            Role {
+                name: "reader",
+                weight: r,
+            },
+            Role {
+                name: "writer",
+                weight: w,
+            },
+        ]),
+    ]
+    .boxed()
+}
+
+fn spec_strategy() -> BoxedStrategy<WorkloadSpec> {
+    (
+        (any::<u64>(), 0usize..120, 0usize..6),
+        (arrival_strategy(), think_strategy(), mix_strategy()),
+    )
+        .prop_map(|((seed, clients, ops), (arrival, think, mix))| {
+            WorkloadSpec::new(seed)
+                .clients(clients)
+                .ops(ops)
+                .arrival(arrival)
+                .think(think)
+                .mix(&mix)
+        })
+        .boxed()
+}
+
+/// The byte-identity yardstick: the complete `Debug` rendering of every
+/// plan field. Comparing strings (not just `Vec<ClientPlan>` equality)
+/// means a future non-`Eq` field cannot silently weaken the check.
+fn serialize(plans: &[ClientPlan]) -> String {
+    format!("{plans:#?}")
+}
+
+proptest! {
+    /// Same spec, same bytes — expansion after expansion, for every
+    /// arrival/think/mix combination.
+    #[test]
+    fn expansion_is_a_pure_function_of_the_spec(spec in spec_strategy()) {
+        let first = serialize(&spec.plans());
+        for _ in 0..3 {
+            prop_assert_eq!(&first, &serialize(&spec.plans()));
+        }
+        // Rebuilding the spec from scratch (a fresh clone) changes
+        // nothing either: no hidden state survives outside the fields.
+        prop_assert_eq!(&first, &serialize(&spec.clone().plans()));
+    }
+
+    /// Expanding the same spec concurrently from 1, 2, 4, or 8 worker
+    /// threads yields the same bytes as the serial expansion — the
+    /// generator owns all of its state, so parallel R3 workers can each
+    /// rebuild the population locally without coordination.
+    #[test]
+    fn expansion_is_identical_across_worker_counts(spec in spec_strategy()) {
+        let reference = serialize(&spec.plans());
+        let spec = Arc::new(spec);
+        for workers in [1usize, 2, 4, 8] {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let spec = Arc::clone(&spec);
+                    std::thread::spawn(move || serialize(&spec.plans()))
+                })
+                .collect();
+            for h in handles {
+                let got = h.join().expect("expansion never panics");
+                prop_assert_eq!(&reference, &got, "diverged at {} workers", workers);
+            }
+        }
+    }
+
+    /// The structural facts the experiments rely on hold for every
+    /// combination: one plan per client, indexed in order, `ops` think
+    /// entries each, and every role drawn from the mix (or the default).
+    #[test]
+    fn expansion_shape_matches_the_spec(spec in spec_strategy()) {
+        let plans = spec.plans();
+        prop_assert_eq!(plans.len(), spec.client_count());
+        for (i, plan) in plans.iter().enumerate() {
+            prop_assert_eq!(plan.index, i);
+            prop_assert_eq!(plan.thinks.len(), spec.ops_count());
+        }
+    }
+}

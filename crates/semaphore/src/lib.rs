@@ -153,6 +153,15 @@ impl Semaphore {
     }
 
     /// Non-blocking P: takes a permit if one is immediately available.
+    ///
+    /// **Explore-unsafe**: records no footprint. The count is shared
+    /// state, and taking (or failing to take) a permit both mutates and
+    /// branches on it — a solution calling this bare form inside an
+    /// explored schedule is invisible to the object-granular prune, so
+    /// the explorer may skip a sibling reordering that would change the
+    /// outcome (see `tests/prune_soundness.rs`). Solution code must use
+    /// [`Semaphore::try_p_ctx`]; this form exists for test assertions and
+    /// post-run inspection only.
     pub fn try_p(&self) -> bool {
         let mut count = self.count.lock();
         if *count > 0 {
@@ -161,6 +170,14 @@ impl Semaphore {
         } else {
             false
         }
+    }
+
+    /// Instrumented [`Semaphore::try_p`]: records the count access in the
+    /// quantum's footprint (a write — the attempt may decrement, and the
+    /// failure branch is invalidated by any concurrent `v`).
+    pub fn try_p_ctx(&self, ctx: &Ctx) -> bool {
+        ctx.note_sync_obj_op(&self.obj, Access::Write);
+        self.try_p()
     }
 
     /// Timed P: blocks until the [`Deadline`] — relative
@@ -284,13 +301,30 @@ impl Semaphore {
     }
 
     /// Current count (permits immediately available).
+    ///
+    /// **Explore-unsafe probe** — see [`Semaphore::try_p`]; solution code
+    /// that branches on the count must use [`Semaphore::value_ctx`].
     pub fn value(&self) -> u64 {
         *self.count.lock()
     }
 
+    /// Instrumented [`Semaphore::value`] (footprint-recorded read).
+    pub fn value_ctx(&self, ctx: &Ctx) -> u64 {
+        ctx.note_sync_obj_op(&self.obj, Access::Read);
+        self.value()
+    }
+
     /// Number of processes blocked in [`Semaphore::p`].
+    ///
+    /// **Explore-unsafe probe** — see [`Semaphore::try_p`]; solution code
+    /// that branches on the queue must use [`Semaphore::waiting_ctx`].
     pub fn waiting(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Instrumented [`Semaphore::waiting`] (footprint-recorded read).
+    pub fn waiting_ctx(&self, ctx: &Ctx) -> usize {
+        self.queue.len_ctx(ctx)
     }
 
     /// The configured fairness discipline.
@@ -359,8 +393,17 @@ impl BinarySemaphore {
     }
 
     /// Whether the semaphore is currently open.
+    ///
+    /// **Explore-unsafe probe** — see [`Semaphore::try_p`]; solution code
+    /// that branches on the state must use
+    /// [`BinarySemaphore::is_open_ctx`].
     pub fn is_open(&self) -> bool {
         self.inner.value() == 1
+    }
+
+    /// Instrumented [`BinarySemaphore::is_open`] (footprint-recorded).
+    pub fn is_open_ctx(&self, ctx: &Ctx) -> bool {
+        self.inner.value_ctx(ctx) == 1
     }
 }
 
@@ -425,8 +468,17 @@ impl Lock {
     }
 
     /// Whether a previous holder died inside a closure section.
+    ///
+    /// **Explore-unsafe probe** — see [`Semaphore::try_p`]; solution code
+    /// that branches on poisoning must use [`Lock::is_poisoned_ctx`].
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.lock().is_some()
+    }
+
+    /// Instrumented [`Lock::is_poisoned`] (footprint-recorded read).
+    pub fn is_poisoned_ctx(&self, ctx: &Ctx) -> bool {
+        ctx.note_sync_obj_op(&self.sem.obj, Access::Read);
+        self.is_poisoned()
     }
 
     /// The diagnostic name this lock was created with.

@@ -82,6 +82,7 @@ mod metrics;
 mod parallel;
 mod policy;
 pub mod prelude;
+mod retry;
 mod sample;
 mod sim;
 mod trace;
@@ -99,6 +100,7 @@ pub use kernel::{ProcessStatus, ProcessSummary, SimReport, StarvationFlag};
 pub use metrics::{PidMetrics, ReplayDivergence, SimMetrics};
 pub use parallel::{ParallelExplorer, ScheduleRecord};
 pub use policy::{FifoPolicy, LifoPolicy, RandomPolicy, ReplayPolicy, SchedPolicy, SplitMix64};
+pub use retry::{retry_with_backoff, Backoff, RetryOutcome};
 pub use sample::{
     replay_exact, replay_prefix, shrink_prefix, PctPolicy, SampleRecord, SampleStats,
     SampleStrategy, Sampler,

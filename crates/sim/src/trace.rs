@@ -137,6 +137,18 @@ impl Trace {
         });
     }
 
+    /// Appends an event, assigning the next dense `seq`.
+    ///
+    /// This is the append path for *external backends*: the real-thread
+    /// runtime (`bloom-rt`) builds a [`Trace`] event by event so the
+    /// checkers in `bloom-core` — which consume traces, not kernels — run
+    /// on real executions unchanged. Inside the simulator the kernel is
+    /// the only writer; external callers own their trace outright and
+    /// serialize appends however they synchronize their log.
+    pub fn record(&mut self, time: Time, pid: Pid, kind: EventKind) {
+        self.push(time, pid, kind);
+    }
+
     /// All events, in order.
     pub fn events(&self) -> &[Event] {
         &self.events

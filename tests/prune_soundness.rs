@@ -35,6 +35,11 @@ enum Step {
     /// `p`, emit `enter:c<k>`, yield once, emit `exit:c<k>`, `v` on
     /// semaphore `k` — a critical section with a preemption window inside.
     Crit(usize),
+    /// `try_p_ctx` on semaphore `k`: the critical section if a permit was
+    /// free, an observable `miss` note otherwise. The branch's outcome
+    /// depends on the schedule, so the attempt must be footprint-visible
+    /// to the prune — the regression case for the bare `try_p` blind spot.
+    TryCrit(usize),
     /// A user event with no synchronization at all.
     Note(u8),
 }
@@ -42,6 +47,7 @@ enum Step {
 fn step() -> impl Strategy<Value = Step> {
     prop_oneof![
         (0usize..2).prop_map(Step::Crit),
+        (0usize..2).prop_map(Step::TryCrit),
         (0u8..3).prop_map(Step::Note),
     ]
 }
@@ -73,6 +79,16 @@ fn build_sim(workload: &(Vec<Step>, Vec<Step>, Option<u8>)) -> Sim {
                         ctx.yield_now();
                         ctx.emit(&format!("exit:c{k}"), &[]);
                         sems[k].v(ctx);
+                    }
+                    Step::TryCrit(k) => {
+                        if sems[k].try_p_ctx(ctx) {
+                            ctx.emit(&format!("enter:c{k}"), &[]);
+                            ctx.yield_now();
+                            ctx.emit(&format!("exit:c{k}"), &[]);
+                            sems[k].v(ctx);
+                        } else {
+                            ctx.emit(&format!("miss:{k}"), &[]);
+                        }
                     }
                     Step::Note(tag) => ctx.emit(&format!("note:{i}:{tag}"), &[]),
                 }
@@ -110,6 +126,61 @@ fn line(result: &Result<SimReport, SimError>) -> String {
         .map(|(e, label, params)| format!("{}:{label}:{params:?}", e.pid))
         .collect();
     format!("{} {}", result.is_ok(), trace.join(","))
+}
+
+/// The `try_p` footprint blind spot, pinned as a deterministic case: a
+/// nonblocking attempt races a `v`, so the hit/miss branch depends on the
+/// schedule. The probe sits alone in its quantum — the `yield_now`
+/// separates it from the branch's emission, so nothing *else* in that
+/// quantum leaves a footprint. The bare `Semaphore::try_p` records none
+/// either: the probing quantum looks pure, the prune commutes it past the
+/// `v`, and the pruned exploration loses one of the two behaviors (swap
+/// in `try_p` and this test fails). The instrumented `try_p_ctx` marks
+/// the access; both explorations must observe both behaviors.
+#[test]
+fn instrumented_try_p_is_visible_to_the_prune() {
+    let build = || {
+        let mut sim = Sim::new();
+        let sem = Arc::new(Semaphore::strong("s", 0));
+        let s1 = Arc::clone(&sem);
+        sim.spawn("taker", move |ctx| {
+            let got = s1.try_p_ctx(ctx);
+            ctx.yield_now();
+            if got {
+                ctx.emit("got", &[]);
+                s1.v(ctx);
+            } else {
+                ctx.emit("missed", &[]);
+            }
+        });
+        let s2 = Arc::clone(&sem);
+        sim.spawn("giver", move |ctx| s2.v(ctx));
+        sim
+    };
+    let collect = |prune: bool| {
+        let mut behaviors = BTreeSet::new();
+        let stats = ExploreConfig::new(BUDGET)
+            .prune(prune)
+            .serial()
+            .run(build, |_, result| {
+                let report = result.as_ref().expect("no deadlock possible");
+                let labels: Vec<String> = report
+                    .trace
+                    .user_events()
+                    .map(|(_, label, _)| label.to_string())
+                    .collect();
+                behaviors.insert(labels.join(","));
+            });
+        assert!(stats.complete, "tiny tree must be fully explored");
+        behaviors
+    };
+    let unpruned = collect(false);
+    assert_eq!(
+        unpruned.len(),
+        2,
+        "the race has exactly two behaviors: {unpruned:?}"
+    );
+    assert_eq!(collect(true), unpruned, "prune must keep both behaviors");
 }
 
 proptest! {

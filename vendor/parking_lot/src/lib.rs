@@ -13,6 +13,7 @@
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError, TryLockError};
+use std::time::Duration;
 
 /// A mutual-exclusion primitive (`parking_lot::Mutex` API subset).
 #[derive(Default)]
@@ -112,6 +113,27 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// Blocks until notified or until `timeout` elapses, atomically
+    /// releasing the guarded mutex (`parking_lot::Condvar::wait_for`).
+    /// Like the real crate, spurious wakeups are possible and the caller
+    /// re-checks its predicate in a loop.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present before wait");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wakes one waiter. Returns whether a thread could have been woken
     /// (always `true` here; std does not report it, parking_lot does —
     /// callers in this workspace ignore the value).
@@ -130,6 +152,19 @@ impl Condvar {
 impl fmt::Debug for Condvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("Condvar")
+    }
+}
+
+/// Result of a [`Condvar::wait_for`]: whether the wait ended by timeout
+/// rather than a notification (`parking_lot::WaitTimeoutResult` API
+/// subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait timed out without a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -172,6 +207,36 @@ mod tests {
             *m.lock() = true;
             cv.notify_one();
         }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_and_delivers() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Timeout path: nobody notifies, so the wait must come back with
+        // `timed_out()` and the lock re-held.
+        {
+            let (m, cv) = &*pair;
+            let mut ready = m.lock();
+            let r = cv.wait_for(&mut ready, Duration::from_millis(10));
+            assert!(r.timed_out());
+            assert!(!*ready, "guard is live again after the timeout");
+        }
+        // Delivery path: a notifying thread flips the flag; the waiter
+        // must observe it well inside the generous timeout.
+        let pair2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            let r = cv.wait_for(&mut ready, Duration::from_secs(5));
+            assert!(!r.timed_out() || *ready, "five seconds is plenty");
+        }
+        drop(ready);
         h.join().unwrap();
     }
 
