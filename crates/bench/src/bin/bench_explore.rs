@@ -1,10 +1,15 @@
 //! Exploration baselines: serial [`Explorer`] vs the work-sharing
 //! [`ParallelExplorer`] at 1/2/4/8 workers over two real schedule trees
-//! (E1, throughput), and the equivalence prune's two layers — the pure-
+//! (E1, throughput), the equivalence prune's two layers — the pure-
 //! stutter-only prune of PR 3 vs the object-granular sleep-set prune —
 //! on the same trees plus a stutter-heavy dining scenario (E2, schedule
-//! counts). Writes `BENCH_explore.json` at the repo root (archived in
-//! EXPERIMENTS.md §E1/§E2).
+//! counts), and the exploration-kernel execution modes — legacy
+//! spawn-per-run replay vs the pooled host kernel, replay vs
+//! checkpointed resume — on the pruned anomaly+background tree (E3,
+//! throughput, with schedule/prune counts asserted identical across
+//! modes). Writes `BENCH_explore.json` at the repo root (archived in
+//! EXPERIMENTS.md §E1/§E2/§E3); the CI explore job gates on the E3
+//! section.
 //!
 //! ```text
 //! cargo run --release -p bloom-bench --bin bench_explore            # E1/E2
@@ -44,9 +49,14 @@ fn recovery_tree() -> Sim {
 }
 
 /// The footnote-3 anomaly tree (two writers, one reader, Figure-1 paths):
-/// the F1a report section's workload.
-fn anomaly_tree() -> Sim {
-    let mut sim = Sim::new();
+/// the F1a report section's workload. `reuse_hosts: false` selects the
+/// legacy spawn-per-run kernel for the E3 baseline; everything else uses
+/// the pooled default.
+fn anomaly_tree_on(reuse_hosts: bool) -> Sim {
+    let mut sim = Sim::with_config(SimConfig {
+        reuse_hosts,
+        ..SimConfig::default()
+    });
     let db = rw::make(MechanismId::PathV1, RwVariant::ReadersPriority);
     for i in 0..2 {
         let db = Arc::clone(&db);
@@ -61,6 +71,10 @@ fn anomaly_tree() -> Sim {
     sim
 }
 
+fn anomaly_tree() -> Sim {
+    anomaly_tree_on(true)
+}
+
 /// The footnote-3 tree as explored for the prune comparison: the
 /// Figure-1 scenario of [`anomaly_tree`] plus one background process
 /// working a private semaphore. Every quantum of the bare scenario
@@ -71,8 +85,8 @@ fn anomaly_tree() -> Sim {
 /// nothing the anomaly processes touch, which only per-object footprints
 /// can see. This is also the representative case: exploring a subsystem
 /// embedded in a larger program.
-fn anomaly_bg_tree() -> Sim {
-    let mut sim = anomaly_tree();
+fn anomaly_bg_tree_on(reuse_hosts: bool) -> Sim {
+    let mut sim = anomaly_tree_on(reuse_hosts);
     let side = Arc::new(bloom_semaphore::Semaphore::strong("side", 1));
     sim.spawn("background", move |ctx| {
         side.p(ctx);
@@ -80,6 +94,10 @@ fn anomaly_bg_tree() -> Sim {
         side.v(ctx);
     });
     sim
+}
+
+fn anomaly_bg_tree() -> Sim {
+    anomaly_bg_tree_on(true)
 }
 
 /// Stutter-heavy dining scenario for the prune measurement: extra bare
@@ -316,6 +334,95 @@ fn compare_prunes(name: &str, setup: impl Fn() -> Sim + Sync) -> String {
     )
 }
 
+/// E3: the exploration-kernel execution modes on the pruned
+/// anomaly+background tree (1112 granular schedules). Four modes, one
+/// axis each:
+///
+/// * `legacy-replay` — spawn-per-run kernel (`reuse_hosts: false`),
+///   whole-prefix replay: the pre-pool baseline every ratio is against;
+/// * `pooled-replay` — host-pool kernel, whole-prefix replay: the
+///   default, and the fastest (the conservation bound in DESIGN.md
+///   §2.13 explains why checkpointing cannot beat it — every held run
+///   still executes its full prefix at birth);
+/// * `pooled-dense-64` / `pooled-geom-8` — host-pool kernel resuming
+///   from a spine of held runs under the two non-replay
+///   [`CheckpointSpacing`] policies.
+///
+/// Soundness while measuring: all four modes must report identical
+/// schedule and prune counts — the CI explore job re-asserts this from
+/// the JSON, plus a throughput-ratio floor for the pooled kernel.
+fn bench_kernel() -> String {
+    // Warm the host pool so its one-time thread spawns don't bill the
+    // first-measured mode.
+    anomaly_bg_tree().run().expect("warmup run is clean");
+    let modes: [(&str, bool, CheckpointSpacing); 4] = [
+        ("legacy-replay", false, CheckpointSpacing::Replay),
+        ("pooled-replay", true, CheckpointSpacing::Replay),
+        (
+            "pooled-dense-64",
+            true,
+            CheckpointSpacing::Dense { budget: 64 },
+        ),
+        (
+            "pooled-geom-8",
+            true,
+            CheckpointSpacing::Geometric { budget: 8 },
+        ),
+    ];
+    let iters = 5;
+    let mut baseline: Option<(usize, usize, f64)> = None;
+    let mut entries = Vec::new();
+    for (name, reuse_hosts, spacing) in modes {
+        let config = ExploreConfig::new(usize::MAX)
+            .prune(true)
+            .checkpoint(spacing);
+        let start = Instant::now();
+        let mut stats = ExploreStats::default();
+        for _ in 0..iters {
+            let mut errors = 0usize;
+            stats = config.serial().run(
+                || anomaly_bg_tree_on(reuse_hosts),
+                |_, result| errors += usize::from(result.is_err()),
+            );
+            assert!(stats.complete);
+            std::hint::black_box(errors);
+        }
+        let secs = start.elapsed().as_secs_f64() / iters as f64;
+        let per_sec = stats.schedules as f64 / secs;
+        let speedup = match &baseline {
+            None => {
+                baseline = Some((stats.schedules, stats.pruned, secs));
+                1.0
+            }
+            Some((schedules, pruned, legacy_secs)) => {
+                assert_eq!(
+                    stats.schedules, *schedules,
+                    "{name}: kernel mode changed the schedule count"
+                );
+                assert_eq!(
+                    stats.pruned, *pruned,
+                    "{name}: kernel mode changed the prune count"
+                );
+                legacy_secs / secs
+            }
+        };
+        eprintln!(
+            "kernel({name}): {} schedules in {secs:.3}s ({per_sec:.0}/s, {speedup:.2}x legacy)",
+            stats.schedules
+        );
+        entries.push(format!(
+            "{{ \"mode\": \"{name}\", \"schedules\": {}, \"pruned\": {}, \
+             \"secs\": {secs:.6}, \"schedules_per_sec\": {per_sec:.0}, \
+             \"speedup_vs_legacy\": {speedup:.2} }}",
+            stats.schedules, stats.pruned
+        ));
+    }
+    format!(
+        "{{\n      \"tree\": \"anomaly+background\",\n      \"modes\": [\n        {}\n      ]\n    }}",
+        entries.join(",\n        ")
+    )
+}
+
 /// `--sample`: throughput of the R3 samplers on one scaled starvation
 /// tree. Violation counts are deterministic (seeded, worker-count
 /// independent — asserted here across every worker count); the
@@ -391,8 +498,11 @@ fn bench_samplers() -> Vec<String> {
 
 fn main() {
     let sample = std::env::args().any(|a| a == "--sample");
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    eprintln!("host: {cores} core(s) available");
+    let meta = bloom_bench::hostmeta::json_fields();
+    eprintln!(
+        "host: {} core(s) available",
+        bloom_bench::hostmeta::host_cores()
+    );
     let trees = [
         bench_tree("liveness-recovery", 20, recovery_tree),
         bench_tree("anomaly", 100, anomaly_tree),
@@ -402,13 +512,16 @@ fn main() {
         compare_prunes("anomaly+background", anomaly_bg_tree),
         compare_prunes("dining-strong-3", || dining_tree(3)),
     ];
+    let kernel = [bench_kernel()];
     let sampling = if sample { bench_samplers() } else { Vec::new() };
 
     let json = format!(
-        "{{\n  \"host_cores\": {cores},\n  \"trees\": [\n    {}\n  ],\n  \
-         \"pruning\": [\n    {}\n  ],\n  \"sampling\": [{}]\n}}\n",
+        "{{\n  {meta},\n  \"trees\": [\n    {}\n  ],\n  \
+         \"pruning\": [\n    {}\n  ],\n  \"kernel\": [\n    {}\n  ],\n  \
+         \"sampling\": [{}]\n}}\n",
         trees.join(",\n    "),
         pruning.join(",\n    "),
+        kernel.join(",\n    "),
         if sampling.is_empty() {
             String::new()
         } else {

@@ -409,8 +409,11 @@ fn readers_writers(rounds: usize) -> (String, String) {
 }
 
 fn main() {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    eprintln!("host: {cores} core(s) available");
+    let meta = bloom_bench::hostmeta::json_fields();
+    eprintln!(
+        "host: {} core(s) available",
+        bloom_bench::hostmeta::host_cores()
+    );
 
     let mut acquire_entries = Vec::new();
     for b in &ACQUIRES {
@@ -432,7 +435,7 @@ fn main() {
     ];
 
     let json = format!(
-        "{{\n  \"host_cores\": {cores},\n  \"tick_micros\": 200,\n  \
+        "{{\n  {meta},\n  \"tick_micros\": 200,\n  \
          \"acquire\": [\n    {}\n  ],\n  \"problems\": [\n    {}\n  ]\n}}\n",
         acquire_entries.join(",\n    "),
         problems.join(",\n    ")

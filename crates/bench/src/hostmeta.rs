@@ -1,0 +1,89 @@
+//! Host metadata stamped into the measurement artifacts.
+//!
+//! `BENCH_explore.json` and `BENCH_realthread.json` are wall-clock
+//! measurements, so their numbers are only meaningful relative to the
+//! host that produced them. Both binaries stamp the same three fields —
+//! core count, compiler, and date — through this module so the two
+//! artifacts stay comparable and a rebaseline is self-describing.
+//!
+//! Wall-clock access lives here and in the measurement binaries only;
+//! nothing deterministic (the report, the simulator, the checkers) may
+//! read it.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Number of hardware threads available to this process.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// `rustc --version` of the toolchain on `PATH`, or `"unknown"` when the
+/// compiler cannot be queried (the artifact is still valid, just less
+/// self-describing).
+pub fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, computed from the Unix epoch with
+/// the standard civil-from-days conversion (no date-handling crate —
+/// the workspace takes no new dependencies for a timestamp).
+pub fn today_utc() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch to proleptic Gregorian (year, month, day).
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (y + i64::from(m <= 2), m, d)
+}
+
+/// The shared leading JSON fields of both measurement artifacts, without
+/// surrounding braces: `"host_cores": …, "rustc": …, "date": …`.
+pub fn json_fields() -> String {
+    format!(
+        "\"host_cores\": {},\n  \"rustc\": \"{}\",\n  \"date\": \"{}\"",
+        host_cores(),
+        rustc_version().replace('"', "'"),
+        today_utc()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_from_days_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29)); // leap day
+        assert_eq!(civil_from_days(19_783), (2024, 3, 1));
+        assert_eq!(civil_from_days(20_493), (2026, 2, 9));
+    }
+
+    #[test]
+    fn today_is_plausible() {
+        let today = today_utc();
+        assert_eq!(today.len(), 10);
+        assert!(today.as_str() >= "2026-01-01", "clock sanity: {today}");
+    }
+}

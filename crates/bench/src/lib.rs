@@ -33,6 +33,7 @@
 //! The `report` binary prints them all; `EXPERIMENTS.md` archives the
 //! output.
 
+pub mod hostmeta;
 pub mod rt_conformance;
 
 use bloom_core::checks::{

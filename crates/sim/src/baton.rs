@@ -76,12 +76,24 @@ pub(crate) enum Report {
     Slept { ticks: u64 },
     /// The process closure returned normally.
     Finished,
-    /// The process closure panicked with the given message.
-    Panicked { message: String },
+    /// The process closure panicked with the given message. Carries the
+    /// panicker's pid because under the inline continuation path (see
+    /// `kernel::stop_process`) the scheduler loop's notion of "the last
+    /// process I dispatched" can be several quanta stale.
+    Panicked {
+        pid: crate::types::Pid,
+        message: String,
+    },
     /// The process finished unwinding after a kill-point (fault injection).
     Killed,
     /// The process finished unwinding after a deadlock-recovery abort.
     Aborted,
+    /// The stopping process already accounted for its own stop inline
+    /// (phase 3) but hit a condition only the scheduler loop can handle —
+    /// run termination, an empty ready list (timers or deadlock), the step
+    /// budget, or a held-run pause point. The loop must re-run phase 1
+    /// from scratch and must NOT run phase 3 for this report.
+    Rescan,
 }
 
 #[cfg(test)]

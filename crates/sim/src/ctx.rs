@@ -2,7 +2,7 @@
 
 use crate::baton::Report;
 use crate::footprint::{merge_access, Access, ObjId};
-use crate::kernel::{obey, ProcessStatus, Shared, TimerKind};
+use crate::kernel::{obey, stop_process, ProcessStatus, Shared, StopOutcome, TimerKind};
 use crate::trace::EventKind;
 use crate::types::{Deadline, Pid, Time};
 use std::sync::atomic::Ordering;
@@ -179,8 +179,11 @@ impl Ctx {
             let st = self.shared.state.lock();
             Arc::clone(&st.procs[self.pid.index()].baton)
         };
-        self.shared.sched_baton.put(Report::Yielded);
-        obey(baton.take());
+        match stop_process(&self.shared, self.pid, Report::Yielded) {
+            // The inline continuation picked us right back: keep running.
+            StopOutcome::SelfResume => {}
+            StopOutcome::Handed => obey(baton.take()),
+        }
     }
 
     /// Sleeps for `ticks` quanta of virtual time.
@@ -195,8 +198,12 @@ impl Ctx {
             let st = self.shared.state.lock();
             Arc::clone(&st.procs[self.pid.index()].baton)
         };
-        self.shared.sched_baton.put(Report::Slept { ticks });
-        obey(baton.take());
+        match stop_process(&self.shared, self.pid, Report::Slept { ticks }) {
+            // A sleeping process leaves the ready list, so it can never be
+            // the inline continuation's next pick.
+            StopOutcome::SelfResume => unreachable!("a sleeping process cannot be re-picked"),
+            StopOutcome::Handed => obey(baton.take()),
+        }
     }
 
     /// Parks this process until another process calls [`Ctx::unpark`] on it.
@@ -219,10 +226,16 @@ impl Ctx {
             Arc::clone(&st.procs[self.pid.index()].baton)
         };
         loop {
-            self.shared.sched_baton.put(Report::Parked {
+            let report = Report::Parked {
                 reason: reason.to_string(),
-            });
-            obey(baton.take());
+            };
+            match stop_process(&self.shared, self.pid, report) {
+                // A parked process leaves the ready list (and fault-plan
+                // spurious wakes never arm the inline path), so it can
+                // never be the inline continuation's next pick.
+                StopOutcome::SelfResume => unreachable!("a parked process cannot be re-picked"),
+                StopOutcome::Handed => obey(baton.take()),
+            }
             // A fault-plan spurious wake resumed us without a matching
             // unpark: absorb it by re-parking, so mechanisms never observe
             // a wake they did not grant. (A real unpark that raced the
@@ -270,11 +283,14 @@ impl Ctx {
             );
             Arc::clone(&st.procs[self.pid.index()].baton)
         };
-        self.shared.sched_baton.put(Report::ParkedTimeout {
+        let report = Report::ParkedTimeout {
             reason: reason.to_string(),
             ticks,
-        });
-        obey(baton.take());
+        };
+        match stop_process(&self.shared, self.pid, report) {
+            StopOutcome::SelfResume => unreachable!("a parked process cannot be re-picked"),
+            StopOutcome::Handed => obey(baton.take()),
+        }
         let mut st = self.shared.state.lock();
         let slot = &mut st.procs[self.pid.index()];
         let timed_out = slot.timed_out;

@@ -54,12 +54,124 @@ use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::footprint::{Footprint, QuantumRecord};
 use crate::kernel::{ProcessStatus, SimReport};
-use crate::policy::ReplayPolicy;
-use crate::sim::Sim;
+use crate::policy::{CheckpointSpacing, ReplayPolicy};
+use crate::sim::{HeldRun, RunProgress, Sim};
 use crate::trace::Decision;
 use crate::types::Pid;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Executes one schedule per call, resuming from a spine of checkpointed
+/// runs instead of replaying each schedule's whole decision prefix from
+/// the root when checkpointing is enabled.
+///
+/// The spine holds [`HeldRun`]s parked at branch points along the current
+/// depth-first path, at strictly increasing depths whose choice vectors
+/// form a prefix chain (each entry's choices extend the previous entry's).
+/// Both invariants are maintained structurally: entries are only deposited
+/// at the depth of the schedule being run, and entries that are not a
+/// prefix of the next schedule are dropped before it runs — so the spine
+/// is always sorted by depth without ever being sorted explicitly.
+///
+/// For each schedule the runner:
+///
+/// 1. drops spine entries that are not prefixes of the schedule (they
+///    belong to subtrees the DFS has left for good),
+/// 2. pops the deepest survivor — a live run whose first `k` decisions
+///    match the schedule's — to resume (a held run is *consumed* by
+///    driving it; it cannot serve two schedules),
+/// 3. if the spacing policy wants a checkpoint at this schedule's depth,
+///    starts a fresh twin run and parks it at that depth as a deposit for
+///    the schedule's future siblings (enforcing the spine budget by
+///    evicting the shallowest entry),
+/// 4. finishes the resumed run with the schedule's residual decisions as
+///    its continuation — or falls back to a fresh whole-prefix replay
+///    when no checkpoint covered any prefix of this schedule.
+///
+/// Determinism is untouched: a resumed run has, by construction, already
+/// made exactly the decisions the schedule prescribes up to its depth, and
+/// replays the residual decisions through the same [`ReplayPolicy`]
+/// machinery a fresh run would use, so journals, reports, and stats are
+/// byte-identical between checkpointed and replay execution. The
+/// equivalence prune, fault plans, and liveness gates live entirely in the
+/// report-consuming layers above and are unaffected.
+pub(crate) struct SpineRunner {
+    spacing: CheckpointSpacing,
+    spine: Vec<(Vec<u32>, HeldRun)>,
+}
+
+impl SpineRunner {
+    pub(crate) fn new(spacing: CheckpointSpacing) -> Self {
+        SpineRunner {
+            spacing,
+            spine: Vec::new(),
+        }
+    }
+
+    /// Builds a fresh run set up to replay `prefix`.
+    fn fresh<S: FnMut() -> Sim>(setup: &mut S, prefix: &[u32], record_quanta: Option<bool>) -> Sim {
+        let mut sim = setup();
+        sim.set_policy(ReplayPolicy::prefix(prefix.to_vec()));
+        if let Some(granular) = record_quanta {
+            sim.set_record_quanta(granular);
+        }
+        sim
+    }
+
+    /// Runs the schedule given by `prefix` (canonical choice 0 past its
+    /// end) and returns its result, exactly as a whole-prefix replay
+    /// would. `record_quanta` is `Some(granular)` when the caller's prune
+    /// needs the footprint log (see [`Explorer::run`]).
+    pub(crate) fn run_schedule<S: FnMut() -> Sim>(
+        &mut self,
+        setup: &mut S,
+        prefix: &[u32],
+        record_quanta: Option<bool>,
+    ) -> Result<SimReport, SimError> {
+        if matches!(self.spacing, CheckpointSpacing::Replay) {
+            return Self::fresh(setup, prefix, record_quanta).run();
+        }
+        self.spine
+            .retain(|(choices, _)| prefix.starts_with(choices));
+        // The deepest survivor is strictly shallower than `prefix`: an
+        // entry is deposited at the depth of a schedule, and any sibling
+        // visited later diverges from that schedule at or before that
+        // depth, so an entry as deep as `prefix` cannot be its prefix.
+        let resumed = self.spine.pop();
+        if self.spacing.wants(prefix.len()) {
+            // Deposit a twin of this schedule, parked at the branch point,
+            // for the siblings the DFS will visit under this node. The
+            // schedule itself still runs to completion below.
+            match Self::fresh(setup, prefix, record_quanta)
+                .into_held()
+                .advance_to(prefix.len())
+            {
+                RunProgress::Held(held) => {
+                    if self.spine.len() >= self.spacing.budget() {
+                        self.spine.remove(0); // evict the shallowest
+                    }
+                    self.spine.push((prefix.to_vec(), held));
+                }
+                RunProgress::Done(result) => {
+                    // The run ended before reaching the branch point: the
+                    // twin executed this whole schedule already, so return
+                    // its result and put the unused survivor back.
+                    if let Some(entry) = resumed {
+                        self.spine.push(entry);
+                    }
+                    return *result;
+                }
+            }
+        }
+        match resumed {
+            Some((choices, mut held)) => {
+                held.set_continuation(&prefix[choices.len()..]);
+                held.finish()
+            }
+            None => Self::fresh(setup, prefix, record_quanta).run(),
+        }
+    }
+}
 
 /// The first failed schedule of an exploration, with enough context to
 /// replay it: the full decision vector that produced the failure and the
@@ -375,6 +487,7 @@ pub struct Explorer {
     max_schedules: usize,
     prune: bool,
     granular: bool,
+    checkpoint: CheckpointSpacing,
     progress_every: usize,
     progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
 }
@@ -385,6 +498,7 @@ impl std::fmt::Debug for Explorer {
             .field("max_schedules", &self.max_schedules)
             .field("prune", &self.prune)
             .field("granular", &self.granular)
+            .field("checkpoint", &self.checkpoint)
             .field("progress_every", &self.progress_every)
             .field("progress", &self.progress.as_ref().map(|_| ".."))
             .finish()
@@ -398,9 +512,19 @@ impl Explorer {
             max_schedules,
             prune: false,
             granular: true,
+            checkpoint: CheckpointSpacing::default(),
             progress_every: 0,
             progress: None,
         }
+    }
+
+    /// Selects how schedules are executed: by whole-prefix replay
+    /// ([`CheckpointSpacing::Replay`]) or by resuming held runs parked at
+    /// branch points along the depth-first path (see [`CheckpointSpacing`]
+    /// and `DESIGN.md` §2.13). Results are byte-identical either way.
+    pub fn with_checkpointing(mut self, spacing: CheckpointSpacing) -> Self {
+        self.checkpoint = spacing;
+        self
     }
 
     /// Enables the equivalence prune (see the module docs): branches whose
@@ -470,16 +594,17 @@ impl Explorer {
         // branched-from node's `child_sleep` (empty for the root run).
         let mut pending_sleep = SleepSet::default();
         let mut stats = ExploreStats::default();
+        // The sleep-set layer needs the footprint log; the coarse mode
+        // drops it, degrading `walk_run` to the pure-only prune with
+        // empty sleep sets.
+        let record_quanta = if self.prune {
+            Some(self.granular)
+        } else {
+            None
+        };
+        let mut spine = SpineRunner::new(self.checkpoint);
         loop {
-            let mut sim = setup();
-            sim.set_policy(ReplayPolicy::prefix(prefix.clone()));
-            if self.prune {
-                // The sleep-set layer needs the footprint log; the coarse
-                // mode drops it, degrading `walk_run` to the pure-only
-                // prune with empty sleep sets.
-                sim.set_record_quanta(self.granular);
-            }
-            let result = sim.run();
+            let result = spine.run_schedule(&mut setup, &prefix, record_quanta);
             let (decisions, quanta, metrics): (&[Decision], &[QuantumRecord], _) = match &result {
                 Ok(report) => (&report.decisions, &report.quanta, &report.metrics),
                 Err(err) => (
@@ -678,6 +803,7 @@ pub struct ExploreConfig {
     budget: usize,
     prune: bool,
     granular: bool,
+    checkpoint: CheckpointSpacing,
     threads: Option<usize>,
     progress_every: usize,
     progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
@@ -689,6 +815,7 @@ impl std::fmt::Debug for ExploreConfig {
             .field("budget", &self.budget)
             .field("prune", &self.prune)
             .field("granular", &self.granular)
+            .field("checkpoint", &self.checkpoint)
             .field("threads", &self.threads)
             .field("progress_every", &self.progress_every)
             .field("progress", &self.progress.as_ref().map(|_| ".."))
@@ -698,16 +825,25 @@ impl std::fmt::Debug for ExploreConfig {
 
 impl ExploreConfig {
     /// Creates a configuration with the given schedule budget; pruning
-    /// off, default thread count, no progress callback.
+    /// off, whole-prefix replay, default thread count, no progress
+    /// callback.
     pub fn new(budget: usize) -> Self {
         ExploreConfig {
             budget,
             prune: false,
             granular: true,
+            checkpoint: CheckpointSpacing::default(),
             threads: None,
             progress_every: 0,
             progress: None,
         }
+    }
+
+    /// Selects the schedule execution strategy: whole-prefix replay or
+    /// resume-from-checkpoint (see [`Explorer::with_checkpointing`]).
+    pub fn checkpoint(mut self, spacing: CheckpointSpacing) -> Self {
+        self.checkpoint = spacing;
+        self
     }
 
     /// Enables or disables the equivalence prune (see
@@ -749,7 +885,7 @@ impl ExploreConfig {
 
     /// Materialises a serial [`Explorer`] with this configuration.
     pub fn serial(&self) -> Explorer {
-        let mut explorer = Explorer::new(self.budget);
+        let mut explorer = Explorer::new(self.budget).with_checkpointing(self.checkpoint);
         if self.prune {
             explorer = if self.granular {
                 explorer.with_pruning()
@@ -766,7 +902,8 @@ impl ExploreConfig {
 
     /// Materialises a [`crate::ParallelExplorer`] with this configuration.
     pub fn parallel(&self) -> crate::ParallelExplorer {
-        let mut explorer = crate::ParallelExplorer::new(self.budget);
+        let mut explorer =
+            crate::ParallelExplorer::new(self.budget).with_checkpointing(self.checkpoint);
         if let Some(threads) = self.threads {
             explorer = explorer.threads(threads);
         }
@@ -860,6 +997,66 @@ mod tests {
         );
         assert!(stats.complete);
         assert_eq!(seen.lock().len(), 6, "3! = 6 distinct orders");
+    }
+
+    /// The checkpointed execution strategies visit exactly the same
+    /// schedules, with the same user-event traces and stats, as
+    /// whole-prefix replay — including with the equivalence prune on.
+    /// (The full byte-identity root test lives in `tests/parallel_explore`;
+    /// this is the fast in-crate version.)
+    #[test]
+    fn checkpointing_is_observably_identical_to_replay() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            for i in 0..3 {
+                sim.spawn(&format!("p{i}"), move |ctx| {
+                    ctx.emit("a", &[i]);
+                    ctx.yield_now();
+                    ctx.emit("b", &[i]);
+                });
+            }
+            sim
+        };
+        let journal_of = |explorer: Explorer| {
+            let journal = Arc::new(Mutex::new(Vec::new()));
+            let journal2 = Arc::clone(&journal);
+            let stats = explorer.run(scenario, move |decisions, result| {
+                let report = result.as_ref().expect("no failure possible");
+                let events: Vec<(String, i64)> = report
+                    .trace
+                    .user_events()
+                    .map(|(_, l, p)| (l.to_string(), p[0]))
+                    .collect();
+                journal2.lock().push((
+                    decisions.iter().map(|d| d.chosen).collect::<Vec<u32>>(),
+                    events,
+                ));
+            });
+            (Arc::into_inner(journal).unwrap().into_inner(), stats)
+        };
+        for prune in [false, true] {
+            let build = |spacing| {
+                let mut e = Explorer::new(100_000).with_checkpointing(spacing);
+                if prune {
+                    e = e.with_pruning();
+                }
+                e
+            };
+            let (base_journal, base_stats) = journal_of(build(CheckpointSpacing::Replay));
+            for spacing in [
+                CheckpointSpacing::Dense { budget: 2 },
+                CheckpointSpacing::Dense { budget: 64 },
+                CheckpointSpacing::Geometric { budget: 4 },
+            ] {
+                let (journal, stats) = journal_of(build(spacing));
+                assert_eq!(journal, base_journal, "{spacing:?} prune={prune}");
+                assert_eq!(stats.schedules, base_stats.schedules);
+                assert_eq!(stats.pruned, base_stats.pruned);
+                assert_eq!(stats.depth_schedules, base_stats.depth_schedules);
+                assert_eq!(stats.conflicts, base_stats.conflicts);
+                assert!(stats.complete);
+            }
+        }
     }
 
     /// The depth histograms are exact decompositions of the totals.

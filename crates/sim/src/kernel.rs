@@ -7,17 +7,17 @@ use crate::error::{SimError, SimErrorKind};
 use crate::fault::FaultRuntime;
 use crate::footprint::{merge_access, Access, Footprint, ObjId, QuantumRecord};
 use crate::metrics::{PidMetrics, SimMetrics};
-use crate::policy::SchedPolicy;
+use crate::policy::{FifoPolicy, SchedPolicy};
+use crate::pool::{self, Job, PendingJob};
 use crate::sim::SimConfig;
 use crate::trace::{Decision, EventKind, Trace};
 use crate::types::{Pid, Time};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Lifecycle state of a simulated process.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,7 +71,13 @@ pub(crate) struct ProcSlot {
     pub daemon: bool,
     pub status: ProcessStatus,
     pub baton: Arc<Baton<Go>>,
-    pub join: Option<JoinHandle<()>>,
+    /// The process body, queued until the kernel first dispatches this
+    /// process: the first dispatch hands it to a pooled host thread (see
+    /// [`crate::pool`]) instead of sending `Go::Run`. `None` once
+    /// dispatched — and always `None` in legacy mode
+    /// ([`SimConfig::reuse_hosts`]` == false`), where a dedicated thread
+    /// is spawned eagerly and waits on the baton as the seed kernel did.
+    pub pending: Option<PendingJob>,
     /// Incremented at every park; timeout timers carry the token of the
     /// park they belong to so stale timers are ignored.
     pub park_token: u64,
@@ -142,25 +148,53 @@ pub(crate) struct State {
     /// Whether to record `quanta`. On by default; the explorers force it
     /// on when their object-granular prune is enabled.
     pub record_quanta: bool,
+    /// The scheduling policy consulted at contested dispatches. Lives in
+    /// the kernel state rather than the [`crate::Sim`] builder so a held
+    /// run can retarget its replay script between drives (see
+    /// [`crate::HeldRun`]).
+    pub policy: Box<dyn SchedPolicy>,
+    /// Copied from [`SimConfig::max_steps`] at construction.
+    pub max_steps: u64,
+    /// Copied from [`SimConfig::starvation_bound`]; kept in sync by
+    /// [`crate::Sim::set_starvation_bound`].
+    pub starvation_bound: Option<u64>,
+    /// Copied from [`SimConfig::deadlock_recovery`]; kept in sync by
+    /// [`crate::Sim::enable_deadlock_recovery`].
+    pub deadlock_recovery: bool,
+    /// Copied from [`SimConfig::reuse_hosts`] at construction.
+    pub reuse_hosts: bool,
+    /// The active [`drive`] call's pause budget, stored in state (rather
+    /// than on the scheduler loop's stack) so the inline continuation path
+    /// can honor held-run pause points too.
+    pub pause_at: Option<usize>,
+    /// Whether the quantum currently holding the CPU came from a
+    /// *contested* dispatch (its decision is the last entry of
+    /// `decisions`). Set by `pick_and_dispatch`, consumed by
+    /// `account_stop` — kernel state rather than a scheduler-loop local so
+    /// phase 3 can run on whichever thread the quantum stopped on.
+    pub cur_decided: bool,
+    /// The candidate list of the current quantum's contested dispatch
+    /// (`None` for forced dispatches or when `record_quanta` is off).
+    /// Same lifecycle as `cur_decided`.
+    pub cur_ready: Option<Vec<Pid>>,
 }
 
 impl State {
-    pub(crate) fn new(
-        record_sched_events: bool,
-        record_quanta: bool,
-        faults: FaultRuntime,
-    ) -> Self {
+    pub(crate) fn new(cfg: &SimConfig, faults: FaultRuntime) -> Self {
+        // Capacity hints sized for the explorers' workloads: hundreds of
+        // thousands of short runs, where the first few doublings of each
+        // per-run vector are measurable.
         State {
-            procs: Vec::new(),
-            ready: Vec::new(),
+            procs: Vec::with_capacity(8),
+            ready: Vec::with_capacity(8),
             timers: BinaryHeap::new(),
             timer_tiebreak: 0,
             clock: Time::ZERO,
             step: 0,
             running: None,
             trace: Trace::new(),
-            decisions: Vec::new(),
-            record_sched_events,
+            decisions: Vec::with_capacity(32),
+            record_sched_events: cfg.record_sched_events,
             faults,
             starvation: Vec::new(),
             recovered: Vec::new(),
@@ -168,8 +202,16 @@ impl State {
             metrics: SimMetrics::default(),
             last_dispatched: None,
             quantum_objs: BTreeMap::new(),
-            quanta: Vec::new(),
-            record_quanta,
+            quanta: Vec::with_capacity(32),
+            record_quanta: cfg.record_quanta,
+            policy: Box::new(FifoPolicy),
+            max_steps: cfg.max_steps,
+            starvation_bound: cfg.starvation_bound,
+            deadlock_recovery: cfg.deadlock_recovery,
+            reuse_hosts: cfg.reuse_hosts,
+            pause_at: None,
+            cur_decided: false,
+            cur_ready: None,
         }
     }
 
@@ -235,22 +277,37 @@ pub(crate) struct Shared {
     /// queue is empty — catching mechanisms whose timed paths leak a stale
     /// registration after `park_timeout` returns `false`.
     pub queues: Mutex<Vec<Arc<crate::waitq::QueueCell>>>,
+    /// Count of *started* process bodies that have not yet returned or
+    /// finished unwinding, with [`Shared::jobs_cv`] signalled when it hits
+    /// zero. This gate replaces the seed's per-thread joins: `shutdown`
+    /// waits on it so cancellation unwinds are complete (and pooled hosts
+    /// released) before the report is snapshotted.
+    pub jobs: Mutex<usize>,
+    pub jobs_cv: Condvar,
+    /// Whether the *inline continuation* fast path is armed for the active
+    /// [`drive`] call: a stopping process runs phase 3 and the common case
+    /// of phase 1 itself (see [`stop_process`]) instead of waking the
+    /// scheduler loop, halving the context switches per quantum. Armed
+    /// only when pooled hosts are in use and neither fault injection nor
+    /// the starvation watchdog is active — those paths need the scheduler
+    /// loop's hand-shakes, and legacy mode (`reuse_hosts == false`) keeps
+    /// the seed protocol as the honest exploration baseline.
+    pub inline: AtomicBool,
 }
 
 impl Shared {
-    pub(crate) fn new(
-        record_sched_events: bool,
-        record_quanta: bool,
-        faults: FaultRuntime,
-    ) -> Arc<Self> {
+    pub(crate) fn new(cfg: &SimConfig, faults: FaultRuntime) -> Arc<Self> {
         Arc::new(Shared {
-            state: Mutex::new(State::new(record_sched_events, record_quanta, faults)),
+            state: Mutex::new(State::new(cfg, faults)),
             sched_baton: Baton::new(),
             tickets: AtomicU64::new(0),
             quantum_dirty: AtomicBool::new(false),
             quantum_all: AtomicBool::new(false),
             cancelling: AtomicBool::new(false),
             queues: Mutex::new(Vec::new()),
+            jobs: Mutex::new(0),
+            jobs_cv: Condvar::new(),
+            inline: AtomicBool::new(false),
         })
     }
 
@@ -259,23 +316,54 @@ impl Shared {
         self.tickets.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Registers a new process (from the builder or a running process) and
-    /// starts its host thread. The thread idles until first dispatched.
+    /// Raises the job gate for one started process body.
+    pub(crate) fn job_begin(&self) {
+        *self.jobs.lock() += 1;
+    }
+
+    /// Lowers the job gate; wakes [`Shared::wait_jobs`] waiters at zero.
+    pub(crate) fn job_done(&self) {
+        let mut jobs = self.jobs.lock();
+        *jobs -= 1;
+        if *jobs == 0 {
+            self.jobs_cv.notify_all();
+        }
+    }
+
+    /// Blocks until every started process body has returned or unwound.
+    pub(crate) fn wait_jobs(&self) {
+        let mut jobs = self.jobs.lock();
+        while *jobs > 0 {
+            self.jobs_cv.wait(&mut jobs);
+        }
+    }
+
+    /// Registers a new process (from the builder or a running process).
+    ///
+    /// In the default pooled mode the body is queued in the slot and no
+    /// thread is touched until the process is first dispatched (so a
+    /// simulation that is built but never run engages no host at all). In
+    /// legacy mode (`reuse_hosts == false`) a dedicated thread is spawned
+    /// eagerly, exactly as the seed kernel did, and idles on the baton
+    /// until first dispatched — kept as the honest baseline for the
+    /// exploration benchmarks.
     pub(crate) fn spawn_process<F>(self: &Arc<Self>, name: &str, daemon: bool, f: F) -> Pid
     where
         F: FnOnce(&Ctx) + Send + 'static,
     {
         let baton = Arc::new(Baton::new());
+        let mut body: Option<PendingJob> = Some(Box::new(f));
         let pid;
         {
             let mut st = self.state.lock();
             pid = Pid(st.procs.len() as u32);
+            let pending = if st.reuse_hosts { body.take() } else { None };
             st.procs.push(ProcSlot {
                 name: name.to_string(),
                 daemon,
                 status: ProcessStatus::Ready,
                 baton: Arc::clone(&baton),
-                join: None,
+                pending,
                 park_token: 0,
                 timed_out: false,
                 spurious_wake: false,
@@ -295,12 +383,17 @@ impl Shared {
                 },
             );
         }
-        let shared = Arc::clone(self);
-        let handle = std::thread::Builder::new()
-            .name(format!("sim-{name}"))
-            .spawn(move || process_main(shared, pid, baton, f))
-            .expect("failed to spawn simulator process thread");
-        self.state.lock().procs[pid.index()].join = Some(handle);
+        if let Some(f) = body {
+            // Legacy eager spawn. The gate rises at spawn time (the thread
+            // exists now) and falls when `legacy_process_main` returns,
+            // cancellation included.
+            self.job_begin();
+            let shared = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("sim-{name}"))
+                .spawn(move || legacy_process_main(shared, pid, baton, f))
+                .expect("failed to spawn simulator process thread");
+        }
         pid
     }
 }
@@ -320,24 +413,41 @@ struct KilledMarker;
 /// [`ProcessStatus::Cancelled`]: an abort is a recovery action, not a crash.
 struct AbortedMarker;
 
-/// Entry point of every process host thread.
-fn process_main<F>(shared: Arc<Shared>, pid: Pid, baton: Arc<Baton<Go>>, f: F)
-where
-    F: FnOnce(&Ctx) + Send + 'static,
-{
+/// Entry point of a legacy (`reuse_hosts == false`) per-process thread:
+/// the seed protocol, waiting on the baton for its first command.
+fn legacy_process_main(shared: Arc<Shared>, pid: Pid, baton: Arc<Baton<Go>>, f: PendingJob) {
     match baton.take() {
-        Go::Cancel => return,
-        Go::Run => {}
+        Go::Cancel => {}
+        Go::Run => run_process(&shared, pid, f),
         // A kill-point counts scheduling points, and a process that has
         // never run has none, so a kill cannot be its first command.
         Go::Kill => unreachable!("kill delivered to a never-dispatched process"),
         // Deadlock recovery only aborts *blocked* processes, which have run.
         Go::Abort => unreachable!("abort delivered to a never-dispatched process"),
     }
-    let ctx = Ctx::new(Arc::clone(&shared), pid);
+    shared.job_done();
+}
+
+/// Runs one process body to completion on the current thread — a pooled
+/// host (see [`crate::pool`]) or a legacy per-process thread — and reports
+/// how it ended. The caller has already been dispatched: unlike the seed
+/// protocol there is no initial `Go::Run` wait in the pooled path (the job
+/// handoff *is* the first dispatch).
+pub(crate) fn run_process(shared: &Arc<Shared>, pid: Pid, f: PendingJob) {
+    let ctx = Ctx::new(Arc::clone(shared), pid);
     let result = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
     match result {
-        Ok(()) => shared.sched_baton.put(Report::Finished),
+        Ok(()) => {
+            // Finished goes through `stop_process` so the inline
+            // continuation path can account the finish and dispatch the
+            // next process without bouncing through the scheduler loop.
+            match stop_process(shared, pid, Report::Finished) {
+                StopOutcome::Handed => {}
+                StopOutcome::SelfResume => {
+                    unreachable!("a finished process cannot be re-picked")
+                }
+            }
+        }
         Err(payload) => {
             if payload.is::<Cancelled>() {
                 // Shutdown unwind: the scheduler is not waiting for a report.
@@ -356,7 +466,7 @@ where
                 return;
             }
             let message = panic_message(payload);
-            shared.sched_baton.put(Report::Panicked { message });
+            shared.sched_baton.put(Report::Panicked { pid, message });
         }
     }
 }
@@ -455,7 +565,7 @@ impl SimReport {
     }
 }
 
-fn snapshot(st: &mut State, policy: &dyn SchedPolicy) -> SimReport {
+fn snapshot(st: &mut State) -> SimReport {
     let mut decisions = std::mem::take(&mut st.decisions);
     let mut quanta = std::mem::take(&mut st.quanta);
     if !st.prune_safe {
@@ -486,7 +596,15 @@ fn snapshot(st: &mut State, policy: &dyn SchedPolicy) -> SimReport {
     for pid in still_blocked {
         st.settle_blocked_time(pid);
     }
-    st.metrics.replay = policy.replay_divergence().unwrap_or_default();
+    st.metrics.replay = st.policy.replay_divergence().unwrap_or_default();
+    // Release the policy on *this* thread, now that the run is over and it
+    // can never be consulted again. The kernel state itself is freed when
+    // the last `Arc<Shared>` drops, which can be a beat later on a pooled
+    // host thread (it holds its job's Arc until after it lowers the job
+    // gate) — and policies may own caller-visible resources (e.g. the PCT
+    // sampler's shared change-depth histogram) whose release callers
+    // rightly expect to have happened once the run returns.
+    st.policy = Box::new(FifoPolicy);
     SimReport {
         trace: std::mem::take(&mut st.trace),
         decisions,
@@ -515,29 +633,443 @@ fn snapshot(st: &mut State, policy: &dyn SchedPolicy) -> SimReport {
     }
 }
 
-/// The scheduler loop. Runs on the thread that called [`crate::Sim::run`].
-pub(crate) fn run_kernel(
-    shared: Arc<Shared>,
-    mut policy: Box<dyn SchedPolicy>,
-    cfg: &SimConfig,
-) -> Result<SimReport, SimError> {
+/// What one [`drive`] call produced.
+pub(crate) enum DriveOutcome {
+    /// The run reached `pause_at` contested decisions and is parked at the
+    /// next contested dispatch, nothing mutated for it yet: a frozen,
+    /// resumable snapshot (see [`crate::HeldRun`]).
+    Paused,
+    /// The run finished (boxed: a report is large, a pause is nothing).
+    Done(Box<Result<SimReport, SimError>>),
+}
+
+/// Result of the phase-1 dispatch tail ([`pick_and_dispatch`]).
+enum Picked {
+    /// The pause hook fired: `pause_at` contested decisions reached and
+    /// nothing mutated for the next one (see [`crate::HeldRun`]).
+    Paused,
+    /// A process was chosen and all dispatch bookkeeping is done.
+    Go {
+        next: Pid,
+        baton: Arc<Baton<Go>>,
+        pending: Option<PendingJob>,
+    },
+}
+
+/// The dispatch tail of phase 1, shared by the scheduler loop and the
+/// inline continuation path ([`stop_process`]): consult the policy (or
+/// take the forced pick), record the decision and the candidate snapshot,
+/// and perform every per-dispatch state mutation. The caller has already
+/// established that `ready` is non-empty, the run is not terminal, and the
+/// step budget has room.
+fn pick_and_dispatch(st: &mut State) -> Picked {
+    let idx = if st.ready.len() == 1 {
+        st.cur_decided = false;
+        0
+    } else {
+        // Pause hook for held runs: the policy has not been consulted and
+        // nothing has been mutated for this decision yet, so the run can
+        // resume later as if uninterrupted.
+        if st.pause_at == Some(st.decisions.len()) {
+            return Picked::Paused;
+        }
+        st.cur_decided = true;
+        // The trait contract promises policies at least two candidates at
+        // a contested dispatch; assert the kernel keeps that promise (the
+        // len == 1 arm above handles the forced case, and an empty ready
+        // list never reaches here).
+        debug_assert!(
+            st.ready.len() >= 2,
+            "policy consulted with {} candidates",
+            st.ready.len()
+        );
+        let step = st.step;
+        let arity = st.ready.len() as u32;
+        let state = &mut *st;
+        let pick = state
+            .policy
+            .choose(&state.ready, step)
+            .min(state.ready.len() - 1);
+        st.decisions.push(Decision {
+            arity,
+            chosen: pick as u32,
+            pure: false,
+        });
+        pick
+    };
+    // Footprint bookkeeping for the quantum about to run: remember the
+    // candidate list of a contested dispatch (index c is what sibling
+    // choice c would have dispatched) and reset the per-quantum access
+    // collection.
+    st.cur_ready = if st.cur_decided && st.record_quanta {
+        Some(st.ready.clone())
+    } else {
+        None
+    };
+    st.quantum_objs.clear();
+    let next = st.ready.remove(idx);
+    st.clock = st.clock.plus(1);
+    st.step += 1;
+    st.running = Some(next);
+    st.procs[next.index()].status = ProcessStatus::Running;
+    // Run-anatomy metrics (non-authoritative; nothing below reads them
+    // back).
+    st.metrics.dispatches += 1;
+    if st.last_dispatched != Some(next) {
+        st.metrics.context_switches += 1;
+    }
+    st.last_dispatched = Some(next);
+    st.metrics.per_pid[next.index()].dispatches += 1;
+    st.metrics.per_pid[next.index()].run_ticks += 1;
+    // Starvation watchdog: a dispatch means *somebody* is making progress;
+    // any non-daemon still blocked whose current wait episode is older
+    // than the bound has been bypassed that whole time. Flag it (once per
+    // episode) — detection, not recovery. (A set bound disarms the inline
+    // path, so this only ever runs on the scheduler loop.)
+    if let Some(bound) = st.starvation_bound {
+        let clock = st.clock;
+        let mut flagged = Vec::new();
+        for (i, p) in st.procs.iter_mut().enumerate() {
+            if p.daemon
+                || p.starvation_flagged
+                || !matches!(p.status, ProcessStatus::Blocked { .. })
+            {
+                continue;
+            }
+            let Some((reason, since)) = p.wait_started.clone() else {
+                continue;
+            };
+            let age = clock.0 - since.0;
+            if age > bound {
+                p.starvation_flagged = true;
+                flagged.push(StarvationFlag {
+                    pid: Pid(i as u32),
+                    name: p.name.clone(),
+                    reason,
+                    since,
+                    flagged_at: clock,
+                    age,
+                });
+            }
+        }
+        for flag in flagged {
+            st.trace.push(
+                clock,
+                flag.pid,
+                EventKind::StarvationFlagged { age: flag.age },
+            );
+            st.starvation.push(flag);
+        }
+    }
+    if st.record_sched_events {
+        let clock = st.clock;
+        st.trace.push(clock, next, EventKind::Scheduled);
+    }
+    Picked::Go {
+        baton: Arc::clone(&st.procs[next.index()].baton),
+        pending: st.procs[next.index()].pending.take(),
+        next,
+    }
+}
+
+/// Phase 2: hands the CPU to `next` (without holding the state lock). The
+/// first dispatch of a pooled process hands its queued body to a host
+/// thread; every later dispatch sends `Go::Run`.
+fn hand_cpu(shared: &Arc<Shared>, next: Pid, baton: &Baton<Go>, pending: Option<PendingJob>) {
+    shared.quantum_dirty.store(false, Ordering::Relaxed);
+    shared.quantum_all.store(false, Ordering::Relaxed);
+    match pending {
+        Some(f) => {
+            shared.job_begin();
+            pool::dispatch(Job {
+                shared: Arc::clone(shared),
+                pid: next,
+                f,
+            });
+        }
+        None => baton.put(Go::Run),
+    }
+}
+
+/// The read-side of phase 3, shared by the scheduler loop and the inline
+/// continuation path: classify the just-ended quantum's purity and record
+/// its footprint. Consumes `cur_decided`/`cur_ready` (set at dispatch).
+fn account_stop(shared: &Shared, st: &mut State, pid: Pid, report: &Report) {
+    st.running = None;
+    // Purity classification (see `Decision::pure`): the quantum must have
+    // touched nothing observable and stopped with a plain yield. A pure
+    // *finish* is also a stutter, except when daemons exist — deferring
+    // the last non-daemon's finish would give a daemon an extra quantum,
+    // which is an observably different schedule.
+    if st.cur_decided {
+        let dirty = shared.quantum_dirty.load(Ordering::Relaxed);
+        let pure = !dirty
+            && match report {
+                Report::Yielded => true,
+                Report::Finished => !st.procs.iter().any(|p| p.daemon),
+                _ => false,
+            };
+        if pure {
+            if let Some(d) = st.decisions.last_mut() {
+                d.pure = true;
+            }
+        }
+    }
+    // Footprint log: drain what the quantum reported, add the
+    // kernel-implicit accesses, and record. A parking quantum writes its
+    // own park slot (the same pseudo-object `Ctx::is_parked` reads and
+    // `Ctx::unpark` writes); under deadlock recovery it also writes the
+    // global `park` pseudo-object, because the victim choice depends on
+    // the relative order in which *any* two processes blocked, so park
+    // quanta must never be commuted then.
+    if st.record_quanta {
+        let ready_snapshot = st.cur_ready.take();
+        let mut objs = if shared.quantum_all.load(Ordering::Relaxed) {
+            None
+        } else {
+            Some(std::mem::take(&mut st.quantum_objs))
+        };
+        if matches!(report, Report::Parked { .. } | Report::ParkedTimeout { .. }) {
+            if let Some(objs) = objs.as_mut() {
+                merge_access(objs, ObjId::pseudo(&format!("park:{pid}")), Access::Write);
+                if st.deadlock_recovery {
+                    merge_access(objs, ObjId::pseudo("park"), Access::Write);
+                }
+            }
+        }
+        let footprint = match objs {
+            None => Footprint::All,
+            Some(map) => Footprint::Objs(map),
+        };
+        st.quanta.push(QuantumRecord {
+            pid,
+            footprint,
+            ready: ready_snapshot,
+        });
+    }
+}
+
+/// The write-side of phase 3 for the ordinary stop reports: apply the
+/// status transition and its bookkeeping. The terminal reports (Panicked,
+/// and the Killed/Aborted hand-shake acknowledgements) never reach here.
+fn apply_stop(st: &mut State, pid: Pid, report: Report) {
+    let clock = st.clock;
+    match report {
+        Report::Yielded => {
+            let slot = &mut st.procs[pid.index()];
+            slot.status = ProcessStatus::Ready;
+            slot.wait_started = None;
+            slot.starvation_flagged = false;
+            st.ready.push(pid);
+            if st.record_sched_events {
+                st.trace.push(clock, pid, EventKind::Yielded);
+            }
+        }
+        Report::Parked { reason } => {
+            // The Blocked trace event was already pushed by Ctx::park so
+            // that it is ordered before any subsequent unpark.
+            SimMetrics::bump(&mut st.metrics.parks, &reason);
+            let slot = &mut st.procs[pid.index()];
+            // Watchdog bookkeeping: re-parking on the same reason (a
+            // re-contend or recheck loop) continues the current wait
+            // episode; anything else starts a fresh one.
+            match &slot.wait_started {
+                Some((r, _)) if *r == reason => {}
+                _ => {
+                    slot.wait_started = Some((reason.clone(), clock));
+                    slot.starvation_flagged = false;
+                }
+            }
+            slot.status = ProcessStatus::Blocked { reason };
+            slot.park_token += 1;
+            slot.timed_out = false;
+            slot.blocked_since = Some(clock);
+            // Fault plane: a spurious wake makes the process runnable
+            // again with no matching unpark; Ctx::park absorbs it. (An
+            // active fault plan disarms the inline path, so this only
+            // ever runs on the scheduler loop.)
+            if st.faults.active() {
+                let name = st.procs[pid.index()].name.clone();
+                if st.faults.on_park(pid, &name) {
+                    st.settle_blocked_time(pid);
+                    let slot = &mut st.procs[pid.index()];
+                    slot.status = ProcessStatus::Ready;
+                    slot.spurious_wake = true;
+                    st.ready.push(pid);
+                    st.trace.push(clock, pid, EventKind::SpuriousWake);
+                }
+            }
+        }
+        Report::ParkedTimeout { reason, ticks } => {
+            st.prune_safe = false; // timers are time-sensitive: no prune
+            SimMetrics::bump(&mut st.metrics.parks, &reason);
+            let until = clock.plus(ticks);
+            let slot = &mut st.procs[pid.index()];
+            match &slot.wait_started {
+                Some((r, _)) if *r == reason => {}
+                _ => {
+                    slot.wait_started = Some((reason.clone(), clock));
+                    slot.starvation_flagged = false;
+                }
+            }
+            slot.status = ProcessStatus::Blocked { reason };
+            slot.park_token += 1;
+            slot.timed_out = false;
+            slot.blocked_since = Some(clock);
+            let token = slot.park_token;
+            let tiebreak = st.timer_tiebreak;
+            st.timer_tiebreak += 1;
+            st.timers.push(Reverse((
+                until,
+                tiebreak,
+                pid,
+                TimerKind::ParkTimeout { token },
+            )));
+        }
+        Report::Slept { ticks } => {
+            st.prune_safe = false; // timers are time-sensitive: no prune
+            let until = clock.plus(ticks);
+            let slot = &mut st.procs[pid.index()];
+            slot.wait_started = None;
+            slot.starvation_flagged = false;
+            slot.status = ProcessStatus::Sleeping { until };
+            let tiebreak = st.timer_tiebreak;
+            st.timer_tiebreak += 1;
+            st.timers
+                .push(Reverse((until, tiebreak, pid, TimerKind::Sleep)));
+            if st.record_sched_events {
+                st.trace.push(clock, pid, EventKind::Slept { until });
+            }
+        }
+        Report::Finished => {
+            let slot = &mut st.procs[pid.index()];
+            slot.wait_started = None;
+            slot.status = ProcessStatus::Finished;
+            if st.record_sched_events {
+                st.trace.push(clock, pid, EventKind::Finished);
+            }
+        }
+        Report::Panicked { .. } | Report::Killed | Report::Aborted | Report::Rescan => {
+            unreachable!("terminal report in apply_stop")
+        }
+    }
+}
+
+/// Where the CPU went after a [`stop_process`] call.
+pub(crate) enum StopOutcome {
+    /// The inline continuation picked the stopping process right back
+    /// (only possible after a yield): keep running, zero hand-offs.
+    SelfResume,
+    /// The CPU went elsewhere — to the next process directly, or back to
+    /// the scheduler loop via [`Report::Rescan`]. A still-live caller must
+    /// now wait on its own baton.
+    Handed,
+}
+
+/// A running process stops here (yield, park, sleep, finish).
+///
+/// In the seed protocol every stop wakes the scheduler loop, which does
+/// phase 3 (account the stop) and phase 1 (pick next) and then wakes the
+/// chosen process: two thread hand-offs per quantum even when the pick is
+/// forced. When [`Shared::inline`] is armed, the stopping process instead
+/// runs both phases itself under the state lock — the one-running-process
+/// invariant makes it the only executing process, so the state it sees and
+/// the mutations it applies are exactly the ones the scheduler loop would
+/// have seen and applied, in the same order — and hands the CPU directly
+/// to the next process (or keeps it, if the pick comes back to itself).
+/// The scheduler loop stays parked in `sched_baton.take()` the whole time
+/// and is only woken, via [`Report::Rescan`], for the cases it alone can
+/// handle: run termination, an empty ready list (timer firing, deadlock
+/// detection and recovery), the step budget, and held-run pause points.
+pub(crate) fn stop_process(shared: &Arc<Shared>, pid: Pid, report: Report) -> StopOutcome {
+    if !shared.inline.load(Ordering::Relaxed) {
+        // Seed protocol: hand the report to the scheduler loop, which does
+        // all accounting and the next dispatch.
+        shared.sched_baton.put(report);
+        return StopOutcome::Handed;
+    }
+    let mut st = shared.state.lock();
+    // Phase 3 inline. The kill-point check of the scheduler loop is
+    // soundly skipped: an active fault plan never arms the inline path.
+    account_stop(shared, &mut st, pid, &report);
+    apply_stop(&mut st, pid, report);
+    // Phase 1 inline, common case only. Defer to the scheduler loop for
+    // everything else; it re-runs phase 1 from scratch (and must not run
+    // phase 3 again — Rescan tells it so).
+    if st.ready.is_empty()
+        || st.step >= st.max_steps
+        || st.procs.iter().all(|p| p.daemon || !p.status.is_live())
+    {
+        drop(st);
+        shared.sched_baton.put(Report::Rescan);
+        return StopOutcome::Handed;
+    }
+    match pick_and_dispatch(&mut st) {
+        Picked::Paused => {
+            drop(st);
+            shared.sched_baton.put(Report::Rescan);
+            StopOutcome::Handed
+        }
+        Picked::Go {
+            next,
+            baton: _,
+            pending,
+        } if next == pid => {
+            // Picked right back: skip both hand-offs. Only a yield can
+            // land here (any other stop leaves the caller off the ready
+            // list), so the body was dispatched long ago.
+            debug_assert!(pending.is_none());
+            drop(st);
+            shared.quantum_dirty.store(false, Ordering::Relaxed);
+            shared.quantum_all.store(false, Ordering::Relaxed);
+            StopOutcome::SelfResume
+        }
+        Picked::Go {
+            next,
+            baton,
+            pending,
+        } => {
+            drop(st);
+            hand_cpu(shared, next, &baton, pending);
+            StopOutcome::Handed
+        }
+    }
+}
+
+/// The scheduler loop. Runs on the thread that called [`crate::Sim::run`]
+/// (or [`crate::HeldRun::finish`]/[`crate::HeldRun::advance_to`], which
+/// re-enter it — the loop is resumable because everything it needs lives
+/// in [`State`], not on this stack).
+///
+/// With `pause_at == Some(k)` the loop returns [`DriveOutcome::Paused`]
+/// just before consulting the policy for contested decision `k`; the
+/// one-running-process invariant means no process is mid-quantum then, so
+/// a later call picks up exactly where this one stopped.
+pub(crate) fn drive(shared: &Arc<Shared>, pause_at: Option<usize>) -> DriveOutcome {
     let error: Option<SimErrorKind>;
     {
         // Static prune-safety gate: fault plans reorder effects around kill
         // points and the starvation watchdog's verdicts depend on absolute
         // wait ages, so both void the commutation argument behind
-        // `Decision::pure` for the whole run.
+        // `Decision::pure` for the whole run. (Re-running the gate on
+        // resume is an idempotent store.)
         let mut st = shared.state.lock();
-        if st.faults.active() || cfg.starvation_bound.is_some() {
+        if st.faults.active() || st.starvation_bound.is_some() {
             st.prune_safe = false;
         }
+        st.pause_at = pause_at;
+        // Arm the inline continuation fast path (see `stop_process`).
+        // Fault plans need the kill/spurious hand-shakes of the scheduler
+        // loop, the watchdog must run at every dispatch on the loop's
+        // clock, and legacy mode keeps the seed protocol byte-for-byte.
+        let inline = st.reuse_hosts && !st.faults.active() && st.starvation_bound.is_none();
+        shared.inline.store(inline, Ordering::Relaxed);
     }
     loop {
         // Phase 1: pick the next process (or detect termination/deadlock).
         let next: Pid;
         let baton: Arc<Baton<Go>>;
-        let decided: bool;
-        let ready_snapshot: Option<Vec<Pid>>;
+        let pending: Option<PendingJob>;
         {
             let mut st = shared.state.lock();
             // The run is complete once no non-daemon process is live, even
@@ -608,7 +1140,7 @@ pub(crate) fn run_kernel(
                         _ => None,
                     })
                     .collect();
-                if cfg.deadlock_recovery && !blocked.is_empty() {
+                if st.deadlock_recovery && !blocked.is_empty() {
                     // Deadlock recovery: abort one victim through the same
                     // unwind machinery as a fault-plan kill, so its RAII
                     // guards roll registrations back (releasing permits,
@@ -652,22 +1184,22 @@ pub(crate) fn run_kernel(
                     victim_baton.put(Go::Abort);
                     match shared.sched_baton.take() {
                         Report::Aborted => {}
-                        Report::Panicked { message } => {
+                        Report::Panicked { message, .. } => {
                             let mut st = shared.state.lock();
                             st.procs[victim.index()].status = ProcessStatus::Panicked {
                                 message: message.clone(),
                             };
                             drop(st);
-                            shutdown(&shared);
+                            shutdown(shared);
                             let mut st = shared.state.lock();
-                            let report = snapshot(&mut st, policy.as_ref());
-                            return Err(SimError {
+                            let report = snapshot(&mut st);
+                            return DriveOutcome::Done(Box::new(Err(SimError {
                                 kind: SimErrorKind::ProcessPanicked {
                                     pid: victim,
                                     message,
                                 },
                                 report: Box::new(report),
-                            });
+                            })));
                         }
                         _ => unreachable!("abort unwind reports Aborted or Panicked"),
                     }
@@ -703,7 +1235,7 @@ pub(crate) fn run_kernel(
                         });
                     }
                     // Cancelled, not Killed: an abort is a recovery action,
-                    // not a crash. The thread has exited; shutdown joins it.
+                    // not a crash. The body has returned (gate lowered).
                     st.settle_blocked_time(victim);
                     st.procs[victim.index()].status = ProcessStatus::Cancelled;
                     st.procs[victim.index()].wait_started = None;
@@ -716,169 +1248,52 @@ pub(crate) fn run_kernel(
                 };
                 break;
             }
-            if st.step >= cfg.max_steps {
+            if st.step >= st.max_steps {
                 error = Some(SimErrorKind::MaxStepsExceeded {
-                    limit: cfg.max_steps,
+                    limit: st.max_steps,
                 });
                 break;
             }
-            let idx = if st.ready.len() == 1 {
-                decided = false;
-                0
-            } else {
-                decided = true;
-                // The trait contract promises policies at least two
-                // candidates at a contested dispatch; assert the kernel
-                // keeps that promise (the len == 1 arm above handles the
-                // forced case, and an empty ready list never reaches here).
-                debug_assert!(
-                    st.ready.len() >= 2,
-                    "policy consulted with {} candidates",
-                    st.ready.len()
-                );
-                let step = st.step;
-                let arity = st.ready.len() as u32;
-                let pick = policy.choose(&st.ready, step).min(st.ready.len() - 1);
-                st.decisions.push(Decision {
-                    arity,
-                    chosen: pick as u32,
-                    pure: false,
-                });
-                pick
-            };
-            // Footprint bookkeeping for the quantum about to run: remember
-            // the candidate list of a contested dispatch (index c is what
-            // sibling choice c would have dispatched) and reset the
-            // per-quantum access collection.
-            ready_snapshot = if decided && st.record_quanta {
-                Some(st.ready.clone())
-            } else {
-                None
-            };
-            st.quantum_objs.clear();
-            next = st.ready.remove(idx);
-            st.clock = st.clock.plus(1);
-            st.step += 1;
-            st.running = Some(next);
-            st.procs[next.index()].status = ProcessStatus::Running;
-            // Run-anatomy metrics (non-authoritative; nothing below reads
-            // them back).
-            st.metrics.dispatches += 1;
-            if st.last_dispatched != Some(next) {
-                st.metrics.context_switches += 1;
-            }
-            st.last_dispatched = Some(next);
-            st.metrics.per_pid[next.index()].dispatches += 1;
-            st.metrics.per_pid[next.index()].run_ticks += 1;
-            // Starvation watchdog: a dispatch means *somebody* is making
-            // progress; any non-daemon still blocked whose current wait
-            // episode is older than the bound has been bypassed that whole
-            // time. Flag it (once per episode) — detection, not recovery.
-            if let Some(bound) = cfg.starvation_bound {
-                let clock = st.clock;
-                let mut flagged = Vec::new();
-                for (i, p) in st.procs.iter_mut().enumerate() {
-                    if p.daemon
-                        || p.starvation_flagged
-                        || !matches!(p.status, ProcessStatus::Blocked { .. })
-                    {
-                        continue;
-                    }
-                    let Some((reason, since)) = p.wait_started.clone() else {
-                        continue;
-                    };
-                    let age = clock.0 - since.0;
-                    if age > bound {
-                        p.starvation_flagged = true;
-                        flagged.push(StarvationFlag {
-                            pid: Pid(i as u32),
-                            name: p.name.clone(),
-                            reason,
-                            since,
-                            flagged_at: clock,
-                            age,
-                        });
-                    }
-                }
-                for flag in flagged {
-                    st.trace.push(
-                        clock,
-                        flag.pid,
-                        EventKind::StarvationFlagged { age: flag.age },
-                    );
-                    st.starvation.push(flag);
+            match pick_and_dispatch(&mut st) {
+                Picked::Paused => return DriveOutcome::Paused,
+                Picked::Go {
+                    next: n,
+                    baton: b,
+                    pending: p,
+                } => {
+                    next = n;
+                    baton = b;
+                    pending = p;
                 }
             }
-            if st.record_sched_events {
-                let clock = st.clock;
-                st.trace.push(clock, next, EventKind::Scheduled);
-            }
-            baton = Arc::clone(&st.procs[next.index()].baton);
         }
 
-        // Phase 2: hand over the CPU and wait for the process to stop.
-        shared.quantum_dirty.store(false, Ordering::Relaxed);
-        shared.quantum_all.store(false, Ordering::Relaxed);
-        baton.put(Go::Run);
+        // Phase 2: hand over the CPU and wait for a report. Under the
+        // inline continuation path the running processes account their own
+        // stops and hand the CPU among themselves; the take() below then
+        // spans many quanta and only returns for a deferral (Rescan) or a
+        // panic.
+        hand_cpu(shared, next, &baton, pending);
         let report = shared.sched_baton.take();
+        if matches!(report, Report::Rescan) {
+            // The stop was already accounted inline; re-run phase 1 only.
+            continue;
+        }
 
-        // Phase 3: account for how it stopped.
+        // Phase 3: account for how it stopped. `next` identifies the
+        // stopping process except for an inline-mode panic, where the
+        // loop's last dispatch is stale — the report carries the pid.
+        let stop_pid = match &report {
+            Report::Panicked { pid, .. } => *pid,
+            _ => next,
+        };
         let mut st = shared.state.lock();
-        st.running = None;
+        account_stop(shared, &mut st, stop_pid, &report);
         let clock = st.clock;
-        // Purity classification (see `Decision::pure`): the quantum must
-        // have touched nothing observable and stopped with a plain yield.
-        // A pure *finish* is also a stutter, except when daemons exist —
-        // deferring the last non-daemon's finish would give a daemon an
-        // extra quantum, which is an observably different schedule.
-        if decided {
-            let dirty = shared.quantum_dirty.load(Ordering::Relaxed);
-            let pure = !dirty
-                && match &report {
-                    Report::Yielded => true,
-                    Report::Finished => !st.procs.iter().any(|p| p.daemon),
-                    _ => false,
-                };
-            if pure {
-                if let Some(d) = st.decisions.last_mut() {
-                    d.pure = true;
-                }
-            }
-        }
-        // Footprint log: drain what the quantum reported, add the
-        // kernel-implicit accesses, and record. A parking quantum writes
-        // its own park slot (the same pseudo-object `Ctx::is_parked` reads
-        // and `Ctx::unpark` writes); under deadlock recovery it also
-        // writes the global `park` pseudo-object, because the victim
-        // choice depends on the relative order in which *any* two
-        // processes blocked, so park quanta must never be commuted then.
-        if st.record_quanta {
-            let mut objs = if shared.quantum_all.load(Ordering::Relaxed) {
-                None
-            } else {
-                Some(std::mem::take(&mut st.quantum_objs))
-            };
-            if matches!(report, Report::Parked { .. } | Report::ParkedTimeout { .. }) {
-                if let Some(objs) = objs.as_mut() {
-                    merge_access(objs, ObjId::pseudo(&format!("park:{next}")), Access::Write);
-                    if cfg.deadlock_recovery {
-                        merge_access(objs, ObjId::pseudo("park"), Access::Write);
-                    }
-                }
-            }
-            let footprint = match objs {
-                None => Footprint::All,
-                Some(map) => Footprint::Objs(map),
-            };
-            st.quanta.push(QuantumRecord {
-                pid: next,
-                footprint,
-                ready: ready_snapshot,
-            });
-        }
-        // Fault plane: a yield/park/sleep is a scheduling point of `next`.
-        // If the plan kills it here, the normal bookkeeping for the report
-        // is skipped — the process unwinds instead of ever resuming.
+        // Fault plane: a yield/park/sleep is a scheduling point of the
+        // stopping process. If the plan kills it here, the normal
+        // bookkeeping for the report is skipped — the process unwinds
+        // instead of ever resuming.
         let kill_due = st.faults.active()
             && matches!(
                 report,
@@ -888,14 +1303,14 @@ pub(crate) fn run_kernel(
                     | Report::Slept { .. }
             )
             && {
-                let name = st.procs[next.index()].name.clone();
-                st.faults.on_stop(next, &name)
+                let name = st.procs[stop_pid.index()].name.clone();
+                st.faults.on_stop(stop_pid, &name)
             };
         if kill_due {
             // The Killed event goes in *before* the unwind so that poison
             // events emitted by drop guards follow it in the trace.
-            st.trace.push(clock, next, EventKind::Killed);
-            let baton = Arc::clone(&st.procs[next.index()].baton);
+            st.trace.push(clock, stop_pid, EventKind::Killed);
+            let baton = Arc::clone(&st.procs[stop_pid.index()].baton);
             drop(st);
             // The victim is blocked in `obey(baton.take())`; Go::Kill makes
             // it unwind. While it unwinds it is the only executing process
@@ -905,134 +1320,45 @@ pub(crate) fn run_kernel(
             baton.put(Go::Kill);
             match shared.sched_baton.take() {
                 Report::Killed => {}
-                Report::Panicked { message } => {
+                Report::Panicked { message, .. } => {
                     // A drop guard panicked during the kill unwind: surface
                     // it as the mechanism bug it is.
                     let mut st = shared.state.lock();
-                    st.procs[next.index()].status = ProcessStatus::Panicked {
+                    st.procs[stop_pid.index()].status = ProcessStatus::Panicked {
                         message: message.clone(),
                     };
                     drop(st);
-                    shutdown(&shared);
+                    shutdown(shared);
                     let mut st = shared.state.lock();
-                    let report = snapshot(&mut st, policy.as_ref());
-                    return Err(SimError {
-                        kind: SimErrorKind::ProcessPanicked { pid: next, message },
+                    let report = snapshot(&mut st);
+                    return DriveOutcome::Done(Box::new(Err(SimError {
+                        kind: SimErrorKind::ProcessPanicked {
+                            pid: stop_pid,
+                            message,
+                        },
                         report: Box::new(report),
-                    });
+                    })));
                 }
                 _ => unreachable!("kill unwind reports Killed or Panicked"),
             }
             let mut st = shared.state.lock();
-            // The victim's thread has fully exited; shutdown() joins it.
-            st.procs[next.index()].status = ProcessStatus::Killed;
+            // The victim's body has fully unwound (gate lowered).
+            st.procs[stop_pid.index()].status = ProcessStatus::Killed;
             continue;
         }
         match report {
-            Report::Yielded => {
-                let slot = &mut st.procs[next.index()];
-                slot.status = ProcessStatus::Ready;
-                slot.wait_started = None;
-                slot.starvation_flagged = false;
-                st.ready.push(next);
-                if st.record_sched_events {
-                    st.trace.push(clock, next, EventKind::Yielded);
-                }
-            }
-            Report::Parked { reason } => {
-                // The Blocked trace event was already pushed by Ctx::park so
-                // that it is ordered before any subsequent unpark.
-                SimMetrics::bump(&mut st.metrics.parks, &reason);
-                let slot = &mut st.procs[next.index()];
-                // Watchdog bookkeeping: re-parking on the same reason (a
-                // re-contend or recheck loop) continues the current wait
-                // episode; anything else starts a fresh one.
-                match &slot.wait_started {
-                    Some((r, _)) if *r == reason => {}
-                    _ => {
-                        slot.wait_started = Some((reason.clone(), clock));
-                        slot.starvation_flagged = false;
-                    }
-                }
-                slot.status = ProcessStatus::Blocked { reason };
-                slot.park_token += 1;
-                slot.timed_out = false;
-                slot.blocked_since = Some(clock);
-                // Fault plane: a spurious wake makes the process runnable
-                // again with no matching unpark; Ctx::park absorbs it.
-                if st.faults.active() {
-                    let name = st.procs[next.index()].name.clone();
-                    if st.faults.on_park(next, &name) {
-                        st.settle_blocked_time(next);
-                        let slot = &mut st.procs[next.index()];
-                        slot.status = ProcessStatus::Ready;
-                        slot.spurious_wake = true;
-                        st.ready.push(next);
-                        st.trace.push(clock, next, EventKind::SpuriousWake);
-                    }
-                }
-            }
-            Report::ParkedTimeout { reason, ticks } => {
-                st.prune_safe = false; // timers are time-sensitive: no prune
-                SimMetrics::bump(&mut st.metrics.parks, &reason);
-                let until = clock.plus(ticks);
-                let slot = &mut st.procs[next.index()];
-                match &slot.wait_started {
-                    Some((r, _)) if *r == reason => {}
-                    _ => {
-                        slot.wait_started = Some((reason.clone(), clock));
-                        slot.starvation_flagged = false;
-                    }
-                }
-                slot.status = ProcessStatus::Blocked { reason };
-                slot.park_token += 1;
-                slot.timed_out = false;
-                slot.blocked_since = Some(clock);
-                let token = slot.park_token;
-                let tiebreak = st.timer_tiebreak;
-                st.timer_tiebreak += 1;
-                st.timers.push(Reverse((
-                    until,
-                    tiebreak,
-                    next,
-                    TimerKind::ParkTimeout { token },
-                )));
-            }
-            Report::Slept { ticks } => {
-                st.prune_safe = false; // timers are time-sensitive: no prune
-                let until = clock.plus(ticks);
-                let slot = &mut st.procs[next.index()];
-                slot.wait_started = None;
-                slot.starvation_flagged = false;
-                slot.status = ProcessStatus::Sleeping { until };
-                let tiebreak = st.timer_tiebreak;
-                st.timer_tiebreak += 1;
-                st.timers
-                    .push(Reverse((until, tiebreak, next, TimerKind::Sleep)));
-                if st.record_sched_events {
-                    st.trace.push(clock, next, EventKind::Slept { until });
-                }
-            }
-            Report::Finished => {
-                let slot = &mut st.procs[next.index()];
-                slot.wait_started = None;
-                slot.status = ProcessStatus::Finished;
-                if st.record_sched_events {
-                    st.trace.push(clock, next, EventKind::Finished);
-                }
-            }
-            Report::Panicked { message } => {
-                st.procs[next.index()].status = ProcessStatus::Panicked {
+            Report::Panicked { pid, message } => {
+                st.procs[pid.index()].status = ProcessStatus::Panicked {
                     message: message.clone(),
                 };
                 drop(st);
-                shutdown(&shared);
+                shutdown(shared);
                 let mut st = shared.state.lock();
-                let report = snapshot(&mut st, policy.as_ref());
-                return Err(SimError {
-                    kind: SimErrorKind::ProcessPanicked { pid: next, message },
+                let report = snapshot(&mut st);
+                return DriveOutcome::Done(Box::new(Err(SimError {
+                    kind: SimErrorKind::ProcessPanicked { pid, message },
                     report: Box::new(report),
-                });
+                })));
             }
             // Only ever sent in response to Go::Kill, which the kill path
             // above consumes directly.
@@ -1040,10 +1366,13 @@ pub(crate) fn run_kernel(
             // Only ever sent in response to Go::Abort, which the deadlock
             // recovery path in phase 1 consumes directly.
             Report::Aborted => unreachable!("Aborted report outside an abort hand-shake"),
+            // Consumed right after the take() above.
+            Report::Rescan => unreachable!("Rescan reached phase 3"),
+            other => apply_stop(&mut st, stop_pid, other),
         }
     }
 
-    shutdown(&shared);
+    shutdown(shared);
     // Queue hygiene (the `park_timeout` stale-registration footgun): by
     // now every registration must be gone — removed by a wake, by timeout
     // self-removal, or by an unwind guard when shutdown cancelled a still-
@@ -1063,41 +1392,47 @@ pub(crate) fn run_kernel(
         );
     }
     let mut st = shared.state.lock();
-    let report = snapshot(&mut st, policy.as_ref());
-    match error {
+    let report = snapshot(&mut st);
+    DriveOutcome::Done(Box::new(match error {
         None => Ok(report),
         Some(kind) => Err(SimError {
             kind,
             report: Box::new(report),
         }),
-    }
+    }))
 }
 
-/// Cancels every still-live process thread and joins all threads.
-fn shutdown(shared: &Arc<Shared>) {
+/// Cancels every still-live process and waits (via the job gate) for all
+/// started process bodies to return or unwind — the seed's thread joins,
+/// reformulated so it works for pooled hosts too. Idempotent: a second
+/// call finds no live process, no pending body, and a zero gate, which is
+/// what lets [`crate::HeldRun`]'s `Drop` call it unconditionally.
+pub(crate) fn shutdown(shared: &Arc<Shared>) {
     // Raise the flag before any cancellation: cancelled threads unwind
     // concurrently, and their drop guards check it (via Ctx::cancelling)
     // to skip crash-handling work that is only valid for a kill.
     shared.cancelling.store(true, Ordering::SeqCst);
-    let mut joins = Vec::new();
+    let mut never_started = Vec::new();
     {
         let mut st = shared.state.lock();
-        for (i, p) in st.procs.iter_mut().enumerate() {
-            let _ = i;
+        for p in st.procs.iter_mut() {
+            if let Some(f) = p.pending.take() {
+                // Never dispatched in pooled mode: no host is engaged, so
+                // there is nothing to cancel — the body is simply dropped
+                // (outside the lock below; closures own arbitrary state).
+                p.status = ProcessStatus::Cancelled;
+                never_started.push(f);
+                continue;
+            }
             if p.status.is_live() {
                 p.baton.put(Go::Cancel);
                 p.status = ProcessStatus::Cancelled;
             }
-            if let Some(h) = p.join.take() {
-                joins.push(h);
-            }
         }
     }
-    for h in joins {
-        // A cancelled thread unwinds with the private `Cancelled` payload,
-        // which `process_main` catches, so join never observes a panic from
-        // cancellation; a genuine panic was already reported via the baton
-        // and converted into Finished-by-report there.
-        let _ = h.join();
-    }
+    drop(never_started);
+    // A cancelled body unwinds with the private `Cancelled` payload, which
+    // `run_process` catches, so the gate always falls; a genuine panic was
+    // already reported via the baton before the body returned.
+    shared.wait_jobs();
 }

@@ -81,6 +81,7 @@ mod kernel;
 mod metrics;
 mod parallel;
 mod policy;
+mod pool;
 pub mod prelude;
 mod retry;
 mod sample;
@@ -99,13 +100,15 @@ pub use footprint::{Access, Footprint, ObjId, QuantumRecord};
 pub use kernel::{ProcessStatus, ProcessSummary, SimReport, StarvationFlag};
 pub use metrics::{PidMetrics, ReplayDivergence, SimMetrics};
 pub use parallel::{ParallelExplorer, ScheduleRecord};
-pub use policy::{FifoPolicy, LifoPolicy, RandomPolicy, ReplayPolicy, SchedPolicy, SplitMix64};
+pub use policy::{
+    CheckpointSpacing, FifoPolicy, LifoPolicy, RandomPolicy, ReplayPolicy, SchedPolicy, SplitMix64,
+};
 pub use retry::{retry_with_backoff, Backoff, RetryOutcome};
 pub use sample::{
     replay_exact, replay_prefix, shrink_prefix, PctPolicy, SampleRecord, SampleStats,
     SampleStrategy, Sampler,
 };
-pub use sim::{Sim, SimConfig};
+pub use sim::{HeldRun, RunProgress, Sim, SimConfig};
 pub use trace::{Decision, Event, EventKind, Trace};
 pub use types::{Deadline, Pid, Time};
 pub use waitq::WaitQueue;

@@ -7,7 +7,7 @@
 //!
 //! * A shared frontier (`Mutex<Vec<Vec<u32>>>`) holds unexplored branch
 //!   prefixes, seeded with the empty prefix (the canonical first schedule).
-//! * A worker pops a prefix, runs the scenario under a [`ReplayPolicy`]
+//! * A worker pops a prefix, runs the scenario under a [`crate::ReplayPolicy`]
 //!   for it (decisions past the prefix take the canonical choice 0), and
 //!   for every decision point the run *discovered* — indices at or beyond
 //!   the prefix length — pushes each sibling branch `decisions[..i] ⧺ [c]`,
@@ -37,12 +37,12 @@ use crate::error::SimError;
 use crate::explore::victim_killed;
 use crate::explore::{
     bump_depth, merge_conflicts, merge_depth, walk_run, ExploreError, ExploreStats, KillPointCount,
-    KillPointStats, SleepSet,
+    KillPointStats, SleepSet, SpineRunner,
 };
 use crate::fault::FaultPlan;
 use crate::footprint::QuantumRecord;
 use crate::kernel::SimReport;
-use crate::policy::ReplayPolicy;
+use crate::policy::CheckpointSpacing;
 use crate::sim::Sim;
 use crate::trace::Decision;
 use parking_lot::{Condvar, Mutex};
@@ -136,6 +136,7 @@ pub struct ParallelExplorer {
     threads: usize,
     prune: bool,
     granular: bool,
+    checkpoint: CheckpointSpacing,
     progress_every: usize,
     progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
 }
@@ -147,6 +148,7 @@ impl fmt::Debug for ParallelExplorer {
             .field("threads", &self.threads)
             .field("prune", &self.prune)
             .field("granular", &self.granular)
+            .field("checkpoint", &self.checkpoint)
             .field("progress_every", &self.progress_every)
             .field("progress", &self.progress.as_ref().map(|_| ".."))
             .finish()
@@ -166,9 +168,20 @@ impl ParallelExplorer {
             threads,
             prune: false,
             granular: true,
+            checkpoint: CheckpointSpacing::default(),
             progress_every: 0,
             progress: None,
         }
+    }
+
+    /// Selects the schedule execution strategy (see
+    /// [`crate::Explorer::with_checkpointing`]). Each worker keeps its own
+    /// private spine over the prefixes it happens to claim, so the win is
+    /// smaller than the serial explorer's — popped prefixes are only
+    /// *mostly* depth-first per worker — but results stay byte-identical.
+    pub fn with_checkpointing(mut self, spacing: CheckpointSpacing) -> Self {
+        self.checkpoint = spacing;
+        self
     }
 
     /// Sets the worker count (min 1). Results are identical for every
@@ -288,6 +301,15 @@ impl ParallelExplorer {
         T: Send,
     {
         let mut journal = Vec::new();
+        let mut make = || setup();
+        let record_quanta = if self.prune {
+            // The sleep-set layer needs the footprint log; coarse mode
+            // drops it, degrading the walk to the pure-only prune.
+            Some(self.granular)
+        } else {
+            None
+        };
+        let mut spine = SpineRunner::new(self.checkpoint);
         loop {
             // Pop a prefix, or exit once no work exists and nobody is
             // expanding (an active worker may still push more).
@@ -324,14 +346,7 @@ impl ParallelExplorer {
                 }
             }
 
-            let mut sim = setup();
-            sim.set_policy(ReplayPolicy::prefix(prefix.clone()));
-            if self.prune {
-                // The sleep-set layer needs the footprint log; coarse mode
-                // drops it, degrading the walk to the pure-only prune.
-                sim.set_record_quanta(self.granular);
-            }
-            let result = sim.run();
+            let result = spine.run_schedule(&mut make, &prefix, record_quanta);
             let (decisions, quanta, metrics): (&[Decision], &[QuantumRecord], _) = match &result {
                 Ok(report) => (&report.decisions, &report.quanta, &report.metrics),
                 Err(err) => (

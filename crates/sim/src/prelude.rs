@@ -6,9 +6,9 @@
 //! explicitly — a glob in a library obscures where names come from.
 
 pub use crate::{
-    replay_exact, replay_prefix, retry_with_backoff, shrink_prefix, Backoff, Ctx, Deadline,
-    ExploreConfig, ExploreStats, Explorer, FaultPlan, FifoPolicy, KillPointStats, LifoPolicy,
-    ParallelExplorer, Pid, RandomPolicy, ReplayPolicy, RetryOutcome, SampleStats, SampleStrategy,
-    Sampler, SchedPolicy, ScheduleRecord, Sim, SimConfig, SimError, SimReport, SplitMix64, Time,
-    WaitQueue,
+    replay_exact, replay_prefix, retry_with_backoff, shrink_prefix, Backoff, CheckpointSpacing,
+    Ctx, Deadline, ExploreConfig, ExploreStats, Explorer, FaultPlan, FifoPolicy, HeldRun,
+    KillPointStats, LifoPolicy, ParallelExplorer, Pid, RandomPolicy, ReplayPolicy, RetryOutcome,
+    RunProgress, SampleStats, SampleStrategy, Sampler, SchedPolicy, ScheduleRecord, Sim, SimConfig,
+    SimError, SimReport, SplitMix64, Time, WaitQueue,
 };

@@ -34,6 +34,13 @@
 //! merged journal is sorted by that index — results are byte-identical
 //! for every worker count, exactly like the parallel explorer's.
 //!
+//! Each claimed iteration executes its processes on the shared host pool
+//! (DESIGN.md §2.13): `setup()` builds the [`Sim`] with the default
+//! `reuse_hosts: true`, so every PCT/walk run borrows pooled host
+//! threads instead of spawning one OS thread per process per iteration —
+//! the same hot path the explorers use. Thread identity is unobservable
+//! to the simulation, so the journals are unchanged.
+//!
 //! # Replay is load-bearing
 //!
 //! Every sampled schedule is replayable through the existing

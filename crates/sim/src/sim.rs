@@ -3,8 +3,8 @@
 use crate::ctx::Ctx;
 use crate::error::SimError;
 use crate::fault::{FaultPlan, FaultRuntime};
-use crate::kernel::{run_kernel, Shared, SimReport};
-use crate::policy::{FifoPolicy, SchedPolicy};
+use crate::kernel::{drive, shutdown, DriveOutcome, Shared, SimReport};
+use crate::policy::SchedPolicy;
 use crate::types::Pid;
 use std::sync::Arc;
 
@@ -42,6 +42,13 @@ pub struct SimConfig {
     /// disable for long throughput benchmarks where the log's allocation
     /// is measurable.
     pub record_quanta: bool,
+    /// Whether process bodies run on recycled host threads from the global
+    /// pool (`true`, the default — see [`crate::pool`]) or on a freshly
+    /// spawned OS thread per process (`false`: the seed protocol, kept as
+    /// the honest baseline for the exploration benchmarks). The two modes
+    /// are observably identical — same traces, decisions, reports — and
+    /// differ only in thread lifecycle cost.
+    pub reuse_hosts: bool,
 }
 
 impl Default for SimConfig {
@@ -53,6 +60,7 @@ impl Default for SimConfig {
             starvation_bound: None,
             deadlock_recovery: false,
             record_quanta: true,
+            reuse_hosts: true,
         }
     }
 }
@@ -63,7 +71,6 @@ impl Default for SimConfig {
 /// [`Sim::run`]. See the [crate docs](crate) for an end-to-end example.
 pub struct Sim {
     shared: Arc<Shared>,
-    policy: Box<dyn SchedPolicy>,
     config: SimConfig,
 }
 
@@ -75,20 +82,16 @@ impl Sim {
 
     /// Creates a simulation with explicit configuration.
     pub fn with_config(config: SimConfig) -> Self {
+        let faults = FaultRuntime::new(config.faults.clone());
         Sim {
-            shared: Shared::new(
-                config.record_sched_events,
-                config.record_quanta,
-                FaultRuntime::new(config.faults.clone()),
-            ),
-            policy: Box::new(FifoPolicy),
+            shared: Shared::new(&config, faults),
             config,
         }
     }
 
     /// Replaces the scheduling policy.
     pub fn set_policy<P: SchedPolicy + 'static>(&mut self, policy: P) -> &mut Self {
-        self.policy = Box::new(policy);
+        self.shared.state.lock().policy = Box::new(policy);
         self
     }
 
@@ -107,12 +110,14 @@ impl Sim {
     /// [`SimConfig::starvation_bound`]).
     pub fn set_starvation_bound(&mut self, bound: u64) -> &mut Self {
         self.config.starvation_bound = Some(bound);
+        self.shared.state.lock().starvation_bound = Some(bound);
         self
     }
 
     /// Enables deadlock recovery (see [`SimConfig::deadlock_recovery`]).
     pub fn enable_deadlock_recovery(&mut self) -> &mut Self {
         self.config.deadlock_recovery = true;
+        self.shared.state.lock().deadlock_recovery = true;
         self
     }
 
@@ -148,7 +153,105 @@ impl Sim {
     /// exhaustion — are returned as [`SimError`], which still carries the
     /// full [`SimReport`] for diagnosis.
     pub fn run(self) -> Result<SimReport, SimError> {
-        run_kernel(self.shared, self.policy, &self.config)
+        match drive(&self.shared, None) {
+            DriveOutcome::Done(result) => *result,
+            DriveOutcome::Paused => unreachable!("no pause point was requested"),
+        }
+    }
+
+    /// Converts the simulation into a [`HeldRun`] without running anything
+    /// yet: a resumable handle at decision depth 0. Drive it forward with
+    /// [`HeldRun::advance_to`] or to completion with [`HeldRun::finish`].
+    pub fn into_held(self) -> HeldRun {
+        HeldRun {
+            shared: self.shared,
+        }
+    }
+}
+
+/// A live, paused simulation: every process is stopped at a scheduling
+/// point and the kernel is parked just before a contested decision, so the
+/// whole run is a frozen deterministic snapshot (the one-running-process
+/// invariant means no stack is mid-quantum). This is the explorers'
+/// *checkpoint* primitive — a held run, not a copied state.
+///
+/// A held run driven by a [`crate::ReplayPolicy`] can have the rest of its
+/// script replaced between drives ([`HeldRun::set_continuation`]), which is
+/// what lets one checkpoint at decision depth *k* serve every schedule
+/// sharing its first *k* decisions — resuming replays only the residual
+/// decisions instead of the whole prefix from the root.
+///
+/// Dropping a held run cancels its processes and releases their hosts.
+pub struct HeldRun {
+    shared: Arc<Shared>,
+}
+
+/// What [`HeldRun::advance_to`] produced.
+#[allow(clippy::large_enum_variant)] // transient: matched and consumed immediately
+pub enum RunProgress {
+    /// The run paused at the requested decision depth and can be resumed.
+    Held(HeldRun),
+    /// The run finished before reaching the requested depth.
+    Done(Box<Result<SimReport, SimError>>),
+}
+
+impl HeldRun {
+    /// The number of contested decisions made so far.
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().decisions.len()
+    }
+
+    /// The choices taken at the contested decisions made so far.
+    pub fn choices(&self) -> Vec<u32> {
+        self.shared
+            .state
+            .lock()
+            .decisions
+            .iter()
+            .map(|d| d.chosen)
+            .collect()
+    }
+
+    /// Replaces the *unconsumed* rest of the replay script with `tail`
+    /// (the decisions already made are untouched — they happened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run's policy is not a [`crate::ReplayPolicy`].
+    pub fn set_continuation(&mut self, tail: &[u32]) {
+        self.shared
+            .state
+            .lock()
+            .policy
+            .as_replay_mut()
+            .expect("held-run continuation requires a ReplayPolicy")
+            .retarget(tail);
+    }
+
+    /// Drives the run up to `depth` contested decisions, pausing just
+    /// before decision `depth` is made — or to completion if the run ends
+    /// first.
+    pub fn advance_to(self, depth: usize) -> RunProgress {
+        match drive(&self.shared, Some(depth)) {
+            DriveOutcome::Paused => RunProgress::Held(self),
+            DriveOutcome::Done(result) => RunProgress::Done(result),
+        }
+    }
+
+    /// Drives the run to completion.
+    pub fn finish(self) -> Result<SimReport, SimError> {
+        match drive(&self.shared, None) {
+            DriveOutcome::Done(result) => *result,
+            DriveOutcome::Paused => unreachable!("no pause point was requested"),
+        }
+    }
+}
+
+impl Drop for HeldRun {
+    fn drop(&mut self) {
+        // Cancel parked processes and wait for their unwinds (a no-op when
+        // the run already completed — shutdown is idempotent).
+        shutdown(&self.shared);
     }
 }
 
@@ -160,8 +263,9 @@ impl Default for Sim {
 
 impl std::fmt::Debug for Sim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let policy = self.shared.state.lock().policy.name().to_string();
         f.debug_struct("Sim")
-            .field("policy", &self.policy.name())
+            .field("policy", &policy)
             .field("config", &self.config)
             .finish()
     }

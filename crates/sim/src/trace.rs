@@ -122,9 +122,13 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty trace, preallocated for a typical short run —
+    /// exploration executes hundreds of thousands of small runs, so the
+    /// first few doublings of the event vector are worth skipping.
     pub fn new() -> Self {
-        Trace::default()
+        Trace {
+            events: Vec::with_capacity(64),
+        }
     }
 
     pub(crate) fn push(&mut self, time: Time, pid: Pid, kind: EventKind) {

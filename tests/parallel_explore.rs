@@ -10,6 +10,12 @@
 //! exercise deadlock detection, victim abort, and recovery bookkeeping —
 //! the worst case for any scheme whose merged order could depend on which
 //! worker got which subtree.
+//!
+//! The second test pins the same contract along the checkpointing axis:
+//! resuming held runs from a spine of branch-point checkpoints (see
+//! DESIGN.md §2.13) must be observably *nothing* — journals, stats, and
+//! export bytes identical to whole-prefix replay, serial and at every
+//! worker count.
 
 #![deny(deprecated)]
 
@@ -121,5 +127,84 @@ fn parallel_matches_serial_on_recovery_tree_at_every_thread_count() {
             "{threads} threads: merged journal (incl. metrics and export \
              hashes) is not byte-identical to serial"
         );
+    }
+}
+
+/// Checkpoint-vs-replay equivalence: under both non-replay
+/// [`CheckpointSpacing`] policies, with and without pruning, the journal
+/// (decision vectors, verdicts, metrics, and both export-format hashes),
+/// the [`ExploreStats`] counters, and the merged order are byte-identical
+/// to whole-prefix replay — serially and at 1/2/4/8 worker threads. The
+/// recovery tree makes this a hostile fixture: held runs are parked and
+/// resumed across schedules that deadlock, abort victims, and recover.
+#[test]
+fn checkpointed_matches_replay_at_every_thread_count() {
+    let mech = LiveMechanism::SemaphoreStrong;
+    for prune in [false, true] {
+        let replay = ExploreConfig::new(BUDGET).prune(prune);
+        let mut replay_journal = Vec::new();
+        let replay_stats = replay.serial().run(
+            || deadlock_recovery_sim(mech),
+            |decisions, result| replay_journal.push(line(decisions, result)),
+        );
+        assert!(replay_stats.complete, "budget too small for the tree");
+
+        for spacing in [
+            CheckpointSpacing::Dense { budget: 64 },
+            CheckpointSpacing::Geometric { budget: 8 },
+        ] {
+            let config = replay.clone().checkpoint(spacing);
+            let label = format!("prune={prune} {spacing:?}");
+
+            let same_stats = |stats: &ExploreStats, what: &str| {
+                assert_eq!(stats.schedules, replay_stats.schedules, "{what}: schedules");
+                assert_eq!(stats.pruned, replay_stats.pruned, "{what}: pruned");
+                assert!(stats.complete, "{what}: must exhaust the tree");
+                assert_eq!(
+                    stats.depth_schedules, replay_stats.depth_schedules,
+                    "{what}: depth histogram"
+                );
+                assert_eq!(
+                    stats.depth_pruned, replay_stats.depth_pruned,
+                    "{what}: prune histogram"
+                );
+                assert_eq!(
+                    stats.conflicts, replay_stats.conflicts,
+                    "{what}: conflict tally"
+                );
+                assert_eq!(
+                    stats.first_error.as_ref().map(|e| e.choices.clone()),
+                    replay_stats.first_error.as_ref().map(|e| e.choices.clone()),
+                    "{what}: canonical first error"
+                );
+            };
+
+            let mut serial_journal = Vec::new();
+            let serial_stats = config.serial().run(
+                || deadlock_recovery_sim(mech),
+                |decisions, result| serial_journal.push(line(decisions, result)),
+            );
+            same_stats(&serial_stats, &format!("{label} serial"));
+            assert_eq!(
+                serial_journal, replay_journal,
+                "{label} serial: checkpointed journal is not byte-identical \
+                 to replay"
+            );
+
+            for threads in [1, 2, 4, 8] {
+                let (records, stats): (Vec<ScheduleRecord<String>>, _) = config
+                    .clone()
+                    .threads(threads)
+                    .parallel()
+                    .run(|| deadlock_recovery_sim(mech), line);
+                same_stats(&stats, &format!("{label} {threads} threads"));
+                let merged: Vec<String> = records.into_iter().map(|r| r.value).collect();
+                assert_eq!(
+                    merged, replay_journal,
+                    "{label} {threads} threads: checkpointed journal (incl. \
+                     metrics and export hashes) is not byte-identical to replay"
+                );
+            }
+        }
     }
 }

@@ -217,5 +217,33 @@ proptest! {
              behavior set (schedules: {} pruned vs {} unpruned)",
             pruned_stats.schedules, unpruned_stats.schedules,
         );
+
+        // The same oracle through the checkpointed execution path: the
+        // prune decisions feed on footprints recorded during runs that now
+        // resume from held branch-point checkpoints (DESIGN.md §2.13), so
+        // the densest spacing must reproduce the pruned exploration —
+        // schedule count and behavior set — exactly.
+        let mut ckpt = BTreeSet::new();
+        let ckpt_stats = ExploreConfig::new(BUDGET)
+            .prune(true)
+            .checkpoint(CheckpointSpacing::Dense { budget: 2 })
+            .serial()
+            .run(|| build_sim(&w), |_, result| {
+                ckpt.insert(line(result));
+            });
+        prop_assert!(ckpt_stats.complete);
+        prop_assert_eq!(
+            ckpt_stats.schedules, pruned_stats.schedules,
+            "checkpointed pruning changed the schedule count"
+        );
+        prop_assert_eq!(
+            ckpt_stats.pruned, pruned_stats.pruned,
+            "checkpointed pruning changed the prune count"
+        );
+        prop_assert_eq!(
+            &ckpt, &unpruned,
+            "checkpointed pruned exploration must observe the same \
+             behavior set"
+        );
     }
 }
