@@ -1,7 +1,8 @@
 //! Exploration baselines: serial [`Explorer`] vs the work-sharing
 //! [`ParallelExplorer`] at 1/2/4/8 workers over two real schedule trees
-//! (E1, throughput), the equivalence prune's two layers — the pure-
-//! stutter-only prune of PR 3 vs the object-granular sleep-set prune —
+//! (E1, throughput), the equivalence prune's three layers — the pure-
+//! stutter-only prune of PR 3 vs the object-granular sleep-set prune vs
+//! the reads-from revisit mode (E4) —
 //! on the same trees plus a stutter-heavy dining scenario (E2, schedule
 //! counts), and the exploration-kernel execution modes — legacy
 //! spawn-per-run replay vs the pooled host kernel, replay vs
@@ -248,17 +249,24 @@ fn explore_serial(
 }
 
 /// E2: full tree vs the PR 3 pure-stutter prune ("coarse") vs the
-/// object-granular sleep-set prune on one tree. Asserts, while counting:
-/// all three modes observe the identical behavior set, the granular
-/// prune visits strictly fewer schedules than the coarse one, and both
-/// pruned trees are byte-identical across 1/2/4/8 worker threads.
+/// object-granular sleep-set prune vs the reads-from revisit mode
+/// (DESIGN.md §2.14) on one tree. Asserts, while counting: all four
+/// modes observe the identical behavior set, each prune layer visits
+/// strictly fewer schedules than the one before it (granular < coarse,
+/// revisit < granular), the revisit accounting invariant holds, and
+/// every pruned tree is byte-identical across 1/2/4/8 worker threads.
 fn compare_prunes(name: &str, setup: impl Fn() -> Sim + Sync) -> String {
     let budget = ExploreConfig::new(usize::MAX);
     let coarse_config = budget.clone().prune(true).granular(false);
     let granular_config = budget.clone().prune(true);
+    let revisit_config = budget.clone().mode(PruneMode::Revisit);
     let (full_journal, full_stats) = explore_serial(&budget, &setup);
     let (coarse_journal, coarse_stats) = explore_serial(&coarse_config, &setup);
     let (granular_journal, granular_stats) = explore_serial(&granular_config, &setup);
+    let (mut revisit_journal, revisit_stats) = explore_serial(&revisit_config, &setup);
+    // The revisit worklist's visit order is not the parallel merge order;
+    // canonicalise by decision vector for the byte-identity comparisons.
+    revisit_journal.sort();
 
     // Soundness while we measure: pruning may only skip schedules whose
     // behavior an explored schedule already exhibits.
@@ -276,6 +284,11 @@ fn compare_prunes(name: &str, setup: impl Fn() -> Sim + Sync) -> String {
         full_set,
         "{name}: granular prune changed the behavior set"
     );
+    assert_eq!(
+        behaviors(&revisit_journal),
+        full_set,
+        "{name}: revisit prune changed the behavior set"
+    );
     assert!(coarse_stats.schedules <= full_stats.schedules);
     assert!(
         granular_stats.schedules < coarse_stats.schedules,
@@ -284,12 +297,26 @@ fn compare_prunes(name: &str, setup: impl Fn() -> Sim + Sync) -> String {
         granular_stats.schedules,
         coarse_stats.schedules
     );
+    assert!(
+        revisit_stats.schedules < granular_stats.schedules,
+        "{name}: revisit mode must beat the sleep-set prune \
+         ({} vs {} schedules)",
+        revisit_stats.schedules,
+        granular_stats.schedules
+    );
+    revisit_stats.assert_consistent();
+    assert_eq!(
+        revisit_stats.schedules,
+        revisit_stats.revisits as usize + 1,
+        "{name}: every revisit schedule past the root run is a grant"
+    );
 
-    // Thread-count invariance: both pruned trees merge to the serial
+    // Thread-count invariance: every pruned tree merges to the serial
     // journal byte-for-byte at every worker count.
     for (config, serial_journal, serial_stats) in [
         (&coarse_config, &coarse_journal, &coarse_stats),
         (&granular_config, &granular_journal, &granular_stats),
+        (&revisit_config, &revisit_journal, &revisit_stats),
     ] {
         for &threads in &THREAD_COUNTS {
             let (journal, stats) = config
@@ -306,31 +333,47 @@ fn compare_prunes(name: &str, setup: impl Fn() -> Sim + Sync) -> String {
             assert_eq!(stats.schedules, serial_stats.schedules);
             assert_eq!(stats.pruned, serial_stats.pruned);
             assert_eq!(stats.conflicts, serial_stats.conflicts);
+            assert_eq!(stats.revisit_requests, serial_stats.revisit_requests);
+            assert_eq!(stats.revisits, serial_stats.revisits);
         }
     }
 
     let evictions: u64 = granular_stats.conflicts.values().sum();
+    let races: u64 = revisit_stats.conflicts.values().sum();
     eprintln!(
         "pruning({name}): {} full, {} coarse (pure-only), {} granular \
-         ({} + {} subtrees cut, {} conflict evictions)",
+         ({} + {} subtrees cut, {} conflict evictions), {} revisit \
+         ({} races, {} requests, {} grants)",
         full_stats.schedules,
         coarse_stats.schedules,
         granular_stats.schedules,
         coarse_stats.pruned,
         granular_stats.pruned,
-        evictions
+        evictions,
+        revisit_stats.schedules,
+        races,
+        revisit_stats.revisit_requests,
+        revisit_stats.revisits
     );
     format!(
         "{{\n      \"tree\": \"{name}\",\n      \"full_schedules\": {},\n      \
          \"coarse_schedules\": {},\n      \"coarse_pruned\": {},\n      \
          \"granular_schedules\": {},\n      \"granular_pruned\": {},\n      \
-         \"conflict_evictions\": {}\n    }}",
+         \"conflict_evictions\": {},\n      \
+         \"revisit_schedules\": {},\n      \"revisit_pruned\": {},\n      \
+         \"revisit_races\": {},\n      \"revisit_requests\": {},\n      \
+         \"revisit_grants\": {}\n    }}",
         full_stats.schedules,
         coarse_stats.schedules,
         coarse_stats.pruned,
         granular_stats.schedules,
         granular_stats.pruned,
-        evictions
+        evictions,
+        revisit_stats.schedules,
+        revisit_stats.pruned,
+        races,
+        revisit_stats.revisit_requests,
+        revisit_stats.revisits
     )
 }
 

@@ -213,21 +213,6 @@ impl<T: Send> Channel<T> {
         select_by(ctx, &mut [(self, true)], deadline).map(|(_, v)| v)
     }
 
-    /// Deprecated spelling of [`Channel::send_by`].
-    ///
-    /// Semantics note: `ticks == 0` now fails immediately instead of
-    /// parking for a zero-length timeout (no in-repo caller passes 0).
-    #[deprecated(since = "0.1.0", note = "use `send_by` (takes `impl Into<Deadline>`)")]
-    pub fn send_timeout(&self, ctx: &Ctx, value: T, ticks: u64) -> Result<(), T> {
-        self.send_by(ctx, value, ticks)
-    }
-
-    /// Deprecated spelling of [`Channel::recv_by`].
-    #[deprecated(since = "0.1.0", note = "use `recv_by` (takes `impl Into<Deadline>`)")]
-    pub fn recv_timeout(&self, ctx: &Ctx, ticks: u64) -> Option<T> {
-        self.recv_by(ctx, ticks)
-    }
-
     /// Number of senders currently blocked on this channel — queue
     /// interrogation for guards (the §3 *synchronization state* category).
     ///
@@ -367,22 +352,6 @@ pub fn select_by<T: Send>(
     assert_some_guard(alternatives);
     let ticks = ctx.remaining(deadline)?;
     select_inner(ctx, alternatives, Some(ticks))
-}
-
-/// Deprecated spelling of [`select_by`].
-///
-/// Semantics note: `ticks == 0` now fails immediately instead of parking
-/// for a zero-length timeout (no in-repo caller passes 0).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `select_by` (takes `impl Into<Deadline>`)"
-)]
-pub fn select_timeout<T: Send>(
-    ctx: &Ctx,
-    alternatives: &mut [(&Channel<T>, bool)],
-    ticks: u64,
-) -> Option<(usize, T)> {
-    select_by(ctx, alternatives, ticks)
 }
 
 fn assert_some_guard<T>(alternatives: &[(&Channel<T>, bool)]) {

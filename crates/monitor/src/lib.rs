@@ -596,34 +596,6 @@ impl<S: Send> MonitorCtx<'_, S> {
         Ok(true)
     }
 
-    /// Deprecated spelling of [`MonitorCtx::wait_by`].
-    ///
-    /// Semantics note: `ticks == 0` now returns `false` immediately instead
-    /// of parking for a zero-length timeout (no in-repo caller passes 0).
-    #[deprecated(since = "0.1.0", note = "use `wait_by` (takes `impl Into<Deadline>`)")]
-    pub fn wait_timeout(&self, cond: &Cond, ticks: u64) -> bool {
-        self.wait_by(cond, ticks)
-    }
-
-    /// Deprecated spelling of [`MonitorCtx::wait_by_checked`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `wait_by_checked` (takes `impl Into<Deadline>`)"
-    )]
-    pub fn wait_timeout_checked(&self, cond: &Cond, ticks: u64) -> Result<bool, Poisoned> {
-        self.wait_by_checked(cond, ticks)
-    }
-
-    /// Deprecated spelling of [`MonitorCtx::wait_by`].
-    ///
-    /// Semantics note: an expired deadline under
-    /// [`Signaling::SignalAndExit`] now trips the unsupported-discipline
-    /// assertion instead of silently returning `false`.
-    #[deprecated(since = "0.1.0", note = "use `wait_by` (takes `impl Into<Deadline>`)")]
-    pub fn wait_deadline(&self, cond: &Cond, deadline: Deadline) -> bool {
-        self.wait_by(cond, deadline)
-    }
-
     /// Signals `cond`: resumes its frontmost waiter, if any.
     ///
     /// Under Hoare semantics possession passes to the signalled process and

@@ -520,63 +520,6 @@ impl PathResource {
         Ok(Some(r))
     }
 
-    /// Deprecated spelling of [`PathResource::request_by`].
-    ///
-    /// Semantics note: `ticks == 0` now degenerates to a single activation
-    /// attempt instead of parking for a zero-length timeout (no in-repo
-    /// caller passes 0).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `request_by` (takes `impl Into<Deadline>`)"
-    )]
-    pub fn request_timeout(&self, ctx: &Ctx, op: &str, ticks: u64) -> bool {
-        self.request_by(ctx, op, ticks)
-    }
-
-    /// Deprecated spelling of [`PathResource::request_by_checked`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `request_by_checked` (takes `impl Into<Deadline>`)"
-    )]
-    pub fn request_timeout_checked(
-        &self,
-        ctx: &Ctx,
-        op: &str,
-        ticks: u64,
-    ) -> Result<bool, Poisoned> {
-        self.request_by_checked(ctx, op, ticks)
-    }
-
-    /// Deprecated spelling of [`PathResource::perform_by`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `perform_by` (takes `impl Into<Deadline>`)"
-    )]
-    pub fn perform_timeout<R>(
-        &self,
-        ctx: &Ctx,
-        op: &str,
-        ticks: u64,
-        body: impl FnOnce() -> R,
-    ) -> Option<R> {
-        self.perform_by(ctx, op, ticks, body)
-    }
-
-    /// Deprecated spelling of [`PathResource::try_perform_by`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_perform_by` (takes `impl Into<Deadline>`)"
-    )]
-    pub fn try_perform_timeout<R>(
-        &self,
-        ctx: &Ctx,
-        op: &str,
-        ticks: u64,
-        body: impl FnOnce() -> R,
-    ) -> Result<Option<R>, Poisoned> {
-        self.try_perform_by(ctx, op, ticks, body)
-    }
-
     /// A single activation attempt: starts `op` if the paths permit it
     /// right now, else changes nothing (no queue entry).
     fn try_start_now(&self, ctx: &Ctx, op: &str) -> bool {

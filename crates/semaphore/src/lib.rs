@@ -250,26 +250,6 @@ impl Semaphore {
         }
     }
 
-    /// P with a relative timeout in ticks.
-    ///
-    /// Superseded by [`Semaphore::p_by`], which takes relative and
-    /// absolute deadlines alike. Note `p_by(ctx, 0)` fails immediately
-    /// without parking, where this method parked with an already-due
-    /// timer.
-    #[deprecated(since = "0.1.0", note = "use `p_by` (takes `impl Into<Deadline>`)")]
-    pub fn p_timeout(&self, ctx: &Ctx, ticks: u64) -> TryResult {
-        self.p_by(ctx, ticks)
-    }
-
-    /// P against an absolute [`Deadline`].
-    ///
-    /// Superseded by [`Semaphore::p_by`], which takes relative and
-    /// absolute deadlines alike.
-    #[deprecated(since = "0.1.0", note = "use `p_by` (takes `impl Into<Deadline>`)")]
-    pub fn p_deadline(&self, ctx: &Ctx, deadline: Deadline) -> TryResult {
-        self.p_by(ctx, deadline)
-    }
-
     /// Runs `f` with a permit held, releasing it even if `f` unwinds
     /// (fault-plan kill or panic): the crash-safe alternative to a bare
     /// `p`/`v` pair.

@@ -731,37 +731,6 @@ impl<S: Send> SerializerCtx<'_, S> {
         false
     }
 
-    /// Deprecated spelling of [`SerializerCtx::enqueue_by`].
-    ///
-    /// Semantics note: `ticks == 0` now gives up immediately instead of
-    /// parking for a zero-length timeout (no in-repo caller passes 0).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `enqueue_by` (takes `impl Into<Deadline>`)"
-    )]
-    pub fn enqueue_timeout(
-        &self,
-        queue: QueueId,
-        ticks: u64,
-        guard: impl Fn(&GuardView<'_, S>) -> bool + Send + 'static,
-    ) -> bool {
-        self.enqueue_by(queue, ticks, guard)
-    }
-
-    /// Deprecated spelling of [`SerializerCtx::enqueue_by`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `enqueue_by` (takes `impl Into<Deadline>`)"
-    )]
-    pub fn enqueue_deadline(
-        &self,
-        queue: QueueId,
-        deadline: Deadline,
-        guard: impl Fn(&GuardView<'_, S>) -> bool + Send + 'static,
-    ) -> bool {
-        self.enqueue_by(queue, deadline, guard)
-    }
-
     fn park_in(&self, queue: QueueId) {
         let reason = format!("{}.{}", self.ser.name, self.ser.queues.lock()[queue.0].name);
         let cleanup = DequeueOnUnwind {

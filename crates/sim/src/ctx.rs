@@ -264,7 +264,7 @@ impl Ctx {
     ///
     /// On timeout the caller is still registered on whatever wait queue it
     /// joined and must deregister itself (see
-    /// [`crate::WaitQueue::wait_timeout`], which handles this). A leaked
+    /// [`crate::WaitQueue::wait_by`], which handles this). A leaked
     /// registration is caught loudly: in debug builds the kernel asserts at
     /// the end of every non-panicked run that no wait queue still holds an
     /// entry, and grant paths must consult [`Ctx::is_parked`] before

@@ -49,16 +49,33 @@
 //! both layers self-disable. Pruning is off by default because exact
 //! schedule counts are themselves findings in this repository's reports.
 //! See `DESIGN.md` §2.10 for the full soundness argument.
+//!
+//! # The revisit mode
+//!
+//! [`PruneMode::Revisit`] replaces the expand-then-prune shape with
+//! race-driven *revisits* (classical happens-before DPOR over the same
+//! footprint log — see [`crate::revisit`] and `DESIGN.md` §2.14): a
+//! sibling branch is scheduled only when some executed run detects a
+//! reversible race that dispatching it would reverse. Siblings never
+//! requested are counted as pruned without being expanded at all, which
+//! is why the mode explores strictly fewer schedules than the sleep-set
+//! prune on contended trees. The explored set is a least fixed point of
+//! the per-run request function, so the serial worklist
+//! ([`Explorer::run`] in this mode) and the parallel frontier
+//! ([`crate::ParallelExplorer`]) execute the identical schedule set; only
+//! the serial *visit order* is worklist order rather than depth-first
+//! order (sort by decision vector to compare journals).
 
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::footprint::{Footprint, QuantumRecord};
 use crate::kernel::{ProcessStatus, SimReport};
 use crate::policy::{CheckpointSpacing, ReplayPolicy};
+use crate::revisit::plan_revisits;
 use crate::sim::{HeldRun, RunProgress, Sim};
 use crate::trace::Decision;
 use crate::types::Pid;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Executes one schedule per call, resuming from a spine of checkpointed
@@ -173,6 +190,30 @@ impl SpineRunner {
     }
 }
 
+/// Which reduction the explorers apply when pruning is enabled.
+///
+/// All three modes preserve the set of distinct user-event traces; they
+/// differ in how much of the schedule tree they must execute to cover it
+/// (`Coarse` ⊇ `Granular` ⊇ `Revisit`, schedule-count-wise, on contended
+/// trees) and in what [`ExploreStats::conflicts`] tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneMode {
+    /// Pure-stutter siblings only (the PR 3 prune): a decision whose
+    /// canonical quantum touched nothing prunes all its siblings. Kept
+    /// addressable so the finer layers' contributions can be measured.
+    Coarse,
+    /// Object-granular sleep sets over the footprint log (the PR 5
+    /// prune, `DESIGN.md` §2.10). Subsumes `Coarse`. The default.
+    Granular,
+    /// Race-driven revisits (classical happens-before DPOR, `DESIGN.md`
+    /// §2.14): siblings are only ever *scheduled* when a detected race
+    /// requests them, instead of being expanded and then put to sleep.
+    /// Near-optimal — strictly fewer schedules than `Granular` on every
+    /// benchmarked tree. The serial visit order is worklist order, not
+    /// depth-first order (the executed *set* is identical).
+    Revisit,
+}
+
 /// The first failed schedule of an exploration, with enough context to
 /// replay it: the full decision vector that produced the failure and the
 /// failure itself (whose report carries the partial trace and metrics).
@@ -212,15 +253,27 @@ pub struct ExploreStats {
     /// Prune histogram by depth: `depth_pruned[d]` counts sibling branches
     /// skipped at decision index `d`. Sums to `pruned`.
     pub depth_pruned: Vec<usize>,
-    /// Per-object conflict tally of the sleep-set prune: how many times an
-    /// executed quantum's footprint conflicted with (and so evicted) a
-    /// sleeping entry, keyed by the conflicting object's full name (`"*"`
-    /// when both sides were opaque [`crate::Footprint::All`]). Summed over
-    /// every executed run's walk; deterministic and identical across
-    /// thread counts for complete explorations. Empty unless pruning was
-    /// enabled. A hot object here is the object whose contention limits
-    /// the reduction.
+    /// Per-object conflict tally of the prune, keyed by the conflicting
+    /// object's full name (`"*"` when both sides were opaque
+    /// [`crate::Footprint::All`]). In the sleep-set modes: how many times
+    /// an executed quantum's footprint conflicted with (and so evicted) a
+    /// sleeping entry. In [`PruneMode::Revisit`]: how many reversible
+    /// races were detected on the object. Summed over every executed run;
+    /// deterministic and identical across thread counts for complete
+    /// explorations. Empty unless pruning was enabled. A hot object here
+    /// is the object whose contention limits the reduction.
     pub conflicts: BTreeMap<String, u64>,
+    /// [`PruneMode::Revisit`] only: total race-derived branch requests
+    /// generated across all executed runs, *including* requests whose
+    /// branch was already scheduled (each run's requests are a pure
+    /// function of that run, so the sum is strategy-independent). Always
+    /// 0 in the other modes.
+    pub revisit_requests: u64,
+    /// [`PruneMode::Revisit`] only: how many requested branches were
+    /// fresh and actually scheduled. Every executed schedule except the
+    /// root is a granted revisit, so a complete revisit exploration has
+    /// `schedules == revisits + 1`. Always 0 in the other modes.
+    pub revisits: u64,
     /// The first failed schedule in canonical depth-first order, if any
     /// schedule failed. Exploration does not stop at a failure — the rest
     /// of the tree is still covered — but the canonical-first failure is
@@ -244,6 +297,52 @@ impl ExploreStats {
     pub(crate) fn count_pruned_at_depth(&mut self, depth: usize, branches: usize) {
         bump_depth(&mut self.depth_pruned, depth, branches);
         self.pruned += branches;
+    }
+
+    /// Asserts the accounting invariants that hold in every mode and
+    /// through every execution strategy: the per-depth histograms are
+    /// exact decompositions of their totals (no drift, no trailing empty
+    /// buckets) and the revisit tallies are mutually consistent. Both
+    /// explorers run this under `debug_assertions` on every stats value
+    /// they return; tests call it directly on release builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tally has drifted from its histogram.
+    pub fn assert_consistent(&self) {
+        assert_eq!(
+            self.depth_schedules.iter().sum::<usize>(),
+            self.schedules,
+            "depth_schedules must decompose schedules exactly"
+        );
+        assert_eq!(
+            self.depth_pruned.iter().sum::<usize>(),
+            self.pruned,
+            "depth_pruned must decompose pruned exactly"
+        );
+        assert_ne!(
+            self.depth_schedules.last(),
+            Some(&0),
+            "depth_schedules must not have trailing empty buckets"
+        );
+        assert_ne!(
+            self.depth_pruned.last(),
+            Some(&0),
+            "depth_pruned must not have trailing empty buckets"
+        );
+        assert!(
+            self.revisits <= self.revisit_requests,
+            "every granted revisit was first requested ({} > {})",
+            self.revisits,
+            self.revisit_requests
+        );
+        if self.revisits > 0 && self.complete {
+            assert_eq!(
+                self.schedules,
+                self.revisits as usize + 1,
+                "in revisit mode every non-root schedule is a granted revisit"
+            );
+        }
     }
 }
 
@@ -461,13 +560,54 @@ pub struct KillPointStats {
     pub depth_schedules: Vec<usize>,
     /// Prune histogram by depth, merged across kill points.
     pub depth_pruned: Vec<usize>,
-    /// Per-object sleep-set conflict tally, merged across kill points
-    /// (see [`ExploreStats::conflicts`]).
+    /// Per-object conflict tally, merged across kill points (see
+    /// [`ExploreStats::conflicts`]).
     pub conflicts: BTreeMap<String, u64>,
+    /// Race-derived branch requests, merged across kill points (see
+    /// [`ExploreStats::revisit_requests`]).
+    pub revisit_requests: u64,
+    /// Granted revisits, merged across kill points (see
+    /// [`ExploreStats::revisits`]).
+    pub revisits: u64,
     /// The first failed schedule: the canonical-first failure of the
     /// earliest kill point that had one (points are swept in order, so
     /// this too is deterministic across strategies and thread counts).
     pub first_error: Option<ExploreError>,
+}
+
+impl KillPointStats {
+    /// Asserts the accounting invariants of a kill-point sweep: the depth
+    /// histograms decompose the totals and the per-point counts sum to
+    /// the schedule total (see [`ExploreStats::assert_consistent`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tally has drifted from its histogram.
+    pub fn assert_consistent(&self) {
+        assert_eq!(
+            self.depth_schedules.iter().sum::<usize>(),
+            self.schedules,
+            "depth_schedules must decompose schedules exactly"
+        );
+        assert_eq!(
+            self.depth_pruned.iter().sum::<usize>(),
+            self.pruned,
+            "depth_pruned must decompose pruned exactly"
+        );
+        assert_eq!(
+            self.per_point.iter().map(|p| p.schedules).sum::<usize>(),
+            self.schedules,
+            "per-point schedule counts must sum to the total"
+        );
+        assert!(
+            self.per_point.iter().all(|p| p.kills <= p.schedules),
+            "a kill fires at most once per schedule"
+        );
+        assert!(
+            self.revisits <= self.revisit_requests,
+            "every granted revisit was first requested"
+        );
+    }
 }
 
 /// Exploration counts for one kill point of a sweep.
@@ -486,7 +626,7 @@ pub struct KillPointCount {
 pub struct Explorer {
     max_schedules: usize,
     prune: bool,
-    granular: bool,
+    mode: PruneMode,
     checkpoint: CheckpointSpacing,
     progress_every: usize,
     progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
@@ -497,7 +637,7 @@ impl std::fmt::Debug for Explorer {
         f.debug_struct("Explorer")
             .field("max_schedules", &self.max_schedules)
             .field("prune", &self.prune)
-            .field("granular", &self.granular)
+            .field("mode", &self.mode)
             .field("checkpoint", &self.checkpoint)
             .field("progress_every", &self.progress_every)
             .field("progress", &self.progress.as_ref().map(|_| ".."))
@@ -511,7 +651,7 @@ impl Explorer {
         Explorer {
             max_schedules,
             prune: false,
-            granular: true,
+            mode: PruneMode::Granular,
             checkpoint: CheckpointSpacing::default(),
             progress_every: 0,
             progress: None,
@@ -532,7 +672,7 @@ impl Explorer {
     /// skipped and counted in [`ExploreStats::pruned`].
     pub fn with_pruning(mut self) -> Self {
         self.prune = true;
-        self.granular = true;
+        self.mode = PruneMode::Granular;
         self
     }
 
@@ -544,7 +684,20 @@ impl Explorer {
     /// [`Explorer::with_pruning`], which subsumes it.
     pub fn with_coarse_pruning(mut self) -> Self {
         self.prune = true;
-        self.granular = false;
+        self.mode = PruneMode::Coarse;
+        self
+    }
+
+    /// Enables the race-driven revisit prune ([`PruneMode::Revisit`], see
+    /// the module docs and `DESIGN.md` §2.14): only sibling branches that
+    /// reverse a detected race are scheduled, every other sibling is
+    /// counted as pruned without being expanded. Explores strictly fewer
+    /// schedules than [`Explorer::with_pruning`] on contended trees;
+    /// `visit` is invoked in deterministic worklist order rather than
+    /// depth-first order.
+    pub fn with_revisit_pruning(mut self) -> Self {
+        self.prune = true;
+        self.mode = PruneMode::Revisit;
         self
     }
 
@@ -583,6 +736,9 @@ impl Explorer {
         S: FnMut() -> Sim,
         V: FnMut(&[Decision], &Result<SimReport, SimError>),
     {
+        if self.prune && self.mode == PruneMode::Revisit {
+            return self.run_revisit(setup, visit);
+        }
         let mut prefix: Vec<u32> = Vec::new();
         // Per-depth prune facts for the nodes on the current path, recorded
         // when each node is first discovered (by the run that first reached
@@ -598,7 +754,7 @@ impl Explorer {
         // drops it, degrading `walk_run` to the pure-only prune with
         // empty sleep sets.
         let record_quanta = if self.prune {
-            Some(self.granular)
+            Some(self.mode == PruneMode::Granular)
         } else {
             None
         };
@@ -699,9 +855,13 @@ impl Explorer {
             }
             let Some((i, c)) = next_branch else {
                 stats.complete = true;
+                #[cfg(debug_assertions)]
+                stats.assert_consistent();
                 return stats;
             };
             if stats.schedules >= self.max_schedules {
+                #[cfg(debug_assertions)]
+                stats.assert_consistent();
                 return stats;
             }
             // Advance the prefix in place: entries below `i` already match
@@ -715,6 +875,128 @@ impl Explorer {
                 path.truncate(i + 1);
             }
         }
+    }
+
+    /// The [`PruneMode::Revisit`] strategy: a deterministic worklist
+    /// fixed point instead of a depth-first walk.
+    ///
+    /// The worklist starts with the root schedule. Each popped prefix is
+    /// executed, its newly discovered decision nodes are registered (with
+    /// a marker for their canonical choice-0 branch, which the run itself
+    /// explores), and its race analysis ([`plan_revisits`]) produces the
+    /// sibling branches to schedule; a request is granted only if its
+    /// branch was never scheduled before. Because each run's requests are
+    /// a pure function of that run, the executed set is the least fixed
+    /// point of "the root, plus everything any executed run requests" —
+    /// independent of pop order, which is what makes the parallel
+    /// frontier execute the byte-identical set.
+    ///
+    /// Pruned-branch accounting is settled at the end: every sibling of
+    /// every discovered contested node that was never granted is a pruned
+    /// branch at that node's depth. (A granted-but-unexecuted branch
+    /// under a budget cut is neither executed nor pruned, exactly like an
+    /// unvisited frontier entry in the other modes.)
+    fn run_revisit<S, V>(&self, mut setup: S, mut visit: V) -> ExploreStats
+    where
+        S: FnMut() -> Sim,
+        V: FnMut(&[Decision], &Result<SimReport, SimError>),
+    {
+        let mut pending: BTreeSet<Vec<u32>> = BTreeSet::new();
+        // Every branch prefix ever scheduled: granted revisits plus the
+        // canonical choice-0 markers of discovered nodes. Grants are
+        // fresh insertions, so a branch can never run (or be counted)
+        // twice — in particular a race requesting choice 0 at a node
+        // reached through a non-canonical prefix is recognised as already
+        // covered by the run that discovered the node.
+        let mut scheduled: BTreeSet<Vec<u32>> = BTreeSet::new();
+        pending.insert(Vec::new());
+        scheduled.insert(Vec::new());
+        // Per-depth sibling capacity of discovered contested nodes
+        // (arity - 1 each) and per-depth granted revisits; their
+        // difference is the prune histogram.
+        let mut potential: Vec<usize> = Vec::new();
+        let mut granted: Vec<usize> = Vec::new();
+        let mut stats = ExploreStats::default();
+        let mut spine = SpineRunner::new(self.checkpoint);
+        while let Some(prefix) = pending.pop_first() {
+            if stats.schedules >= self.max_schedules {
+                pending.insert(prefix); // budget hit with work left
+                break;
+            }
+            // The race analysis always needs the footprint log.
+            let result = spine.run_schedule(&mut setup, &prefix, Some(true));
+            let (decisions, quanta, metrics): (&[Decision], &[QuantumRecord], _) = match &result {
+                Ok(report) => (&report.decisions, &report.quanta, &report.metrics),
+                Err(err) => (
+                    &err.report.decisions,
+                    &err.report.quanta,
+                    &err.report.metrics,
+                ),
+            };
+            debug_assert!(
+                !metrics.replay.diverged(),
+                "replay diverged ({:?}) during exploration: scenario is nondeterministic",
+                metrics.replay
+            );
+            for (i, want) in prefix.iter().enumerate() {
+                assert!(
+                    decisions.get(i).map(|d| d.chosen) == Some(*want),
+                    "replay prefix diverged at decision {i}: scenario is nondeterministic"
+                );
+            }
+            debug_assert!(decisions[prefix.len()..].iter().all(|d| d.chosen == 0));
+            let choices: Vec<u32> = decisions.iter().map(|d| d.chosen).collect();
+            // Register the nodes this run discovered, with their
+            // canonical-branch markers.
+            for (i, d) in decisions.iter().enumerate().skip(prefix.len()) {
+                if d.arity > 1 {
+                    bump_depth(&mut potential, i, d.arity as usize - 1);
+                    scheduled.insert(choices[..=i].to_vec());
+                }
+            }
+            let plan = plan_revisits(decisions, quanta, prefix.len(), &mut stats.conflicts);
+            stats.revisit_requests += plan.requests.len() as u64;
+            for (i, c) in plan.requests {
+                let mut branch = choices[..i].to_vec();
+                branch.push(c);
+                if scheduled.insert(branch.clone()) {
+                    bump_depth(&mut granted, i, 1);
+                    stats.revisits += 1;
+                    pending.insert(branch);
+                }
+            }
+            visit(decisions, &result);
+            stats.count_schedule_at_depth(decisions.len());
+            if self.progress_every > 0 && stats.schedules.is_multiple_of(self.progress_every) {
+                if let Some(progress) = &self.progress {
+                    progress(stats.schedules);
+                }
+            }
+            if let Err(err) = &result {
+                // Worklist pop order is not canonical depth-first order,
+                // so keep the lexicographic minimum explicitly (the same
+                // winner the parallel explorer's merge picks).
+                let candidate = ExploreError {
+                    choices,
+                    error: err.clone(),
+                };
+                match &stats.first_error {
+                    Some(cur) if cur.choices <= candidate.choices => {}
+                    _ => stats.first_error = Some(candidate),
+                }
+            }
+        }
+        stats.complete = pending.is_empty();
+        for (depth, &cap) in potential.iter().enumerate() {
+            let taken = granted.get(depth).copied().unwrap_or(0);
+            debug_assert!(taken <= cap, "granted more siblings than exist");
+            if cap > taken {
+                stats.count_pruned_at_depth(depth, cap - taken);
+            }
+        }
+        #[cfg(debug_assertions)]
+        stats.assert_consistent();
+        stats
     }
 
     /// Explores the (schedule × kill-point) space of a scenario: for each
@@ -765,6 +1047,8 @@ impl Explorer {
             merge_depth(&mut stats.depth_schedules, &point_stats.depth_schedules);
             merge_depth(&mut stats.depth_pruned, &point_stats.depth_pruned);
             merge_conflicts(&mut stats.conflicts, &point_stats.conflicts);
+            stats.revisit_requests += point_stats.revisit_requests;
+            stats.revisits += point_stats.revisits;
             if stats.first_error.is_none() {
                 stats.first_error = point_stats.first_error;
             }
@@ -777,6 +1061,8 @@ impl Explorer {
                 break; // the victim never reaches `point` scheduling points
             }
         }
+        #[cfg(debug_assertions)]
+        stats.assert_consistent();
         stats
     }
 }
@@ -802,7 +1088,7 @@ impl Explorer {
 pub struct ExploreConfig {
     budget: usize,
     prune: bool,
-    granular: bool,
+    mode: PruneMode,
     checkpoint: CheckpointSpacing,
     threads: Option<usize>,
     progress_every: usize,
@@ -814,7 +1100,7 @@ impl std::fmt::Debug for ExploreConfig {
         f.debug_struct("ExploreConfig")
             .field("budget", &self.budget)
             .field("prune", &self.prune)
-            .field("granular", &self.granular)
+            .field("mode", &self.mode)
             .field("checkpoint", &self.checkpoint)
             .field("threads", &self.threads)
             .field("progress_every", &self.progress_every)
@@ -825,13 +1111,13 @@ impl std::fmt::Debug for ExploreConfig {
 
 impl ExploreConfig {
     /// Creates a configuration with the given schedule budget; pruning
-    /// off, whole-prefix replay, default thread count, no progress
-    /// callback.
+    /// off, granular mode, whole-prefix replay, default thread count, no
+    /// progress callback.
     pub fn new(budget: usize) -> Self {
         ExploreConfig {
             budget,
             prune: false,
-            granular: true,
+            mode: PruneMode::Granular,
             checkpoint: CheckpointSpacing::default(),
             threads: None,
             progress_every: 0,
@@ -853,12 +1139,25 @@ impl ExploreConfig {
         self
     }
 
-    /// Selects between the full object-granular prune (`true`, the
+    /// Selects between the object-granular sleep-set prune (`true`, the
     /// default) and the coarse pure-stutter-only layer (`false`; see
-    /// [`Explorer::with_coarse_pruning`]). No effect while pruning is
-    /// off.
+    /// [`Explorer::with_coarse_pruning`]). Shorthand for
+    /// [`ExploreConfig::mode`] with [`PruneMode::Granular`] or
+    /// [`PruneMode::Coarse`]. No effect while pruning is off.
     pub fn granular(mut self, on: bool) -> Self {
-        self.granular = on;
+        self.mode = if on {
+            PruneMode::Granular
+        } else {
+            PruneMode::Coarse
+        };
+        self
+    }
+
+    /// Selects a prune mode and enables pruning (see [`PruneMode`]; for
+    /// [`PruneMode::Revisit`] see [`Explorer::with_revisit_pruning`]).
+    pub fn mode(mut self, mode: PruneMode) -> Self {
+        self.prune = true;
+        self.mode = mode;
         self
     }
 
@@ -887,10 +1186,10 @@ impl ExploreConfig {
     pub fn serial(&self) -> Explorer {
         let mut explorer = Explorer::new(self.budget).with_checkpointing(self.checkpoint);
         if self.prune {
-            explorer = if self.granular {
-                explorer.with_pruning()
-            } else {
-                explorer.with_coarse_pruning()
+            explorer = match self.mode {
+                PruneMode::Coarse => explorer.with_coarse_pruning(),
+                PruneMode::Granular => explorer.with_pruning(),
+                PruneMode::Revisit => explorer.with_revisit_pruning(),
             };
         }
         if let Some(progress) = &self.progress {
@@ -908,10 +1207,10 @@ impl ExploreConfig {
             explorer = explorer.threads(threads);
         }
         if self.prune {
-            explorer = if self.granular {
-                explorer.with_pruning()
-            } else {
-                explorer.with_coarse_pruning()
+            explorer = match self.mode {
+                PruneMode::Coarse => explorer.with_coarse_pruning(),
+                PruneMode::Granular => explorer.with_pruning(),
+                PruneMode::Revisit => explorer.with_revisit_pruning(),
             };
         }
         if let Some(progress) = &self.progress {
@@ -1381,5 +1680,170 @@ mod tests {
         assert_eq!(parallel.pruned, serial.pruned);
         assert_eq!(parallel.conflicts, serial.conflicts);
         assert_eq!(parallel.depth_schedules, serial.depth_schedules);
+    }
+
+    /// A scenario with both real conflicts (a shared queue) and commuting
+    /// work (disjoint queues, pure stutters) for the revisit tests.
+    fn mixed_conflict_scenario() -> Sim {
+        let mut sim = Sim::new();
+        let shared = Arc::new(crate::waitq::WaitQueue::new("shared"));
+        let qa = Arc::new(crate::waitq::WaitQueue::new("qa"));
+        let s1 = Arc::clone(&shared);
+        sim.spawn("a", move |ctx| {
+            qa.wake_one(ctx);
+            ctx.yield_now();
+            s1.wake_one(ctx);
+            ctx.emit("a", &[]);
+        });
+        let s2 = Arc::clone(&shared);
+        sim.spawn("b", move |ctx| {
+            s2.wake_one(ctx);
+            ctx.yield_now();
+            ctx.emit("b", &[]);
+        });
+        sim
+    }
+
+    /// The revisit mode observes exactly the behaviors of the full
+    /// exploration, in no more schedules than the granular prune, and its
+    /// accounting invariant holds: every schedule past the canonical root
+    /// run is a granted revisit.
+    #[test]
+    fn revisit_preserves_behaviors_and_accounts_every_schedule() {
+        let traces = |explorer: Explorer| {
+            let seen = Arc::new(Mutex::new(BTreeSet::new()));
+            let seen2 = Arc::clone(&seen);
+            let stats = explorer.run(mixed_conflict_scenario, move |_, result| {
+                let report = result.as_ref().expect("no failure possible");
+                let order: Vec<String> = report
+                    .trace
+                    .user_events()
+                    .map(|(_, l, _)| l.to_string())
+                    .collect();
+                seen2.lock().insert(order);
+            });
+            assert!(stats.complete);
+            (Arc::try_unwrap(seen).unwrap().into_inner(), stats)
+        };
+        let (full_traces, full) = traces(Explorer::new(100_000));
+        let (granular_traces, granular) = traces(Explorer::new(100_000).with_pruning());
+        let (revisit_traces, revisit) = traces(Explorer::new(100_000).with_revisit_pruning());
+        assert_eq!(granular_traces, full_traces);
+        assert_eq!(
+            revisit_traces, full_traces,
+            "revisit mode must preserve the set of observable behaviors"
+        );
+        assert!(
+            revisit.schedules <= granular.schedules,
+            "revisit must not lose to granular: {} vs {}",
+            revisit.schedules,
+            granular.schedules
+        );
+        assert!(
+            revisit.schedules < full.schedules,
+            "the commuting work must prune something"
+        );
+        assert!(revisit.revisits > 0, "the shared queue must force revisits");
+        assert_eq!(
+            revisit.schedules,
+            revisit.revisits as usize + 1,
+            "every schedule past the root run is a granted revisit"
+        );
+        assert!(revisit.revisits <= revisit.revisit_requests);
+        assert!(
+            revisit.conflicts.contains_key("queue:shared"),
+            "the race tally must name the contended queue: {:?}",
+            revisit.conflicts
+        );
+        revisit.assert_consistent();
+    }
+
+    /// Revisit mode under the checkpoint spine: every spacing reproduces
+    /// whole-prefix replay exactly — the race analysis feeds on footprints
+    /// recorded during runs resumed from held checkpoints.
+    #[test]
+    fn revisit_checkpointing_is_observably_identical_to_replay() {
+        let journal_of = |spacing| {
+            let journal = Arc::new(Mutex::new(Vec::new()));
+            let journal2 = Arc::clone(&journal);
+            let stats = Explorer::new(100_000)
+                .with_revisit_pruning()
+                .with_checkpointing(spacing)
+                .run(mixed_conflict_scenario, move |decisions, result| {
+                    let report = result.as_ref().expect("no failure possible");
+                    let events: Vec<String> = report
+                        .trace
+                        .user_events()
+                        .map(|(_, l, _)| l.to_string())
+                        .collect();
+                    journal2.lock().push((
+                        decisions.iter().map(|d| d.chosen).collect::<Vec<u32>>(),
+                        events,
+                    ));
+                });
+            assert!(stats.complete);
+            (Arc::into_inner(journal).unwrap().into_inner(), stats)
+        };
+        let (base_journal, base) = journal_of(CheckpointSpacing::Replay);
+        for spacing in [
+            CheckpointSpacing::Dense { budget: 2 },
+            CheckpointSpacing::Dense { budget: 64 },
+            CheckpointSpacing::Geometric { budget: 4 },
+        ] {
+            let (journal, stats) = journal_of(spacing);
+            assert_eq!(journal, base_journal, "{spacing:?}");
+            assert_eq!(stats.schedules, base.schedules);
+            assert_eq!(stats.pruned, base.pruned);
+            assert_eq!(stats.revisit_requests, base.revisit_requests);
+            assert_eq!(stats.revisits, base.revisits);
+            assert_eq!(stats.conflicts, base.conflicts);
+        }
+    }
+
+    /// Revisit mode composes with the kill-point sweep: the sweep stops at
+    /// the same point as the granular one, fires the same points, and its
+    /// merged accounting stays consistent. (Fault-injected runs are not
+    /// prune-safe, so their race analysis degrades to exhaustive sibling
+    /// requests — coverage, not optimality, is what is promised here.)
+    #[test]
+    fn revisit_kill_point_sweep_fires_the_same_points() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            let q = Arc::new(crate::waitq::WaitQueue::new("gate"));
+            let q2 = Arc::clone(&q);
+            sim.spawn("victim", move |ctx| {
+                q2.wake_one(ctx);
+                ctx.yield_now();
+                ctx.emit("done", &[]);
+            });
+            let q3 = Arc::clone(&q);
+            sim.spawn("peer", move |ctx| {
+                q3.wake_one(ctx);
+            });
+            sim
+        };
+        let granular = Explorer::new(10_000).with_pruning().run_kill_points(
+            "victim",
+            8,
+            scenario,
+            |_, _, _| {},
+        );
+        let revisit = Explorer::new(10_000)
+            .with_revisit_pruning()
+            .run_kill_points("victim", 8, scenario, |_, _, _| {});
+        assert!(granular.complete && revisit.complete);
+        revisit.assert_consistent();
+        let fired = |stats: &KillPointStats| {
+            stats
+                .per_point
+                .iter()
+                .map(|p| (p.point, p.kills > 0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            fired(&revisit),
+            fired(&granular),
+            "both modes must observe the same set of live kill points"
+        );
     }
 }

@@ -84,6 +84,7 @@ mod policy;
 mod pool;
 pub mod prelude;
 mod retry;
+mod revisit;
 mod sample;
 mod sim;
 mod trace;
@@ -93,7 +94,7 @@ mod waitq;
 pub use ctx::Ctx;
 pub use error::{SimError, SimErrorKind};
 pub use explore::{
-    ExploreConfig, ExploreError, ExploreStats, Explorer, KillPointCount, KillPointStats,
+    ExploreConfig, ExploreError, ExploreStats, Explorer, KillPointCount, KillPointStats, PruneMode,
 };
 pub use fault::{DelaySpec, FaultPlan, KillSpec, Poisoned, SpuriousSpec};
 pub use footprint::{Access, Footprint, ObjId, QuantumRecord};

@@ -37,18 +37,19 @@ use crate::error::SimError;
 use crate::explore::victim_killed;
 use crate::explore::{
     bump_depth, merge_conflicts, merge_depth, walk_run, ExploreError, ExploreStats, KillPointCount,
-    KillPointStats, SleepSet, SpineRunner,
+    KillPointStats, PruneMode, SleepSet, SpineRunner,
 };
 use crate::fault::FaultPlan;
 use crate::footprint::QuantumRecord;
 use crate::kernel::SimReport;
 use crate::policy::CheckpointSpacing;
+use crate::revisit::plan_revisits;
 use crate::sim::Sim;
 use crate::trace::Decision;
 use parking_lot::{Condvar, Mutex};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One schedule's entry in a merged exploration journal.
@@ -104,16 +105,44 @@ struct SharedStats {
     depth_pruned: Mutex<Vec<usize>>,
     conflicts: Mutex<BTreeMap<String, u64>>,
     first_error: Mutex<Option<ExploreError>>,
+    /// Total race-derived branch requests (including already-scheduled
+    /// duplicates); a per-run pure function, so the sum is
+    /// order-independent. See [`ExploreStats::revisit_requests`].
+    revisit_requests: AtomicU64,
+    /// Revisit-mode grant state; `None` in the sleep-set modes.
+    revisit: Option<Mutex<RevisitShared>>,
+}
+
+/// The shared fixed-point state of a revisit-mode exploration: which
+/// branch prefixes were ever scheduled (so a request is granted exactly
+/// once, no matter which worker makes it first), plus the per-depth
+/// sibling-capacity and grant histograms whose difference is the prune
+/// histogram. A worker registers a run's discovered nodes and grants its
+/// requests under one lock acquisition, *before* pushing the granted
+/// branches to the frontier — so any run that can request a branch at a
+/// node always finds the node's canonical marker already present.
+struct RevisitShared {
+    scheduled: BTreeSet<Vec<u32>>,
+    potential: Vec<usize>,
+    granted: Vec<usize>,
 }
 
 impl SharedStats {
-    fn new() -> Self {
+    fn new(revisit: bool) -> Self {
         SharedStats {
             claimed: AtomicUsize::new(0),
             budget_hit: AtomicBool::new(false),
             depth_pruned: Mutex::new(Vec::new()),
             conflicts: Mutex::new(BTreeMap::new()),
             first_error: Mutex::new(None),
+            revisit_requests: AtomicU64::new(0),
+            revisit: revisit.then(|| {
+                Mutex::new(RevisitShared {
+                    scheduled: BTreeSet::from([Vec::new()]),
+                    potential: Vec::new(),
+                    granted: Vec::new(),
+                })
+            }),
         }
     }
 
@@ -135,7 +164,7 @@ pub struct ParallelExplorer {
     max_schedules: usize,
     threads: usize,
     prune: bool,
-    granular: bool,
+    mode: PruneMode,
     checkpoint: CheckpointSpacing,
     progress_every: usize,
     progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
@@ -147,7 +176,7 @@ impl fmt::Debug for ParallelExplorer {
             .field("max_schedules", &self.max_schedules)
             .field("threads", &self.threads)
             .field("prune", &self.prune)
-            .field("granular", &self.granular)
+            .field("mode", &self.mode)
             .field("checkpoint", &self.checkpoint)
             .field("progress_every", &self.progress_every)
             .field("progress", &self.progress.as_ref().map(|_| ".."))
@@ -167,7 +196,7 @@ impl ParallelExplorer {
             max_schedules,
             threads,
             prune: false,
-            granular: true,
+            mode: PruneMode::Granular,
             checkpoint: CheckpointSpacing::default(),
             progress_every: 0,
             progress: None,
@@ -195,7 +224,7 @@ impl ParallelExplorer {
     /// — the pruned tree is identical to the serial explorer's).
     pub fn with_pruning(mut self) -> Self {
         self.prune = true;
-        self.granular = true;
+        self.mode = PruneMode::Granular;
         self
     }
 
@@ -204,7 +233,20 @@ impl ParallelExplorer {
     /// the serial explorer in the same mode).
     pub fn with_coarse_pruning(mut self) -> Self {
         self.prune = true;
-        self.granular = false;
+        self.mode = PruneMode::Coarse;
+        self
+    }
+
+    /// Enables the race-driven revisit prune (see
+    /// [`crate::Explorer::with_revisit_pruning`]). The explored schedule
+    /// *set* — and therefore the canonically sorted journal and every
+    /// stat — is identical to the serial explorer's and across thread
+    /// counts: grants are fresh insertions into a shared scheduled set,
+    /// so the set of executed schedules is the same least fixed point no
+    /// matter which worker detects which race first.
+    pub fn with_revisit_pruning(mut self) -> Self {
+        self.prune = true;
+        self.mode = PruneMode::Revisit;
         self
     }
 
@@ -249,7 +291,7 @@ impl ParallelExplorer {
             }),
             available: Condvar::new(),
         };
-        let shared = SharedStats::new();
+        let shared = SharedStats::new(self.prune && self.mode == PruneMode::Revisit);
         let journals: Mutex<Vec<Vec<ScheduleRecord<T>>>> = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
@@ -272,7 +314,26 @@ impl ParallelExplorer {
         for r in &journal {
             bump_depth(&mut depth_schedules, r.choices.len(), 1);
         }
-        let depth_pruned = shared.depth_pruned.into_inner();
+        // In revisit mode the prune histogram is settled now, exactly as
+        // in the serial worklist: every sibling of every discovered
+        // contested node that was never granted is a pruned branch.
+        let (depth_pruned, revisits) = match shared.revisit {
+            Some(revisit) => {
+                let rs = revisit.into_inner();
+                let mut depth_pruned = Vec::new();
+                let mut revisits = 0u64;
+                for (depth, &cap) in rs.potential.iter().enumerate() {
+                    let taken = rs.granted.get(depth).copied().unwrap_or(0);
+                    debug_assert!(taken <= cap, "granted more siblings than exist");
+                    if cap > taken {
+                        bump_depth(&mut depth_pruned, depth, cap - taken);
+                    }
+                    revisits += taken as u64;
+                }
+                (depth_pruned, revisits)
+            }
+            None => (shared.depth_pruned.into_inner(), 0),
+        };
         let stats = ExploreStats {
             schedules: journal.len(),
             complete: !shared.budget_hit.load(Ordering::Relaxed),
@@ -280,9 +341,13 @@ impl ParallelExplorer {
             depth_schedules,
             depth_pruned,
             conflicts: shared.conflicts.into_inner(),
+            revisit_requests: shared.revisit_requests.into_inner(),
+            revisits,
             first_error: shared.first_error.into_inner(),
             sampling: None,
         };
+        #[cfg(debug_assertions)]
+        stats.assert_consistent();
         (journal, stats)
     }
 
@@ -303,9 +368,10 @@ impl ParallelExplorer {
         let mut journal = Vec::new();
         let mut make = || setup();
         let record_quanta = if self.prune {
-            // The sleep-set layer needs the footprint log; coarse mode
-            // drops it, degrading the walk to the pure-only prune.
-            Some(self.granular)
+            // The sleep-set and revisit layers need the footprint log;
+            // coarse mode drops it, degrading the walk to the pure-only
+            // prune.
+            Some(self.mode != PruneMode::Coarse)
         } else {
             None
         };
@@ -380,7 +446,39 @@ impl ParallelExplorer {
             // per-node facts the serial explorer derives, so the pruned
             // trees are identical.
             let mut fresh: Vec<(Vec<u32>, SleepSet)> = Vec::new();
-            if self.prune {
+            if let Some(revisit) = &shared.revisit {
+                // Race-driven expansion: analyse this run for reversible
+                // races, register the nodes it discovered, and schedule
+                // only the fresh race-derived requests. All of it under
+                // one lock acquisition, before the frontier push, so a
+                // node's canonical marker is always visible before any
+                // descendant run can request choice 0 there.
+                let mut local_races = BTreeMap::new();
+                let plan = plan_revisits(decisions, quanta, prefix.len(), &mut local_races);
+                if !local_races.is_empty() {
+                    merge_conflicts(&mut shared.conflicts.lock(), &local_races);
+                }
+                shared
+                    .revisit_requests
+                    .fetch_add(plan.requests.len() as u64, Ordering::Relaxed);
+                let choices: Vec<u32> = decisions.iter().map(|d| d.chosen).collect();
+                let mut rs = revisit.lock();
+                for (i, d) in decisions.iter().enumerate().skip(prefix.len()) {
+                    debug_assert_eq!(d.chosen, 0, "past-prefix replay takes choice 0");
+                    if d.arity > 1 {
+                        bump_depth(&mut rs.potential, i, d.arity as usize - 1);
+                        rs.scheduled.insert(choices[..=i].to_vec());
+                    }
+                }
+                for (i, c) in plan.requests {
+                    let mut branch = choices[..i].to_vec();
+                    branch.push(c);
+                    if rs.scheduled.insert(branch.clone()) {
+                        bump_depth(&mut rs.granted, i, 1);
+                        fresh.push((branch, SleepSet::default()));
+                    }
+                }
+            } else if self.prune {
                 let mut local_conflicts = BTreeMap::new();
                 let infos = walk_run(
                     decisions,
@@ -495,6 +593,8 @@ impl ParallelExplorer {
             merge_depth(&mut stats.depth_schedules, &point_stats.depth_schedules);
             merge_depth(&mut stats.depth_pruned, &point_stats.depth_pruned);
             merge_conflicts(&mut stats.conflicts, &point_stats.conflicts);
+            stats.revisit_requests += point_stats.revisit_requests;
+            stats.revisits += point_stats.revisits;
             if stats.first_error.is_none() {
                 stats.first_error = point_stats.first_error;
             }
@@ -508,6 +608,8 @@ impl ParallelExplorer {
                 break; // the victim never reaches `point` scheduling points
             }
         }
+        #[cfg(debug_assertions)]
+        stats.assert_consistent();
         (journal, stats)
     }
 }
@@ -708,6 +810,72 @@ mod tests {
             let merged: Vec<(Vec<u32>, Vec<String>)> =
                 journal.into_iter().map(|r| (r.choices, r.value)).collect();
             assert_eq!(merged, serial_journal, "pruned trees must be identical");
+        }
+    }
+
+    /// The revisit mode's executed set is a fixed point of the race
+    /// analysis, so every thread count must produce the identical journal
+    /// (after sorting the serial one — its worklist visit order is not the
+    /// parallel merge order) and identical stats.
+    #[test]
+    fn revisit_matches_serial_for_every_thread_count() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            let shared = Arc::new(crate::waitq::WaitQueue::new("shared"));
+            let qa = Arc::new(crate::waitq::WaitQueue::new("qa"));
+            let s1 = Arc::clone(&shared);
+            sim.spawn("a", move |ctx| {
+                qa.wake_one(ctx);
+                ctx.yield_now();
+                s1.wake_one(ctx);
+                ctx.emit("a", &[]);
+            });
+            let s2 = Arc::clone(&shared);
+            sim.spawn("b", move |ctx| {
+                s2.wake_one(ctx);
+                ctx.yield_now();
+                ctx.emit("b", &[]);
+            });
+            sim
+        };
+        let trace_of = |result: &Result<SimReport, SimError>| {
+            result
+                .as_ref()
+                .map(|report| {
+                    report
+                        .trace
+                        .user_events()
+                        .map(|(_, l, _)| l.to_string())
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default()
+        };
+        let mut serial_journal = Vec::new();
+        let serial_stats = crate::Explorer::new(100_000).with_revisit_pruning().run(
+            scenario,
+            |decisions, result| {
+                serial_journal.push((
+                    decisions.iter().map(|d| d.chosen).collect::<Vec<_>>(),
+                    trace_of(result),
+                ));
+            },
+        );
+        serial_journal.sort();
+        assert!(serial_stats.revisits > 0, "the shared queue must race");
+        for threads in [1, 2, 4, 8] {
+            let (journal, stats) = ParallelExplorer::new(100_000)
+                .threads(threads)
+                .with_revisit_pruning()
+                .run(scenario, |_, result| trace_of(result));
+            assert_eq!(stats.schedules, serial_stats.schedules);
+            assert_eq!(stats.pruned, serial_stats.pruned);
+            assert_eq!(stats.depth_pruned, serial_stats.depth_pruned);
+            assert_eq!(stats.conflicts, serial_stats.conflicts);
+            assert_eq!(stats.revisit_requests, serial_stats.revisit_requests);
+            assert_eq!(stats.revisits, serial_stats.revisits);
+            let merged: Vec<(Vec<u32>, Vec<String>)> =
+                journal.into_iter().map(|r| (r.choices, r.value)).collect();
+            assert_eq!(merged, serial_journal, "revisit trees must be identical");
         }
     }
 

@@ -138,7 +138,7 @@ impl WaitQueue {
     /// Wakes the frontmost waiter, if any, and returns its pid.
     ///
     /// Entries whose process already woke by timeout (see
-    /// [`WaitQueue::wait_timeout`]) are discarded, so a wake is never
+    /// [`WaitQueue::wait_by`]) are discarded, so a wake is never
     /// wasted on a waiter that has given up.
     pub fn wake_one(&self, ctx: &Ctx) -> Option<Pid> {
         // Queue-state access (even when empty) — see Ctx::note_sync_obj.
@@ -209,22 +209,6 @@ impl WaitQueue {
             self.remove_current(ctx);
         }
         woken
-    }
-
-    /// Parks with a relative timeout. Superseded by [`WaitQueue::wait_by`],
-    /// which accepts the same tick count directly. (One historical edge
-    /// changed: `ticks == 0` now fails immediately instead of parking with
-    /// an already-due timer.)
-    #[deprecated(since = "0.1.0", note = "use `wait_by` (takes `impl Into<Deadline>`)")]
-    pub fn wait_timeout(&self, ctx: &Ctx, ticks: u64) -> bool {
-        self.wait_by(ctx, ticks)
-    }
-
-    /// Parks until an absolute deadline. Superseded by
-    /// [`WaitQueue::wait_by`], which accepts the same [`Deadline`] directly.
-    #[deprecated(since = "0.1.0", note = "use `wait_by` (takes `impl Into<Deadline>`)")]
-    pub fn wait_deadline(&self, ctx: &Ctx, deadline: Deadline) -> bool {
-        self.wait_by(ctx, deadline)
     }
 
     /// Number of processes currently waiting.

@@ -130,6 +130,109 @@ fn parallel_matches_serial_on_recovery_tree_at_every_thread_count() {
     }
 }
 
+/// The revisit prune on the recovery tree: strictly fewer schedules than
+/// the granular prune, byte-identical journals (decision vectors,
+/// verdicts, metrics, export hashes) across serial and 1/2/4/8 worker
+/// threads and across checkpoint spacings, and every returned
+/// [`ExploreStats`] passing its own accounting cross-check — the
+/// regression net for the prune-tally drift this mode's bookkeeping
+/// replaced (`depth_pruned` is settled from discovered-sibling capacity
+/// minus grants, not incremented ad hoc).
+#[test]
+fn revisit_matches_serial_and_beats_granular_on_recovery_tree() {
+    let mech = LiveMechanism::SemaphoreStrong;
+    let granular_stats = ExploreConfig::new(BUDGET)
+        .prune(true)
+        .serial()
+        .run(|| deadlock_recovery_sim(mech), |_, _| {});
+    assert!(granular_stats.complete);
+    granular_stats.assert_consistent();
+
+    let config = ExploreConfig::new(BUDGET).mode(PruneMode::Revisit);
+    let mut serial_journal = Vec::new();
+    let serial_stats = config.serial().run(
+        || deadlock_recovery_sim(mech),
+        |decisions, result| {
+            serial_journal.push((
+                decisions.iter().map(|d| d.chosen).collect::<Vec<u32>>(),
+                line(decisions, result),
+            ));
+        },
+    );
+    assert!(serial_stats.complete, "budget too small for the tree");
+    serial_stats.assert_consistent();
+    assert!(
+        serial_stats.schedules < granular_stats.schedules,
+        "revisit must beat granular on the recovery tree: {} vs {}",
+        serial_stats.schedules,
+        granular_stats.schedules
+    );
+    assert_eq!(
+        serial_stats.schedules,
+        serial_stats.revisits as usize + 1,
+        "every schedule past the root run is a granted revisit"
+    );
+    // The serial worklist visit order is not the parallel merge order;
+    // canonicalise by decision vector before comparing.
+    serial_journal.sort();
+    let serial_journal: Vec<String> = serial_journal.into_iter().map(|(_, l)| l).collect();
+
+    for threads in [1, 2, 4, 8] {
+        let (records, stats): (Vec<ScheduleRecord<String>>, _) = config
+            .clone()
+            .threads(threads)
+            .parallel()
+            .run(|| deadlock_recovery_sim(mech), line);
+        stats.assert_consistent();
+        assert_eq!(stats.schedules, serial_stats.schedules, "{threads} threads");
+        assert_eq!(stats.pruned, serial_stats.pruned, "{threads} threads");
+        assert_eq!(
+            stats.revisit_requests, serial_stats.revisit_requests,
+            "{threads} threads: race-request tally diverged"
+        );
+        assert_eq!(stats.revisits, serial_stats.revisits, "{threads} threads");
+        assert_eq!(stats.conflicts, serial_stats.conflicts, "{threads} threads");
+        assert_eq!(
+            stats.depth_pruned, serial_stats.depth_pruned,
+            "{threads} threads: prune histogram diverged"
+        );
+        let merged: Vec<String> = records.into_iter().map(|r| r.value).collect();
+        assert_eq!(
+            merged, serial_journal,
+            "{threads} threads: revisit journal is not byte-identical to serial"
+        );
+    }
+
+    // The same tree through the checkpoint spine: the race analysis feeds
+    // on footprints recorded during resumed held runs, so every spacing
+    // must reproduce whole-prefix replay exactly.
+    for spacing in [
+        CheckpointSpacing::Dense { budget: 64 },
+        CheckpointSpacing::Geometric { budget: 8 },
+    ] {
+        let mut journal = Vec::new();
+        let stats = config.clone().checkpoint(spacing).serial().run(
+            || deadlock_recovery_sim(mech),
+            |decisions, result| {
+                journal.push((
+                    decisions.iter().map(|d| d.chosen).collect::<Vec<u32>>(),
+                    line(decisions, result),
+                ));
+            },
+        );
+        stats.assert_consistent();
+        assert_eq!(stats.schedules, serial_stats.schedules, "{spacing:?}");
+        assert_eq!(stats.pruned, serial_stats.pruned, "{spacing:?}");
+        assert_eq!(stats.revisits, serial_stats.revisits, "{spacing:?}");
+        journal.sort();
+        let journal: Vec<String> = journal.into_iter().map(|(_, l)| l).collect();
+        assert_eq!(
+            journal, serial_journal,
+            "{spacing:?}: checkpointed revisit journal diverged from replay"
+        );
+    }
+}
+
 /// Checkpoint-vs-replay equivalence: under both non-replay
 /// [`CheckpointSpacing`] policies, with and without pruning, the journal
 /// (decision vectors, verdicts, metrics, and both export-format hashes),

@@ -16,6 +16,11 @@
 //! built for (disjoint semaphores commute; a shared one does not), so the
 //! oracle exercises both the sleep-set machinery and its conservative
 //! fallbacks.
+//!
+//! The revisit mode (DESIGN.md §2.14) is held to the same oracle across
+//! the full execution matrix — serial and 1/2/4/8 worker threads, each
+//! under whole-prefix replay and both checkpoint spacings — plus its own
+//! accounting cross-check (`ExploreStats::assert_consistent`).
 
 #![deny(deprecated)]
 
@@ -245,5 +250,94 @@ proptest! {
             "checkpointed pruned exploration must observe the same \
              behavior set"
         );
+
+        // The revisit mode against the same oracle, across the full
+        // execution matrix: serial and 1/2/4/8 worker threads, each under
+        // whole-prefix replay and both checkpoint spacings. The race
+        // analysis is a different soundness argument from the sleep sets
+        // (it *reverses* observed conflicts instead of skipping commuting
+        // siblings), so it gets the same behavior-set, schedule-count, and
+        // accounting scrutiny on every workload the generator produces.
+        let revisit = ExploreConfig::new(BUDGET).mode(PruneMode::Revisit);
+        let mut revisit_journal = Vec::new();
+        let revisit_stats = revisit.serial().run(|| build_sim(&w), |decisions, result| {
+            revisit_journal.push((
+                decisions.iter().map(|d| d.chosen).collect::<Vec<u32>>(),
+                line(result),
+            ));
+        });
+        prop_assert!(revisit_stats.complete);
+        revisit_stats.assert_consistent();
+        prop_assert!(
+            revisit_stats.schedules <= unpruned_stats.schedules,
+            "revisit visited more schedules than exhaustive ({} > {})",
+            revisit_stats.schedules,
+            unpruned_stats.schedules,
+        );
+        let revisit_behaviors: BTreeSet<String> =
+            revisit_journal.iter().map(|(_, l)| l.clone()).collect();
+        prop_assert_eq!(
+            &revisit_behaviors, &unpruned,
+            "revisit exploration must observe the same behavior set \
+             (schedules: {} revisit vs {} unpruned)",
+            revisit_stats.schedules, unpruned_stats.schedules,
+        );
+        // The serial worklist visit order is not the parallel merge
+        // order; canonicalise before the byte-identity comparisons.
+        revisit_journal.sort();
+        let revisit_journal: Vec<String> =
+            revisit_journal.into_iter().map(|(_, l)| l).collect();
+
+        for spacing in [
+            CheckpointSpacing::Replay,
+            CheckpointSpacing::Dense { budget: 2 },
+            CheckpointSpacing::Geometric { budget: 4 },
+        ] {
+            let spaced = revisit.clone().checkpoint(spacing);
+            if spacing != CheckpointSpacing::Replay {
+                let mut journal = Vec::new();
+                let stats = spaced.serial().run(|| build_sim(&w), |decisions, result| {
+                    journal.push((
+                        decisions.iter().map(|d| d.chosen).collect::<Vec<u32>>(),
+                        line(result),
+                    ));
+                });
+                prop_assert!(stats.complete);
+                stats.assert_consistent();
+                prop_assert_eq!(stats.schedules, revisit_stats.schedules);
+                prop_assert_eq!(stats.pruned, revisit_stats.pruned);
+                prop_assert_eq!(stats.revisits, revisit_stats.revisits);
+                journal.sort();
+                let journal: Vec<String> = journal.into_iter().map(|(_, l)| l).collect();
+                prop_assert_eq!(
+                    &journal, &revisit_journal,
+                    "{:?}: checkpointed revisit journal diverged from replay",
+                    spacing,
+                );
+            }
+            for threads in [1, 2, 4, 8] {
+                let (records, stats) = spaced
+                    .clone()
+                    .threads(threads)
+                    .parallel()
+                    .run(|| build_sim(&w), |_, result| line(result));
+                prop_assert!(stats.complete);
+                stats.assert_consistent();
+                prop_assert_eq!(stats.schedules, revisit_stats.schedules);
+                prop_assert_eq!(stats.pruned, revisit_stats.pruned);
+                prop_assert_eq!(
+                    stats.revisit_requests,
+                    revisit_stats.revisit_requests
+                );
+                prop_assert_eq!(stats.revisits, revisit_stats.revisits);
+                let merged: Vec<String> =
+                    records.into_iter().map(|r| r.value).collect();
+                prop_assert_eq!(
+                    &merged, &revisit_journal,
+                    "{:?} x {} threads: revisit journal diverged from serial",
+                    spacing, threads,
+                );
+            }
+        }
     }
 }
