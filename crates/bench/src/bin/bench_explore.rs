@@ -14,14 +14,17 @@
 //!
 //! ```text
 //! cargo run --release -p bloom-bench --bin bench_explore            # E1/E2
-//! cargo run --release -p bloom-bench --bin bench_explore -- --sample
+//! cargo run --release -p bloom-bench --bin bench_explore -- --sample --symbolic
 //! ```
 //!
 //! With `--sample`, a third section measures the R3 *samplers* (PCT and
 //! random walk) on the scaled starvation scenario: sampled schedules
 //! per second at 1/2/4/8 workers, plus the deterministic violation
-//! counts the throughput was bought with. Without the flag the section
-//! is an empty array, so the JSON shape is stable either way.
+//! counts the throughput was bought with. With `--symbolic`, a fourth
+//! section records the E5 symbolic-vs-concrete schedule counts for the
+//! two `choose_value` scenarios (the CI explore job gates
+//! `symbolic <= concrete` on it). Without a flag its section is an
+//! empty array, so the JSON shape is stable either way.
 //!
 //! Wall-clock measurement is deliberately confined to this binary — the
 //! deterministic report (`report.rs`) must stay machine-independent; this
@@ -35,6 +38,7 @@ use bloom_core::MechanismId;
 use bloom_problems::liveness::{deadlock_recovery_sim, LiveMechanism};
 use bloom_problems::r3::{starvation_at_scale, starvation_laws};
 use bloom_problems::rw::{self, RwVariant};
+use bloom_problems::symbolic::{compare_andler, compare_csp, SymbolicComparison};
 use bloom_problems::workload::{Arrival, Think, WorkloadSpec};
 use bloom_sim::prelude::*;
 use std::collections::BTreeSet;
@@ -131,18 +135,14 @@ struct Measurement {
     secs: f64,
 }
 
-fn time_serial(iters: usize, setup: impl Fn() -> Sim) -> Measurement {
+fn time_serial(iters: usize, setup: impl Fn() -> Sim + Sync) -> Measurement {
     let start = Instant::now();
     let mut schedules = 0;
     for _ in 0..iters {
-        let mut errors = 0usize;
-        let stats = ExploreConfig::new(usize::MAX)
-            .serial()
-            .run(&setup, |_, result| {
-                errors += usize::from(result.is_err());
-            });
+        let (journal, stats) =
+            ExploreConfig::new(usize::MAX).run(&setup, |_, result| result.is_err());
         assert!(stats.complete);
-        std::hint::black_box(errors);
+        std::hint::black_box(journal.iter().filter(|r| r.value).count());
         schedules = stats.schedules;
     }
     Measurement {
@@ -157,7 +157,6 @@ fn time_parallel(iters: usize, threads: usize, setup: impl Fn() -> Sim + Sync) -
     for _ in 0..iters {
         let (journal, stats) = ExploreConfig::new(usize::MAX)
             .threads(threads)
-            .parallel()
             .run(&setup, |_, result| result.is_err());
         assert!(stats.complete);
         std::hint::black_box(journal.iter().filter(|r| r.value).count());
@@ -232,20 +231,19 @@ fn behavior(result: &Result<SimReport, SimError>) -> String {
 }
 
 /// One serial exploration under `config`, returning the full
-/// (decision-vector, behavior) journal alongside the stats.
+/// (decision-vector, behavior) journal alongside the stats. The unified
+/// verb sorts the journal by decision vector, so it is directly
+/// comparable to any other engine's.
 fn explore_serial(
     config: &ExploreConfig,
-    setup: impl Fn() -> Sim,
+    setup: impl Fn() -> Sim + Sync,
 ) -> (Vec<(Vec<u32>, String)>, ExploreStats) {
-    let mut journal = Vec::new();
-    let stats = config.serial().run(&setup, |decisions, result| {
-        journal.push((
-            decisions.iter().map(|d| d.chosen).collect(),
-            behavior(result),
-        ));
-    });
+    let (journal, stats) = config.run(&setup, |_, result| behavior(result));
     assert!(stats.complete, "tree exceeds the budget");
-    (journal, stats)
+    (
+        journal.into_iter().map(|r| (r.choices, r.value)).collect(),
+        stats,
+    )
 }
 
 /// E2: full tree vs the PR 3 pure-stutter prune ("coarse") vs the
@@ -263,10 +261,7 @@ fn compare_prunes(name: &str, setup: impl Fn() -> Sim + Sync) -> String {
     let (full_journal, full_stats) = explore_serial(&budget, &setup);
     let (coarse_journal, coarse_stats) = explore_serial(&coarse_config, &setup);
     let (granular_journal, granular_stats) = explore_serial(&granular_config, &setup);
-    let (mut revisit_journal, revisit_stats) = explore_serial(&revisit_config, &setup);
-    // The revisit worklist's visit order is not the parallel merge order;
-    // canonicalise by decision vector for the byte-identity comparisons.
-    revisit_journal.sort();
+    let (revisit_journal, revisit_stats) = explore_serial(&revisit_config, &setup);
 
     // Soundness while we measure: pruning may only skip schedules whose
     // behavior an explored schedule already exhibits.
@@ -322,7 +317,6 @@ fn compare_prunes(name: &str, setup: impl Fn() -> Sim + Sync) -> String {
             let (journal, stats) = config
                 .clone()
                 .threads(threads)
-                .parallel()
                 .run(&setup, |_, result| behavior(result));
             let merged: Vec<(Vec<u32>, String)> =
                 journal.into_iter().map(|r| (r.choices, r.value)).collect();
@@ -422,13 +416,13 @@ fn bench_kernel() -> String {
         let start = Instant::now();
         let mut stats = ExploreStats::default();
         for _ in 0..iters {
-            let mut errors = 0usize;
-            stats = config.serial().run(
+            let (journal, s) = config.run(
                 || anomaly_bg_tree_on(reuse_hosts),
-                |_, result| errors += usize::from(result.is_err()),
+                |_, result| result.is_err(),
             );
+            stats = s;
             assert!(stats.complete);
-            std::hint::black_box(errors);
+            std::hint::black_box(journal.iter().filter(|r| r.value).count());
         }
         let secs = start.elapsed().as_secs_f64() / iters as f64;
         let per_sec = stats.schedules as f64 / secs;
@@ -492,11 +486,11 @@ fn bench_samplers() -> Vec<String> {
         let mut baseline: Option<(Vec<Vec<u32>>, u64)> = None;
         let mut entry_parts = Vec::new();
         for &threads in &THREAD_COUNTS {
-            let sampler = Sampler::pct(iterations, 0xB5A)
-                .strategy(strategy)
-                .threads(threads);
             let start = Instant::now();
-            let (journal, stats) = sampler.run(
+            let (journal, stats) = ExploreConfig::new(0).threads(threads).sample(
+                strategy,
+                iterations,
+                0xB5A,
                 || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
                 |_, result| ((), laws.violated(result)),
             );
@@ -539,8 +533,58 @@ fn bench_samplers() -> Vec<String> {
     entries
 }
 
+/// `--symbolic`: E5 — symbolic data-nondeterminism collapse vs concrete
+/// enumeration on the two `choose_value` scenarios (see
+/// `bloom_problems::symbolic`). All counts are deterministic; the
+/// wall-clock column is the only measurement. Asserts while measuring:
+/// the symbolic behavior set equals the concrete union, every symbolic
+/// schedule passes its scenario check, and the symbolic schedule count
+/// is strictly below concrete enumeration — the CI explore job re-gates
+/// `symbolic <= concrete` from the JSON.
+type SymbolicScenario = (&'static str, fn(usize) -> SymbolicComparison);
+
+fn bench_symbolic() -> Vec<String> {
+    let scenarios: [SymbolicScenario; 2] = [
+        ("andler-burst", compare_andler),
+        ("csp-capacity", compare_csp),
+    ];
+    let mut entries = Vec::new();
+    for (name, run) in scenarios {
+        let start = Instant::now();
+        let c = run(500_000);
+        let secs = start.elapsed().as_secs_f64();
+        assert!(c.behaviors_match, "{name}: symbolic != concrete behaviors");
+        assert!(c.clean, "{name}: a symbolic schedule failed its check");
+        assert!(
+            c.symbolic_schedules < c.concrete_schedules,
+            "{name}: symbolic collapse bought nothing"
+        );
+        eprintln!(
+            "symbolic({name}): domain {} -> {} concrete vs {} symbolic schedules \
+             ({} class grants) in {secs:.3}s",
+            c.domain, c.concrete_schedules, c.symbolic_schedules, c.sym_grants
+        );
+        entries.push(format!(
+            "{{\n      \"tree\": \"{name}\",\n      \"domain\": {},\n      \
+             \"concrete_schedules\": {},\n      \"symbolic_schedules\": {},\n      \
+             \"sym_requests\": {},\n      \"sym_grants\": {},\n      \
+             \"behaviors_match\": {},\n      \"clean\": {},\n      \
+             \"secs\": {secs:.6}\n    }}",
+            c.domain,
+            c.concrete_schedules,
+            c.symbolic_schedules,
+            c.sym_requests,
+            c.sym_grants,
+            c.behaviors_match,
+            c.clean
+        ));
+    }
+    entries
+}
+
 fn main() {
     let sample = std::env::args().any(|a| a == "--sample");
+    let symbolic = std::env::args().any(|a| a == "--symbolic");
     let meta = bloom_bench::hostmeta::json_fields();
     eprintln!(
         "host: {} core(s) available",
@@ -557,11 +601,16 @@ fn main() {
     ];
     let kernel = [bench_kernel()];
     let sampling = if sample { bench_samplers() } else { Vec::new() };
+    let symbolic = if symbolic {
+        bench_symbolic()
+    } else {
+        Vec::new()
+    };
 
     let json = format!(
         "{{\n  {meta},\n  \"trees\": [\n    {}\n  ],\n  \
          \"pruning\": [\n    {}\n  ],\n  \"kernel\": [\n    {}\n  ],\n  \
-         \"sampling\": [{}]\n}}\n",
+         \"sampling\": [{}],\n  \"symbolic\": [{}]\n}}\n",
         trees.join(",\n    "),
         pruning.join(",\n    "),
         kernel.join(",\n    "),
@@ -569,6 +618,11 @@ fn main() {
             String::new()
         } else {
             format!("\n    {}\n  ", sampling.join(",\n    "))
+        },
+        if symbolic.is_empty() {
+            String::new()
+        } else {
+            format!("\n    {}\n  ", symbolic.join(",\n    "))
         }
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");

@@ -60,8 +60,9 @@ use bloom_problems::r3::{
 };
 use bloom_problems::registry::{all_descs, derived_ratings};
 use bloom_problems::rw::{self, RwVariant};
+use bloom_problems::symbolic::{compare_andler, compare_csp, SymbolicComparison};
 use bloom_problems::workload::{Arrival, Think, WorkloadSpec};
-use bloom_sim::{shrink_prefix, ParallelExplorer, Sampler, Sim};
+use bloom_sim::{shrink_prefix, ExploreConfig, SampleStrategy, Sim};
 use std::sync::Arc;
 
 /// T2: catalog coverage and the minimal evaluation set.
@@ -186,11 +187,11 @@ pub struct AnomalyStats {
 
 /// Exhaustively explores the footnote-3 scenario for one mechanism.
 ///
-/// Runs on the work-sharing [`ParallelExplorer`] — the per-schedule counts
+/// Runs on the work-sharing parallel engine — the per-schedule counts
 /// are thread-count-independent by construction, so the report text stays
 /// machine-independent.
 pub fn explore_anomaly(mech: MechanismId) -> AnomalyStats {
-    let (journal, _) = ParallelExplorer::new(500_000).threads(4).run(
+    let (journal, _) = ExploreConfig::new(500_000).threads(4).run(
         || {
             let mut sim = Sim::new();
             let db = rw::make(mech, RwVariant::ReadersPriority);
@@ -263,6 +264,67 @@ pub fn anomaly_report() -> String {
          predicate (blocked(read) == 0 on write) repairs Figure 1's defect.\n",
     );
     section("F1a — Footnote-3 anomaly, exhaustively verified", &out)
+}
+
+/// Exploration budget per E5 tree (both trees finish far below it).
+const SYMBOLIC_BUDGET: usize = 500_000;
+
+/// E5: symbolic data nondeterminism — `Ctx::choose_value` guard inputs
+/// explored as constraint classes instead of concrete values.
+///
+/// Each scenario is explored twice in revisit mode: once per concrete
+/// domain value (schedules summed) and once symbolically, where runs
+/// whose guard outcomes agree collapse into a single class
+/// representative. The symbolic exploration must reproduce exactly the
+/// concrete behavior set — every guard valuation verified — while
+/// executing strictly fewer schedules.
+pub fn symbolic_report() -> String {
+    let row = |label: &str, c: &SymbolicComparison| {
+        vec![
+            label.to_string(),
+            c.domain.to_string(),
+            c.concrete_schedules.to_string(),
+            c.symbolic_schedules.to_string(),
+            c.sym_grants.to_string(),
+            if c.behaviors_match && c.clean && c.symbolic_schedules < c.concrete_schedules {
+                "verified (all valuations)".to_string()
+            } else {
+                "FAIL".to_string()
+            },
+        ]
+    };
+    let andler = compare_andler(SYMBOLIC_BUDGET);
+    let csp = compare_csp(SYMBOLIC_BUDGET);
+    let mut out = table(
+        &[
+            "scenario",
+            "domain",
+            "concrete scheds (sum)",
+            "symbolic scheds",
+            "classes granted",
+            "verdict",
+        ],
+        &[
+            row("path-v3 Andler reader burst", &andler),
+            row("CSP buffer, symbolic capacity", &csp),
+        ],
+    );
+    out.push_str(
+        "\nScenarios: a load generator draws a reader-burst size t in 1..=8 and spawns \
+         reader i while t > i (three readers max) against the Andler predicate-path \
+         solution with a writer in flight; a CSP bounded-buffer server draws its \
+         capacity in 1..=8 and guards deposits with the symbolic comparison \
+         capacity > len. Concrete = one revisit-mode exploration per domain value; \
+         symbolic = one exploration of the choose_value version, which only forks a \
+         sibling value when it flips a recorded guard (classes granted). The verdict \
+         checks the symbolic behavior set equals the concrete union, every schedule \
+         passes the scenario's correctness check (readers priority + exclusion; FIFO \
+         delivery), and the symbolic count is strictly below concrete enumeration.\n",
+    );
+    section(
+        "E5 — Symbolic data nondeterminism (choose_value guard classes)",
+        &out,
+    )
 }
 
 /// Kill points swept per crash-robustness cell — past the victim's last
@@ -466,16 +528,19 @@ pub fn r3_report() -> String {
             ("starvation, weak sem", LiveMechanism::SemaphoreWeak),
             ("starvation, strong sem", LiveMechanism::SemaphoreStrong),
         ] {
-            let (journal, stats) = Sampler::pct(iters as usize, 0x000B_100F + n as u64)
-                .change_points(4)
-                .depth_hint(2048)
-                .run(
-                    || starvation_at_scale(mech, &spec),
-                    |_, result| {
-                        let violated = starvation.violated(result);
-                        (violated.clone(), violated)
-                    },
-                );
+            let (journal, stats) = ExploreConfig::new(0).sample(
+                SampleStrategy::Pct {
+                    change_points: 4,
+                    depth_hint: 2048,
+                },
+                iters as usize,
+                0x000B_100F + n as u64,
+                || starvation_at_scale(mech, &spec),
+                |_, result| {
+                    let violated = starvation.violated(result);
+                    (violated.clone(), violated)
+                },
+            );
             let sampling = stats.sampling.expect("sampler always fills stats");
             let hits = sampling
                 .violations
@@ -512,7 +577,10 @@ pub fn r3_report() -> String {
     }
 
     let nested_spec = r3_spec(100);
-    let (_, stats) = Sampler::walk(20, 0x000B_100E).run(
+    let (_, stats) = ExploreConfig::new(0).sample(
+        SampleStrategy::Walk,
+        20,
+        0x000B_100E,
         || nested_monitor_at_scale(&nested_spec),
         |_, result| ((), nested.violated(result)),
     );
@@ -876,6 +944,8 @@ pub fn full_report() -> String {
     out.push('\n');
     out.push_str(&anomaly_report());
     out.push('\n');
+    out.push_str(&symbolic_report());
+    out.push('\n');
     out.push_str(&crash_robustness_report());
     out.push('\n');
     out.push_str(&liveness_robustness_report());
@@ -942,7 +1012,9 @@ mod tests {
     #[test]
     fn full_report_renders_every_section() {
         let report = full_report();
-        for heading in ["T1", "T2", "T3", "T4", "F1a", "R1", "R2", "R3", "T6", "O1"] {
+        for heading in [
+            "T1", "T2", "T3", "T4", "F1a", "E5", "R1", "R2", "R3", "T6", "O1",
+        ] {
             assert!(report.contains(heading), "missing section {heading}");
         }
         assert!(report.contains("ANOMALOUS (footnote 3)"));

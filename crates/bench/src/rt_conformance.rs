@@ -843,13 +843,10 @@ pub fn crash_scenarios() -> Vec<CrashScenario> {
 /// verdict any schedule can produce. Panics if the tree exceeds
 /// [`ENVELOPE_BUDGET`] — an incomplete envelope proves nothing.
 pub fn sim_envelope(s: &Scenario) -> BTreeSet<String> {
-    let mut verdicts = BTreeSet::new();
-    let stats = ExploreConfig::new(ENVELOPE_BUDGET)
+    let (journal, stats) = ExploreConfig::new(ENVELOPE_BUDGET)
         .prune(true)
-        .serial()
-        .run(s.sim, |_, result| {
-            verdicts.insert((s.verdict)(result));
-        });
+        .run(s.sim, |_, result| (s.verdict)(result));
+    let verdicts: BTreeSet<String> = journal.into_iter().map(|r| r.value).collect();
     assert!(
         stats.complete,
         "scenario {}: envelope exploration exceeded its budget \
@@ -874,13 +871,12 @@ pub fn rt_verdict(s: &Scenario, seed: u64) -> String {
 /// scenario's simulator twin and returns every [`CrashOutcome`] it can
 /// produce.
 pub fn sim_crash_envelope(c: &CrashScenario) -> BTreeSet<CrashOutcome> {
-    let mut outcomes = BTreeSet::new();
-    let stats = ExploreConfig::new(ENVELOPE_BUDGET)
+    let (journal, stats) = ExploreConfig::new(ENVELOPE_BUDGET)
         .prune(true)
-        .serial()
         .run_kill_points(c.victim, c.max_points, c.sim, |_, _, result| {
-            outcomes.insert(classify_crash(result));
+            classify_crash(result)
         });
+    let outcomes: BTreeSet<CrashOutcome> = journal.into_iter().map(|(_, r)| r.value).collect();
     assert!(
         stats.complete,
         "crash scenario {}: kill-point exploration exceeded its budget",

@@ -181,6 +181,10 @@ pub struct CspBuffer {
     remove: Arc<Channel<Msg>>,
     once: ServerOnce,
     capacity: usize,
+    /// `Some((lo, hi))` makes the server draw its capacity from
+    /// `lo..=hi` via [`Ctx::choose_value`] instead of using the fixed
+    /// `capacity` field — the E5 symbolic-guard configuration.
+    symbolic: Option<(i64, i64)>,
 }
 
 impl CspBuffer {
@@ -191,19 +195,41 @@ impl CspBuffer {
             remove: Arc::new(Channel::new("buffer.remove")),
             once: ServerOnce::new(),
             capacity,
+            symbolic: None,
+        }
+    }
+
+    /// Symbolic-capacity buffer: the server draws `capacity` from
+    /// `lo..=hi` at startup with [`Ctx::choose_value`] and its not-full
+    /// guard becomes the symbolic comparison `capacity > len`. Under
+    /// revisit-mode exploration all capacities inducing the same guard
+    /// outcomes collapse into one schedule class, so the whole domain is
+    /// verified at the cost of a few representatives (experiment E5).
+    /// [`BoundedBuffer::capacity`] reports `hi`, the loosest bound.
+    pub fn with_symbolic_capacity(lo: i64, hi: i64) -> Self {
+        assert!(0 < lo && lo <= hi, "need a nonempty positive domain");
+        CspBuffer {
+            deposit: Arc::new(Channel::new("buffer.deposit")),
+            remove: Arc::new(Channel::new("buffer.remove")),
+            once: ServerOnce::new(),
+            capacity: hi as usize,
+            symbolic: Some((lo, hi)),
         }
     }
 
     fn ensure_server(&self, ctx: &Ctx) {
         let (dep, rem) = (Arc::clone(&self.deposit), Arc::clone(&self.remove));
         let capacity = self.capacity;
+        let symbolic = self.symbolic;
         self.once.ensure(ctx, "buffer-server", move |ctx| {
+            let cap = symbolic.map(|(lo, hi)| ctx.choose_value("capacity", lo..=hi));
             let mut items: VecDeque<i64> = VecDeque::new();
             loop {
-                let (which, m) = select(
-                    ctx,
-                    &mut [(&*dep, items.len() < capacity), (&*rem, !items.is_empty())],
-                );
+                let not_full = match &cap {
+                    Some(c) => c.gt(items.len() as i64),
+                    None => items.len() < capacity,
+                };
+                let (which, m) = select(ctx, &mut [(&*dep, not_full), (&*rem, !items.is_empty())]);
                 match which {
                     0 => {
                         enter_for(ctx, m.pid, DEPOSIT, &[m.value]);

@@ -159,7 +159,7 @@ pub mod dining {
         /// of the ordered solution does.
         #[test]
         fn exhaustive_exploration_quantifies_the_deadlock() {
-            use bloom_sim::ParallelExplorer;
+            use bloom_sim::{Engine, ExploreConfig};
 
             let naive = |n: usize| {
                 move || {
@@ -181,8 +181,9 @@ pub mod dining {
                     sim
                 }
             };
-            let (journal, stats) =
-                ParallelExplorer::new(300_000).run(naive(3), |_, result| result.is_err());
+            let (journal, stats) = ExploreConfig::new(300_000)
+                .engine(Engine::Parallel)
+                .run(naive(3), |_, result| result.is_err());
             let schedules = journal.len();
             let deadlocks = journal.iter().filter(|r| r.value).count();
             assert!(stats.complete, "3-philosopher tree fully explored");
@@ -217,8 +218,9 @@ pub mod dining {
                 }
                 sim
             };
-            let (journal, stats) =
-                ParallelExplorer::new(300_000).run(ordered, |_, result| result.is_err());
+            let (journal, stats) = ExploreConfig::new(300_000)
+                .engine(Engine::Parallel)
+                .run(ordered, |_, result| result.is_err());
             let ordered_deadlocks = journal.iter().filter(|r| r.value).count();
             assert!(stats.complete);
             assert_eq!(

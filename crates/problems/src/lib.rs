@@ -46,6 +46,7 @@ pub mod oneslot;
 pub mod r3;
 pub mod registry;
 pub mod rw;
+pub mod symbolic;
 pub mod workload;
 
 pub use alarm::AlarmClock;

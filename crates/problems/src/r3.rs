@@ -280,7 +280,7 @@ pub fn nested_monitor_laws() -> LawSet {
 mod tests {
     use super::*;
     use crate::workload::{Arrival, Think};
-    use bloom_sim::{replay_exact, Sampler};
+    use bloom_sim::{replay_exact, ExploreConfig, SampleStrategy};
 
     fn small_spec() -> WorkloadSpec {
         // Back-to-back operations (no think time) keep the released
@@ -296,7 +296,10 @@ mod tests {
     fn strong_semaphore_never_violates_at_small_scale() {
         let spec = small_spec();
         let laws = starvation_laws();
-        let (_, stats) = Sampler::walk(20, 77).run(
+        let (_, stats) = ExploreConfig::new(0).sample(
+            SampleStrategy::Walk,
+            20,
+            77,
             || starvation_at_scale(LiveMechanism::SemaphoreStrong, &spec),
             |_, result| ((), laws.violated(result)),
         );
@@ -314,7 +317,13 @@ mod tests {
     fn weak_semaphore_starves_under_some_sampled_schedule() {
         let spec = small_spec();
         let laws = starvation_laws();
-        let (journal, stats) = Sampler::pct(40, 1).change_points(4).depth_hint(256).run(
+        let (journal, stats) = ExploreConfig::new(0).sample(
+            SampleStrategy::Pct {
+                change_points: 4,
+                depth_hint: 256,
+            },
+            40,
+            1,
             || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
             |_, result| ((), laws.violated(result)),
         );
@@ -346,7 +355,10 @@ mod tests {
             .ops(2)
             .think(Think::Fixed(2));
         let laws = nested_monitor_laws();
-        let (_, stats) = Sampler::walk(40, 3).run(
+        let (_, stats) = ExploreConfig::new(0).sample(
+            SampleStrategy::Walk,
+            40,
+            3,
             || nested_monitor_at_scale(&spec),
             |_, result| ((), laws.violated(result)),
         );

@@ -14,7 +14,7 @@
 
 use bloom_core::liveness::{check_recovery_containment, classify_liveness, LivenessOutcome};
 use bloom_problems::liveness::{deadlock_recovery_sim, LiveMechanism};
-use bloom_sim::ParallelExplorer;
+use bloom_sim::{Engine, ExploreConfig};
 
 const BUDGET: usize = 50_000;
 
@@ -23,7 +23,7 @@ const BUDGET: usize = 50_000;
 /// line per schedule (decision vector, victim count, verdict) plus
 /// whether the tree was exhausted within the budget.
 fn explore_journal(mech: LiveMechanism, budget: usize) -> (Vec<String>, bool) {
-    let (records, stats) = ParallelExplorer::new(budget).run(
+    let (records, stats) = ExploreConfig::new(budget).engine(Engine::Parallel).run(
         || deadlock_recovery_sim(mech),
         |decisions, result| {
             let violations = check_recovery_containment(result);

@@ -427,6 +427,7 @@ impl RtSim {
             prune_safe: false,
             metrics: SimMetrics::default(),
             quanta: Vec::new(),
+            data_choices: Vec::new(),
         };
         if let Some((pid, message)) = panicked {
             return Err(SimError {

@@ -3,6 +3,7 @@
 use crate::baton::Report;
 use crate::footprint::{merge_access, Access, ObjId};
 use crate::kernel::{obey, stop_process, ProcessStatus, Shared, StopOutcome, TimerKind};
+use crate::symbolic::SymValue;
 use crate::trace::EventKind;
 use crate::types::{Deadline, Pid, Time};
 use std::sync::atomic::Ordering;
@@ -438,6 +439,36 @@ impl Ctx {
                     .push(clock, target, EventKind::DelayedWake { until });
             }
         }
+    }
+
+    /// Draws a value from a finite integer domain at a *data decision
+    /// point* (DESIGN.md §2.15): the outcome is a value, not a scheduler
+    /// pick, but it is recorded in the same decision vector (tagged
+    /// [`crate::DecisionKind::Data`]), so replay, shrinking, journaling
+    /// and exploration all cover it. The explorers enumerate every domain
+    /// value; the revisit mode additionally collapses values the run
+    /// never distinguished — provided the program observes the result
+    /// through the returned [`crate::SymValue`]'s comparison methods
+    /// rather than [`crate::SymValue::get`].
+    ///
+    /// Unlike every blocking primitive, this is **not** a scheduling
+    /// point: the calling process keeps the CPU and the choice is made
+    /// synchronously. The domain is sorted and deduplicated; a singleton
+    /// domain records no decision. Accepts any `IntoIterator<Item = i64>`
+    /// (a range like `1..=8`, a slice `[0, 1]`, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain is empty.
+    pub fn choose_value(&self, label: &str, domain: impl IntoIterator<Item = i64>) -> SymValue {
+        crate::symbolic::choose(&self.shared, self.pid, label, domain.into_iter().collect())
+    }
+
+    /// Boolean face of [`Ctx::choose_value`]: a nondeterministic `bool`
+    /// over the domain `{0, 1}`, observed immediately (which is exact for
+    /// a two-value domain — no collapse is lost).
+    pub fn choose_bool(&self, label: &str) -> bool {
+        self.choose_value(label, [0, 1]).truth()
     }
 
     /// Appends an application-level event to the trace.

@@ -70,8 +70,10 @@ use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::footprint::{Footprint, QuantumRecord};
 use crate::kernel::{ProcessStatus, SimReport};
+use crate::parallel::ScheduleRecord;
 use crate::policy::{CheckpointSpacing, ReplayPolicy};
 use crate::revisit::plan_revisits;
+use crate::sample::{SampleRecord, SampleStrategy, Sampler};
 use crate::sim::{HeldRun, RunProgress, Sim};
 use crate::trace::Decision;
 use crate::types::Pid;
@@ -271,9 +273,25 @@ pub struct ExploreStats {
     pub revisit_requests: u64,
     /// [`PruneMode::Revisit`] only: how many requested branches were
     /// fresh and actually scheduled. Every executed schedule except the
-    /// root is a granted revisit, so a complete revisit exploration has
-    /// `schedules == revisits + 1`. Always 0 in the other modes.
+    /// root is a granted revisit or a granted symbolic value request, so
+    /// a complete revisit exploration has
+    /// `schedules == revisits + sym_grants + 1`. Always 0 in the other
+    /// modes.
     pub revisits: u64,
+    /// [`PruneMode::Revisit`] only: total value-sibling branch requests
+    /// produced by the symbolic collapse over [`crate::Ctx::choose_value`]
+    /// decisions, *including* requests whose branch was already scheduled
+    /// (each run's requests are a pure function of that run). Value
+    /// siblings in the same constraint class as an executed value are
+    /// never requested — that is the collapse. Always 0 in the other
+    /// modes, which enumerate every domain value concretely.
+    pub sym_requests: u64,
+    /// [`PruneMode::Revisit`] only: how many symbolic value requests were
+    /// fresh and actually scheduled. Collapsed value siblings (discovered
+    /// minus granted) are counted in [`ExploreStats::pruned`] at the
+    /// decision's depth, next to the race-revisit tallies. Always 0 in
+    /// the other modes.
+    pub sym_grants: u64,
     /// The first failed schedule in canonical depth-first order, if any
     /// schedule failed. Exploration does not stop at a failure — the rest
     /// of the tree is still covered — but the canonical-first failure is
@@ -336,11 +354,18 @@ impl ExploreStats {
             self.revisits,
             self.revisit_requests
         );
-        if self.revisits > 0 && self.complete {
+        assert!(
+            self.sym_grants <= self.sym_requests,
+            "every granted symbolic value was first requested ({} > {})",
+            self.sym_grants,
+            self.sym_requests
+        );
+        if (self.revisits > 0 || self.sym_grants > 0) && self.complete {
             assert_eq!(
                 self.schedules,
-                self.revisits as usize + 1,
-                "in revisit mode every non-root schedule is a granted revisit"
+                self.revisits as usize + self.sym_grants as usize + 1,
+                "in revisit mode every non-root schedule is a granted revisit \
+                 or a granted symbolic value"
             );
         }
     }
@@ -464,8 +489,20 @@ pub(crate) fn walk_run(
     inherited: &SleepSet,
     conflicts: &mut BTreeMap<String, u64>,
 ) -> Vec<NodeInfo> {
+    // Contested quanta align 1:1 with the `Sched`-kind decisions; a
+    // `Data`-kind decision ([`crate::Ctx::choose_value`]) was made *during*
+    // some quantum and owns none. Data nodes get a conservative
+    // [`NodeInfo`]: never pure, no value sibling ever asleep (the concrete
+    // DFS modes enumerate every domain value), and a child sleep set taken
+    // from the running set — which only shrinks along a walk, so any
+    // snapshot at or after the choice is sound for the value siblings.
+    let sched_indices: Vec<usize> = decisions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, d)| d.is_sched().then_some(i))
+        .collect();
     let contested = quanta.iter().filter(|q| q.ready.is_some()).count();
-    if contested != decisions.len() {
+    if contested != sched_indices.len() {
         // No usable footprint log (the explorers force `record_quanta` on,
         // so this is only reachable through a hand-built `Sim` path):
         // degrade to the pure-only prune with empty sleep sets.
@@ -479,28 +516,48 @@ pub(crate) fn walk_run(
             })
             .collect();
     }
+    let data_node = |d: &Decision, sleep: &SleepSet| {
+        debug_assert!(d.is_data());
+        NodeInfo {
+            pure: false,
+            asleep: vec![false; d.arity as usize],
+            child_sleep: sleep.clone(),
+        }
+    };
     let mut out = Vec::with_capacity(decisions.len().saturating_sub(start));
     let mut sleep = inherited.clone();
-    // Quanta strictly before the branch quantum (the contested quantum of
-    // decision `start - 1`) are part of the shared prefix whose effects
-    // `inherited` already reflects; the branch quantum itself and
-    // everything after must still be applied.
-    let mut active = start == 0;
-    let mut next_index = 0usize;
+    // Quanta strictly before the branch quantum are part of the shared
+    // prefix whose effects `inherited` already reflects; the branch
+    // quantum itself and everything after must still be applied. The
+    // branch quantum is the contested quantum of the nearest `Sched`
+    // decision at or before `start - 1`: a branch at a data decision
+    // re-executes from inside that quantum, and re-applying quanta only
+    // shrinks the sleep set, which is conservative.
+    let branch_sched = (0..start).rev().find(|&i| decisions[i].is_sched());
+    let mut active = branch_sched.is_none();
+    // The next decision index to emit; data decisions between contested
+    // quanta are emitted when the walk reaches the next contested quantum
+    // (or the end of the run), with the running set at that point.
+    let mut emit_di = start;
+    let mut next_sched = 0usize;
     for q in quanta {
         let index = q.ready.is_some().then(|| {
-            let i = next_index;
-            next_index += 1;
+            let i = sched_indices[next_sched];
+            next_sched += 1;
             i
         });
         if !active {
             match index {
-                Some(i) if i + 1 == start => active = true,
+                Some(i) if Some(i) == branch_sched => active = true,
                 _ => continue,
             }
         }
         if let Some(i) = index {
             if i >= start {
+                while emit_di < i {
+                    out.push(data_node(&decisions[emit_di], &sleep));
+                    emit_di += 1;
+                }
                 let d = &decisions[i];
                 let ready = q
                     .ready
@@ -524,6 +581,7 @@ pub(crate) fn walk_run(
                     asleep,
                     child_sleep,
                 });
+                emit_di = i + 1;
                 if cut {
                     // The executed canonical choice dispatched a sleeping
                     // process: the rest of this run is a redundant probe.
@@ -536,6 +594,12 @@ pub(crate) fn walk_run(
         // no longer deferred, and conflicting entries wake up.
         sleep.remove(q.pid);
         sleep.wake_filter(&q.footprint, conflicts);
+    }
+    // Data decisions made during the final quanta, after the last
+    // contested dispatch.
+    while emit_di < decisions.len() {
+        out.push(data_node(&decisions[emit_di], &sleep));
+        emit_di += 1;
     }
     debug_assert_eq!(out.len(), decisions.len().saturating_sub(start));
     out
@@ -569,6 +633,12 @@ pub struct KillPointStats {
     /// Granted revisits, merged across kill points (see
     /// [`ExploreStats::revisits`]).
     pub revisits: u64,
+    /// Symbolic value requests, merged across kill points (see
+    /// [`ExploreStats::sym_requests`]).
+    pub sym_requests: u64,
+    /// Granted symbolic values, merged across kill points (see
+    /// [`ExploreStats::sym_grants`]).
+    pub sym_grants: u64,
     /// The first failed schedule: the canonical-first failure of the
     /// earliest kill point that had one (points are swept in order, so
     /// this too is deterministic across strategies and thread counts).
@@ -607,6 +677,10 @@ impl KillPointStats {
             self.revisits <= self.revisit_requests,
             "every granted revisit was first requested"
         );
+        assert!(
+            self.sym_grants <= self.sym_requests,
+            "every granted symbolic value was first requested"
+        );
     }
 }
 
@@ -621,28 +695,29 @@ pub struct KillPointCount {
     pub kills: usize,
 }
 
+/// An optional progress callback, newtyped so the builders that hold one
+/// can `#[derive(Debug)]` over *all* their fields instead of maintaining a
+/// hand-written impl that silently goes stale when a field is added:
+/// closures have no useful `Debug`, so this prints only whether a callback
+/// is installed.
+#[derive(Clone, Default)]
+pub(crate) struct ProgressCallback(pub(crate) Option<Arc<dyn Fn(usize) + Send + Sync>>);
+
+impl std::fmt::Debug for ProgressCallback {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() { "Some(..)" } else { "None" })
+    }
+}
+
 /// Depth-first enumerator of all schedules of a scenario.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct Explorer {
     max_schedules: usize,
     prune: bool,
     mode: PruneMode,
     checkpoint: CheckpointSpacing,
     progress_every: usize,
-    progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
-}
-
-impl std::fmt::Debug for Explorer {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Explorer")
-            .field("max_schedules", &self.max_schedules)
-            .field("prune", &self.prune)
-            .field("mode", &self.mode)
-            .field("checkpoint", &self.checkpoint)
-            .field("progress_every", &self.progress_every)
-            .field("progress", &self.progress.as_ref().map(|_| ".."))
-            .finish()
-    }
+    progress: ProgressCallback,
 }
 
 impl Explorer {
@@ -654,7 +729,7 @@ impl Explorer {
             mode: PruneMode::Granular,
             checkpoint: CheckpointSpacing::default(),
             progress_every: 0,
-            progress: None,
+            progress: ProgressCallback::default(),
         }
     }
 
@@ -711,7 +786,7 @@ impl Explorer {
         F: Fn(usize) + Send + Sync + 'static,
     {
         self.progress_every = every;
-        self.progress = Some(Arc::new(callback));
+        self.progress = ProgressCallback(Some(Arc::new(callback)));
         self
     }
 
@@ -806,7 +881,7 @@ impl Explorer {
             visit(decisions, &result);
             stats.count_schedule_at_depth(decisions.len());
             if self.progress_every > 0 && stats.schedules.is_multiple_of(self.progress_every) {
-                if let Some(progress) = &self.progress {
+                if let Some(progress) = &self.progress.0 {
                     progress(stats.schedules);
                 }
             }
@@ -913,9 +988,13 @@ impl Explorer {
         scheduled.insert(Vec::new());
         // Per-depth sibling capacity of discovered contested nodes
         // (arity - 1 each) and per-depth granted revisits; their
-        // difference is the prune histogram.
+        // difference is the prune histogram. Data decisions are accounted
+        // in their own pair so the symbolic-collapse tallies stay
+        // separable from the race-revisit ones.
         let mut potential: Vec<usize> = Vec::new();
         let mut granted: Vec<usize> = Vec::new();
+        let mut data_potential: Vec<usize> = Vec::new();
+        let mut data_granted: Vec<usize> = Vec::new();
         let mut stats = ExploreStats::default();
         let mut spine = SpineRunner::new(self.checkpoint);
         while let Some(prefix) = pending.pop_first() {
@@ -950,7 +1029,12 @@ impl Explorer {
             // canonical-branch markers.
             for (i, d) in decisions.iter().enumerate().skip(prefix.len()) {
                 if d.arity > 1 {
-                    bump_depth(&mut potential, i, d.arity as usize - 1);
+                    let capacity = if d.is_sched() {
+                        &mut potential
+                    } else {
+                        &mut data_potential
+                    };
+                    bump_depth(capacity, i, d.arity as usize - 1);
                     scheduled.insert(choices[..=i].to_vec());
                 }
             }
@@ -965,10 +1049,42 @@ impl Explorer {
                     pending.insert(branch);
                 }
             }
+            // Symbolic collapse over the run's data decisions: each
+            // [`crate::DataChoice`] partitions its domain by the constraint
+            // outcomes this run recorded, and one representative of every
+            // class the chosen value does not cover is requested.
+            // Constraints recorded *after* the branch point can split
+            // classes at earlier slots, so every slot is re-examined on
+            // every run — requests stay a pure function of the run, and
+            // grants are fresh insertions into `scheduled`, preserving the
+            // order-independent fixed point.
+            let data_choices = match &result {
+                Ok(report) => &report.data_choices,
+                Err(err) => &err.report.data_choices,
+            };
+            let mut slot = 0usize;
+            for (i, d) in decisions.iter().enumerate() {
+                if !d.is_data() {
+                    continue;
+                }
+                let requests = data_choices[slot].collapse_requests();
+                slot += 1;
+                stats.sym_requests += requests.len() as u64;
+                for c in requests {
+                    let mut branch = choices[..i].to_vec();
+                    branch.push(c);
+                    if scheduled.insert(branch.clone()) {
+                        bump_depth(&mut data_granted, i, 1);
+                        stats.sym_grants += 1;
+                        pending.insert(branch);
+                    }
+                }
+            }
+            debug_assert_eq!(slot, data_choices.len(), "data decision/choice drift");
             visit(decisions, &result);
             stats.count_schedule_at_depth(decisions.len());
             if self.progress_every > 0 && stats.schedules.is_multiple_of(self.progress_every) {
-                if let Some(progress) = &self.progress {
+                if let Some(progress) = &self.progress.0 {
                     progress(stats.schedules);
                 }
             }
@@ -990,6 +1106,13 @@ impl Explorer {
         for (depth, &cap) in potential.iter().enumerate() {
             let taken = granted.get(depth).copied().unwrap_or(0);
             debug_assert!(taken <= cap, "granted more siblings than exist");
+            if cap > taken {
+                stats.count_pruned_at_depth(depth, cap - taken);
+            }
+        }
+        for (depth, &cap) in data_potential.iter().enumerate() {
+            let taken = data_granted.get(depth).copied().unwrap_or(0);
+            debug_assert!(taken <= cap, "granted more value siblings than exist");
             if cap > taken {
                 stats.count_pruned_at_depth(depth, cap - taken);
             }
@@ -1049,6 +1172,8 @@ impl Explorer {
             merge_conflicts(&mut stats.conflicts, &point_stats.conflicts);
             stats.revisit_requests += point_stats.revisit_requests;
             stats.revisits += point_stats.revisits;
+            stats.sym_requests += point_stats.sym_requests;
+            stats.sym_grants += point_stats.sym_grants;
             if stats.first_error.is_none() {
                 stats.first_error = point_stats.first_error;
             }
@@ -1067,46 +1192,75 @@ impl Explorer {
     }
 }
 
-/// Shared configuration builder for both exploration strategies.
+/// Which execution engine [`ExploreConfig::run`] and
+/// [`ExploreConfig::run_kill_points`] dispatch to.
 ///
-/// Collects the knobs the two explorers have in common — budget, prune,
-/// progress callback, thread count — once, then materialises either a
-/// serial [`Explorer`] ([`ExploreConfig::serial`]) or a
-/// [`crate::ParallelExplorer`] ([`ExploreConfig::parallel`]). Call sites
-/// that compare the two strategies (the parallel-determinism tests, the
-/// exploration benchmarks) build one config and derive both, so the knobs
-/// cannot drift apart:
+/// The engines differ only in *how* they walk the tree; the journal (and,
+/// in [`PruneMode::Revisit`], every statistic) is byte-identical across
+/// engines and worker counts, so the choice is purely a throughput knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The in-process depth-first worklist ([`Explorer`]); the default.
+    #[default]
+    Serial,
+    /// The work-sharing thread pool ([`crate::ParallelExplorer`]).
+    Parallel,
+}
+
+/// Unified front door for exploration: one builder, one visitor
+/// signature, three verbs.
+///
+/// Collects the knobs the exploration engines share — budget, prune mode,
+/// checkpoint spacing, progress callback, thread count — once, then runs
+/// the campaign with [`ExploreConfig::run`] (exhaustive),
+/// [`ExploreConfig::run_kill_points`] (exhaustive × fault sweep), or
+/// [`ExploreConfig::sample`] (seeded sampling for trees too big to
+/// enumerate). All three verbs share the `(setup, map)` shape: `setup`
+/// builds a fresh [`Sim`] per run, `map` sees each run's decision vector
+/// and outcome, and the journal of mapped values comes back sorted — so
+/// results are identical whichever [`Engine`] or worker count executes
+/// them:
 ///
 /// ```
-/// use bloom_sim::ExploreConfig;
-/// let config = ExploreConfig::new(10_000).prune(true);
-/// let serial = config.serial();
-/// let parallel = config.parallel().threads(4);
-/// # let _ = (serial, parallel);
+/// use bloom_sim::{ExploreConfig, PruneMode};
+/// let config = ExploreConfig::new(10_000).mode(PruneMode::Revisit);
+/// let (serial, _) = config.run(
+///     || {
+///         let mut sim = bloom_sim::Sim::new();
+///         sim.spawn("a", |ctx| ctx.emit("a", &[]));
+///         sim.spawn("b", |ctx| ctx.emit("b", &[]));
+///         sim
+///     },
+///     |decisions, _| decisions.len(),
+/// );
+/// let (parallel, _) = config.clone().threads(4).run(
+///     || {
+///         let mut sim = bloom_sim::Sim::new();
+///         sim.spawn("a", |ctx| ctx.emit("a", &[]));
+///         sim.spawn("b", |ctx| ctx.emit("b", &[]));
+///         sim
+///     },
+///     |decisions, _| decisions.len(),
+/// );
+/// assert_eq!(serial, parallel);
 /// ```
-#[derive(Clone)]
+///
+/// The materialisers [`ExploreConfig::serial`] and
+/// [`ExploreConfig::parallel`] remain as the *engine-level* API: they
+/// hand out the underlying [`Explorer`] / [`crate::ParallelExplorer`] for
+/// call sites that need an engine-specific capability (the serial
+/// engine's `FnMut` visitor, engine-identity tests, benchmarks timing the
+/// engines against each other). New code should prefer the unified verbs.
+#[derive(Debug, Clone)]
 pub struct ExploreConfig {
     budget: usize,
     prune: bool,
     mode: PruneMode,
     checkpoint: CheckpointSpacing,
+    engine: Engine,
     threads: Option<usize>,
     progress_every: usize,
-    progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
-}
-
-impl std::fmt::Debug for ExploreConfig {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ExploreConfig")
-            .field("budget", &self.budget)
-            .field("prune", &self.prune)
-            .field("mode", &self.mode)
-            .field("checkpoint", &self.checkpoint)
-            .field("threads", &self.threads)
-            .field("progress_every", &self.progress_every)
-            .field("progress", &self.progress.as_ref().map(|_| ".."))
-            .finish()
-    }
+    progress: ProgressCallback,
 }
 
 impl ExploreConfig {
@@ -1119,10 +1273,17 @@ impl ExploreConfig {
             prune: false,
             mode: PruneMode::Granular,
             checkpoint: CheckpointSpacing::default(),
+            engine: Engine::Serial,
             threads: None,
             progress_every: 0,
-            progress: None,
+            progress: ProgressCallback::default(),
         }
+    }
+
+    /// Selects the execution engine the unified verbs dispatch to.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Selects the schedule execution strategy: whole-prefix replay or
@@ -1161,10 +1322,13 @@ impl ExploreConfig {
         self
     }
 
-    /// Sets the worker count for the parallel strategy (the serial
-    /// strategy ignores it; `None` — the default — lets
-    /// [`crate::ParallelExplorer::new`] pick one per core, capped at 8).
+    /// Sets the worker count and selects [`Engine::Parallel`] (the way
+    /// [`ExploreConfig::mode`] selects pruning). The count also carries
+    /// to [`ExploreConfig::sample`]'s worker pool. To run parallel with
+    /// the default per-core count (capped at 8), use
+    /// [`ExploreConfig::engine`] without calling this.
     pub fn threads(mut self, threads: usize) -> Self {
+        self.engine = Engine::Parallel;
         self.threads = Some(threads.max(1));
         self
     }
@@ -1178,11 +1342,115 @@ impl ExploreConfig {
         F: Fn(usize) + Send + Sync + 'static,
     {
         self.progress_every = every;
-        self.progress = Some(Arc::new(callback));
+        self.progress = ProgressCallback(Some(Arc::new(callback)));
         self
     }
 
-    /// Materialises a serial [`Explorer`] with this configuration.
+    /// Explores every schedule (up to the budget) on the configured
+    /// engine and returns the journal of mapped values plus the campaign
+    /// statistics.
+    ///
+    /// `map` is invoked once per executed schedule with the decision
+    /// vector taken and the run outcome; the journal is sorted by
+    /// decision vector, so it is identical across engines and worker
+    /// counts (see [`crate::ParallelExplorer::run`] for the merge
+    /// contract the parallel engine upholds).
+    pub fn run<S, M, T>(&self, setup: S, map: M) -> (Vec<ScheduleRecord<T>>, ExploreStats)
+    where
+        S: Fn() -> Sim + Sync,
+        M: Fn(&[Decision], &Result<SimReport, SimError>) -> T + Sync,
+        T: Send,
+    {
+        match self.engine {
+            Engine::Serial => {
+                let mut journal = Vec::new();
+                let stats = self.serial().run(setup, |decisions, result| {
+                    journal.push(ScheduleRecord {
+                        choices: decisions.iter().map(|d| d.chosen).collect(),
+                        value: map(decisions, result),
+                    });
+                });
+                journal.sort_unstable_by(|a, b| a.choices.cmp(&b.choices));
+                (journal, stats)
+            }
+            Engine::Parallel => self.parallel().run(setup, map),
+        }
+    }
+
+    /// Sweeps kill points `1..=max_points` for `victim`, exploring every
+    /// schedule of every faulted scenario on the configured engine (see
+    /// [`Explorer::run_kill_points`] for the sweep semantics and early
+    /// exit). `map` additionally receives the kill point; the journal is
+    /// sorted by `(point, decision vector)`.
+    pub fn run_kill_points<S, M, T>(
+        &self,
+        victim: &str,
+        max_points: u64,
+        setup: S,
+        map: M,
+    ) -> (Vec<(u64, ScheduleRecord<T>)>, KillPointStats)
+    where
+        S: Fn() -> Sim + Sync,
+        M: Fn(u64, &[Decision], &Result<SimReport, SimError>) -> T + Sync,
+        T: Send,
+    {
+        match self.engine {
+            Engine::Serial => {
+                let mut journal = Vec::new();
+                let stats = self.serial().run_kill_points(
+                    victim,
+                    max_points,
+                    setup,
+                    |point, decisions, result| {
+                        journal.push((
+                            point,
+                            ScheduleRecord {
+                                choices: decisions.iter().map(|d| d.chosen).collect(),
+                                value: map(point, decisions, result),
+                            },
+                        ));
+                    },
+                );
+                journal.sort_unstable_by(|a, b| (a.0, &a.1.choices).cmp(&(b.0, &b.1.choices)));
+                (journal, stats)
+            }
+            Engine::Parallel => self
+                .parallel()
+                .run_kill_points(victim, max_points, setup, map),
+        }
+    }
+
+    /// Samples `iterations` seeded schedules instead of enumerating (the
+    /// third engine; see [`crate::Sampler`]). The schedule budget and
+    /// prune knobs do not apply — `iterations` *is* the budget, and
+    /// sampling proves nothing exhaustively — but the thread count does.
+    ///
+    /// Same visitor shape as [`ExploreConfig::run`], except `map` also
+    /// returns the *law keys* the run violated (empty when clean), which
+    /// feed [`ExploreStats::sampling`]. The journal is sorted by
+    /// iteration index.
+    pub fn sample<S, M, T>(
+        &self,
+        strategy: SampleStrategy,
+        iterations: usize,
+        seed: u64,
+        setup: S,
+        map: M,
+    ) -> (Vec<SampleRecord<T>>, ExploreStats)
+    where
+        S: Fn() -> Sim + Sync,
+        M: Fn(&[Decision], &Result<SimReport, SimError>) -> (T, Vec<String>) + Sync,
+        T: Send,
+    {
+        let mut sampler = Sampler::walk(iterations, seed).strategy(strategy);
+        if let Some(threads) = self.threads {
+            sampler = sampler.threads(threads);
+        }
+        sampler.run(setup, map)
+    }
+
+    /// Materialises a serial [`Explorer`] with this configuration
+    /// (engine-level API; prefer [`ExploreConfig::run`]).
     pub fn serial(&self) -> Explorer {
         let mut explorer = Explorer::new(self.budget).with_checkpointing(self.checkpoint);
         if self.prune {
@@ -1192,14 +1460,15 @@ impl ExploreConfig {
                 PruneMode::Revisit => explorer.with_revisit_pruning(),
             };
         }
-        if let Some(progress) = &self.progress {
+        if let Some(progress) = &self.progress.0 {
             let progress = Arc::clone(progress);
             explorer = explorer.with_progress(self.progress_every, move |n| progress(n));
         }
         explorer
     }
 
-    /// Materialises a [`crate::ParallelExplorer`] with this configuration.
+    /// Materialises a [`crate::ParallelExplorer`] with this configuration
+    /// (engine-level API; prefer [`ExploreConfig::run`]).
     pub fn parallel(&self) -> crate::ParallelExplorer {
         let mut explorer =
             crate::ParallelExplorer::new(self.budget).with_checkpointing(self.checkpoint);
@@ -1213,7 +1482,7 @@ impl ExploreConfig {
                 PruneMode::Revisit => explorer.with_revisit_pruning(),
             };
         }
-        if let Some(progress) = &self.progress {
+        if let Some(progress) = &self.progress.0 {
             let progress = Arc::clone(progress);
             explorer = explorer.with_progress(self.progress_every, move |n| progress(n));
         }
@@ -1845,5 +2114,103 @@ mod tests {
             fired(&granular),
             "both modes must observe the same set of live kill points"
         );
+    }
+
+    /// A data choice raced against a peer: revisit mode collapses the
+    /// `{2,3}` constraint class, so the symbolic tree is strictly smaller
+    /// than concrete enumeration.
+    fn chooser_scenario() -> Sim {
+        let mut sim = Sim::new();
+        sim.spawn("chooser", |ctx| {
+            ctx.yield_now();
+            let v = ctx.choose_value("n", 1..=3);
+            if v.gt(1) {
+                ctx.emit("big", &[]);
+            }
+        });
+        sim.spawn("peer", |ctx| {
+            ctx.yield_now();
+            ctx.emit("peer", &[]);
+        });
+        sim
+    }
+
+    /// The unified verbs return byte-identical journals and statistics
+    /// whichever engine executes them — including symbolic data
+    /// decisions.
+    #[test]
+    fn unified_run_is_engine_independent() {
+        let vector = |d: &[Decision]| d.iter().map(|x| x.chosen).collect::<Vec<u32>>();
+        let config = ExploreConfig::new(100_000).mode(PruneMode::Revisit);
+        let (reference, ref_stats) = config.run(chooser_scenario, |d, _| vector(d));
+        assert!(ref_stats.complete);
+        assert!(
+            ref_stats.sym_grants > 0,
+            "the guarded branch must grant value siblings"
+        );
+        assert!(
+            ref_stats.pruned > 0,
+            "the {{2,3}} class must collapse to one representative"
+        );
+        for threads in [1, 2, 4] {
+            let (journal, stats) = config
+                .clone()
+                .threads(threads)
+                .run(chooser_scenario, |d, _| vector(d));
+            assert_eq!(journal, reference, "journal at {threads} workers");
+            assert_eq!(stats.schedules, ref_stats.schedules);
+            assert_eq!(stats.depth_schedules, ref_stats.depth_schedules);
+            assert_eq!(stats.depth_pruned, ref_stats.depth_pruned);
+            assert_eq!(stats.sym_requests, ref_stats.sym_requests);
+            assert_eq!(stats.sym_grants, ref_stats.sym_grants);
+            assert_eq!(stats.revisits, ref_stats.revisits);
+        }
+        // The explicit engine selector is equivalent to the default.
+        let (explicit, _) = config
+            .clone()
+            .engine(Engine::Serial)
+            .run(chooser_scenario, |d, _| vector(d));
+        assert_eq!(explicit, reference);
+    }
+
+    /// The unified kill-point sweep agrees across engines too.
+    #[test]
+    fn unified_kill_points_are_engine_independent() {
+        let scenario = || {
+            let mut sim = Sim::new();
+            sim.spawn("victim", |ctx| {
+                ctx.yield_now();
+                ctx.emit("done", &[]);
+            });
+            sim.spawn("peer", |ctx| ctx.emit("peer", &[]));
+            sim
+        };
+        let config = ExploreConfig::new(10_000).mode(PruneMode::Revisit);
+        let (reference, ref_stats) =
+            config.run_kill_points("victim", 4, scenario, |point, d, _| (point, d.len()));
+        let (journal, stats) =
+            config
+                .clone()
+                .threads(2)
+                .run_kill_points("victim", 4, scenario, |point, d, _| (point, d.len()));
+        assert_eq!(journal, reference);
+        assert_eq!(stats.schedules, ref_stats.schedules);
+        assert_eq!(stats.per_point, ref_stats.per_point);
+    }
+
+    /// The sampling verb drives the third engine through the same config.
+    #[test]
+    fn unified_sample_smoke() {
+        let (journal, stats) = ExploreConfig::new(0).threads(2).sample(
+            crate::sample::SampleStrategy::Walk,
+            12,
+            7,
+            chooser_scenario,
+            |_, result| (result.is_ok(), Vec::new()),
+        );
+        assert_eq!(journal.len(), 12);
+        let sampling = stats.sampling.expect("sampler stats present");
+        assert_eq!(sampling.runs, 12);
+        assert!(journal.iter().all(|r| r.value));
     }
 }

@@ -128,6 +128,12 @@ fn kind_fields(kind: &EventKind) -> String {
         EventKind::DelayedWake { until } => {
             format!("\"kind\":\"delayed_wake\",\"until\":{}", until.0)
         }
+        EventKind::ChoseValue { label, value } => {
+            format!(
+                "\"kind\":\"chose_value\",\"label\":\"{}\",\"value\":{value}",
+                esc(label)
+            )
+        }
         EventKind::User { label, params } => {
             let params: Vec<String> = params.iter().map(|p| p.to_string()).collect();
             format!(
@@ -270,6 +276,11 @@ pub fn to_chrome_trace(trace: &Trace, metrics: &SimMetrics) -> String {
             EventKind::StarvationFlagged { age } => ev.push(format!(
                 "{{\"name\":\"starvation_flagged\",\"cat\":\"watchdog\",\"ph\":\"i\",\
                  \"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{pid},\"args\":{{\"age\":{age}}}}}"
+            )),
+            EventKind::ChoseValue { label, value } => ev.push(format!(
+                "{{\"name\":\"choose {}\",\"cat\":\"data\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
+                 \"pid\":0,\"tid\":{pid},\"args\":{{\"value\":{value}}}}}",
+                esc(label)
             )),
             EventKind::User { label, params } => {
                 let params: Vec<String> = params.iter().map(|p| p.to_string()).collect();

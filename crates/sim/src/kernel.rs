@@ -168,11 +168,20 @@ pub(crate) struct State {
     /// can honor held-run pause points too.
     pub pause_at: Option<usize>,
     /// Whether the quantum currently holding the CPU came from a
-    /// *contested* dispatch (its decision is the last entry of
-    /// `decisions`). Set by `pick_and_dispatch`, consumed by
+    /// *contested* dispatch. Set by `pick_and_dispatch`, consumed by
     /// `account_stop` — kernel state rather than a scheduler-loop local so
     /// phase 3 can run on whichever thread the quantum stopped on.
     pub cur_decided: bool,
+    /// Index (into `decisions`) of the current quantum's scheduling
+    /// decision when it was contested. `decisions.last_mut()` is *not*
+    /// equivalent: a data decision ([`Ctx::choose_value`]) recorded
+    /// mid-quantum appends after the dispatch's entry, so purity
+    /// classification must address the dispatch decision by index.
+    pub cur_sched_decision: Option<usize>,
+    /// One record per [`Ctx::choose_value`] call with a contested domain,
+    /// in call order: the k-th entry describes the k-th `Data`-kind entry
+    /// of `decisions`. Drained into [`SimReport::data_choices`].
+    pub data_choices: Vec<crate::symbolic::DataChoice>,
     /// The candidate list of the current quantum's contested dispatch
     /// (`None` for forced dispatches or when `record_quanta` is off).
     /// Same lifecycle as `cur_decided`.
@@ -211,7 +220,9 @@ impl State {
             reuse_hosts: cfg.reuse_hosts,
             pause_at: None,
             cur_decided: false,
+            cur_sched_decision: None,
             cur_ready: None,
+            data_choices: Vec::new(),
         }
     }
 
@@ -542,11 +553,20 @@ pub struct SimReport {
     pub metrics: SimMetrics,
     /// Per-dispatch access footprints in dispatch order (empty when
     /// [`crate::SimConfig::record_quanta`] is off). Records whose `ready`
-    /// is `Some` align 1:1 with `decisions`; when the run was not
-    /// `prune_safe`, every footprint has been forced to
-    /// [`Footprint::All`] so the explorers' dependency analysis can never
-    /// act on footprints a timer or fault may have invalidated.
+    /// is `Some` align 1:1 with the `Sched`-kind entries of `decisions`
+    /// (data decisions happen *inside* a quantum and have no record of
+    /// their own); when the run was not `prune_safe`, every footprint has
+    /// been forced to [`Footprint::All`] so the explorers' dependency
+    /// analysis can never act on footprints a timer or fault may have
+    /// invalidated.
     pub quanta: Vec<QuantumRecord>,
+    /// One record per contested [`crate::Ctx::choose_value`] call, in call
+    /// order: the k-th entry describes the k-th `Data`-kind entry of
+    /// `decisions` — its label, domain, the value taken, and every
+    /// comparison the run made against the drawn [`crate::SymValue`].
+    /// The revisit explorer partitions each domain by these constraint
+    /// outcomes to collapse equivalent valuations (DESIGN.md §2.15).
+    pub data_choices: Vec<crate::symbolic::DataChoice>,
 }
 
 impl SimReport {
@@ -630,6 +650,7 @@ fn snapshot(st: &mut State) -> SimReport {
         prune_safe: st.prune_safe,
         metrics: std::mem::take(&mut st.metrics),
         quanta,
+        data_choices: std::mem::take(&mut st.data_choices),
     }
 }
 
@@ -665,6 +686,7 @@ enum Picked {
 fn pick_and_dispatch(st: &mut State) -> Picked {
     let idx = if st.ready.len() == 1 {
         st.cur_decided = false;
+        st.cur_sched_decision = None;
         0
     } else {
         // Pause hook for held runs: the policy has not been consulted and
@@ -690,11 +712,8 @@ fn pick_and_dispatch(st: &mut State) -> Picked {
             .policy
             .choose(&state.ready, step)
             .min(state.ready.len() - 1);
-        st.decisions.push(Decision {
-            arity,
-            chosen: pick as u32,
-            pure: false,
-        });
+        st.cur_sched_decision = Some(st.decisions.len());
+        st.decisions.push(Decision::sched(arity, pick as u32));
         pick
     };
     // Footprint bookkeeping for the quantum about to run: remember the
@@ -810,8 +829,13 @@ fn account_stop(shared: &Shared, st: &mut State, pid: Pid, report: &Report) {
                 _ => false,
             };
         if pure {
-            if let Some(d) = st.decisions.last_mut() {
-                d.pure = true;
+            // Addressed by index, not `last_mut`: a `choose_value` call
+            // inside the quantum appends data decisions after the
+            // dispatch's entry (and itself marks the quantum dirty, so
+            // this branch is then unreachable — the index is still the
+            // only correct target).
+            if let Some(i) = st.cur_sched_decision {
+                st.decisions[i].pure = true;
             }
         }
     }

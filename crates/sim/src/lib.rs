@@ -87,6 +87,7 @@ mod retry;
 mod revisit;
 mod sample;
 mod sim;
+mod symbolic;
 mod trace;
 mod types;
 mod waitq;
@@ -94,7 +95,8 @@ mod waitq;
 pub use ctx::Ctx;
 pub use error::{SimError, SimErrorKind};
 pub use explore::{
-    ExploreConfig, ExploreError, ExploreStats, Explorer, KillPointCount, KillPointStats, PruneMode,
+    Engine, ExploreConfig, ExploreError, ExploreStats, Explorer, KillPointCount, KillPointStats,
+    PruneMode,
 };
 pub use fault::{DelaySpec, FaultPlan, KillSpec, Poisoned, SpuriousSpec};
 pub use footprint::{Access, Footprint, ObjId, QuantumRecord};
@@ -110,6 +112,7 @@ pub use sample::{
     SampleStrategy, Sampler,
 };
 pub use sim::{HeldRun, RunProgress, Sim, SimConfig};
-pub use trace::{Decision, Event, EventKind, Trace};
+pub use symbolic::{CmpOp, DataChoice, SymValue};
+pub use trace::{Decision, DecisionKind, Event, EventKind, Trace};
 pub use types::{Deadline, Pid, Time};
 pub use waitq::WaitQueue;

@@ -37,7 +37,7 @@ use crate::error::SimError;
 use crate::explore::victim_killed;
 use crate::explore::{
     bump_depth, merge_conflicts, merge_depth, walk_run, ExploreError, ExploreStats, KillPointCount,
-    KillPointStats, PruneMode, SleepSet, SpineRunner,
+    KillPointStats, ProgressCallback, PruneMode, SleepSet, SpineRunner,
 };
 use crate::fault::FaultPlan;
 use crate::footprint::QuantumRecord;
@@ -48,7 +48,6 @@ use crate::sim::Sim;
 use crate::trace::Decision;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet};
-use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -109,6 +108,9 @@ struct SharedStats {
     /// duplicates); a per-run pure function, so the sum is
     /// order-independent. See [`ExploreStats::revisit_requests`].
     revisit_requests: AtomicU64,
+    /// Total symbolic value requests (including duplicates); also a
+    /// per-run pure function. See [`ExploreStats::sym_requests`].
+    sym_requests: AtomicU64,
     /// Revisit-mode grant state; `None` in the sleep-set modes.
     revisit: Option<Mutex<RevisitShared>>,
 }
@@ -125,6 +127,12 @@ struct RevisitShared {
     scheduled: BTreeSet<Vec<u32>>,
     potential: Vec<usize>,
     granted: Vec<usize>,
+    /// Value-sibling capacity and grants of discovered `Data`-kind
+    /// decisions, kept apart from the race-revisit pair so the symbolic
+    /// collapse is separately reportable (see
+    /// [`ExploreStats::sym_grants`]).
+    data_potential: Vec<usize>,
+    data_granted: Vec<usize>,
 }
 
 impl SharedStats {
@@ -136,11 +144,14 @@ impl SharedStats {
             conflicts: Mutex::new(BTreeMap::new()),
             first_error: Mutex::new(None),
             revisit_requests: AtomicU64::new(0),
+            sym_requests: AtomicU64::new(0),
             revisit: revisit.then(|| {
                 Mutex::new(RevisitShared {
                     scheduled: BTreeSet::from([Vec::new()]),
                     potential: Vec::new(),
                     granted: Vec::new(),
+                    data_potential: Vec::new(),
+                    data_granted: Vec::new(),
                 })
             }),
         }
@@ -159,7 +170,7 @@ impl SharedStats {
 }
 
 /// Work-sharing parallel version of [`crate::Explorer`].
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct ParallelExplorer {
     max_schedules: usize,
     threads: usize,
@@ -167,21 +178,7 @@ pub struct ParallelExplorer {
     mode: PruneMode,
     checkpoint: CheckpointSpacing,
     progress_every: usize,
-    progress: Option<Arc<dyn Fn(usize) + Send + Sync>>,
-}
-
-impl fmt::Debug for ParallelExplorer {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ParallelExplorer")
-            .field("max_schedules", &self.max_schedules)
-            .field("threads", &self.threads)
-            .field("prune", &self.prune)
-            .field("mode", &self.mode)
-            .field("checkpoint", &self.checkpoint)
-            .field("progress_every", &self.progress_every)
-            .field("progress", &self.progress.as_ref().map(|_| ".."))
-            .finish()
-    }
+    progress: ProgressCallback,
 }
 
 impl ParallelExplorer {
@@ -199,7 +196,7 @@ impl ParallelExplorer {
             mode: PruneMode::Granular,
             checkpoint: CheckpointSpacing::default(),
             progress_every: 0,
-            progress: None,
+            progress: ProgressCallback::default(),
         }
     }
 
@@ -265,7 +262,7 @@ impl ParallelExplorer {
         F: Fn(usize) + Send + Sync + 'static,
     {
         self.progress_every = every;
-        self.progress = Some(Arc::new(callback));
+        self.progress = ProgressCallback(Some(Arc::new(callback)));
         self
     }
 
@@ -317,7 +314,7 @@ impl ParallelExplorer {
         // In revisit mode the prune histogram is settled now, exactly as
         // in the serial worklist: every sibling of every discovered
         // contested node that was never granted is a pruned branch.
-        let (depth_pruned, revisits) = match shared.revisit {
+        let (depth_pruned, revisits, sym_grants) = match shared.revisit {
             Some(revisit) => {
                 let rs = revisit.into_inner();
                 let mut depth_pruned = Vec::new();
@@ -330,9 +327,18 @@ impl ParallelExplorer {
                     }
                     revisits += taken as u64;
                 }
-                (depth_pruned, revisits)
+                let mut sym_grants = 0u64;
+                for (depth, &cap) in rs.data_potential.iter().enumerate() {
+                    let taken = rs.data_granted.get(depth).copied().unwrap_or(0);
+                    debug_assert!(taken <= cap, "granted more value siblings than exist");
+                    if cap > taken {
+                        bump_depth(&mut depth_pruned, depth, cap - taken);
+                    }
+                    sym_grants += taken as u64;
+                }
+                (depth_pruned, revisits, sym_grants)
             }
-            None => (shared.depth_pruned.into_inner(), 0),
+            None => (shared.depth_pruned.into_inner(), 0, 0),
         };
         let stats = ExploreStats {
             schedules: journal.len(),
@@ -343,6 +349,8 @@ impl ParallelExplorer {
             conflicts: shared.conflicts.into_inner(),
             revisit_requests: shared.revisit_requests.into_inner(),
             revisits,
+            sym_requests: shared.sym_requests.into_inner(),
+            sym_grants,
             first_error: shared.first_error.into_inner(),
             sampling: None,
         };
@@ -407,7 +415,7 @@ impl ParallelExplorer {
                 return journal;
             }
             if self.progress_every > 0 && (claim + 1).is_multiple_of(self.progress_every) {
-                if let Some(progress) = &self.progress {
+                if let Some(progress) = &self.progress.0 {
                     progress(claim + 1);
                 }
             }
@@ -466,7 +474,11 @@ impl ParallelExplorer {
                 for (i, d) in decisions.iter().enumerate().skip(prefix.len()) {
                     debug_assert_eq!(d.chosen, 0, "past-prefix replay takes choice 0");
                     if d.arity > 1 {
-                        bump_depth(&mut rs.potential, i, d.arity as usize - 1);
+                        if d.is_sched() {
+                            bump_depth(&mut rs.potential, i, d.arity as usize - 1);
+                        } else {
+                            bump_depth(&mut rs.data_potential, i, d.arity as usize - 1);
+                        }
                         rs.scheduled.insert(choices[..=i].to_vec());
                     }
                 }
@@ -478,6 +490,34 @@ impl ParallelExplorer {
                         fresh.push((branch, SleepSet::default()));
                     }
                 }
+                // Symbolic collapse: request one representative per
+                // constraint class at every data decision of this run
+                // (a per-run pure function, like the race plan), and
+                // grant the fresh ones under the same lock acquisition.
+                let data_choices = match &result {
+                    Ok(report) => &report.data_choices,
+                    Err(err) => &err.report.data_choices,
+                };
+                let mut slot = 0usize;
+                for (i, d) in decisions.iter().enumerate() {
+                    if !d.is_data() {
+                        continue;
+                    }
+                    let requests = data_choices[slot].collapse_requests();
+                    slot += 1;
+                    shared
+                        .sym_requests
+                        .fetch_add(requests.len() as u64, Ordering::Relaxed);
+                    for c in requests {
+                        let mut branch = choices[..i].to_vec();
+                        branch.push(c);
+                        if rs.scheduled.insert(branch.clone()) {
+                            bump_depth(&mut rs.data_granted, i, 1);
+                            fresh.push((branch, SleepSet::default()));
+                        }
+                    }
+                }
+                debug_assert_eq!(slot, data_choices.len(), "data decision/choice drift");
             } else if self.prune {
                 let mut local_conflicts = BTreeMap::new();
                 let infos = walk_run(
@@ -595,6 +635,8 @@ impl ParallelExplorer {
             merge_conflicts(&mut stats.conflicts, &point_stats.conflicts);
             stats.revisit_requests += point_stats.revisit_requests;
             stats.revisits += point_stats.revisits;
+            stats.sym_requests += point_stats.sym_requests;
+            stats.sym_grants += point_stats.sym_grants;
             if stats.first_error.is_none() {
                 stats.first_error = point_stats.first_error;
             }

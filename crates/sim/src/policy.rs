@@ -58,6 +58,20 @@ pub trait SchedPolicy: Send {
     /// Picks the index of the process to dispatch.
     fn choose(&mut self, ready: &[Pid], step: u64) -> usize;
 
+    /// Picks the index of the value a [`crate::Ctx::choose_value`] call
+    /// observes, out of `arity` domain values in ascending order. Like
+    /// [`SchedPolicy::choose`], this is consulted only at *contested*
+    /// points (`arity > 1`) and must return an index `< arity` (the
+    /// kernel additionally clamps). The default takes the canonical
+    /// first value, which is what the explorers' past-prefix descent
+    /// relies on; [`ReplayPolicy`] consumes a script entry (the decision
+    /// vector interleaves both kinds in the order they were made) and
+    /// [`RandomPolicy`] draws from its generator.
+    fn choose_data(&mut self, arity: u32, step: u64) -> u32 {
+        let _ = (arity, step);
+        0
+    }
+
     /// Human-readable policy name for reports.
     fn name(&self) -> &str {
         "custom"
@@ -130,6 +144,10 @@ impl RandomPolicy {
 impl SchedPolicy for RandomPolicy {
     fn choose(&mut self, ready: &[Pid], _step: u64) -> usize {
         self.rng.next_below(ready.len() as u64) as usize
+    }
+
+    fn choose_data(&mut self, arity: u32, _step: u64) -> u32 {
+        self.rng.next_below(arity as u64) as u32
     }
 
     fn name(&self) -> &str {
@@ -208,22 +226,24 @@ impl ReplayPolicy {
         self.script.truncate(self.pos);
         self.script.extend_from_slice(tail);
     }
-}
 
-impl SchedPolicy for ReplayPolicy {
-    fn choose(&mut self, ready: &[Pid], _step: u64) -> usize {
+    /// Consumes the next script entry against a point with `arity`
+    /// alternatives — the shared core of [`SchedPolicy::choose`] and
+    /// [`SchedPolicy::choose_data`]: scheduler and data decisions
+    /// interleave in one script, with the same clamping and divergence
+    /// accounting for both kinds.
+    fn next_entry(&mut self, arity: u32) -> u32 {
         let pick = match self.script.get(self.pos) {
             Some(&i) => {
-                let want = i as usize;
-                if want >= ready.len() {
+                if i >= arity {
                     self.divergence.clamped += 1;
-                    ready.len().saturating_sub(1)
+                    arity.saturating_sub(1)
                 } else {
-                    want
+                    i
                 }
             }
             None => {
-                if self.strict && ready.len() > 1 {
+                if self.strict && arity > 1 {
                     self.divergence.underruns += 1;
                 }
                 0
@@ -231,6 +251,16 @@ impl SchedPolicy for ReplayPolicy {
         };
         self.pos += 1;
         pick
+    }
+}
+
+impl SchedPolicy for ReplayPolicy {
+    fn choose(&mut self, ready: &[Pid], _step: u64) -> usize {
+        self.next_entry(ready.len() as u32) as usize
+    }
+
+    fn choose_data(&mut self, arity: u32, _step: u64) -> u32 {
+        self.next_entry(arity)
     }
 
     fn name(&self) -> &str {

@@ -7,8 +7,8 @@
 
 pub use crate::{
     replay_exact, replay_prefix, retry_with_backoff, shrink_prefix, Backoff, CheckpointSpacing,
-    Ctx, Deadline, ExploreConfig, ExploreStats, Explorer, FaultPlan, FifoPolicy, HeldRun,
+    Ctx, Deadline, Engine, ExploreConfig, ExploreStats, Explorer, FaultPlan, FifoPolicy, HeldRun,
     KillPointStats, LifoPolicy, ParallelExplorer, Pid, PruneMode, RandomPolicy, ReplayPolicy,
     RetryOutcome, RunProgress, SampleStats, SampleStrategy, Sampler, SchedPolicy, ScheduleRecord,
-    Sim, SimConfig, SimError, SimReport, SplitMix64, Time, WaitQueue,
+    Sim, SimConfig, SimError, SimReport, SplitMix64, SymValue, Time, WaitQueue,
 };

@@ -138,8 +138,9 @@ pub(crate) fn plan_revisits(
     race_objs: &mut BTreeMap<String, u64>,
 ) -> RevisitPlan {
     let mut plan = RevisitPlan::default();
+    let sched_total = decisions.iter().filter(|d| d.is_sched()).count();
     let contested = quanta.iter().filter(|q| q.ready.is_some()).count();
-    if contested != decisions.len() {
+    if contested != sched_total {
         // No usable footprint log (the explorers force `record_quanta` on,
         // so this is only reachable through a hand-built `Sim` path):
         // degrade to exhaustive sibling expansion.
@@ -153,26 +154,40 @@ pub(crate) fn plan_revisits(
         return plan;
     }
 
-    // Map contested quanta to their decision indices and back.
+    // Map contested quanta to their decision indices and back. `Data`-kind
+    // decisions (value choices) own no scheduling quantum: `quantum_of`
+    // stays `usize::MAX` for them and the race loop skips them — their
+    // siblings are requested by the symbolic-collapse logic in the
+    // explorers, not by race analysis.
     let m = quanta.len();
     let mut decision_at = vec![usize::MAX; m];
     let mut quantum_of = vec![usize::MAX; decisions.len()];
-    let mut next = 0usize;
+    let mut sched_idx = decisions
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_sched())
+        .map(|(i, _)| i);
     for (t, q) in quanta.iter().enumerate() {
         if q.ready.is_some() {
-            decision_at[t] = next;
-            quantum_of[next] = t;
-            next += 1;
+            let i = sched_idx.next().expect("counted above");
+            decision_at[t] = i;
+            quantum_of[i] = t;
         }
     }
     // The first quantum this run executed beyond the shared prefix: the
     // contested quantum of the branch decision itself (its dispatched
     // process differs from the ancestor run's, so pairs ending there are
-    // new too).
+    // new too). A branch at a `Data`-kind decision (a symbolic-collapse
+    // grant) owns no quantum; fall back to the nearest scheduling decision
+    // at or before it.
     let new_from = if prefix_len == 0 {
         0
     } else {
-        quantum_of[prefix_len - 1]
+        (0..prefix_len)
+            .rev()
+            .map(|i| quantum_of[i])
+            .find(|&t| t != usize::MAX)
+            .unwrap_or(0)
     };
 
     // Happens-before closure: hb[u] ⊇ {t} ∪ hb[t] for every t < u whose
@@ -191,6 +206,9 @@ pub(crate) fn plan_revisits(
     // Races: earlier side contested, later side new, conflicting,
     // adjacent in happens-before.
     for (i, &t) in quantum_of.iter().enumerate() {
+        if t == usize::MAX {
+            continue; // data decision: no quantum, no race to reverse
+        }
         let d = &decisions[i];
         for u in new_from.max(t + 1)..m {
             if quanta[t].pid == quanta[u].pid {
@@ -244,11 +262,7 @@ mod tests {
     }
 
     fn decision(chosen: u32, arity: u32) -> Decision {
-        Decision {
-            chosen,
-            arity,
-            pure: false,
-        }
+        Decision::sched(arity, chosen)
     }
 
     /// Two writers of one object, dispatched 0-then-1: one race, one

@@ -169,6 +169,18 @@ impl SchedPolicy for PctPolicy {
         best
     }
 
+    fn choose_data(&mut self, arity: u32, _step: u64) -> u32 {
+        // Data decisions ([`crate::Ctx::choose_value`]) draw uniformly
+        // from the iteration's own stream — the same source as the
+        // priorities, so the whole run stays a pure function of the
+        // iteration seed. Demotion depths count contested *scheduler*
+        // decisions only, exactly like the explorers' revisit plan.
+        if arity <= 1 {
+            return 0;
+        }
+        self.rng.next_below(arity as u64) as u32
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -670,6 +682,53 @@ mod tests {
             let report = replay_exact(three_emitters, &record.choices).expect("clean replay");
             let order: Vec<i64> = report.trace.user_events().map(|(_, _, p)| p[0]).collect();
             assert_eq!(order, record.value, "replay must reproduce the schedule");
+        }
+    }
+
+    /// One process races a data choice against an emitter: vectors mix
+    /// `Sched` and `Data` decisions.
+    fn chooser_pair() -> Sim {
+        let mut sim = Sim::new();
+        sim.spawn("chooser", |ctx| {
+            ctx.yield_now();
+            let v = ctx.choose_value("v", 0..4);
+            ctx.emit("chose", &[v.get()]);
+        });
+        sim.spawn("other", |ctx| {
+            ctx.yield_now();
+            ctx.emit("other", &[]);
+        });
+        sim
+    }
+
+    #[test]
+    fn samplers_draw_data_choices_and_replay_them() {
+        for sampler in [Sampler::pct(30, 9).depth_hint(4), Sampler::walk(30, 9)] {
+            let (journal, _) = sampler.run(chooser_pair, |_, result| {
+                let report = result.as_ref().expect("no failure possible");
+                let value = report
+                    .trace
+                    .user_events()
+                    .find(|(_, label, _)| *label == "chose")
+                    .map(|(_, _, p)| p[0])
+                    .expect("chooser ran");
+                (value, Vec::new())
+            });
+            let distinct: BTreeSet<i64> = journal.iter().map(|r| r.value).collect();
+            assert!(
+                distinct.len() > 1,
+                "{} iterations must sample more than one data value",
+                journal.len()
+            );
+            for record in &journal {
+                let report = replay_exact(chooser_pair, &record.choices).expect("clean replay");
+                let replayed = report
+                    .trace
+                    .user_events()
+                    .find(|(_, label, _)| *label == "chose")
+                    .map(|(_, _, p)| p[0]);
+                assert_eq!(replayed, Some(record.value), "replay reproduces the value");
+            }
         }
     }
 

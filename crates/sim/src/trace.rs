@@ -44,6 +44,9 @@ pub enum EventKind {
     /// A fault plan converted an unpark of this process into a timed sleep
     /// ending at the given virtual time.
     DelayedWake { until: Time },
+    /// A data decision point fired: the process drew `value` from the
+    /// domain registered under `label` via [`crate::Ctx::choose_value`].
+    ChoseValue { label: String, value: i64 },
     /// An application-level event emitted via [`crate::Ctx::emit`].
     User { label: String, params: Vec<i64> },
 }
@@ -88,19 +91,44 @@ impl fmt::Display for Event {
             EventKind::DelayedWake { until } => {
                 write!(f, "wake delayed until {until} (fault injection)")
             }
+            EventKind::ChoseValue { label, value } => {
+                write!(f, "chose {label} = {value}")
+            }
             EventKind::User { label, params } => write!(f, "{label} {params:?}"),
         }
     }
 }
 
-/// A scheduling decision point: the policy chose `chosen` out of `arity`
-/// runnable processes. Only points with `arity > 1` are recorded; they are
+/// What a [`Decision`]'s outcome decides (see DESIGN.md §2.15).
+///
+/// Decision vectors are a single interleaved sequence; the kind tag is
+/// what lets the prune machinery treat the two spaces differently
+/// (scheduling choices race-reverse, data choices partition by path
+/// constraints) while replay, journaling, and shrinking stay oblivious.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DecisionKind {
+    /// A scheduler pick: which of the runnable processes to dispatch.
+    Sched,
+    /// A data pick: which value of a [`crate::Ctx::choose_value`] domain
+    /// the run observed.
+    Data,
+}
+
+/// A decision point: the outcome chose `chosen` out of `arity`
+/// alternatives. Only points with `arity > 1` are recorded; they are
 /// exactly the coordinates the [`crate::Explorer`] enumerates.
+///
+/// A `Sched` decision picks a runnable process at a contested dispatch; a
+/// `Data` decision picks a value from a [`crate::Ctx::choose_value`]
+/// domain mid-quantum. Both live in the same vector, in the order they
+/// were made, and replay consumes one script entry for either kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Decision {
-    /// How many processes were runnable.
+    /// How many alternatives there were (runnable processes, or values in
+    /// the chosen domain).
     pub arity: u32,
-    /// Index (into the ready list, in enqueue order) that was dispatched.
+    /// Index (into the ready list in enqueue order, or into the value
+    /// domain in ascending order) that was taken.
     pub chosen: u32,
     /// Whether the quantum this decision dispatched was *observably pure*:
     /// it performed no kernel-visible operation (no emit, unpark, ticket,
@@ -111,8 +139,43 @@ pub struct Decision {
     /// watchdog). A pure quantum is a stutter step: scheduling it earlier
     /// or later commutes with every other process, which is what licenses
     /// the explorers' sibling prune (see `Explorer::with_pruning`). Replay
-    /// ignores this field.
+    /// ignores this field. Data decisions are never pure: observing a
+    /// value is the point of making one.
     pub pure: bool,
+    /// Whether this is a scheduler pick or a data pick.
+    pub kind: DecisionKind,
+}
+
+impl Decision {
+    /// A scheduler decision (contested dispatch), initially impure.
+    pub fn sched(arity: u32, chosen: u32) -> Self {
+        Decision {
+            arity,
+            chosen,
+            pure: false,
+            kind: DecisionKind::Sched,
+        }
+    }
+
+    /// A data decision ([`crate::Ctx::choose_value`]), always impure.
+    pub fn data(arity: u32, chosen: u32) -> Self {
+        Decision {
+            arity,
+            chosen,
+            pure: false,
+            kind: DecisionKind::Data,
+        }
+    }
+
+    /// Whether this is a scheduler decision.
+    pub fn is_sched(&self) -> bool {
+        self.kind == DecisionKind::Sched
+    }
+
+    /// Whether this is a data decision.
+    pub fn is_data(&self) -> bool {
+        self.kind == DecisionKind::Data
+    }
 }
 
 /// The event log of one run.

@@ -45,7 +45,9 @@ fn philosophers(n: usize, ordered: bool) -> impl Fn() -> Sim {
 }
 
 fn explore(label: &str, setup: impl Fn() -> Sim + Sync) {
-    let (journal, stats) = ParallelExplorer::new(2_000_000).run(setup, |_, result| result.is_err());
+    let (journal, stats) = ExploreConfig::new(2_000_000)
+        .engine(Engine::Parallel)
+        .run(setup, |_, result| result.is_err());
     assert!(stats.complete, "{label}: exploration hit the budget cap");
     let schedules = journal.len();
     let deadlocks = journal.iter().filter(|r| r.value).count();

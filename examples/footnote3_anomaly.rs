@@ -82,7 +82,7 @@ fn main() {
         MechanismId::Monitor,
         MechanismId::Serializer,
     ] {
-        let (journal, stats) = ParallelExplorer::new(500_000).run(
+        let (journal, stats) = ExploreConfig::new(500_000).engine(Engine::Parallel).run(
             || {
                 let mut sim = Sim::new();
                 let db = rw::make(mech, RwVariant::ReadersPriority);

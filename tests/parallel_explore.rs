@@ -72,23 +72,19 @@ fn line(decisions: &[Decision], result: &Result<SimReport, SimError>) -> String 
 fn parallel_matches_serial_on_recovery_tree_at_every_thread_count() {
     let mech = LiveMechanism::SemaphoreStrong;
 
-    // Serial baseline: journal in DFS visit order, which is lexicographic
-    // decision-vector order — the canonical order the parallel merge
-    // reproduces.
+    // Serial baseline through the unified verb: the journal comes back
+    // in lexicographic decision-vector order — the canonical order the
+    // parallel merge reproduces.
     let config = ExploreConfig::new(BUDGET);
-    let mut serial_journal = Vec::new();
-    let serial_stats = config.serial().run(
-        || deadlock_recovery_sim(mech),
-        |decisions, result| serial_journal.push(line(decisions, result)),
-    );
+    let (serial_records, serial_stats) = config.run(|| deadlock_recovery_sim(mech), line);
     assert!(serial_stats.complete, "budget too small for the tree");
+    let serial_journal: Vec<String> = serial_records.into_iter().map(|r| r.value).collect();
     let serial_vectors: BTreeSet<String> = serial_journal.iter().cloned().collect();
 
     for threads in [1, 2, 4, 8] {
         let (records, stats): (Vec<ScheduleRecord<String>>, _) = config
             .clone()
             .threads(threads)
-            .parallel()
             .run(|| deadlock_recovery_sim(mech), line);
         assert_eq!(
             stats.schedules, serial_stats.schedules,
@@ -141,24 +137,14 @@ fn parallel_matches_serial_on_recovery_tree_at_every_thread_count() {
 #[test]
 fn revisit_matches_serial_and_beats_granular_on_recovery_tree() {
     let mech = LiveMechanism::SemaphoreStrong;
-    let granular_stats = ExploreConfig::new(BUDGET)
+    let (_, granular_stats) = ExploreConfig::new(BUDGET)
         .prune(true)
-        .serial()
-        .run(|| deadlock_recovery_sim(mech), |_, _| {});
+        .run(|| deadlock_recovery_sim(mech), |_, _| ());
     assert!(granular_stats.complete);
     granular_stats.assert_consistent();
 
     let config = ExploreConfig::new(BUDGET).mode(PruneMode::Revisit);
-    let mut serial_journal = Vec::new();
-    let serial_stats = config.serial().run(
-        || deadlock_recovery_sim(mech),
-        |decisions, result| {
-            serial_journal.push((
-                decisions.iter().map(|d| d.chosen).collect::<Vec<u32>>(),
-                line(decisions, result),
-            ));
-        },
-    );
+    let (serial_records, serial_stats) = config.run(|| deadlock_recovery_sim(mech), line);
     assert!(serial_stats.complete, "budget too small for the tree");
     serial_stats.assert_consistent();
     assert!(
@@ -172,16 +158,13 @@ fn revisit_matches_serial_and_beats_granular_on_recovery_tree() {
         serial_stats.revisits as usize + 1,
         "every schedule past the root run is a granted revisit"
     );
-    // The serial worklist visit order is not the parallel merge order;
-    // canonicalise by decision vector before comparing.
-    serial_journal.sort();
-    let serial_journal: Vec<String> = serial_journal.into_iter().map(|(_, l)| l).collect();
+    // The unified verb already canonicalises by decision vector.
+    let serial_journal: Vec<String> = serial_records.into_iter().map(|r| r.value).collect();
 
     for threads in [1, 2, 4, 8] {
         let (records, stats): (Vec<ScheduleRecord<String>>, _) = config
             .clone()
             .threads(threads)
-            .parallel()
             .run(|| deadlock_recovery_sim(mech), line);
         stats.assert_consistent();
         assert_eq!(stats.schedules, serial_stats.schedules, "{threads} threads");
@@ -210,22 +193,15 @@ fn revisit_matches_serial_and_beats_granular_on_recovery_tree() {
         CheckpointSpacing::Dense { budget: 64 },
         CheckpointSpacing::Geometric { budget: 8 },
     ] {
-        let mut journal = Vec::new();
-        let stats = config.clone().checkpoint(spacing).serial().run(
-            || deadlock_recovery_sim(mech),
-            |decisions, result| {
-                journal.push((
-                    decisions.iter().map(|d| d.chosen).collect::<Vec<u32>>(),
-                    line(decisions, result),
-                ));
-            },
-        );
+        let (records, stats) = config
+            .clone()
+            .checkpoint(spacing)
+            .run(|| deadlock_recovery_sim(mech), line);
         stats.assert_consistent();
         assert_eq!(stats.schedules, serial_stats.schedules, "{spacing:?}");
         assert_eq!(stats.pruned, serial_stats.pruned, "{spacing:?}");
         assert_eq!(stats.revisits, serial_stats.revisits, "{spacing:?}");
-        journal.sort();
-        let journal: Vec<String> = journal.into_iter().map(|(_, l)| l).collect();
+        let journal: Vec<String> = records.into_iter().map(|r| r.value).collect();
         assert_eq!(
             journal, serial_journal,
             "{spacing:?}: checkpointed revisit journal diverged from replay"
@@ -245,12 +221,9 @@ fn checkpointed_matches_replay_at_every_thread_count() {
     let mech = LiveMechanism::SemaphoreStrong;
     for prune in [false, true] {
         let replay = ExploreConfig::new(BUDGET).prune(prune);
-        let mut replay_journal = Vec::new();
-        let replay_stats = replay.serial().run(
-            || deadlock_recovery_sim(mech),
-            |decisions, result| replay_journal.push(line(decisions, result)),
-        );
+        let (replay_records, replay_stats) = replay.run(|| deadlock_recovery_sim(mech), line);
         assert!(replay_stats.complete, "budget too small for the tree");
+        let replay_journal: Vec<String> = replay_records.into_iter().map(|r| r.value).collect();
 
         for spacing in [
             CheckpointSpacing::Dense { budget: 64 },
@@ -282,12 +255,9 @@ fn checkpointed_matches_replay_at_every_thread_count() {
                 );
             };
 
-            let mut serial_journal = Vec::new();
-            let serial_stats = config.serial().run(
-                || deadlock_recovery_sim(mech),
-                |decisions, result| serial_journal.push(line(decisions, result)),
-            );
+            let (serial_records, serial_stats) = config.run(|| deadlock_recovery_sim(mech), line);
             same_stats(&serial_stats, &format!("{label} serial"));
+            let serial_journal: Vec<String> = serial_records.into_iter().map(|r| r.value).collect();
             assert_eq!(
                 serial_journal, replay_journal,
                 "{label} serial: checkpointed journal is not byte-identical \
@@ -298,7 +268,6 @@ fn checkpointed_matches_replay_at_every_thread_count() {
                 let (records, stats): (Vec<ScheduleRecord<String>>, _) = config
                     .clone()
                     .threads(threads)
-                    .parallel()
                     .run(|| deadlock_recovery_sim(mech), line);
                 same_stats(&stats, &format!("{label} {threads} threads"));
                 let merged: Vec<String> = records.into_iter().map(|r| r.value).collect();

@@ -14,7 +14,7 @@ use bloom_problems::r3::{
     nested_monitor_at_scale, nested_monitor_laws, starvation_at_scale, starvation_laws,
 };
 use bloom_problems::workload::{Arrival, Think, WorkloadSpec};
-use bloom_sim::{replay_exact, shrink_prefix, SampleRecord, Sampler};
+use bloom_sim::{replay_exact, shrink_prefix, ExploreConfig, SampleRecord, SampleStrategy};
 use proptest::prelude::*;
 
 fn small_spec() -> WorkloadSpec {
@@ -49,17 +49,19 @@ fn same_seed_is_byte_identical_across_worker_counts() {
     let laws = starvation_laws();
     let mut baseline = None;
     for threads in [1usize, 2, 4, 8] {
-        let (journal, stats) = Sampler::pct(16, 5)
-            .change_points(4)
-            .depth_hint(1024)
-            .threads(threads)
-            .run(
-                || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
-                |_, result| {
-                    let violated = laws.violated(result);
-                    (violated.clone(), violated)
-                },
-            );
+        let (journal, stats) = ExploreConfig::new(0).threads(threads).sample(
+            SampleStrategy::Pct {
+                change_points: 4,
+                depth_hint: 1024,
+            },
+            16,
+            5,
+            || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
+            |_, result| {
+                let violated = laws.violated(result);
+                (violated.clone(), violated)
+            },
+        );
         let rendered = render(&journal);
         let sampling = stats.sampling.expect("sampler stats");
         match &baseline {
@@ -82,7 +84,13 @@ fn same_seed_is_byte_identical_across_worker_counts() {
 fn pct_finds_replays_and_shrinks_weak_starvation_at_101_processes() {
     let spec = hundred_spec();
     let laws = starvation_laws();
-    let (journal, stats) = Sampler::pct(4, 2).change_points(4).depth_hint(4096).run(
+    let (journal, stats) = ExploreConfig::new(0).sample(
+        SampleStrategy::Pct {
+            change_points: 4,
+            depth_hint: 4096,
+        },
+        4,
+        2,
         || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
         |_, result| {
             let violated = laws.violated(result);
@@ -136,7 +144,13 @@ fn pct_finds_replays_and_shrinks_nested_monitor_deadlock_at_102_processes() {
         .arrival(Arrival::Together)
         .think(Think::Fixed(2));
     let laws = nested_monitor_laws();
-    let (journal, stats) = Sampler::pct(6, 1).change_points(2).depth_hint(512).run(
+    let (journal, stats) = ExploreConfig::new(0).sample(
+        SampleStrategy::Pct {
+            change_points: 2,
+            depth_hint: 512,
+        },
+        6,
+        1,
         || nested_monitor_at_scale(&spec),
         |_, result| {
             let violated = laws.violated(result);
@@ -183,7 +197,13 @@ proptest! {
             .arrival(Arrival::Together)
             .think(Think::None);
         let laws = starvation_laws();
-        let (journal, _) = Sampler::pct(6, seed).change_points(4).depth_hint(1024).run(
+        let (journal, _) = ExploreConfig::new(0).sample(
+            SampleStrategy::Pct {
+                change_points: 4,
+                depth_hint: 1024,
+            },
+            6,
+            seed,
             || starvation_at_scale(LiveMechanism::SemaphoreWeak, &spec),
             |_, result| {
                 let violated = laws.violated(result);

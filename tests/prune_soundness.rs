@@ -21,6 +21,14 @@
 //! the full execution matrix — serial and 1/2/4/8 worker threads, each
 //! under whole-prefix replay and both checkpoint spacings — plus its own
 //! accounting cross-check (`ExploreStats::assert_consistent`).
+//!
+//! A second generator adds *data* nondeterminism (`Ctx::choose_value`,
+//! DESIGN.md §2.15): a chooser process draws a value and either observes
+//! it exactly (no collapse is sound — the symbolic engine must enumerate
+//! the domain) or only compares it against a threshold (the constraint
+//! classes must collapse, strictly beating brute-force enumeration). The
+//! revisit engine's behavior set must equal the brute-force one, and its
+//! journals must stay byte-identical across the same matrix.
 
 #![deny(deprecated)]
 
@@ -68,6 +76,29 @@ fn workload() -> impl Strategy<Value = (Vec<Step>, Vec<Step>, Option<u8>)> {
     )
 }
 
+fn exec_step(ctx: &Ctx, sems: &[Semaphore; 2], i: usize, op: Step) {
+    match op {
+        Step::Crit(k) => {
+            sems[k].p(ctx);
+            ctx.emit(&format!("enter:c{k}"), &[]);
+            ctx.yield_now();
+            ctx.emit(&format!("exit:c{k}"), &[]);
+            sems[k].v(ctx);
+        }
+        Step::TryCrit(k) => {
+            if sems[k].try_p_ctx(ctx) {
+                ctx.emit(&format!("enter:c{k}"), &[]);
+                ctx.yield_now();
+                ctx.emit(&format!("exit:c{k}"), &[]);
+                sems[k].v(ctx);
+            } else {
+                ctx.emit(&format!("miss:{k}"), &[]);
+            }
+        }
+        Step::Note(tag) => ctx.emit(&format!("note:{i}:{tag}"), &[]),
+    }
+}
+
 fn build_sim(workload: &(Vec<Step>, Vec<Step>, Option<u8>)) -> Sim {
     let mut sim = Sim::new();
     let sems: Arc<[Semaphore; 2]> =
@@ -77,26 +108,7 @@ fn build_sim(workload: &(Vec<Step>, Vec<Step>, Option<u8>)) -> Sim {
         let sems = Arc::clone(&sems);
         sim.spawn(&format!("p{i}"), move |ctx| {
             for op in program {
-                match op {
-                    Step::Crit(k) => {
-                        sems[k].p(ctx);
-                        ctx.emit(&format!("enter:c{k}"), &[]);
-                        ctx.yield_now();
-                        ctx.emit(&format!("exit:c{k}"), &[]);
-                        sems[k].v(ctx);
-                    }
-                    Step::TryCrit(k) => {
-                        if sems[k].try_p_ctx(ctx) {
-                            ctx.emit(&format!("enter:c{k}"), &[]);
-                            ctx.yield_now();
-                            ctx.emit(&format!("exit:c{k}"), &[]);
-                            sems[k].v(ctx);
-                        } else {
-                            ctx.emit(&format!("miss:{k}"), &[]);
-                        }
-                    }
-                    Step::Note(tag) => ctx.emit(&format!("note:{i}:{tag}"), &[]),
-                }
+                exec_step(ctx, &sems, i, op);
             }
         });
     }
@@ -163,10 +175,8 @@ fn instrumented_try_p_is_visible_to_the_prune() {
         sim
     };
     let collect = |prune: bool| {
-        let mut behaviors = BTreeSet::new();
-        let stats = ExploreConfig::new(BUDGET)
+        let (journal, stats) = ExploreConfig::new(BUDGET)
             .prune(prune)
-            .serial()
             .run(build, |_, result| {
                 let report = result.as_ref().expect("no deadlock possible");
                 let labels: Vec<String> = report
@@ -174,10 +184,13 @@ fn instrumented_try_p_is_visible_to_the_prune() {
                     .user_events()
                     .map(|(_, label, _)| label.to_string())
                     .collect();
-                behaviors.insert(labels.join(","));
+                labels.join(",")
             });
         assert!(stats.complete, "tiny tree must be fully explored");
-        behaviors
+        journal
+            .into_iter()
+            .map(|r| r.value)
+            .collect::<BTreeSet<_>>()
     };
     let unpruned = collect(false);
     assert_eq!(
@@ -193,22 +206,19 @@ proptest! {
 
     #[test]
     fn pruned_exploration_observes_every_behavior(w in workload()) {
-        let mut unpruned = BTreeSet::new();
-        let unpruned_stats = ExploreConfig::new(BUDGET)
-            .serial()
-            .run(|| build_sim(&w), |_, result| {
-                unpruned.insert(line(result));
-            });
+        let behaviors = |journal: Vec<bloom_sim::ScheduleRecord<String>>| -> BTreeSet<String> {
+            journal.into_iter().map(|r| r.value).collect()
+        };
+        let (unpruned_journal, unpruned_stats) = ExploreConfig::new(BUDGET)
+            .run(|| build_sim(&w), |_, result| line(result));
         prop_assert!(unpruned_stats.complete, "workload exceeds the budget");
+        let unpruned = behaviors(unpruned_journal);
 
-        let mut pruned = BTreeSet::new();
-        let pruned_stats = ExploreConfig::new(BUDGET)
+        let (pruned_journal, pruned_stats) = ExploreConfig::new(BUDGET)
             .prune(true)
-            .serial()
-            .run(|| build_sim(&w), |_, result| {
-                pruned.insert(line(result));
-            });
+            .run(|| build_sim(&w), |_, result| line(result));
         prop_assert!(pruned_stats.complete);
+        let pruned = behaviors(pruned_journal);
 
         prop_assert!(
             pruned_stats.schedules <= unpruned_stats.schedules,
@@ -228,14 +238,10 @@ proptest! {
         // resume from held branch-point checkpoints (DESIGN.md §2.13), so
         // the densest spacing must reproduce the pruned exploration —
         // schedule count and behavior set — exactly.
-        let mut ckpt = BTreeSet::new();
-        let ckpt_stats = ExploreConfig::new(BUDGET)
+        let (ckpt_journal, ckpt_stats) = ExploreConfig::new(BUDGET)
             .prune(true)
             .checkpoint(CheckpointSpacing::Dense { budget: 2 })
-            .serial()
-            .run(|| build_sim(&w), |_, result| {
-                ckpt.insert(line(result));
-            });
+            .run(|| build_sim(&w), |_, result| line(result));
         prop_assert!(ckpt_stats.complete);
         prop_assert_eq!(
             ckpt_stats.schedules, pruned_stats.schedules,
@@ -246,7 +252,7 @@ proptest! {
             "checkpointed pruning changed the prune count"
         );
         prop_assert_eq!(
-            &ckpt, &unpruned,
+            &behaviors(ckpt_journal), &unpruned,
             "checkpointed pruned exploration must observe the same \
              behavior set"
         );
@@ -258,14 +264,11 @@ proptest! {
         // (it *reverses* observed conflicts instead of skipping commuting
         // siblings), so it gets the same behavior-set, schedule-count, and
         // accounting scrutiny on every workload the generator produces.
+        // The unified verbs return journals sorted by decision vector, so
+        // every entry below is directly byte-comparable.
         let revisit = ExploreConfig::new(BUDGET).mode(PruneMode::Revisit);
-        let mut revisit_journal = Vec::new();
-        let revisit_stats = revisit.serial().run(|| build_sim(&w), |decisions, result| {
-            revisit_journal.push((
-                decisions.iter().map(|d| d.chosen).collect::<Vec<u32>>(),
-                line(result),
-            ));
-        });
+        let (revisit_journal, revisit_stats) =
+            revisit.run(|| build_sim(&w), |_, result| line(result));
         prop_assert!(revisit_stats.complete);
         revisit_stats.assert_consistent();
         prop_assert!(
@@ -275,18 +278,13 @@ proptest! {
             unpruned_stats.schedules,
         );
         let revisit_behaviors: BTreeSet<String> =
-            revisit_journal.iter().map(|(_, l)| l.clone()).collect();
+            revisit_journal.iter().map(|r| r.value.clone()).collect();
         prop_assert_eq!(
             &revisit_behaviors, &unpruned,
             "revisit exploration must observe the same behavior set \
              (schedules: {} revisit vs {} unpruned)",
             revisit_stats.schedules, unpruned_stats.schedules,
         );
-        // The serial worklist visit order is not the parallel merge
-        // order; canonicalise before the byte-identity comparisons.
-        revisit_journal.sort();
-        let revisit_journal: Vec<String> =
-            revisit_journal.into_iter().map(|(_, l)| l).collect();
 
         for spacing in [
             CheckpointSpacing::Replay,
@@ -295,20 +293,13 @@ proptest! {
         ] {
             let spaced = revisit.clone().checkpoint(spacing);
             if spacing != CheckpointSpacing::Replay {
-                let mut journal = Vec::new();
-                let stats = spaced.serial().run(|| build_sim(&w), |decisions, result| {
-                    journal.push((
-                        decisions.iter().map(|d| d.chosen).collect::<Vec<u32>>(),
-                        line(result),
-                    ));
-                });
+                let (journal, stats) =
+                    spaced.run(|| build_sim(&w), |_, result| line(result));
                 prop_assert!(stats.complete);
                 stats.assert_consistent();
                 prop_assert_eq!(stats.schedules, revisit_stats.schedules);
                 prop_assert_eq!(stats.pruned, revisit_stats.pruned);
                 prop_assert_eq!(stats.revisits, revisit_stats.revisits);
-                journal.sort();
-                let journal: Vec<String> = journal.into_iter().map(|(_, l)| l).collect();
                 prop_assert_eq!(
                     &journal, &revisit_journal,
                     "{:?}: checkpointed revisit journal diverged from replay",
@@ -319,7 +310,6 @@ proptest! {
                 let (records, stats) = spaced
                     .clone()
                     .threads(threads)
-                    .parallel()
                     .run(|| build_sim(&w), |_, result| line(result));
                 prop_assert!(stats.complete);
                 stats.assert_consistent();
@@ -330,11 +320,175 @@ proptest! {
                     revisit_stats.revisit_requests
                 );
                 prop_assert_eq!(stats.revisits, revisit_stats.revisits);
-                let merged: Vec<String> =
-                    records.into_iter().map(|r| r.value).collect();
                 prop_assert_eq!(
-                    &merged, &revisit_journal,
+                    &records, &revisit_journal,
                     "{:?} x {} threads: revisit journal diverged from serial",
+                    spacing, threads,
+                );
+            }
+        }
+    }
+}
+
+/// One data-nondeterminism step for the symbolic oracle (DESIGN.md §2.15).
+#[derive(Debug, Clone, Copy)]
+enum DataStep {
+    /// `choose_value` over `0..n`, observed exactly via `SymValue::get`:
+    /// every value is behaviorally distinct, so no collapse is sound and
+    /// the symbolic engine must enumerate the whole domain.
+    Pick(i64),
+    /// `choose_value` over `1..=3` compared against `threshold`: the
+    /// behavior depends only on the comparison class, so the class with
+    /// two members must collapse to one representative — strictly fewer
+    /// runs than brute-force enumeration.
+    Guard { sem: usize, threshold: i64 },
+}
+
+fn data_step() -> impl Strategy<Value = DataStep> {
+    prop_oneof![
+        (2i64..4).prop_map(DataStep::Pick),
+        ((0usize..2), (1i64..3)).prop_map(|(sem, threshold)| DataStep::Guard { sem, threshold }),
+    ]
+}
+
+/// One scheduler-nondeterministic program racing one data-choosing
+/// process (plus an optional pure-note third): every data decision point
+/// appears under several scheduling contexts, so the collapse has to be
+/// correct at *every* tree position, not just the root.
+fn data_workload() -> impl Strategy<Value = (Vec<Step>, DataStep, Option<u8>)> {
+    (
+        prop::collection::vec(step(), 1..3),
+        data_step(),
+        prop_oneof![Just(None), (0u8..3).prop_map(Some)],
+    )
+}
+
+fn build_data_sim(w: &(Vec<Step>, DataStep, Option<u8>)) -> Sim {
+    let mut sim = Sim::new();
+    let sems: Arc<[Semaphore; 2]> =
+        Arc::new([Semaphore::strong("s0", 1), Semaphore::strong("s1", 1)]);
+    let program = w.0.clone();
+    let psems = Arc::clone(&sems);
+    sim.spawn("p0", move |ctx| {
+        for op in program {
+            exec_step(ctx, &psems, 0, op);
+        }
+    });
+    let data = w.1;
+    sim.spawn("chooser", move |ctx| {
+        ctx.yield_now();
+        match data {
+            DataStep::Pick(n) => {
+                let v = ctx.choose_value("pick", 0..n);
+                ctx.emit("pick", &[v.get()]);
+            }
+            DataStep::Guard { sem, threshold } => {
+                let v = ctx.choose_value("load", 1..=3);
+                if v.gt(threshold) {
+                    sems[sem].p(ctx);
+                    ctx.emit(&format!("enter:c{sem}"), &[]);
+                    ctx.yield_now();
+                    ctx.emit(&format!("exit:c{sem}"), &[]);
+                    sems[sem].v(ctx);
+                } else {
+                    ctx.emit("light", &[]);
+                }
+            }
+        }
+    });
+    if let Some(tag) = w.2 {
+        sim.spawn("p2", move |ctx| ctx.emit(&format!("note:2:{tag}"), &[]));
+    }
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The symbolic collapse against brute force: the revisit engine's
+    /// behavior set over a workload with data decisions must equal the
+    /// plain DFS enumeration of every concrete value, its accounting must
+    /// balance, and (when the data step only *compares* the value) it
+    /// must get there in strictly fewer runs. Journals and statistics
+    /// stay byte-identical across serial and 1/2/4/8 worker threads under
+    /// all three checkpoint spacings.
+    #[test]
+    fn symbolic_exploration_matches_brute_force(w in data_workload()) {
+        let (brute_journal, brute_stats) = ExploreConfig::new(BUDGET)
+            .run(|| build_data_sim(&w), |_, result| line(result));
+        prop_assert!(brute_stats.complete, "workload exceeds the budget");
+        let brute: BTreeSet<String> =
+            brute_journal.into_iter().map(|r| r.value).collect();
+
+        let revisit = ExploreConfig::new(BUDGET).mode(PruneMode::Revisit);
+        let (reference, ref_stats) =
+            revisit.run(|| build_data_sim(&w), |_, result| line(result));
+        prop_assert!(ref_stats.complete);
+        ref_stats.assert_consistent();
+        prop_assert!(
+            ref_stats.sym_grants > 0,
+            "a 2+-value domain always grants at least one value sibling"
+        );
+        let symbolic: BTreeSet<String> =
+            reference.iter().map(|r| r.value.clone()).collect();
+        prop_assert_eq!(
+            &symbolic, &brute,
+            "symbolic behavior set must equal brute-force enumeration \
+             (schedules: {} symbolic vs {} brute)",
+            ref_stats.schedules, brute_stats.schedules,
+        );
+        prop_assert!(
+            ref_stats.schedules <= brute_stats.schedules,
+            "the symbolic engine never runs more than brute force \
+             ({} > {})",
+            ref_stats.schedules,
+            brute_stats.schedules,
+        );
+        if matches!(w.1, DataStep::Guard { .. }) {
+            prop_assert!(
+                ref_stats.schedules < brute_stats.schedules,
+                "comparison-only observation must collapse the two-member \
+                 class ({} vs {})",
+                ref_stats.schedules,
+                brute_stats.schedules,
+            );
+        }
+
+        for spacing in [
+            CheckpointSpacing::Replay,
+            CheckpointSpacing::Dense { budget: 2 },
+            CheckpointSpacing::Geometric { budget: 4 },
+        ] {
+            let spaced = revisit.clone().checkpoint(spacing);
+            if spacing != CheckpointSpacing::Replay {
+                let (journal, stats) =
+                    spaced.run(|| build_data_sim(&w), |_, result| line(result));
+                prop_assert!(stats.complete);
+                stats.assert_consistent();
+                prop_assert_eq!(stats.schedules, ref_stats.schedules);
+                prop_assert_eq!(stats.sym_requests, ref_stats.sym_requests);
+                prop_assert_eq!(stats.sym_grants, ref_stats.sym_grants);
+                prop_assert_eq!(
+                    &journal, &reference,
+                    "{:?}: checkpointed symbolic journal diverged",
+                    spacing,
+                );
+            }
+            for threads in [1, 2, 4, 8] {
+                let (records, stats) = spaced
+                    .clone()
+                    .threads(threads)
+                    .run(|| build_data_sim(&w), |_, result| line(result));
+                prop_assert!(stats.complete);
+                stats.assert_consistent();
+                prop_assert_eq!(stats.schedules, ref_stats.schedules);
+                prop_assert_eq!(stats.pruned, ref_stats.pruned);
+                prop_assert_eq!(stats.revisits, ref_stats.revisits);
+                prop_assert_eq!(stats.sym_requests, ref_stats.sym_requests);
+                prop_assert_eq!(stats.sym_grants, ref_stats.sym_grants);
+                prop_assert_eq!(
+                    &records, &reference,
+                    "{:?} x {} threads: symbolic journal diverged from serial",
                     spacing, threads,
                 );
             }
